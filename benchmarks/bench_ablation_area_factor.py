@@ -1,0 +1,77 @@
+"""Ablation abl1 — SPICE area-factor scaling vs the geometry generator.
+
+Section 4's complaint, quantified: "model parameters such as RB, RE, RC,
+CJE, CJC and CJS ... are just scaled according to the area factor in
+SPICE.  It is obvious that the computing method in SPICE is not
+sufficiently accurate."  For every Table 1 shape this bench compares the
+area-factor prediction against the geometry-aware one, parameter by
+parameter, and shows the resulting fT-curve error.
+"""
+
+import numpy as np
+
+from repro.devices import peak_ft
+from repro.geometry import TABLE1_SHAPES, AreaFactorScaler
+
+from conftest import report
+
+COMPARED = ("RB", "RE", "RC", "CJE", "CJC", "CJS")
+
+
+def _error(af_value: float, geo_value: float) -> float:
+    return abs(af_value - geo_value) / abs(geo_value) * 100.0
+
+
+def bench_ablation_area_factor(benchmark, generator, reference):
+    scaler = AreaFactorScaler(reference=reference)
+
+    def compare():
+        table = {}
+        for name in TABLE1_SHAPES:
+            geo = generator.generate(name)
+            af = scaler.generate(name)
+            table[name] = (geo, af)
+        return table
+
+    table = benchmark(compare)
+
+    rows = [
+        "  parameter error of SPICE area-factor scaling vs the",
+        "  geometry-aware generator (reference shape N1.2-6D)",
+        "",
+        "  shape        " + "".join(f"{p:>8s}" for p in COMPARED)
+        + "   peak-Ic err",
+    ]
+    worst = {p: 0.0 for p in COMPARED}
+    for name in TABLE1_SHAPES:
+        geo, af = table[name]
+        row = f"  {name:12s}"
+        for parameter in COMPARED:
+            err = _error(getattr(af, parameter), getattr(geo, parameter))
+            worst[parameter] = max(worst[parameter], err)
+            row += f"  {err:5.1f}%"
+        pk_geo = peak_ft(geo, 1e-4, 3e-2, 41)
+        pk_af = peak_ft(af, 1e-4, 3e-2, 41)
+        ic_err = abs(pk_af.ic - pk_geo.ic) / pk_geo.ic * 100
+        row += f"     {ic_err:5.1f}%"
+        rows.append(row)
+    rows.append("")
+    rows.append("  worst-case errors: " + ", ".join(
+        f"{p} {worst[p]:.0f}%" for p in COMPARED
+    ))
+
+    # -- the ablation's claims -----------------------------------------------------
+    # the baseline reproduces the reference shape exactly...
+    geo_ref, af_ref = table["N1.2-6D"]
+    assert _error(af_ref.RB, geo_ref.RB) < 1e-6
+    # ...but mispredicts RB badly for topology changes at equal area
+    geo_s, af_s = table["N1.2-6S"]
+    assert _error(af_s.RB, geo_s.RB) > 50.0
+    geo_x2, af_x2 = table["N1.2x2-6S"]
+    assert _error(af_x2.RB, geo_x2.RB) > 50.0
+    # and CJC is overestimated whenever the emitter grows (base overheads
+    # do not scale with emitter area)
+    geo_12, af_12 = table["N1.2-12D"]
+    assert af_12.CJC > geo_12.CJC
+
+    report("ablation_area_factor", "\n".join(rows))

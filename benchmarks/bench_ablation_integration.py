@@ -1,0 +1,85 @@
+"""Ablation abl3 — transient integration method quality.
+
+Validates the simulator substrate itself (everything Table 1 rests on):
+on an LC tank with a known analytic solution, the trapezoidal rule
+conserves oscillation amplitude while backward Euler artificially damps
+it — the classic reason SPICE defaults to trap.  Reports amplitude decay
+and frequency error per method, and times one fixed-accuracy run.
+"""
+
+import math
+
+import numpy as np
+
+from repro.spice import Circuit, solve_transient
+from repro.spice.elements import Capacitor, Inductor, Resistor
+
+from conftest import report
+
+L, C = 1e-6, 1e-9
+F0 = 1.0 / (2 * math.pi * math.sqrt(L * C))
+PERIODS = 10
+
+
+def _tank():
+    circuit = Circuit("lc tank")
+    circuit.add(Capacitor("C1", ("t", "0"), C))
+    circuit.add(Inductor("L1", ("t", "0"), L))
+    circuit.add(Resistor("RP", ("t", "0"), 1e9))
+    circuit.assign_indices()
+    x0 = np.zeros(circuit.num_unknowns)
+    x0[circuit.node_index("t")] = 1.0
+    return circuit, x0
+
+
+def _run(method: str, steps_per_period: int = 100):
+    circuit, x0 = _tank()
+    period = 1.0 / F0
+    result = solve_transient(
+        circuit, stop_time=PERIODS * period,
+        max_step=period / steps_per_period, x0=x0, method=method,
+    )
+    v = result.voltage("t")
+    t = result.times
+    late = np.abs(v[t > (PERIODS - 2) * period])
+    amplitude = float(late.max())
+    crossings = []
+    for i in range(1, len(t)):
+        if v[i - 1] < 0 <= v[i]:
+            frac = -v[i - 1] / (v[i] - v[i - 1])
+            crossings.append(t[i - 1] + frac * (t[i] - t[i - 1]))
+    frequency = 1.0 / float(np.mean(np.diff(crossings)))
+    return amplitude, frequency, len(t)
+
+
+def bench_ablation_integration(benchmark):
+    trap_amp, trap_freq, trap_points = _run("trap")
+    be_amp, be_freq, be_points = _run("be")
+
+    def timed_run():
+        return _run("trap")
+
+    benchmark(timed_run)
+
+    lines = [
+        f"  LC tank, f0 = {F0 / 1e6:.3f} MHz, {PERIODS} periods, "
+        "~100 steps/period:",
+        "",
+        f"  method   final amplitude (start 1.000)   frequency error   "
+        "points",
+        f"  trap              {trap_amp:6.4f}              "
+        f"{abs(trap_freq - F0) / F0 * 100:8.4f} %      {trap_points:6d}",
+        f"  BE                {be_amp:6.4f}              "
+        f"{abs(be_freq - F0) / F0 * 100:8.4f} %      {be_points:6d}",
+        "",
+        "  trapezoidal integration conserves the tank's energy; backward",
+        "  Euler numerically damps it — why the Table 1 ring transients",
+        "  run on trap.",
+    ]
+
+    # -- the ablation's claims ------------------------------------------------------
+    assert trap_amp > 0.98  # trap conserves amplitude
+    assert be_amp < 0.55  # BE visibly damps over 10 periods
+    assert abs(trap_freq - F0) / F0 < 5e-3
+
+    report("ablation_integration", "\n".join(lines))

@@ -1,0 +1,50 @@
+"""Fig. 2/3 — the double-super frequency plan over the CATV band.
+
+Regenerates the spectrum bookkeeping of the paper's Fig. 3 for channels
+across the 90-770 MHz band: the up/down LO frequencies, the 1st-IF image
+at Fdown - 45 MHz, and the antenna-referred image channel.  The
+benchmark times the full-band plan computation.
+"""
+
+import numpy as np
+
+from repro.rfsystems import FrequencyPlan
+
+from conftest import report
+
+
+def _plan_table() -> str:
+    plan = FrequencyPlan()
+    rows = ["  RF[MHz]   Fup[MHz]  IF1[MHz]  Fdown[MHz]  rf2[MHz]  "
+            "RF_image[MHz]"]
+    for rf in np.linspace(plan.rf_min, plan.rf_max, 8):
+        info = plan.describe(float(rf))
+        rows.append(
+            f"  {info['rf'] / 1e6:7.1f}  {info['up_lo'] / 1e6:8.1f}  "
+            f"{info['first_if'] / 1e6:8.1f}  {info['down_lo'] / 1e6:9.1f}  "
+            f"{info['first_if_image'] / 1e6:8.1f}  "
+            f"{info['rf_image'] / 1e6:10.1f}"
+        )
+    rows.append(
+        f"  invariants: rf1-rf2 = {plan.image_spacing / 1e6:.0f} MHz "
+        f"(= 2 x 2nd IF), rf2-Fdown = "
+        f"{(plan.first_if_image - plan.down_lo) / 1e6:.0f} MHz"
+    )
+    return "\n".join(rows)
+
+
+def bench_fig3_frequency_plan(benchmark):
+    plan = FrequencyPlan()
+    channels = np.linspace(plan.rf_min, plan.rf_max, 256)
+
+    def full_band():
+        return [plan.describe(float(rf)) for rf in channels]
+
+    infos = benchmark(full_band)
+    assert len(infos) == 256
+    # every channel's image is exactly 90 MHz up
+    assert all(
+        abs((info["rf_image"] - info["rf"]) - 2 * plan.second_if) < 1e-3
+        for info in infos
+    )
+    report("fig3_frequency_plan", _plan_table())

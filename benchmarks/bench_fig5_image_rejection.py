@@ -1,0 +1,65 @@
+"""Fig. 5 — image rejection ratio vs phase error, gain balance parameter.
+
+Regenerates the paper's AHDL simulation result: IRR of the Fig. 4
+image-rejection mixer against the 90-degree shifters' phase error, with
+the path gain balance swept 1 %..9 % — produced by the behavioral
+simulation (not the closed form), like the paper's run.  Also prints the
+designer's read-off: the phase budget meeting a 30 dB system spec.
+
+The benchmark times one full five-curve sweep.
+"""
+
+import numpy as np
+
+from repro.rfsystems import (
+    fig5_sweep,
+    image_rejection_ratio_db,
+    required_matching,
+)
+
+from conftest import report
+
+PHASE_ERRORS = list(np.linspace(0.0, 10.0, 11))
+GAIN_ERRORS = (0.01, 0.03, 0.05, 0.07, 0.09)
+
+
+def _format_table(curves) -> str:
+    rows = ["  IRR [dB] from behavioral simulation of the Fig. 4 mixer",
+            "  phase[deg]" + "".join(f"   g={g * 100:2.0f}%"
+                                     for g in GAIN_ERRORS)]
+    for i, phase in enumerate(PHASE_ERRORS):
+        row = f"  {phase:8.1f}  "
+        for gain in GAIN_ERRORS:
+            row += f"  {curves[gain][i][1]:6.2f}"
+        rows.append(row)
+    rows.append("")
+    rows.append("  spec derivation for a 30 dB requirement (paper text):")
+    for gain in GAIN_ERRORS:
+        budget = required_matching(30.0, gain)
+        verdict = ("phase error <= %.2f deg" % budget if budget is not None
+                   else "infeasible (gain error alone below 30 dB)")
+        rows.append(f"    gain balance {gain * 100:3.0f}%: {verdict}")
+    return "\n".join(rows)
+
+
+def bench_fig5_image_rejection(benchmark):
+    curves = benchmark(fig5_sweep, PHASE_ERRORS, GAIN_ERRORS)
+
+    # -- shape checks against the paper's figure ------------------------------
+    for gain in GAIN_ERRORS:
+        irrs = [irr for _, irr in curves[gain]]
+        # monotone decreasing in phase error
+        assert all(a >= b for a, b in zip(irrs, irrs[1:]))
+    # 1 % curve lies above the 9 % curve everywhere
+    for (_, one), (_, nine) in zip(curves[0.01], curves[0.09]):
+        assert one > nine
+    # zero-phase intercepts: the classic 46 dB (1 %) and 27 dB (9 %)
+    assert abs(curves[0.01][0][1] - 46.1) < 0.5
+    assert abs(curves[0.09][0][1] - 27.3) < 0.5
+    # behavioral simulation equals the closed form at a spot point
+    assert abs(
+        curves[0.05][4][1]
+        - image_rejection_ratio_db(PHASE_ERRORS[4], 0.05)
+    ) < 1e-6
+
+    report("fig5_image_rejection", _format_table(curves))

@@ -1,0 +1,52 @@
+"""Fig. 8 — the transistor shape taxonomy and its layout consequences.
+
+Regenerates the shape table of the paper's Fig. 8 captions (a)-(f) with
+the geometry quantities each shape implies: emitter area/perimeter, the
+base and collector junction geometry, and the decomposed base
+resistance.  The benchmark times the full layout computation over the
+taxonomy.
+"""
+
+from repro.geometry import FIG8_SHAPES, TransistorShape, layout_report
+
+from conftest import report
+
+
+def _table(reports) -> str:
+    rows = [
+        "  key  shape       AE[um2] PE[um]  A_BC[um2]  A_CS[um2]  "
+        "RBi[ohm] RBx[ohm] RB[ohm]  XCJC",
+    ]
+    for key, geo in reports.items():
+        shape = geo.shape
+        rows.append(
+            f"  ({key})  {shape.name:10s} {geo.emitter_area:6.1f} "
+            f"{geo.emitter_perimeter:6.1f}  {geo.base_area:8.1f}  "
+            f"{geo.collector_area:8.1f}  {geo.rb_intrinsic:7.1f} "
+            f"{geo.rb_extrinsic + geo.rb_contact:7.1f} "
+            f"{geo.rb_total:7.1f}  {geo.xcjc:5.2f}"
+        )
+    return "\n".join(rows)
+
+
+def bench_fig8_shapes(benchmark, rules, process):
+    def compute():
+        return {
+            key: layout_report(TransistorShape.from_name(name), rules,
+                               process)
+            for key, name in FIG8_SHAPES.items()
+        }
+
+    reports = benchmark(compute)
+
+    # -- shape facts the paper's Fig. 8 captions state -------------------------
+    # (a) and (d) share the emitter size; (b) is (a) with double base
+    assert reports["a"].emitter_area == reports["d"].emitter_area
+    assert reports["b"].emitter_area == reports["a"].emitter_area
+    # double base drops RB hard; (c)'s wide emitter raises it again
+    assert reports["b"].rb_total < reports["a"].rb_total / 2
+    assert reports["c"].rb_total > reports["b"].rb_total
+    # (e) doubles the emitter area of (b)
+    assert reports["e"].emitter_area == 2 * reports["b"].emitter_area
+
+    report("fig8_shapes", _table(reports))

@@ -1,0 +1,65 @@
+"""Fig. 9 — transition frequency vs collector current for npn shapes.
+
+Regenerates the paper's Ic-fT characteristics for N1.2-6D, N1.2-12D,
+N1.2-24D and N1.2-48D from geometry-generated model parameters, checking
+the figure's message: each shape has a peaked fT(Ic) and "the collector
+current which gives the peak ft changes depending on the shapes of the
+transistors".  The benchmark times the four-curve generation + sweep.
+"""
+
+import numpy as np
+
+from repro.devices import ft_curve, peak_ft
+from repro.geometry import FIG9_SHAPES
+
+from conftest import report
+
+CURRENTS = np.geomspace(1e-4, 2e-2, 16)
+
+
+def _table(curves, peaks) -> str:
+    rows = ["  fT [GHz] vs Ic, geometry-generated models (VCE = 3 V)",
+            "  Ic[mA]  " + "".join(f"{name:>11s}" for name in FIG9_SHAPES)]
+    for i, ic in enumerate(CURRENTS):
+        row = f"  {ic * 1e3:6.2f} "
+        for name in FIG9_SHAPES:
+            row += f"  {curves[name][i].ft / 1e9:8.2f} "
+        rows.append(row)
+    rows.append("")
+    rows.append("  peaks:")
+    for name in FIG9_SHAPES:
+        peak = peaks[name]
+        rows.append(f"    {name:10s} fT,max = {peak.ft / 1e9:5.2f} GHz at "
+                    f"Ic = {peak.ic * 1e3:5.2f} mA")
+    return "\n".join(rows)
+
+
+def bench_fig9_ft_vs_ic(benchmark, generator):
+    def sweep():
+        curves = {}
+        peaks = {}
+        for name in FIG9_SHAPES:
+            model = generator.generate(name)
+            curves[name] = ft_curve(model, CURRENTS)
+            peaks[name] = peak_ft(model, 1e-4, 2e-2, points=61)
+        return curves, peaks
+
+    curves, peaks = benchmark(sweep)
+
+    # -- figure-shape checks ----------------------------------------------------
+    peak_currents = [peaks[name].ic for name in FIG9_SHAPES]
+    # peak current strictly ordered with emitter size (the paper's point)
+    assert peak_currents == sorted(peak_currents)
+    assert peak_currents[-1] > 4 * peak_currents[0]
+    # every curve rises then falls inside the plotted window
+    for name in FIG9_SHAPES:
+        fts = [p.ft for p in curves[name]]
+        peak_index = int(np.argmax(fts))
+        assert 0 < peak_index < len(fts) - 1
+    # peak fT similar across shapes (within ~10 %), as in the figure
+    peak_fts = [peaks[name].ft for name in FIG9_SHAPES]
+    assert max(peak_fts) / min(peak_fts) < 1.15
+    # GHz range consistent with the paper's axis (5-10 GHz gridlines)
+    assert 5e9 < max(peak_fts) < 20e9
+
+    report("fig9_ft_vs_ic", _table(curves, peaks))

@@ -1,0 +1,49 @@
+"""Section 4 extension — the measure->extract loop on the reference device.
+
+The paper's generator consumes "reference transistor model parameters
+which are based on actual measurements".  This bench runs the full
+virtual loop — synthetic characterization curves with 1 % instrument
+noise, Getreu-style regional extraction — and reports the per-parameter
+recovery error against the hidden golden device.  The benchmark times
+the extraction pipeline itself.
+"""
+
+from repro.measurement import extract_parameters, measure_device
+
+from conftest import report
+
+REPORTED = ("IS", "NF", "BF", "ISE", "NE", "IKF",
+            "CJE", "VJE", "MJE", "CJC", "VJC", "MJC",
+            "TF", "RE", "RB", "RC")
+
+
+def bench_sec4_extraction(benchmark, reference):
+    golden = reference.parameters
+    measurements = measure_device(golden, noise=0.01)
+
+    extraction = benchmark(extract_parameters, measurements)
+
+    errors = extraction.compare(golden, names=REPORTED)
+    rows = [
+        "  parameter recovery from noisy synthetic measurements "
+        "(1 % instrument noise)",
+        "",
+        "  param      golden        extracted     error    method",
+    ]
+    for name in REPORTED:
+        rows.append(
+            f"  {name:5s} {getattr(golden, name):13.5g} "
+            f"{getattr(extraction.parameters, name):13.5g} "
+            f"{errors[name] * 100:7.1f}%   "
+            f"{extraction.notes.get(name, '')}"
+        )
+    report("sec4_extraction", "\n".join(rows))
+
+    # -- pipeline quality gates ---------------------------------------------------
+    assert errors["NF"] < 0.03
+    assert errors["IS"] < 0.15
+    assert errors["CJE"] < 0.05 and errors["CJC"] < 0.05
+    assert errors["RE"] < 0.05 and errors["RB"] < 0.05
+    assert errors["TF"] < 0.25
+    # regional-method systematic bias on IKF stays within a factor 2
+    assert 0.5 < extraction.parameters.IKF / golden.IKF < 2.0

@@ -1,0 +1,68 @@
+"""Section 4 extension — device and circuit behaviour over temperature.
+
+The paper fixes operating currents "considering the radiation from the
+IC packages": junction temperature is a design input.  This bench sweeps
+the geometry-generated reference device over the industrial range and
+reports the quantities a designer budgets for: fT degradation, Vbe
+shift, and beta drift — then checks a diode-connected sensor circuit's
+tempco end to end on the simulator.
+"""
+
+from repro.devices import ft_at_ic, solve_vbe_for_ic
+from repro.devices.temperature import at_temperature, celsius
+from repro.spice import Circuit, Simulator, circuit_at_temperature
+from repro.spice.elements import BJT, CurrentSource
+
+from conftest import report
+
+TEMPERATURES_C = (-40.0, 0.0, 27.0, 85.0, 125.0)
+IC_BIAS = 2e-3
+
+
+def bench_sec4_temperature(benchmark, generator):
+    model = generator.generate("N1.2-12D")
+
+    def sweep():
+        rows = []
+        for temp_c in TEMPERATURES_C:
+            temp = celsius(temp_c)
+            hot = at_temperature(model, temp)
+            vbe = solve_vbe_for_ic(hot, IC_BIAS, 3.0, temp=temp)
+            point = ft_at_ic(hot, IC_BIAS)
+            rows.append((temp_c, vbe, point.ft, hot.BF, hot.CJE))
+        return rows
+
+    rows = benchmark(sweep)
+
+    lines = [
+        f"  N1.2-12D at Ic = {IC_BIAS * 1e3:.1f} mA, VCE = 3 V:",
+        "",
+        "  T [C]    Vbe [V]    fT [GHz]   CJE [fF]",
+    ]
+    for temp_c, vbe, ft, _bf, cje in rows:
+        lines.append(f"  {temp_c:5.0f}   {vbe:8.4f}   {ft / 1e9:8.2f}"
+                     f"   {cje * 1e15:8.2f}")
+
+    # circuit-level: diode-connected sensor tempco
+    sensor = Circuit("vbe sensor")
+    sensor.add(CurrentSource("IB", ("0", "d"), dc=1e-4))
+    sensor.add(BJT("Q1", ("d", "d", "0"), model))
+    v27 = Simulator(circuit_at_temperature(sensor, celsius(27.0))
+                    ).operating_point().voltage("d")
+    v85 = Simulator(circuit_at_temperature(sensor, celsius(85.0))
+                    ).operating_point().voltage("d")
+    tempco = (v85 - v27) / (85.0 - 27.0)
+    lines.append("")
+    lines.append(f"  diode-connected sensor: {tempco * 1e3:.2f} mV/K "
+                 "(classic silicon junction coefficient)")
+
+    # -- physics checks -----------------------------------------------------------
+    vbes = [row[1] for row in rows]
+    fts = [row[2] for row in rows]
+    cjes = [row[4] for row in rows]
+    assert all(a > b for a, b in zip(vbes, vbes[1:]))  # Vbe falls with T
+    assert fts[-1] < fts[0]  # fT degrades hot vs cold
+    assert all(a < b for a, b in zip(cjes, cjes[1:]))  # CJE grows with T
+    assert -2.6e-3 < tempco < -1.0e-3
+
+    report("sec4_temperature", "\n".join(lines))

@@ -1,0 +1,101 @@
+"""Table 1 — free-running frequency of the Fig. 11 ring oscillator with
+the differential-pair transistor shapes swept uniformly.
+
+The paper's experiment: "the circuit topology and the current values
+were fixed, and only the shapes of the transistors at differential pairs
+were optimized... it was concluded that the best shape for the
+transistors was N1.2-12D."
+
+The six transient simulations are computed once at module scope (about a
+minute of CPU); the pytest-benchmark timing target is a single short
+transient of the best-shape oscillator (rounds=1 — this is a simulator-
+throughput number, not a microbenchmark).
+"""
+
+import functools
+
+from repro.geometry import (
+    TABLE1_SHAPES,
+    ModelParameterGenerator,
+    default_reference,
+)
+from repro.rfsystems import (
+    RingOscillatorSpec,
+    build_ring_oscillator,
+    estimate_frequency_from_delay,
+    run_ring_oscillator,
+)
+from repro.spice import Simulator
+
+from conftest import report
+
+SPEC = RingOscillatorSpec()
+FOLLOWER_SHAPE = "N1.2-6D"
+STOP_TIME = 10e-9
+
+
+@functools.lru_cache(maxsize=1)
+def table1_results():
+    generator = ModelParameterGenerator(reference=default_reference())
+    follower = generator.generate(FOLLOWER_SHAPE)
+    results = {}
+    for name in TABLE1_SHAPES:
+        model = generator.generate(name)
+        measurement = run_ring_oscillator(
+            model, follower_model=follower, spec=SPEC, stop_time=STOP_TIME
+        )
+        estimate = estimate_frequency_from_delay(model, SPEC)
+        results[name] = (measurement, estimate)
+    return results
+
+
+def _table(results) -> str:
+    rows = [
+        "  Fig. 11 five-stage differential ring oscillator "
+        f"(RL={SPEC.load_resistance:.0f} ohm, tail="
+        f"{SPEC.tail_current * 1e3:.1f} mA, followers {FOLLOWER_SHAPE})",
+        "",
+        "  shape of Q1,Q2,...,Q18   free-running freq   RC-delay estimate",
+    ]
+    for name in TABLE1_SHAPES:
+        measurement, estimate = results[name]
+        rows.append(
+            f"  {name:22s} {measurement.frequency / 1e9:9.3f} GHz      "
+            f"{estimate / 1e9:9.3f} GHz"
+        )
+    best = max(TABLE1_SHAPES,
+               key=lambda n: results[n][0].frequency)
+    rows.append("")
+    rows.append(f"  best shape: {best}   (paper's Table 1 conclusion: "
+                "N1.2-12D)")
+    return "\n".join(rows)
+
+
+def bench_table1_ring_oscillator(benchmark, generator):
+    results = table1_results()
+
+    # -- Table 1 conclusions -----------------------------------------------------
+    frequencies = {name: m.frequency for name, (m, _) in results.items()}
+    assert all(m.oscillating for m, _ in results.values())
+    # the paper's headline: N1.2-12D is the fastest shape
+    assert max(frequencies, key=frequencies.get) == "N1.2-12D"
+    # single-base variants are the slowest (their RB dominates)
+    assert frequencies["N1.2-6S"] < frequencies["N1.2-6D"]
+    assert frequencies["N1.2x2-6S"] < frequencies["N1.2x2-6T"]
+    # the wide-emitter N2.4-6D trails its narrow sibling
+    assert frequencies["N2.4-6D"] < frequencies["N1.2-6D"]
+    # GHz range, as in the paper's table
+    assert all(0.3e9 < f < 5e9 for f in frequencies.values())
+
+    # benchmark target: one short best-shape transient (simulator speed)
+    follower = generator.generate(FOLLOWER_SHAPE)
+    model = generator.generate("N1.2-12D")
+    circuit = build_ring_oscillator(model, follower, SPEC)
+
+    def short_transient():
+        return Simulator(circuit).transient(stop_time=2e-9,
+                                            max_step=10e-12,
+                                            initial_step=1e-12)
+
+    benchmark.pedantic(short_transient, rounds=1, iterations=1)
+    report("table1_ring_oscillator", _table(results))

@@ -1,0 +1,54 @@
+"""Table 1 companion — the static shape selector vs the transient truth.
+
+The paper's designers choose shapes from Fig. 9-style data before any
+transient run.  :func:`repro.geometry.shape_for_current` encodes that
+read-off (fT at the operating current plus the RB input-pole delay);
+this bench checks the static ranking against the Table 1 transient
+ordering measured by ``bench_table1_ring_oscillator`` — in seconds
+instead of a minute of simulation.
+"""
+
+from repro.geometry import TABLE1_SHAPES, shape_for_current
+
+from conftest import report
+
+#: transient ordering measured by the full Table 1 run (fastest first);
+#: N1.2-6S and N1.2x2-6S are a statistical tie at the bottom.
+TRANSIENT_ORDER = ("N1.2-12D", "N1.2-6D", "N1.2x2-6T", "N2.4-6D",
+                   "N1.2x2-6S", "N1.2-6S")
+OPERATING_CURRENT = 4e-3  # the ring's tail current
+
+
+def bench_table1_static_selector(benchmark, generator):
+    selection = benchmark(
+        shape_for_current, OPERATING_CURRENT, generator,
+        TABLE1_SHAPES,
+    )
+    static_order = [score.name for score in selection.scores]
+
+    lines = [selection.table(), ""]
+    lines.append("  transient (Table 1) order: "
+                 + " > ".join(TRANSIENT_ORDER))
+    lines.append("  static selector order:     "
+                 + " > ".join(static_order))
+
+    # -- agreement checks -------------------------------------------------------
+    # the winner matches the paper's conclusion
+    assert static_order[0] == "N1.2-12D"
+    # the double-base group outranks the single-base group, as measured
+    single_base = {"N1.2-6S", "N1.2x2-6S"}
+    assert set(static_order[-2:]) == single_base
+    # pairwise agreement outside the bottom tie: count inversions
+    comparable = [n for n in TRANSIENT_ORDER if n not in single_base]
+    static_comparable = [n for n in static_order if n not in single_base]
+    inversions = sum(
+        1
+        for i, a in enumerate(comparable)
+        for b in comparable[i + 1:]
+        if static_comparable.index(a) > static_comparable.index(b)
+    )
+    lines.append(f"  pairwise inversions vs transient (top group): "
+                 f"{inversions}")
+    assert inversions <= 1
+
+    report("table1_static_selector", "\n".join(lines))

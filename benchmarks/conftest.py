@@ -1,0 +1,50 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper; the
+regenerated rows/series are printed to stdout (run with ``-s`` to see
+them live) and archived under ``benchmarks/out/`` so the numbers are
+inspectable after a quiet run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.geometry import (
+    MaskDesignRules,
+    ModelParameterGenerator,
+    ProcessData,
+    default_reference,
+)
+
+OUTPUT_DIR = Path(__file__).parent / "out"
+
+
+def report(name: str, text: str) -> None:
+    """Print a regenerated table and archive it under benchmarks/out/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def process() -> ProcessData:
+    return ProcessData()
+
+
+@pytest.fixture(scope="session")
+def rules() -> MaskDesignRules:
+    return MaskDesignRules()
+
+
+@pytest.fixture(scope="session")
+def reference(process, rules):
+    return default_reference(process, rules)
+
+
+@pytest.fixture(scope="session")
+def generator(process, rules, reference) -> ModelParameterGenerator:
+    return ModelParameterGenerator(process, rules, reference)

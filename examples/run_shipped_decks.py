@@ -1,0 +1,42 @@
+"""Execute the shipped demo decks through the deck runner.
+
+The `examples/decks/` directory holds classic SPICE decks produced by
+(and consumable with) this package — a geometry-generated CE stage with
+.OP/.TF/.AC, a noise bench with the adjoint .NOISE analysis, and the
+full Fig. 11 ring oscillator serialized from the programmatic builder.
+Equivalent CLI:  python -m repro.cli run examples/decks/<name>.cir
+
+Run:  python examples/run_shipped_decks.py [--with-ring]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.spice import parse_deck
+from repro.spice.runner import run_deck
+
+DECKS_DIR = Path(__file__).parent / "decks"
+FAST_DECKS = ("ce_stage.cir", "noise_bench.cir")
+SLOW_DECKS = ("ring_oscillator.cir",)
+
+
+def run_one(name: str) -> None:
+    path = DECKS_DIR / name
+    print(f"=== {name} ===")
+    started = time.time()
+    run = run_deck(parse_deck(path.read_text()))
+    print(run.summary())
+    print(f"  ({time.time() - started:.1f} s)")
+    print()
+
+
+if __name__ == "__main__":
+    names = list(FAST_DECKS)
+    if "--with-ring" in sys.argv:
+        names += list(SLOW_DECKS)
+    for deck_name in names:
+        run_one(deck_name)
+    if "--with-ring" not in sys.argv:
+        print("(pass --with-ring to also run the 10 ns Fig. 11 "
+              "transient, ~30 s)")

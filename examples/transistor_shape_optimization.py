@@ -1,0 +1,77 @@
+"""Transistor shape optimization for a ring oscillator (paper Section 4).
+
+Reproduces the paper's design story end to end:
+
+1. generate geometry-dependent model parameters for the Fig. 8 shapes,
+2. plot (as text) the fT-vs-Ic family of Fig. 9,
+3. run the Fig. 11 five-stage ring oscillator with each candidate shape
+   on the differential pairs, at fixed topology and current, and pick
+   the fastest — the paper's Table 1 experiment.
+
+The full Table 1 sweep takes ~1 minute of transient simulation; pass
+``--quick`` to run just two shapes.
+
+Run:  python examples/transistor_shape_optimization.py [--quick]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.devices import ft_curve
+from repro.geometry import (
+    FIG9_SHAPES,
+    TABLE1_SHAPES,
+    ModelParameterGenerator,
+    default_reference,
+)
+from repro.rfsystems import RingOscillatorSpec, run_ring_oscillator
+
+
+def fig9_family(generator: ModelParameterGenerator) -> None:
+    print("=== Fig. 9: fT vs Ic for various shapes ===")
+    currents = np.geomspace(2e-4, 2e-2, 9)
+    header = "  Ic [mA]   " + "".join(f"{n:>11s}" for n in FIG9_SHAPES)
+    print(header)
+    curves = {
+        name: ft_curve(generator.generate(name), currents)
+        for name in FIG9_SHAPES
+    }
+    for i, ic in enumerate(currents):
+        row = f"  {ic * 1e3:7.2f}  "
+        for name in FIG9_SHAPES:
+            row += f"  {curves[name][i].ft / 1e9:7.2f}  "
+        print(row)
+    print("  [fT in GHz; note the peak moving right as the emitter grows]")
+    print()
+
+
+def table1_sweep(generator: ModelParameterGenerator, quick: bool) -> None:
+    print("=== Table 1: ring-oscillator frequency vs diff-pair shape ===")
+    spec = RingOscillatorSpec()
+    print(f"  topology fixed: {spec.stages} stages, "
+          f"RL={spec.load_resistance:.0f} ohm, "
+          f"tail={spec.tail_current * 1e3:.1f} mA")
+    follower = generator.generate("N1.2-6D")
+    shapes = ("N1.2-6D", "N1.2-12D") if quick else TABLE1_SHAPES
+    results = []
+    for name in shapes:
+        started = time.time()
+        measurement = run_ring_oscillator(
+            generator.generate(name), follower_model=follower, spec=spec,
+            stop_time=10e-9,
+        )
+        results.append((name, measurement.frequency))
+        print(f"  {name:10s} free-running {measurement.frequency / 1e9:6.3f}"
+              f" GHz   (simulated in {time.time() - started:4.1f} s)")
+    best = max(results, key=lambda item: item[1])
+    print(f"  -> best shape: {best[0]} "
+          "(the paper's conclusion was N1.2-12D)")
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv
+    generator = ModelParameterGenerator(reference=default_reference())
+    fig9_family(generator)
+    table1_sweep(generator, quick)

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Exists so ``pip install -e . --no-build-isolation`` and
+``python setup.py develop`` work in offline environments where the
+``wheel`` package (needed for PEP 660 editable installs) is missing.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

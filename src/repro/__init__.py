@@ -1,0 +1,22 @@
+"""Reproduction of "Design Methodology for Analog High Frequency ICs"
+(Miyahara, Oumi, Moriyama — Toshiba, DAC 1996).
+
+Subpackages:
+
+* :mod:`repro.spice` — SPICE-class circuit simulator (MNA, DC/AC/transient)
+* :mod:`repro.devices` — Gummel-Poon BJT model and fT analysis
+* :mod:`repro.geometry` — geometry-dependent model parameter generation
+  (the paper's Section 4 contribution)
+* :mod:`repro.measurement` — synthetic device measurement + extraction
+* :mod:`repro.ahdl` — analog hardware description language
+* :mod:`repro.behavioral` — behavioral (phasor-domain) system simulation
+* :mod:`repro.rfsystems` — tuners, image rejection, ring oscillators
+* :mod:`repro.celldb` — analog cell reuse database (Section 3)
+* :mod:`repro.core` — top-down design flow (Section 2)
+"""
+
+__version__ = "1.0.0"
+
+from . import errors, units
+
+__all__ = ["errors", "units", "__version__"]

@@ -1,0 +1,37 @@
+"""Analog hardware description language (AHDL) — lexer, parser, compiler.
+
+The paper's Section 2 proposes describing analog function blocks in an
+AHDL and simulating whole ICs at the behavioral level.  This package
+implements the language of the paper's Fig. 1 snippet: modules with
+ports, real parameters and an ``analog`` body of signal contributions,
+compiled to :mod:`repro.behavioral` blocks.
+"""
+
+from .lexer import Token, tokenize
+from .parser import parse_source
+from .compiler import AHDLModule, compile_module, compile_source
+from .stdlib import STDLIB
+from .library import (
+    AMP_SOURCE,
+    IR_MIXER_SOURCE,
+    SIMPLE_CONVERTER_SOURCE,
+    amp_module,
+    down_converter_module,
+    ir_mixer_module,
+)
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "parse_source",
+    "AHDLModule",
+    "compile_module",
+    "compile_source",
+    "STDLIB",
+    "AMP_SOURCE",
+    "IR_MIXER_SOURCE",
+    "SIMPLE_CONVERTER_SOURCE",
+    "amp_module",
+    "ir_mixer_module",
+    "down_converter_module",
+]

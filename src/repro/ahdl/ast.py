@@ -1,0 +1,112 @@
+"""Abstract syntax tree for AHDL modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    value: float
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """A parameter or local-variable reference."""
+
+    ident: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class PortAccess(Expr):
+    """``V(PORT)`` — reading the signal at a port."""
+
+    port: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str
+    operand: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    function: str
+    args: tuple[Expr, ...]
+    line: int = 0
+
+
+class Statement:
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Assign(Statement):
+    """``name = expr;`` — a local (intermediate) signal or value."""
+
+    target: str
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Contribution(Statement):
+    """``V(PORT) <- expr;`` — driving an output port.
+
+    Multiple contributions to the same port accumulate (sum), following
+    analog HDL contribution semantics.
+    """
+
+    port: str
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Parameter:
+    name: str
+    default: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ModuleDecl:
+    """A parsed AHDL module."""
+
+    name: str
+    ports: tuple[str, ...]
+    parameters: tuple[Parameter, ...]
+    nodes: tuple[str, ...]
+    statements: tuple[Statement, ...]
+    line: int = 0
+
+    def output_ports(self) -> tuple[str, ...]:
+        driven = [s.port for s in self.statements if isinstance(s, Contribution)]
+        seen: list[str] = []
+        for port in driven:
+            if port not in seen:
+                seen.append(port)
+        return tuple(seen)
+
+    def input_ports(self) -> tuple[str, ...]:
+        outputs = set(self.output_ports())
+        return tuple(p for p in self.ports if p not in outputs)

@@ -1,0 +1,287 @@
+"""AHDL compiler: module declarations to executable behavioral blocks.
+
+An :class:`AHDLModule` wraps a parsed declaration; ``instantiate``
+produces a :class:`~repro.behavioral.blocks.FunctionBlock` with the
+module's parameters bound (defaults overridable per instance, exactly
+like the ``parameter real gain = 1`` of the paper's Fig. 1 snippet).
+Instances drop into a :class:`~repro.behavioral.SystemModel` next to
+hand-written blocks — the top-down flow's behavioral level.
+"""
+
+from __future__ import annotations
+
+from ..behavioral.blocks import FunctionBlock
+from ..behavioral.signal import Spectrum
+from ..errors import AHDLError
+from . import ast
+from .parser import parse_source
+from .stdlib import STDLIB
+
+
+class AHDLModule:
+    """A compiled AHDL module: a behavioral block factory.
+
+    ``submodules`` holds earlier-compiled modules of the same source
+    that this module may instantiate by calling them like functions —
+    hierarchical behavioral description (see :meth:`_call_submodule`).
+    """
+
+    def __init__(self, declaration: ast.ModuleDecl,
+                 submodules: dict[str, "AHDLModule"] | None = None):
+        self.declaration = declaration
+        self.name = declaration.name
+        self.inputs = declaration.input_ports()
+        self.outputs = declaration.output_ports()
+        self.submodules = dict(submodules or {})
+        self._check_statically()
+        self.defaults = {
+            p.name: _evaluate(p.default, {}, {})
+            for p in declaration.parameters
+        }
+
+    def _check_statically(self) -> None:
+        """Resolve every call against the stdlib; catch bad arity early."""
+        parameters = {p.name for p in self.declaration.parameters}
+        locals_seen: set[str] = set()
+        for statement in self.declaration.statements:
+            expr = statement.value
+            _check_expr(expr, parameters | locals_seen,
+                        set(self.declaration.ports), self.submodules)
+            if isinstance(statement, ast.Assign):
+                locals_seen.add(statement.target)
+
+    # -- elaboration ----------------------------------------------------------------
+
+    def instantiate(self, instance_name: str | None = None,
+                    **parameter_overrides) -> FunctionBlock:
+        """Create a block instance with bound parameter values."""
+        unknown = set(parameter_overrides) - set(self.defaults)
+        if unknown:
+            raise AHDLError(
+                f"module {self.name}: unknown parameter(s) {sorted(unknown)}"
+            )
+        parameters = {**self.defaults, **parameter_overrides}
+        declaration = self.declaration
+        outputs = self.outputs
+        submodules = self.submodules
+
+        def process(inputs: dict[str, Spectrum]) -> dict[str, Spectrum]:
+            env: dict[str, object] = dict(parameters)
+            ports: dict[str, Spectrum] = {
+                port: inputs.get(port, Spectrum.silence())
+                for port in declaration.ports
+            }
+            contributions: dict[str, Spectrum] = {
+                port: Spectrum.silence() for port in outputs
+            }
+            for statement in declaration.statements:
+                value = _evaluate(statement.value, env, ports, submodules)
+                if isinstance(statement, ast.Assign):
+                    env[statement.target] = value
+                else:
+                    if not isinstance(value, Spectrum):
+                        raise AHDLError(
+                            f"module {declaration.name}: contribution to "
+                            f"V({statement.port}) is not a signal",
+                            statement.line,
+                        )
+                    contributions[statement.port] = (
+                        contributions[statement.port] + value
+                    )
+            return contributions
+
+        return FunctionBlock(
+            instance_name or self.name, self.inputs, outputs, process
+        )
+
+    def __call__(self, **parameter_overrides) -> FunctionBlock:
+        return self.instantiate(**parameter_overrides)
+
+    # -- hierarchical use -------------------------------------------------------
+
+    def apply(self, signal: Spectrum, *parameter_values) -> Spectrum:
+        """Run the module as a function: one input signal in, one out.
+
+        Positional ``parameter_values`` follow the declaration order of
+        the module's parameters; omitted ones keep their defaults.  Only
+        single-input/single-output modules are callable this way.
+        """
+        if len(self.inputs) != 1 or len(self.outputs) != 1:
+            raise AHDLError(
+                f"module {self.name!r} is not callable as a function "
+                f"({len(self.inputs)} inputs, {len(self.outputs)} outputs)"
+            )
+        names = [p.name for p in self.declaration.parameters]
+        if len(parameter_values) > len(names):
+            raise AHDLError(
+                f"module {self.name!r} takes at most {len(names)} "
+                f"parameters, got {len(parameter_values)}"
+            )
+        overrides = dict(zip(names, parameter_values))
+        block = self.instantiate(f"{self.name}#call", **overrides)
+        return block.process({self.inputs[0]: signal})[self.outputs[0]]
+
+
+def compile_source(source: str) -> dict[str, AHDLModule]:
+    """Compile AHDL source text into modules keyed by name.
+
+    Later modules may instantiate earlier ones by calling them like
+    functions (``amp(V(IN), 4)``) — textual order defines visibility, so
+    recursion is impossible by construction.
+    """
+    modules: dict[str, AHDLModule] = {}
+    for declaration in parse_source(source):
+        if declaration.name in modules:
+            raise AHDLError(f"duplicate module {declaration.name!r}",
+                            declaration.line)
+        if declaration.name in STDLIB:
+            raise AHDLError(
+                f"module name {declaration.name!r} collides with a "
+                "built-in function", declaration.line,
+            )
+        modules[declaration.name] = AHDLModule(declaration,
+                                               submodules=modules)
+    return modules
+
+
+def compile_module(source: str) -> AHDLModule:
+    """Compile source expected to contain exactly one module."""
+    modules = compile_source(source)
+    if len(modules) != 1:
+        raise AHDLError(
+            f"expected exactly one module, found {sorted(modules)}"
+        )
+    return next(iter(modules.values()))
+
+
+# -- expression evaluation ----------------------------------------------------------
+
+
+def _check_expr(expr: ast.Expr, names: set[str], ports: set[str],
+                submodules: dict | None = None) -> None:
+    submodules = submodules or {}
+    if isinstance(expr, ast.Number):
+        return
+    if isinstance(expr, ast.Name):
+        if expr.ident not in names:
+            raise AHDLError(f"unknown name {expr.ident!r}", expr.line)
+        return
+    if isinstance(expr, ast.PortAccess):
+        if expr.port not in ports:
+            raise AHDLError(f"unknown port {expr.port!r}", expr.line)
+        return
+    if isinstance(expr, ast.Unary):
+        _check_expr(expr.operand, names, ports, submodules)
+        return
+    if isinstance(expr, ast.Binary):
+        _check_expr(expr.left, names, ports, submodules)
+        _check_expr(expr.right, names, ports, submodules)
+        return
+    if isinstance(expr, ast.Call):
+        submodule = submodules.get(expr.function)
+        if submodule is not None:
+            if (len(submodule.inputs) != 1
+                    or len(submodule.outputs) != 1):
+                raise AHDLError(
+                    f"module {expr.function!r} is not callable (needs "
+                    "exactly one input and one output)", expr.line,
+                )
+            max_args = 1 + len(submodule.declaration.parameters)
+            if not 1 <= len(expr.args) <= max_args:
+                raise AHDLError(
+                    f"{expr.function}() takes 1..{max_args} args, "
+                    f"got {len(expr.args)}", expr.line,
+                )
+        else:
+            entry = STDLIB.get(expr.function)
+            if entry is None:
+                raise AHDLError(f"unknown function {expr.function!r}()",
+                                expr.line)
+            _, min_args, max_args = entry
+            if not min_args <= len(expr.args) <= max_args:
+                raise AHDLError(
+                    f"{expr.function}() takes {min_args}..{max_args} args, "
+                    f"got {len(expr.args)}", expr.line,
+                )
+        for arg in expr.args:
+            _check_expr(arg, names, ports, submodules)
+        return
+    raise AHDLError(f"unhandled expression node {type(expr).__name__}")
+
+
+def _evaluate(expr: ast.Expr, env: dict, ports: dict,
+              submodules: dict | None = None):
+    submodules = submodules or {}
+    if isinstance(expr, ast.Number):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        try:
+            return env[expr.ident]
+        except KeyError:
+            raise AHDLError(f"unbound name {expr.ident!r}", expr.line) from None
+    if isinstance(expr, ast.PortAccess):
+        try:
+            return ports[expr.port]
+        except KeyError:
+            raise AHDLError(f"unbound port {expr.port!r}", expr.line) from None
+    if isinstance(expr, ast.Unary):
+        value = _evaluate(expr.operand, env, ports, submodules)
+        if expr.op == "-":
+            return value.scaled(-1.0) if isinstance(value, Spectrum) else -value
+        return value
+    if isinstance(expr, ast.Binary):
+        left = _evaluate(expr.left, env, ports, submodules)
+        right = _evaluate(expr.right, env, ports, submodules)
+        return _binary(expr.op, left, right, expr.line)
+    if isinstance(expr, ast.Call):
+        args = [_evaluate(arg, env, ports, submodules)
+                for arg in expr.args]
+        submodule = submodules.get(expr.function)
+        if submodule is not None:
+            signal = args[0]
+            if not isinstance(signal, Spectrum):
+                raise AHDLError(
+                    f"{expr.function}(): first argument must be a signal",
+                    expr.line,
+                )
+            return submodule.apply(signal, *args[1:])
+        function = STDLIB[expr.function][0]
+        return function(*args)
+    raise AHDLError(f"unhandled expression node {type(expr).__name__}")
+
+
+def _binary(op: str, left, right, line: int):
+    left_sig = isinstance(left, Spectrum)
+    right_sig = isinstance(right, Spectrum)
+    if op == "+":
+        if left_sig and right_sig:
+            return left + right
+        if not left_sig and not right_sig:
+            return left + right
+        raise AHDLError("cannot add a signal and a number", line)
+    if op == "-":
+        if left_sig and right_sig:
+            return left - right
+        if not left_sig and not right_sig:
+            return left - right
+        raise AHDLError("cannot subtract a signal and a number", line)
+    if op == "*":
+        if left_sig and right_sig:
+            raise AHDLError(
+                "signal*signal products are not supported; use mix() for "
+                "frequency translation", line,
+            )
+        if left_sig:
+            return left.scaled(right)
+        if right_sig:
+            return right.scaled(left)
+        return left * right
+    if op == "/":
+        if right_sig:
+            raise AHDLError("cannot divide by a signal", line)
+        if right == 0:
+            raise AHDLError("division by zero", line)
+        if left_sig:
+            return left.scaled(1.0 / right)
+        return left / right
+    raise AHDLError(f"unknown operator {op!r}", line)

@@ -1,0 +1,84 @@
+"""Tokenizer for the AHDL source language.
+
+The language follows the fragment shown in the paper's Fig. 1::
+
+    module amp (IN, OUT) (gain)
+    node [V, I] IN, OUT;
+    parameter real gain = 1;
+    {
+      analog {
+        V(OUT) <- gain * V(IN);
+      }
+    }
+
+Tokens: identifiers/keywords, engineering-notation numbers (``1.255G``,
+``45MEG``), punctuation, the contribution operator ``<-``, and ``//`` or
+``/* */`` comments.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import AHDLError
+
+KEYWORDS = frozenset({"module", "node", "parameter", "real", "analog"})
+
+#: token kinds
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<line_comment>//[^\n]*)
+  | (?P<block_comment>/\*.*?\*/)
+  | (?P<number>(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?[a-zA-Z]*)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<contrib><-)
+  | (?P<punct>[()\[\]{},;=+\-*/<>])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == PUNCT and self.text == text
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == IDENT and self.text == word
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize AHDL source; raises :class:`AHDLError` on bad input."""
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    length = len(source)
+    while pos < length:
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise AHDLError(f"unexpected character {source[pos]!r}", line)
+        text = match.group(0)
+        if match.lastgroup in ("ws", "line_comment", "block_comment"):
+            line += text.count("\n")
+        elif match.lastgroup == "number":
+            tokens.append(Token(NUMBER, text, line))
+        elif match.lastgroup == "ident":
+            tokens.append(Token(IDENT, text, line))
+        elif match.lastgroup == "contrib":
+            tokens.append(Token(PUNCT, "<-", line))
+        else:
+            tokens.append(Token(PUNCT, text, line))
+        pos = match.end()
+    tokens.append(Token(EOF, "", line))
+    return tokens

@@ -1,0 +1,75 @@
+"""Canonical AHDL sources used by the examples, tests and benchmarks.
+
+``AMP_SOURCE`` is the paper's Fig. 1 snippet fleshed out;
+``IR_MIXER_SOURCE`` is the image-rejection second converter of Fig. 4 —
+the module the paper's Fig. 5 sweep simulates, with the 90-degree
+shifters' phase error and the path gain balance as parameters.
+"""
+
+from __future__ import annotations
+
+from .compiler import AHDLModule, compile_module
+
+#: The paper Fig. 1 example: a behavioral amplifier.
+AMP_SOURCE = """
+// Fig. 1: behavioral amplifier block
+module amp (IN, OUT) (gain)
+node [V, I] IN, OUT;
+parameter real gain = 1;
+{
+  analog {
+    V(OUT) <- gain * V(IN);
+  }
+}
+"""
+
+#: The Fig. 4 image-rejection second converter, with Fig. 5's knobs.
+IR_MIXER_SOURCE = """
+// Fig. 4: image rejection mixer for the double-super tuner.
+// lo_freq       second local oscillator (Fdown)
+// lo_phase_err  quadrature error of the VCO 90-degree splitter (deg)
+// if_phase_err  error of the 2nd-IF 90-degree shifter (deg)
+// gain_err      fractional gain imbalance between the two paths
+module ir_mixer (IF1, IF2) (lo_freq, lo_phase_err, if_phase_err, gain_err)
+node [V, I] IF1, IF2;
+parameter real lo_freq = 1255MEG;
+parameter real lo_phase_err = 0;
+parameter real if_phase_err = 0;
+parameter real gain_err = 0;
+{
+  analog {
+    i_path = mix(V(IF1), lo_freq, 0);
+    q_path = mix(V(IF1), lo_freq, 90 + lo_phase_err);
+    q_shifted = phase_shift(q_path, 90 + if_phase_err) * (1 + gain_err);
+    V(IF2) <- i_path + q_shifted;
+  }
+}
+"""
+
+#: A conventional single-path second converter (Fig. 2 style).
+SIMPLE_CONVERTER_SOURCE = """
+module down_converter (IF1, IF2) (lo_freq, cutoff)
+node [V, I] IF1, IF2;
+parameter real lo_freq = 1255MEG;
+parameter real cutoff = 70MEG;
+{
+  analog {
+    V(IF2) <- lowpass(mix(V(IF1), lo_freq, 0), cutoff);
+  }
+}
+"""
+
+
+def amp_module() -> AHDLModule:
+    """Compiled Fig. 1 amplifier module."""
+    return compile_module(AMP_SOURCE)
+
+
+def ir_mixer_module() -> AHDLModule:
+    """Compiled Fig. 4 image-rejection mixer module."""
+    return compile_module(IR_MIXER_SOURCE)
+
+
+def down_converter_module() -> AHDLModule:
+    """Compiled conventional down-converter module."""
+    return compile_module(SIMPLE_CONVERTER_SOURCE)

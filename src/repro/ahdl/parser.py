@@ -1,0 +1,241 @@
+"""Recursive-descent parser for AHDL source."""
+
+from __future__ import annotations
+
+from ..errors import AHDLError
+from ..units import parse_value
+from . import ast
+from .lexer import EOF, IDENT, NUMBER, Token, tokenize
+
+
+def parse_source(source: str) -> list[ast.ModuleDecl]:
+    """Parse AHDL source text into module declarations."""
+    return _Parser(tokenize(source)).parse_modules()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != EOF:
+            self.pos += 1
+        return token
+
+    def expect_punct(self, text: str) -> Token:
+        token = self.advance()
+        if not token.is_punct(text):
+            raise AHDLError(f"expected {text!r}, got {token.text!r}", token.line)
+        return token
+
+    def expect_ident(self, keyword: str | None = None) -> Token:
+        token = self.advance()
+        if token.kind != IDENT:
+            raise AHDLError(f"expected identifier, got {token.text!r}", token.line)
+        if keyword is not None and token.text != keyword:
+            raise AHDLError(
+                f"expected keyword {keyword!r}, got {token.text!r}", token.line
+            )
+        return token
+
+    # -- grammar --------------------------------------------------------------------
+
+    def parse_modules(self) -> list[ast.ModuleDecl]:
+        modules = []
+        while self.peek().kind != EOF:
+            modules.append(self.parse_module())
+        if not modules:
+            raise AHDLError("source contains no modules")
+        return modules
+
+    def parse_module(self) -> ast.ModuleDecl:
+        start = self.expect_ident("module")
+        name = self.expect_ident().text
+        ports = self._ident_list_in_parens()
+        parameters_order: list[str] = []
+        if self.peek().is_punct("("):
+            parameters_order = self._ident_list_in_parens()
+
+        nodes: list[str] = []
+        parameters: list[ast.Parameter] = []
+        while True:
+            token = self.peek()
+            if token.is_keyword("node"):
+                nodes.extend(self._parse_node_decl())
+            elif token.is_keyword("parameter"):
+                parameters.append(self._parse_parameter_decl())
+            else:
+                break
+
+        declared = {p.name for p in parameters}
+        for listed in parameters_order:
+            if listed not in declared:
+                raise AHDLError(
+                    f"module {name}: parameter {listed!r} listed in the "
+                    "header but never declared", start.line,
+                )
+
+        self.expect_punct("{")
+        self.expect_ident("analog")
+        self.expect_punct("{")
+        statements: list[ast.Statement] = []
+        while not self.peek().is_punct("}"):
+            statements.append(self._parse_statement())
+        self.expect_punct("}")
+        self.expect_punct("}")
+
+        module = ast.ModuleDecl(
+            name=name,
+            ports=tuple(ports),
+            parameters=tuple(parameters),
+            nodes=tuple(nodes),
+            statements=tuple(statements),
+            line=start.line,
+        )
+        self._validate(module)
+        return module
+
+    def _validate(self, module: ast.ModuleDecl) -> None:
+        port_set = set(module.ports)
+        if len(port_set) != len(module.ports):
+            raise AHDLError(f"module {module.name}: duplicate port", module.line)
+        for node in module.nodes:
+            if node not in port_set:
+                raise AHDLError(
+                    f"module {module.name}: node {node!r} is not a port",
+                    module.line,
+                )
+        for statement in module.statements:
+            if isinstance(statement, ast.Contribution):
+                if statement.port not in port_set:
+                    raise AHDLError(
+                        f"module {module.name}: contribution to unknown "
+                        f"port {statement.port!r}", statement.line,
+                    )
+        if not module.output_ports():
+            raise AHDLError(
+                f"module {module.name}: no output contributions", module.line
+            )
+
+    def _ident_list_in_parens(self) -> list[str]:
+        self.expect_punct("(")
+        items: list[str] = []
+        if not self.peek().is_punct(")"):
+            items.append(self.expect_ident().text)
+            while self.peek().is_punct(","):
+                self.advance()
+                items.append(self.expect_ident().text)
+        self.expect_punct(")")
+        return items
+
+    def _parse_node_decl(self) -> list[str]:
+        self.expect_ident("node")
+        self.expect_punct("[")
+        # Discipline list (V, I) — accepted and recorded as analog nodes.
+        self.expect_ident()
+        while self.peek().is_punct(","):
+            self.advance()
+            self.expect_ident()
+        self.expect_punct("]")
+        names = [self.expect_ident().text]
+        while self.peek().is_punct(","):
+            self.advance()
+            names.append(self.expect_ident().text)
+        self.expect_punct(";")
+        return names
+
+    def _parse_parameter_decl(self) -> ast.Parameter:
+        start = self.expect_ident("parameter")
+        self.expect_ident("real")
+        name = self.expect_ident().text
+        self.expect_punct("=")
+        default = self._parse_expression()
+        self.expect_punct(";")
+        return ast.Parameter(name=name, default=default, line=start.line)
+
+    def _parse_statement(self) -> ast.Statement:
+        token = self.peek()
+        if token.kind == IDENT and token.text == "V":
+            # V(PORT) <- expr ;
+            self.advance()
+            self.expect_punct("(")
+            port = self.expect_ident().text
+            self.expect_punct(")")
+            self.expect_punct("<-")
+            value = self._parse_expression()
+            self.expect_punct(";")
+            return ast.Contribution(port=port, value=value, line=token.line)
+        if token.kind == IDENT:
+            name = self.advance().text
+            self.expect_punct("=")
+            value = self._parse_expression()
+            self.expect_punct(";")
+            return ast.Assign(target=name, value=value, line=token.line)
+        raise AHDLError(f"expected a statement, got {token.text!r}", token.line)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_additive()
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self.peek().is_punct("+") or self.peek().is_punct("-"):
+            op = self.advance()
+            right = self._parse_multiplicative()
+            left = ast.Binary(op.text, left, right, line=op.line)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self.peek().is_punct("*") or self.peek().is_punct("/"):
+            op = self.advance()
+            right = self._parse_unary()
+            left = ast.Binary(op.text, left, right, line=op.line)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.is_punct("-") or token.is_punct("+"):
+            self.advance()
+            operand = self._parse_unary()
+            return ast.Unary(token.text, operand, line=token.line)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.advance()
+        if token.kind == NUMBER:
+            try:
+                value = parse_value(token.text)
+            except Exception:
+                raise AHDLError(f"bad number {token.text!r}", token.line) from None
+            return ast.Number(value, line=token.line)
+        if token.is_punct("("):
+            inner = self._parse_expression()
+            self.expect_punct(")")
+            return inner
+        if token.kind == IDENT:
+            if token.text == "V" and self.peek().is_punct("("):
+                self.advance()
+                port = self.expect_ident().text
+                self.expect_punct(")")
+                return ast.PortAccess(port, line=token.line)
+            if self.peek().is_punct("("):
+                self.advance()
+                args: list[ast.Expr] = []
+                if not self.peek().is_punct(")"):
+                    args.append(self._parse_expression())
+                    while self.peek().is_punct(","):
+                        self.advance()
+                        args.append(self._parse_expression())
+                self.expect_punct(")")
+                return ast.Call(token.text, tuple(args), line=token.line)
+            return ast.Name(token.text, line=token.line)
+        raise AHDLError(f"unexpected token {token.text!r}", token.line)

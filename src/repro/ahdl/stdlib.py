@@ -1,0 +1,134 @@
+"""Built-in functions available inside AHDL ``analog`` blocks.
+
+Signal-domain functions operate on
+:class:`~repro.behavioral.signal.Spectrum` values; scalar functions on
+floats.  The compiler resolves calls against :data:`STDLIB` at
+elaboration time, so an unknown function is a compile error, not a
+runtime surprise.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..behavioral.blocks import butterworth_response, lowpass_response
+from ..behavioral.signal import Spectrum
+from ..errors import AHDLError
+
+
+def _require_spectrum(value, function: str) -> Spectrum:
+    if not isinstance(value, Spectrum):
+        raise AHDLError(
+            f"{function}() expects a signal, got {type(value).__name__}"
+        )
+    return value
+
+
+def _require_scalar(value, function: str) -> float:
+    if isinstance(value, Spectrum):
+        raise AHDLError(f"{function}() expects a number, got a signal")
+    return float(value)
+
+
+# -- signal functions ---------------------------------------------------------------
+
+
+def ahdl_mix(signal, frequency, phase_deg=0.0):
+    """``mix(sig, f_lo, phase)`` — multiply by ``cos(2*pi*f_lo*t+phase)``."""
+    signal = _require_spectrum(signal, "mix")
+    return signal.mixed(_require_scalar(frequency, "mix"),
+                        _require_scalar(phase_deg, "mix"))
+
+
+def ahdl_phase_shift(signal, degrees):
+    """``phase_shift(sig, deg)`` — broadband constant phase shift."""
+    signal = _require_spectrum(signal, "phase_shift")
+    return signal.phase_shifted(_require_scalar(degrees, "phase_shift"))
+
+
+def ahdl_gain_db(signal, gain_db):
+    """``gain_db(sig, dB)`` — amplitude gain in decibels."""
+    signal = _require_spectrum(signal, "gain_db")
+    return signal.gained_db(_require_scalar(gain_db, "gain_db"))
+
+
+def ahdl_bandpass(signal, center, bandwidth, order=3.0):
+    """``bandpass(sig, f0, bw[, order])`` — Butterworth band-pass."""
+    signal = _require_spectrum(signal, "bandpass")
+    response = butterworth_response(
+        _require_scalar(center, "bandpass"),
+        _require_scalar(bandwidth, "bandpass"),
+        int(_require_scalar(order, "bandpass")),
+    )
+    return signal.filtered(response)
+
+
+def ahdl_lowpass(signal, cutoff, order=3.0):
+    """``lowpass(sig, fc[, order])`` — Butterworth low-pass."""
+    signal = _require_spectrum(signal, "lowpass")
+    response = lowpass_response(
+        _require_scalar(cutoff, "lowpass"),
+        int(_require_scalar(order, "lowpass")),
+    )
+    return signal.filtered(response)
+
+
+def ahdl_tone(frequency, amplitude=1.0, phase_deg=0.0):
+    """``tone(f, a, phase)`` — construct a sinusoidal source signal."""
+    return Spectrum.tone(
+        _require_scalar(frequency, "tone"),
+        _require_scalar(amplitude, "tone"),
+        _require_scalar(phase_deg, "tone"),
+    )
+
+
+def ahdl_amplitude(signal, frequency):
+    """``amplitude(sig, f)`` — tone amplitude (a scalar)."""
+    signal = _require_spectrum(signal, "amplitude")
+    return signal.amplitude(_require_scalar(frequency, "amplitude"))
+
+
+# -- scalar functions ----------------------------------------------------------------
+
+
+def _scalar_fn(fn, name):
+    def wrapped(value):
+        return fn(_require_scalar(value, name))
+
+    wrapped.__name__ = name
+    wrapped.__doc__ = f"``{name}(x)`` — scalar {name}."
+    return wrapped
+
+
+def ahdl_db(value):
+    """``db(x)`` — 20*log10(x) of a scalar amplitude ratio."""
+    x = _require_scalar(value, "db")
+    if x <= 0:
+        raise AHDLError("db() of a non-positive value")
+    return 20.0 * math.log10(x)
+
+
+def ahdl_pow(base, exponent):
+    """``pow(x, y)`` — scalar power."""
+    return math.pow(_require_scalar(base, "pow"),
+                    _require_scalar(exponent, "pow"))
+
+
+#: name -> (callable, min_args, max_args)
+STDLIB: dict[str, tuple] = {
+    "mix": (ahdl_mix, 2, 3),
+    "phase_shift": (ahdl_phase_shift, 2, 2),
+    "gain_db": (ahdl_gain_db, 2, 2),
+    "bandpass": (ahdl_bandpass, 3, 4),
+    "lowpass": (ahdl_lowpass, 2, 3),
+    "tone": (ahdl_tone, 1, 3),
+    "amplitude": (ahdl_amplitude, 2, 2),
+    "db": (ahdl_db, 1, 1),
+    "pow": (ahdl_pow, 2, 2),
+    "sqrt": (_scalar_fn(math.sqrt, "sqrt"), 1, 1),
+    "exp": (_scalar_fn(math.exp, "exp"), 1, 1),
+    "log10": (_scalar_fn(math.log10, "log10"), 1, 1),
+    "sin": (_scalar_fn(math.sin, "sin"), 1, 1),
+    "cos": (_scalar_fn(math.cos, "cos"), 1, 1),
+    "abs": (_scalar_fn(abs, "abs"), 1, 1),
+}

@@ -1,0 +1,62 @@
+"""Behavioral (phasor-domain) system simulation — the AHDL runtime."""
+
+from .signal import Spectrum, tone
+from .blocks import (
+    Adder,
+    Amplifier,
+    BandpassFilter,
+    Block,
+    FunctionBlock,
+    LowpassFilter,
+    Mixer,
+    PhaseShifter,
+    QuadratureLO,
+    Splitter,
+    butterworth_response,
+    lowpass_response,
+)
+from .system import SystemModel
+from .nonlinear import (
+    NonlinearAmplifier,
+    cubic_response,
+    iip3_from_two_tone,
+    two_tone_test,
+)
+from .budget import (
+    CascadeReport,
+    CascadeStage,
+    cascade,
+    chain_report,
+    sensitivity_dbm,
+    spurious_free_dynamic_range_db,
+    stage_from_block,
+)
+
+__all__ = [
+    "Spectrum",
+    "tone",
+    "Block",
+    "Amplifier",
+    "PhaseShifter",
+    "Mixer",
+    "Adder",
+    "Splitter",
+    "BandpassFilter",
+    "LowpassFilter",
+    "QuadratureLO",
+    "FunctionBlock",
+    "butterworth_response",
+    "lowpass_response",
+    "SystemModel",
+    "NonlinearAmplifier",
+    "cubic_response",
+    "two_tone_test",
+    "iip3_from_two_tone",
+    "CascadeStage",
+    "CascadeReport",
+    "cascade",
+    "chain_report",
+    "stage_from_block",
+    "sensitivity_dbm",
+    "spurious_free_dynamic_range_db",
+]

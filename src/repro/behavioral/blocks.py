@@ -1,0 +1,279 @@
+"""Behavioral block library: the building blocks AHDL modules compile to.
+
+Each block consumes/produces :class:`~repro.behavioral.signal.Spectrum`
+values on named ports.  The library covers what the paper's tuner
+experiments need: amplifiers, mixers, phase shifters, adders, filters and
+imbalance models.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Callable, Sequence
+
+from ..errors import AnalysisError
+from .signal import Spectrum
+
+
+class Block:
+    """Base class: named ports, pure ``process`` function."""
+
+    def __init__(self, name: str, inputs: Sequence[str], outputs: Sequence[str]):
+        self.name = name
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        if not self.outputs:
+            raise AnalysisError(f"block {name} needs at least one output")
+
+    def process(self, inputs: dict[str, Spectrum]) -> dict[str, Spectrum]:
+        raise NotImplementedError
+
+    def _input(self, inputs: dict[str, Spectrum], port: str) -> Spectrum:
+        value = inputs.get(port)
+        if value is None:
+            return Spectrum.silence()
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Amplifier(Block):
+    """Gain stage with optional phase rotation and gain error.
+
+    ``gain_error`` is fractional (0.01 = +1 %) — the "gain balance"
+    parameter the paper's Fig. 5 sweeps.
+    """
+
+    def __init__(self, name: str, gain_db: float = 0.0, phase_deg: float = 0.0,
+                 gain_error: float = 0.0, nf_db: float = 0.0,
+                 iip3_dbm: float = math.inf):
+        super().__init__(name, ["in"], ["out"])
+        self.gain_db = gain_db
+        self.phase_deg = phase_deg
+        self.gain_error = gain_error
+        #: noise figure and intercept, consumed by the budget tools
+        self.nf_db = nf_db
+        self.iip3_dbm = iip3_dbm
+
+    @property
+    def complex_gain(self) -> complex:
+        linear = 10.0 ** (self.gain_db / 20.0) * (1.0 + self.gain_error)
+        return linear * cmath.exp(1j * math.radians(self.phase_deg))
+
+    def process(self, inputs):
+        return {"out": self._input(inputs, "in").scaled(self.complex_gain)}
+
+
+class PhaseShifter(Block):
+    """Broadband phase shifter with an error term.
+
+    The paper's image-rejection tuner uses two 90-degree shifters (in the
+    VCO and the 2nd-IF path); their ``phase_error_deg`` is the x-axis of
+    Fig. 5.
+    """
+
+    def __init__(self, name: str, shift_deg: float = -90.0,
+                 phase_error_deg: float = 0.0, gain_error: float = 0.0):
+        super().__init__(name, ["in"], ["out"])
+        self.shift_deg = shift_deg
+        self.phase_error_deg = phase_error_deg
+        self.gain_error = gain_error
+
+    def process(self, inputs):
+        total = self.shift_deg + self.phase_error_deg
+        factor = (1.0 + self.gain_error) * cmath.exp(1j * math.radians(total))
+        return {"out": self._input(inputs, "in").scaled(factor)}
+
+
+class Mixer(Block):
+    """Multiplying mixer against an internal LO.
+
+    ``lo_phase_deg`` carries quadrature offsets (90-degree LO branches)
+    and their errors.  ``conversion_gain_db`` is the voltage conversion
+    gain to *each* sideband relative to the ideal 1/2 multiplication
+    factor.
+    """
+
+    def __init__(self, name: str, lo_frequency: float,
+                 lo_phase_deg: float = 0.0, conversion_gain_db: float = 6.0,
+                 nf_db: float = 0.0, iip3_dbm: float = math.inf):
+        super().__init__(name, ["in"], ["out"])
+        if lo_frequency <= 0:
+            raise AnalysisError(f"mixer {name}: LO frequency must be positive")
+        self.lo_frequency = lo_frequency
+        self.lo_phase_deg = lo_phase_deg
+        self.conversion_gain_db = conversion_gain_db
+        self.nf_db = nf_db
+        self.iip3_dbm = iip3_dbm
+
+    def process(self, inputs):
+        gain = 10.0 ** (self.conversion_gain_db / 20.0)
+        return {"out": self._input(inputs, "in").mixed(
+            self.lo_frequency, self.lo_phase_deg, conversion_gain=gain)}
+
+
+class Adder(Block):
+    """N-input summer (the image-rejection combiner)."""
+
+    def __init__(self, name: str, num_inputs: int = 2):
+        if num_inputs < 2:
+            raise AnalysisError(f"adder {name} needs >= 2 inputs")
+        super().__init__(name, [f"in{i}" for i in range(num_inputs)], ["out"])
+
+    def process(self, inputs):
+        total = Spectrum.silence()
+        for port in self.inputs:
+            total = total + self._input(inputs, port)
+        return {"out": total}
+
+
+class Splitter(Block):
+    """1-to-N signal splitter (unity gain to each branch)."""
+
+    def __init__(self, name: str, num_outputs: int = 2, loss_db: float = 0.0):
+        if num_outputs < 2:
+            raise AnalysisError(f"splitter {name} needs >= 2 outputs")
+        super().__init__(name, ["in"], [f"out{i}" for i in range(num_outputs)])
+        self.loss_db = loss_db
+
+    def process(self, inputs):
+        branch = self._input(inputs, "in").gained_db(-self.loss_db)
+        return {port: branch for port in self.outputs}
+
+
+def butterworth_response(
+    center: float, bandwidth: float, order: int = 3
+) -> Callable[[float], complex]:
+    """Complex Butterworth bandpass response ``H(f)``.
+
+    Lowpass prototype poles mapped through the narrowband transform
+    ``x = Q*(f/f0 - f0/f)``; unity gain and zero phase at ``center``.
+    """
+    if center <= 0 or bandwidth <= 0 or order < 1:
+        raise AnalysisError("bad bandpass filter parameters")
+    q = center / bandwidth
+    poles = [
+        cmath.exp(1j * math.pi * (2 * k + order + 1) / (2 * order))
+        for k in range(order)
+    ]
+    # Prototype H(s) = 1 / prod(s - p_k); |H(0)| = 1 for Butterworth.
+    denominator_dc = 1.0
+    for p in poles:
+        denominator_dc *= -p
+
+    def response(frequency: float) -> complex:
+        if frequency <= 0:
+            return 0.0
+        x = q * (frequency / center - center / frequency)
+        s = 1j * x
+        denominator = 1.0 + 0.0j
+        for p in poles:
+            denominator *= (s - p)
+        return denominator_dc / denominator
+
+    return response
+
+
+def lowpass_response(cutoff: float, order: int = 3) -> Callable[[float], complex]:
+    """Complex Butterworth lowpass response ``H(f)``."""
+    if cutoff <= 0 or order < 1:
+        raise AnalysisError("bad lowpass filter parameters")
+    poles = [
+        cmath.exp(1j * math.pi * (2 * k + order + 1) / (2 * order))
+        for k in range(order)
+    ]
+    denominator_dc = 1.0
+    for p in poles:
+        denominator_dc *= -p
+
+    def response(frequency: float) -> complex:
+        s = 1j * frequency / cutoff
+        denominator = 1.0 + 0.0j
+        for p in poles:
+            denominator *= (s - p)
+        return denominator_dc / denominator
+
+    return response
+
+
+class BandpassFilter(Block):
+    """Butterworth bandpass (e.g. the 1st-IF BPF of the tuner)."""
+
+    def __init__(self, name: str, center: float, bandwidth: float,
+                 order: int = 3):
+        super().__init__(name, ["in"], ["out"])
+        self.center = center
+        self.bandwidth = bandwidth
+        self.order = order
+        self._response = butterworth_response(center, bandwidth, order)
+
+    def process(self, inputs):
+        return {"out": self._input(inputs, "in").filtered(self._response)}
+
+
+class LowpassFilter(Block):
+    """Butterworth lowpass (2nd-IF selection)."""
+
+    def __init__(self, name: str, cutoff: float, order: int = 3):
+        super().__init__(name, ["in"], ["out"])
+        self.cutoff = cutoff
+        self.order = order
+        self._response = lowpass_response(cutoff, order)
+
+    def process(self, inputs):
+        return {"out": self._input(inputs, "in").filtered(self._response)}
+
+
+class QuadratureLO(Block):
+    """A local oscillator exposed as two quadrature mixers' worth of drive.
+
+    This block does not process signal; it exists so system descriptions
+    can name the VCO of Fig. 4 explicitly.  ``phase_error_deg`` is the
+    quadrature error of its 90-degree splitter — one of the two error
+    sources Fig. 5 studies.
+    """
+
+    def __init__(self, name: str, frequency: float,
+                 phase_error_deg: float = 0.0):
+        super().__init__(name, [], ["i", "q"])
+        if frequency <= 0:
+            raise AnalysisError(f"LO {name}: frequency must be positive")
+        self.frequency = frequency
+        self.phase_error_deg = phase_error_deg
+
+    @property
+    def i_phase_deg(self) -> float:
+        return 0.0
+
+    @property
+    def q_phase_deg(self) -> float:
+        return 90.0 + self.phase_error_deg
+
+    def process(self, inputs):
+        marker = Spectrum.tone(self.frequency, 1.0, 0.0)
+        return {"i": marker, "q": marker.phase_shifted(self.q_phase_deg)}
+
+
+class FunctionBlock(Block):
+    """A block wrapping an arbitrary spectra-to-spectra function.
+
+    The AHDL compiler emits these: ``function(inputs) -> outputs`` where
+    both are dicts keyed by port name.
+    """
+
+    def __init__(self, name: str, inputs: Sequence[str],
+                 outputs: Sequence[str],
+                 function: Callable[[dict[str, Spectrum]], dict[str, Spectrum]]):
+        super().__init__(name, inputs, outputs)
+        self._function = function
+
+    def process(self, inputs):
+        result = self._function(inputs)
+        missing = set(self.outputs) - set(result)
+        if missing:
+            raise AnalysisError(
+                f"block {self.name} did not produce outputs {sorted(missing)}"
+            )
+        return result

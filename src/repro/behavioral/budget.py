@@ -1,0 +1,129 @@
+"""Cascade budget analysis: gain, noise figure and intercept point.
+
+Section 2 of the paper is about deriving *block specifications* from the
+system specification.  For receiver chains the classical tools are the
+Friis noise-figure cascade and the IIP3 cascade; this module implements
+both so the top-down flow (:mod:`repro.core.flow`) can budget specs over
+a chain and verify a candidate partition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import DesignError
+from ..units import db, from_db
+
+
+@dataclass(frozen=True)
+class CascadeStage:
+    """One RF chain stage: gain, noise figure, input-referred IP3."""
+
+    name: str
+    gain_db: float
+    nf_db: float = 0.0
+    iip3_dbm: float = math.inf
+
+    def __post_init__(self):
+        if self.nf_db < 0:
+            raise DesignError(f"stage {self.name}: NF cannot be negative")
+
+    @property
+    def gain(self) -> float:
+        return from_db(self.gain_db)
+
+    @property
+    def noise_factor(self) -> float:
+        return from_db(self.nf_db)
+
+    @property
+    def iip3_mw(self) -> float:
+        return 10.0 ** (self.iip3_dbm / 10.0)
+
+
+@dataclass(frozen=True)
+class CascadeReport:
+    """Cascade totals."""
+
+    gain_db: float
+    nf_db: float
+    iip3_dbm: float
+    stage_names: tuple[str, ...]
+
+
+def cascade(stages: Sequence[CascadeStage] | Iterable[CascadeStage]) -> CascadeReport:
+    """Friis NF cascade + IIP3 cascade over the chain.
+
+    NF:    F = F1 + (F2-1)/G1 + (F3-1)/(G1 G2) + ...
+    IIP3:  1/P = 1/P1 + G1/P2 + G1 G2 / P3 + ...   (powers in mW)
+    """
+    stages = list(stages)
+    if not stages:
+        raise DesignError("cascade needs at least one stage")
+    total_gain = 1.0
+    noise_factor = 0.0
+    inverse_ip3 = 0.0
+    for i, stage in enumerate(stages):
+        if i == 0:
+            noise_factor = stage.noise_factor
+        else:
+            noise_factor += (stage.noise_factor - 1.0) / total_gain
+        if math.isfinite(stage.iip3_dbm):
+            inverse_ip3 += total_gain / stage.iip3_mw
+        total_gain *= stage.gain
+    iip3_dbm = math.inf if inverse_ip3 == 0 else 10.0 * math.log10(1.0 / inverse_ip3)
+    return CascadeReport(
+        gain_db=db(total_gain),
+        nf_db=db(noise_factor),
+        iip3_dbm=iip3_dbm,
+        stage_names=tuple(s.name for s in stages),
+    )
+
+
+def stage_from_block(block) -> CascadeStage:
+    """Build a CascadeStage from a behavioral block's attributes.
+
+    Reads ``gain_db`` (amplifiers/shifters) or ``conversion_gain_db``
+    (mixers, which also pay the 6 dB mixing loss relative to it... the
+    attribute *is* the net conversion gain), plus the optional ``nf_db``
+    and ``iip3_dbm`` annotations.
+    """
+    if hasattr(block, "gain_db"):
+        gain_db = block.gain_db
+    elif hasattr(block, "conversion_gain_db"):
+        gain_db = block.conversion_gain_db - 6.0  # net of the 1/2 factor
+    else:
+        raise DesignError(
+            f"block {getattr(block, 'name', block)!r} carries no gain "
+            "annotation"
+        )
+    return CascadeStage(
+        name=block.name,
+        gain_db=gain_db,
+        nf_db=getattr(block, "nf_db", 0.0),
+        iip3_dbm=getattr(block, "iip3_dbm", math.inf),
+    )
+
+
+def chain_report(blocks) -> CascadeReport:
+    """Cascade budget of a sequence of annotated behavioral blocks.
+
+    The system-level NF/IIP3 the top-down flow checks against the
+    receiver spec, computed directly from the block graph's annotations.
+    """
+    return cascade([stage_from_block(block) for block in blocks])
+
+
+def sensitivity_dbm(nf_db: float, bandwidth_hz: float,
+                    snr_required_db: float = 10.0) -> float:
+    """Receiver sensitivity: -174 dBm/Hz + NF + 10log10(B) + SNR."""
+    if bandwidth_hz <= 0:
+        raise DesignError("bandwidth must be positive")
+    return -174.0 + nf_db + 10.0 * math.log10(bandwidth_hz) + snr_required_db
+
+
+def spurious_free_dynamic_range_db(iip3_dbm: float, noise_floor_dbm: float) -> float:
+    """SFDR = (2/3) * (IIP3 - noise floor)."""
+    return 2.0 / 3.0 * (iip3_dbm - noise_floor_dbm)

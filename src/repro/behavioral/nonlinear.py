@@ -1,0 +1,163 @@
+"""Weakly nonlinear behavioral blocks: compression and intermodulation.
+
+"Distortion, noise and image signal are main concerns" — this module
+adds the distortion leg to the behavioral engine.  A
+:class:`NonlinearAmplifier` applies a memoryless cubic
+
+    y = g1*x + a3*x^3,        a3 = -4*g1 / (3*A_ip3^2)
+
+to the multi-tone signal *exactly*: the cubic of a sum of sinusoids is
+expanded over all ordered frequency triples, producing the harmonic and
+intermodulation tones with their textbook amplitudes (IM3 of a two-tone
+test at 2f1-f2 with amplitude (3/4)|a3|A^2, the 3:1 slope, the 1 dB
+compression point at ~IIP3 - 9.6 dB, and so on).
+
+The expansion is O((2N)^3) over N input tones, so it is limited to
+modest tone counts — which is what two-tone and blocker tests use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..errors import AnalysisError
+from ..units import from_db_voltage
+from .blocks import Block
+from .signal import Spectrum
+
+#: Largest tone count the cubic expansion accepts.
+MAX_TONES = 12
+
+
+def cubic_response(signal: Spectrum, g1: float, a3: float) -> Spectrum:
+    """Apply ``y = g1*x + a3*x^3`` to a multi-tone phasor signal.
+
+    Writing x(t) = (1/2) sum_k B_k exp(j w_k t) over signed tones
+    (B at +f and conj(B) at -f), the cubic contributes
+    (a3/8) sum_{u,v,w} B_u B_v B_w exp(j(w_u+w_v+w_w) t); collecting
+    positive-frequency terms gives the output phasors.
+    """
+    tones = list(signal.tones())
+    if len(tones) > MAX_TONES:
+        raise AnalysisError(
+            f"cubic expansion limited to {MAX_TONES} tones, "
+            f"got {len(tones)}"
+        )
+    # Linear part.
+    output: dict[float, complex] = {}
+
+    def accumulate(frequency: float, phasor: complex) -> None:
+        frequency = round(frequency, 3)
+        output[frequency] = output.get(frequency, 0.0) + phasor
+
+    for frequency, phasor in tones:
+        accumulate(frequency, g1 * phasor)
+
+    if a3 != 0.0 and tones:
+        signed: list[tuple[float, complex]] = []
+        for frequency, phasor in tones:
+            signed.append((frequency, phasor))
+            signed.append((-frequency, phasor.conjugate()))
+        scale = a3 / 8.0
+        for fu, bu in signed:
+            for fv, bv in signed:
+                for fw, bw in signed:
+                    frequency = fu + fv + fw
+                    if frequency < -1e-9:
+                        continue  # the conjugate term covers it
+                    product = scale * bu * bv * bw
+                    if abs(frequency) <= 1e-9:
+                        # DC: the Omega=0 triple sum is already the
+                        # (real) DC level of s^3
+                        accumulate(0.0, product)
+                    else:
+                        # phasor convention Re{C exp(jwt)}: C is twice
+                        # the positive-frequency exponential coefficient
+                        accumulate(frequency, 2.0 * product)
+    result = Spectrum.silence()
+    for frequency, phasor in output.items():
+        if abs(phasor) > 0.0:
+            result = result + Spectrum({_key(frequency): phasor})
+    return result
+
+
+def _key(frequency: float) -> int:
+    from .signal import _KEY_SCALE
+
+    return int(round(max(frequency, 0.0) * _KEY_SCALE))
+
+
+class NonlinearAmplifier(Block):
+    """An amplifier with finite IIP3 (memoryless cubic nonlinearity).
+
+    ``iip3_dbv`` is the input third-order intercept expressed as a tone
+    *amplitude* in dBV (0 dBV = 1 V amplitude).  The implementation uses
+    the standard relation ``a3 = -4 g1 / (3 A_ip3^2)``.
+    """
+
+    def __init__(self, name: str, gain_db: float = 0.0,
+                 iip3_dbv: float = math.inf):
+        super().__init__(name, ["in"], ["out"])
+        self.gain_db = gain_db
+        self.iip3_dbv = iip3_dbv
+        self.g1 = from_db_voltage(gain_db)
+        if math.isinf(iip3_dbv):
+            self.a3 = 0.0
+        else:
+            a_ip3 = from_db_voltage(iip3_dbv)
+            self.a3 = -4.0 * self.g1 / (3.0 * a_ip3 ** 2)
+
+    def process(self, inputs):
+        return {"out": cubic_response(self._input(inputs, "in"),
+                                      self.g1, self.a3)}
+
+
+def two_tone_test(
+    amplifier: NonlinearAmplifier,
+    f1: float,
+    f2: float,
+    amplitude: float,
+) -> dict[str, float]:
+    """Run the classic two-tone IM3 test; returns amplitudes of interest.
+
+    Keys: ``fundamental`` (at f1), ``im3_low`` (2f1-f2), ``im3_high``
+    (2f2-f1), and the derived ``im3_dbc`` (IM3 relative to carrier, dB).
+    """
+    if not 0 < f1 < f2:
+        raise AnalysisError("need 0 < f1 < f2")
+    if 2 * f1 - f2 <= 0:
+        raise AnalysisError("2*f1-f2 must stay positive for this probe")
+    stimulus = (Spectrum.tone(f1, amplitude)
+                + Spectrum.tone(f2, amplitude))
+    output = amplifier.process({"in": stimulus})["out"]
+    fundamental = output.amplitude(f1)
+    im3_low = output.amplitude(2 * f1 - f2)
+    im3_high = output.amplitude(2 * f2 - f1)
+    im3_dbc = (-math.inf if im3_low == 0.0
+               else 20.0 * math.log10(im3_low / fundamental))
+    return {
+        "fundamental": fundamental,
+        "im3_low": im3_low,
+        "im3_high": im3_high,
+        "im3_dbc": im3_dbc,
+    }
+
+
+def iip3_from_two_tone(
+    amplifier: NonlinearAmplifier,
+    f1: float,
+    f2: float,
+    amplitude: float,
+) -> float:
+    """Extract IIP3 (dBV) from one two-tone measurement.
+
+    IIP3[dBV] = P_in[dBV] + (P_fund - P_im3)[dB] / 2 — the geometric
+    construction on the 1:1 and 3:1 lines.
+    """
+    probe = two_tone_test(amplifier, f1, f2, amplitude)
+    if probe["im3_low"] == 0.0:
+        return math.inf
+    input_dbv = 20.0 * math.log10(amplitude)
+    delta_db = 20.0 * math.log10(probe["fundamental"] / probe["im3_low"])
+    return input_dbv + delta_db / 2.0

@@ -1,0 +1,204 @@
+"""Phasor-domain multi-tone signals for behavioral RF simulation.
+
+The AHDL experiments in the paper (Section 2) evaluate narrowband RF
+systems — mixers, phase shifters, filters, adders — where every signal
+is a sum of sinusoidal tones.  A :class:`Spectrum` stores those tones as
+``frequency -> complex phasor``; the real signal is
+
+    s(t) = sum_f  Re{ A_f * exp(j*2*pi*f*t) }
+
+so ``abs(A_f)`` is the tone's amplitude and ``angle(A_f)`` its phase.
+Mixing translates tones in frequency; a tone landing below 0 Hz is
+folded back with a *conjugated* phasor — the physics that makes image
+rejection (and its sensitivity to gain/phase imbalance) come out of the
+simulation rather than being hand-coded.
+
+Frequencies are keyed on integer millihertz so tones generated through
+different arithmetic paths coincide exactly.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Iterable, Iterator
+
+from ..errors import AnalysisError
+
+#: Tones weaker than this (in amplitude) are dropped during cleanup.
+AMPLITUDE_FLOOR = 1e-18
+
+_KEY_SCALE = 1000.0  # millihertz resolution
+
+
+def _key(frequency: float) -> int:
+    if frequency < 0:
+        raise AnalysisError(f"tone frequency must be >= 0, got {frequency}")
+    return int(round(frequency * _KEY_SCALE))
+
+
+class Spectrum:
+    """An immutable-by-convention bag of tones (frequency -> phasor)."""
+
+    __slots__ = ("_tones",)
+
+    def __init__(self, tones: dict[int, complex] | None = None):
+        self._tones: dict[int, complex] = tones or {}
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def tone(cls, frequency: float, amplitude: float = 1.0,
+             phase_deg: float = 0.0) -> "Spectrum":
+        """A single sinusoid ``amplitude*cos(2*pi*f*t + phase)``."""
+        phasor = amplitude * cmath.exp(1j * math.radians(phase_deg))
+        return cls({_key(frequency): phasor})
+
+    @classmethod
+    def silence(cls) -> "Spectrum":
+        return cls({})
+
+    # -- inspection ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tones)
+
+    def __bool__(self) -> bool:
+        return bool(self._tones)
+
+    def frequencies(self) -> list[float]:
+        """Tone frequencies in Hz, ascending."""
+        return sorted(k / _KEY_SCALE for k in self._tones)
+
+    def tones(self) -> Iterator[tuple[float, complex]]:
+        """(frequency, phasor) pairs, ascending in frequency."""
+        for k in sorted(self._tones):
+            yield k / _KEY_SCALE, self._tones[k]
+
+    def phasor(self, frequency: float) -> complex:
+        """Complex phasor at a frequency (0 when absent)."""
+        return self._tones.get(_key(frequency), 0.0 + 0.0j)
+
+    def amplitude(self, frequency: float) -> float:
+        """Tone amplitude at a frequency (0 when absent)."""
+        return abs(self.phasor(frequency))
+
+    def phase_deg(self, frequency: float) -> float:
+        """Tone phase in degrees."""
+        return math.degrees(cmath.phase(self.phasor(frequency)))
+
+    def power(self, frequency: float) -> float:
+        """Tone power into 1 ohm (A^2/2)."""
+        return self.amplitude(frequency) ** 2 / 2.0
+
+    def total_power(self) -> float:
+        """Sum of tone powers into 1 ohm."""
+        return sum(abs(a) ** 2 for a in self._tones.values()) / 2.0
+
+    def dominant(self) -> tuple[float, complex]:
+        """The strongest tone; raises on silence."""
+        if not self._tones:
+            raise AnalysisError("spectrum is empty")
+        k = max(self._tones, key=lambda k: abs(self._tones[k]))
+        return k / _KEY_SCALE, self._tones[k]
+
+    # -- linear operations ----------------------------------------------------------
+
+    def __add__(self, other: "Spectrum") -> "Spectrum":
+        if not isinstance(other, Spectrum):
+            return NotImplemented
+        merged = dict(self._tones)
+        for k, a in other._tones.items():
+            merged[k] = merged.get(k, 0.0) + a
+        return Spectrum(merged)._cleaned()
+
+    def __sub__(self, other: "Spectrum") -> "Spectrum":
+        if not isinstance(other, Spectrum):
+            return NotImplemented
+        return self + other.scaled(-1.0)
+
+    def __mul__(self, factor) -> "Spectrum":
+        if isinstance(factor, (int, float, complex)):
+            return self.scaled(factor)
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def scaled(self, factor: complex) -> "Spectrum":
+        """Multiply every phasor by a (possibly complex) factor."""
+        return Spectrum({k: a * factor for k, a in self._tones.items()})._cleaned()
+
+    def gained_db(self, gain_db: float) -> "Spectrum":
+        """Amplitude gain in decibels (20*log10 convention)."""
+        return self.scaled(10.0 ** (gain_db / 20.0))
+
+    def phase_shifted(self, degrees: float) -> "Spectrum":
+        """Constant phase shift of every tone (ideal broadband shifter)."""
+        return self.scaled(cmath.exp(1j * math.radians(degrees)))
+
+    # -- frequency translation ---------------------------------------------------------
+
+    def mixed(self, lo_frequency: float, lo_phase_deg: float = 0.0,
+              conversion_gain: float = 1.0) -> "Spectrum":
+        """Multiply the signal by ``cos(2*pi*f_lo*t + phase)``.
+
+        Each input tone (f, A) produces:
+
+        * sum tone  f+f_lo with phasor ``A*exp(+j*phi)/2``
+        * difference tone |f-f_lo|:
+            - ``A*exp(-j*phi)/2``            when f > f_lo
+            - ``conj(A)*exp(+j*phi)/2``      when f < f_lo (spectral fold)
+            - a DC term (dropped)            when f = f_lo... kept at 0 Hz
+              as ``Re`` would make it; we keep it as a 0 Hz phasor.
+
+        The conjugation on fold-over is what differentiates signal and
+        image paths in a quadrature downconverter.
+        """
+        lo = cmath.exp(1j * math.radians(lo_phase_deg))
+        out: dict[int, complex] = {}
+
+        def accumulate(frequency: float, phasor: complex) -> None:
+            k = _key(frequency)
+            out[k] = out.get(k, 0.0) + phasor
+
+        for k, a in self._tones.items():
+            f = k / _KEY_SCALE
+            half = 0.5 * a * conversion_gain
+            accumulate(f + lo_frequency, half * lo)
+            if f > lo_frequency:
+                accumulate(f - lo_frequency, half / lo)
+            elif f < lo_frequency:
+                accumulate(lo_frequency - f, half.conjugate() * lo)
+            else:
+                # f == f_lo: the difference term is a DC level
+                accumulate(0.0, (half / lo).real)
+        return Spectrum(out)._cleaned()
+
+    # -- filtering ------------------------------------------------------------------
+
+    def filtered(self, response) -> "Spectrum":
+        """Apply ``response(frequency) -> complex`` to every tone."""
+        return Spectrum(
+            {k: a * response(k / _KEY_SCALE) for k, a in self._tones.items()}
+        )._cleaned()
+
+    # -- misc ------------------------------------------------------------------------
+
+    def _cleaned(self) -> "Spectrum":
+        self._tones = {
+            k: a for k, a in self._tones.items() if abs(a) > AMPLITUDE_FLOOR
+        }
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [
+            f"{f / 1e6:.6g}MHz@{abs(a):.3g}/{math.degrees(cmath.phase(a)):.1f}d"
+            for f, a in self.tones()
+        ]
+        return f"Spectrum({', '.join(parts)})"
+
+
+def tone(frequency: float, amplitude: float = 1.0,
+         phase_deg: float = 0.0) -> Spectrum:
+    """Module-level alias for :meth:`Spectrum.tone`."""
+    return Spectrum.tone(frequency, amplitude, phase_deg)

@@ -1,0 +1,197 @@
+"""Block-graph system model and its evaluation engine.
+
+A :class:`SystemModel` wires block ports to named nets and evaluates the
+whole graph in topological order — the "analyze the whole system" step
+of the paper's top-down flow.  Feedback loops are rejected (the phasor
+engine is feed-forward; the paper's Fig. 5 experiment needs none).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import AnalysisError, DesignError
+from .blocks import Block
+from .signal import Spectrum
+
+
+@dataclass
+class _Instance:
+    block: Block
+    input_nets: dict[str, str]  # port -> net
+    output_nets: dict[str, str]
+
+
+class SystemModel:
+    """A named collection of interconnected behavioral blocks."""
+
+    def __init__(self, name: str = "system"):
+        self.name = name
+        self._instances: dict[str, _Instance] = {}
+
+    def add(self, block: Block, *, inputs: dict[str, str] | Iterable[str] = (),
+            outputs: dict[str, str] | Iterable[str] = ()) -> Block:
+        """Add a block, wiring its ports to nets.
+
+        ``inputs``/``outputs`` map port names to net names; a plain
+        sequence is zipped against the block's declared port order.
+        """
+        if block.name in self._instances:
+            raise DesignError(f"duplicate block name {block.name!r}")
+        input_nets = _as_port_map(block.inputs, inputs, block.name, "input")
+        output_nets = _as_port_map(block.outputs, outputs, block.name, "output")
+        self._instances[block.name] = _Instance(block, input_nets, output_nets)
+        return block
+
+    def chain(self, blocks: Iterable[Block], nets: Iterable[str]) -> None:
+        """Wire single-in/single-out blocks in cascade along ``nets``.
+
+        ``nets`` must have one more entry than there are blocks.
+        """
+        blocks = list(blocks)
+        nets = list(nets)
+        if len(nets) != len(blocks) + 1:
+            raise DesignError(
+                f"chain of {len(blocks)} blocks needs {len(blocks) + 1} nets"
+            )
+        for i, block in enumerate(blocks):
+            self.add(block, inputs=[nets[i]], outputs=[nets[i + 1]])
+
+    def blocks(self) -> list[Block]:
+        """All blocks, in insertion order."""
+        return [inst.block for inst in self._instances.values()]
+
+    def block(self, name: str) -> Block:
+        """Look up a block by name."""
+        try:
+            return self._instances[name].block
+        except KeyError:
+            raise DesignError(f"no block named {name!r}") from None
+
+    def nets(self) -> set[str]:
+        """Every net name referenced by any port."""
+        nets: set[str] = set()
+        for inst in self._instances.values():
+            nets.update(inst.input_nets.values())
+            nets.update(inst.output_nets.values())
+        return nets
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def _evaluation_order(self) -> list[_Instance]:
+        """Topological order of instances by net dependencies."""
+        producers: dict[str, str] = {}
+        for name, inst in self._instances.items():
+            for net in inst.output_nets.values():
+                if net in producers:
+                    raise DesignError(
+                        f"net {net!r} driven by both {producers[net]!r} "
+                        f"and {name!r}"
+                    )
+                producers[net] = name
+
+        order: list[_Instance] = []
+        state: dict[str, int] = {}  # 0 unvisited, 1 visiting, 2 done
+
+        def visit(name: str) -> None:
+            mark = state.get(name, 0)
+            if mark == 2:
+                return
+            if mark == 1:
+                raise DesignError(
+                    f"feedback loop through block {name!r}; the phasor "
+                    "engine evaluates feed-forward graphs only"
+                )
+            state[name] = 1
+            inst = self._instances[name]
+            for net in inst.input_nets.values():
+                producer = producers.get(net)
+                if producer is not None:
+                    visit(producer)
+            state[name] = 2
+            order.append(inst)
+
+        for name in self._instances:
+            visit(name)
+        return order
+
+    def as_block(self, name: str, inputs: dict[str, str],
+                 outputs: dict[str, str]) -> Block:
+        """Package this whole system as a single reusable block.
+
+        ``inputs`` maps new block-port names to this system's stimulus
+        nets; ``outputs`` maps block-port names to internal nets.  The
+        returned block runs the system on each process() call, enabling
+        hierarchical composition (a tuner built from an ir_mixer
+        subsystem, etc.).
+        """
+        if not outputs:
+            raise DesignError("as_block needs at least one output")
+        internal_nets = self.nets()
+        for port, net in outputs.items():
+            if net not in internal_nets:
+                raise DesignError(
+                    f"output {port!r}: net {net!r} does not exist in "
+                    f"system {self.name!r}"
+                )
+        system = self
+
+        from .blocks import FunctionBlock
+
+        def process(block_inputs: dict[str, Spectrum]) -> dict[str, Spectrum]:
+            stimuli = {
+                net: block_inputs.get(port, Spectrum.silence())
+                for port, net in inputs.items()
+            }
+            nets = system.run(stimuli)
+            return {port: nets.get(net, Spectrum.silence())
+                    for port, net in outputs.items()}
+
+        return FunctionBlock(name, list(inputs), list(outputs), process)
+
+    def run(self, stimuli: dict[str, Spectrum]) -> dict[str, Spectrum]:
+        """Evaluate the system; returns every net's spectrum.
+
+        ``stimuli`` seeds input nets.  Driving a net that a block also
+        drives is an error.
+        """
+        values: dict[str, Spectrum] = dict(stimuli)
+        order = self._evaluation_order()
+        driven = {
+            net for inst in self._instances.values()
+            for net in inst.output_nets.values()
+        }
+        clash = driven & set(stimuli)
+        if clash:
+            raise DesignError(
+                f"stimulus nets {sorted(clash)} are also driven by blocks"
+            )
+        for inst in order:
+            block_inputs = {
+                port: values.get(net, Spectrum.silence())
+                for port, net in inst.input_nets.items()
+            }
+            outputs = inst.block.process(block_inputs)
+            for port, net in inst.output_nets.items():
+                values[net] = outputs[port]
+        return values
+
+
+def _as_port_map(ports, wiring, block_name: str, kind: str) -> dict[str, str]:
+    if isinstance(wiring, dict):
+        port_map = dict(wiring)
+    else:
+        nets = list(wiring)
+        if len(nets) > len(ports):
+            raise DesignError(
+                f"block {block_name!r} has {len(ports)} {kind} port(s), "
+                f"{len(nets)} nets given"
+            )
+        port_map = dict(zip(ports, nets))
+    unknown = set(port_map) - set(ports)
+    if unknown:
+        raise DesignError(
+            f"block {block_name!r} has no {kind} port(s) {sorted(unknown)}"
+        )
+    return port_map

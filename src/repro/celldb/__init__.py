@@ -1,0 +1,23 @@
+"""Analog cell-based design supporting system (paper Section 3)."""
+
+from .model import Cell, CategoryPath, SimulationRecord, Symbol
+from .database import AnalogCellDatabase, AuditEvent, ReuseStatistics
+from .www import export_site, render_cell, render_index
+from .seed import seed_database
+from .capture import cell_from_ahdl, cell_from_circuit
+
+__all__ = [
+    "Cell",
+    "CategoryPath",
+    "Symbol",
+    "SimulationRecord",
+    "AnalogCellDatabase",
+    "AuditEvent",
+    "ReuseStatistics",
+    "export_site",
+    "render_cell",
+    "render_index",
+    "seed_database",
+    "cell_from_circuit",
+    "cell_from_ahdl",
+]

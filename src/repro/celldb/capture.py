@@ -1,0 +1,91 @@
+"""Capture live design objects into cell records.
+
+Glue between the design tools and the reuse database: a programmatic
+circuit (a ring oscillator, a generated mixer test bench) or a compiled
+AHDL module becomes a registrable :class:`~repro.celldb.model.Cell`
+without hand-writing deck text — the "circuit designer who registers
+circuits" path of the paper's system, automated.
+"""
+
+from __future__ import annotations
+
+from ..errors import CellDatabaseError
+from .model import Cell, CategoryPath, SimulationRecord, Symbol
+
+
+def cell_from_circuit(
+    name: str,
+    category: CategoryPath | str,
+    document: str,
+    circuit,
+    ports: tuple[str, ...],
+    behavior: str = "",
+    keywords: tuple[str, ...] = (),
+    designer: str = "",
+    origin_ic: str = "",
+    simulations: list[SimulationRecord] | None = None,
+) -> Cell:
+    """Build a cell record from a live :class:`~repro.spice.Circuit`.
+
+    The schematic facet is produced by the deck serializer, so the
+    stored cell re-parses and re-simulates identically.  ``ports`` name
+    the circuit nodes that form the block symbol.
+    """
+    from ..spice.serialize import circuit_to_deck
+
+    if isinstance(category, str):
+        category = CategoryPath.parse(category)
+    node_names = set(circuit.nodes()) | {"0"}
+    missing = [p for p in ports if p not in node_names]
+    if missing:
+        raise CellDatabaseError(
+            f"cell {name!r}: symbol ports {missing} are not nodes of the "
+            "circuit"
+        )
+    return Cell(
+        name=name,
+        category=category,
+        document=document,
+        symbol=Symbol(tuple(ports)),
+        schematic=circuit_to_deck(circuit, title=f"{name} (captured)"),
+        behavior=behavior,
+        keywords=tuple(keywords),
+        designer=designer,
+        origin_ic=origin_ic,
+        simulations=list(simulations or []),
+    )
+
+
+def cell_from_ahdl(
+    name: str,
+    category: CategoryPath | str,
+    document: str,
+    source: str,
+    keywords: tuple[str, ...] = (),
+    designer: str = "",
+) -> Cell:
+    """Build a behavioral-only cell from AHDL source.
+
+    The source is compiled up front so a broken module cannot enter the
+    library; the symbol is derived from the module's ports.
+    """
+    from ..ahdl import compile_source
+
+    modules = compile_source(source)  # raises AHDLError on bad source
+    if len(modules) != 1:
+        raise CellDatabaseError(
+            f"cell {name!r}: expected exactly one AHDL module, "
+            f"found {sorted(modules)}"
+        )
+    module = next(iter(modules.values()))
+    if isinstance(category, str):
+        category = CategoryPath.parse(category)
+    return Cell(
+        name=name,
+        category=category,
+        document=document,
+        symbol=Symbol(tuple(module.inputs) + tuple(module.outputs)),
+        behavior=source,
+        keywords=tuple(keywords),
+        designer=designer,
+    )

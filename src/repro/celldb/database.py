@@ -1,0 +1,247 @@
+"""The analog cell database: registration, search, re-use, persistence.
+
+The paper's system has two faces: one for the circuit designer who
+*registers* circuits (validated here: the schematic must parse as a
+SPICE deck, the behavioral view must compile as AHDL), and one for
+designers who *search* and *copy* circuits for re-use.  Copying
+increments a per-cell counter so the design-group reuse rate (the
+paper's "above 70 %") can be audited with :meth:`reuse_statistics`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..ahdl import compile_source
+from ..errors import CellDatabaseError, ParseError
+from ..spice.parser import parse_deck
+from .model import Cell, CategoryPath
+
+
+@dataclass(frozen=True)
+class ReuseStatistics:
+    """Aggregate reuse audit of a design against the database."""
+
+    total_blocks: int
+    reused_blocks: int
+
+    @property
+    def reuse_fraction(self) -> float:
+        if self.total_blocks == 0:
+            return 0.0
+        return self.reused_blocks / self.total_blocks
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One entry of the database's audit trail."""
+
+    sequence: int
+    action: str  #: "register" | "update" | "reuse" | "unregister"
+    cell: str
+    detail: str = ""
+
+
+class AnalogCellDatabase:
+    """In-memory cell store with JSON persistence and an audit trail."""
+
+    def __init__(self, name: str = "analog-cells"):
+        self.name = name
+        self._cells: dict[str, Cell] = {}
+        self._audit: list[AuditEvent] = []
+
+    def _record(self, action: str, cell: str, detail: str = "") -> None:
+        self._audit.append(AuditEvent(len(self._audit) + 1, action, cell,
+                                      detail))
+
+    def history(self, cell_name: str | None = None) -> list[AuditEvent]:
+        """The audit trail, optionally filtered to one cell."""
+        if cell_name is None:
+            return list(self._audit)
+        key = cell_name.upper()
+        return [e for e in self._audit if e.cell.upper() == key]
+
+    # -- registration (the designer-facing half) ---------------------------------------
+
+    def register(self, cell: Cell, validate: bool = True) -> Cell:
+        """Register a cell; validates its machine-readable facets.
+
+        Raises :class:`CellDatabaseError` on duplicates, unparseable
+        schematics, or uncompilable behavioral views.
+        """
+        key = cell.name.upper()
+        if key in self._cells:
+            raise CellDatabaseError(f"cell {cell.name!r} already registered")
+        if validate:
+            self._validate(cell)
+        self._cells[key] = cell
+        self._record("register", cell.name)
+        return cell
+
+    def update_cell(self, cell: Cell, validate: bool = True) -> Cell:
+        """Replace a registered cell with a revised version.
+
+        The stored revision number is bumped (whatever the incoming
+        record claims) and the change is audited.
+        """
+        key = cell.name.upper()
+        if key not in self._cells:
+            raise CellDatabaseError(
+                f"cell {cell.name!r} is not registered; use register()"
+            )
+        if validate:
+            self._validate(cell)
+        previous = self._cells[key]
+        cell.revision = previous.revision + 1
+        cell.reuse_count = max(cell.reuse_count, previous.reuse_count)
+        self._cells[key] = cell
+        self._record("update", cell.name,
+                     f"revision {previous.revision} -> {cell.revision}")
+        return cell
+
+    def _validate(self, cell: Cell) -> None:
+        if cell.schematic.strip():
+            try:
+                parse_deck(cell.schematic)
+            except ParseError as exc:
+                raise CellDatabaseError(
+                    f"cell {cell.name!r}: schematic does not parse: {exc}"
+                ) from exc
+        if cell.behavior.strip():
+            try:
+                compile_source(cell.behavior)
+            except ParseError as exc:
+                raise CellDatabaseError(
+                    f"cell {cell.name!r}: behavioral view does not "
+                    f"compile: {exc}"
+                ) from exc
+
+    def unregister(self, name: str) -> Cell:
+        """Remove and return a cell (audited)."""
+        try:
+            cell = self._cells.pop(name.upper())
+        except KeyError:
+            raise CellDatabaseError(f"no cell named {name!r}") from None
+        self._record("unregister", cell.name)
+        return cell
+
+    # -- lookup and search (the re-use half) ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, name: str) -> bool:
+        return name.upper() in self._cells
+
+    def get(self, name: str) -> Cell:
+        """Look up a cell by (case-insensitive) name."""
+        try:
+            return self._cells[name.upper()]
+        except KeyError:
+            raise CellDatabaseError(f"no cell named {name!r}") from None
+
+    def cells(self) -> list[Cell]:
+        """All cells, sorted by name."""
+        return sorted(self._cells.values(), key=lambda c: c.name)
+
+    def libraries(self) -> list[str]:
+        """Distinct library names present in the database."""
+        return sorted({c.category.library for c in self._cells.values()})
+
+    def categories(self, library: str) -> dict[str, list[str]]:
+        """category1 -> [category2...] within one library."""
+        tree: dict[str, set[str]] = {}
+        for cell in self._cells.values():
+            if cell.category.library != library:
+                continue
+            tree.setdefault(cell.category.category1, set()).add(
+                cell.category.category2
+            )
+        return {k: sorted(v) for k, v in sorted(tree.items())}
+
+    def in_category(self, path: CategoryPath | str) -> list[Cell]:
+        """Cells filed under one library/cat1/cat2 path."""
+        if isinstance(path, str):
+            path = CategoryPath.parse(path)
+        return [c for c in self.cells() if c.category == path]
+
+    def search(self, keyword: str | None = None,
+               library: str | None = None,
+               category1: str | None = None,
+               category2: str | None = None) -> list[Cell]:
+        """Keyword/category search, ANDed; all filters optional."""
+        hits = []
+        for cell in self.cells():
+            if library and cell.category.library != library:
+                continue
+            if category1 and cell.category.category1 != category1:
+                continue
+            if category2 and cell.category.category2 != category2:
+                continue
+            if keyword and not cell.matches_keyword(keyword):
+                continue
+            hits.append(cell)
+        return hits
+
+    def copy_for_reuse(self, name: str) -> Cell:
+        """Check a cell out for re-use in a new design.
+
+        Returns the cell and bumps its reuse counter (the audit trail
+        behind the paper's 70 % figure).
+        """
+        cell = self.get(name)
+        cell.reuse_count += 1
+        self._record("reuse", cell.name,
+                     f"reuse count now {cell.reuse_count}")
+        return cell
+
+    # -- audit ------------------------------------------------------------------------
+
+    def reuse_statistics(self, design_blocks: dict[str, str | None]
+                         ) -> ReuseStatistics:
+        """Audit a design: ``{block_name: source_cell_or_None}``.
+
+        Blocks mapped to a registered cell name count as re-used; blocks
+        mapped to None (or an unknown cell) count as newly designed.
+        """
+        reused = sum(
+            1 for source in design_blocks.values()
+            if source is not None and source in self
+        )
+        return ReuseStatistics(total_blocks=len(design_blocks),
+                               reused_blocks=reused)
+
+    # -- persistence --------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form of the whole database."""
+        return {
+            "name": self.name,
+            "format": 1,
+            "cells": [cell.to_dict() for cell in self.cells()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalogCellDatabase":
+        if data.get("format") != 1:
+            raise CellDatabaseError(
+                f"unsupported database format {data.get('format')!r}"
+            )
+        db = cls(data.get("name", "analog-cells"))
+        for record in data.get("cells", []):
+            db.register(Cell.from_dict(record), validate=False)
+        return db
+
+    def save(self, path) -> None:
+        """Persist the database as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path) -> "AnalogCellDatabase":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CellDatabaseError(f"cannot load database: {exc}") from exc
+        return cls.from_dict(data)

@@ -1,0 +1,143 @@
+"""Data model of the Analog Cell-based Design Supporting System (Section 3).
+
+The paper's database stores, per re-usable circuit: documents describing
+the operation, the behavioral description, the primitive-element
+(transistor-level) implementation, and the block symbol for top-down
+design — organised as library -> category -> category -> cell (Fig. 6),
+e.g. ``TV / Croma / ACC / ACC1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from ..errors import CellDatabaseError
+
+
+@dataclass(frozen=True)
+class CategoryPath:
+    """Library / category-1 / category-2 classification (paper Fig. 6)."""
+
+    library: str
+    category1: str
+    category2: str
+
+    def __post_init__(self):
+        for part in (self.library, self.category1, self.category2):
+            if not part or "/" in part:
+                raise CellDatabaseError(
+                    f"bad category component {part!r} (non-empty, no '/')"
+                )
+
+    def __str__(self) -> str:
+        return f"{self.library}/{self.category1}/{self.category2}"
+
+    @classmethod
+    def parse(cls, text: str) -> "CategoryPath":
+        parts = text.split("/")
+        if len(parts) != 3:
+            raise CellDatabaseError(
+                f"category path needs library/cat1/cat2, got {text!r}"
+            )
+        return cls(*parts)
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """Block symbol for schematic re-use: port names and a glyph label."""
+
+    ports: tuple[str, ...]
+    glyph: str = "box"
+
+    def __post_init__(self):
+        if not self.ports:
+            raise CellDatabaseError("symbol needs at least one port")
+        if len(set(self.ports)) != len(self.ports):
+            raise CellDatabaseError("symbol ports must be unique")
+
+
+@dataclass(frozen=True)
+class SimulationRecord:
+    """One archived simulation result attached to a cell."""
+
+    name: str  #: e.g. "gain_sweep", "out1"
+    analysis: str  #: "op" | "ac" | "tran" | "behavioral"
+    summary: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.analysis not in ("op", "dc", "ac", "tran", "behavioral"):
+            raise CellDatabaseError(
+                f"unknown analysis kind {self.analysis!r}"
+            )
+
+
+@dataclass
+class Cell:
+    """A re-usable analog circuit with all four data facets of Fig. 7."""
+
+    name: str
+    category: CategoryPath
+    document: str  #: prose description of the circuit operation
+    symbol: Symbol
+    schematic: str = ""  #: transistor-level SPICE deck text
+    behavior: str = ""  #: AHDL source of the behavioral view
+    simulations: list[SimulationRecord] = field(default_factory=list)
+    keywords: tuple[str, ...] = ()
+    designer: str = ""
+    origin_ic: str = ""  #: the IC this circuit was first designed in
+    reuse_count: int = 0
+    revision: int = 1  #: bumped by AnalogCellDatabase.update_cell
+
+    def __post_init__(self):
+        if not self.name:
+            raise CellDatabaseError("cell needs a name")
+        if not self.document.strip():
+            raise CellDatabaseError(
+                f"cell {self.name!r}: the document (operation description) "
+                "is mandatory — undocumented circuits cannot be re-used"
+            )
+
+    # -- (de)serialisation ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["category"] = str(self.category)
+        data["symbol"] = {"ports": list(self.symbol.ports),
+                          "glyph": self.symbol.glyph}
+        data["keywords"] = list(self.keywords)
+        data["simulations"] = [asdict(s) for s in self.simulations]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Cell":
+        try:
+            return cls(
+                name=data["name"],
+                category=CategoryPath.parse(data["category"]),
+                document=data["document"],
+                symbol=Symbol(tuple(data["symbol"]["ports"]),
+                              data["symbol"].get("glyph", "box")),
+                schematic=data.get("schematic", ""),
+                behavior=data.get("behavior", ""),
+                simulations=[
+                    SimulationRecord(s["name"], s["analysis"],
+                                     dict(s.get("summary", {})))
+                    for s in data.get("simulations", [])
+                ],
+                keywords=tuple(data.get("keywords", ())),
+                designer=data.get("designer", ""),
+                origin_ic=data.get("origin_ic", ""),
+                reuse_count=int(data.get("reuse_count", 0)),
+                revision=int(data.get("revision", 1)),
+            )
+        except KeyError as exc:
+            raise CellDatabaseError(f"cell record missing field {exc}") from exc
+
+    def matches_keyword(self, term: str) -> bool:
+        """Case-insensitive match against name, keywords and document."""
+        needle = term.lower()
+        if needle in self.name.lower():
+            return True
+        if any(needle in k.lower() for k in self.keywords):
+            return True
+        return needle in self.document.lower()

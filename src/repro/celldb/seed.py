@@ -1,0 +1,261 @@
+"""A seeded cell library mirroring the paper's Fig. 6 classification.
+
+Provides a realistic starting database: the TV-chroma cells the figure
+names (ACC1, ACC2, color control...) plus the tuner building blocks the
+Section 2 example re-uses.  Every cell carries all four facets of
+Fig. 7 — document, symbol, behavioral (AHDL) view and a transistor-level
+schematic — and the schematics/behaviors are real enough to pass the
+registration validators.
+"""
+
+from __future__ import annotations
+
+from .database import AnalogCellDatabase
+from .model import Cell, CategoryPath, SimulationRecord, Symbol
+
+_GENERIC_NPN = (
+    ".MODEL QGEN NPN(IS=4e-17 BF=90 VAF=45 IKF=3m RB=200 RE=3 RC=90\n"
+    "+ CJE=35f CJC=30f TF=10p)"
+)
+
+
+def _diff_amp_deck(name: str) -> str:
+    return f"""* {name}: resistively loaded differential pair
+V1 vcc 0 DC 5
+RC1 vcc outp 1k
+RC2 vcc outn 1k
+Q1 outp inp tail QGEN
+Q2 outn inn tail QGEN
+I1 tail 0 DC 1m
+{_GENERIC_NPN}
+.END
+"""
+
+
+def _mixer_deck(name: str) -> str:
+    return f"""* {name}: single-balanced mixer core
+V1 vcc 0 DC 5
+RC1 vcc outp 500
+RC2 vcc outn 500
+Q1 outp lop com QGEN
+Q2 outn lon com QGEN
+Q3 com rf 0 QGEN
+{_GENERIC_NPN}
+.END
+"""
+
+
+def _follower_deck(name: str) -> str:
+    return f"""* {name}: emitter follower output buffer
+V1 vcc 0 DC 5
+Q1 vcc in out QGEN
+I1 out 0 DC 1m
+{_GENERIC_NPN}
+.END
+"""
+
+
+_AMP_AHDL = """
+module gca (IN, OUT) (gain)
+node [V, I] IN, OUT;
+parameter real gain = 4;
+{
+  analog {
+    V(OUT) <- gain * V(IN);
+  }
+}
+"""
+
+_MIXER_AHDL = """
+module mixer (RF, IF) (lo_freq, conv_gain)
+node [V, I] RF, IF;
+parameter real lo_freq = 1255MEG;
+parameter real conv_gain = 1;
+{
+  analog {
+    V(IF) <- mix(V(RF), lo_freq, 0) * conv_gain;
+  }
+}
+"""
+
+_SHIFTER_AHDL = """
+module phase90 (IN, OUT) (err)
+node [V, I] IN, OUT;
+parameter real err = 0;
+{
+  analog {
+    V(OUT) <- phase_shift(V(IN), 90 + err);
+  }
+}
+"""
+
+_BPF_AHDL = """
+module if_bpf (IN, OUT) (center, bw)
+node [V, I] IN, OUT;
+parameter real center = 1300MEG;
+parameter real bw = 60MEG;
+{
+  analog {
+    V(OUT) <- bandpass(V(IN), center, bw, 3);
+  }
+}
+"""
+
+
+def _cell(name, path, document, ports, schematic="", behavior="",
+          keywords=(), origin="", sims=()):
+    return Cell(
+        name=name,
+        category=CategoryPath.parse(path),
+        document=document,
+        symbol=Symbol(tuple(ports)),
+        schematic=schematic,
+        behavior=behavior,
+        keywords=tuple(keywords),
+        designer="miyahara",
+        origin_ic=origin,
+        simulations=list(sims),
+    )
+
+
+def seed_database() -> AnalogCellDatabase:
+    """Build the seeded library (every cell passes validation)."""
+    db = AnalogCellDatabase("toshiba-mmel-analog-cells")
+
+    # --- the Fig. 6 TV / chroma corner ------------------------------------------
+    db.register(_cell(
+        "ACC1", "TV/Croma/ACC",
+        "Automatic chroma control amplifier. Input signal is IN1; the "
+        "control loop holds the burst amplitude constant. DC voltage is "
+        "5 to 8 V. Output impedance is very low, input impedance 50 ohm. "
+        "This circuit operates like a gain controlled amp.",
+        ("IN1", "IN2", "OUT1"),
+        schematic=_diff_amp_deck("ACC1"), behavior=_AMP_AHDL,
+        keywords=("chroma", "agc", "gain control"), origin="TA8867",
+        sims=(SimulationRecord("out1", "ac", {"gain_db": 12.0,
+                                              "bw_mhz": 8.0}),),
+    ))
+    db.register(_cell(
+        "ACC2", "TV/Croma/ACC",
+        "Second-generation automatic chroma control with wider AGC range "
+        "and improved temperature stability.",
+        ("IN", "OUT", "VAGC"),
+        schematic=_diff_amp_deck("ACC2"), behavior=_AMP_AHDL,
+        keywords=("chroma", "agc"), origin="TA8880",
+    ))
+    db.register(_cell(
+        "COLOR-LIMITTER", "TV/Croma/Color limitter",
+        "Chroma color limiter clamping over-saturated color difference "
+        "signals; soft knee around 0.7 Vpp.",
+        ("IN", "OUT"),
+        schematic=_diff_amp_deck("COLORLIM"),
+        keywords=("chroma", "limiter"), origin="TA8867",
+    ))
+    db.register(_cell(
+        "VIDEO-DRV", "TV/Video/Output",
+        "Video output driver, 6 dB gain, drives 75 ohm double-terminated "
+        "line from a 5 V rail.",
+        ("IN", "OUT"),
+        schematic=_follower_deck("VIDEODRV"), behavior=_AMP_AHDL,
+        keywords=("video", "driver"), origin="TA8859",
+    ))
+    db.register(_cell(
+        "DEFLECT-RAMP", "TV/Deflection/Ramp",
+        "Vertical deflection ramp generator with retrace clamp.",
+        ("SYNC", "RAMP"),
+        schematic=_diff_amp_deck("DEFLRAMP"),
+        keywords=("deflection", "ramp"), origin="TA8859",
+    ))
+
+    # --- tuner building blocks (the Section 2 example's re-use pool) -----------------
+    db.register(_cell(
+        "RF-AGC-AMP", "TVR/Tuner/RF front end",
+        "Broadband RF AGC amplifier for 90-770 MHz CATV input; 15 dB "
+        "maximum gain, gain controlled amp with 40 dB range.",
+        ("RF", "OUT", "VAGC"),
+        schematic=_diff_amp_deck("RFAGC"), behavior=_AMP_AHDL,
+        keywords=("tuner", "rf", "agc", "amplifier"), origin="TA8804",
+        sims=(SimulationRecord("gain", "behavioral", {"gain_db": 15.0}),),
+    ))
+    db.register(_cell(
+        "UPMIX-1300", "TVR/Tuner/Mixer",
+        "Up-conversion double-balanced mixer translating the CATV band "
+        "to the 1.3 GHz first IF. Gilbert core with on-chip LO buffer.",
+        ("RF", "LO", "IF"),
+        schematic=_mixer_deck("UPMIX"), behavior=_MIXER_AHDL,
+        keywords=("tuner", "mixer", "upconversion", "1st IF"),
+        origin="TA8804",
+    ))
+    db.register(_cell(
+        "DNMIX-45", "TVR/Tuner/Mixer",
+        "Down-conversion mixer from the 1.3 GHz first IF to the 45 MHz "
+        "second IF. Used in pairs for the image rejection configuration.",
+        ("IF1", "LO", "IF2"),
+        schematic=_mixer_deck("DNMIX"), behavior=_MIXER_AHDL,
+        keywords=("tuner", "mixer", "downconversion", "2nd IF", "image"),
+        origin="TA8822",
+    ))
+    db.register(_cell(
+        "PHASE90-VCO", "TVR/Tuner/Phase shifter",
+        "90 degree phase splitter for the second local oscillator; RC-CR "
+        "network with buffer, quadrature error below 2 degrees over the "
+        "band.",
+        ("LO", "LOI", "LOQ"),
+        schematic=_follower_deck("PH90VCO"), behavior=_SHIFTER_AHDL,
+        keywords=("tuner", "phase shifter", "quadrature", "vco", "90"),
+        origin="TA8822",
+    ))
+    db.register(_cell(
+        "PHASE90-IF", "TVR/Tuner/Phase shifter",
+        "90 degree phase shifter in the 45 MHz second IF path of the "
+        "image rejection mixer; polyphase implementation.",
+        ("IN", "OUT"),
+        schematic=_follower_deck("PH90IF"), behavior=_SHIFTER_AHDL,
+        keywords=("tuner", "phase shifter", "image rejection", "90"),
+        origin="TA8822",
+    ))
+    db.register(_cell(
+        "IF-ADDER", "TVR/Tuner/Combiner",
+        "Two-input summing amplifier combining the quadrature second IF "
+        "paths; the image signal phases reverse and cancel.",
+        ("IN1", "IN2", "OUT"),
+        schematic=_diff_amp_deck("IFADD"),
+        keywords=("tuner", "adder", "combiner", "image rejection"),
+        origin="TA8822",
+    ))
+    db.register(_cell(
+        "VCO-2ND", "TVR/Tuner/Oscillator",
+        "Second local oscillator at 1255 MHz with two outputs whose "
+        "phases differ by 90 degrees (feeds the image rejection mixer).",
+        ("LOI", "LOQ", "VTUNE"),
+        schematic=_follower_deck("VCO2"),
+        keywords=("tuner", "vco", "oscillator", "quadrature"),
+        origin="TA8822",
+    ))
+    db.register(_cell(
+        "IF-BPF-1300", "TVR/Tuner/Filter",
+        "First IF band-pass pre-filter centred at 1.3 GHz, 60 MHz "
+        "bandwidth, third order.",
+        ("IN", "OUT"),
+        behavior=_BPF_AHDL,
+        keywords=("tuner", "filter", "bpf", "1st IF"), origin="TA8804",
+    ))
+    db.register(_cell(
+        "PLL-SYNTH", "TVR/Tuner/PLL",
+        "Frequency synthesiser PLL generating the first local oscillator "
+        "Fup = RF + 1.3 GHz with 62.5 kHz channel raster.",
+        ("REF", "LO", "VTUNE"),
+        schematic=_follower_deck("PLL1"),
+        keywords=("tuner", "pll", "synthesizer", "local oscillator"),
+        origin="TA8804",
+    ))
+    db.register(_cell(
+        "RING-OSC-5", "TVR/Clock/Oscillator",
+        "Five stage fully differential ECL ring oscillator used as a "
+        "free-running clock source; frequency set by transistor shape "
+        "and tail current (see Table 1 study).",
+        ("OUTP", "OUTN"),
+        schematic=_follower_deck("RING5"),
+        keywords=("ring oscillator", "ecl", "clock"), origin="TC9090",
+    ))
+    return db

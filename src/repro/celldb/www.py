@@ -1,0 +1,110 @@
+"""Static-HTML export of the cell library (the paper's WWW server).
+
+Section 3: "The authors also offer a library of circuits by a WWW server
+in TOSHIBA ... for a quick inspection of circuit diagrams and documents
+on circuit operation which are classified in many categories."  This
+module renders the same browse view: an index page per library with the
+category tree, and one page per cell showing the document, symbol,
+schematic listing and archived simulation summaries.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from .database import AnalogCellDatabase
+from .model import Cell
+
+_PAGE = """<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{title}</title>
+<style>
+body {{ font-family: sans-serif; margin: 2em; }}
+pre  {{ background: #f4f4f4; padding: 1em; overflow-x: auto; }}
+table {{ border-collapse: collapse; }}
+td, th {{ border: 1px solid #999; padding: 0.3em 0.8em; }}
+</style></head>
+<body>
+{body}
+</body></html>
+"""
+
+
+def _cell_filename(cell: Cell) -> str:
+    return f"cell_{cell.name.lower().replace(' ', '_')}.html"
+
+
+def render_index(db: AnalogCellDatabase) -> str:
+    """The library index page (category tree with cell links)."""
+    parts = [f"<h1>Analog cell library: {html.escape(db.name)}</h1>"]
+    for library in db.libraries():
+        parts.append(f"<h2>Library {html.escape(library)}</h2>")
+        for cat1, cat2s in db.categories(library).items():
+            parts.append(f"<h3>{html.escape(cat1)}</h3><ul>")
+            for cat2 in cat2s:
+                parts.append(f"<li>{html.escape(cat2)}<ul>")
+                for cell in db.in_category(f"{library}/{cat1}/{cat2}"):
+                    link = _cell_filename(cell)
+                    parts.append(
+                        f'<li><a href="{link}">{html.escape(cell.name)}</a>'
+                        f" — re-used {cell.reuse_count}×</li>"
+                    )
+                parts.append("</ul></li>")
+            parts.append("</ul>")
+    body = "\n".join(parts)
+    return _PAGE.format(title=html.escape(db.name), body=body)
+
+
+def render_cell(cell: Cell) -> str:
+    """One cell's inspection page (Fig. 7's four facets)."""
+    parts = [
+        f"<h1>{html.escape(cell.name)}</h1>",
+        f"<p><b>Category:</b> {html.escape(str(cell.category))}</p>",
+    ]
+    if cell.designer:
+        parts.append(f"<p><b>Designer:</b> {html.escape(cell.designer)}</p>")
+    if cell.origin_ic:
+        parts.append(f"<p><b>First used in:</b> {html.escape(cell.origin_ic)}</p>")
+    parts.append("<h2>Document</h2>")
+    parts.append(f"<p>{html.escape(cell.document)}</p>")
+    parts.append("<h2>Symbol</h2>")
+    parts.append(
+        "<p>glyph <i>" + html.escape(cell.symbol.glyph) + "</i>, ports: "
+        + ", ".join(html.escape(p) for p in cell.symbol.ports) + "</p>"
+    )
+    if cell.behavior.strip():
+        parts.append("<h2>Behavioral description (AHDL)</h2>")
+        parts.append(f"<pre>{html.escape(cell.behavior.strip())}</pre>")
+    if cell.schematic.strip():
+        parts.append("<h2>Schematic (SPICE deck)</h2>")
+        parts.append(f"<pre>{html.escape(cell.schematic.strip())}</pre>")
+    if cell.simulations:
+        parts.append("<h2>Simulation data</h2><table>")
+        parts.append("<tr><th>name</th><th>analysis</th><th>summary</th></tr>")
+        for record in cell.simulations:
+            summary = ", ".join(
+                f"{k}={v:g}" for k, v in sorted(record.summary.items())
+            )
+            parts.append(
+                f"<tr><td>{html.escape(record.name)}</td>"
+                f"<td>{html.escape(record.analysis)}</td>"
+                f"<td>{html.escape(summary)}</td></tr>"
+            )
+        parts.append("</table>")
+    parts.append('<p><a href="index.html">back to index</a></p>')
+    return _PAGE.format(title=html.escape(cell.name), body="\n".join(parts))
+
+
+def export_site(db: AnalogCellDatabase, directory) -> list[Path]:
+    """Write the whole browse site; returns the created paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    index_path = directory / "index.html"
+    index_path.write_text(render_index(db))
+    written.append(index_path)
+    for cell in db.cells():
+        path = directory / _cell_filename(cell)
+        path.write_text(render_cell(cell))
+        written.append(path)
+    return written

@@ -1,0 +1,118 @@
+"""Command-line front ends.
+
+``python -m repro.cli run <deck.cir>``
+    Parse and execute a SPICE deck, printing the analysis summary.
+
+``python -m repro.cli generate <shape> [<shape>...]``
+    Print geometry-generated ``.MODEL`` cards for the named transistor
+    shapes (the paper's Fig. 10 program as a command).
+
+``python -m repro.cli shapes``
+    Print the layout report for the paper's Fig. 8 shape taxonomy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .errors import ReproError
+
+
+def _cmd_run(args) -> int:
+    from .spice.parser import parse_deck
+    from .spice.runner import run_deck
+
+    text = Path(args.deck).read_text()
+    run = run_deck(parse_deck(text))
+    print(run.summary())
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from .geometry import ModelParameterGenerator, default_reference
+
+    generator = ModelParameterGenerator(reference=default_reference())
+    for shape in args.shapes:
+        print(generator.model_card(shape))
+    return 0
+
+
+def _cmd_select(args) -> int:
+    from .geometry import (
+        ModelParameterGenerator,
+        default_reference,
+        shape_for_current,
+    )
+    from .units import parse_value
+
+    generator = ModelParameterGenerator(reference=default_reference())
+    ic = parse_value(args.current)
+    selection = shape_for_current(ic, generator)
+    print(selection.table())
+    print(f"-> {selection.best.name}")
+    return 0
+
+
+def _cmd_shapes(args) -> int:
+    from .geometry import FIG8_SHAPES, TransistorShape, layout_report
+
+    print(f"{'key':4s} {'shape':12s} {'AE um2':>8s} {'PE um':>7s} "
+          f"{'RB ohm':>8s} {'RE ohm':>7s} {'RC ohm':>7s} {'XCJC':>6s}")
+    for key, name in FIG8_SHAPES.items():
+        geo = layout_report(TransistorShape.from_name(name))
+        print(f"({key})  {name:12s} {geo.emitter_area:8.2f} "
+              f"{geo.emitter_perimeter:7.2f} {geo.rb_total:8.1f} "
+              f"{geo.re_ohmic:7.2f} {geo.rc_ohmic:7.1f} {geo.xcjc:6.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Analog HF IC design methodology toolkit (DAC 1996 "
+                    "reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = commands.add_parser("run", help="execute a SPICE deck")
+    run_cmd.add_argument("deck", help="path to the deck file")
+    run_cmd.set_defaults(handler=_cmd_run)
+
+    generate_cmd = commands.add_parser(
+        "generate", help="emit geometry-generated .MODEL cards"
+    )
+    generate_cmd.add_argument("shapes", nargs="+",
+                              help="shape names, e.g. N1.2-12D")
+    generate_cmd.set_defaults(handler=_cmd_generate)
+
+    shapes_cmd = commands.add_parser(
+        "shapes", help="print the Fig. 8 shape taxonomy report"
+    )
+    shapes_cmd.set_defaults(handler=_cmd_shapes)
+
+    select_cmd = commands.add_parser(
+        "select", help="rank transistor shapes for an operating current"
+    )
+    select_cmd.add_argument("current",
+                            help="collector current, e.g. 4m or 2.5e-3")
+    select_cmd.set_defaults(handler=_cmd_select)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

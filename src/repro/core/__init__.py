@@ -1,0 +1,51 @@
+"""Top-down design methodology (paper Section 2)."""
+
+from .specs import (
+    Comparison,
+    SpecCheck,
+    Specification,
+    SpecificationSet,
+)
+from .design import Design, DesignBlock, ViewLevel
+from .mixed_level import (
+    CharacterizationResult,
+    CharacterizedLinearBlock,
+    characterize_block,
+    characterize_linear,
+)
+from .flow import (
+    FlowEvent,
+    FlowPhase,
+    TopDownFlow,
+    VerificationReport,
+)
+from .budgeting import (
+    StagePlan,
+    allocate_budget,
+    allocate_iip3,
+    allocate_noise_figure,
+    hardest_stage,
+)
+
+__all__ = [
+    "Specification",
+    "SpecificationSet",
+    "SpecCheck",
+    "Comparison",
+    "Design",
+    "DesignBlock",
+    "ViewLevel",
+    "CharacterizationResult",
+    "CharacterizedLinearBlock",
+    "characterize_linear",
+    "characterize_block",
+    "TopDownFlow",
+    "FlowPhase",
+    "FlowEvent",
+    "VerificationReport",
+    "StagePlan",
+    "allocate_noise_figure",
+    "allocate_iip3",
+    "allocate_budget",
+    "hardest_stage",
+]

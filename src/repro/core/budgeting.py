@@ -1,0 +1,124 @@
+"""Automatic spec allocation over a receiver cascade.
+
+Section 2's "determine the specifications for function blocks" step,
+given algorithmic teeth: with the chain's gain line-up fixed, distribute
+a system noise-figure or IIP3 target over the stages so that the Friis /
+IIP3 cascade meets it exactly, with per-stage *difficulty weights*
+steering which blocks get the loose numbers.
+
+Closed forms (gains g_i, cumulative gain G_i = prod_{k<i} g_k):
+
+* noise:  F_total - 1 = sum_i (F_i - 1)/G_i.  Choosing the i-th
+  contribution proportional to weight w_i gives
+  ``F_i = 1 + w_i/sum(w) * (F_target - 1) * G_i``.
+* IIP3:   1/P_total = sum_i G_i/P_i (powers in mW).  Contribution
+  proportional to w_i gives ``P_i = G_i * sum(w)/w_i * P_target``.
+
+Both allocations reproduce the target exactly under the cascade
+formulas, which the tests assert by round trip.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..behavioral.budget import CascadeReport, CascadeStage, cascade
+from ..errors import DesignError
+from ..units import db, from_db
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """The fixed part of one stage before allocation."""
+
+    name: str
+    gain_db: float
+    #: relative difficulty weight: large = this stage may be noisy /
+    #: nonlinear (it is hard to do better), small = must be clean.
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise DesignError(f"stage {self.name}: weight must be positive")
+
+
+def _cumulative_gains(stages: Sequence[StagePlan]) -> list[float]:
+    gains = []
+    running = 1.0
+    for stage in stages:
+        gains.append(running)
+        running *= from_db(stage.gain_db)
+    return gains
+
+
+def allocate_noise_figure(
+    stages: Sequence[StagePlan],
+    target_nf_db: float,
+) -> list[CascadeStage]:
+    """Distribute a system NF target over the stages (Friis-exact)."""
+    if not stages:
+        raise DesignError("allocation needs at least one stage")
+    if target_nf_db <= 0:
+        raise DesignError("target NF must be positive (in dB)")
+    total_excess = from_db(target_nf_db) - 1.0
+    weights = [s.weight for s in stages]
+    weight_sum = sum(weights)
+    cumulative = _cumulative_gains(stages)
+    allocated = []
+    for stage, weight, gain_before in zip(stages, weights, cumulative):
+        excess = weight / weight_sum * total_excess * gain_before
+        allocated.append(CascadeStage(
+            name=stage.name,
+            gain_db=stage.gain_db,
+            nf_db=db(1.0 + excess),
+        ))
+    return allocated
+
+
+def allocate_iip3(
+    stages: Sequence[StagePlan],
+    target_iip3_dbm: float,
+) -> list[CascadeStage]:
+    """Distribute a system IIP3 target over the stages (cascade-exact)."""
+    if not stages:
+        raise DesignError("allocation needs at least one stage")
+    target_mw = 10.0 ** (target_iip3_dbm / 10.0)
+    weights = [s.weight for s in stages]
+    weight_sum = sum(weights)
+    cumulative = _cumulative_gains(stages)
+    allocated = []
+    for stage, weight, gain_before in zip(stages, weights, cumulative):
+        stage_mw = gain_before * weight_sum / weight * target_mw
+        allocated.append(CascadeStage(
+            name=stage.name,
+            gain_db=stage.gain_db,
+            iip3_dbm=10.0 * math.log10(stage_mw),
+        ))
+    return allocated
+
+
+def allocate_budget(
+    stages: Sequence[StagePlan],
+    target_nf_db: float,
+    target_iip3_dbm: float,
+) -> tuple[list[CascadeStage], CascadeReport]:
+    """Joint NF + IIP3 allocation; returns the stages and the achieved
+    cascade report (which meets both targets by construction)."""
+    noise_side = allocate_noise_figure(stages, target_nf_db)
+    ip3_side = allocate_iip3(stages, target_iip3_dbm)
+    merged = [
+        CascadeStage(name=n.name, gain_db=n.gain_db, nf_db=n.nf_db,
+                     iip3_dbm=p.iip3_dbm)
+        for n, p in zip(noise_side, ip3_side)
+    ]
+    return merged, cascade(merged)
+
+
+def hardest_stage(allocated: Sequence[CascadeStage]) -> CascadeStage:
+    """The stage with the most demanding (lowest) NF allocation —
+    the one the designer should assign to the strongest engineer."""
+    if not allocated:
+        raise DesignError("no stages")
+    return min(allocated, key=lambda s: s.nf_db)

@@ -1,0 +1,123 @@
+"""Design hierarchy with per-block behavioral and transistor-level views.
+
+A :class:`DesignBlock` is one function block of the IC (Fig. 1's boxes):
+it always has a behavioral view (an elaborated
+:class:`~repro.behavioral.blocks.Block`, typically from AHDL), may have a
+transistor-level view (a SPICE deck), carries its derived specifications,
+and remembers whether it was re-used from the cell database.  A
+:class:`Design` assembles blocks into a system graph and can elaborate it
+with each block at its *selected* level — the "replace an AHDL block with
+a transistor level one" step of Section 2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+from ..behavioral.blocks import Block
+from ..behavioral.system import SystemModel
+from ..errors import DesignError
+from .specs import SpecificationSet
+
+
+class ViewLevel(Enum):
+    """Which representation of a block the system elaborates."""
+
+    BEHAVIORAL = "behavioral"
+    TRANSISTOR = "transistor"
+
+
+@dataclass
+class DesignBlock:
+    """One function block with its views and bookkeeping."""
+
+    name: str
+    behavioral: Block
+    #: SPICE deck text of the primitive-element implementation, if done.
+    transistor_deck: str = ""
+    #: Factory producing a behavioral block *characterized from* the
+    #: transistor view (set by mixed-level tools); used when the selected
+    #: level is TRANSISTOR.
+    characterized: Block | None = None
+    specs: SpecificationSet = None
+    source_cell: str | None = None  #: cell-database origin, if re-used
+    level: ViewLevel = ViewLevel.BEHAVIORAL
+
+    def __post_init__(self):
+        if self.specs is None:
+            self.specs = SpecificationSet(self.name)
+
+    @property
+    def is_reused(self) -> bool:
+        return self.source_cell is not None
+
+    @property
+    def has_transistor_view(self) -> bool:
+        return bool(self.transistor_deck.strip())
+
+    def select(self, level: ViewLevel) -> None:
+        if level is ViewLevel.TRANSISTOR and self.characterized is None:
+            raise DesignError(
+                f"block {self.name!r}: no characterized transistor view; "
+                "run the mixed-level characterization first"
+            )
+        self.level = level
+
+    def active_block(self) -> Block:
+        """The block to elaborate at the currently selected level."""
+        if self.level is ViewLevel.TRANSISTOR:
+            if self.characterized is None:
+                raise DesignError(
+                    f"block {self.name!r} selected at transistor level "
+                    "without a characterized view"
+                )
+            return self.characterized
+        return self.behavioral
+
+
+class Design:
+    """A top-level design: blocks plus their interconnect wiring."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._blocks: dict[str, DesignBlock] = {}
+        #: wiring entries: (block name, input port map, output port map)
+        self._wiring: list[tuple[str, dict, dict]] = []
+
+    def add_block(
+        self,
+        block: DesignBlock,
+        inputs: dict[str, str] | list[str],
+        outputs: dict[str, str] | list[str],
+    ) -> DesignBlock:
+        if block.name in self._blocks:
+            raise DesignError(f"duplicate block {block.name!r}")
+        self._blocks[block.name] = block
+        self._wiring.append((block.name, inputs, outputs))
+        return block
+
+    def block(self, name: str) -> DesignBlock:
+        try:
+            return self._blocks[name]
+        except KeyError:
+            raise DesignError(f"no block named {name!r}") from None
+
+    def blocks(self) -> list[DesignBlock]:
+        return list(self._blocks.values())
+
+    def select_level(self, name: str, level: ViewLevel) -> None:
+        self.block(name).select(level)
+
+    def elaborate(self) -> SystemModel:
+        """Build the runnable system with each block at its level."""
+        system = SystemModel(self.name)
+        for name, inputs, outputs in self._wiring:
+            block = self._blocks[name].active_block()
+            system.add(block, inputs=inputs, outputs=outputs)
+        return system
+
+    def reuse_map(self) -> dict[str, str | None]:
+        """block name -> source cell (for reuse auditing)."""
+        return {b.name: b.source_cell for b in self._blocks.values()}

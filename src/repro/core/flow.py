@@ -1,0 +1,184 @@
+"""The top-down design flow manager (paper Fig. 1 and Section 2).
+
+The flow the paper proposes, as executable steps:
+
+1. **Describe** — every function block gets an AHDL/behavioral view.
+2. **Analyze** — simulate the whole system at the behavioral level.
+3. **Budget** — derive block specifications from system-level sweeps
+   (e.g. Fig. 5: the 30 dB image-rejection requirement becomes a phase/
+   gain matching pair for the 90-degree shifters).
+4. **Implement** — design each block at the primitive-element level,
+   re-using cells from the database where possible.
+5. **Verify** — swap transistor-level blocks into the system
+   (mixed-level) and re-check the system specification.
+
+:class:`TopDownFlow` drives those steps over a :class:`~repro.core.design.Design`
+and records an auditable log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+from ..behavioral.signal import Spectrum
+from ..celldb.database import AnalogCellDatabase
+from ..errors import DesignError
+from .design import Design, DesignBlock, ViewLevel
+from .specs import SpecCheck, Specification, SpecificationSet
+
+
+class FlowPhase(Enum):
+    """The five steps of the paper's top-down flow."""
+
+    DESCRIBE = "describe"
+    ANALYZE = "analyze"
+    BUDGET = "budget"
+    IMPLEMENT = "implement"
+    VERIFY = "verify"
+
+
+@dataclass(frozen=True)
+class FlowEvent:
+    phase: FlowPhase
+    subject: str
+    detail: str
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a system-level verification run."""
+
+    level_by_block: dict[str, str]
+    checks: list[SpecCheck]
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+
+class TopDownFlow:
+    """Drives a design through describe/analyze/budget/implement/verify."""
+
+    def __init__(self, design: Design,
+                 system_specs: SpecificationSet,
+                 cell_database: AnalogCellDatabase | None = None):
+        self.design = design
+        self.system_specs = system_specs
+        self.cell_database = cell_database
+        self.log: list[FlowEvent] = []
+
+    def _record(self, phase: FlowPhase, subject: str, detail: str) -> None:
+        self.log.append(FlowEvent(phase, subject, detail))
+
+    # -- step 1: describe ---------------------------------------------------------
+
+    def describe_block(self, block: DesignBlock, inputs, outputs) -> DesignBlock:
+        self.design.add_block(block, inputs, outputs)
+        origin = (f"re-used from cell {block.source_cell}" if block.is_reused
+                  else "newly described")
+        self._record(FlowPhase.DESCRIBE, block.name, origin)
+        return block
+
+    # -- step 2: analyze ------------------------------------------------------------
+
+    def analyze(
+        self,
+        stimuli: dict[str, Spectrum],
+        measure: Callable[[dict[str, Spectrum]], dict[str, float]],
+    ) -> dict[str, float]:
+        """Run the behavioral system and extract named measurements."""
+        system = self.design.elaborate()
+        nets = system.run(stimuli)
+        measurements = measure(nets)
+        self._record(
+            FlowPhase.ANALYZE, self.design.name,
+            "behavioral run: " + ", ".join(
+                f"{k}={v:g}" for k, v in sorted(measurements.items())
+            ),
+        )
+        return measurements
+
+    # -- step 3: budget ----------------------------------------------------------------
+
+    def budget_spec(self, block_name: str, spec: Specification,
+                    rationale: str) -> Specification:
+        """Attach a derived specification to a block, with its why."""
+        block = self.design.block(block_name)
+        block.specs.add(spec)
+        self._record(FlowPhase.BUDGET, block_name,
+                     f"{spec.describe()} — {rationale}")
+        return spec
+
+    # -- step 4: implement ---------------------------------------------------------------
+
+    def implement_block(self, block_name: str, deck_text: str,
+                        from_cell: str | None = None) -> DesignBlock:
+        """Attach a transistor-level implementation to a block.
+
+        ``from_cell`` records (and audits, via the database's counter)
+        that the implementation was copied from the cell library.
+        """
+        block = self.design.block(block_name)
+        if from_cell is not None:
+            if self.cell_database is None:
+                raise DesignError("no cell database configured for re-use")
+            self.cell_database.copy_for_reuse(from_cell)
+            block.source_cell = from_cell
+        block.transistor_deck = deck_text
+        self._record(
+            FlowPhase.IMPLEMENT, block_name,
+            f"transistor level attached"
+            + (f" (from cell {from_cell})" if from_cell else ""),
+        )
+        return block
+
+    # -- step 5: verify -----------------------------------------------------------------
+
+    def verify(
+        self,
+        stimuli: dict[str, Spectrum],
+        measure: Callable[[dict[str, Spectrum]], dict[str, float]],
+        transistor_blocks: list[str] = (),
+    ) -> VerificationReport:
+        """Re-run the system with the named blocks at transistor level."""
+        for name in transistor_blocks:
+            self.design.select_level(name, ViewLevel.TRANSISTOR)
+        try:
+            system = self.design.elaborate()
+            nets = system.run(stimuli)
+            measurements = measure(nets)
+        finally:
+            for name in transistor_blocks:
+                self.design.select_level(name, ViewLevel.BEHAVIORAL)
+        checks = self.system_specs.check(measurements)
+        report = VerificationReport(
+            level_by_block={
+                b.name: ("transistor" if b.name in transistor_blocks
+                         else "behavioral")
+                for b in self.design.blocks()
+            },
+            checks=checks,
+        )
+        verdict = "PASS" if report.passed else "FAIL"
+        self._record(
+            FlowPhase.VERIFY, self.design.name,
+            f"{verdict} with transistor-level {list(transistor_blocks)}",
+        )
+        return report
+
+    # -- reporting ------------------------------------------------------------------------
+
+    def reuse_statistics(self):
+        """Audit the design's reuse rate against the cell database."""
+        if self.cell_database is None:
+            raise DesignError("no cell database configured")
+        return self.cell_database.reuse_statistics(self.design.reuse_map())
+
+    def format_log(self) -> str:
+        lines = [f"top-down flow log for {self.design.name!r}:"]
+        for event in self.log:
+            lines.append(f"  [{event.phase.value:9s}] {event.subject}: "
+                         f"{event.detail}")
+        return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Mixed-level simulation: transistor-level blocks inside a behavioral
+system.
+
+Section 2.1: "By replacing an AHDL block with a transistor level one,
+circuit designers can easily find the effects of primitive elements to
+the whole system."  The phasor system engine cannot run a SPICE netlist
+directly, so the bridge is *small-signal characterization*: the deck is
+solved (DC + AC) on the frequency grid of interest, and the measured
+complex transfer function becomes a behavioral block that the system
+engine evaluates per tone.  This is exact for linear blocks (amplifiers,
+filters, phase shifters) at their operating point — precisely the blocks
+the Fig. 5 budget is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..behavioral.blocks import Block
+from ..behavioral.signal import Spectrum
+from ..errors import DesignError
+from ..spice.ac import solve_ac
+from ..spice.parser import parse_deck
+
+
+@dataclass(frozen=True)
+class CharacterizationResult:
+    """Measured complex response of a transistor-level block."""
+
+    frequencies: np.ndarray
+    response: np.ndarray  #: complex H(f) = V(out)/V(in)
+
+    def gain_db_at(self, frequency: float) -> float:
+        return 20.0 * np.log10(abs(self.interpolate(frequency)))
+
+    def phase_deg_at(self, frequency: float) -> float:
+        return float(np.degrees(np.angle(self.interpolate(frequency))))
+
+    def interpolate(self, frequency: float) -> complex:
+        """Complex response at one frequency (interpolating mag/phase)."""
+        freqs = self.frequencies
+        if frequency <= freqs[0]:
+            return complex(self.response[0])
+        if frequency >= freqs[-1]:
+            return complex(self.response[-1])
+        magnitude = np.interp(frequency, freqs, np.abs(self.response))
+        phase = np.interp(
+            frequency, freqs, np.unwrap(np.angle(self.response))
+        )
+        return magnitude * np.exp(1j * phase)
+
+
+def characterize_linear(
+    deck_text: str,
+    input_source: str,
+    output_node: str,
+    frequencies,
+) -> CharacterizationResult:
+    """AC-characterize a transistor-level deck.
+
+    ``input_source`` names the deck's driving V source (its AC magnitude
+    is forced to 1), ``output_node`` the observed node.  Returns H(f) on
+    the requested grid.
+    """
+    deck = parse_deck(deck_text)
+    circuit = deck.circuit
+    source = circuit.element(input_source)
+    if not hasattr(source, "ac_mag"):
+        raise DesignError(
+            f"{input_source!r} is not an independent source"
+        )
+    source.ac_mag = 1.0
+    source.ac_phase_deg = 0.0
+    frequencies = np.asarray(sorted(set(float(f) for f in frequencies)))
+    if len(frequencies) == 0:
+        raise DesignError("characterization needs at least one frequency")
+    result = solve_ac(circuit, frequencies)
+    return CharacterizationResult(
+        frequencies=frequencies,
+        response=result.voltage(output_node),
+    )
+
+
+class CharacterizedLinearBlock(Block):
+    """A behavioral block replaying a measured transfer function."""
+
+    def __init__(self, name: str, characterization: CharacterizationResult):
+        super().__init__(name, ["in"], ["out"])
+        self.characterization = characterization
+
+    def process(self, inputs):
+        signal = self._input(inputs, "in")
+        return {"out": signal.filtered(self.characterization.interpolate)}
+
+
+def characterize_block(
+    design_block,
+    input_source: str,
+    output_node: str,
+    frequencies,
+) -> CharacterizedLinearBlock:
+    """Characterize a design block's transistor view and install it.
+
+    Sets ``design_block.characterized`` so the design can be elaborated
+    with this block at transistor level.
+    """
+    if not design_block.has_transistor_view:
+        raise DesignError(
+            f"block {design_block.name!r} has no transistor-level deck"
+        )
+    measured = characterize_linear(
+        design_block.transistor_deck, input_source, output_node, frequencies
+    )
+    block = CharacterizedLinearBlock(design_block.behavioral.name, measured)
+    design_block.characterized = block
+    return block

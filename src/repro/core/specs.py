@@ -1,0 +1,114 @@
+"""Specifications and spec budgets for the top-down flow.
+
+The paper's Section 2: the system specification is given; the block
+specifications are *derived* by the circuit designer from system-level
+behavioral sweeps (Fig. 5 being the worked example: a 30 dB image
+rejection requirement becomes a (gain balance, phase balance) pair for
+the 90-degree shifters).  This module gives those derived numbers a
+home: named, checkable specification objects grouped per block.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import DesignError
+
+
+class Comparison(Enum):
+    """How a measured value is judged against the target."""
+
+    AT_LEAST = ">="
+    AT_MOST = "<="
+    WITHIN = "+/-"  #: |measured - target| <= tolerance
+
+
+@dataclass(frozen=True)
+class Specification:
+    """One named, machine-checkable requirement."""
+
+    name: str
+    target: float
+    comparison: Comparison = Comparison.AT_LEAST
+    tolerance: float = 0.0
+    unit: str = ""
+
+    def __post_init__(self):
+        if self.comparison is Comparison.WITHIN and self.tolerance <= 0:
+            raise DesignError(
+                f"spec {self.name!r}: WITHIN needs a positive tolerance"
+            )
+
+    def satisfied_by(self, measured: float) -> bool:
+        if math.isnan(measured):
+            return False
+        if self.comparison is Comparison.AT_LEAST:
+            return measured >= self.target
+        if self.comparison is Comparison.AT_MOST:
+            return measured <= self.target
+        return abs(measured - self.target) <= self.tolerance
+
+    def describe(self) -> str:
+        if self.comparison is Comparison.WITHIN:
+            return (f"{self.name} = {self.target:g} ± {self.tolerance:g} "
+                    f"{self.unit}".strip())
+        return f"{self.name} {self.comparison.value} {self.target:g} {self.unit}".strip()
+
+
+@dataclass(frozen=True)
+class SpecCheck:
+    """Outcome of checking one spec against a measurement."""
+
+    spec: Specification
+    measured: float
+    passed: bool
+
+    def describe(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        return f"[{verdict}] {self.spec.describe()} (measured {self.measured:g})"
+
+
+class SpecificationSet:
+    """A named group of specifications (one per block, or the system's)."""
+
+    def __init__(self, owner: str, specs: list[Specification] | None = None):
+        self.owner = owner
+        self._specs: dict[str, Specification] = {}
+        for spec in specs or []:
+            self.add(spec)
+
+    def add(self, spec: Specification) -> Specification:
+        if spec.name in self._specs:
+            raise DesignError(
+                f"{self.owner}: duplicate spec {spec.name!r}"
+            )
+        self._specs[spec.name] = spec
+        return spec
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self):
+        return iter(self._specs.values())
+
+    def get(self, name: str) -> Specification:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise DesignError(
+                f"{self.owner}: no spec named {name!r}"
+            ) from None
+
+    def check(self, measurements: dict[str, float]) -> list[SpecCheck]:
+        """Judge measurements; a missing measurement is a failure."""
+        checks = []
+        for spec in self._specs.values():
+            measured = measurements.get(spec.name, math.nan)
+            checks.append(SpecCheck(spec, measured,
+                                    spec.satisfied_by(measured)))
+        return checks
+
+    def all_pass(self, measurements: dict[str, float]) -> bool:
+        return all(c.passed for c in self.check(measurements))

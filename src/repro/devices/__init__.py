@@ -1,0 +1,34 @@
+"""Bipolar device models: Gummel-Poon equations and fT analysis."""
+
+from .parameters import GummelPoonParameters
+from .gummel_poon import (
+    BJTOperatingPoint,
+    critical_voltage,
+    depletion_charge,
+    diode_current,
+    evaluate,
+    limited_exp,
+    pnjlim,
+    solve_vbe_for_ic,
+    thermal_voltage,
+)
+from .ft import FTPoint, bias_at_ic, ft_at_ic, ft_curve, ft_from_h21, peak_ft
+
+__all__ = [
+    "GummelPoonParameters",
+    "BJTOperatingPoint",
+    "critical_voltage",
+    "depletion_charge",
+    "diode_current",
+    "evaluate",
+    "limited_exp",
+    "pnjlim",
+    "solve_vbe_for_ic",
+    "thermal_voltage",
+    "FTPoint",
+    "bias_at_ic",
+    "ft_at_ic",
+    "ft_curve",
+    "ft_from_h21",
+    "peak_ft",
+]

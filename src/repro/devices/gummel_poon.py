@@ -1,0 +1,343 @@
+"""Gummel-Poon model equations: DC currents, charges and derivatives.
+
+The evaluation is written for an *npn* orientation; pnp devices are
+handled by the circuit element flipping terminal voltage and current
+signs.  All junction voltages here are internal (after RB/RE/RC drops).
+
+The implementation follows SPICE 2G6 / SPICE3 ``bjtload``:
+
+* transport current ``It = (Ibe1 - Ibc1)/qb`` with base-charge ``qb``
+  combining Early (q1) and high-injection (q2) effects,
+* leakage diodes ``Ibe2`` (ISE, NE) and ``Ibc2`` (ISC, NC),
+* bias-modulated base resistance ``rbb = RBM + (RB - RBM)/qb``,
+* depletion charges with the FC linearization above ``FC*VJ``,
+* bias-dependent forward transit time (XTF, VTF, ITF) giving the fT
+  roll-off at high current (quasi-saturation/Kirk-effect fit).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .parameters import GummelPoonParameters
+
+#: Boltzmann constant over electron charge at 1 K (V/K).
+K_OVER_Q = 1.380649e-23 / 1.602176634e-19
+
+#: Largest exponent argument before the exponential is linearized.
+EXP_LIMIT = 80.0
+
+
+def thermal_voltage(temp_kelvin: float = 300.15) -> float:
+    """kT/q in volts."""
+    return K_OVER_Q * temp_kelvin
+
+
+def limited_exp(arg: float) -> tuple[float, float]:
+    """exp(arg) and its derivative, linearized above EXP_LIMIT.
+
+    Prevents overflow during Newton iterations far from the solution;
+    identical in spirit to SPICE's junction-exponential guard.
+    """
+    if arg > EXP_LIMIT:
+        anchor = math.exp(EXP_LIMIT)
+        return anchor * (1.0 + (arg - EXP_LIMIT)), anchor
+    value = math.exp(arg)
+    return value, value
+
+
+def diode_current(i_sat: float, v: float, n_vt: float) -> tuple[float, float]:
+    """Ideal-diode current ``i_sat*(exp(v/n_vt)-1)`` and its conductance."""
+    if i_sat == 0.0:
+        return 0.0, 0.0
+    exp_value, exp_deriv = limited_exp(v / n_vt)
+    return i_sat * (exp_value - 1.0), i_sat * exp_deriv / n_vt
+
+
+def depletion_charge(
+    v: float, cj: float, vj: float, m: float, fc: float
+) -> tuple[float, float]:
+    """Depletion charge Q(v) and capacitance C(v)=dQ/dv.
+
+    Uses the SPICE piecewise form: the physical ``(1-v/vj)^-m`` law below
+    ``fc*vj`` and its linear extrapolation above, which keeps C finite as
+    the junction forward-biases.
+    """
+    if cj == 0.0:
+        return 0.0, 0.0
+    threshold = fc * vj
+    if v < threshold:
+        arg = 1.0 - v / vj
+        charge = cj * vj / (1.0 - m) * (1.0 - arg ** (1.0 - m))
+        cap = cj * arg ** (-m)
+        return charge, cap
+    f1 = vj / (1.0 - m) * (1.0 - (1.0 - fc) ** (1.0 - m))
+    f2 = (1.0 - fc) ** (1.0 + m)
+    f3 = 1.0 - fc * (1.0 + m)
+    dv = v - threshold
+    charge = cj * (f1 + (f3 * dv + m / (2.0 * vj) * (v * v - threshold * threshold)) / f2)
+    cap = cj * (f3 + m * v / vj) / f2
+    return charge, cap
+
+
+def pnjlim(v_new: float, v_old: float, vt: float, v_crit: float) -> float:
+    """SPICE junction-voltage limiting.
+
+    Caps the per-iteration change of a forward-biased junction voltage to
+    keep the exponential in a numerically sane region; returns the limited
+    voltage.
+    """
+    if v_new > v_crit and abs(v_new - v_old) > 2.0 * vt:
+        if v_old > 0.0:
+            arg = 1.0 + (v_new - v_old) / vt
+            if arg > 0.0:
+                v_new = v_old + vt * math.log(arg)
+            else:
+                v_new = v_crit
+        else:
+            v_new = vt * math.log(v_new / vt)
+    return v_new
+
+
+def critical_voltage(i_sat: float, vt: float) -> float:
+    """Voltage where the junction conductance reaches 1/(sqrt(2)*vt)."""
+    if i_sat <= 0.0:
+        return math.inf
+    return vt * math.log(vt / (math.sqrt(2.0) * i_sat))
+
+
+@dataclass
+class BJTOperatingPoint:
+    """Currents, charges and small-signal quantities at one bias point.
+
+    All values are npn-oriented: ``ic`` flows into the collector, ``ib``
+    into the base.  Derivatives are with respect to the *internal*
+    junction voltages vbe, vbc.
+    """
+
+    vbe: float
+    vbc: float
+    ic: float
+    ib: float
+    dic_dvbe: float
+    dic_dvbc: float
+    dib_dvbe: float
+    dib_dvbc: float
+    qbe: float  #: total B-E charge (diffusion + depletion)
+    qbc: float  #: internal B-C charge (diffusion + XCJC depletion)
+    qbx: float  #: external B-C depletion charge ((1-XCJC) fraction)
+    dqbe_dvbe: float
+    dqbe_dvbc: float
+    dqbc_dvbc: float
+    dqbx_dvbc: float
+    qb: float  #: normalized base charge
+    rbb: float  #: bias-modulated base resistance
+
+    # -- hybrid-pi view --------------------------------------------------------
+
+    @property
+    def gm(self) -> float:
+        """Transconductance dIc/dVbe at fixed Vbc."""
+        return self.dic_dvbe
+
+    @property
+    def gpi(self) -> float:
+        """Input conductance dIb/dVbe."""
+        return self.dib_dvbe
+
+    @property
+    def gmu(self) -> float:
+        """Feedback conductance dIb/dVbc."""
+        return self.dib_dvbc
+
+    @property
+    def go(self) -> float:
+        """Output conductance dIc/dVce = -dIc/dVbc at fixed Vbe."""
+        return -self.dic_dvbc
+
+    @property
+    def cpi(self) -> float:
+        """B-E capacitance (diffusion + depletion)."""
+        return self.dqbe_dvbe
+
+    @property
+    def cmu(self) -> float:
+        """Total B-C capacitance (internal + external fractions)."""
+        return self.dqbc_dvbc + self.dqbx_dvbc
+
+    @property
+    def beta_dc(self) -> float:
+        return self.ic / self.ib if self.ib != 0 else math.inf
+
+    def transition_frequency(self) -> float:
+        """Hybrid-pi fT = gm / (2*pi*(Cpi + Cmu)).
+
+        This is the frequency where |h21| extrapolates to unity assuming a
+        single dominant pole — the quantity plotted in the paper's Fig. 9.
+        """
+        c_total = self.cpi + self.cmu
+        if c_total <= 0.0 or self.gm <= 0.0:
+            return 0.0
+        return self.gm / (2.0 * math.pi * c_total)
+
+
+def evaluate(
+    params: GummelPoonParameters,
+    vbe: float,
+    vbc: float,
+    temp: float | None = None,
+    gmin: float = 0.0,
+) -> BJTOperatingPoint:
+    """Evaluate the Gummel-Poon equations at internal (vbe, vbc).
+
+    ``gmin`` adds a small linear conductance across each junction (as the
+    simulator does during Newton iterations).
+    """
+    p = params
+    vt = thermal_voltage(p.TNOM if temp is None else temp)
+
+    ibe1, gbe1 = diode_current(p.IS, vbe, p.NF * vt)
+    ibe2, gbe2 = diode_current(p.ISE, vbe, p.NE * vt)
+    ibc1, gbc1 = diode_current(p.IS, vbc, p.NR * vt)
+    ibc2, gbc2 = diode_current(p.ISC, vbc, p.NC * vt)
+
+    # gmin across junctions (kept inside the "diode" currents so the
+    # reported ib/ic are consistent with the stamped Jacobian).
+    ibe1 += gmin * vbe
+    gbe1 += gmin
+    ibc1 += gmin * vbc
+    gbc1 += gmin
+
+    # Base charge qb: Early effect (q1) and high injection (q2).
+    inv_early = 1.0 - vbc / p.VAF - vbe / p.VAR
+    # Guard against the (unphysical) pole of the 1/(...) Early form.
+    inv_early = max(inv_early, 1e-4)
+    q1 = 1.0 / inv_early
+    q2 = ibe1 / p.IKF + ibc1 / p.IKR
+    sqarg = math.sqrt(1.0 + 4.0 * max(q2, -0.2499))
+    qb = q1 * (1.0 + sqarg) / 2.0
+
+    dq1_dvbe = q1 * q1 / p.VAR if math.isfinite(p.VAR) else 0.0
+    dq1_dvbc = q1 * q1 / p.VAF if math.isfinite(p.VAF) else 0.0
+    dq2_dvbe = gbe1 / p.IKF if math.isfinite(p.IKF) else 0.0
+    dq2_dvbc = gbc1 / p.IKR if math.isfinite(p.IKR) else 0.0
+    dqb_dvbe = dq1_dvbe * (1.0 + sqarg) / 2.0 + q1 * dq2_dvbe / sqarg
+    dqb_dvbc = dq1_dvbc * (1.0 + sqarg) / 2.0 + q1 * dq2_dvbc / sqarg
+
+    # Transport current and terminal currents.
+    it = (ibe1 - ibc1) / qb
+    dit_dvbe = (gbe1 - it * dqb_dvbe) / qb
+    dit_dvbc = (-gbc1 - it * dqb_dvbc) / qb
+
+    ic = it - ibc1 / p.BR - ibc2
+    ib = ibe1 / p.BF + ibe2 + ibc1 / p.BR + ibc2
+    dic_dvbe = dit_dvbe
+    dic_dvbc = dit_dvbc - gbc1 / p.BR - gbc2
+    dib_dvbe = gbe1 / p.BF + gbe2
+    dib_dvbc = gbc1 / p.BR + gbc2
+
+    # Bias-dependent forward transit time (fT roll-off).
+    tf_eff = p.TF
+    dtf_dvbe = 0.0
+    dtf_dvbc = 0.0
+    if p.TF > 0.0 and p.XTF > 0.0:
+        ibe_pos = max(ibe1, 0.0)
+        if p.ITF > 0.0:
+            w = ibe_pos / (ibe_pos + p.ITF)
+            dw_dvbe = (
+                gbe1 * p.ITF / (ibe_pos + p.ITF) ** 2 if ibe1 > 0.0 else 0.0
+            )
+        else:
+            w, dw_dvbe = 1.0, 0.0
+        if math.isfinite(p.VTF):
+            exp_vbc = math.exp(min(vbc / (1.44 * p.VTF), EXP_LIMIT))
+            dexp_dvbc = exp_vbc / (1.44 * p.VTF)
+        else:
+            exp_vbc, dexp_dvbc = 1.0, 0.0
+        tf_eff = p.TF * (1.0 + p.XTF * w * w * exp_vbc)
+        dtf_dvbe = p.TF * p.XTF * 2.0 * w * dw_dvbe * exp_vbc
+        dtf_dvbc = p.TF * p.XTF * w * w * dexp_dvbc
+
+    # Charges.
+    qde = tf_eff * ibe1 / qb
+    dqde_dvbe = (dtf_dvbe * ibe1 + tf_eff * gbe1 - qde * dqb_dvbe) / qb
+    dqde_dvbc = (dtf_dvbc * ibe1 - qde * dqb_dvbc) / qb
+
+    qje, cje = depletion_charge(vbe, p.CJE, p.VJE, p.MJE, p.FC)
+    qjc, cjc = depletion_charge(vbc, p.CJC * p.XCJC, p.VJC, p.MJC, p.FC)
+    qjx, cjx = depletion_charge(vbc, p.CJC * (1.0 - p.XCJC), p.VJC, p.MJC, p.FC)
+    qdc = p.TR * ibc1
+
+    qbe = qde + qje
+    qbc = qdc + qjc
+    qbx = qjx
+
+    # Bias-modulated base resistance (simple qb form; the IRB formulation
+    # reduces to this when IRB is left at infinity).
+    rbm = p.rbm_effective
+    rbb = rbm + (p.RB - rbm) / qb
+
+    return BJTOperatingPoint(
+        vbe=vbe,
+        vbc=vbc,
+        ic=ic,
+        ib=ib,
+        dic_dvbe=dic_dvbe,
+        dic_dvbc=dic_dvbc,
+        dib_dvbe=dib_dvbe,
+        dib_dvbc=dib_dvbc,
+        qbe=qbe,
+        qbc=qbc,
+        qbx=qbx,
+        dqbe_dvbe=dqde_dvbe + cje,
+        dqbe_dvbc=dqde_dvbc,
+        dqbc_dvbc=p.TR * gbc1 + cjc,
+        dqbx_dvbc=cjx,
+        qb=qb,
+        rbb=rbb,
+    )
+
+
+def solve_vbe_for_ic(
+    params: GummelPoonParameters,
+    ic_target: float,
+    vce: float,
+    temp: float | None = None,
+    tol: float = 1e-9,
+    max_iter: int = 200,
+) -> float:
+    """Find the internal Vbe giving collector current ``ic_target`` at Vce.
+
+    Newton on the scalar function Ic(vbe, vbe - vce) - ic_target, with
+    bisection fallback.  Vce is the *internal* collector-emitter voltage.
+    Used by the fT analysis to bias a device at a requested Ic, mirroring
+    how the paper's Fig. 9 sweeps collector current.
+    """
+    if ic_target <= 0:
+        raise ValueError(f"ic_target must be positive, got {ic_target}")
+    vt = thermal_voltage(params.TNOM if temp is None else temp)
+    # Initial guess from the ideal diode law.
+    vbe = params.NF * vt * math.log(ic_target / params.IS + 1.0)
+    lo, hi = 0.0, 2.0
+    for _ in range(max_iter):
+        op = evaluate(params, vbe, vbe - vce, temp=temp)
+        error = op.ic - ic_target
+        if abs(error) <= tol * ic_target:
+            return vbe
+        if error > 0:
+            hi = min(hi, vbe)
+        else:
+            lo = max(lo, vbe)
+        slope = op.dic_dvbe + op.dic_dvbc
+        if slope > 0:
+            step = -error / slope
+            vbe_new = vbe + step
+        else:
+            vbe_new = (lo + hi) / 2.0
+        if not lo < vbe_new < hi:
+            vbe_new = (lo + hi) / 2.0
+        vbe = vbe_new
+    raise ValueError(
+        f"bias solve did not converge for Ic={ic_target} (last vbe={vbe})"
+    )

@@ -1,0 +1,180 @@
+"""Gummel-Poon model parameter set with SPICE 2G6 defaults.
+
+The parameter names follow the SPICE ``.MODEL ... NPN(...)`` card, so a
+parameter set can be read from and written to deck syntax losslessly.
+``scaled_by_area`` implements SPICE's emitter-area-factor scaling — the
+crude baseline the paper's geometry-aware generator replaces (RB, RE, RC,
+CJE, CJC and CJS are scaled by area only, ignoring perimeter and layout).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields, replace
+
+from ..errors import ModelError
+
+INFINITY = math.inf
+
+
+@dataclass(frozen=True)
+class GummelPoonParameters:
+    """SPICE Gummel-Poon BJT model parameters (NPN or PNP).
+
+    All voltages in volts, currents in amperes, resistances in ohms,
+    capacitances in farads, times in seconds.
+    """
+
+    name: str = "NPN"
+    polarity: str = "npn"
+
+    # Forward/reverse DC
+    IS: float = 1e-16  #: transport saturation current
+    BF: float = 100.0  #: ideal maximum forward beta
+    NF: float = 1.0  #: forward emission coefficient
+    VAF: float = INFINITY  #: forward Early voltage
+    IKF: float = INFINITY  #: forward beta high-current roll-off knee
+    ISE: float = 0.0  #: B-E leakage saturation current
+    NE: float = 1.5  #: B-E leakage emission coefficient
+    BR: float = 1.0  #: ideal maximum reverse beta
+    NR: float = 1.0  #: reverse emission coefficient
+    VAR: float = INFINITY  #: reverse Early voltage
+    IKR: float = INFINITY  #: reverse beta high-current roll-off knee
+    ISC: float = 0.0  #: B-C leakage saturation current
+    NC: float = 2.0  #: B-C leakage emission coefficient
+
+    # Ohmic parasitics
+    RB: float = 0.0  #: zero-bias base resistance
+    IRB: float = INFINITY  #: current where RB falls halfway to RBM
+    RBM: float | None = None  #: minimum base resistance (defaults to RB)
+    RE: float = 0.0  #: emitter resistance
+    RC: float = 0.0  #: collector resistance
+
+    # Junction capacitances
+    CJE: float = 0.0  #: B-E zero-bias depletion capacitance
+    VJE: float = 0.75  #: B-E built-in potential
+    MJE: float = 0.33  #: B-E grading coefficient
+    CJC: float = 0.0  #: B-C zero-bias depletion capacitance
+    VJC: float = 0.75  #: B-C built-in potential
+    MJC: float = 0.33  #: B-C grading coefficient
+    XCJC: float = 1.0  #: fraction of CJC at the internal base node
+    CJS: float = 0.0  #: collector-substrate zero-bias capacitance
+    VJS: float = 0.75  #: substrate built-in potential
+    MJS: float = 0.0  #: substrate grading coefficient
+    FC: float = 0.5  #: forward-bias depletion-capacitance coefficient
+
+    # Transit times
+    TF: float = 0.0  #: ideal forward transit time
+    XTF: float = 0.0  #: TF bias-dependence coefficient
+    VTF: float = INFINITY  #: TF dependence on VBC
+    ITF: float = 0.0  #: TF dependence on IC
+    PTF: float = 0.0  #: excess phase at 1/(2*pi*TF) Hz (degrees)
+    TR: float = 0.0  #: ideal reverse transit time
+
+    # Noise
+    KF: float = 0.0  #: flicker-noise coefficient
+    AF: float = 1.0  #: flicker-noise exponent
+
+    # Temperature (kept for deck round-trip; evaluation is at TNOM)
+    EG: float = 1.11  #: bandgap energy (eV)
+    XTI: float = 3.0  #: IS temperature exponent
+    XTB: float = 0.0  #: beta temperature exponent
+    TNOM: float = 300.15  #: nominal temperature (K)
+
+    def __post_init__(self):
+        if self.polarity not in ("npn", "pnp"):
+            raise ModelError(f"polarity must be 'npn' or 'pnp', got {self.polarity!r}")
+        for attr in ("IS", "BF", "NF", "NR", "BR", "NE", "NC"):
+            if getattr(self, attr) <= 0:
+                raise ModelError(f"{self.name}: {attr} must be positive")
+        for attr in ("ISE", "ISC", "RB", "RE", "RC", "CJE", "CJC", "CJS",
+                     "TF", "TR", "XTF", "ITF", "KF"):
+            if getattr(self, attr) < 0:
+                raise ModelError(f"{self.name}: {attr} must be non-negative")
+        for attr in ("VAF", "VAR", "IKF", "IKR", "VTF", "IRB"):
+            if getattr(self, attr) <= 0:
+                raise ModelError(f"{self.name}: {attr} must be positive")
+        if not 0.0 < self.FC < 1.0:
+            raise ModelError(f"{self.name}: FC must be in (0, 1)")
+        if not 0.0 <= self.XCJC <= 1.0:
+            raise ModelError(f"{self.name}: XCJC must be in [0, 1]")
+        for attr in ("MJE", "MJC", "MJS"):
+            if not 0.0 <= getattr(self, attr) < 1.0:
+                raise ModelError(f"{self.name}: {attr} must be in [0, 1)")
+
+    @property
+    def rbm_effective(self) -> float:
+        """RBM with its SPICE default (RB) applied."""
+        return self.RB if self.RBM is None else self.RBM
+
+    @property
+    def sign(self) -> float:
+        """+1 for npn, -1 for pnp (applied to terminal voltages/currents)."""
+        return 1.0 if self.polarity == "npn" else -1.0
+
+    def replace(self, **changes) -> "GummelPoonParameters":
+        """Return a copy with the given parameters changed."""
+        return replace(self, **changes)
+
+    def scaled_by_area(self, area: float) -> "GummelPoonParameters":
+        """SPICE emitter-area-factor scaling (the paper's baseline).
+
+        Currents and capacitances multiply by ``area``; resistances divide
+        by it.  This ignores perimeter effects and layout topology, which
+        is exactly the inaccuracy Section 4 of the paper addresses.
+        """
+        if area <= 0:
+            raise ModelError(f"area factor must be positive, got {area}")
+        return self.replace(
+            IS=self.IS * area,
+            ISE=self.ISE * area,
+            ISC=self.ISC * area,
+            IKF=self.IKF * area,
+            IKR=self.IKR * area,
+            ITF=self.ITF * area,
+            IRB=self.IRB * area,
+            CJE=self.CJE * area,
+            CJC=self.CJC * area,
+            CJS=self.CJS * area,
+            RB=self.RB / area,
+            RBM=None if self.RBM is None else self.RBM / area,
+            RE=self.RE / area,
+            RC=self.RC / area,
+        )
+
+    # -- deck round-trip -------------------------------------------------------
+
+    _SKIP_IN_CARD = ("name", "polarity")
+
+    def to_model_card(self) -> str:
+        """Render as a SPICE ``.MODEL`` card (one logical line)."""
+        parts = []
+        defaults = GummelPoonParameters()
+        for f in fields(self):
+            if f.name in self._SKIP_IN_CARD:
+                continue
+            value = getattr(self, f.name)
+            if f.name == "RBM":
+                if value is None:
+                    continue
+            elif value == getattr(defaults, f.name):
+                continue
+            if value == INFINITY:
+                continue
+            parts.append(f"{f.name}={value:.6g}")
+        kind = self.polarity.upper()
+        return f".MODEL {self.name} {kind}({' '.join(parts)})"
+
+    @classmethod
+    def from_card_params(
+        cls, name: str, polarity: str, params: dict[str, float]
+    ) -> "GummelPoonParameters":
+        """Build from a parsed ``.MODEL`` parameter dictionary."""
+        known = {f.name.upper(): f.name for f in fields(cls)}
+        kwargs: dict[str, float] = {}
+        for key, value in params.items():
+            attr = known.get(key.upper())
+            if attr is None or attr in cls._SKIP_IN_CARD:
+                raise ModelError(f"unknown BJT model parameter {key!r}")
+            kwargs[attr] = value
+        return cls(name=name, polarity=polarity.lower(), **kwargs)

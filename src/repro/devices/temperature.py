@@ -1,0 +1,126 @@
+"""Temperature adjustment of Gummel-Poon parameters.
+
+The paper's operating currents are "decided considering the radiation
+from the IC packages" — i.e. junction temperature is a first-class design
+input.  This module implements the SPICE temperature update: given a
+model extracted at TNOM, produce the equivalent parameter set at another
+junction temperature so every analysis (DC, AC, fT, transient) can run
+hot or cold.
+
+SPICE formulas (ratio t = T/TNOM, vt = kT/q):
+
+    IS(T)  = IS * t^XTI * exp( EG*(t-1) / (t*vt(TNOM)) )
+    BF(T)  = BF * t^XTB          BR(T) = BR * t^XTB
+    ISE(T) = ISE / t^XTB * [IS(T)/IS]^(1/NE)   (and ISC with NC)
+    VJ(T)  = VJ*t - 3*vt(T)*ln(t) - EG(TNOM)*t + EG(T)
+    CJ(T)  = CJ * (1 + MJ*(4e-4*(T-TNOM) - (VJ(T)-VJ)/VJ))
+
+with the Varshni bandgap EG(T) = 1.16 - 7.02e-4*T^2/(T+1108).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ModelError
+from .gummel_poon import thermal_voltage
+from .parameters import GummelPoonParameters
+
+CELSIUS_OFFSET = 273.15
+
+
+def celsius(temp_c: float) -> float:
+    """Convert a Celsius temperature to Kelvin."""
+    return temp_c + CELSIUS_OFFSET
+
+
+def bandgap_ev(temp: float) -> float:
+    """Silicon bandgap vs temperature (Varshni fit used by SPICE)."""
+    return 1.16 - 7.02e-4 * temp * temp / (temp + 1108.0)
+
+
+def _junction_potential(vj: float, temp: float, tnom: float) -> float:
+    ratio = temp / tnom
+    vt = thermal_voltage(temp)
+    return (vj * ratio
+            - 3.0 * vt * math.log(ratio)
+            - bandgap_ev(tnom) * ratio
+            + bandgap_ev(temp))
+
+
+def _junction_capacitance(cj: float, mj: float, vj_old: float,
+                          vj_new: float, temp: float, tnom: float) -> float:
+    if cj == 0.0:
+        return 0.0
+    return cj * (1.0 + mj * (4e-4 * (temp - tnom)
+                             - (vj_new - vj_old) / vj_old))
+
+
+def at_temperature(params: GummelPoonParameters,
+                   temp: float) -> GummelPoonParameters:
+    """Return the parameter set adjusted from TNOM to ``temp`` (K).
+
+    The result carries ``TNOM = temp`` so the (temperature-naive)
+    evaluation routines produce the hot/cold behaviour directly.
+    """
+    if temp <= 0:
+        raise ModelError(f"temperature must be positive (K), got {temp}")
+    tnom = params.TNOM
+    if temp == tnom:
+        return params
+    ratio = temp / tnom
+    vt_nom = thermal_voltage(tnom)
+
+    is_factor = (ratio ** params.XTI
+                 * math.exp(params.EG * (ratio - 1.0) / (ratio * vt_nom)))
+    is_new = params.IS * is_factor
+    beta_factor = ratio ** params.XTB
+
+    def leakage(i_leak: float, n: float) -> float:
+        if i_leak == 0.0:
+            return 0.0
+        return i_leak / beta_factor * is_factor ** (1.0 / n)
+
+    vje_new = _junction_potential(params.VJE, temp, tnom)
+    vjc_new = _junction_potential(params.VJC, temp, tnom)
+    vjs_new = _junction_potential(params.VJS, temp, tnom)
+    for name, value in (("VJE", vje_new), ("VJC", vjc_new),
+                        ("VJS", vjs_new)):
+        if value <= 0:
+            raise ModelError(
+                f"{name} collapses to {value:.3f} V at {temp:.0f} K — "
+                "outside the model's validity range"
+            )
+
+    return params.replace(
+        IS=is_new,
+        BF=params.BF * beta_factor,
+        BR=params.BR * beta_factor,
+        ISE=leakage(params.ISE, params.NE),
+        ISC=leakage(params.ISC, params.NC),
+        VJE=vje_new,
+        VJC=vjc_new,
+        VJS=vjs_new,
+        CJE=_junction_capacitance(params.CJE, params.MJE, params.VJE,
+                                  vje_new, temp, tnom),
+        CJC=_junction_capacitance(params.CJC, params.MJC, params.VJC,
+                                  vjc_new, temp, tnom),
+        CJS=_junction_capacitance(params.CJS, params.MJS, params.VJS,
+                                  vjs_new, temp, tnom),
+        TNOM=temp,
+    )
+
+
+def vbe_temperature_coefficient(params: GummelPoonParameters,
+                                ic: float, vce: float = 3.0,
+                                delta: float = 5.0) -> float:
+    """dVbe/dT (V/K) at constant collector current — the classic
+    ~-2 mV/K of a silicon junction, computed from the model."""
+    from .gummel_poon import solve_vbe_for_ic
+
+    tnom = params.TNOM
+    hot = at_temperature(params, tnom + delta)
+    cold = at_temperature(params, tnom - delta)
+    vbe_hot = solve_vbe_for_ic(hot, ic, vce, temp=tnom + delta)
+    vbe_cold = solve_vbe_for_ic(cold, ic, vce, temp=tnom - delta)
+    return (vbe_hot - vbe_cold) / (2.0 * delta)

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError`, so callers can
+catch one base class at the API boundary while tests can assert on the
+specific failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class UnitError(ReproError, ValueError):
+    """A quantity string could not be parsed as an engineering value."""
+
+
+class NetlistError(ReproError):
+    """A circuit description is structurally invalid."""
+
+
+class ParseError(ReproError):
+    """A textual input (SPICE deck or AHDL source) failed to parse.
+
+    Carries the line number when it is known.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ConvergenceError(ReproError):
+    """A nonlinear or transient solve failed to converge."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was requested with invalid or inconsistent arguments."""
+
+
+class ModelError(ReproError):
+    """A device model parameter set is invalid or incomplete."""
+
+
+class GeometryError(ReproError):
+    """A transistor shape or layout computation is invalid."""
+
+
+class ExtractionError(ReproError):
+    """Parameter extraction from measured data failed."""
+
+
+class CellDatabaseError(ReproError):
+    """A cell-database operation failed (missing cell, bad registration...)."""
+
+
+class DesignError(ReproError):
+    """A top-down design flow operation is invalid."""
+
+
+class AHDLError(ParseError):
+    """An AHDL source failed to compile or elaborate."""

@@ -1,0 +1,83 @@
+"""Geometry-dependent bipolar model parameter generation (paper Section 4)."""
+
+from .shape import (
+    FIG8_SHAPES,
+    FIG9_SHAPES,
+    TABLE1_SHAPES,
+    TransistorShape,
+)
+from .design_rules import MaskDesignRules
+from .process import ProcessData
+from .layout import (
+    LayoutReport,
+    base_contact_resistance,
+    collector_resistance,
+    emitter_resistance,
+    extrinsic_base_resistance,
+    intrinsic_base_resistance,
+    layout_report,
+    xcjc_fraction,
+)
+from .reference import (
+    REFERENCE_SHAPE_NAME,
+    SILICON_SPREAD,
+    ReferenceTransistor,
+    default_reference,
+)
+from .generator import (
+    CALIBRATED_PARAMETERS,
+    ModelParameterGenerator,
+    model_name_for_shape,
+)
+from .area_factor import AreaFactorScaler
+from .selection import (
+    DEFAULT_CANDIDATES,
+    ShapeScore,
+    ShapeSelection,
+    current_for_shape,
+    shape_for_current,
+)
+from .variation import (
+    MismatchSpec,
+    MonteCarloModels,
+    ProcessVariation,
+    YieldReport,
+    monte_carlo_image_rejection,
+    monte_carlo_models,
+)
+
+__all__ = [
+    "TransistorShape",
+    "FIG8_SHAPES",
+    "FIG9_SHAPES",
+    "TABLE1_SHAPES",
+    "MaskDesignRules",
+    "ProcessData",
+    "LayoutReport",
+    "layout_report",
+    "intrinsic_base_resistance",
+    "extrinsic_base_resistance",
+    "base_contact_resistance",
+    "emitter_resistance",
+    "collector_resistance",
+    "xcjc_fraction",
+    "ReferenceTransistor",
+    "default_reference",
+    "REFERENCE_SHAPE_NAME",
+    "SILICON_SPREAD",
+    "ModelParameterGenerator",
+    "model_name_for_shape",
+    "CALIBRATED_PARAMETERS",
+    "AreaFactorScaler",
+    "ShapeScore",
+    "ShapeSelection",
+    "shape_for_current",
+    "current_for_shape",
+    "DEFAULT_CANDIDATES",
+    "ProcessVariation",
+    "MismatchSpec",
+    "MonteCarloModels",
+    "YieldReport",
+    "monte_carlo_models",
+    "monte_carlo_image_rejection",
+]

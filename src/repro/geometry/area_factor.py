@@ -1,0 +1,46 @@
+"""The SPICE emitter-area-factor baseline (what the paper improves on).
+
+SPICE scales a reference model to another device size with a single
+"area" multiplier: currents and capacitances multiply by area,
+resistances divide by it.  The paper's Section 4 points out that RB, RE,
+RC, CJE, CJC and CJS "depend not only on the emitter area but also on
+their perimeter and their specific device geometry", so this scaling is
+inaccurate for shape changes that alter the perimeter-to-area ratio or
+the base-contact topology.
+
+This module packages the baseline behind the same interface as
+:class:`~repro.geometry.generator.ModelParameterGenerator` so benchmarks
+can compare the two head-to-head (the ``abl1`` ablation in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..devices.parameters import GummelPoonParameters
+from .generator import model_name_for_shape
+from .reference import ReferenceTransistor, default_reference
+from .shape import TransistorShape
+
+
+@dataclass
+class AreaFactorScaler:
+    """Scales a reference model by emitter-area ratio only."""
+
+    reference: ReferenceTransistor = field(default_factory=default_reference)
+
+    def area_factor(self, shape: TransistorShape | str) -> float:
+        """Emitter-area ratio target/reference — SPICE's ``area`` operand."""
+        if isinstance(shape, str):
+            shape = TransistorShape.from_name(shape)
+        return shape.emitter_area / self.reference.shape.emitter_area
+
+    def generate(self, shape: TransistorShape | str) -> GummelPoonParameters:
+        """The parameter set SPICE would effectively use for ``shape``."""
+        if isinstance(shape, str):
+            shape = TransistorShape.from_name(shape)
+        scaled = self.reference.parameters.scaled_by_area(self.area_factor(shape))
+        return scaled.replace(name=model_name_for_shape(shape) + "_AF")
+
+    def model_card(self, shape: TransistorShape | str) -> str:
+        return self.generate(shape).to_model_card()

@@ -1,0 +1,108 @@
+"""Mask design rules for the fictitious bipolar process.
+
+The paper's generator "needs the transistor process data and its mask
+design rule".  Toshiba's rules are proprietary; this module provides a
+physically sensible 0.8 um double-poly bipolar rule set.  The values fix
+the *layout arithmetic* (how big a device footprint a given emitter shape
+implies), which is what the geometry-dependent parameters consume — the
+shape dependence survives any reasonable choice of absolute numbers.
+
+All dimensions in micrometres.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GeometryError
+from .shape import TransistorShape
+
+
+@dataclass(frozen=True)
+class MaskDesignRules:
+    """Spacings and widths that determine a transistor's layout footprint."""
+
+    name: str = "toshiba96-like-0.8um"
+    emitter_base_spacing: float = 0.6  #: emitter edge to base contact edge
+    base_contact_width: float = 0.8  #: width of one base contact stripe
+    base_overhang: float = 0.8  #: base diffusion overhang past contacts
+    base_end_extension: float = 1.0  #: base extension past emitter ends
+    collector_base_spacing: float = 1.2  #: base diffusion to collector sinker
+    collector_contact_width: float = 1.0  #: collector sinker/contact width
+    isolation_spacing: float = 1.5  #: device edge to isolation wall
+    min_feature: float = 0.8  #: minimum drawn feature
+
+    def __post_init__(self):
+        for attr in (
+            "emitter_base_spacing", "base_contact_width", "base_overhang",
+            "base_end_extension", "collector_base_spacing",
+            "collector_contact_width", "isolation_spacing", "min_feature",
+        ):
+            if getattr(self, attr) <= 0:
+                raise GeometryError(f"design rule {attr} must be positive")
+
+    # -- layout arithmetic ------------------------------------------------------
+
+    def check_shape(self, shape: TransistorShape) -> None:
+        """Reject shapes that violate the minimum feature size."""
+        if shape.emitter_width < self.min_feature * 0.9:
+            raise GeometryError(
+                f"emitter width {shape.emitter_width}um below minimum "
+                f"feature {self.min_feature}um of rule set {self.name!r}"
+            )
+        if shape.emitter_length < self.min_feature:
+            raise GeometryError(
+                f"emitter strip length {shape.emitter_length}um below "
+                f"minimum feature {self.min_feature}um"
+            )
+
+    def base_width(self, shape: TransistorShape) -> float:
+        """Drawn base diffusion width across the strip direction (um).
+
+        Emitter strips and base contact stripes interleave; each
+        emitter-to-contact interface costs ``emitter_base_spacing`` and
+        each contact stripe costs ``base_contact_width``, with the base
+        diffusion overhanging the outermost features.
+        """
+        emitters = shape.emitter_strips * shape.emitter_width
+        contacts = shape.base_stripes * self.base_contact_width
+        interfaces = (shape.emitter_strips + shape.base_stripes - 1)
+        spacings = interfaces * self.emitter_base_spacing
+        return emitters + contacts + spacings + 2.0 * self.base_overhang
+
+    def base_length(self, shape: TransistorShape) -> float:
+        """Drawn base diffusion length along the strips (um)."""
+        return shape.emitter_length + 2.0 * self.base_end_extension
+
+    def base_area(self, shape: TransistorShape) -> float:
+        """Base-collector junction area (um^2)."""
+        return self.base_width(shape) * self.base_length(shape)
+
+    def base_perimeter(self, shape: TransistorShape) -> float:
+        """Base-collector junction perimeter (um)."""
+        return 2.0 * (self.base_width(shape) + self.base_length(shape))
+
+    def device_width(self, shape: TransistorShape) -> float:
+        """Collector-island width including sinker and spacings (um)."""
+        return (
+            self.base_width(shape)
+            + self.collector_base_spacing
+            + self.collector_contact_width
+            + 2.0 * self.isolation_spacing
+        )
+
+    def device_length(self, shape: TransistorShape) -> float:
+        """Collector-island length (um)."""
+        return self.base_length(shape) + 2.0 * self.isolation_spacing
+
+    def collector_area(self, shape: TransistorShape) -> float:
+        """Collector-substrate junction area (um^2)."""
+        return self.device_width(shape) * self.device_length(shape)
+
+    def collector_perimeter(self, shape: TransistorShape) -> float:
+        """Collector-substrate junction perimeter (um)."""
+        return 2.0 * (self.device_width(shape) + self.device_length(shape))
+
+    def extrinsic_base_path(self, shape: TransistorShape) -> float:
+        """Mean lateral path from a base contact to the emitter edge (um)."""
+        return self.emitter_base_spacing + self.base_contact_width / 2.0

@@ -1,0 +1,193 @@
+"""The model parameter generation program (paper Fig. 10).
+
+Flow, as in the paper:
+
+1. read in schematic data and extract transistor shapes,
+2. read in reference transistor model parameters (measured),
+3. read in transistor process and mask data,
+4. calculate model parameters for each new shape transistor,
+5. emit SPICE model cards / run SPICE analysis.
+
+The generator predicts each geometry-dependent parameter from layout
+arithmetic (:mod:`repro.geometry.layout`) and process densities, then —
+when a reference device is supplied — anchors every prediction with the
+ratio measured/predicted evaluated at the reference shape.  The reference
+device is therefore reproduced exactly, and other shapes scale with
+physical geometry laws instead of SPICE's bare area factor.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..devices.parameters import GummelPoonParameters
+from ..errors import GeometryError
+from .design_rules import MaskDesignRules
+from .layout import LayoutReport, layout_report
+from .process import ProcessData
+from .reference import ReferenceTransistor
+from .shape import TransistorShape
+
+#: Parameters anchored by the reference measurement (ratio calibration).
+CALIBRATED_PARAMETERS = (
+    "IS", "BF", "ISE", "IKF", "ITF", "CJE", "CJC", "CJS",
+    "RB", "RBM", "RE", "RC", "TF", "TR", "VAF", "VAR", "BR", "ISC",
+)
+
+
+def model_name_for_shape(shape: TransistorShape) -> str:
+    """A deck-safe model name for a shape (``N1.2x2-6D`` -> ``QN1P2X2_6D``)."""
+    text = shape.name.replace(".", "P").replace("-", "_").upper()
+    return "Q" + re.sub(r"[^A-Z0-9_]", "_", text)
+
+
+@dataclass
+class ModelParameterGenerator:
+    """Generates Gummel-Poon parameter sets for arbitrary transistor shapes."""
+
+    process: ProcessData = field(default_factory=ProcessData)
+    rules: MaskDesignRules = field(default_factory=MaskDesignRules)
+    reference: ReferenceTransistor | None = None
+
+    def __post_init__(self):
+        self._calibration: dict[str, float] = {}
+        if self.reference is not None:
+            self._calibrate(self.reference)
+
+    # -- calibration -------------------------------------------------------------
+
+    def _calibrate(self, reference: ReferenceTransistor) -> None:
+        """Compute measured/predicted anchors at the reference shape."""
+        predicted = self._predict(reference.shape)
+        measured = reference.parameters
+        for key in CALIBRATED_PARAMETERS:
+            predicted_value = _param_value(predicted, key)
+            measured_value = _param_value(measured, key)
+            if predicted_value <= 0 or measured_value <= 0:
+                continue
+            self._calibration[key] = measured_value / predicted_value
+
+    # -- prediction ---------------------------------------------------------------
+
+    def report(self, shape: TransistorShape | str) -> LayoutReport:
+        """Layout quantities for a shape (accepts shape or name)."""
+        shape = _as_shape(shape)
+        return layout_report(shape, self.rules, self.process)
+
+    def _predict(self, shape: TransistorShape) -> GummelPoonParameters:
+        """Nominal parameter prediction from process densities alone."""
+        p = self.process
+        geo = layout_report(shape, self.rules, p)
+        ae, pe = geo.emitter_area, geo.emitter_perimeter
+        ab, pb = geo.base_area, geo.base_perimeter
+        ac, pc = geo.collector_area, geo.collector_perimeter
+
+        i_s = p.js_area * ae + p.js_perimeter * pe
+        i_b = p.jb_area * ae + p.jb_perimeter * pe
+        return GummelPoonParameters(
+            name=model_name_for_shape(shape),
+            polarity="npn",
+            IS=i_s,
+            BF=i_s / i_b,
+            NF=p.nf,
+            VAF=p.vaf,
+            IKF=p.jkf * ae,
+            ISE=p.jse_perimeter * pe,
+            NE=p.ne,
+            BR=p.br,
+            NR=p.nr,
+            VAR=p.var,
+            IKR=p.jkf * ab,
+            ISC=p.jsc_perimeter * pb,
+            NC=p.nc,
+            RB=geo.rb_total,
+            RBM=geo.rb_minimum,
+            RE=geo.re_ohmic,
+            RC=geo.rc_ohmic,
+            CJE=p.cje_area * ae + p.cje_perimeter * pe,
+            VJE=p.vje,
+            MJE=p.mje,
+            CJC=p.cjc_area * ab + p.cjc_perimeter * pb,
+            VJC=p.vjc,
+            MJC=p.mjc,
+            XCJC=geo.xcjc,
+            CJS=p.cjs_area * ac + p.cjs_perimeter * pc,
+            VJS=p.vjs,
+            MJS=p.mjs,
+            TF=p.tf,
+            XTF=p.xtf,
+            VTF=p.vtf,
+            ITF=p.jtf * ae,
+            PTF=p.ptf,
+            TR=p.tr,
+        )
+
+    def generate(self, shape: TransistorShape | str) -> GummelPoonParameters:
+        """Generate the full parameter set for a shape.
+
+        With a reference device configured, predictions are anchored so
+        the reference shape reproduces its measured parameters exactly.
+        """
+        shape = _as_shape(shape)
+        predicted = self._predict(shape)
+        if not self._calibration:
+            return predicted
+        changes: dict[str, float] = {}
+        for key, factor in self._calibration.items():
+            changes[key] = _param_value(predicted, key) * factor
+        # Non-geometric parameters are taken from the measurement directly.
+        measured = self.reference.parameters
+        for key in ("NF", "NR", "NE", "NC", "VJE", "MJE", "VJC", "MJC",
+                    "VJS", "MJS", "XTF", "VTF", "PTF", "FC"):
+            changes[key] = getattr(measured, key)
+        return predicted.replace(**changes)
+
+    # -- deck emission ---------------------------------------------------------------
+
+    def model_card(self, shape: TransistorShape | str) -> str:
+        """SPICE ``.MODEL`` card text for a shape."""
+        return self.generate(shape).to_model_card()
+
+    def model_library(self, shapes) -> str:
+        """A deck fragment with one ``.MODEL`` card per shape."""
+        cards = [self.model_card(shape) for shape in shapes]
+        header = (
+            f"* Geometry-generated BJT models "
+            f"(process {self.process.name}, rules {self.rules.name})"
+        )
+        return "\n".join([header, *cards]) + "\n"
+
+    # -- schematic annotation (Fig. 10 step 1) ------------------------------------
+
+    def apply_shapes(self, circuit, shape_by_instance: dict[str, str]) -> None:
+        """Re-model BJT instances in a circuit according to a shape map.
+
+        ``shape_by_instance`` maps element names to shape names — the
+        "extract transistor shapes from the schematic" step of Fig. 10.
+        Instances are rebuilt in place with their generated models.
+        """
+        from ..spice.elements import BJT  # local import to avoid a cycle
+
+        for instance_name, shape_name in shape_by_instance.items():
+            element = circuit.element(instance_name)
+            if not isinstance(element, BJT):
+                raise GeometryError(
+                    f"{instance_name!r} is not a BJT (got "
+                    f"{type(element).__name__})"
+                )
+            model = self.generate(shape_name)
+            circuit.remove(instance_name)
+            circuit.add(BJT(element.name, element.nodes, model, area=1.0))
+
+
+def _as_shape(shape: TransistorShape | str) -> TransistorShape:
+    if isinstance(shape, TransistorShape):
+        return shape
+    return TransistorShape.from_name(shape)
+
+
+def _param_value(params: GummelPoonParameters, key: str) -> float:
+    if key == "RBM":
+        return params.rbm_effective
+    return getattr(params, key)

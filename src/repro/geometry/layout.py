@@ -1,0 +1,140 @@
+"""Layout arithmetic: from a transistor shape to geometry-dependent
+electrical quantities.
+
+This is the heart of the paper's Section 4: model parameters such as RB,
+RE, RC, CJE, CJC and CJS "depend not only on the emitter area but also on
+their perimeter and their specific device geometry".  Each function here
+computes one such quantity from the shape, the mask design rules and the
+process data.
+
+Resistance formulas follow the classic distributed-base treatment
+(Getreu, *Modeling the Bipolar Transistor*):
+
+* intrinsic (pinched) base under a strip contacted on ONE side:
+  ``Rsbi * W / (3 L)``; contacted on BOTH sides: ``Rsbi * W / (12 L)``
+  (the 1/12 comes from the distributed current flowing half the width
+  from each side);
+* extrinsic base: sheet path from the contact stripe to the emitter
+  edge, in parallel over all served emitter flanks;
+* emitter: contact resistivity over emitter area;
+* collector: vertical epi under the emitter, buried-layer lateral path,
+  and sinker, in series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GeometryError
+from .design_rules import MaskDesignRules
+from .process import ProcessData
+from .shape import TransistorShape
+
+
+@dataclass(frozen=True)
+class LayoutReport:
+    """All geometry-derived quantities for one transistor shape."""
+
+    shape: TransistorShape
+    emitter_area: float  #: um^2
+    emitter_perimeter: float  #: um
+    base_area: float  #: um^2 (B-C junction)
+    base_perimeter: float  #: um
+    collector_area: float  #: um^2 (C-S junction)
+    collector_perimeter: float  #: um
+    rb_intrinsic: float  #: ohm
+    rb_extrinsic: float  #: ohm
+    rb_contact: float  #: ohm
+    re_ohmic: float  #: ohm
+    rc_ohmic: float  #: ohm
+    xcjc: float  #: fraction of B-C capacitance under the emitter
+
+    @property
+    def rb_total(self) -> float:
+        return self.rb_intrinsic + self.rb_extrinsic + self.rb_contact
+
+    @property
+    def rb_minimum(self) -> float:
+        """Base resistance with the intrinsic part fully modulated away."""
+        return self.rb_extrinsic + self.rb_contact
+
+
+def intrinsic_base_resistance(
+    shape: TransistorShape, process: ProcessData
+) -> float:
+    """Pinched-base resistance under the emitter strips (ohm)."""
+    sides = shape.double_base_sides()
+    sides_per_strip = max(1, min(2, sides // shape.emitter_strips))
+    divisor = 12.0 if sides_per_strip == 2 else 3.0
+    per_strip = (
+        process.rsb_intrinsic
+        * shape.emitter_width
+        / (divisor * shape.emitter_length)
+    )
+    return per_strip / shape.emitter_strips
+
+
+def extrinsic_base_resistance(
+    shape: TransistorShape, rules: MaskDesignRules, process: ProcessData
+) -> float:
+    """Extrinsic base sheet resistance from contacts to emitter edge (ohm)."""
+    path = rules.extrinsic_base_path(shape)
+    per_flank = process.rsb_extrinsic * path / shape.emitter_length
+    flanks = shape.double_base_sides()
+    return per_flank / flanks
+
+
+def base_contact_resistance(
+    shape: TransistorShape, process: ProcessData
+) -> float:
+    """Base contact stripe resistance, parallel over stripes (ohm)."""
+    per_stripe = process.rb_contact / shape.emitter_length
+    return per_stripe / shape.base_stripes
+
+
+def emitter_resistance(shape: TransistorShape, process: ProcessData) -> float:
+    """Emitter contact + vertical resistance (ohm)."""
+    return process.re_contact / shape.emitter_area
+
+
+def collector_resistance(
+    shape: TransistorShape, rules: MaskDesignRules, process: ProcessData
+) -> float:
+    """Collector series resistance: epi + buried layer + sinker (ohm)."""
+    vertical = process.rc_epi / shape.emitter_area
+    lateral_path = rules.base_width(shape) / 2.0 + rules.collector_base_spacing
+    buried = process.rsc_buried * lateral_path / rules.base_length(shape)
+    sinker = process.rc_sinker / rules.base_length(shape)
+    return vertical + buried + sinker
+
+
+def xcjc_fraction(shape: TransistorShape, rules: MaskDesignRules) -> float:
+    """Fraction of the B-C junction lying under the emitter strips."""
+    fraction = shape.emitter_area / rules.base_area(shape)
+    return min(max(fraction, 0.0), 1.0)
+
+
+def layout_report(
+    shape: TransistorShape,
+    rules: MaskDesignRules | None = None,
+    process: ProcessData | None = None,
+) -> LayoutReport:
+    """Compute every geometry-derived quantity for ``shape``."""
+    rules = rules or MaskDesignRules()
+    process = process or ProcessData()
+    rules.check_shape(shape)
+    return LayoutReport(
+        shape=shape,
+        emitter_area=shape.emitter_area,
+        emitter_perimeter=shape.emitter_perimeter,
+        base_area=rules.base_area(shape),
+        base_perimeter=rules.base_perimeter(shape),
+        collector_area=rules.collector_area(shape),
+        collector_perimeter=rules.collector_perimeter(shape),
+        rb_intrinsic=intrinsic_base_resistance(shape, process),
+        rb_extrinsic=extrinsic_base_resistance(shape, rules, process),
+        rb_contact=base_contact_resistance(shape, process),
+        re_ohmic=emitter_resistance(shape, process),
+        rc_ohmic=collector_resistance(shape, rules, process),
+        xcjc=xcjc_fraction(shape, rules),
+    )

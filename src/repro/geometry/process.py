@@ -1,0 +1,97 @@
+"""Electrical process data for the fictitious high-frequency bipolar process.
+
+These are the per-unit densities the parameter generator combines with
+layout geometry: junction capacitances per area and per perimeter, sheet
+and contact resistances, current densities.  The absolute values describe
+a plausible mid-1990s double-poly bipolar process with fT around
+10-15 GHz (consistent with the paper's Fig. 9 axis); the geometry
+*dependence* of the generated parameters — the paper's point — follows
+from the formulas in :mod:`repro.geometry.layout`, not from these
+absolute numbers.
+
+Units: um for length, fF for capacitance densities as noted, A/um^2 and
+A/um for current densities, ohm/sq for sheet resistances, ohm*um^2 for
+contact resistivities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GeometryError
+
+
+@dataclass(frozen=True)
+class ProcessData:
+    """Per-unit electrical parameters of the bipolar process."""
+
+    name: str = "hf-bipolar-0.8um"
+
+    # Saturation-current densities (area + sidewall components).
+    js_area: float = 4.0e-18  #: A/um^2, bottom component of IS
+    js_perimeter: float = 2.4e-19  #: A/um, sidewall component of IS
+
+    # Base current densities (set ideal beta and its geometry dependence).
+    jb_area: float = 4.0e-20  #: A/um^2, bulk base recombination
+    jb_perimeter: float = 1.0e-20  #: A/um, surface recombination
+
+    # Nonideal B-E leakage (perimeter dominated).
+    jse_perimeter: float = 4.0e-16  #: A/um
+    ne: float = 2.0
+
+    # High-injection knees (proportional to emitter area).
+    jkf: float = 4.0e-4  #: A/um^2 forward knee current density
+    jtf: float = 6.0e-4  #: A/um^2 ITF density (transit-time roll-off)
+
+    # Junction capacitance densities (F/um^2 and F/um).
+    cje_area: float = 3.0e-15
+    cje_perimeter: float = 0.8e-15
+    vje: float = 0.9
+    mje: float = 0.35
+    cjc_area: float = 0.65e-15
+    cjc_perimeter: float = 0.26e-15
+    vjc: float = 0.65
+    mjc: float = 0.33
+    cjs_area: float = 0.18e-15
+    cjs_perimeter: float = 0.26e-15
+    vjs: float = 0.55
+    mjs: float = 0.40
+
+    # Resistances.
+    rsb_intrinsic: float = 9000.0  #: ohm/sq pinched base sheet under emitter
+    rsb_extrinsic: float = 450.0  #: ohm/sq extrinsic base sheet
+    rb_contact: float = 40.0  #: ohm*um, contact resistance per unit stripe length
+    re_contact: float = 18.0  #: ohm*um^2 emitter contact resistivity
+    rc_epi: float = 600.0  #: ohm*um^2 vertical epi resistance per emitter area
+    rsc_buried: float = 25.0  #: ohm/sq buried-layer sheet
+    rc_sinker: float = 12.0  #: ohm*um, sinker resistance per unit length
+
+    # Vertical-profile transit time (geometry independent to first order).
+    tf: float = 1.0e-11  #: s, forward transit time
+    xtf: float = 2.0  #: TF bias-dependence coefficient
+    vtf: float = 2.5  #: V
+    ptf: float = 25.0  #: degrees excess phase
+    tr: float = 1.2e-9  #: s, reverse transit time
+
+    # DC parameters without strong geometry dependence.
+    nf: float = 1.0
+    nr: float = 1.0
+    vaf: float = 45.0
+    var: float = 4.0
+    br: float = 2.5
+    jsc_perimeter: float = 1.0e-15  #: A/um, B-C leakage density
+    nc: float = 2.0
+
+    def __post_init__(self):
+        positive = (
+            "js_area", "js_perimeter", "jb_area", "jb_perimeter",
+            "jse_perimeter", "jkf", "jtf",
+            "cje_area", "cje_perimeter", "cjc_area", "cjc_perimeter",
+            "cjs_area", "cjs_perimeter",
+            "rsb_intrinsic", "rsb_extrinsic", "rb_contact", "re_contact",
+            "rc_epi", "rsc_buried", "rc_sinker", "tf",
+            "nf", "nr", "vaf", "var", "br",
+        )
+        for attr in positive:
+            if getattr(self, attr) <= 0:
+                raise GeometryError(f"process parameter {attr} must be positive")

@@ -1,0 +1,80 @@
+"""Reference transistor: the measured anchor device of the generator flow.
+
+The paper's generator consumes "reference transistor model parameters
+which are based on actual measurements".  Without a fab, this module
+provides the equivalent: a reference device whose parameter set is the
+nominal process prediction perturbed by a deterministic "silicon spread"
+(real devices never land exactly on the process file).  The
+:mod:`repro.measurement` package can regenerate these parameters from
+synthetic measured curves, closing the measure-extract-generate loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.parameters import GummelPoonParameters
+from .design_rules import MaskDesignRules
+from .process import ProcessData
+from .shape import TransistorShape
+
+
+@dataclass(frozen=True)
+class ReferenceTransistor:
+    """A measured device: its drawn shape and extracted model parameters."""
+
+    shape: TransistorShape
+    parameters: GummelPoonParameters
+
+
+#: Deterministic multiplicative "silicon spread" applied to the nominal
+#: process prediction to produce the reference device's measured values.
+#: Chosen once, within typical bipolar run-to-run variation.
+SILICON_SPREAD: dict[str, float] = {
+    "IS": 1.08,
+    "BF": 0.93,
+    "ISE": 1.20,
+    "IKF": 0.95,
+    "ITF": 0.95,
+    "CJE": 1.05,
+    "CJC": 1.04,
+    "CJS": 1.06,
+    "RB": 1.10,
+    "RBM": 1.07,
+    "RE": 1.12,
+    "RC": 1.09,
+    "TF": 1.03,
+    "TR": 1.00,
+    "VAF": 0.97,
+    "VAR": 1.00,
+    "BR": 0.90,
+    "ISC": 1.15,
+}
+
+#: The shape of the standard reference device (measured on every lot).
+REFERENCE_SHAPE_NAME = "N1.2-6D"
+
+
+def default_reference(
+    process: ProcessData | None = None,
+    rules: MaskDesignRules | None = None,
+) -> ReferenceTransistor:
+    """The standard reference device with its "measured" parameters.
+
+    Built as: nominal prediction for the reference shape (from the
+    process file and design rules) times the silicon spread.
+    """
+    from .generator import ModelParameterGenerator  # cycle: generator uses us
+
+    process = process or ProcessData()
+    rules = rules or MaskDesignRules()
+    shape = TransistorShape.from_name(REFERENCE_SHAPE_NAME)
+    nominal = ModelParameterGenerator(process, rules).generate(shape)
+    changes: dict[str, float] = {}
+    for key, factor in SILICON_SPREAD.items():
+        value = getattr(nominal, key)
+        if value is None:  # RBM default
+            value = nominal.rbm_effective
+        changes[key] = value * factor
+    measured = nominal.replace(name="QREF", **changes)
+    return ReferenceTransistor(shape=shape, parameters=measured)

@@ -1,0 +1,140 @@
+"""Transistor shape selection for a given operating current.
+
+The paper's Section 4 workflow, automated: "In most of analog ICs, the
+current needed for a circuit has been decided considering the radiation
+from the IC packages.  Once the circuit topology and operating current
+are determined, the transistor shape will then be selected according to
+that current."
+
+Given the operating collector current, :func:`shape_for_current` scores
+candidate shapes by the fT their generated models deliver *at that
+current* (optionally penalized by capacitive loading for switching
+stages) and returns the ranked table — the decision the paper reads off
+Fig. 9 and validates with Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..devices.ft import ft_at_ic
+from ..errors import GeometryError
+from .generator import ModelParameterGenerator
+from .shape import TABLE1_SHAPES, TransistorShape
+
+
+#: Default candidate family: the Fig. 8 taxonomy plus longer variants.
+DEFAULT_CANDIDATES: tuple[str, ...] = TABLE1_SHAPES + (
+    "N1.2-24D", "N1.2-48D",
+)
+
+
+@dataclass(frozen=True)
+class ShapeScore:
+    """One candidate's figures at the operating current."""
+
+    shape: TransistorShape
+    ft: float  #: transition frequency at the operating current (Hz)
+    load_capacitance: float  #: CJE + 2*CJC + CJS parasitic load (F)
+    rb_delay: float  #: RB * load_capacitance input-pole delay (s)
+    figure_of_merit: float  #: 1/total-delay, what the ranking maximizes
+
+    @property
+    def name(self) -> str:
+        return self.shape.name
+
+    @property
+    def total_delay(self) -> float:
+        return 1.0 / self.figure_of_merit
+
+
+@dataclass(frozen=True)
+class ShapeSelection:
+    """Ranked outcome of a shape search."""
+
+    operating_current: float
+    scores: tuple[ShapeScore, ...]  #: best first
+
+    @property
+    def best(self) -> ShapeScore:
+        return self.scores[0]
+
+    def table(self) -> str:
+        lines = [
+            f"  shape selection at Ic = "
+            f"{self.operating_current * 1e3:.2f} mA:",
+            "  rank  shape        fT [GHz]   RB-delay [ps]   "
+            "total delay [ps]",
+        ]
+        for rank, score in enumerate(self.scores, start=1):
+            lines.append(
+                f"  {rank:4d}  {score.name:11s} {score.ft / 1e9:8.2f}"
+                f"   {score.rb_delay * 1e12:11.1f}"
+                f"   {score.total_delay * 1e12:14.1f}"
+            )
+        return "\n".join(lines)
+
+
+def shape_for_current(
+    ic: float,
+    generator: ModelParameterGenerator,
+    candidates: Sequence[str | TransistorShape] = DEFAULT_CANDIDATES,
+    vce: float = 3.0,
+    loading_weight: float = 1.0,
+) -> ShapeSelection:
+    """Rank candidate shapes for operation at collector current ``ic``.
+
+    Scores each shape by an estimated switching delay
+
+        tau = 1/(2*pi*fT(ic)) + loading_weight * RB*(CJE + 2*CJC + CJS)
+
+    and ranks by 1/tau.  The first term is the intrinsic speed at the
+    given current (the Fig. 9 read-off, punishing undersized devices in
+    Kirk roll-off); the second is the base-resistance input pole with
+    Miller-doubled feedback capacitance (punishing single-base and
+    wide-emitter layouts).  With ``loading_weight = 1`` this reproduces
+    the paper's Table 1 ordering among the Fig. 8 shapes at the ring's
+    operating current; ``loading_weight = 0`` ranks by fT alone.
+    """
+    if ic <= 0:
+        raise GeometryError("operating current must be positive")
+    if not candidates:
+        raise GeometryError("need at least one candidate shape")
+    if loading_weight < 0:
+        raise GeometryError("loading_weight must be non-negative")
+
+    scores = []
+    for candidate in candidates:
+        shape = (candidate if isinstance(candidate, TransistorShape)
+                 else TransistorShape.from_name(candidate))
+        model = generator.generate(shape)
+        point = ft_at_ic(model, ic, vce)
+        load = model.CJE + 2.0 * model.CJC + model.CJS
+        rb_delay = model.RB * load
+        tau = 1.0 / (2.0 * 3.141592653589793 * point.ft)
+        tau += loading_weight * rb_delay
+        scores.append(ShapeScore(
+            shape=shape, ft=point.ft, load_capacitance=load,
+            rb_delay=rb_delay, figure_of_merit=1.0 / tau,
+        ))
+    scores.sort(key=lambda s: s.figure_of_merit, reverse=True)
+    return ShapeSelection(operating_current=ic, scores=tuple(scores))
+
+
+def current_for_shape(
+    shape: TransistorShape | str,
+    generator: ModelParameterGenerator,
+    vce: float = 3.0,
+) -> float:
+    """The collector current a shape *wants*: its fT-peak current.
+
+    The inverse question — "this device is best used at which current?"
+    — used when the current budget is still open.
+    """
+    from ..devices.ft import peak_ft
+
+    if isinstance(shape, str):
+        shape = TransistorShape.from_name(shape)
+    model = generator.generate(shape)
+    return peak_ft(model, 1e-5, 5e-2, points=81).ic

@@ -1,0 +1,185 @@
+"""Transistor shape descriptions and the paper's shape-name codec.
+
+The paper (Fig. 8) selects bipolar transistor shapes by emitter length,
+emitter width, number of emitter strips and number of base stripes, and
+names them like::
+
+    N1.2-6S      single emitter 1.2um x 6um, single base stripe
+    N1.2-6D      same emitter, double base stripes
+    N2.4-6D      emitter 2.4um x 6um, double base
+    N1.2x2-6S    two emitter strips, single base, same total emitter
+                 area as N1.2-6S (each strip 1.2um x 3um)
+    N1.2-12D     emitter 1.2um x 12um, double base
+    N1.2x2-6T    two emitter strips, triple base stripes
+
+Grammar: ``N<width>[x<strips>]-<total_length><S|D|T|Q>``.  The length is
+the *total* emitter length; with multiple strips each strip carries
+``total_length / strips``, so "x2" variants keep the emitter area of
+their single-strip sibling, matching the paper's Fig. 8 captions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import GeometryError
+
+_BASE_CODES = {"S": 1, "D": 2, "T": 3, "Q": 4}
+_BASE_LETTERS = {count: letter for letter, count in _BASE_CODES.items()}
+
+_NAME_RE = re.compile(
+    r"""^N
+        (?P<width>\d+(?:\.\d+)?)
+        (?:[xX](?P<strips>\d+))?
+        -
+        (?P<length>\d+(?:\.\d+)?)
+        (?P<base>[SDTQ])
+        $""",
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class TransistorShape:
+    """Geometric description of a bipolar transistor.
+
+    Dimensions are in micrometres.  ``emitter_length`` is the length of
+    *one* strip; :attr:`total_emitter_length` multiplies by the strip
+    count.
+    """
+
+    emitter_width: float  #: emitter strip width (um)
+    emitter_length: float  #: single emitter strip length (um)
+    emitter_strips: int = 1  #: number of parallel emitter strips
+    base_stripes: int = 1  #: number of base contact stripes
+
+    def __post_init__(self):
+        if self.emitter_width <= 0 or self.emitter_length <= 0:
+            raise GeometryError(
+                f"emitter dimensions must be positive, got "
+                f"{self.emitter_width} x {self.emitter_length}"
+            )
+        if self.emitter_strips < 1:
+            raise GeometryError("emitter_strips must be >= 1")
+        if self.base_stripes < 1:
+            raise GeometryError("base_stripes must be >= 1")
+        if self.base_stripes > self.emitter_strips + 1:
+            raise GeometryError(
+                f"{self.base_stripes} base stripes cannot interleave "
+                f"{self.emitter_strips} emitter strip(s) "
+                "(at most strips+1 fit)"
+            )
+
+    # -- derived emitter geometry ---------------------------------------------
+
+    @property
+    def total_emitter_length(self) -> float:
+        """Sum of strip lengths (um)."""
+        return self.emitter_length * self.emitter_strips
+
+    @property
+    def emitter_area(self) -> float:
+        """Total emitter junction area (um^2)."""
+        return self.emitter_width * self.total_emitter_length
+
+    @property
+    def emitter_perimeter(self) -> float:
+        """Total emitter junction perimeter over all strips (um)."""
+        return 2.0 * self.emitter_strips * (self.emitter_width + self.emitter_length)
+
+    @property
+    def perimeter_to_area(self) -> float:
+        """P/A ratio (1/um) — the quantity area-factor scaling ignores."""
+        return self.emitter_perimeter / self.emitter_area
+
+    def double_base_sides(self) -> int:
+        """Number of emitter-strip flanks adjacent to a base stripe.
+
+        Emitter strips and base-contact stripes interleave in a row, so
+        the number of emitter-flank/contact interfaces is
+        ``strips + stripes - 1`` (each adjacent pair shares one), capped
+        at two flanks per strip.  A lone stripe beside a lone strip
+        serves one flank (one-sided base); two stripes sandwiching one
+        strip serve both flanks.  This count controls the intrinsic
+        base resistance (W/3L one-sided vs W/12L two-sided per strip).
+        """
+        return min(self.emitter_strips + self.base_stripes - 1,
+                   2 * self.emitter_strips)
+
+    # -- codec -----------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Canonical paper-style shape name (e.g. ``N1.2x2-6D``)."""
+        width = _format_dim(self.emitter_width)
+        length = _format_dim(self.total_emitter_length)
+        strips = f"x{self.emitter_strips}" if self.emitter_strips > 1 else ""
+        letter = _BASE_LETTERS.get(self.base_stripes)
+        if letter is None:
+            raise GeometryError(
+                f"no name letter for {self.base_stripes} base stripes"
+            )
+        return f"N{width}{strips}-{length}{letter}"
+
+    @classmethod
+    def from_name(cls, name: str) -> "TransistorShape":
+        """Parse a paper-style shape name.
+
+        >>> TransistorShape.from_name("N1.2-12D")
+        TransistorShape(emitter_width=1.2, emitter_length=12.0, emitter_strips=1, base_stripes=2)
+        """
+        match = _NAME_RE.match(name.strip())
+        if not match:
+            raise GeometryError(f"cannot parse shape name {name!r}")
+        strips = int(match.group("strips") or 1)
+        total_length = float(match.group("length"))
+        return cls(
+            emitter_width=float(match.group("width")),
+            emitter_length=total_length / strips,
+            emitter_strips=strips,
+            base_stripes=_BASE_CODES[match.group("base")],
+        )
+
+    def scaled_length(self, factor: float) -> "TransistorShape":
+        """A copy with the strip length scaled by ``factor``."""
+        if factor <= 0:
+            raise GeometryError("scale factor must be positive")
+        return TransistorShape(
+            emitter_width=self.emitter_width,
+            emitter_length=self.emitter_length * factor,
+            emitter_strips=self.emitter_strips,
+            base_stripes=self.base_stripes,
+        )
+
+
+def _format_dim(value: float) -> str:
+    """Format a dimension the way the paper does (1.2, 6, 12...)."""
+    if value == int(value):
+        return str(int(value))
+    return f"{value:g}"
+
+
+#: The shapes of the paper's Fig. 8 (a)-(f), keyed by caption letter.
+FIG8_SHAPES: dict[str, str] = {
+    "a": "N1.2-6S",
+    "b": "N1.2-6D",
+    "c": "N2.4-6D",
+    "d": "N1.2x2-6S",
+    "e": "N1.2-12D",
+    "f": "N1.2x2-6T",
+}
+
+#: The shapes swept in the paper's Fig. 9 (fT vs Ic).
+FIG9_SHAPES: tuple[str, ...] = ("N1.2-6D", "N1.2-12D", "N1.2-24D", "N1.2-48D")
+
+#: The shapes of Table 1 (ring-oscillator frequency sweep) — the Fig. 8
+#: taxonomy applied uniformly to the differential-pair transistors.
+TABLE1_SHAPES: tuple[str, ...] = (
+    "N1.2-6S",
+    "N1.2-6D",
+    "N2.4-6D",
+    "N1.2x2-6S",
+    "N1.2-12D",
+    "N1.2x2-6T",
+)

@@ -1,0 +1,37 @@
+"""Synthetic device measurement and model parameter extraction."""
+
+from .synthetic import (
+    CVCurve,
+    FTSweep,
+    GummelPlot,
+    MeasurementSet,
+    measure_device,
+)
+from .extraction import (
+    ExtractionReport,
+    extract_bf,
+    extract_ikf,
+    extract_is_nf,
+    extract_ise_ne,
+    extract_parameters,
+    extract_tf,
+    extract_xtf_itf,
+    fit_junction_cv,
+)
+
+__all__ = [
+    "GummelPlot",
+    "CVCurve",
+    "FTSweep",
+    "MeasurementSet",
+    "measure_device",
+    "ExtractionReport",
+    "extract_parameters",
+    "extract_is_nf",
+    "extract_bf",
+    "extract_ise_ne",
+    "extract_ikf",
+    "fit_junction_cv",
+    "extract_tf",
+    "extract_xtf_itf",
+]

@@ -1,0 +1,153 @@
+"""Synthetic device measurements (the "virtual fab").
+
+The paper's generator needs "reference transistor model parameters which
+are based on actual measurements" (Getreu-style characterization).  We
+have no fab, so this module *simulates the measurements*: given a hidden
+golden parameter set (the silicon), it produces the classic
+characterization curves with realistic instrument noise:
+
+* Gummel plot: Ic(Vbe), Ib(Vbe) at fixed Vce,
+* junction C-V: C(V) for B-E and B-C in reverse bias,
+* fT versus Ic at fixed Vce,
+* ohmic resistances (RE/RB/RC from impedance methods, reported directly
+  with noise).
+
+The extraction pipeline (:mod:`repro.measurement.extraction`) recovers a
+parameter set from these curves alone — the same code path a real lab
+would run — so the generate-for-shape flow is exercised end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..devices.gummel_poon import depletion_charge, evaluate, solve_vbe_for_ic
+from ..devices.ft import ft_at_ic
+from ..devices.parameters import GummelPoonParameters
+from ..errors import ExtractionError
+
+
+@dataclass(frozen=True)
+class GummelPlot:
+    """Forward Gummel measurement at fixed Vce."""
+
+    vce: float
+    vbe: np.ndarray
+    ic: np.ndarray
+    ib: np.ndarray
+
+
+@dataclass(frozen=True)
+class CVCurve:
+    """Reverse-bias junction capacitance measurement."""
+
+    junction: str  #: "be" or "bc"
+    reverse_voltage: np.ndarray  #: positive values = reverse bias
+    capacitance: np.ndarray
+
+
+@dataclass(frozen=True)
+class FTSweep:
+    """fT versus collector current at fixed Vce."""
+
+    vce: float
+    ic: np.ndarray
+    ft: np.ndarray
+
+
+@dataclass(frozen=True)
+class MeasurementSet:
+    """Everything the extraction pipeline gets to see."""
+
+    gummel: GummelPlot
+    cv_be: CVCurve
+    cv_bc: CVCurve
+    ft_sweep: FTSweep
+    re_ohmic: float
+    rb_ohmic: float
+    rc_ohmic: float
+
+
+def measure_device(
+    golden: GummelPoonParameters,
+    noise: float = 0.01,
+    seed: int = 1996,
+    vce_gummel: float = 2.0,
+    vbe_range: tuple[float, float] = (0.30, 0.95),
+    gummel_points: int = 131,
+    cv_max_reverse: float = 5.0,
+    cv_points: int = 41,
+    ft_ic_range: tuple[float, float] = (5e-5, 2e-2),
+    ft_points: int = 41,
+    ft_vce: float = 3.0,
+) -> MeasurementSet:
+    """Run the virtual characterization bench on a golden device.
+
+    ``noise`` is the 1-sigma relative instrument error (multiplicative
+    lognormal); ``seed`` makes runs reproducible.
+    """
+    if noise < 0:
+        raise ExtractionError("noise must be non-negative")
+    rng = np.random.default_rng(seed)
+
+    def noisy(values: np.ndarray) -> np.ndarray:
+        if noise == 0:
+            return values
+        return values * rng.lognormal(mean=0.0, sigma=noise,
+                                      size=np.shape(values))
+
+    # Gummel plot: junction voltages are the *internal* ones; the bench
+    # applies terminal voltages, so the ohmic drops are part of the data
+    # (and the extraction must stay below the currents where they bite).
+    vbe = np.linspace(*vbe_range, gummel_points)
+    ic = np.empty_like(vbe)
+    ib = np.empty_like(vbe)
+    for i, v in enumerate(vbe):
+        # terminal Vbe -> internal via a fixed-point on the ohmic drops
+        v_int = v
+        for _ in range(30):
+            op = evaluate(golden, v_int, v_int - vce_gummel)
+            drop = op.ib * golden.rbm_effective + (op.ib + op.ic) * golden.RE
+            v_new = v - drop
+            if abs(v_new - v_int) < 1e-9:
+                break
+            v_int = 0.5 * v_int + 0.5 * v_new
+        op = evaluate(golden, v_int, v_int - vce_gummel)
+        ic[i] = max(op.ic, 1e-18)
+        ib[i] = max(op.ib, 1e-18)
+    gummel = GummelPlot(vce_gummel, vbe, noisy(ic), noisy(ib))
+
+    # Junction C-V in reverse bias (forward voltage = -reverse voltage).
+    vr = np.linspace(0.0, cv_max_reverse, cv_points)
+    c_be = np.array([
+        depletion_charge(-v, golden.CJE, golden.VJE, golden.MJE, golden.FC)[1]
+        for v in vr
+    ])
+    c_bc = np.array([
+        depletion_charge(-v, golden.CJC, golden.VJC, golden.MJC, golden.FC)[1]
+        for v in vr
+    ])
+    cv_be = CVCurve("be", vr, noisy(c_be))
+    cv_bc = CVCurve("bc", vr, noisy(c_bc))
+
+    # fT sweep.
+    ics = np.geomspace(*ft_ic_range, ft_points)
+    fts = np.array([ft_at_ic(golden, float(i), ft_vce).ft for i in ics])
+    ft_sweep = FTSweep(ft_vce, ics, noisy(fts))
+
+    def noisy_scalar(value: float) -> float:
+        if noise == 0:
+            return value
+        return float(value * rng.lognormal(0.0, noise))
+
+    return MeasurementSet(
+        gummel=gummel,
+        cv_be=cv_be,
+        cv_bc=cv_bc,
+        ft_sweep=ft_sweep,
+        re_ohmic=noisy_scalar(golden.RE),
+        rb_ohmic=noisy_scalar(golden.RB),
+        rc_ohmic=noisy_scalar(golden.RC),
+    )

@@ -1,0 +1,78 @@
+"""RF system models: tuners, image rejection, ring oscillators."""
+
+from .spectrum import FrequencyPlan
+from .image_rejection import (
+    ImbalanceSpec,
+    build_image_rejection_mixer,
+    build_weaver_mixer,
+    fig5_sweep,
+    image_rejection_ratio_db,
+    required_matching,
+    simulate_image_rejection_db,
+    simulate_weaver_image_rejection_db,
+)
+from .tuner import (
+    TunerConfig,
+    TunerPerformance,
+    build_conventional_tuner,
+    build_image_rejection_tuner,
+    measure_tuner,
+)
+from .filter_design import (
+    bandwidth_for_rejection,
+    butterworth_rejection_db,
+    filter_only_feasibility,
+    order_for_rejection,
+)
+from .mixer_cell import (
+    ConversionGainMeasurement,
+    GilbertMixerSpec,
+    build_gilbert_mixer,
+    ideal_conversion_gain,
+    measure_conversion_gain,
+)
+from .pll import ChargePumpPLL, synthesizer_for_channel
+from .ring_oscillator import (
+    OscillationMeasurement,
+    RingOscillatorSpec,
+    build_ring_oscillator,
+    differential_pair_names,
+    estimate_frequency_from_delay,
+    measure_frequency,
+    run_ring_oscillator,
+)
+
+__all__ = [
+    "FrequencyPlan",
+    "ImbalanceSpec",
+    "image_rejection_ratio_db",
+    "simulate_image_rejection_db",
+    "build_image_rejection_mixer",
+    "build_weaver_mixer",
+    "simulate_weaver_image_rejection_db",
+    "fig5_sweep",
+    "required_matching",
+    "TunerConfig",
+    "TunerPerformance",
+    "build_conventional_tuner",
+    "build_image_rejection_tuner",
+    "measure_tuner",
+    "butterworth_rejection_db",
+    "order_for_rejection",
+    "bandwidth_for_rejection",
+    "filter_only_feasibility",
+    "GilbertMixerSpec",
+    "ConversionGainMeasurement",
+    "build_gilbert_mixer",
+    "measure_conversion_gain",
+    "ideal_conversion_gain",
+    "ChargePumpPLL",
+    "synthesizer_for_channel",
+    "RingOscillatorSpec",
+    "OscillationMeasurement",
+    "build_ring_oscillator",
+    "run_ring_oscillator",
+    "measure_frequency",
+    "differential_pair_names",
+    "estimate_frequency_from_delay",
+]

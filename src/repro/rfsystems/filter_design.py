@@ -1,0 +1,100 @@
+"""First-IF filter feasibility arithmetic (the paper's motivation).
+
+Section 2.2: rejecting the image "in the 1st IF of the tuner [is] very
+difficult because it requires a very narrow band pass filter".  This
+module quantifies that sentence: given a Butterworth band-pass at the
+1.3 GHz first IF, how much rejection does it give 90 MHz away — and
+what order or bandwidth would the *filter-only* (Fig. 2) tuner need to
+meet a spec that the image-rejection mixer (Fig. 4) meets with relaxed
+filtering?
+
+Butterworth band-pass attenuation at offset ``f`` from center ``f0``
+with bandwidth ``B`` and order ``n``:
+
+    |H|^2 = 1 / (1 + x^(2n)),   x = (f/f0 - f0/f) * f0/B
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import DesignError
+from .spectrum import FrequencyPlan
+
+
+def butterworth_rejection_db(
+    center: float, bandwidth: float, order: int, frequency: float
+) -> float:
+    """Stop-band rejection (positive dB) of a Butterworth band-pass."""
+    if center <= 0 or bandwidth <= 0 or order < 1 or frequency <= 0:
+        raise DesignError("bad filter parameters")
+    x = abs(frequency / center - center / frequency) * center / bandwidth
+    return 10.0 * math.log10(1.0 + x ** (2 * order))
+
+
+def order_for_rejection(
+    center: float, bandwidth: float, frequency: float, target_db: float,
+    max_order: int = 20,
+) -> int | None:
+    """Smallest Butterworth order reaching ``target_db`` at ``frequency``.
+
+    Returns None when even ``max_order`` is not enough (the offset lies
+    inside or too close to the passband).
+    """
+    for order in range(1, max_order + 1):
+        if butterworth_rejection_db(center, bandwidth, order,
+                                    frequency) >= target_db:
+            return order
+    return None
+
+
+def bandwidth_for_rejection(
+    center: float, order: int, frequency: float, target_db: float
+) -> float:
+    """Largest bandwidth meeting ``target_db`` at ``frequency``.
+
+    Inverts the Butterworth law: x = (10^(A/10) - 1)^(1/2n), then
+    B = |f/f0 - f0/f| * f0 / x.
+    """
+    if target_db <= 0:
+        raise DesignError("target rejection must be positive dB")
+    x = (10.0 ** (target_db / 10.0) - 1.0) ** (1.0 / (2 * order))
+    offset = abs(frequency / center - center / frequency) * center
+    return offset / x
+
+
+def filter_only_feasibility(
+    target_irr_db: float,
+    plan: FrequencyPlan | None = None,
+    order: int = 3,
+    channel_bandwidth: float = 6e6,
+    max_practical_q: float = 25.0,
+) -> dict[str, float | bool]:
+    """Can the Fig. 2 (filter-only) tuner meet an IRR target at all?
+
+    Computes the 1st-IF bandwidth a Butterworth of the given order would
+    need to reject the image at ``rf2`` by ``target_irr_db``, the
+    resonator quality factor ``Q = f0/B`` that bandwidth implies at
+    1.3 GHz, and whether the filter is realizable: it must still pass a
+    television channel AND stay below the practical Q of the era's
+    filter technology.  This is the quantified version of the paper's
+    "it requires a very narrow band pass filter".
+    """
+    plan = plan or FrequencyPlan()
+    required_bw = bandwidth_for_rejection(
+        plan.first_if, order, plan.first_if_image, target_irr_db
+    )
+    required_q = plan.first_if / required_bw
+    passes_channel = required_bw >= channel_bandwidth
+    realizable_q = required_q <= max_practical_q
+    return {
+        "target_irr_db": target_irr_db,
+        "image_offset_hz": abs(plan.first_if - plan.first_if_image),
+        "required_bandwidth_hz": required_bw,
+        "fractional_bandwidth": required_bw / plan.first_if,
+        "required_q": required_q,
+        "passes_channel": passes_channel,
+        "realizable_q": realizable_q,
+        "feasible": passes_channel and realizable_q,
+        "order": order,
+    }

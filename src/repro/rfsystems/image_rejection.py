@@ -1,0 +1,272 @@
+"""Image-rejection mixer: theory and behavioral simulation (paper Fig. 5).
+
+The Fig. 4 architecture (a Hartley image-reject downconverter): the 1st
+IF splits into two paths mixed against quadrature 2nd-LO phases; one
+2nd-IF path is shifted a further 90 degrees and the paths are summed.
+The wanted signal's components add; the image's cancel — *exactly* only
+when the two 90-degree shifters are perfect.  Fig. 5 plots the
+image-rejection ratio against the phase error with gain balance as a
+parameter; this module provides both the closed-form law and the
+behavioral-simulation version (which is what the paper's AHDL run did).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..behavioral import (
+    Adder,
+    Mixer,
+    PhaseShifter,
+    Splitter,
+    Spectrum,
+    SystemModel,
+)
+from ..errors import DesignError
+from .spectrum import FrequencyPlan
+
+
+def image_rejection_ratio_db(phase_error_deg: float,
+                             gain_error: float = 0.0) -> float:
+    """Closed-form IRR of a quadrature image-reject mixer.
+
+    With total quadrature phase error ``theta`` and relative gain
+    imbalance ``g`` between the two paths:
+
+        IRR = (1 + 2(1+g)cos(theta) + (1+g)^2)
+              / (1 - 2(1+g)cos(theta) + (1+g)^2)
+
+    Perfect matching gives infinite rejection; returns +inf in that case.
+    """
+    ratio = 1.0 + gain_error
+    if ratio <= 0:
+        raise DesignError("gain error must leave a positive path gain")
+    theta = math.radians(phase_error_deg)
+    numerator = 1.0 + 2.0 * ratio * math.cos(theta) + ratio * ratio
+    denominator = 1.0 - 2.0 * ratio * math.cos(theta) + ratio * ratio
+    if denominator <= 0.0:
+        return math.inf
+    return 10.0 * math.log10(numerator / denominator)
+
+
+@dataclass(frozen=True)
+class ImbalanceSpec:
+    """The two error sources of Fig. 5.
+
+    ``lo_phase_error_deg`` — quadrature error of the VCO's 90-degree
+    splitter; ``if_phase_error_deg`` — error of the 2nd-IF 90-degree
+    shifter; ``gain_error`` — fractional gain imbalance between the two
+    signal paths (the figure's "gain balance (gain offset)" parameter,
+    0.01 = 1 %).
+    """
+
+    lo_phase_error_deg: float = 0.0
+    if_phase_error_deg: float = 0.0
+    gain_error: float = 0.0
+
+    @property
+    def total_phase_error_deg(self) -> float:
+        """The phase errors add (both rotate one path against the other)."""
+        return self.lo_phase_error_deg + self.if_phase_error_deg
+
+
+def build_image_rejection_mixer(
+    lo_frequency: float,
+    imbalance: ImbalanceSpec | None = None,
+    conversion_gain_db: float = 0.0,
+    name: str = "ir_mixer",
+) -> SystemModel:
+    """The Fig. 4 second converter as a behavioral block graph.
+
+    Nets: input ``if1``, output ``if2``.  Internal nets ``i_rf/q_rf``
+    (split 1st IF) and ``i_if/q_if`` (2nd-IF paths before combining).
+    """
+    imbalance = imbalance or ImbalanceSpec()
+    system = SystemModel(name)
+    system.add(Splitter("split", 2), inputs=["if1"],
+               outputs=["i_rf", "q_rf"])
+    system.add(
+        Mixer("mix_i", lo_frequency, lo_phase_deg=0.0,
+              conversion_gain_db=conversion_gain_db),
+        inputs=["i_rf"], outputs=["i_mixed"],
+    )
+    system.add(
+        Mixer("mix_q", lo_frequency,
+              lo_phase_deg=90.0 + imbalance.lo_phase_error_deg,
+              conversion_gain_db=conversion_gain_db),
+        inputs=["q_rf"], outputs=["q_mixed"],
+    )
+    system.add(
+        PhaseShifter("if_shift", shift_deg=90.0,
+                     phase_error_deg=imbalance.if_phase_error_deg,
+                     gain_error=imbalance.gain_error),
+        inputs=["q_mixed"], outputs=["q_shifted"],
+    )
+    system.add(Adder("combine", 2),
+               inputs={"in0": "i_mixed", "in1": "q_shifted"},
+               outputs=["if2"])
+    return system
+
+
+def build_weaver_mixer(
+    lo1_frequency: float,
+    lo2_frequency: float,
+    imbalance: ImbalanceSpec | None = None,
+    lowpass_cutoff: float | None = None,
+    name: str = "weaver_mixer",
+) -> SystemModel:
+    """The Weaver alternative to the paper's Hartley architecture.
+
+    Instead of a broadband 90-degree IF shifter, Weaver uses a *second*
+    quadrature conversion: both paths mix with LO1 (quadrature), are
+    low-pass filtered at the intermediate IF, mix again with LO2
+    (quadrature), and subtract.  The wanted band lands at
+    ``|input - lo1 - lo2|`` with the image cancelled; sensitivity to
+    phase/gain imbalance follows the same quadrature law as Hartley,
+    but no broadband phase shifter is needed — the trade the paper's
+    designers would weigh against Fig. 4.
+
+    ``imbalance`` reuses the same spec: ``lo_phase_error_deg`` applies
+    to LO1's quadrature, ``if_phase_error_deg`` to LO2's, and
+    ``gain_error`` to the Q path.
+    """
+    from ..behavioral import LowpassFilter
+
+    imbalance = imbalance or ImbalanceSpec()
+    if lowpass_cutoff is None:
+        lowpass_cutoff = lo2_frequency * 2.5
+    system = SystemModel(name)
+    system.add(Splitter("split", 2), inputs=["if1"],
+               outputs=["i_rf", "q_rf"])
+    system.add(Mixer("mix1_i", lo1_frequency, lo_phase_deg=0.0,
+                     conversion_gain_db=0.0),
+               inputs=["i_rf"], outputs=["i_mid_raw"])
+    system.add(Mixer("mix1_q", lo1_frequency,
+                     lo_phase_deg=90.0 + imbalance.lo_phase_error_deg,
+                     conversion_gain_db=0.0),
+               inputs=["q_rf"], outputs=["q_mid_raw"])
+    system.add(LowpassFilter("lpf_i", lowpass_cutoff, 5),
+               inputs=["i_mid_raw"], outputs=["i_mid"])
+    system.add(LowpassFilter("lpf_q", lowpass_cutoff, 5),
+               inputs=["q_mid_raw"], outputs=["q_mid"])
+    system.add(Mixer("mix2_i", lo2_frequency, lo_phase_deg=0.0,
+                     conversion_gain_db=0.0),
+               inputs=["i_mid"], outputs=["i_out"])
+    system.add(Mixer("mix2_q", lo2_frequency,
+                     lo_phase_deg=90.0 + imbalance.if_phase_error_deg,
+                     conversion_gain_db=0.0),
+               inputs=["q_mid"], outputs=["q_out_raw"])
+    system.add(PhaseShifter("balance", shift_deg=180.0,
+                            gain_error=imbalance.gain_error),
+               inputs=["q_out_raw"], outputs=["q_out"])
+    system.add(Adder("combine", 2),
+               inputs={"in0": "i_out", "in1": "q_out"},
+               outputs=["if2"])
+    return system
+
+
+def simulate_weaver_image_rejection_db(
+    imbalance: ImbalanceSpec,
+    plan: FrequencyPlan | None = None,
+    second_if: float = 10.7e6,
+) -> float:
+    """IRR of the Weaver converter on the tuner's frequency plan.
+
+    Downconverts the 1.3 GHz first IF to ``second_if`` in two quadrature
+    steps (intermediate IF = 45 MHz, as in the Hartley plan) and
+    compares wanted vs image leakage.
+    """
+    plan = plan or FrequencyPlan()
+    lo1 = plan.down_lo  # wanted lands at 45 MHz intermediate
+    lo2 = plan.second_if - second_if
+    if lo2 <= 0:
+        raise DesignError("second_if must lie below the intermediate IF")
+    system = build_weaver_mixer(lo1, lo2, imbalance,
+                                lowpass_cutoff=plan.second_if * 2.0)
+    wanted_out = system.run(
+        {"if1": Spectrum.tone(plan.first_if_wanted, 1.0)}
+    )["if2"]
+    image_out = system.run(
+        {"if1": Spectrum.tone(plan.first_if_image, 1.0)}
+    )["if2"]
+    wanted_power = wanted_out.power(second_if)
+    image_power = image_out.power(second_if)
+    if image_power == 0.0:
+        return math.inf
+    return 10.0 * math.log10(wanted_power / image_power)
+
+
+def simulate_image_rejection_db(
+    imbalance: ImbalanceSpec,
+    plan: FrequencyPlan | None = None,
+    amplitude: float = 1.0,
+) -> float:
+    """Behavioral-simulation IRR: wanted and image tones run separately.
+
+    Feeds rf1 (wanted) and rf2 (image) through the Fig. 4 mixer one at a
+    time and compares the 45 MHz output powers — the same experiment the
+    paper ran in AHDL for Fig. 5.
+    """
+    plan = plan or FrequencyPlan()
+    system = build_image_rejection_mixer(plan.down_lo, imbalance)
+
+    wanted_in = Spectrum.tone(plan.first_if_wanted, amplitude)
+    image_in = Spectrum.tone(plan.first_if_image, amplitude)
+    wanted_out = system.run({"if1": wanted_in})["if2"]
+    image_out = system.run({"if1": image_in})["if2"]
+
+    wanted_power = wanted_out.power(plan.second_if)
+    image_power = image_out.power(plan.second_if)
+    if image_power == 0.0:
+        return math.inf
+    return 10.0 * math.log10(wanted_power / image_power)
+
+
+def fig5_sweep(
+    phase_errors_deg,
+    gain_errors=(0.01, 0.03, 0.05, 0.07, 0.09),
+    plan: FrequencyPlan | None = None,
+    simulated: bool = True,
+) -> dict[float, list[tuple[float, float]]]:
+    """The Fig. 5 family: IRR vs phase error for each gain balance.
+
+    Returns ``{gain_error: [(phase_error_deg, irr_db), ...]}`` using the
+    behavioral simulation (default) or the closed form.
+    """
+    curves: dict[float, list[tuple[float, float]]] = {}
+    for gain_error in gain_errors:
+        points = []
+        for phase_error in phase_errors_deg:
+            if simulated:
+                irr = simulate_image_rejection_db(
+                    ImbalanceSpec(if_phase_error_deg=phase_error,
+                                  gain_error=gain_error),
+                    plan=plan,
+                )
+            else:
+                irr = image_rejection_ratio_db(phase_error, gain_error)
+            points.append((float(phase_error), irr))
+        curves[float(gain_error)] = points
+    return curves
+
+
+def required_matching(irr_target_db: float,
+                      gain_error: float) -> float | None:
+    """Largest phase error meeting an IRR target at a given gain error.
+
+    This is the designer's read of Fig. 5 in the paper: "assume that a
+    system designer requests an image rejection ratio of 30 dB", then
+    pick the (gain, phase) spec pair.  Returns None when the gain error
+    alone already violates the target.
+    """
+    if image_rejection_ratio_db(0.0, gain_error) < irr_target_db:
+        return None
+    low, high = 0.0, 90.0
+    for _ in range(60):
+        mid = (low + high) / 2.0
+        if image_rejection_ratio_db(mid, gain_error) >= irr_target_db:
+            low = mid
+        else:
+            high = mid
+    return low

@@ -1,0 +1,197 @@
+"""Charge-pump PLL frequency synthesizer (the tuner's ``PLL`` block).
+
+Figs. 2 and 4 show a PLL generating the first local oscillator
+``Fup = RF + 1.3 GHz``.  This module models it at the level the
+top-down flow needs: the classic second-order charge-pump loop in the
+phase domain — loop dynamics (natural frequency, damping, bandwidth,
+phase margin), lock-time estimation, phase-noise transfer shapes, and
+the integer-N channel arithmetic for the CATV raster.
+
+Loop model (type-2, second order):
+
+    forward gain   G(s) = Kd * F(s) * Kv / s
+    Kd = Icp / 2pi [A/rad],  F(s) = R + 1/(sC),  Kv = 2pi*Kvco [rad/s/V]
+
+    wn   = sqrt(Kd*Kv / (N*C)) ,   zeta = R*C*wn / 2
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+
+from ..errors import DesignError
+from .spectrum import FrequencyPlan
+
+
+@dataclass(frozen=True)
+class ChargePumpPLL:
+    """A type-2 second-order integer-N charge-pump PLL."""
+
+    reference_frequency: float = 62.5e3  #: CATV channel raster
+    charge_pump_current: float = 500e-6  #: Icp (A)
+    kvco: float = 25e6  #: VCO gain (Hz/V)
+    loop_r: float = 22e3  #: loop-filter resistor (ohm)
+    loop_c: float = 10e-9  #: loop-filter capacitor (F)
+    divider: int = 24000  #: N (sets fout = N * fref)
+
+    def __post_init__(self):
+        if min(self.reference_frequency, self.charge_pump_current,
+               self.kvco, self.loop_r, self.loop_c) <= 0:
+            raise DesignError("PLL parameters must be positive")
+        if self.divider < 1:
+            raise DesignError("divider must be >= 1")
+
+    # -- frequency plan -----------------------------------------------------------
+
+    @property
+    def output_frequency(self) -> float:
+        return self.divider * self.reference_frequency
+
+    def with_divider(self, divider: int) -> "ChargePumpPLL":
+        from dataclasses import replace
+
+        return replace(self, divider=divider)
+
+    # -- loop dynamics ---------------------------------------------------------------
+
+    @property
+    def phase_detector_gain(self) -> float:
+        """Kd in A/rad."""
+        return self.charge_pump_current / (2.0 * math.pi)
+
+    @property
+    def vco_gain_rad(self) -> float:
+        """Kv in rad/s/V."""
+        return 2.0 * math.pi * self.kvco
+
+    @property
+    def natural_frequency(self) -> float:
+        """wn in rad/s."""
+        return math.sqrt(
+            self.phase_detector_gain * self.vco_gain_rad
+            / (self.divider * self.loop_c)
+        )
+
+    @property
+    def damping(self) -> float:
+        """zeta (dimensionless)."""
+        return self.loop_r * self.loop_c * self.natural_frequency / 2.0
+
+    @property
+    def loop_bandwidth(self) -> float:
+        """-3 dB closed-loop bandwidth (Hz), exact 2nd-order formula."""
+        zeta = self.damping
+        wn = self.natural_frequency
+        term = 1.0 + 2.0 * zeta ** 2
+        w3 = wn * math.sqrt(term + math.sqrt(term ** 2 + 1.0))
+        return w3 / (2.0 * math.pi)
+
+    def open_loop_gain(self, frequency: float) -> complex:
+        """G(s)/N at s = j*2*pi*f (the loop gain whose crossover and
+        phase margin matter)."""
+        if frequency <= 0:
+            raise DesignError("frequency must be positive")
+        s = 1j * 2.0 * math.pi * frequency
+        filter_z = self.loop_r + 1.0 / (s * self.loop_c)
+        return (self.phase_detector_gain * filter_z * self.vco_gain_rad
+                / (s * self.divider))
+
+    def crossover_frequency(self) -> float:
+        """Unity-gain frequency of the loop gain (Hz), by bisection."""
+        low, high = 1e-3, 1e12
+        for _ in range(200):
+            mid = math.sqrt(low * high)
+            if abs(self.open_loop_gain(mid)) > 1.0:
+                low = mid
+            else:
+                high = mid
+        return math.sqrt(low * high)
+
+    def phase_margin_deg(self) -> float:
+        """Phase margin at the loop crossover (degrees)."""
+        crossover = self.crossover_frequency()
+        phase = math.degrees(cmath.phase(self.open_loop_gain(crossover)))
+        return 180.0 + phase
+
+    # -- transient behaviour -------------------------------------------------------------
+
+    def lock_time(self, tolerance: float = 1e-4) -> float:
+        """Settling time of a frequency step to ``tolerance`` (relative).
+
+        Standard underdamped estimate t = -ln(tol*sqrt(1-z^2)) / (z*wn);
+        for overdamped loops the slow pole dominates.
+        """
+        zeta = self.damping
+        wn = self.natural_frequency
+        if zeta < 1.0:
+            return (-math.log(tolerance * math.sqrt(1.0 - zeta ** 2))
+                    / (zeta * wn))
+        slow_pole = wn * (zeta - math.sqrt(zeta ** 2 - 1.0))
+        return -math.log(tolerance) / slow_pole
+
+    def phase_step_response(self, time: float) -> float:
+        """Normalized phase-error response to a unit phase step.
+
+        e(t) for the type-2 second-order loop; starts at 1, settles to 0.
+        """
+        if time < 0:
+            raise DesignError("time must be non-negative")
+        zeta = self.damping
+        wn = self.natural_frequency
+        if zeta < 1.0:
+            wd = wn * math.sqrt(1.0 - zeta ** 2)
+            return math.exp(-zeta * wn * time) * (
+                math.cos(wd * time)
+                - zeta / math.sqrt(1.0 - zeta ** 2) * math.sin(wd * time)
+            )
+        if zeta == 1.0:
+            return math.exp(-wn * time) * (1.0 - wn * time)
+        wd = wn * math.sqrt(zeta ** 2 - 1.0)
+        return math.exp(-zeta * wn * time) * (
+            math.cosh(wd * time)
+            - zeta / math.sqrt(zeta ** 2 - 1.0) * math.sinh(wd * time)
+        )
+
+    # -- noise transfer -----------------------------------------------------------------
+
+    def reference_noise_transfer(self, frequency: float) -> float:
+        """|closed-loop transfer| from reference phase to output phase.
+
+        Lowpass with in-band gain N (reference noise is multiplied by
+        the divider) — why large-N synthesizers want narrow loops.
+        """
+        g = self.open_loop_gain(frequency)
+        return abs(self.divider * g / (1.0 + g))
+
+    def vco_noise_transfer(self, frequency: float) -> float:
+        """|closed-loop transfer| from VCO phase to output phase.
+
+        Highpass: the loop cleans VCO noise inside the bandwidth.
+        """
+        g = self.open_loop_gain(frequency)
+        return abs(1.0 / (1.0 + g))
+
+
+def synthesizer_for_channel(
+    rf: float,
+    plan: FrequencyPlan | None = None,
+    pll: ChargePumpPLL | None = None,
+) -> ChargePumpPLL:
+    """Configure the 1st-LO synthesizer for a tuned channel.
+
+    Picks the divider so ``N * fref`` lands on ``Fup = RF + 1st IF``;
+    raises when the channel is off the raster.
+    """
+    plan = plan or FrequencyPlan()
+    pll = pll or ChargePumpPLL()
+    target = plan.up_lo(rf)
+    divider = target / pll.reference_frequency
+    nearest = round(divider)
+    if abs(divider - nearest) > 1e-6:
+        raise DesignError(
+            f"Fup = {target / 1e6:.4f} MHz is off the "
+            f"{pll.reference_frequency / 1e3:.1f} kHz raster"
+        )
+    return pll.with_divider(int(nearest))

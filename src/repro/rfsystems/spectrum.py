@@ -1,0 +1,101 @@
+"""Frequency planning for the double-super tuner (paper Figs. 2 and 3).
+
+The CATV double-super plan of the paper:
+
+* RF input band 90-770 MHz,
+* 1st IF at 1.3 GHz (up-conversion, high-side LO ``Fup = RF + 1.3 GHz``),
+* 2nd IF at 45 MHz (down-conversion with ``Fdown`` below the 1st IF).
+
+The 2nd conversion has an image: a 1st-IF component at
+``rf2 = 2*Fdown - rf1`` lands on the same 45 MHz output
+(``rf2 - Fdown = Fdown - rf1``).  Referred to the antenna, that image is
+only ``2 * second_if = 90 MHz`` away from the tuned channel — an
+in-band CATV channel — which is why the paper says rejecting it with
+the 1st-IF band-pass filter alone "requires a very narrow band pass
+filter" and introduces the image-rejection mixer (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DesignError
+
+
+@dataclass(frozen=True)
+class FrequencyPlan:
+    """The double-super tuner frequency plan."""
+
+    rf_min: float = 90e6
+    rf_max: float = 770e6
+    first_if: float = 1.3e9
+    second_if: float = 45e6
+
+    def __post_init__(self):
+        if not 0 < self.rf_min < self.rf_max:
+            raise DesignError("RF band must satisfy 0 < rf_min < rf_max")
+        if self.first_if <= self.rf_max:
+            raise DesignError("up-conversion needs first_if above the RF band")
+        if not 0 < self.second_if < self.first_if:
+            raise DesignError("second_if must lie below first_if")
+
+    # -- first conversion --------------------------------------------------------
+
+    def check_rf(self, rf: float) -> float:
+        if not self.rf_min <= rf <= self.rf_max:
+            raise DesignError(
+                f"RF {rf / 1e6:.1f} MHz outside the plan's band "
+                f"[{self.rf_min / 1e6:.0f}, {self.rf_max / 1e6:.0f}] MHz"
+            )
+        return rf
+
+    def up_lo(self, rf: float) -> float:
+        """1st LO frequency Fup tuning channel ``rf`` to the 1st IF."""
+        return self.check_rf(rf) + self.first_if
+
+    # -- second conversion ----------------------------------------------------------
+
+    @property
+    def down_lo(self) -> float:
+        """2nd LO frequency Fdown (low-side injection)."""
+        return self.first_if - self.second_if
+
+    @property
+    def first_if_wanted(self) -> float:
+        """rf1: the wanted 1st-IF component."""
+        return self.first_if
+
+    @property
+    def first_if_image(self) -> float:
+        """rf2: the 1st-IF image of the second conversion."""
+        return 2.0 * self.down_lo - self.first_if
+
+    @property
+    def image_spacing(self) -> float:
+        """rf1 - rf2 = 2 * second_if (the paper's 90 MHz)."""
+        return self.first_if_wanted - self.first_if_image
+
+    def rf_image(self, rf: float) -> float:
+        """RF2: the second-conversion image referred to the antenna.
+
+        ``Fup - rf2``; it lies ``2*second_if`` below... above the tuned
+        channel when the first conversion is high-side and the second
+        low-side: ``RF2 = RF + 2*second_if``.
+        """
+        return self.up_lo(rf) - self.first_if_image
+
+    def image_offset(self, rf: float) -> float:
+        """RF2 - RF1 (Hz)."""
+        return self.rf_image(rf) - rf
+
+    def describe(self, rf: float) -> dict[str, float]:
+        """All plan frequencies for one tuned channel (for reports)."""
+        return {
+            "rf": self.check_rf(rf),
+            "rf_image": self.rf_image(rf),
+            "up_lo": self.up_lo(rf),
+            "first_if": self.first_if_wanted,
+            "first_if_image": self.first_if_image,
+            "down_lo": self.down_lo,
+            "second_if": self.second_if,
+        }

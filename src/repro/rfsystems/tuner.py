@@ -1,0 +1,170 @@
+"""Double-super tuner system models (paper Figs. 2 and 4).
+
+Two variants of the CATV set-top tuner:
+
+* :func:`build_conventional_tuner` — Fig. 2: RF amp, up-conversion to the
+  1.3 GHz 1st IF, band-pass filter, single down-conversion to 45 MHz.
+  Its image rejection relies entirely on the 1st-IF BPF.
+* :func:`build_image_rejection_tuner` — Fig. 4: the same front end, but
+  the 2nd conversion is the quadrature image-reject mixer with the two
+  90-degree shifters whose matching Fig. 5 studies.
+
+Both are behavioral :class:`~repro.behavioral.SystemModel` graphs — what
+the paper's AHDL descriptions elaborate to.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..behavioral import (
+    Adder,
+    Amplifier,
+    BandpassFilter,
+    LowpassFilter,
+    Mixer,
+    PhaseShifter,
+    Splitter,
+    Spectrum,
+    SystemModel,
+)
+from ..errors import DesignError
+from .image_rejection import ImbalanceSpec
+from .spectrum import FrequencyPlan
+
+
+@dataclass(frozen=True)
+class TunerConfig:
+    """Electrical configuration of the tuner chain."""
+
+    plan: FrequencyPlan = FrequencyPlan()
+    rf_gain_db: float = 15.0
+    mixer1_gain_db: float = -6.0
+    if1_filter_bandwidth: float = 60e6
+    if1_filter_order: int = 3
+    mixer2_gain_db: float = 0.0
+    if2_filter_cutoff: float = 70e6
+    if2_filter_order: int = 3
+
+    def __post_init__(self):
+        if self.if1_filter_bandwidth <= 0:
+            raise DesignError("1st IF filter bandwidth must be positive")
+
+
+def build_conventional_tuner(
+    rf: float,
+    config: TunerConfig | None = None,
+) -> SystemModel:
+    """Fig. 2 tuner tuned to channel ``rf``; input net ``rf``, output ``if2``."""
+    config = config or TunerConfig()
+    plan = config.plan
+    system = SystemModel("double_super_tuner")
+    system.chain(
+        [
+            Amplifier("rf_amp", gain_db=config.rf_gain_db),
+            Mixer("mix1", plan.up_lo(rf),
+                  conversion_gain_db=config.mixer1_gain_db),
+            BandpassFilter("if1_bpf", plan.first_if,
+                           config.if1_filter_bandwidth,
+                           config.if1_filter_order),
+            Mixer("mix2", plan.down_lo,
+                  conversion_gain_db=config.mixer2_gain_db),
+            LowpassFilter("if2_lpf", config.if2_filter_cutoff,
+                          config.if2_filter_order),
+        ],
+        ["rf", "rf_amp_out", "if1_raw", "if1", "if2_raw", "if2"],
+    )
+    return system
+
+
+def build_image_rejection_tuner(
+    rf: float,
+    imbalance: ImbalanceSpec | None = None,
+    config: TunerConfig | None = None,
+) -> SystemModel:
+    """Fig. 4 tuner: quadrature 2nd conversion with 90-degree shifters."""
+    config = config or TunerConfig()
+    imbalance = imbalance or ImbalanceSpec()
+    plan = config.plan
+    system = SystemModel("image_rejection_tuner")
+    system.chain(
+        [
+            Amplifier("rf_amp", gain_db=config.rf_gain_db),
+            Mixer("mix1", plan.up_lo(rf),
+                  conversion_gain_db=config.mixer1_gain_db),
+            BandpassFilter("if1_bpf", plan.first_if,
+                           config.if1_filter_bandwidth,
+                           config.if1_filter_order),
+        ],
+        ["rf", "rf_amp_out", "if1_raw", "if1"],
+    )
+    system.add(Splitter("split", 2), inputs=["if1"],
+               outputs=["i_path", "q_path"])
+    system.add(
+        Mixer("mix2_i", plan.down_lo,
+              conversion_gain_db=config.mixer2_gain_db),
+        inputs=["i_path"], outputs=["i_mixed"],
+    )
+    system.add(
+        Mixer("mix2_q", plan.down_lo,
+              lo_phase_deg=90.0 + imbalance.lo_phase_error_deg,
+              conversion_gain_db=config.mixer2_gain_db),
+        inputs=["q_path"], outputs=["q_mixed"],
+    )
+    system.add(
+        PhaseShifter("if_shift", shift_deg=90.0,
+                     phase_error_deg=imbalance.if_phase_error_deg,
+                     gain_error=imbalance.gain_error),
+        inputs=["q_mixed"], outputs=["q_shifted"],
+    )
+    system.add(Adder("combine", 2),
+               inputs={"in0": "i_mixed", "in1": "q_shifted"},
+               outputs=["if2_raw"])
+    system.add(LowpassFilter("if2_lpf", config.if2_filter_cutoff,
+                             config.if2_filter_order),
+               inputs=["if2_raw"], outputs=["if2"])
+    return system
+
+
+@dataclass(frozen=True)
+class TunerPerformance:
+    """Measured tuner figures for one channel."""
+
+    rf: float
+    wanted_gain_db: float
+    image_rejection_db: float
+    conversion_output: float  #: wanted-tone amplitude at the 2nd IF
+
+
+def measure_tuner(
+    system: SystemModel,
+    rf: float,
+    plan: FrequencyPlan | None = None,
+    amplitude: float = 1e-3,
+) -> TunerPerformance:
+    """Drive the tuner with the wanted channel and its image separately.
+
+    Returns the conversion gain to 45 MHz and the image rejection ratio —
+    the conventional tuner's IRR is the 1st-IF filter's doing; the Fig. 4
+    tuner multiplies that by the quadrature cancellation.
+    """
+    plan = plan or FrequencyPlan()
+    rf_image = plan.rf_image(rf)
+
+    wanted_out = system.run({"rf": Spectrum.tone(rf, amplitude)})["if2"]
+    image_out = system.run({"rf": Spectrum.tone(rf_image, amplitude)})["if2"]
+
+    wanted_amp = wanted_out.amplitude(plan.second_if)
+    image_amp = image_out.amplitude(plan.second_if)
+    if wanted_amp == 0.0:
+        raise DesignError("tuner produced no wanted output at the 2nd IF")
+    gain_db = 20.0 * math.log10(wanted_amp / amplitude)
+    irr_db = (math.inf if image_amp == 0.0
+              else 20.0 * math.log10(wanted_amp / image_amp))
+    return TunerPerformance(
+        rf=rf,
+        wanted_gain_db=gain_db,
+        image_rejection_db=irr_db,
+        conversion_output=wanted_amp,
+    )

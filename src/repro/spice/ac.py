@@ -1,0 +1,118 @@
+"""AC small-signal analysis.
+
+Linearizes the circuit at a DC operating point and solves the complex
+system ``(G + j*omega*C) dx = b`` per frequency, where ``G = dI/dx`` and
+``C = dQ/dx`` are the Jacobians delivered by the element loads at the
+operating point, and ``b`` collects the AC stimuli of the independent
+sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .dcop import solve_dc
+from .elements.sources import CurrentSource, VoltageSource
+from .mna import load_circuit
+from .netlist import Circuit
+
+
+@dataclass
+class ACResult:
+    """Frequency sweep result: complex solution per frequency."""
+
+    circuit: Circuit
+    frequencies: np.ndarray
+    solutions: np.ndarray  #: shape (num_freqs, num_unknowns), complex
+    dc_solution: np.ndarray
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Complex node voltage over the sweep."""
+        index = self.circuit.node_index(node)
+        if index < 0:
+            return np.zeros(len(self.frequencies), dtype=complex)
+        return self.solutions[:, index]
+
+    def voltage_db(self, node: str) -> np.ndarray:
+        """Node voltage magnitude in dB (20*log10)."""
+        magnitude = np.abs(self.voltage(node))
+        return 20.0 * np.log10(np.maximum(magnitude, 1e-300))
+
+    def voltage_phase_deg(self, node: str) -> np.ndarray:
+        return np.degrees(np.angle(self.voltage(node)))
+
+    def branch_current(self, element_name: str) -> np.ndarray:
+        index = self.circuit.branch_index(element_name)
+        return self.solutions[:, index]
+
+
+def frequency_grid(
+    start: float, stop: float, points: int, sweep: str = "dec"
+) -> np.ndarray:
+    """Build an AC sweep grid: 'dec' (points/decade), 'lin', or 'oct'."""
+    if start <= 0 or stop < start:
+        raise AnalysisError(f"bad AC sweep range [{start}, {stop}]")
+    if points < 1:
+        raise AnalysisError("AC sweep needs at least one point")
+    if sweep == "lin":
+        return np.linspace(start, stop, points)
+    if sweep == "dec":
+        decades = np.log10(stop / start)
+        count = max(int(np.ceil(decades * points)) + 1, 2) if stop > start else 1
+        return np.geomspace(start, stop, count)
+    if sweep == "oct":
+        octaves = np.log2(stop / start)
+        count = max(int(np.ceil(octaves * points)) + 1, 2) if stop > start else 1
+        return np.geomspace(start, stop, count)
+    raise AnalysisError(f"unknown sweep type {sweep!r}")
+
+
+def solve_ac(
+    circuit: Circuit,
+    frequencies,
+    dc_solution: np.ndarray | None = None,
+    gmin: float = 1e-12,
+) -> ACResult:
+    """Run an AC sweep over the given frequencies (Hz)."""
+    frequencies = np.asarray(list(frequencies), dtype=float)
+    limits: dict = {}
+    if dc_solution is None:
+        dc_solution = solve_dc(circuit, gmin=gmin, limits=limits)
+    size = circuit.num_unknowns
+    # One load at the operating point gives both Jacobians.  The limits
+    # dict is pre-converged, so limiting is inactive here.
+    ctx = load_circuit(circuit, dc_solution, gmin=gmin, limits=limits)
+    g_mat = ctx.g_mat
+    c_mat = ctx.c_mat
+
+    rhs = np.zeros(size, dtype=complex)
+    for element in circuit:
+        if isinstance(element, VoltageSource):
+            stimulus = element.ac_stimulus()
+            if stimulus:
+                rhs[element.branch_index[0]] += stimulus
+        elif isinstance(element, CurrentSource):
+            stimulus = element.ac_stimulus()
+            if stimulus:
+                p, n = element.node_index
+                if p >= 0:
+                    rhs[p] -= stimulus
+                if n >= 0:
+                    rhs[n] += stimulus
+    if not np.any(rhs):
+        raise AnalysisError("AC analysis: no source has an AC stimulus")
+
+    solutions = np.zeros((len(frequencies), size), dtype=complex)
+    for k, frequency in enumerate(frequencies):
+        omega = 2.0 * np.pi * frequency
+        system = g_mat + 1j * omega * c_mat
+        solutions[k] = np.linalg.solve(system, rhs)
+    return ACResult(
+        circuit=circuit,
+        frequencies=frequencies,
+        solutions=solutions,
+        dc_solution=dc_solution,
+    )

@@ -1,0 +1,155 @@
+"""DC operating-point solution by Newton-Raphson with homotopies.
+
+The solve ladder mirrors SPICE: plain Newton first, then gmin stepping
+(relaxing the junction shunt conductance from 1e-2 S down to the target),
+then source stepping (ramping all independent sources from zero).  Each
+stage warm-starts from the best solution found so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .mna import load_circuit
+from .netlist import Circuit
+
+
+@dataclass(frozen=True)
+class Tolerances:
+    """Newton convergence tolerances (SPICE option names)."""
+
+    reltol: float = 1e-3
+    vntol: float = 1e-6  #: absolute voltage tolerance
+    abstol: float = 1e-12  #: absolute current tolerance
+    max_iterations: int = 100
+
+    def converged(self, dx: np.ndarray, x: np.ndarray, num_nodes: int) -> bool:
+        """Per-unknown step-size test: voltages vs vntol, currents vs abstol."""
+        for i in range(len(dx)):
+            atol = self.vntol if i < num_nodes else self.abstol
+            limit = self.reltol * max(abs(x[i]), abs(x[i] + dx[i])) + atol
+            if abs(dx[i]) > limit:
+                return False
+        return True
+
+
+#: Small conductance stamped from every node to ground to avoid floating
+#: subcircuits making the Jacobian singular.
+DIAG_GSHUNT = 1e-12
+
+
+def newton_solve(
+    circuit: Circuit,
+    x0: np.ndarray,
+    tolerances: Tolerances,
+    gmin: float,
+    source_scale: float = 1.0,
+    time: float | None = None,
+    limits: dict | None = None,
+    dynamic=None,
+) -> np.ndarray:
+    """Run Newton iterations on F(x) = I(x) [+ dynamic terms] until converged.
+
+    ``dynamic``, when given, is a callable ``(ctx, F, J) -> None`` that adds
+    the integration-formula terms (used by transient analysis).  Raises
+    :class:`~repro.errors.ConvergenceError` if the iteration limit is hit
+    or the Jacobian goes singular.
+    """
+    num_nodes = len(circuit.node_map)
+    x = np.array(x0, dtype=float)
+    if limits is None:
+        limits = {}
+    for _ in range(tolerances.max_iterations):
+        ctx = load_circuit(
+            circuit, x, time=time, gmin=gmin, limits=limits,
+            source_scale=source_scale,
+        )
+        residual = ctx.i_vec.copy()
+        jacobian = ctx.g_mat.copy()
+        if dynamic is not None:
+            dynamic(ctx, residual, jacobian)
+        for i in range(num_nodes):
+            jacobian[i, i] += DIAG_GSHUNT
+            residual[i] += DIAG_GSHUNT * x[i]
+        try:
+            dx = np.linalg.solve(jacobian, -residual)
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(f"singular Jacobian: {exc}") from exc
+        if not np.all(np.isfinite(dx)):
+            raise ConvergenceError("non-finite Newton step")
+        x += dx
+        if tolerances.converged(dx, x - dx, num_nodes):
+            return x
+    raise ConvergenceError(
+        f"Newton failed to converge in {tolerances.max_iterations} iterations"
+    )
+
+
+def solve_dc(
+    circuit: Circuit,
+    x0: np.ndarray | None = None,
+    tolerances: Tolerances | None = None,
+    gmin: float = 1e-12,
+    limits: dict | None = None,
+) -> np.ndarray:
+    """DC operating point with the full homotopy ladder.
+
+    Returns the solution vector (node voltages then branch currents).
+    """
+    circuit.assign_indices()
+    if tolerances is None:
+        tolerances = Tolerances()
+    if x0 is None:
+        x0 = np.zeros(circuit.num_unknowns)
+    if limits is None:
+        limits = {}
+
+    try:
+        return newton_solve(circuit, x0, tolerances, gmin, limits=limits)
+    except ConvergenceError:
+        pass
+
+    # gmin stepping: solve with a heavy junction shunt, then relax it.
+    x = np.array(x0, dtype=float)
+    try:
+        step_limits: dict = {}
+        relax_gmins = list(np.geomspace(1e-2, gmin, 11)) if gmin > 0 else list(
+            np.geomspace(1e-2, 1e-12, 11)
+        )
+        for step_gmin in relax_gmins:
+            x = newton_solve(circuit, x, tolerances, step_gmin, limits=step_limits)
+        if relax_gmins[-1] != gmin:
+            x = newton_solve(circuit, x, tolerances, gmin, limits=step_limits)
+        limits.update(step_limits)
+        return x
+    except ConvergenceError:
+        pass
+
+    # Source stepping: ramp all independent sources from zero.
+    x = np.zeros(circuit.num_unknowns)
+    step_limits = {}
+    scale = 0.0
+    step = 0.1
+    failures = 0
+    while scale < 1.0:
+        target = min(scale + step, 1.0)
+        try:
+            x = newton_solve(
+                circuit, x, tolerances, gmin,
+                source_scale=target, limits=step_limits,
+            )
+            scale = target
+            step = min(step * 1.5, 0.25)
+        except ConvergenceError:
+            failures += 1
+            step /= 4.0
+            if failures > 40 or step < 1e-6:
+                raise ConvergenceError(
+                    "DC operating point: Newton, gmin stepping and source "
+                    "stepping all failed"
+                ) from None
+    limits.update(step_limits)
+    return x

@@ -1,0 +1,37 @@
+"""Circuit element library for the SPICE-class simulator."""
+
+from .resistor import Resistor
+from .capacitor import Capacitor
+from .inductor import Inductor
+from .sources import (
+    DC,
+    PWL,
+    CurrentSource,
+    Pulse,
+    Sine,
+    VoltageSource,
+    Waveform,
+)
+from .controlled import CCCS, CCVS, VCCS, VCVS
+from .diode import Diode, DiodeModel
+from .bjt import BJT
+
+__all__ = [
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "Waveform",
+    "DC",
+    "Sine",
+    "Pulse",
+    "PWL",
+    "VCCS",
+    "VCVS",
+    "CCCS",
+    "CCVS",
+    "Diode",
+    "DiodeModel",
+    "BJT",
+]

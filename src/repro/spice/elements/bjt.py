@@ -1,0 +1,171 @@
+"""Gummel-Poon bipolar junction transistor element.
+
+``Q <collector> <base> <emitter> [substrate] <model> [area]``.
+
+Nonzero RC, RB, RE each allocate one internal node; the Gummel-Poon
+equations (in :mod:`repro.devices.gummel_poon`) are evaluated at the
+internal junction voltages.  pnp devices are handled by evaluating the
+npn-oriented equations at sign-flipped voltages and flipping the stamped
+currents/charges back; the Jacobian entries are sign-free.
+"""
+
+from __future__ import annotations
+
+from ...devices.gummel_poon import (
+    critical_voltage,
+    depletion_charge,
+    evaluate,
+    pnjlim,
+    thermal_voltage,
+)
+from ...devices.parameters import GummelPoonParameters
+from ...errors import NetlistError
+from ..netlist import Element
+
+
+class BJT(Element):
+    """A Gummel-Poon BJT instance bound to a model card and area factor."""
+
+    def __init__(
+        self,
+        name: str,
+        nodes,
+        model: GummelPoonParameters,
+        area: float = 1.0,
+    ):
+        if len(nodes) == 3:
+            nodes = tuple(nodes) + ("0",)
+        super().__init__(name, nodes)
+        if len(self.nodes) != 4:
+            raise NetlistError(f"BJT {name} needs 3 or 4 nodes (C B E [S])")
+        if area <= 0:
+            raise NetlistError(f"BJT {name}: area must be positive")
+        self.model = model
+        self.area = float(area)
+        self.params = model if area == 1.0 else model.scaled_by_area(area)
+        p = self.params
+        self._has_rc = p.RC > 0.0
+        self._has_rb = p.RB > 0.0
+        self._has_re = p.RE > 0.0
+        self.num_branches = sum((self._has_rc, self._has_rb, self._has_re))
+        self._vt = thermal_voltage(p.TNOM)
+        self._vcrit_be = critical_voltage(p.IS, p.NF * self._vt)
+        self._vcrit_bc = critical_voltage(p.IS, p.NR * self._vt)
+        self.sign = p.sign
+
+    def is_nonlinear(self) -> bool:
+        return True
+
+    def _internal_indices(self) -> tuple[int, int, int]:
+        """(ci, bi, ei) equation indices, falling back to external nodes."""
+        c, b, e, _ = self.node_index
+        branches = iter(self.branch_index)
+        ci = next(branches) if self._has_rc else c
+        bi = next(branches) if self._has_rb else b
+        ei = next(branches) if self._has_re else e
+        return ci, bi, ei
+
+    def load(self, ctx) -> None:
+        p = self.params
+        sign = self.sign
+        c, b, e, s = self.node_index
+        ci, bi, ei = self._internal_indices()
+
+        vbe_raw = sign * (ctx.voltage(bi) - ctx.voltage(ei))
+        vbc_raw = sign * (ctx.voltage(bi) - ctx.voltage(ci))
+        vbe_old, vbc_old = ctx.limits.get(self.name, (vbe_raw, vbc_raw))
+        vbe = pnjlim(vbe_raw, vbe_old, p.NF * self._vt, self._vcrit_be)
+        vbc = pnjlim(vbc_raw, vbc_old, p.NR * self._vt, self._vcrit_bc)
+        ctx.limits[self.name] = (vbe, vbc)
+
+        op = evaluate(p, vbe, vbc, gmin=ctx.gmin)
+        dbe = vbe_raw - vbe
+        dbc = vbc_raw - vbc
+
+        # Ohmic parasitics (rbb is bias-modulated through qb).
+        if self._has_rc:
+            ctx.stamp_conductance(c, ci, 1.0 / p.RC)
+        if self._has_rb:
+            ctx.stamp_conductance(b, bi, 1.0 / max(op.rbb, 1e-3))
+        if self._has_re:
+            ctx.stamp_conductance(e, ei, 1.0 / p.RE)
+
+        # Terminal currents (residual-consistent companion form).
+        ic = op.ic + op.dic_dvbe * dbe + op.dic_dvbc * dbc
+        ib = op.ib + op.dib_dvbe * dbe + op.dib_dvbc * dbc
+        ctx.add_i(ci, sign * ic)
+        ctx.add_i(bi, sign * ib)
+        ctx.add_i(ei, -sign * (ic + ib))
+
+        # Jacobian of the currents w.r.t. (Vci, Vbi, Vei); sign-free.
+        for row, d_dvbe, d_dvbc in (
+            (ci, op.dic_dvbe, op.dic_dvbc),
+            (bi, op.dib_dvbe, op.dib_dvbc),
+            (ei, -(op.dic_dvbe + op.dib_dvbe), -(op.dic_dvbc + op.dib_dvbc)),
+        ):
+            ctx.add_g(row, bi, d_dvbe + d_dvbc)
+            ctx.add_g(row, ei, -d_dvbe)
+            ctx.add_g(row, ci, -d_dvbc)
+
+        # Charges: B'-E', B'-C' (internal), B-C' (external fraction).
+        qbe = op.qbe + op.dqbe_dvbe * dbe + op.dqbe_dvbc * dbc
+        self._stamp_charge_pair(ctx, bi, ei, sign * qbe)
+        ctx.add_c(bi, bi, op.dqbe_dvbe)
+        ctx.add_c(bi, ei, -op.dqbe_dvbe)
+        ctx.add_c(ei, bi, -op.dqbe_dvbe)
+        ctx.add_c(ei, ei, op.dqbe_dvbe)
+        if op.dqbe_dvbc:
+            ctx.add_c(bi, bi, op.dqbe_dvbc)
+            ctx.add_c(bi, ci, -op.dqbe_dvbc)
+            ctx.add_c(ei, bi, -op.dqbe_dvbc)
+            ctx.add_c(ei, ci, op.dqbe_dvbc)
+
+        qbc = op.qbc + op.dqbc_dvbc * dbc
+        self._stamp_charge_pair(ctx, bi, ci, sign * qbc)
+        ctx.add_c(bi, bi, op.dqbc_dvbc)
+        ctx.add_c(bi, ci, -op.dqbc_dvbc)
+        ctx.add_c(ci, bi, -op.dqbc_dvbc)
+        ctx.add_c(ci, ci, op.dqbc_dvbc)
+
+        if p.XCJC < 1.0:
+            vbx = sign * (ctx.voltage(b) - ctx.voltage(ci))
+            qbx, cbx = depletion_charge(
+                vbx, p.CJC * (1.0 - p.XCJC), p.VJC, p.MJC, p.FC
+            )
+            self._stamp_charge_pair(ctx, b, ci, sign * qbx)
+            ctx.add_c(b, b, cbx)
+            ctx.add_c(b, ci, -cbx)
+            ctx.add_c(ci, b, -cbx)
+            ctx.add_c(ci, ci, cbx)
+
+        # Collector-substrate junction (reverse-biased in normal operation).
+        if p.CJS > 0.0:
+            vsc = sign * (ctx.voltage(s) - ctx.voltage(ci))
+            qjs, cjs = depletion_charge(vsc, p.CJS, p.VJS, p.MJS, p.FC)
+            self._stamp_charge_pair(ctx, s, ci, sign * qjs)
+            ctx.add_c(s, s, cjs)
+            ctx.add_c(s, ci, -cjs)
+            ctx.add_c(ci, s, -cjs)
+            ctx.add_c(ci, ci, cjs)
+
+    @staticmethod
+    def _stamp_charge_pair(ctx, p_row: int, n_row: int, charge: float) -> None:
+        ctx.add_q(p_row, charge)
+        ctx.add_q(n_row, -charge)
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def operating_point(self, x, limits=None):
+        """Device operating point at a converged solution vector ``x``.
+
+        Returns the :class:`~repro.devices.gummel_poon.BJTOperatingPoint`
+        at the internal junction voltages implied by ``x``.
+        """
+        ci, bi, ei = self._internal_indices()
+
+        def voltage(index: int) -> float:
+            return 0.0 if index < 0 else float(x[index])
+
+        vbe = self.sign * (voltage(bi) - voltage(ei))
+        vbc = self.sign * (voltage(bi) - voltage(ci))
+        return evaluate(self.params, vbe, vbc)

@@ -1,0 +1,29 @@
+"""Linear capacitor element."""
+
+from __future__ import annotations
+
+from ...errors import NetlistError
+from ..netlist import Element
+
+
+class Capacitor(Element):
+    """A linear capacitance between two nodes.
+
+    ``C <p> <n> <farads> [ic=<volts>]``.  The optional initial condition is
+    applied when a transient analysis starts from user ICs (``uic``).
+    """
+
+    def __init__(self, name: str, nodes, capacitance: float, ic: float | None = None):
+        super().__init__(name, nodes)
+        if len(self.nodes) != 2:
+            raise NetlistError(f"capacitor {name} needs 2 nodes")
+        if capacitance < 0:
+            raise NetlistError(
+                f"capacitor {name}: capacitance must be non-negative, got {capacitance}"
+            )
+        self.capacitance = float(capacitance)
+        self.ic = ic
+
+    def load(self, ctx) -> None:
+        p, n = self.node_index
+        ctx.stamp_capacitance(p, n, self.capacitance)

@@ -1,0 +1,130 @@
+"""Linear controlled sources (SPICE E, G, F, H elements)."""
+
+from __future__ import annotations
+
+from ...errors import NetlistError
+from ..netlist import Element
+from .sources import VoltageSource
+
+
+class VCCS(Element):
+    """Voltage-controlled current source (G element).
+
+    Output current ``gm * (v(cp) - v(cn))`` flows from node p through the
+    source to node n.  Nodes are ``(p, n, cp, cn)``.
+    """
+
+    def __init__(self, name: str, nodes, gm: float):
+        super().__init__(name, nodes)
+        if len(self.nodes) != 4:
+            raise NetlistError(f"VCCS {name} needs 4 nodes (out+, out-, c+, c-)")
+        self.gm = float(gm)
+
+    def load(self, ctx) -> None:
+        p, n, cp, cn = self.node_index
+        vc = ctx.voltage(cp) - ctx.voltage(cn)
+        current = self.gm * vc
+        ctx.add_i(p, current)
+        ctx.add_i(n, -current)
+        ctx.add_g(p, cp, self.gm)
+        ctx.add_g(p, cn, -self.gm)
+        ctx.add_g(n, cp, -self.gm)
+        ctx.add_g(n, cn, self.gm)
+
+
+class VCVS(Element):
+    """Voltage-controlled voltage source (E element).
+
+    ``v(p) - v(n) = gain * (v(cp) - v(cn))``; nodes are ``(p, n, cp, cn)``.
+    """
+
+    num_branches = 1
+
+    def __init__(self, name: str, nodes, gain: float):
+        super().__init__(name, nodes)
+        if len(self.nodes) != 4:
+            raise NetlistError(f"VCVS {name} needs 4 nodes (out+, out-, c+, c-)")
+        self.gain = float(gain)
+
+    def load(self, ctx) -> None:
+        p, n, cp, cn = self.node_index
+        (br,) = self.branch_index
+        i = ctx.x[br]
+        ctx.add_i(p, i)
+        ctx.add_g(p, br, 1.0)
+        ctx.add_i(n, -i)
+        ctx.add_g(n, br, -1.0)
+        residual = (
+            ctx.voltage(p)
+            - ctx.voltage(n)
+            - self.gain * (ctx.voltage(cp) - ctx.voltage(cn))
+        )
+        ctx.add_i(br, residual)
+        ctx.add_g(br, p, 1.0)
+        ctx.add_g(br, n, -1.0)
+        ctx.add_g(br, cp, -self.gain)
+        ctx.add_g(br, cn, self.gain)
+
+
+class _CurrentControlled(Element):
+    """Shared control-branch lookup for F and H elements."""
+
+    def __init__(self, name: str, nodes, control: VoltageSource, coefficient: float):
+        super().__init__(name, nodes)
+        if len(self.nodes) != 2:
+            raise NetlistError(f"{name} needs 2 nodes")
+        if not isinstance(control, VoltageSource):
+            raise NetlistError(
+                f"{name}: controlling element must be a voltage source, "
+                f"got {type(control).__name__}"
+            )
+        self.control = control
+        self.coefficient = float(coefficient)
+
+    def _control_branch(self) -> int:
+        if not self.control.branch_index:
+            raise NetlistError(
+                f"{self.name}: controlling source {self.control.name} has no "
+                "branch index — is it part of the same circuit?"
+            )
+        return self.control.branch_index[0]
+
+
+class CCCS(_CurrentControlled):
+    """Current-controlled current source (F element).
+
+    Output current ``gain * i(control)`` flows from node p to node n.
+    """
+
+    def load(self, ctx) -> None:
+        p, n = self.node_index
+        cbr = self._control_branch()
+        i = self.coefficient * ctx.x[cbr]
+        ctx.add_i(p, i)
+        ctx.add_i(n, -i)
+        ctx.add_g(p, cbr, self.coefficient)
+        ctx.add_g(n, cbr, -self.coefficient)
+
+
+class CCVS(_CurrentControlled):
+    """Current-controlled voltage source (H element).
+
+    ``v(p) - v(n) = r * i(control)``; adds its own branch current.
+    """
+
+    num_branches = 1
+
+    def load(self, ctx) -> None:
+        p, n = self.node_index
+        (br,) = self.branch_index
+        cbr = self._control_branch()
+        i = ctx.x[br]
+        ctx.add_i(p, i)
+        ctx.add_g(p, br, 1.0)
+        ctx.add_i(n, -i)
+        ctx.add_g(n, br, -1.0)
+        residual = ctx.voltage(p) - ctx.voltage(n) - self.coefficient * ctx.x[cbr]
+        ctx.add_i(br, residual)
+        ctx.add_g(br, p, 1.0)
+        ctx.add_g(br, n, -1.0)
+        ctx.add_g(br, cbr, -self.coefficient)

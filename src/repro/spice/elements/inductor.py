@@ -1,0 +1,43 @@
+"""Linear inductor element."""
+
+from __future__ import annotations
+
+from ...errors import NetlistError
+from ..netlist import Element
+
+
+class Inductor(Element):
+    """A linear inductance between two nodes.
+
+    Formulated with a branch current unknown ``i`` and a flux entry in the
+    charge vector: node rows carry ``±i``, and the branch row carries
+    ``(vp - vn)`` in I and ``-L*i`` in Q, i.e. ``vp - vn - L di/dt = 0``.
+    In DC the flux term vanishes and the inductor is a short.
+    """
+
+    num_branches = 1
+
+    def __init__(self, name: str, nodes, inductance: float, ic: float | None = None):
+        super().__init__(name, nodes)
+        if len(self.nodes) != 2:
+            raise NetlistError(f"inductor {name} needs 2 nodes")
+        if inductance <= 0:
+            raise NetlistError(
+                f"inductor {name}: inductance must be positive, got {inductance}"
+            )
+        self.inductance = float(inductance)
+        self.ic = ic
+
+    def load(self, ctx) -> None:
+        p, n = self.node_index
+        (br,) = self.branch_index
+        i = ctx.x[br]
+        ctx.add_i(p, i)
+        ctx.add_g(p, br, 1.0)
+        ctx.add_i(n, -i)
+        ctx.add_g(n, br, -1.0)
+        ctx.add_i(br, ctx.voltage(p) - ctx.voltage(n))
+        ctx.add_g(br, p, 1.0)
+        ctx.add_g(br, n, -1.0)
+        ctx.add_q(br, -self.inductance * i)
+        ctx.add_c(br, br, -self.inductance)

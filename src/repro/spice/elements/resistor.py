@@ -1,0 +1,32 @@
+"""Linear resistor element."""
+
+from __future__ import annotations
+
+from ...errors import NetlistError
+from ..netlist import Element
+
+
+class Resistor(Element):
+    """A linear resistance between two nodes.
+
+    ``R <p> <n> <ohms>`` in deck syntax.  Zero or negative resistance is
+    rejected — a zero-ohm connection should be made by merging nodes.
+    """
+
+    def __init__(self, name: str, nodes, resistance: float):
+        super().__init__(name, nodes)
+        if len(self.nodes) != 2:
+            raise NetlistError(f"resistor {name} needs 2 nodes")
+        if resistance <= 0:
+            raise NetlistError(
+                f"resistor {name}: resistance must be positive, got {resistance}"
+            )
+        self.resistance = float(resistance)
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+    def load(self, ctx) -> None:
+        p, n = self.node_index
+        ctx.stamp_conductance(p, n, self.conductance)

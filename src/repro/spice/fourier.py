@@ -1,0 +1,152 @@
+"""Fourier analysis of transient waveforms (SPICE ``.FOUR``-style).
+
+Computes the harmonic decomposition of a steady-state periodic waveform
+from a :class:`~repro.spice.transient.TransientResult` and derives total
+harmonic distortion — the "distortion" leg of the tuner concerns the
+paper names.
+
+The transient solver produces non-uniform time steps, so the waveform is
+resampled onto a uniform grid over an integer number of periods before
+the DFT.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .transient import TransientResult
+
+
+@dataclass(frozen=True)
+class FourierComponent:
+    """One harmonic of the decomposition."""
+
+    harmonic: int
+    frequency: float
+    amplitude: float
+    phase_deg: float
+
+
+@dataclass(frozen=True)
+class FourierResult:
+    """Harmonic decomposition of one node's waveform."""
+
+    fundamental: float
+    dc: float
+    components: tuple[FourierComponent, ...]
+
+    def amplitude(self, harmonic: int) -> float:
+        for component in self.components:
+            if component.harmonic == harmonic:
+                return component.amplitude
+        raise AnalysisError(f"harmonic {harmonic} not computed")
+
+    def thd(self) -> float:
+        """Total harmonic distortion (ratio, not dB): sqrt(sum(h>=2)^2)/h1."""
+        fundamental = self.amplitude(1)
+        if fundamental == 0.0:
+            raise AnalysisError("no fundamental component")
+        harmonics = math.fsum(
+            c.amplitude ** 2 for c in self.components if c.harmonic >= 2
+        )
+        return math.sqrt(harmonics) / fundamental
+
+    def thd_db(self) -> float:
+        thd = self.thd()
+        if thd <= 0.0:
+            return -math.inf
+        return 20.0 * math.log10(thd)
+
+    def describe(self) -> str:
+        lines = [f"  fundamental {self.fundamental:.6g} Hz, "
+                 f"DC {self.dc:.6g}"]
+        for component in self.components:
+            lines.append(
+                f"  h{component.harmonic}: {component.amplitude:.6g} "
+                f"@ {component.phase_deg:7.2f} deg"
+            )
+        lines.append(f"  THD = {self.thd() * 100:.4f} %")
+        return "\n".join(lines)
+
+
+def fourier_analysis(
+    result: TransientResult,
+    node: str,
+    fundamental: float,
+    harmonics: int = 9,
+    periods: int = 4,
+    samples_per_period: int = 256,
+) -> FourierResult:
+    """Harmonic decomposition of the last ``periods`` of a waveform.
+
+    Uses the end of the record (steady state); raises when the record is
+    shorter than the requested window.
+    """
+    return fourier_of_waveform(
+        result.times, result.voltage(node), fundamental,
+        harmonics=harmonics, periods=periods,
+        samples_per_period=samples_per_period,
+    )
+
+
+def fourier_of_waveform(
+    times,
+    values,
+    fundamental: float,
+    harmonics: int = 9,
+    periods: int = 4,
+    samples_per_period: int = 256,
+) -> FourierResult:
+    """Harmonic decomposition of a raw (possibly non-uniform) waveform.
+
+    The array form of :func:`fourier_analysis`, used for derived signals
+    such as differential outputs.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if fundamental <= 0:
+        raise AnalysisError("fundamental frequency must be positive")
+    if harmonics < 1:
+        raise AnalysisError("need at least the fundamental")
+    period = 1.0 / fundamental
+    window = periods * period
+    t_end = float(times[-1])
+    if window > t_end * (1 + 1e-12):
+        raise AnalysisError(
+            f"record ({t_end:.3g}s) shorter than {periods} periods "
+            f"({window:.3g}s)"
+        )
+    t_start = t_end - window
+    grid = np.linspace(t_start, t_end, periods * samples_per_period,
+                       endpoint=False)
+    waveform = np.interp(grid, times, values)
+
+    spectrum = np.fft.rfft(waveform) / len(waveform)
+    dc = float(spectrum[0].real)
+    components = []
+    for h in range(1, harmonics + 1):
+        bin_index = h * periods
+        if bin_index >= len(spectrum):
+            break
+        phasor = 2.0 * spectrum[bin_index]
+        components.append(FourierComponent(
+            harmonic=h,
+            frequency=h * fundamental,
+            amplitude=float(abs(phasor)),
+            phase_deg=float(np.degrees(np.angle(phasor))),
+        ))
+    return FourierResult(fundamental=fundamental, dc=dc,
+                         components=tuple(components))
+
+
+def total_harmonic_distortion(
+    result: TransientResult, node: str, fundamental: float,
+    harmonics: int = 9,
+) -> float:
+    """Convenience: THD ratio of a waveform."""
+    return fourier_analysis(result, node, fundamental,
+                            harmonics=harmonics).thd()

@@ -1,0 +1,152 @@
+"""Deck runner: execute the analyses a SPICE deck requests.
+
+Bridges the parser and the analysis engines so that a classic deck with
+``.OP`` / ``.DC`` / ``.AC`` / ``.TRAN`` cards runs end to end — the way
+the paper's Fig. 10 flow hands a generated deck to SPICE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .ac import ACResult, frequency_grid, solve_ac
+from .analysis import (
+    DCSweepResult,
+    OperatingPointResult,
+    Simulator,
+    TransferFunction,
+    transfer_function,
+)
+from .fourier import FourierResult, fourier_analysis
+from .noise import NoiseResult, solve_noise
+from .parser import Deck, parse_deck
+from .transient import TransientResult
+
+
+@dataclass
+class DeckRun:
+    """All results produced by one deck execution, in card order."""
+
+    deck: Deck
+    results: list = field(default_factory=list)
+
+    @property
+    def circuit(self):
+        return self.deck.circuit
+
+    def first(self, kind):
+        """The first result of a given type (e.g. ACResult)."""
+        for result in self.results:
+            if isinstance(result, kind):
+                return result
+        raise AnalysisError(f"deck produced no {kind.__name__}")
+
+    def summary(self) -> str:
+        """A human-readable digest of every result."""
+        lines = [f"deck {self.deck.title!r}: "
+                 f"{len(self.deck.circuit)} elements, "
+                 f"{len(self.results)} analyses"]
+        for result in self.results:
+            if isinstance(result, OperatingPointResult):
+                lines.append("  .OP node voltages:")
+                for node, value in sorted(result.node_voltages().items()):
+                    lines.append(f"    V({node}) = {value:.6g}")
+            elif isinstance(result, DCSweepResult):
+                lines.append(
+                    f"  .DC sweep: {len(result.sweep_values)} points "
+                    f"({result.sweep_values[0]:g} .. "
+                    f"{result.sweep_values[-1]:g})"
+                )
+            elif isinstance(result, ACResult):
+                lines.append(
+                    f"  .AC sweep: {len(result.frequencies)} points "
+                    f"({result.frequencies[0]:g} .. "
+                    f"{result.frequencies[-1]:g} Hz)"
+                )
+            elif isinstance(result, TransientResult):
+                lines.append(
+                    f"  .TRAN: {len(result.times)} points to "
+                    f"{result.times[-1]:g} s "
+                    f"({result.rejected_steps} rejected)"
+                )
+            elif isinstance(result, TransferFunction):
+                lines.append(
+                    f"  .TF: gain {result.gain:.6g}, "
+                    f"Rin {result.input_resistance:.6g}, "
+                    f"Rout {result.output_resistance:.6g}"
+                )
+            elif isinstance(result, NoiseResult):
+                mid = len(result.frequencies) // 2
+                lines.append(
+                    f"  .NOISE at V({result.output_node}): "
+                    f"{result.output_rms_density(result.frequencies[mid]):.3e}"
+                    f" V/rtHz at {result.frequencies[mid]:g} Hz"
+                )
+            elif isinstance(result, FourierResult):
+                lines.append(
+                    f"  .FOUR at {result.fundamental:g} Hz: "
+                    f"THD {result.thd() * 100:.3f} %"
+                )
+        return "\n".join(lines)
+
+
+def run_deck(deck: Deck | str) -> DeckRun:
+    """Execute every analysis card of a deck (text or parsed)."""
+    if isinstance(deck, str):
+        deck = parse_deck(deck)
+    if not deck.analyses:
+        raise AnalysisError(
+            "deck requests no analyses (.OP/.DC/.AC/.TRAN)"
+        )
+    simulator = Simulator(deck.circuit)
+    run = DeckRun(deck)
+    for card in deck.analyses:
+        if card.kind == "op":
+            run.results.append(simulator.operating_point())
+        elif card.kind == "dc":
+            start, stop, step = (card.args["start"], card.args["stop"],
+                                 card.args["step"])
+            if step <= 0:
+                raise AnalysisError(".DC step must be positive")
+            count = int(round((stop - start) / step)) + 1
+            values = start + step * np.arange(count)
+            run.results.append(
+                simulator.dc_sweep(card.args["source"], values)
+            )
+        elif card.kind == "ac":
+            run.results.append(solve_ac(
+                deck.circuit,
+                frequency_grid(card.args["start"], card.args["stop"],
+                               card.args["points"], card.args["sweep"]),
+            ))
+        elif card.kind == "tran":
+            run.results.append(simulator.transient(
+                stop_time=card.args["stop"],
+                max_step=card.args["step"],
+            ))
+        elif card.kind == "tf":
+            run.results.append(transfer_function(
+                deck.circuit, card.args["source"], card.args["output"],
+            ))
+        elif card.kind == "noise":
+            run.results.append(solve_noise(
+                deck.circuit, card.args["output"],
+                frequency_grid(card.args["start"], card.args["stop"],
+                               card.args["points"], card.args["sweep"]),
+                input_source=card.args["source"],
+            ))
+        elif card.kind == "four":
+            transients = [r for r in run.results
+                          if isinstance(r, TransientResult)]
+            if not transients:
+                raise AnalysisError(".FOUR needs a preceding .TRAN")
+            run.results.append(fourier_analysis(
+                transients[-1], card.args["output"],
+                card.args["fundamental"],
+            ))
+        else:  # pragma: no cover - parser only emits the kinds above
+            raise AnalysisError(f"unknown analysis kind {card.kind!r}")
+    return run

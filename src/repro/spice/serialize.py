@@ -1,0 +1,167 @@
+"""Serialize a Circuit back to SPICE deck text.
+
+The inverse of :mod:`repro.spice.parser` — lets programmatically built
+circuits (ring oscillators, Gilbert mixers, generated test benches) be
+archived in the cell database, diffed, or handed to another simulator.
+Round-tripping ``parse_deck(circuit_to_deck(c))`` reproduces the same
+topology and element values (tested by property tests).
+"""
+
+from __future__ import annotations
+
+from ..devices.parameters import GummelPoonParameters
+from ..errors import NetlistError
+from .netlist import Circuit
+from .elements import (
+    BJT,
+    CCCS,
+    CCVS,
+    Capacitor,
+    CurrentSource,
+    DC,
+    Diode,
+    DiodeModel,
+    Inductor,
+    PWL,
+    Pulse,
+    Resistor,
+    Sine,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+
+
+def _format(value: float) -> str:
+    """Plain repr-style number (always re-parseable, never ambiguous)."""
+    return f"{value:.12g}"
+
+
+def _waveform_text(waveform) -> str:
+    if isinstance(waveform, DC):
+        return f"DC {_format(waveform.level)}"
+    if isinstance(waveform, Sine):
+        return (f"SIN({_format(waveform.offset)} "
+                f"{_format(waveform.amplitude)} "
+                f"{_format(waveform.frequency)} {_format(waveform.delay)} "
+                f"{_format(waveform.damping)} "
+                f"{_format(waveform.phase_deg)})")
+    if isinstance(waveform, Pulse):
+        return (f"PULSE({_format(waveform.v1)} {_format(waveform.v2)} "
+                f"{_format(waveform.delay)} {_format(waveform.rise)} "
+                f"{_format(waveform.fall)} {_format(waveform.width)} "
+                f"{_format(waveform.period)})")
+    if isinstance(waveform, PWL):
+        pairs = " ".join(
+            f"{_format(t)} {_format(v)}" for t, v in waveform.points
+        )
+        return f"PWL({pairs})"
+    raise NetlistError(
+        f"cannot serialize waveform {type(waveform).__name__}"
+    )
+
+
+def _source_line(element) -> str:
+    parts = [element.name, *element.nodes, _waveform_text(element.waveform)]
+    if element.ac_mag:
+        parts.append(f"AC {_format(element.ac_mag)}")
+        if element.ac_phase_deg:
+            parts.append(_format(element.ac_phase_deg))
+    return " ".join(parts)
+
+
+def _diode_model_card(model: DiodeModel) -> str:
+    fields = []
+    defaults = DiodeModel()
+    for name in ("IS", "N", "RS", "CJO", "VJ", "M", "FC", "TT", "TNOM"):
+        value = getattr(model, name)
+        if value != getattr(defaults, name):
+            fields.append(f"{name}={_format(value)}")
+    return f".MODEL {model.name} D({' '.join(fields)})"
+
+
+def _register_model(cards: dict[str, str], name: str, card: str) -> None:
+    existing = cards.get(name)
+    if existing is not None and existing != card:
+        raise NetlistError(
+            f"two different models share the name {name!r}; rename one "
+            "before serializing"
+        )
+    cards[name] = card
+
+
+def circuit_to_deck(circuit: Circuit, title: str | None = None) -> str:
+    """Render a circuit as deck text (title, model cards, elements, .END).
+
+    BJT instances are emitted against their *unscaled* model card with
+    the instance's area factor, exactly as they were defined.
+    """
+    lines: list[str] = [title or circuit.title or "untitled"]
+    model_cards: dict[str, str] = {}
+    element_lines: list[str] = []
+
+    for element in circuit:
+        if isinstance(element, Resistor):
+            element_lines.append(
+                f"{element.name} {element.nodes[0]} {element.nodes[1]} "
+                f"{_format(element.resistance)}"
+            )
+        elif isinstance(element, Capacitor):
+            line = (f"{element.name} {element.nodes[0]} {element.nodes[1]} "
+                    f"{_format(element.capacitance)}")
+            if element.ic is not None:
+                line += f" IC={_format(element.ic)}"
+            element_lines.append(line)
+        elif isinstance(element, Inductor):
+            line = (f"{element.name} {element.nodes[0]} {element.nodes[1]} "
+                    f"{_format(element.inductance)}")
+            if element.ic is not None:
+                line += f" IC={_format(element.ic)}"
+            element_lines.append(line)
+        elif isinstance(element, (VoltageSource, CurrentSource)):
+            element_lines.append(_source_line(element))
+        elif isinstance(element, VCVS):
+            element_lines.append(
+                f"{element.name} {' '.join(element.nodes)} "
+                f"{_format(element.gain)}"
+            )
+        elif isinstance(element, VCCS):
+            element_lines.append(
+                f"{element.name} {' '.join(element.nodes)} "
+                f"{_format(element.gm)}"
+            )
+        elif isinstance(element, (CCCS, CCVS)):
+            element_lines.append(
+                f"{element.name} {element.nodes[0]} {element.nodes[1]} "
+                f"{element.control.name} {_format(element.coefficient)}"
+            )
+        elif isinstance(element, Diode):
+            model = element.model
+            _register_model(model_cards, model.name.upper(),
+                            _diode_model_card(model))
+            line = (f"{element.name} {element.nodes[0]} {element.nodes[1]} "
+                    f"{model.name}")
+            if element.area != 1.0:
+                line += f" {_format(element.area)}"
+            element_lines.append(line)
+        elif isinstance(element, BJT):
+            model = element.model
+            _register_model(model_cards, model.name.upper(),
+                            model.to_model_card())
+            nodes = element.nodes
+            if nodes[3] == "0":
+                nodes = nodes[:3]
+            line = f"{element.name} {' '.join(nodes)} {model.name}"
+            if element.area != 1.0:
+                line += f" {_format(element.area)}"
+            element_lines.append(line)
+        else:
+            raise NetlistError(
+                f"cannot serialize element type "
+                f"{type(element).__name__} ({element.name})"
+            )
+
+    lines.extend(model_cards.values())
+    lines.extend(element_lines)
+    lines.append(".END")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,97 @@
+"""Circuit-level temperature analysis.
+
+The paper fixes operating currents "considering the radiation from the
+IC packages" — the junction temperature is part of the design.  This
+module re-targets a whole circuit to another temperature by rebuilding
+every temperature-dependent device (BJTs, diodes) with adjusted model
+parameters, so any analysis can be run hot or cold:
+
+>>> hot = circuit_at_temperature(circuit, celsius(85.0))
+>>> Simulator(hot).operating_point()
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..devices.temperature import at_temperature, celsius
+from ..devices.gummel_poon import thermal_voltage
+from ..errors import AnalysisError
+from .elements.bjt import BJT
+from .elements.diode import Diode, DiodeModel
+from .netlist import Circuit
+
+
+def _diode_model_at(model: DiodeModel, temp: float) -> DiodeModel:
+    """Diode temperature update (IS and VJ, SPICE-style)."""
+    from ..devices.temperature import bandgap_ev
+    from dataclasses import replace
+
+    tnom = model.TNOM
+    if temp == tnom:
+        return model
+    ratio = temp / tnom
+    vt_nom = thermal_voltage(tnom)
+    # XTI = 3 for junction diodes (SPICE default).
+    is_factor = ratio ** 3.0 * math.exp(
+        1.11 * (ratio - 1.0) / (ratio * vt_nom)
+    )
+    vt = thermal_voltage(temp)
+    vj_new = (model.VJ * ratio - 3.0 * vt * math.log(ratio)
+              - bandgap_ev(tnom) * ratio + bandgap_ev(temp))
+    if vj_new <= 0:
+        raise AnalysisError(
+            f"diode {model.name}: VJ collapses at {temp:.0f} K"
+        )
+    cjo_new = model.CJO * (1.0 + model.M * (
+        4e-4 * (temp - tnom) - (vj_new - model.VJ) / model.VJ
+    ))
+    return replace(model, IS=model.IS * is_factor, VJ=vj_new,
+                   CJO=cjo_new, TNOM=temp)
+
+
+def circuit_at_temperature(circuit: Circuit, temp: float) -> Circuit:
+    """A copy of ``circuit`` with every device re-modelled at ``temp`` (K).
+
+    Linear elements (R, C, L, sources) are shared — their temperature
+    coefficients are not modelled; semiconductor junctions carry the
+    dominant temperature behaviour in bipolar ICs.
+    """
+    if temp <= 0:
+        raise AnalysisError(f"temperature must be positive (K), got {temp}")
+    retargeted = Circuit(f"{circuit.title} @ {temp - 273.15:.0f}C")
+    for element in circuit:
+        if isinstance(element, BJT):
+            retargeted.add(BJT(
+                element.name, element.nodes,
+                at_temperature(element.model, temp),
+                area=element.area,
+            ))
+        elif isinstance(element, Diode):
+            retargeted.add(Diode(
+                element.name, element.nodes,
+                _diode_model_at(element.model, temp),
+                area=element.area,
+            ))
+        else:
+            retargeted.add(element)
+    return retargeted
+
+
+def temperature_sweep(
+    circuit: Circuit,
+    temperatures,
+    measure,
+) -> list[tuple[float, object]]:
+    """Run ``measure(circuit_at_T)`` across a list of temperatures (K).
+
+    Returns ``[(temperature, measurement), ...]``; the measurement
+    callable receives the re-targeted circuit and may run any analysis.
+    """
+    results = []
+    for temp in temperatures:
+        results.append((float(temp),
+                        measure(circuit_at_temperature(circuit, temp))))
+    if not results:
+        raise AnalysisError("temperature sweep needs at least one point")
+    return results

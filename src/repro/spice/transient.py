@@ -1,0 +1,230 @@
+"""Transient analysis: trapezoidal/backward-Euler integration with
+predictor-corrector step control.
+
+The charge-oriented system ``I(x) + dQ(x)/dt = 0`` is discretized with
+
+* backward Euler for the first step (and after discontinuities), and
+* the trapezoidal rule otherwise:
+
+    trap:  dQ/dt |n+1  =  (2/h) (Q(x_{n+1}) - Q_n) - Qdot_n
+    BE:    dQ/dt |n+1  =  (Q(x_{n+1}) - Q_n) / h
+
+Local error is estimated from the difference between a quadratic
+predictor through the last accepted points and the Newton corrector;
+steps shrink/grow by a cubic-root rule and land exactly on source
+breakpoints (pulse edges, PWL corners).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AnalysisError, ConvergenceError
+from .dcop import Tolerances, newton_solve, solve_dc
+from .mna import load_circuit
+from .netlist import Circuit
+
+
+@dataclass
+class TransientResult:
+    """Time sweep result."""
+
+    circuit: Circuit
+    times: np.ndarray
+    states: np.ndarray  #: shape (num_points, num_unknowns)
+    rejected_steps: int = 0
+    newton_failures: int = 0
+
+    def voltage(self, node: str) -> np.ndarray:
+        index = self.circuit.node_index(node)
+        if index < 0:
+            return np.zeros(len(self.times))
+        return self.states[:, index]
+
+    def differential(self, node_p: str, node_n: str) -> np.ndarray:
+        return self.voltage(node_p) - self.voltage(node_n)
+
+    def branch_current(self, element_name: str) -> np.ndarray:
+        index = self.circuit.branch_index(element_name)
+        return self.states[:, index]
+
+    def sample(self, node: str, time: float) -> float:
+        """Linearly interpolated node voltage at one time."""
+        return float(np.interp(time, self.times, self.voltage(node)))
+
+
+def _collect_breakpoints(circuit: Circuit, stop_time: float) -> list[float]:
+    points: set[float] = set()
+    for element in circuit:
+        getter = getattr(element, "breakpoints", None)
+        if getter is not None:
+            points.update(getter(stop_time))
+    return sorted(points)
+
+
+def solve_transient(
+    circuit: Circuit,
+    stop_time: float,
+    max_step: float | None = None,
+    initial_step: float | None = None,
+    x0: np.ndarray | None = None,
+    method: str = "trap",
+    tolerances: Tolerances | None = None,
+    gmin: float = 1e-12,
+    lte_reltol: float = 1e-3,
+    lte_abstol: float = 1e-6,
+    max_points: int = 2_000_000,
+) -> TransientResult:
+    """Integrate the circuit from t=0 to ``stop_time``.
+
+    ``x0`` provides initial conditions; when omitted the DC operating
+    point at t=0 is used.  ``method`` is ``"trap"`` (default) or ``"be"``.
+    """
+    if stop_time <= 0:
+        raise AnalysisError("transient stop_time must be positive")
+    if method not in ("trap", "be"):
+        raise AnalysisError(f"unknown integration method {method!r}")
+    circuit.assign_indices()
+    if tolerances is None:
+        tolerances = Tolerances()
+    if max_step is None:
+        max_step = stop_time / 50.0
+    if initial_step is None:
+        initial_step = max_step / 10.0
+
+    limits: dict = {}
+    if x0 is None:
+        x = solve_dc(circuit, gmin=gmin, limits=limits)
+    else:
+        x = np.array(x0, dtype=float)
+
+    ctx0 = load_circuit(circuit, x, time=0.0, gmin=gmin, limits=dict(limits))
+    q_prev = ctx0.q_vec.copy()
+    qdot_prev = np.zeros_like(q_prev)
+
+    breakpoints = _collect_breakpoints(circuit, stop_time)
+    breakpoints.append(stop_time)
+    bp_iter = iter(breakpoints)
+    next_bp = next(bp_iter)
+
+    times = [0.0]
+    states = [x.copy()]
+    history: list[tuple[float, np.ndarray]] = [(0.0, x.copy())]
+
+    t = 0.0
+    h = min(initial_step, max_step)
+    use_be_next = True  # first step (no qdot history yet)
+    rejected = 0
+    newton_failures = 0
+    min_step = stop_time * 1e-15
+
+    while t < stop_time * (1.0 - 1e-12):
+        h = min(h, max_step, stop_time - t)
+        hit_breakpoint = False
+        while next_bp is not None and next_bp <= t * (1 + 1e-12):
+            next_bp = next(bp_iter, None)
+        if next_bp is not None and t + h >= next_bp - min_step:
+            h = next_bp - t
+            hit_breakpoint = True
+        t_new = t + h
+
+        # Predictor: quadratic extrapolation through the last 3 points.
+        x_pred = _predict(history, t_new)
+
+        use_be = use_be_next or method == "be"
+        alpha = (1.0 / h) if use_be else (2.0 / h)
+
+        def dynamic(ctx, residual, jacobian):
+            qdot = alpha * (ctx.q_vec - q_prev)
+            if not use_be:
+                qdot -= qdot_prev
+            residual += qdot
+            jacobian += alpha * ctx.c_mat
+
+        step_limits = dict(limits)
+        try:
+            x_new = newton_solve(
+                circuit, x_pred, tolerances, gmin,
+                time=t_new, limits=step_limits, dynamic=dynamic,
+            )
+        except ConvergenceError:
+            newton_failures += 1
+            h /= 8.0
+            use_be_next = True
+            if h < min_step:
+                raise ConvergenceError(
+                    f"transient stalled at t={t:.6g}s (step underflow)"
+                )
+            continue
+
+        # Local truncation error: corrector vs predictor.
+        if len(history) >= 3:
+            scale = lte_reltol * np.maximum(np.abs(x_new), np.abs(x)) + lte_abstol
+            error = float(np.max(np.abs(x_new - x_pred) / scale))
+        else:
+            error = 0.5  # no history yet: accept and grow slowly
+        if error > 10.0 and h > min_step * 8:
+            rejected += 1
+            h = max(h * (1.0 / error) ** (1.0 / 3.0) * 0.9, h / 8.0)
+            continue
+
+        # Accept the step.
+        ctx = load_circuit(
+            circuit, x_new, time=t_new, gmin=gmin, limits=step_limits
+        )
+        q_new = ctx.q_vec.copy()
+        qdot_new = alpha * (q_new - q_prev)
+        if not use_be:
+            qdot_new -= qdot_prev
+
+        t = t_new
+        x = x_new
+        q_prev = q_new
+        qdot_prev = qdot_new
+        limits = step_limits
+        times.append(t)
+        states.append(x.copy())
+        history.append((t, x.copy()))
+        if len(history) > 3:
+            history.pop(0)
+        if len(times) > max_points:
+            raise AnalysisError(
+                f"transient produced more than {max_points} points; "
+                "increase max_step or loosen tolerances"
+            )
+
+        use_be_next = hit_breakpoint  # restart integration after corners
+        growth = (1.0 / max(error, 1e-6)) ** (1.0 / 3.0)
+        h *= min(max(growth * 0.9, 0.2), 2.0)
+
+    return TransientResult(
+        circuit=circuit,
+        times=np.array(times),
+        states=np.array(states),
+        rejected_steps=rejected,
+        newton_failures=newton_failures,
+    )
+
+
+def _predict(history: list[tuple[float, np.ndarray]], t_new: float) -> np.ndarray:
+    """Polynomial extrapolation of the solution to ``t_new``.
+
+    Uses up to the last three accepted points (quadratic Lagrange form);
+    falls back to lower order early in the run.
+    """
+    if len(history) == 1:
+        return history[0][1].copy()
+    if len(history) == 2:
+        (t0, x0), (t1, x1) = history
+        if t1 == t0:
+            return x1.copy()
+        frac = (t_new - t1) / (t1 - t0)
+        return x1 + frac * (x1 - x0)
+    (t0, x0), (t1, x1), (t2, x2) = history[-3:]
+    l0 = (t_new - t1) * (t_new - t2) / ((t0 - t1) * (t0 - t2))
+    l1 = (t_new - t0) * (t_new - t2) / ((t1 - t0) * (t1 - t2))
+    l2 = (t_new - t0) * (t_new - t1) / ((t2 - t0) * (t2 - t1))
+    return l0 * x0 + l1 * x1 + l2 * x2

@@ -1,0 +1,165 @@
+"""SPICE-style engineering-notation parsing and formatting.
+
+SPICE decks (and this package's netlists, AHDL sources and process files)
+write quantities like ``1.2u``, ``45MEG``, ``1.3G``, ``100n`` or ``4.7k``.
+This module converts between those strings and floats.
+
+Scale factors follow SPICE 2G6 conventions and are case-insensitive:
+
+=========  ==========  =======
+suffix     name        factor
+=========  ==========  =======
+``T``      tera        1e12
+``G``      giga        1e9
+``MEG``    mega        1e6
+``K``      kilo        1e3
+``M``      milli       1e-3
+``U``      micro       1e-6
+``N``      nano        1e-9
+``P``      pico        1e-12
+``F``      femto       1e-15
+``A``      atto        1e-18
+=========  ==========  =======
+
+Note the SPICE quirk: ``M`` is *milli*, mega is spelled ``MEG``.  Trailing
+unit names (``1.2uF``, ``45MEGHz``) are tolerated and ignored, as SPICE
+does, with the exception that a bare unit letter that is also a scale
+factor is interpreted as the scale factor (``10p`` is 10e-12).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .errors import UnitError
+
+#: SPICE scale-factor suffixes, longest first so ``MEG`` wins over ``M``.
+SCALE_FACTORS: tuple[tuple[str, float], ...] = (
+    ("MEG", 1e6),
+    ("MIL", 25.4e-6),
+    ("T", 1e12),
+    ("G", 1e9),
+    ("K", 1e3),
+    ("M", 1e-3),
+    ("U", 1e-6),
+    ("N", 1e-9),
+    ("P", 1e-12),
+    ("F", 1e-15),
+    ("A", 1e-18),
+)
+
+_NUMBER_RE = re.compile(
+    r"""^\s*
+        (?P<number>[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)
+        (?P<suffix>[a-zA-Z%]*)
+        \s*$""",
+    re.VERBOSE,
+)
+
+
+def parse_value(text: str | float | int) -> float:
+    """Parse a SPICE engineering-notation quantity into a float.
+
+    Accepts plain numbers (``1e-6``), scaled values (``1.2u``, ``45MEG``)
+    and scaled values with trailing unit names (``100nF``, ``1.3GHz``).
+    Numeric inputs are passed through unchanged.
+
+    >>> parse_value("1.2u")
+    1.2e-06
+    >>> parse_value("45MEG")
+    45000000.0
+    >>> parse_value(3.3)
+    3.3
+
+    Raises :class:`~repro.errors.UnitError` on malformed input.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _NUMBER_RE.match(text)
+    if not match:
+        raise UnitError(f"cannot parse quantity {text!r}")
+    number = float(match.group("number"))
+    suffix = match.group("suffix").upper()
+    if not suffix or suffix == "%":
+        return number * (0.01 if suffix == "%" else 1.0)
+    for name, factor in SCALE_FACTORS:
+        if suffix.startswith(name):
+            return number * factor
+    # An unrecognised suffix is a bare unit name ("Hz", "V") -> factor 1,
+    # but only when it does not *start* with a scale letter (handled above).
+    if suffix[0].isalpha():
+        return number
+    raise UnitError(f"cannot parse quantity {text!r}")
+
+
+_FORMAT_STEPS: tuple[tuple[float, str], ...] = (
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "MEG"),
+    (1e3, "K"),
+    (1.0, ""),
+    (1e-3, "M"),
+    (1e-6, "U"),
+    (1e-9, "N"),
+    (1e-12, "P"),
+    (1e-15, "F"),
+)
+
+
+def format_value(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format a float in SPICE engineering notation.
+
+    >>> format_value(1.2e-6)
+    '1.2U'
+    >>> format_value(45e6, "Hz")
+    '45MEGHz'
+    """
+    if value == 0:
+        return f"0{unit}"
+    if not math.isfinite(value):
+        return f"{value}{unit}"
+    magnitude = abs(value)
+    for factor, suffix in _FORMAT_STEPS:
+        if magnitude >= factor:
+            scaled = value / factor
+            text = f"{scaled:.{digits}g}"
+            return f"{text}{suffix}{unit}"
+    # Below 1e-15: fall back to exponent notation.
+    return f"{value:.{digits}g}{unit}"
+
+
+def parse_frequency(text: str | float) -> float:
+    """Parse a frequency; a convenience alias for :func:`parse_value`.
+
+    Provided for call-site readability in RF system code, where frequencies
+    mix "45MEG" deck syntax with plain floats.
+    """
+    value = parse_value(text)
+    if value < 0:
+        raise UnitError(f"frequency must be non-negative, got {text!r}")
+    return value
+
+
+def db(ratio: float) -> float:
+    """Convert a power ratio to decibels (10*log10)."""
+    if ratio <= 0:
+        raise UnitError(f"cannot take dB of non-positive ratio {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def db_voltage(ratio: float) -> float:
+    """Convert a voltage (amplitude) ratio to decibels (20*log10)."""
+    if ratio <= 0:
+        raise UnitError(f"cannot take dB of non-positive ratio {ratio!r}")
+    return 20.0 * math.log10(ratio)
+
+
+def from_db(decibels: float) -> float:
+    """Convert decibels to a power ratio."""
+    return 10.0 ** (decibels / 10.0)
+
+
+def from_db_voltage(decibels: float) -> float:
+    """Convert decibels to a voltage (amplitude) ratio."""
+    return 10.0 ** (decibels / 20.0)

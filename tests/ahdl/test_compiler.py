@@ -1,0 +1,253 @@
+"""Tests for AHDL compilation and elaboration."""
+
+import pytest
+
+from repro.ahdl import compile_module, compile_source
+from repro.behavioral import Spectrum, SystemModel, tone
+from repro.errors import AHDLError
+
+AMP = """
+module amp (IN, OUT) (gain)
+node [V, I] IN, OUT;
+parameter real gain = 2;
+{
+  analog {
+    V(OUT) <- gain * V(IN);
+  }
+}
+"""
+
+
+class TestCompile:
+    def test_compile_module(self):
+        module = compile_module(AMP)
+        assert module.name == "amp"
+        assert module.defaults == {"gain": 2.0}
+
+    def test_compile_source_multi(self):
+        modules = compile_source(AMP + AMP.replace("module amp",
+                                                   "module amp2"))
+        assert set(modules) == {"amp", "amp2"}
+
+    def test_duplicate_module_rejected(self):
+        with pytest.raises(AHDLError):
+            compile_source(AMP + AMP)
+
+    def test_compile_module_requires_single(self):
+        with pytest.raises(AHDLError):
+            compile_module(AMP + AMP.replace("module amp", "module b"))
+
+    def test_unknown_function_is_compile_error(self):
+        src = AMP.replace("gain * V(IN)", "warp(V(IN))")
+        with pytest.raises(AHDLError):
+            compile_module(src)
+
+    def test_bad_arity_is_compile_error(self):
+        src = AMP.replace("gain * V(IN)", "mix(V(IN))")
+        with pytest.raises(AHDLError):
+            compile_module(src)
+
+    def test_unknown_name_is_compile_error(self):
+        src = AMP.replace("gain * V(IN)", "notdefined * V(IN)")
+        with pytest.raises(AHDLError):
+            compile_module(src)
+
+
+class TestInstantiate:
+    def test_default_parameters(self):
+        block = compile_module(AMP).instantiate("u1")
+        out = block.process({"IN": tone(1e6, 1.0)})["OUT"]
+        assert out.amplitude(1e6) == pytest.approx(2.0)
+
+    def test_parameter_override(self):
+        block = compile_module(AMP).instantiate("u1", gain=5.0)
+        out = block.process({"IN": tone(1e6, 1.0)})["OUT"]
+        assert out.amplitude(1e6) == pytest.approx(5.0)
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(AHDLError):
+            compile_module(AMP).instantiate("u1", gian=5.0)
+
+    def test_call_sugar(self):
+        block = compile_module(AMP)(gain=3.0)
+        out = block.process({"IN": tone(1e6, 1.0)})["OUT"]
+        assert out.amplitude(1e6) == pytest.approx(3.0)
+
+    def test_instances_are_independent(self):
+        module = compile_module(AMP)
+        a = module.instantiate("a", gain=2.0)
+        b = module.instantiate("b", gain=10.0)
+        out_a = a.process({"IN": tone(1e6, 1.0)})["OUT"]
+        out_b = b.process({"IN": tone(1e6, 1.0)})["OUT"]
+        assert out_a.amplitude(1e6) == pytest.approx(2.0)
+        assert out_b.amplitude(1e6) == pytest.approx(10.0)
+
+
+class TestSemantics:
+    def _run(self, body, parameters="", stimulus=None, port="OUT"):
+        src = f"""
+module m (IN, OUT) ()
+node [V] IN, OUT;
+{parameters}
+{{
+  analog {{
+{body}
+  }}
+}}
+"""
+        block = compile_module(src).instantiate("m")
+        stimulus = stimulus if stimulus is not None else tone(100e6, 1.0)
+        return block.process({"IN": stimulus})[port]
+
+    def test_locals(self):
+        out = self._run("x = 3; y = x + 1; V(OUT) <- y * V(IN);")
+        assert out.amplitude(100e6) == pytest.approx(4.0)
+
+    def test_contributions_accumulate(self):
+        out = self._run("V(OUT) <- V(IN); V(OUT) <- V(IN);")
+        assert out.amplitude(100e6) == pytest.approx(2.0)
+
+    def test_mix_and_filter(self):
+        out = self._run(
+            "V(OUT) <- lowpass(mix(V(IN), 80MEG, 0), 40MEG);"
+        )
+        assert out.amplitude(20e6) == pytest.approx(0.5, rel=0.01)
+        assert out.amplitude(180e6) < 0.01  # 3rd-order rolloff ~ (4.5)^3
+
+    def test_phase_shift_fn(self):
+        out = self._run("V(OUT) <- phase_shift(V(IN), 45);")
+        assert out.phase_deg(100e6) == pytest.approx(45.0)
+
+    def test_gain_db_fn(self):
+        out = self._run("V(OUT) <- gain_db(V(IN), 20);")
+        assert out.amplitude(100e6) == pytest.approx(10.0)
+
+    def test_tone_source(self):
+        out = self._run("V(OUT) <- tone(45MEG, 2, 30);",
+                        stimulus=Spectrum.silence())
+        assert out.amplitude(45e6) == pytest.approx(2.0)
+        assert out.phase_deg(45e6) == pytest.approx(30.0)
+
+    def test_scalar_math(self):
+        out = self._run("g = pow(10, 6 / 20); V(OUT) <- g * V(IN);")
+        assert out.amplitude(100e6) == pytest.approx(10 ** 0.3)
+
+    def test_division(self):
+        out = self._run("V(OUT) <- V(IN) / 2;")
+        assert out.amplitude(100e6) == pytest.approx(0.5)
+
+    def test_unary_minus_signal(self):
+        out = self._run("V(OUT) <- -V(IN) + V(IN);")
+        assert out.amplitude(100e6) == pytest.approx(0.0, abs=1e-12)
+
+    def test_signal_plus_number_rejected_at_runtime(self):
+        with pytest.raises(AHDLError):
+            self._run("V(OUT) <- V(IN) + 3;")
+
+    def test_signal_times_signal_rejected(self):
+        with pytest.raises(AHDLError):
+            self._run("V(OUT) <- V(IN) * V(IN);")
+
+    def test_divide_by_signal_rejected(self):
+        with pytest.raises(AHDLError):
+            self._run("V(OUT) <- 3 / V(IN);")
+
+    def test_scalar_contribution_rejected(self):
+        with pytest.raises(AHDLError):
+            self._run("V(OUT) <- 42;")
+
+
+class TestSystemIntegration:
+    def test_ahdl_block_in_system(self):
+        module = compile_module(AMP)
+        system = SystemModel("s")
+        system.add(module.instantiate("a1", gain=4.0),
+                   inputs={"IN": "x"}, outputs={"OUT": "y"})
+        nets = system.run({"x": tone(1e6, 0.5)})
+        assert nets["y"].amplitude(1e6) == pytest.approx(2.0)
+
+
+HIERARCHICAL = """
+module amp (IN, OUT) (gain)
+node [V] IN, OUT;
+parameter real gain = 2;
+{ analog { V(OUT) <- gain * V(IN); } }
+
+module shifter (IN, OUT) (deg)
+node [V] IN, OUT;
+parameter real deg = 90;
+{ analog { V(OUT) <- phase_shift(V(IN), deg); } }
+
+module chain (A, B) ()
+node [V] A, B;
+{
+  analog {
+    s1 = amp(V(A));
+    s2 = amp(s1, 5);
+    V(B) <- shifter(s2, 45);
+  }
+}
+"""
+
+
+class TestHierarchicalModules:
+    def test_submodule_calls_compose(self):
+        modules = compile_source(HIERARCHICAL)
+        block = modules["chain"].instantiate("c")
+        out = block.process({"A": tone(1e6, 1.0)})["B"]
+        assert out.amplitude(1e6) == pytest.approx(10.0)
+        assert out.phase_deg(1e6) == pytest.approx(45.0)
+
+    def test_forward_reference_rejected(self):
+        src = """
+module chain (A, B) ()
+node [V] A, B;
+{ analog { V(B) <- amp(V(A)); } }
+
+module amp (IN, OUT) (gain)
+node [V] IN, OUT;
+parameter real gain = 2;
+{ analog { V(OUT) <- gain * V(IN); } }
+"""
+        with pytest.raises(AHDLError):
+            compile_source(src)
+
+    def test_too_many_call_args_rejected(self):
+        src = HIERARCHICAL.replace("amp(s1, 5)", "amp(s1, 5, 7)")
+        with pytest.raises(AHDLError):
+            compile_source(src)
+
+    def test_scalar_first_argument_rejected(self):
+        src = HIERARCHICAL.replace("amp(V(A))", "amp(3)")
+        modules = compile_source(src)
+        with pytest.raises(AHDLError):
+            modules["chain"].instantiate("c").process({"A": tone(1e6)})
+
+    def test_module_name_stdlib_collision_rejected(self):
+        src = """
+module mix (IN, OUT) ()
+node [V] IN, OUT;
+{ analog { V(OUT) <- V(IN); } }
+"""
+        with pytest.raises(AHDLError):
+            compile_source(src)
+
+    def test_multi_port_module_not_callable(self):
+        src = """
+module splitter (IN, OUT1, OUT2) ()
+node [V] IN, OUT1, OUT2;
+{ analog { V(OUT1) <- V(IN); V(OUT2) <- V(IN); } }
+
+module user (A, B) ()
+node [V] A, B;
+{ analog { V(B) <- splitter(V(A)); } }
+"""
+        with pytest.raises(AHDLError):
+            compile_source(src)
+
+    def test_apply_helper_directly(self):
+        modules = compile_source(HIERARCHICAL)
+        out = modules["amp"].apply(tone(1e6, 1.0), 7.0)
+        assert out.amplitude(1e6) == pytest.approx(7.0)
+        with pytest.raises(AHDLError):
+            modules["amp"].apply(tone(1e6), 1.0, 2.0)

@@ -1,0 +1,60 @@
+"""Tests for the AHDL tokenizer."""
+
+import pytest
+
+from repro.ahdl import tokenize
+from repro.ahdl.lexer import EOF, IDENT, NUMBER, PUNCT
+from repro.errors import AHDLError
+
+
+class TestTokenize:
+    def test_simple_module_header(self):
+        tokens = tokenize("module amp (IN, OUT) (gain)")
+        kinds = [t.kind for t in tokens]
+        texts = [t.text for t in tokens]
+        assert texts[:3] == ["module", "amp", "("]
+        assert kinds[-1] == EOF
+
+    def test_numbers_with_suffixes(self):
+        tokens = tokenize("1255MEG 45MEG 1.2u 3e-12 90")
+        numbers = [t for t in tokens if t.kind == NUMBER]
+        assert [t.text for t in numbers] == [
+            "1255MEG", "45MEG", "1.2u", "3e-12", "90",
+        ]
+
+    def test_contribution_operator(self):
+        tokens = tokenize("V(OUT) <- x;")
+        ops = [t for t in tokens if t.text == "<-"]
+        assert len(ops) == 1
+        assert ops[0].kind == PUNCT
+
+    def test_line_comments_stripped(self):
+        tokens = tokenize("a // comment with module keywords\nb")
+        assert [t.text for t in tokens if t.kind == IDENT] == ["a", "b"]
+
+    def test_block_comments_stripped(self):
+        tokens = tokenize("a /* multi\nline\ncomment */ b")
+        idents = [t for t in tokens if t.kind == IDENT]
+        assert [t.text for t in idents] == ["a", "b"]
+        # line numbers account for the comment's newlines
+        assert idents[1].line == 3
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        idents = [t for t in tokens if t.kind == IDENT]
+        assert [t.line for t in idents] == [1, 2, 3]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(AHDLError):
+            tokenize("module @ amp")
+
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == EOF
+
+    def test_keyword_helpers(self):
+        token = tokenize("module")[0]
+        assert token.is_keyword("module")
+        assert not token.is_keyword("node")
+        assert not token.is_punct("(")

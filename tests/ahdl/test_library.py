@@ -1,0 +1,84 @@
+"""Tests for the canonical AHDL library modules."""
+
+import math
+
+import pytest
+
+from repro.ahdl import (
+    amp_module,
+    down_converter_module,
+    ir_mixer_module,
+)
+from repro.behavioral import Spectrum, tone
+from repro.rfsystems import FrequencyPlan, image_rejection_ratio_db
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return FrequencyPlan()
+
+
+class TestAmpModule:
+    def test_fig1_amp(self):
+        block = amp_module().instantiate("a", gain=3.0)
+        out = block.process({"IN": tone(1e6, 1.0)})["OUT"]
+        assert out.amplitude(1e6) == pytest.approx(3.0)
+
+
+class TestIRMixerModule:
+    def _irr(self, plan, **params):
+        block = ir_mixer_module().instantiate("u", **params)
+        wanted = block.process(
+            {"IF1": tone(plan.first_if_wanted, 1.0)}
+        )["IF2"]
+        image = block.process(
+            {"IF1": tone(plan.first_if_image, 1.0)}
+        )["IF2"]
+        return 20 * math.log10(
+            wanted.amplitude(plan.second_if) / image.amplitude(plan.second_if)
+        )
+
+    def test_perfect_matching_rejects_completely(self, plan):
+        block = ir_mixer_module().instantiate("u")
+        image = block.process(
+            {"IF1": tone(plan.first_if_image, 1.0)}
+        )["IF2"]
+        assert image.amplitude(plan.second_if) == pytest.approx(0.0,
+                                                                abs=1e-12)
+
+    @pytest.mark.parametrize("phase_err,gain_err", [
+        (1.0, 0.01), (3.0, 0.03), (5.0, 0.05), (8.0, 0.09),
+    ])
+    def test_matches_closed_form(self, plan, phase_err, gain_err):
+        irr = self._irr(plan, if_phase_err=phase_err, gain_err=gain_err)
+        assert irr == pytest.approx(
+            image_rejection_ratio_db(phase_err, gain_err), abs=0.01
+        )
+
+    def test_lo_and_if_errors_add(self, plan):
+        combined = self._irr(plan, lo_phase_err=2.0, if_phase_err=3.0)
+        single = self._irr(plan, if_phase_err=5.0)
+        assert combined == pytest.approx(single, abs=0.01)
+
+    def test_wanted_gain_is_two_paths(self, plan):
+        """The two quadrature paths add coherently for the wanted signal."""
+        block = ir_mixer_module().instantiate("u")
+        wanted = block.process(
+            {"IF1": tone(plan.first_if_wanted, 1.0)}
+        )["IF2"]
+        assert wanted.amplitude(plan.second_if) == pytest.approx(1.0)
+
+
+class TestDownConverterModule:
+    def test_converts_and_filters(self, plan):
+        block = down_converter_module().instantiate("u")
+        out = block.process({"IF1": tone(plan.first_if_wanted, 1.0)})["IF2"]
+        assert out.amplitude(plan.second_if) == pytest.approx(0.5, rel=0.05)
+        assert out.amplitude(plan.first_if_wanted + plan.down_lo) < 1e-3
+
+    def test_no_image_rejection(self, plan):
+        """The conventional converter passes the image at full strength."""
+        block = down_converter_module().instantiate("u")
+        image = block.process({"IF1": tone(plan.first_if_image, 1.0)})["IF2"]
+        assert image.amplitude(plan.second_if) == pytest.approx(0.5,
+                                                                rel=0.05)

@@ -1,0 +1,186 @@
+"""Tests for the AHDL parser."""
+
+import pytest
+
+from repro.ahdl import parse_source
+from repro.ahdl import ast
+from repro.errors import AHDLError
+
+AMP = """
+module amp (IN, OUT) (gain)
+node [V, I] IN, OUT;
+parameter real gain = 1;
+{
+  analog {
+    V(OUT) <- gain * V(IN);
+  }
+}
+"""
+
+
+class TestModuleStructure:
+    def test_paper_fig1_module(self):
+        (module,) = parse_source(AMP)
+        assert module.name == "amp"
+        assert module.ports == ("IN", "OUT")
+        assert module.nodes == ("IN", "OUT")
+        assert [p.name for p in module.parameters] == ["gain"]
+        assert module.output_ports() == ("OUT",)
+        assert module.input_ports() == ("IN",)
+
+    def test_multiple_modules(self):
+        modules = parse_source(AMP + AMP.replace("amp", "amp2"))
+        assert [m.name for m in modules] == ["amp", "amp2"]
+
+    def test_module_without_parameter_list(self):
+        src = """
+module follow (A, B)
+node [V] A, B;
+{
+  analog { V(B) <- V(A); }
+}
+"""
+        (module,) = parse_source(src)
+        assert module.parameters == ()
+
+    def test_engineering_notation_defaults(self):
+        src = """
+module m (A, B) (f)
+node [V] A, B;
+parameter real f = 1255MEG;
+{
+  analog { V(B) <- mix(V(A), f, 0); }
+}
+"""
+        (module,) = parse_source(src)
+        default = module.parameters[0].default
+        assert isinstance(default, ast.Number)
+        assert default.value == pytest.approx(1.255e9)
+
+    def test_statements_kinds(self):
+        src = """
+module m (A, B) ()
+node [V] A, B;
+{
+  analog {
+    x = 2 * 3;
+    V(B) <- x * V(A);
+  }
+}
+"""
+        (module,) = parse_source(src)
+        assert isinstance(module.statements[0], ast.Assign)
+        assert isinstance(module.statements[1], ast.Contribution)
+
+
+class TestExpressions:
+    def _expr(self, text):
+        src = f"""
+module m (A, B) (p)
+node [V] A, B;
+parameter real p = 1;
+{{
+  analog {{ V(B) <- {text}; }}
+}}
+"""
+        (module,) = parse_source(src)
+        return module.statements[0].value
+
+    def test_precedence(self):
+        expr = self._expr("V(A) * 2 + V(A) * 3")
+        assert isinstance(expr, ast.Binary)
+        assert expr.op == "+"
+        assert expr.left.op == "*"
+
+    def test_parentheses(self):
+        expr = self._expr("(1 + p) * V(A)")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = self._expr("-V(A)")
+        assert isinstance(expr, ast.Unary)
+
+    def test_nested_calls(self):
+        expr = self._expr("phase_shift(mix(V(A), 100MEG), 90 + p)")
+        assert isinstance(expr, ast.Call)
+        assert expr.function == "phase_shift"
+        assert isinstance(expr.args[0], ast.Call)
+
+
+class TestValidation:
+    def test_contribution_to_unknown_port(self):
+        src = """
+module m (A) ()
+node [V] A;
+{
+  analog { V(NOPE) <- V(A); }
+}
+"""
+        with pytest.raises(AHDLError):
+            parse_source(src)
+
+    def test_node_decl_must_name_ports(self):
+        src = """
+module m (A, B) ()
+node [V] A, C;
+{
+  analog { V(B) <- V(A); }
+}
+"""
+        with pytest.raises(AHDLError):
+            parse_source(src)
+
+    def test_module_needs_output(self):
+        src = """
+module m (A, B) ()
+node [V] A, B;
+{
+  analog { x = V(A); }
+}
+"""
+        with pytest.raises(AHDLError):
+            parse_source(src)
+
+    def test_duplicate_port(self):
+        src = """
+module m (A, A) ()
+node [V] A;
+{
+  analog { V(A) <- V(A); }
+}
+"""
+        with pytest.raises(AHDLError):
+            parse_source(src)
+
+    def test_header_parameter_must_be_declared(self):
+        src = """
+module m (A, B) (ghost)
+node [V] A, B;
+{
+  analog { V(B) <- V(A); }
+}
+"""
+        with pytest.raises(AHDLError):
+            parse_source(src)
+
+    def test_empty_source(self):
+        with pytest.raises(AHDLError):
+            parse_source("")
+
+    def test_missing_semicolon(self):
+        src = """
+module m (A, B) ()
+node [V] A, B;
+{
+  analog { V(B) <- V(A) }
+}
+"""
+        with pytest.raises(AHDLError):
+            parse_source(src)
+
+    def test_error_carries_line_number(self):
+        src = "module m (A, B) ()\nnode [V] A, B;\n{\n  analog {\n    V(B) <- * V(A);\n  }\n}\n"
+        with pytest.raises(AHDLError) as excinfo:
+            parse_source(src)
+        assert "line" in str(excinfo.value)

@@ -1,0 +1,146 @@
+"""Tests for the behavioral block library."""
+
+import math
+
+import pytest
+
+from repro.behavioral import (
+    Adder,
+    Amplifier,
+    BandpassFilter,
+    LowpassFilter,
+    Mixer,
+    PhaseShifter,
+    QuadratureLO,
+    Splitter,
+    Spectrum,
+    butterworth_response,
+    lowpass_response,
+    tone,
+)
+from repro.errors import AnalysisError
+
+
+class TestAmplifier:
+    def test_gain_db(self):
+        amp = Amplifier("a", gain_db=20.0)
+        out = amp.process({"in": tone(1e6, 0.1)})["out"]
+        assert out.amplitude(1e6) == pytest.approx(1.0)
+
+    def test_gain_error(self):
+        amp = Amplifier("a", gain_db=0.0, gain_error=0.05)
+        out = amp.process({"in": tone(1e6, 1.0)})["out"]
+        assert out.amplitude(1e6) == pytest.approx(1.05)
+
+    def test_phase(self):
+        amp = Amplifier("a", phase_deg=45.0)
+        out = amp.process({"in": tone(1e6, 1.0)})["out"]
+        assert out.phase_deg(1e6) == pytest.approx(45.0)
+
+    def test_missing_input_is_silence(self):
+        amp = Amplifier("a", gain_db=10.0)
+        assert not amp.process({})["out"]
+
+
+class TestPhaseShifter:
+    def test_shift_plus_error(self):
+        shifter = PhaseShifter("p", shift_deg=90.0, phase_error_deg=2.0)
+        out = shifter.process({"in": tone(1e6, 1.0)})["out"]
+        assert out.phase_deg(1e6) == pytest.approx(92.0)
+
+    def test_gain_error(self):
+        shifter = PhaseShifter("p", gain_error=0.03)
+        out = shifter.process({"in": tone(1e6, 1.0)})["out"]
+        assert out.amplitude(1e6) == pytest.approx(1.03)
+
+
+class TestMixer:
+    def test_conversion(self):
+        mixer = Mixer("m", lo_frequency=80e6, conversion_gain_db=6.0)
+        out = mixer.process({"in": tone(100e6, 1.0)})["out"]
+        # 6 dB makes up for the 1/2 multiplication loss
+        assert out.amplitude(20e6) == pytest.approx(1.0, rel=0.01)
+
+    def test_rejects_bad_lo(self):
+        with pytest.raises(AnalysisError):
+            Mixer("m", lo_frequency=0.0)
+
+
+class TestAdderSplitter:
+    def test_adder_sums(self):
+        adder = Adder("s", 3)
+        out = adder.process({
+            "in0": tone(1e6, 1.0),
+            "in1": tone(1e6, 2.0),
+            "in2": tone(2e6, 1.0),
+        })["out"]
+        assert out.amplitude(1e6) == pytest.approx(3.0)
+        assert out.amplitude(2e6) == pytest.approx(1.0)
+
+    def test_adder_needs_two(self):
+        with pytest.raises(AnalysisError):
+            Adder("s", 1)
+
+    def test_splitter_copies(self):
+        splitter = Splitter("sp", 2, loss_db=6.0)
+        outs = splitter.process({"in": tone(1e6, 2.0)})
+        assert outs["out0"].amplitude(1e6) == pytest.approx(1.0, rel=0.01)
+        assert outs["out1"].amplitude(1e6) == pytest.approx(1.0, rel=0.01)
+
+
+class TestFilters:
+    def test_bandpass_passband_unity(self):
+        response = butterworth_response(1.3e9, 60e6, 3)
+        assert abs(response(1.3e9)) == pytest.approx(1.0)
+
+    def test_bandpass_edges_3db(self):
+        response = butterworth_response(1.3e9, 60e6, 3)
+        for edge in (1.3e9 - 30e6, 1.3e9 + 30e6):
+            assert abs(response(edge)) == pytest.approx(1 / math.sqrt(2),
+                                                        rel=0.02)
+
+    def test_bandpass_rejection_scales_with_order(self):
+        f_probe = 1.21e9
+        weak = abs(butterworth_response(1.3e9, 60e6, 1)(f_probe))
+        strong = abs(butterworth_response(1.3e9, 60e6, 5)(f_probe))
+        assert strong < weak / 50
+
+    def test_bandpass_blocks_dc(self):
+        response = butterworth_response(1.3e9, 60e6, 3)
+        assert response(0.0) == 0.0
+
+    def test_lowpass_cutoff(self):
+        response = lowpass_response(70e6, 3)
+        assert abs(response(0.0)) == pytest.approx(1.0)
+        assert abs(response(70e6)) == pytest.approx(1 / math.sqrt(2),
+                                                    rel=0.01)
+        assert abs(response(700e6)) < 1.1e-3
+
+    def test_filter_blocks(self):
+        bpf = BandpassFilter("b", 1.3e9, 60e6)
+        out = bpf.process({"in": tone(1.3e9, 1.0) + tone(45e6, 1.0)})["out"]
+        assert out.amplitude(1.3e9) == pytest.approx(1.0)
+        assert out.amplitude(45e6) < 1e-3
+
+        lpf = LowpassFilter("l", 70e6)
+        out = lpf.process({"in": tone(45e6, 1.0) + tone(1.3e9, 1.0)})["out"]
+        assert out.amplitude(45e6) == pytest.approx(1.0, rel=0.1)
+        assert out.amplitude(1.3e9) < 1e-3
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(AnalysisError):
+            butterworth_response(0.0, 1e6)
+        with pytest.raises(AnalysisError):
+            lowpass_response(1e6, 0)
+
+
+class TestQuadratureLO:
+    def test_quadrature_outputs(self):
+        lo = QuadratureLO("vco", 1.255e9, phase_error_deg=1.5)
+        outs = lo.process({})
+        assert outs["i"].phase_deg(1.255e9) == pytest.approx(0.0)
+        assert outs["q"].phase_deg(1.255e9) == pytest.approx(91.5)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(AnalysisError):
+            QuadratureLO("vco", -1.0)

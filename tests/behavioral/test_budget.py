@@ -1,0 +1,119 @@
+"""Tests for the RF cascade budget analysis."""
+
+import math
+
+import pytest
+
+from repro.behavioral import (
+    CascadeStage,
+    cascade,
+    sensitivity_dbm,
+    spurious_free_dynamic_range_db,
+)
+from repro.errors import DesignError
+
+
+class TestCascade:
+    def test_single_stage_passthrough(self):
+        report = cascade([CascadeStage("lna", gain_db=15.0, nf_db=2.0,
+                                       iip3_dbm=-5.0)])
+        assert report.gain_db == pytest.approx(15.0)
+        assert report.nf_db == pytest.approx(2.0)
+        assert report.iip3_dbm == pytest.approx(-5.0)
+
+    def test_friis_two_stages(self):
+        """Classic check: NF = F1 + (F2-1)/G1."""
+        report = cascade([
+            CascadeStage("lna", gain_db=10.0, nf_db=3.0),
+            CascadeStage("mixer", gain_db=0.0, nf_db=10.0),
+        ])
+        f1 = 10 ** 0.3
+        f2 = 10 ** 1.0
+        expected = 10 * math.log10(f1 + (f2 - 1) / 10.0)
+        assert report.nf_db == pytest.approx(expected, rel=1e-9)
+
+    def test_front_gain_masks_later_noise(self):
+        noisy_back = CascadeStage("if", gain_db=20.0, nf_db=15.0)
+        low_gain = cascade([CascadeStage("lna", 5.0, 2.0), noisy_back])
+        high_gain = cascade([CascadeStage("lna", 20.0, 2.0), noisy_back])
+        assert high_gain.nf_db < low_gain.nf_db
+
+    def test_gains_add_in_db(self):
+        report = cascade([
+            CascadeStage("a", gain_db=12.0),
+            CascadeStage("b", gain_db=-6.0),
+            CascadeStage("c", gain_db=4.0),
+        ])
+        assert report.gain_db == pytest.approx(10.0, rel=1e-9)
+
+    def test_iip3_dominated_by_back_end(self):
+        """Gain ahead of a nonlinear stage degrades system IIP3."""
+        back = CascadeStage("pa", gain_db=0.0, iip3_dbm=10.0)
+        report = cascade([CascadeStage("lna", gain_db=20.0,
+                                       iip3_dbm=math.inf), back])
+        assert report.iip3_dbm == pytest.approx(10.0 - 20.0, rel=1e-6)
+
+    def test_infinite_iip3_everywhere(self):
+        report = cascade([CascadeStage("a", 10.0)])
+        assert math.isinf(report.iip3_dbm)
+
+    def test_empty_cascade_rejected(self):
+        with pytest.raises(DesignError):
+            cascade([])
+
+    def test_stage_names_recorded(self):
+        report = cascade([CascadeStage("a", 1.0), CascadeStage("b", 2.0)])
+        assert report.stage_names == ("a", "b")
+
+    def test_negative_nf_rejected(self):
+        with pytest.raises(DesignError):
+            CascadeStage("x", 0.0, nf_db=-1.0)
+
+
+class TestDerivedFigures:
+    def test_sensitivity(self):
+        # NF 6 dB, 6 MHz channel (analog TV), 15 dB required SNR
+        value = sensitivity_dbm(6.0, 6e6, 15.0)
+        assert value == pytest.approx(-174 + 6 + 10 * math.log10(6e6) + 15)
+
+    def test_sensitivity_rejects_bad_bandwidth(self):
+        with pytest.raises(DesignError):
+            sensitivity_dbm(6.0, 0.0)
+
+    def test_sfdr(self):
+        assert spurious_free_dynamic_range_db(0.0, -100.0) == pytest.approx(
+            2 / 3 * 100.0
+        )
+
+
+class TestChainReport:
+    def test_stages_from_annotated_blocks(self):
+        from repro.behavioral import Amplifier, Mixer, chain_report
+
+        blocks = [
+            Amplifier("lna", gain_db=15.0, nf_db=3.0, iip3_dbm=-5.0),
+            Mixer("mix", 1e9, conversion_gain_db=6.0, nf_db=10.0,
+                  iip3_dbm=8.0),
+            Amplifier("if_amp", gain_db=20.0, nf_db=8.0),
+        ]
+        report = chain_report(blocks)
+        assert report.stage_names == ("lna", "mix", "if_amp")
+        # mixer net gain = conversion_gain_db - 6
+        assert report.gain_db == pytest.approx(15.0 + 0.0 + 20.0)
+        assert report.nf_db > 3.0  # Friis adds the later stages
+
+    def test_stage_from_block_defaults(self):
+        from repro.behavioral import PhaseShifter, stage_from_block
+
+        shifter = PhaseShifter("p")
+        shifter.gain_db = 0.0  # annotate manually
+        stage = stage_from_block(shifter)
+        assert stage.nf_db == 0.0
+        assert math.isinf(stage.iip3_dbm)
+
+    def test_unannotated_block_rejected(self):
+        from repro.behavioral import Adder, stage_from_block
+        from repro.errors import DesignError
+
+        with pytest.raises(DesignError):
+            stage_from_block(Adder("sum", 2))

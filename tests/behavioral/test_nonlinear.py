@@ -1,0 +1,130 @@
+"""Tests for the weakly nonlinear blocks against distortion theory."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.behavioral import (
+    NonlinearAmplifier,
+    Spectrum,
+    cubic_response,
+    iip3_from_two_tone,
+    tone,
+    two_tone_test,
+)
+from repro.errors import AnalysisError
+
+
+class TestCubicResponse:
+    def test_single_tone_textbook_amplitudes(self):
+        """y = g x + a3 x^3 on A*cos: fundamental gA + (3/4)a3 A^3,
+        third harmonic (1/4) a3 A^3."""
+        g1, a3, amplitude = 2.0, -0.1, 0.5
+        out = cubic_response(tone(1e6, amplitude), g1, a3)
+        assert out.amplitude(1e6) == pytest.approx(
+            abs(g1 * amplitude + 0.75 * a3 * amplitude ** 3), rel=1e-9
+        )
+        assert out.amplitude(3e6) == pytest.approx(
+            abs(0.25 * a3 * amplitude ** 3), rel=1e-9
+        )
+
+    def test_two_tone_products_present(self):
+        out = cubic_response(tone(10e6, 0.1) + tone(11e6, 0.1), 1.0, -1.0)
+        for frequency in (9e6, 12e6, 10e6, 11e6, 30e6, 33e6, 31e6, 32e6):
+            assert out.amplitude(frequency) > 0.0, frequency
+
+    def test_im3_amplitude(self):
+        """Two equal tones A: IM3 at 2f1-f2 has amplitude (3/4)|a3|A^3."""
+        a3, amplitude = -0.5, 0.2
+        out = cubic_response(
+            tone(10e6, amplitude) + tone(11e6, amplitude), 1.0, a3
+        )
+        assert out.amplitude(9e6) == pytest.approx(
+            0.75 * abs(a3) * amplitude ** 3, rel=1e-9
+        )
+
+    def test_linear_when_a3_zero(self):
+        out = cubic_response(tone(1e6, 1.0) + tone(2e6, 0.5), 3.0, 0.0)
+        assert out.amplitude(1e6) == pytest.approx(3.0)
+        assert out.amplitude(2e6) == pytest.approx(1.5)
+        assert out.amplitude(3e6) == 0.0
+
+    def test_energy_moves_not_appears(self):
+        """Compression: the fundamental shrinks as a3 < 0 bites."""
+        linear = cubic_response(tone(1e6, 1.0), 1.0, 0.0)
+        compressed = cubic_response(tone(1e6, 1.0), 1.0, -0.2)
+        assert compressed.amplitude(1e6) < linear.amplitude(1e6)
+
+    def test_tone_count_limit(self):
+        signal = Spectrum.silence()
+        for k in range(13):
+            signal = signal + tone(1e6 * (k + 1), 0.1)
+        with pytest.raises(AnalysisError):
+            cubic_response(signal, 1.0, -1.0)
+
+
+class TestNonlinearAmplifier:
+    def test_small_signal_gain(self):
+        amp = NonlinearAmplifier("a", gain_db=12.0, iip3_dbv=10.0)
+        out = amp.process({"in": tone(1e6, 1e-4)})["out"]
+        assert out.amplitude(1e6) == pytest.approx(
+            1e-4 * 10 ** (12 / 20), rel=1e-4
+        )
+
+    def test_infinite_iip3_is_linear(self):
+        amp = NonlinearAmplifier("a", gain_db=6.0)
+        out = amp.process({"in": tone(1e6, 1.0)})["out"]
+        assert out.amplitude(3e6) == 0.0
+
+    def test_compression_at_large_drive(self):
+        amp = NonlinearAmplifier("a", gain_db=0.0, iip3_dbv=0.0)
+        small = amp.process({"in": tone(1e6, 0.01)})["out"]
+        large = amp.process({"in": tone(1e6, 0.5)})["out"]
+        gain_small = small.amplitude(1e6) / 0.01
+        gain_large = large.amplitude(1e6) / 0.5
+        assert gain_large < gain_small
+
+
+class TestTwoToneTest:
+    def test_iip3_recovered(self):
+        """The two-tone extraction returns the configured intercept."""
+        for iip3 in (-10.0, 0.0, 13.0):
+            amp = NonlinearAmplifier("a", gain_db=10.0, iip3_dbv=iip3)
+            measured = iip3_from_two_tone(amp, 10e6, 11e6, 1e-3)
+            assert measured == pytest.approx(iip3, abs=0.05)
+
+    def test_three_to_one_slope(self):
+        """IM3 grows 3 dB per 1 dB of input drive."""
+        amp = NonlinearAmplifier("a", gain_db=10.0, iip3_dbv=0.0)
+        low = two_tone_test(amp, 10e6, 11e6, 0.001)
+        high = two_tone_test(amp, 10e6, 11e6, 0.002)
+        im3_growth = 20 * math.log10(high["im3_low"] / low["im3_low"])
+        assert im3_growth == pytest.approx(18.06, abs=0.1)  # 3 x 6.02 dB
+
+    def test_symmetric_im3_products(self):
+        amp = NonlinearAmplifier("a", gain_db=0.0, iip3_dbv=0.0)
+        probe = two_tone_test(amp, 10e6, 11e6, 0.01)
+        assert probe["im3_low"] == pytest.approx(probe["im3_high"],
+                                                 rel=1e-9)
+
+    def test_im3_dbc_sign(self):
+        amp = NonlinearAmplifier("a", gain_db=0.0, iip3_dbv=0.0)
+        probe = two_tone_test(amp, 10e6, 11e6, 0.01)
+        assert probe["im3_dbc"] < -40.0
+
+    def test_argument_validation(self):
+        amp = NonlinearAmplifier("a")
+        with pytest.raises(AnalysisError):
+            two_tone_test(amp, 11e6, 10e6, 0.01)
+        with pytest.raises(AnalysisError):
+            two_tone_test(amp, 1e6, 3e6, 0.01)  # 2f1-f2 < 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(amplitude=st.floats(min_value=1e-4, max_value=1e-2),
+           iip3=st.floats(min_value=-20.0, max_value=20.0))
+    def test_iip3_extraction_property(self, amplitude, iip3):
+        """Extraction is drive-level independent in the weak regime."""
+        amp = NonlinearAmplifier("a", gain_db=5.0, iip3_dbv=iip3)
+        measured = iip3_from_two_tone(amp, 10e6, 11e6, amplitude)
+        assert measured == pytest.approx(iip3, abs=0.2)

@@ -1,0 +1,164 @@
+"""Tests for the phasor-domain Spectrum type."""
+
+import cmath
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.behavioral import Spectrum, tone
+from repro.errors import AnalysisError
+
+amplitudes = st.floats(min_value=1e-6, max_value=1e3)
+phases = st.floats(min_value=-180.0, max_value=180.0)
+frequencies = st.sampled_from([1e6, 45e6, 100e6, 1.21e9, 1.255e9, 1.3e9])
+
+
+class TestConstruction:
+    def test_tone(self):
+        s = Spectrum.tone(45e6, 2.0, 30.0)
+        assert s.amplitude(45e6) == pytest.approx(2.0)
+        assert s.phase_deg(45e6) == pytest.approx(30.0)
+        assert s.amplitude(46e6) == 0.0
+
+    def test_silence(self):
+        s = Spectrum.silence()
+        assert not s
+        assert len(s) == 0
+        assert s.total_power() == 0.0
+
+    def test_rejects_negative_frequency(self):
+        with pytest.raises(AnalysisError):
+            Spectrum.tone(-1e6)
+
+    def test_module_level_alias(self):
+        assert tone(1e6).amplitude(1e6) == 1.0
+
+
+class TestInspection:
+    def test_frequencies_sorted(self):
+        s = tone(3e6) + tone(1e6) + tone(2e6)
+        assert s.frequencies() == [1e6, 2e6, 3e6]
+
+    def test_dominant(self):
+        s = tone(1e6, 0.5) + tone(2e6, 3.0)
+        freq, phasor = s.dominant()
+        assert freq == 2e6
+        assert abs(phasor) == pytest.approx(3.0)
+
+    def test_dominant_of_silence_raises(self):
+        with pytest.raises(AnalysisError):
+            Spectrum.silence().dominant()
+
+    def test_power(self):
+        s = tone(1e6, 2.0)
+        assert s.power(1e6) == pytest.approx(2.0)  # A^2/2
+        assert s.total_power() == pytest.approx(2.0)
+
+
+class TestLinearOps:
+    def test_addition_merges_tones(self):
+        s = tone(1e6, 1.0) + tone(2e6, 2.0)
+        assert len(s) == 2
+
+    def test_addition_coherent(self):
+        s = tone(1e6, 1.0, 0.0) + tone(1e6, 1.0, 0.0)
+        assert s.amplitude(1e6) == pytest.approx(2.0)
+
+    def test_addition_cancels_out_of_phase(self):
+        s = tone(1e6, 1.0, 0.0) + tone(1e6, 1.0, 180.0)
+        assert s.amplitude(1e6) == pytest.approx(0.0, abs=1e-12)
+
+    def test_subtraction(self):
+        s = tone(1e6, 3.0) - tone(1e6, 1.0)
+        assert s.amplitude(1e6) == pytest.approx(2.0)
+
+    def test_scalar_multiplication(self):
+        s = 2.0 * tone(1e6, 1.0)
+        assert s.amplitude(1e6) == pytest.approx(2.0)
+        s2 = tone(1e6, 1.0) * 0.5
+        assert s2.amplitude(1e6) == pytest.approx(0.5)
+
+    def test_gain_db(self):
+        s = tone(1e6, 1.0).gained_db(20.0)
+        assert s.amplitude(1e6) == pytest.approx(10.0)
+
+    def test_phase_shift(self):
+        s = tone(1e6, 1.0, 10.0).phase_shifted(35.0)
+        assert s.phase_deg(1e6) == pytest.approx(45.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(a1=amplitudes, a2=amplitudes, p1=phases, p2=phases,
+           f=frequencies, scale=st.floats(min_value=-5, max_value=5))
+    def test_linearity_property(self, a1, a2, p1, p2, f, scale):
+        """scale*(x+y) == scale*x + scale*y on phasors."""
+        x = tone(f, a1, p1)
+        y = tone(f, a2, p2)
+        lhs = (x + y).scaled(scale)
+        rhs = x.scaled(scale) + y.scaled(scale)
+        assert lhs.phasor(f) == pytest.approx(rhs.phasor(f), rel=1e-9,
+                                              abs=1e-12)
+
+
+class TestMixing:
+    def test_sum_and_difference_tones(self):
+        s = tone(100e6, 1.0).mixed(80e6)
+        assert set(s.frequencies()) == {20e6, 180e6}
+        assert s.amplitude(20e6) == pytest.approx(0.5)
+        assert s.amplitude(180e6) == pytest.approx(0.5)
+
+    def test_downconversion_amplitude(self):
+        s = tone(1.3e9, 2.0).mixed(1.255e9)
+        assert s.amplitude(45e6) == pytest.approx(1.0)
+
+    def test_conversion_gain(self):
+        s = tone(100e6, 1.0).mixed(80e6, conversion_gain=2.0)
+        assert s.amplitude(20e6) == pytest.approx(1.0)
+
+    def test_lo_phase_transfers_to_sum(self):
+        s = tone(100e6, 1.0, 0.0).mixed(80e6, lo_phase_deg=30.0)
+        assert s.phase_deg(180e6) == pytest.approx(30.0)
+
+    def test_high_side_signal_keeps_phase_sense(self):
+        """f > f_lo: difference tone phase = signal - LO phase."""
+        s = tone(100e6, 1.0, 50.0).mixed(80e6, lo_phase_deg=30.0)
+        assert s.phase_deg(20e6) == pytest.approx(20.0)
+
+    def test_low_side_signal_conjugates(self):
+        """f < f_lo: the fold-over conjugates the signal phase — the
+        physics behind image rejection."""
+        s = tone(60e6, 1.0, 50.0).mixed(80e6, lo_phase_deg=30.0)
+        assert s.phase_deg(20e6) == pytest.approx(-50.0 + 30.0)
+
+    def test_lo_frequency_tone_becomes_dc(self):
+        s = tone(80e6, 1.0).mixed(80e6)
+        assert 0.0 in s.frequencies()
+
+    def test_quadrature_cancellation_exact(self):
+        """A perfect Hartley chain nulls the image completely."""
+        image = tone(1.21e9, 1.0)
+        i_path = image.mixed(1.255e9)
+        q_path = image.mixed(1.255e9, lo_phase_deg=90.0).phase_shifted(90.0)
+        combined = i_path + q_path
+        assert combined.amplitude(45e6) == pytest.approx(0.0, abs=1e-12)
+
+    def test_quadrature_addition_for_wanted(self):
+        wanted = tone(1.3e9, 1.0)
+        i_path = wanted.mixed(1.255e9)
+        q_path = wanted.mixed(1.255e9, lo_phase_deg=90.0).phase_shifted(90.0)
+        combined = i_path + q_path
+        assert combined.amplitude(45e6) == pytest.approx(1.0)
+
+
+class TestFiltering:
+    def test_filter_applies_complex_response(self):
+        s = (tone(1e6, 1.0) + tone(2e6, 1.0)).filtered(
+            lambda f: 0.5j if f == 1e6 else 0.0
+        )
+        assert s.amplitude(1e6) == pytest.approx(0.5)
+        assert s.phase_deg(1e6) == pytest.approx(90.0)
+        assert s.amplitude(2e6) == 0.0
+
+    def test_cleanup_drops_negligible(self):
+        s = tone(1e6, 1.0).scaled(1e-30)
+        assert len(s) == 0

@@ -1,0 +1,167 @@
+"""Tests for the block-graph system model."""
+
+import pytest
+
+from repro.behavioral import (
+    Adder,
+    Amplifier,
+    Mixer,
+    Splitter,
+    Spectrum,
+    SystemModel,
+    tone,
+)
+from repro.errors import DesignError
+
+
+def amp(name, gain_db):
+    return Amplifier(name, gain_db=gain_db)
+
+
+class TestWiring:
+    def test_chain(self):
+        system = SystemModel("chain")
+        system.chain([amp("a1", 10.0), amp("a2", 10.0)], ["in", "mid", "out"])
+        nets = system.run({"in": tone(1e6, 0.1)})
+        assert nets["out"].amplitude(1e6) == pytest.approx(1.0)
+
+    def test_chain_net_count_mismatch(self):
+        system = SystemModel("bad")
+        with pytest.raises(DesignError):
+            system.chain([amp("a1", 0.0)], ["a", "b", "c"])
+
+    def test_port_map_wiring(self):
+        system = SystemModel("map")
+        system.add(Adder("sum", 2), inputs={"in0": "x", "in1": "y"},
+                   outputs={"out": "z"})
+        nets = system.run({"x": tone(1e6, 1.0), "y": tone(1e6, 2.0)})
+        assert nets["z"].amplitude(1e6) == pytest.approx(3.0)
+
+    def test_duplicate_block_name(self):
+        system = SystemModel("dup")
+        system.add(amp("a", 0.0), inputs=["x"], outputs=["y"])
+        with pytest.raises(DesignError):
+            system.add(amp("a", 0.0), inputs=["y"], outputs=["z"])
+
+    def test_unknown_port_rejected(self):
+        system = SystemModel("bad_port")
+        with pytest.raises(DesignError):
+            system.add(amp("a", 0.0), inputs={"nope": "x"}, outputs=["y"])
+
+    def test_too_many_nets_rejected(self):
+        system = SystemModel("too_many")
+        with pytest.raises(DesignError):
+            system.add(amp("a", 0.0), inputs=["x", "y"], outputs=["z"])
+
+    def test_block_lookup(self):
+        system = SystemModel("lookup")
+        block = system.add(amp("a", 0.0), inputs=["x"], outputs=["y"])
+        assert system.block("a") is block
+        with pytest.raises(DesignError):
+            system.block("b")
+        assert system.nets() == {"x", "y"}
+
+
+class TestEvaluation:
+    def test_out_of_order_definition(self):
+        """Blocks can be added in any order; evaluation is topological."""
+        system = SystemModel("ooo")
+        system.add(amp("late", 20.0), inputs=["mid"], outputs=["out"])
+        system.add(amp("early", 20.0), inputs=["in"], outputs=["mid"])
+        nets = system.run({"in": tone(1e6, 0.01)})
+        assert nets["out"].amplitude(1e6) == pytest.approx(1.0)
+
+    def test_fanout_and_recombine(self):
+        system = SystemModel("fan")
+        system.add(Splitter("split", 2), inputs=["in"], outputs=["a", "b"])
+        system.add(amp("ga", 6.0), inputs=["a"], outputs=["a2"])
+        system.add(amp("gb", 6.0), inputs=["b"], outputs=["b2"])
+        system.add(Adder("sum", 2), inputs={"in0": "a2", "in1": "b2"},
+                   outputs=["out"])
+        nets = system.run({"in": tone(1e6, 1.0)})
+        assert nets["out"].amplitude(1e6) == pytest.approx(
+            2 * 10 ** (6 / 20), rel=1e-6
+        )
+
+    def test_feedback_rejected(self):
+        system = SystemModel("loop")
+        system.add(amp("a", 1.0), inputs=["x"], outputs=["y"])
+        system.add(amp("b", 1.0), inputs=["y"], outputs=["x"])
+        with pytest.raises(DesignError):
+            system.run({})
+
+    def test_double_driver_rejected(self):
+        system = SystemModel("dd")
+        system.add(amp("a", 0.0), inputs=["in"], outputs=["out"])
+        system.add(amp("b", 0.0), inputs=["in"], outputs=["out"])
+        with pytest.raises(DesignError):
+            system.run({"in": tone(1e6)})
+
+    def test_stimulus_on_driven_net_rejected(self):
+        system = SystemModel("sd")
+        system.add(amp("a", 0.0), inputs=["in"], outputs=["out"])
+        with pytest.raises(DesignError):
+            system.run({"in": tone(1e6), "out": tone(1e6)})
+
+    def test_unconnected_input_sees_silence(self):
+        system = SystemModel("float")
+        system.add(amp("a", 10.0), inputs=["in"], outputs=["out"])
+        nets = system.run({})
+        assert not nets["out"]
+
+    def test_all_nets_reported(self):
+        system = SystemModel("report")
+        system.add(Mixer("m", 80e6), inputs=["rf"], outputs=["if"])
+        nets = system.run({"rf": tone(100e6, 1.0)})
+        assert "rf" in nets and "if" in nets
+
+
+class TestAsBlock:
+    def test_subsystem_composes(self):
+        from repro.behavioral import Mixer, PhaseShifter, Adder, Splitter
+
+        inner = SystemModel("ir_core")
+        inner.add(Splitter("split", 2), inputs=["in"],
+                  outputs=["i", "q"])
+        inner.add(Mixer("mi", 1.255e9), inputs=["i"], outputs=["im"])
+        inner.add(Mixer("mq", 1.255e9, lo_phase_deg=90.0),
+                  inputs=["q"], outputs=["qm"])
+        inner.add(PhaseShifter("sh", shift_deg=90.0),
+                  inputs=["qm"], outputs=["qs"])
+        inner.add(Adder("sum", 2), inputs={"in0": "im", "in1": "qs"},
+                  outputs=["out"])
+        block = inner.as_block("ir_mixer", inputs={"IF1": "in"},
+                               outputs={"IF2": "out"})
+
+        outer = SystemModel("tuner")
+        outer.add(amp("pre", 6.0), inputs=["rf"], outputs=["if1"])
+        outer.add(block, inputs={"IF1": "if1"}, outputs={"IF2": "if2"})
+        nets = outer.run({"rf": tone(1.3e9, 1.0)})
+        # wanted signal converts; image rejected by the inner subsystem
+        assert nets["if2"].amplitude(45e6) > 0.5
+        image = outer.run({"rf": tone(1.21e9, 1.0)})["if2"]
+        assert image.amplitude(45e6) < 1e-9
+
+    def test_unknown_output_net_rejected(self):
+        from repro.errors import DesignError
+
+        inner = SystemModel("inner")
+        inner.add(amp("a", 0.0), inputs=["x"], outputs=["y"])
+        with pytest.raises(DesignError):
+            inner.as_block("b", inputs={"IN": "x"},
+                           outputs={"OUT": "nope"})
+
+    def test_needs_outputs(self):
+        from repro.errors import DesignError
+
+        inner = SystemModel("inner")
+        inner.add(amp("a", 0.0), inputs=["x"], outputs=["y"])
+        with pytest.raises(DesignError):
+            inner.as_block("b", inputs={"IN": "x"}, outputs={})
+
+    def test_unconnected_input_port_is_silence(self):
+        inner = SystemModel("inner")
+        inner.add(amp("a", 6.0), inputs=["x"], outputs=["y"])
+        block = inner.as_block("b", inputs={"IN": "x"},
+                               outputs={"OUT": "y"})
+        assert not block.process({})["OUT"]

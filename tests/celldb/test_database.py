@@ -1,0 +1,183 @@
+"""Tests for the analog cell database."""
+
+import pytest
+
+from repro.celldb import (
+    AnalogCellDatabase,
+    Cell,
+    CategoryPath,
+    Symbol,
+    seed_database,
+)
+from repro.errors import CellDatabaseError
+
+
+def make_cell(name="AMP1", path="TVR/Tuner/Amp", schematic="", behavior=""):
+    return Cell(
+        name=name,
+        category=CategoryPath.parse(path),
+        document=f"{name} test amplifier circuit.",
+        symbol=Symbol(("IN", "OUT")),
+        schematic=schematic,
+        behavior=behavior,
+    )
+
+
+GOOD_DECK = "test\nR1 a 0 1k\nV1 a 0 1\n.END\n"
+BAD_DECK = "test\nR1 a 0\n.END\n"
+GOOD_AHDL = """
+module amp (IN, OUT) (g)
+node [V] IN, OUT;
+parameter real g = 1;
+{ analog { V(OUT) <- g * V(IN); } }
+"""
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        db = AnalogCellDatabase()
+        db.register(make_cell())
+        assert "AMP1" in db
+        assert db.get("amp1").name == "AMP1"
+
+    def test_duplicate_rejected(self):
+        db = AnalogCellDatabase()
+        db.register(make_cell())
+        with pytest.raises(CellDatabaseError):
+            db.register(make_cell())
+
+    def test_schematic_validated(self):
+        db = AnalogCellDatabase()
+        db.register(make_cell(name="OK", schematic=GOOD_DECK))
+        with pytest.raises(CellDatabaseError):
+            db.register(make_cell(name="BROKEN", schematic=BAD_DECK))
+
+    def test_behavior_validated(self):
+        db = AnalogCellDatabase()
+        db.register(make_cell(name="OK", behavior=GOOD_AHDL))
+        with pytest.raises(CellDatabaseError):
+            db.register(make_cell(name="BROKEN",
+                                  behavior="module broken ((("))
+
+    def test_validation_can_be_skipped(self):
+        db = AnalogCellDatabase()
+        db.register(make_cell(schematic=BAD_DECK), validate=False)
+        assert "AMP1" in db
+
+    def test_unregister(self):
+        db = AnalogCellDatabase()
+        db.register(make_cell())
+        db.unregister("AMP1")
+        assert "AMP1" not in db
+        with pytest.raises(CellDatabaseError):
+            db.unregister("AMP1")
+
+    def test_get_missing(self):
+        with pytest.raises(CellDatabaseError):
+            AnalogCellDatabase().get("NOPE")
+
+
+class TestSearch:
+    @pytest.fixture()
+    def db(self):
+        return seed_database()
+
+    def test_keyword_search(self, db):
+        hits = db.search(keyword="mixer")
+        assert {c.name for c in hits} >= {"UPMIX-1300", "DNMIX-45"}
+
+    def test_category_filters(self, db):
+        hits = db.search(library="TVR", category1="Tuner",
+                         category2="Phase shifter")
+        assert {c.name for c in hits} == {"PHASE90-VCO", "PHASE90-IF"}
+
+    def test_combined_filters(self, db):
+        hits = db.search(keyword="90", library="TVR",
+                         category2="Phase shifter")
+        assert len(hits) == 2
+
+    def test_in_category(self, db):
+        cells = db.in_category("TV/Croma/ACC")
+        assert [c.name for c in cells] == ["ACC1", "ACC2"]
+
+    def test_libraries_and_categories(self, db):
+        assert db.libraries() == ["TV", "TVR"]
+        tree = db.categories("TV")
+        assert "Croma" in tree
+        assert "ACC" in tree["Croma"]
+
+    def test_no_hits(self, db):
+        assert db.search(keyword="nonexistent-thing") == []
+
+
+class TestReuse:
+    def test_copy_increments_counter(self):
+        db = seed_database()
+        before = db.get("DNMIX-45").reuse_count
+        db.copy_for_reuse("DNMIX-45")
+        db.copy_for_reuse("DNMIX-45")
+        assert db.get("DNMIX-45").reuse_count == before + 2
+
+    def test_reuse_statistics(self):
+        db = seed_database()
+        stats = db.reuse_statistics({
+            "b1": "RF-AGC-AMP",
+            "b2": "UPMIX-1300",
+            "b3": "DNMIX-45",
+            "b4": None,
+            "b5": "NOT-IN-DB",
+        })
+        assert stats.total_blocks == 5
+        assert stats.reused_blocks == 3
+        assert stats.reuse_fraction == pytest.approx(0.6)
+
+    def test_empty_design(self):
+        stats = seed_database().reuse_statistics({})
+        assert stats.reuse_fraction == 0.0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        db = seed_database()
+        db.copy_for_reuse("ACC1")
+        path = tmp_path / "cells.json"
+        db.save(path)
+        restored = AnalogCellDatabase.load(path)
+        assert len(restored) == len(db)
+        assert restored.get("ACC1").reuse_count == 1
+        assert restored.get("UPMIX-1300").category == CategoryPath.parse(
+            "TVR/Tuner/Mixer"
+        )
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(CellDatabaseError):
+            AnalogCellDatabase.load(tmp_path / "nope.json")
+
+    def test_load_bad_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": 99, "cells": []}')
+        with pytest.raises(CellDatabaseError):
+            AnalogCellDatabase.load(path)
+
+
+class TestSeedDatabase:
+    def test_seed_is_valid(self):
+        """Every seeded cell passes full validation (schematics parse,
+        behaviors compile)."""
+        db = seed_database()
+        fresh = AnalogCellDatabase("check")
+        for cell in db.cells():
+            fresh.register(cell, validate=True)
+        assert len(fresh) == len(db)
+
+    def test_seed_covers_fig6_corner(self):
+        db = seed_database()
+        assert "ACC1" in db
+        assert "ACC2" in db
+        assert db.get("ACC1").category.library == "TV"
+
+    def test_seed_covers_tuner_blocks(self):
+        db = seed_database()
+        for name in ("RF-AGC-AMP", "UPMIX-1300", "DNMIX-45",
+                     "PHASE90-VCO", "PHASE90-IF", "IF-ADDER", "VCO-2ND"):
+            assert name in db

@@ -1,0 +1,96 @@
+"""Tests for the cell data model."""
+
+import pytest
+
+from repro.celldb import Cell, CategoryPath, SimulationRecord, Symbol
+from repro.errors import CellDatabaseError
+
+
+def make_cell(**overrides):
+    defaults = dict(
+        name="ACC1",
+        category=CategoryPath("TV", "Croma", "ACC"),
+        document="A gain controlled amplifier for chroma AGC.",
+        symbol=Symbol(("IN", "OUT")),
+    )
+    defaults.update(overrides)
+    return Cell(**defaults)
+
+
+class TestCategoryPath:
+    def test_str_roundtrip(self):
+        path = CategoryPath("TV", "Croma", "ACC")
+        assert str(path) == "TV/Croma/ACC"
+        assert CategoryPath.parse("TV/Croma/ACC") == path
+
+    def test_parse_rejects_wrong_depth(self):
+        with pytest.raises(CellDatabaseError):
+            CategoryPath.parse("TV/Croma")
+        with pytest.raises(CellDatabaseError):
+            CategoryPath.parse("TV/Croma/ACC/extra")
+
+    def test_rejects_empty_or_slashed_components(self):
+        with pytest.raises(CellDatabaseError):
+            CategoryPath("", "a", "b")
+        with pytest.raises(CellDatabaseError):
+            CategoryPath("a/b", "c", "d")
+
+
+class TestSymbol:
+    def test_needs_ports(self):
+        with pytest.raises(CellDatabaseError):
+            Symbol(())
+
+    def test_rejects_duplicate_ports(self):
+        with pytest.raises(CellDatabaseError):
+            Symbol(("IN", "IN"))
+
+
+class TestSimulationRecord:
+    def test_valid_kinds(self):
+        for kind in ("op", "dc", "ac", "tran", "behavioral"):
+            SimulationRecord("r", kind)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(CellDatabaseError):
+            SimulationRecord("r", "montecarlo")
+
+
+class TestCell:
+    def test_document_is_mandatory(self):
+        with pytest.raises(CellDatabaseError):
+            make_cell(document="   ")
+
+    def test_name_is_mandatory(self):
+        with pytest.raises(CellDatabaseError):
+            make_cell(name="")
+
+    def test_dict_roundtrip(self):
+        cell = make_cell(
+            keywords=("agc", "chroma"),
+            schematic="deck\nR1 a 0 1k\n.END\n",
+            behavior="",
+            simulations=[SimulationRecord("gain", "ac",
+                                          {"gain_db": 12.0})],
+            designer="miyahara",
+            origin_ic="TA8867",
+            reuse_count=3,
+        )
+        restored = Cell.from_dict(cell.to_dict())
+        assert restored.name == cell.name
+        assert restored.category == cell.category
+        assert restored.keywords == cell.keywords
+        assert restored.simulations[0].summary == {"gain_db": 12.0}
+        assert restored.reuse_count == 3
+        assert restored.symbol.ports == cell.symbol.ports
+
+    def test_from_dict_missing_field(self):
+        with pytest.raises(CellDatabaseError):
+            Cell.from_dict({"name": "X"})
+
+    def test_keyword_matching(self):
+        cell = make_cell(keywords=("AGC", "chroma"))
+        assert cell.matches_keyword("agc")
+        assert cell.matches_keyword("ACC1")  # name
+        assert cell.matches_keyword("gain controlled")  # document
+        assert not cell.matches_keyword("oscillator")

@@ -1,0 +1,96 @@
+"""Tests for cell revisions and the database audit trail."""
+
+import pytest
+
+from repro.celldb import (
+    AnalogCellDatabase,
+    Cell,
+    CategoryPath,
+    Symbol,
+)
+from repro.errors import CellDatabaseError
+
+
+def make_cell(document="An amplifier cell for revision testing."):
+    return Cell(
+        name="REV1",
+        category=CategoryPath.parse("TV/Video/Amp"),
+        document=document,
+        symbol=Symbol(("IN", "OUT")),
+    )
+
+
+class TestRevisions:
+    def test_initial_revision_is_one(self):
+        db = AnalogCellDatabase()
+        db.register(make_cell())
+        assert db.get("REV1").revision == 1
+
+    def test_update_bumps_revision(self):
+        db = AnalogCellDatabase()
+        db.register(make_cell())
+        db.update_cell(make_cell(document="Improved description."))
+        assert db.get("REV1").revision == 2
+        assert "Improved" in db.get("REV1").document
+        db.update_cell(make_cell(document="Third take."))
+        assert db.get("REV1").revision == 3
+
+    def test_update_preserves_reuse_count(self):
+        db = AnalogCellDatabase()
+        db.register(make_cell())
+        db.copy_for_reuse("REV1")
+        db.copy_for_reuse("REV1")
+        db.update_cell(make_cell(document="New doc."))
+        assert db.get("REV1").reuse_count == 2
+
+    def test_update_unregistered_rejected(self):
+        db = AnalogCellDatabase()
+        with pytest.raises(CellDatabaseError):
+            db.update_cell(make_cell())
+
+    def test_update_validates(self):
+        db = AnalogCellDatabase()
+        db.register(make_cell())
+        broken = make_cell()
+        broken.schematic = "broken\nR1 a\n.END\n"
+        with pytest.raises(CellDatabaseError):
+            db.update_cell(broken)
+
+    def test_revision_survives_persistence(self, tmp_path):
+        db = AnalogCellDatabase()
+        db.register(make_cell())
+        db.update_cell(make_cell(document="v2 of the doc."))
+        path = tmp_path / "db.json"
+        db.save(path)
+        restored = AnalogCellDatabase.load(path)
+        assert restored.get("REV1").revision == 2
+
+
+class TestAuditTrail:
+    def test_actions_recorded_in_order(self):
+        db = AnalogCellDatabase()
+        db.register(make_cell())
+        db.copy_for_reuse("REV1")
+        db.update_cell(make_cell(document="Better."))
+        db.unregister("REV1")
+        actions = [e.action for e in db.history()]
+        assert actions == ["register", "reuse", "update", "unregister"]
+        sequences = [e.sequence for e in db.history()]
+        assert sequences == [1, 2, 3, 4]
+
+    def test_filter_by_cell(self):
+        db = AnalogCellDatabase()
+        db.register(make_cell())
+        other = make_cell()
+        other.name = "OTHER"
+        db.register(other)
+        db.copy_for_reuse("OTHER")
+        assert len(db.history("REV1")) == 1
+        assert len(db.history("other")) == 2
+
+    def test_detail_text(self):
+        db = AnalogCellDatabase()
+        db.register(make_cell())
+        db.update_cell(make_cell(document="Again."))
+        update = db.history("REV1")[-1]
+        assert "revision 1 -> 2" in update.detail

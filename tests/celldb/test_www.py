@@ -1,0 +1,68 @@
+"""Tests for the WWW (static HTML) export of the cell library."""
+
+import pytest
+
+from repro.celldb import export_site, render_cell, render_index, seed_database
+
+
+@pytest.fixture(scope="module")
+def db():
+    return seed_database()
+
+
+class TestRenderIndex:
+    def test_contains_libraries_and_cells(self, db):
+        html = render_index(db)
+        assert "Library TV" in html
+        assert "Library TVR" in html
+        assert "ACC1" in html
+        assert 'href="cell_acc1.html"' in html
+
+    def test_shows_reuse_counters(self, db):
+        html = render_index(db)
+        assert "re-used" in html
+
+
+class TestRenderCell:
+    def test_all_facets_present(self, db):
+        cell = db.get("RF-AGC-AMP")
+        html = render_cell(cell)
+        assert "Document" in html
+        assert "Symbol" in html
+        assert "SPICE deck" in html
+        assert "AHDL" in html
+        assert "RF AGC amplifier" in html or "AGC" in html
+
+    def test_simulation_table(self, db):
+        cell = db.get("ACC1")
+        html = render_cell(cell)
+        assert "Simulation data" in html
+        assert "gain_db=12" in html
+
+    def test_html_escaping(self, db):
+        from repro.celldb import Cell, CategoryPath, Symbol
+
+        cell = Cell(
+            name="XSS<script>",
+            category=CategoryPath("A", "B", "C"),
+            document="contains <tags> & ampersands",
+            symbol=Symbol(("IN",)),
+        )
+        html = render_cell(cell)
+        assert "<script>" not in html
+        assert "&lt;tags&gt;" in html
+
+
+class TestExportSite:
+    def test_writes_index_and_cell_pages(self, db, tmp_path):
+        files = export_site(db, tmp_path / "www")
+        names = {f.name for f in files}
+        assert "index.html" in names
+        assert len(files) == len(db) + 1
+        index = (tmp_path / "www" / "index.html").read_text()
+        assert "Analog cell library" in index
+
+    def test_creates_directory(self, db, tmp_path):
+        target = tmp_path / "deep" / "nested" / "www"
+        export_site(db, target)
+        assert (target / "index.html").exists()

@@ -1,0 +1,101 @@
+"""Tests for automatic spec allocation (budget step of the flow)."""
+
+import math
+
+import pytest
+
+from repro.behavioral import cascade
+from repro.core import (
+    StagePlan,
+    allocate_budget,
+    allocate_iip3,
+    allocate_noise_figure,
+    hardest_stage,
+)
+from repro.errors import DesignError
+
+TUNER_LINEUP = [
+    StagePlan("rf_amp", gain_db=15.0, weight=1.0),
+    StagePlan("mix1", gain_db=-6.0, weight=3.0),
+    StagePlan("if1_bpf", gain_db=-2.0, weight=0.5),
+    StagePlan("ir_mixer", gain_db=0.0, weight=3.0),
+    StagePlan("if2_amp", gain_db=20.0, weight=2.0),
+]
+
+
+class TestNoiseAllocation:
+    def test_roundtrip_meets_target_exactly(self):
+        for target in (4.0, 6.0, 10.0):
+            allocated = allocate_noise_figure(TUNER_LINEUP, target)
+            achieved = cascade(allocated).nf_db
+            assert achieved == pytest.approx(target, abs=1e-9)
+
+    def test_first_stage_gets_the_tight_spec(self):
+        allocated = allocate_noise_figure(TUNER_LINEUP, 6.0)
+        by_name = {s.name: s for s in allocated}
+        # equal weights would already favour the front; with the mixer
+        # weighted heavier, the front stage must be cleanest of all
+        assert hardest_stage(allocated).name == "rf_amp"
+        assert by_name["rf_amp"].nf_db < by_name["ir_mixer"].nf_db
+
+    def test_weights_steer_the_slack(self):
+        light = [StagePlan("a", 10.0, weight=1.0),
+                 StagePlan("b", 10.0, weight=1.0)]
+        heavy_b = [StagePlan("a", 10.0, weight=1.0),
+                   StagePlan("b", 10.0, weight=10.0)]
+        nf_light = {s.name: s.nf_db
+                    for s in allocate_noise_figure(light, 5.0)}
+        nf_heavy = {s.name: s.nf_db
+                    for s in allocate_noise_figure(heavy_b, 5.0)}
+        assert nf_heavy["b"] > nf_light["b"]  # b got more slack
+        assert nf_heavy["a"] < nf_light["a"]  # paid for by a
+
+    def test_gain_ahead_loosens_later_stages(self):
+        allocated = allocate_noise_figure(TUNER_LINEUP, 6.0)
+        by_name = {s.name: s for s in allocated}
+        # 27 dB of gain sits ahead of if2_amp: its NF may be huge
+        assert by_name["if2_amp"].nf_db > by_name["rf_amp"].nf_db + 3
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            allocate_noise_figure([], 6.0)
+        with pytest.raises(DesignError):
+            allocate_noise_figure(TUNER_LINEUP, 0.0)
+        with pytest.raises(DesignError):
+            StagePlan("x", 0.0, weight=0.0)
+
+
+class TestIP3Allocation:
+    def test_roundtrip_meets_target_exactly(self):
+        for target in (-15.0, -5.0, 5.0):
+            allocated = allocate_iip3(TUNER_LINEUP, target)
+            achieved = cascade(allocated).iip3_dbm
+            assert achieved == pytest.approx(target, abs=1e-9)
+
+    def test_back_end_needs_the_high_ip3(self):
+        allocated = allocate_iip3(TUNER_LINEUP, -5.0)
+        by_name = {s.name: s for s in allocated}
+        # the stage behind the most gain carries the linearity burden
+        assert by_name["if2_amp"].iip3_dbm > by_name["rf_amp"].iip3_dbm
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            allocate_iip3([], 0.0)
+
+
+class TestJointAllocation:
+    def test_both_targets_met(self):
+        allocated, report = allocate_budget(TUNER_LINEUP, 6.0, -8.0)
+        assert report.nf_db == pytest.approx(6.0, abs=1e-9)
+        assert report.iip3_dbm == pytest.approx(-8.0, abs=1e-9)
+        assert len(allocated) == len(TUNER_LINEUP)
+
+    def test_gain_lineup_preserved(self):
+        allocated, _ = allocate_budget(TUNER_LINEUP, 6.0, -8.0)
+        for plan, stage in zip(TUNER_LINEUP, allocated):
+            assert stage.gain_db == plan.gain_db
+            assert stage.name == plan.name
+
+    def test_hardest_stage_empty(self):
+        with pytest.raises(DesignError):
+            hardest_stage([])

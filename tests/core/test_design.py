@@ -1,0 +1,97 @@
+"""Tests for the design hierarchy with selectable views."""
+
+import pytest
+
+from repro.behavioral import Amplifier, tone
+from repro.core import Design, DesignBlock, ViewLevel
+from repro.core.mixed_level import CharacterizedLinearBlock
+from repro.errors import DesignError
+
+
+def behavioral_amp(name, gain_db=10.0):
+    return Amplifier(name, gain_db=gain_db)
+
+
+def make_block(name="amp", **kwargs):
+    return DesignBlock(name=name, behavioral=behavioral_amp(name), **kwargs)
+
+
+class TestDesignBlock:
+    def test_defaults(self):
+        block = make_block()
+        assert block.level is ViewLevel.BEHAVIORAL
+        assert not block.is_reused
+        assert not block.has_transistor_view
+        assert block.specs.owner == "amp"
+
+    def test_reuse_flag(self):
+        block = make_block(source_cell="RF-AGC-AMP")
+        assert block.is_reused
+
+    def test_select_transistor_requires_characterization(self):
+        block = make_block()
+        with pytest.raises(DesignError):
+            block.select(ViewLevel.TRANSISTOR)
+
+    def test_active_block_switches(self):
+        block = make_block()
+        assert block.active_block() is block.behavioral
+        from repro.core.mixed_level import CharacterizationResult
+        import numpy as np
+
+        block.characterized = CharacterizedLinearBlock(
+            "amp", CharacterizationResult(
+                np.array([1e6]), np.array([2.0 + 0j])
+            )
+        )
+        block.select(ViewLevel.TRANSISTOR)
+        assert block.active_block() is block.characterized
+
+
+class TestDesign:
+    def _design(self):
+        design = Design("tuner")
+        design.add_block(make_block("a", ), inputs=["in"], outputs=["mid"])
+        design.add_block(make_block("b"), inputs=["mid"], outputs=["out"])
+        return design
+
+    def test_elaborate_and_run(self):
+        design = self._design()
+        system = design.elaborate()
+        nets = system.run({"in": tone(1e6, 0.1)})
+        assert nets["out"].amplitude(1e6) == pytest.approx(1.0)  # 20 dB
+
+    def test_duplicate_block(self):
+        design = self._design()
+        with pytest.raises(DesignError):
+            design.add_block(make_block("a"), inputs=["x"], outputs=["y"])
+
+    def test_block_lookup(self):
+        design = self._design()
+        assert design.block("a").name == "a"
+        with pytest.raises(DesignError):
+            design.block("zz")
+
+    def test_reuse_map(self):
+        design = Design("d")
+        design.add_block(make_block("new"), inputs=["a"], outputs=["b"])
+        design.add_block(make_block("old", source_cell="ACC1"),
+                         inputs=["b"], outputs=["c"])
+        assert design.reuse_map() == {"new": None, "old": "ACC1"}
+
+    def test_elaborate_respects_levels(self):
+        import numpy as np
+        from repro.core.mixed_level import CharacterizationResult
+
+        design = self._design()
+        # characterize block "a" as a flat x4 response
+        design.block("a").characterized = CharacterizedLinearBlock(
+            "a", CharacterizationResult(np.array([1e6]),
+                                        np.array([4.0 + 0j]))
+        )
+        design.select_level("a", ViewLevel.TRANSISTOR)
+        nets = design.elaborate().run({"in": tone(1e6, 0.1)})
+        # 4x from the characterized view, 10 dB from block b
+        expected = 0.1 * 4.0 * 10 ** 0.5
+        assert nets["out"].amplitude(1e6) == pytest.approx(expected,
+                                                           rel=1e-6)

@@ -1,0 +1,82 @@
+"""Tests for specifications and spec sets."""
+
+import math
+
+import pytest
+
+from repro.core import Comparison, Specification, SpecificationSet
+from repro.errors import DesignError
+
+
+class TestSpecification:
+    def test_at_least(self):
+        spec = Specification("irr", 30.0, Comparison.AT_LEAST, unit="dB")
+        assert spec.satisfied_by(30.0)
+        assert spec.satisfied_by(62.0)
+        assert not spec.satisfied_by(29.9)
+
+    def test_at_most(self):
+        spec = Specification("nf", 6.0, Comparison.AT_MOST, unit="dB")
+        assert spec.satisfied_by(5.0)
+        assert not spec.satisfied_by(6.1)
+
+    def test_within(self):
+        spec = Specification("gain", 20.0, Comparison.WITHIN, tolerance=1.0)
+        assert spec.satisfied_by(20.9)
+        assert spec.satisfied_by(19.1)
+        assert not spec.satisfied_by(21.5)
+
+    def test_within_needs_tolerance(self):
+        with pytest.raises(DesignError):
+            Specification("g", 1.0, Comparison.WITHIN)
+
+    def test_nan_fails(self):
+        spec = Specification("x", 1.0)
+        assert not spec.satisfied_by(math.nan)
+
+    def test_describe(self):
+        spec = Specification("irr", 30.0, Comparison.AT_LEAST, unit="dB")
+        assert spec.describe() == "irr >= 30 dB"
+        within = Specification("g", 2.0, Comparison.WITHIN, tolerance=0.5)
+        assert "±" in within.describe()
+
+
+class TestSpecificationSet:
+    def test_add_and_iterate(self):
+        specs = SpecificationSet("mixer")
+        specs.add(Specification("gain", 0.0))
+        specs.add(Specification("irr", 30.0))
+        assert len(specs) == 2
+        assert {s.name for s in specs} == {"gain", "irr"}
+
+    def test_duplicate_rejected(self):
+        specs = SpecificationSet("mixer")
+        specs.add(Specification("gain", 0.0))
+        with pytest.raises(DesignError):
+            specs.add(Specification("gain", 1.0))
+
+    def test_get(self):
+        specs = SpecificationSet("mixer", [Specification("gain", 0.0)])
+        assert specs.get("gain").target == 0.0
+        with pytest.raises(DesignError):
+            specs.get("missing")
+
+    def test_check(self):
+        specs = SpecificationSet("sys", [
+            Specification("irr", 30.0),
+            Specification("nf", 8.0, Comparison.AT_MOST),
+        ])
+        checks = specs.check({"irr": 35.0, "nf": 9.0})
+        by_name = {c.spec.name: c for c in checks}
+        assert by_name["irr"].passed
+        assert not by_name["nf"].passed
+        assert "PASS" in by_name["irr"].describe()
+        assert "FAIL" in by_name["nf"].describe()
+
+    def test_missing_measurement_fails(self):
+        specs = SpecificationSet("sys", [Specification("irr", 30.0)])
+        assert not specs.all_pass({})
+
+    def test_all_pass(self):
+        specs = SpecificationSet("sys", [Specification("irr", 30.0)])
+        assert specs.all_pass({"irr": 31.0})

@@ -1,0 +1,82 @@
+"""Tests for the fT analysis (the physics behind the paper's Fig. 9)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    GummelPoonParameters,
+    bias_at_ic,
+    ft_at_ic,
+    ft_curve,
+    ft_from_h21,
+    peak_ft,
+    thermal_voltage,
+)
+
+VT = thermal_voltage()
+
+
+class TestFTSinglePoint:
+    def test_tf_only_limit(self):
+        """Without depletion caps, fT -> 1/(2*pi*TF) at high current."""
+        p = GummelPoonParameters(IS=1e-16, BF=100, TF=10e-12)
+        point = ft_at_ic(p, 1e-2)
+        assert point.ft == pytest.approx(1 / (2 * math.pi * 10e-12), rel=1e-3)
+
+    def test_depletion_limited_at_low_current(self):
+        p = GummelPoonParameters(IS=1e-16, BF=100, TF=10e-12,
+                                 CJE=50e-15, CJC=30e-15)
+        ic = 1e-5
+        point = ft_at_ic(p, ic)
+        # tau_total = TF + vt*(CJE'+CJC')/Ic dominates at small Ic
+        assert point.ft < 1 / (2 * math.pi * 10e-12) / 5
+        gm = ic / VT
+        assert point.gm == pytest.approx(gm, rel=0.02)
+
+    def test_ft_components_positive(self, hf_model):
+        point = ft_at_ic(hf_model, 1e-3)
+        assert point.gm > 0
+        assert point.cpi > 0
+        assert point.cmu > 0
+        assert point.ft > 0
+
+
+class TestFTCurve:
+    def test_curve_rises_then_falls(self, hf_model):
+        ics = np.geomspace(1e-5, 3e-2, 40)
+        curve = ft_curve(hf_model, ics)
+        fts = [p.ft for p in curve]
+        peak_idx = int(np.argmax(fts))
+        assert 0 < peak_idx < len(fts) - 1, "peak must be interior"
+        # rising before, falling after
+        assert fts[0] < fts[peak_idx]
+        assert fts[-1] < fts[peak_idx]
+
+    def test_peak_finder_matches_curve(self, hf_model):
+        pk = peak_ft(hf_model, 1e-5, 3e-2, points=61)
+        ics = np.geomspace(1e-5, 3e-2, 61)
+        fts = [p.ft for p in ft_curve(hf_model, ics)]
+        assert pk.ft == pytest.approx(max(fts), rel=1e-9)
+
+    def test_area_scaling_moves_peak_current(self, hf_model):
+        """The paper's point: larger emitters peak at larger Ic."""
+        small = peak_ft(hf_model, 1e-5, 5e-2, points=81)
+        big_model = hf_model.scaled_by_area(4.0)
+        big = peak_ft(big_model, 1e-5, 5e-2, points=81)
+        assert big.ic > 2.0 * small.ic
+        # while the peak fT itself is nearly unchanged
+        assert big.ft == pytest.approx(small.ft, rel=0.1)
+
+
+class TestH21CrossCheck:
+    @pytest.mark.parametrize("ic", [3e-4, 1e-3, 3e-3])
+    def test_h21_extrapolation_agrees_with_hybrid_pi(self, hf_model, ic):
+        direct = ft_at_ic(hf_model, ic).ft
+        extrapolated = ft_from_h21(hf_model, ic)
+        assert extrapolated == pytest.approx(direct, rel=0.05)
+
+    def test_bias_point_hits_current(self, hf_model):
+        op = bias_at_ic(hf_model, 2e-3)
+        assert op.ic == pytest.approx(2e-3, rel=1e-6)

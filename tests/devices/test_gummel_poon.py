@@ -1,0 +1,259 @@
+"""Tests of the Gummel-Poon equations against device physics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import (
+    GummelPoonParameters,
+    critical_voltage,
+    depletion_charge,
+    diode_current,
+    evaluate,
+    limited_exp,
+    pnjlim,
+    solve_vbe_for_ic,
+    thermal_voltage,
+)
+
+VT = thermal_voltage()
+
+
+class TestThermalVoltage:
+    def test_room_temperature(self):
+        assert thermal_voltage(300.15) == pytest.approx(0.025865, rel=1e-3)
+
+    def test_scales_linearly(self):
+        assert thermal_voltage(600.30) == pytest.approx(2 * VT)
+
+
+class TestLimitedExp:
+    def test_matches_exp_in_range(self):
+        value, deriv = limited_exp(1.5)
+        assert value == pytest.approx(math.exp(1.5))
+        assert deriv == pytest.approx(math.exp(1.5))
+
+    def test_linearizes_above_limit(self):
+        value, deriv = limited_exp(200.0)
+        assert math.isfinite(value)
+        assert deriv == pytest.approx(math.exp(80.0))
+        # continuous at the switch point
+        v1, _ = limited_exp(80.0)
+        v2, _ = limited_exp(80.0 + 1e-9)
+        assert v2 == pytest.approx(v1, rel=1e-6)
+
+
+class TestDiodeCurrent:
+    def test_forward_law(self):
+        i, g = diode_current(1e-14, 0.6, VT)
+        assert i == pytest.approx(1e-14 * (math.exp(0.6 / VT) - 1), rel=1e-9)
+
+    def test_conductance_is_derivative(self):
+        h = 1e-7
+        i1, _ = diode_current(1e-14, 0.6 - h, VT)
+        i2, _ = diode_current(1e-14, 0.6 + h, VT)
+        _, g = diode_current(1e-14, 0.6, VT)
+        assert g == pytest.approx((i2 - i1) / (2 * h), rel=1e-5)
+
+    def test_reverse_saturates(self):
+        i, _ = diode_current(1e-14, -5.0, VT)
+        assert i == pytest.approx(-1e-14, rel=1e-6)
+
+    def test_zero_saturation_current(self):
+        assert diode_current(0.0, 0.7, VT) == (0.0, 0.0)
+
+
+class TestDepletionCharge:
+    def test_zero_bias_capacitance(self):
+        _, c = depletion_charge(0.0, 1e-12, 0.8, 0.33, 0.5)
+        assert c == pytest.approx(1e-12)
+
+    def test_reverse_bias_reduces_capacitance(self):
+        _, c_rev = depletion_charge(-3.0, 1e-12, 0.8, 0.33, 0.5)
+        assert c_rev < 1e-12
+
+    def test_physical_law_below_fc(self):
+        v, cj, vj, m = -2.0, 1e-12, 0.8, 0.33
+        _, c = depletion_charge(v, cj, vj, m, 0.5)
+        assert c == pytest.approx(cj * (1 - v / vj) ** (-m), rel=1e-9)
+
+    def test_forward_bias_stays_finite(self):
+        q, c = depletion_charge(0.79, 1e-12, 0.8, 0.33, 0.5)
+        assert math.isfinite(q) and math.isfinite(c)
+        assert c > 1e-12
+
+    def test_charge_continuous_at_fc(self):
+        cj, vj, m, fc = 1e-12, 0.8, 0.33, 0.5
+        q1, c1 = depletion_charge(fc * vj - 1e-9, cj, vj, m, fc)
+        q2, c2 = depletion_charge(fc * vj + 1e-9, cj, vj, m, fc)
+        assert q2 == pytest.approx(q1, rel=1e-6)
+        assert c2 == pytest.approx(c1, rel=1e-6)
+
+    @given(st.floats(min_value=-5.0, max_value=0.7))
+    def test_capacitance_is_charge_derivative(self, v):
+        cj, vj, m, fc = 2e-13, 0.75, 0.4, 0.5
+        h = 1e-6
+        q1, _ = depletion_charge(v - h, cj, vj, m, fc)
+        q2, _ = depletion_charge(v + h, cj, vj, m, fc)
+        _, c = depletion_charge(v, cj, vj, m, fc)
+        assert c == pytest.approx((q2 - q1) / (2 * h), rel=1e-3, abs=1e-20)
+
+    def test_zero_cj_is_zero(self):
+        assert depletion_charge(0.3, 0.0, 0.8, 0.33, 0.5) == (0.0, 0.0)
+
+
+class TestPnjlim:
+    def test_small_steps_pass_through(self):
+        assert pnjlim(0.701, 0.70, VT, 0.6) == pytest.approx(0.701)
+
+    def test_large_forward_step_is_limited(self):
+        limited = pnjlim(5.0, 0.7, VT, 0.6)
+        assert 0.7 < limited < 1.0
+
+    def test_below_critical_untouched(self):
+        assert pnjlim(0.3, 0.0, VT, 0.6) == 0.3
+
+    def test_critical_voltage(self):
+        vcrit = critical_voltage(1e-14, VT)
+        assert 0.5 < vcrit < 1.0
+        assert math.isinf(critical_voltage(0.0, VT))
+
+
+class TestDCOperation:
+    def test_ideal_forward_active(self, simple_npn):
+        op = evaluate(simple_npn, 0.7, -2.0)
+        expected_ic = 1e-16 * (math.exp(0.7 / VT) - 1)
+        assert op.ic == pytest.approx(expected_ic, rel=1e-9)
+        assert op.ib == pytest.approx(expected_ic / 100.0, rel=1e-9)
+        assert op.beta_dc == pytest.approx(100.0, rel=1e-9)
+
+    def test_cutoff(self, simple_npn):
+        op = evaluate(simple_npn, -1.0, -3.0)
+        assert abs(op.ic) < 1e-15
+        assert abs(op.ib) < 1e-15
+
+    def test_early_effect_raises_ic_with_vce(self):
+        p = GummelPoonParameters(IS=1e-16, BF=100, VAF=50.0)
+        op1 = evaluate(p, 0.7, 0.7 - 1.0)
+        op2 = evaluate(p, 0.7, 0.7 - 5.0)
+        assert op2.ic > op1.ic
+        # Slope consistent with VAF: Ic ~ (1 + Vcb/VAF)
+        ratio = op2.ic / op1.ic
+        expected = (1 + (5.0 - 0.7) / 50.0) / (1 + (1.0 - 0.7) / 50.0)
+        assert ratio == pytest.approx(expected, rel=0.02)
+
+    def test_high_injection_halves_slope(self):
+        p = GummelPoonParameters(IS=1e-16, BF=100, IKF=1e-3)
+        # Far above IKF: Ic ~ sqrt(IS*IKF)*exp(vbe/2vt)
+        vbe = 0.95
+        op = evaluate(p, vbe, vbe - 3.0)
+        ideal = 1e-16 * math.exp(vbe / VT)
+        assert op.ic < ideal / 5.0
+        expected = math.sqrt(1e-16 * 1e-3) * math.exp(vbe / (2 * VT))
+        assert op.ic == pytest.approx(expected, rel=0.1)
+
+    def test_reverse_operation_uses_br(self):
+        p = GummelPoonParameters(IS=1e-16, BF=100, BR=2.0)
+        op = evaluate(p, -2.0, 0.65)  # B-C forward, B-E reverse
+        # Emitter current ~ transport; base ~ Ibc1/BR
+        ibc1 = 1e-16 * (math.exp(0.65 / VT) - 1)
+        assert op.ib == pytest.approx(ibc1 / 2.0, rel=1e-6)
+
+    def test_leakage_dominates_at_low_bias(self):
+        p = GummelPoonParameters(IS=1e-16, BF=100, ISE=1e-13, NE=2.0)
+        op = evaluate(p, 0.3, -2.0)
+        ideal_ib = op.ic / 100.0
+        assert op.ib > 5 * ideal_ib
+
+    def test_saturation_both_junctions_forward(self, hf_model):
+        op = evaluate(hf_model, 0.75, 0.6)
+        assert op.ic < evaluate(hf_model, 0.75, -1.0).ic
+        assert op.ib > evaluate(hf_model, 0.75, -1.0).ib
+
+
+class TestDerivativeConsistency:
+    """Analytic Jacobian entries must match finite differences."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        vbe=st.floats(min_value=0.3, max_value=0.85),
+        vbc=st.floats(min_value=-4.0, max_value=0.3),
+    )
+    def test_current_derivatives(self, hf_model, vbe, vbc):
+        h = 1e-7
+        op = evaluate(hf_model, vbe, vbc)
+        for attr, d_attr, var in (
+            ("ic", "dic_dvbe", "vbe"), ("ic", "dic_dvbc", "vbc"),
+            ("ib", "dib_dvbe", "vbe"), ("ib", "dib_dvbc", "vbc"),
+        ):
+            if var == "vbe":
+                hi = evaluate(hf_model, vbe + h, vbc)
+                lo = evaluate(hf_model, vbe - h, vbc)
+            else:
+                hi = evaluate(hf_model, vbe, vbc + h)
+                lo = evaluate(hf_model, vbe, vbc - h)
+            fd = (getattr(hi, attr) - getattr(lo, attr)) / (2 * h)
+            analytic = getattr(op, d_attr)
+            assert analytic == pytest.approx(fd, rel=2e-3, abs=1e-12), (
+                f"{d_attr} mismatch at vbe={vbe}, vbc={vbc}"
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        vbe=st.floats(min_value=0.3, max_value=0.85),
+        vbc=st.floats(min_value=-4.0, max_value=0.2),
+    )
+    def test_charge_derivatives(self, hf_model, vbe, vbc):
+        h = 1e-7
+        op = evaluate(hf_model, vbe, vbc)
+        hi = evaluate(hf_model, vbe + h, vbc)
+        lo = evaluate(hf_model, vbe - h, vbc)
+        fd_qbe_vbe = (hi.qbe - lo.qbe) / (2 * h)
+        assert op.dqbe_dvbe == pytest.approx(fd_qbe_vbe, rel=2e-3,
+                                             abs=1e-20)
+        hi = evaluate(hf_model, vbe, vbc + h)
+        lo = evaluate(hf_model, vbe, vbc - h)
+        fd_qbe_vbc = (hi.qbe - lo.qbe) / (2 * h)
+        assert op.dqbe_dvbc == pytest.approx(fd_qbe_vbc, rel=2e-3,
+                                             abs=1e-20)
+        fd_qbc_vbc = (hi.qbc - lo.qbc) / (2 * h)
+        assert op.dqbc_dvbc == pytest.approx(fd_qbc_vbc, rel=2e-3,
+                                             abs=1e-20)
+        fd_qbx_vbc = (hi.qbx - lo.qbx) / (2 * h)
+        assert op.dqbx_dvbc == pytest.approx(fd_qbx_vbc, rel=2e-3,
+                                             abs=1e-20)
+
+
+class TestBiasSolve:
+    @pytest.mark.parametrize("ic", [1e-5, 1e-4, 1e-3, 5e-3])
+    def test_solves_target_current(self, hf_model, ic):
+        vbe = solve_vbe_for_ic(hf_model, ic, 3.0)
+        op = evaluate(hf_model, vbe, vbe - 3.0)
+        assert op.ic == pytest.approx(ic, rel=1e-6)
+
+    def test_monotone_in_current(self, hf_model):
+        v1 = solve_vbe_for_ic(hf_model, 1e-4, 3.0)
+        v2 = solve_vbe_for_ic(hf_model, 1e-3, 3.0)
+        assert v2 > v1
+
+    def test_rejects_nonpositive(self, hf_model):
+        with pytest.raises(ValueError):
+            solve_vbe_for_ic(hf_model, 0.0, 3.0)
+
+
+class TestBaseResistanceModulation:
+    def test_rbb_falls_with_injection(self):
+        p = GummelPoonParameters(IS=1e-16, BF=100, IKF=1e-3,
+                                 RB=200.0, RBM=50.0)
+        low = evaluate(p, 0.6, -2.0)
+        high = evaluate(p, 0.9, -2.0)
+        assert low.rbb > high.rbb
+        assert high.rbb >= 50.0
+
+    def test_rbb_constant_when_rbm_equals_rb(self):
+        p = GummelPoonParameters(IS=1e-16, BF=100, RB=200.0)
+        low = evaluate(p, 0.5, -2.0)
+        high = evaluate(p, 0.9, -2.0)
+        assert low.rbb == pytest.approx(200.0)
+        assert high.rbb == pytest.approx(200.0)

@@ -1,0 +1,132 @@
+"""Tests for the Gummel-Poon parameter set."""
+
+import math
+
+import pytest
+
+from repro.devices import GummelPoonParameters
+from repro.errors import ModelError
+
+
+class TestDefaults:
+    def test_spice_defaults(self):
+        p = GummelPoonParameters()
+        assert p.IS == 1e-16
+        assert p.BF == 100.0
+        assert p.NF == 1.0
+        assert p.BR == 1.0
+        assert math.isinf(p.VAF)
+        assert math.isinf(p.IKF)
+        assert p.FC == 0.5
+        assert p.XCJC == 1.0
+
+    def test_rbm_defaults_to_rb(self):
+        p = GummelPoonParameters(RB=150.0)
+        assert p.RBM is None
+        assert p.rbm_effective == 150.0
+
+    def test_rbm_explicit(self):
+        p = GummelPoonParameters(RB=150.0, RBM=40.0)
+        assert p.rbm_effective == 40.0
+
+    def test_polarity_sign(self):
+        assert GummelPoonParameters(polarity="npn").sign == 1.0
+        assert GummelPoonParameters(polarity="pnp").sign == -1.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"IS": 0.0},
+        {"IS": -1e-16},
+        {"BF": 0.0},
+        {"NF": -1.0},
+        {"RB": -10.0},
+        {"CJE": -1e-15},
+        {"FC": 0.0},
+        {"FC": 1.0},
+        {"XCJC": 1.5},
+        {"MJE": 1.0},
+        {"VAF": 0.0},
+        {"polarity": "nmos"},
+        {"TF": -1e-12},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ModelError):
+            GummelPoonParameters(**kwargs)
+
+    def test_replace_revalidates(self):
+        p = GummelPoonParameters()
+        with pytest.raises(ModelError):
+            p.replace(IS=-1.0)
+
+
+class TestAreaScaling:
+    def test_currents_scale_up(self, hf_model):
+        scaled = hf_model.scaled_by_area(4.0)
+        assert scaled.IS == pytest.approx(hf_model.IS * 4)
+        assert scaled.ISE == pytest.approx(hf_model.ISE * 4)
+        assert scaled.IKF == pytest.approx(hf_model.IKF * 4)
+        assert scaled.ITF == pytest.approx(hf_model.ITF * 4)
+
+    def test_capacitances_scale_up(self, hf_model):
+        scaled = hf_model.scaled_by_area(4.0)
+        assert scaled.CJE == pytest.approx(hf_model.CJE * 4)
+        assert scaled.CJC == pytest.approx(hf_model.CJC * 4)
+        assert scaled.CJS == pytest.approx(hf_model.CJS * 4)
+
+    def test_resistances_scale_down(self, hf_model):
+        scaled = hf_model.scaled_by_area(4.0)
+        assert scaled.RB == pytest.approx(hf_model.RB / 4)
+        assert scaled.RE == pytest.approx(hf_model.RE / 4)
+        assert scaled.RC == pytest.approx(hf_model.RC / 4)
+
+    def test_shape_independent_parameters_untouched(self, hf_model):
+        scaled = hf_model.scaled_by_area(4.0)
+        assert scaled.BF == hf_model.BF
+        assert scaled.TF == hf_model.TF
+        assert scaled.VJE == hf_model.VJE
+        assert scaled.MJC == hf_model.MJC
+
+    def test_unit_area_is_identity(self, hf_model):
+        scaled = hf_model.scaled_by_area(1.0)
+        assert scaled.IS == hf_model.IS
+        assert scaled.RB == hf_model.RB
+
+    def test_rejects_nonpositive_area(self, hf_model):
+        with pytest.raises(ModelError):
+            hf_model.scaled_by_area(0.0)
+        with pytest.raises(ModelError):
+            hf_model.scaled_by_area(-2.0)
+
+
+class TestModelCard:
+    def test_card_contains_non_defaults(self, hf_model):
+        card = hf_model.to_model_card()
+        assert card.startswith(".MODEL QHF NPN(")
+        assert "IS=4e-17" in card
+        assert "RB=120" in card
+
+    def test_card_omits_defaults_and_infinities(self):
+        card = GummelPoonParameters(name="QD").to_model_card()
+        assert "VAF" not in card
+        assert "IKF" not in card
+        assert "NF" not in card
+
+    def test_card_roundtrip_through_parser(self, hf_model):
+        from repro.spice.parser import parse_deck
+
+        deck_text = "roundtrip\n" + hf_model.to_model_card() + "\n.END\n"
+        deck = parse_deck(deck_text)
+        model = deck.models["QHF"]
+        assert model.IS == pytest.approx(hf_model.IS, rel=1e-5)
+        assert model.RB == pytest.approx(hf_model.RB, rel=1e-5)
+        assert model.XTF == pytest.approx(hf_model.XTF, rel=1e-5)
+        assert model.CJS == pytest.approx(hf_model.CJS, rel=1e-5)
+
+    def test_pnp_card(self):
+        card = GummelPoonParameters(name="QP", polarity="pnp").to_model_card()
+        assert "PNP(" in card
+
+    def test_from_card_params_rejects_unknown(self):
+        with pytest.raises(ModelError):
+            GummelPoonParameters.from_card_params("Q", "npn", {"WAT": 1.0})

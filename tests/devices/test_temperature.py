@@ -1,0 +1,106 @@
+"""Tests of the temperature model against junction physics."""
+
+import math
+
+import pytest
+
+from repro.devices import GummelPoonParameters, solve_vbe_for_ic
+from repro.devices.temperature import (
+    at_temperature,
+    bandgap_ev,
+    celsius,
+    vbe_temperature_coefficient,
+)
+from repro.errors import ModelError
+
+
+class TestBandgap:
+    def test_room_temperature_value(self):
+        assert bandgap_ev(300.0) == pytest.approx(1.115, abs=0.01)
+
+    def test_shrinks_when_hot(self):
+        assert bandgap_ev(400.0) < bandgap_ev(300.0)
+
+    def test_celsius_helper(self):
+        assert celsius(27.0) == pytest.approx(300.15)
+
+
+class TestParameterUpdate:
+    def test_identity_at_tnom(self, hf_model):
+        assert at_temperature(hf_model, hf_model.TNOM) is hf_model
+
+    def test_is_grows_strongly_with_temperature(self, hf_model):
+        hot = at_temperature(hf_model, celsius(100.0))
+        # IS roughly doubles every ~5-8 K for silicon
+        assert hot.IS > 100 * hf_model.IS
+
+    def test_is_shrinks_when_cold(self, hf_model):
+        cold = at_temperature(hf_model, celsius(-40.0))
+        assert cold.IS < hf_model.IS / 100
+
+    def test_beta_follows_xtb(self):
+        p = GummelPoonParameters(IS=1e-16, BF=100.0, XTB=1.5)
+        hot = at_temperature(p, p.TNOM * 1.2)
+        assert hot.BF == pytest.approx(100.0 * 1.2 ** 1.5, rel=1e-9)
+
+    def test_beta_constant_without_xtb(self, hf_model):
+        hot = at_temperature(hf_model, celsius(100.0))
+        assert hot.BF == hf_model.BF  # XTB defaults to 0
+
+    def test_junction_potentials_drop_when_hot(self, hf_model):
+        hot = at_temperature(hf_model, celsius(125.0))
+        assert hot.VJE < hf_model.VJE
+        assert hot.VJC < hf_model.VJC
+
+    def test_junction_capacitance_grows_when_hot(self, hf_model):
+        hot = at_temperature(hf_model, celsius(125.0))
+        assert hot.CJE > hf_model.CJE
+        assert hot.CJC > hf_model.CJC
+
+    def test_tnom_updated(self, hf_model):
+        hot = at_temperature(hf_model, 350.0)
+        assert hot.TNOM == 350.0
+
+    def test_rejects_nonpositive_temperature(self, hf_model):
+        with pytest.raises(ModelError):
+            at_temperature(hf_model, 0.0)
+
+    def test_extreme_temperature_rejected(self, hf_model):
+        """Far beyond validity the junction potential collapses."""
+        with pytest.raises(ModelError):
+            at_temperature(hf_model, 800.0)
+
+
+class TestDCBehaviour:
+    def test_vbe_tempco_in_physical_range(self, hf_model):
+        """dVbe/dT = -(Eg/q + 3vt - Vbe)/T: about -1.3 mV/K at this
+        current density, trending to -2 mV/K at low densities."""
+        tempco = vbe_temperature_coefficient(hf_model, ic=1e-3)
+        assert -2.6e-3 < tempco < -1.0e-3
+
+    def test_vbe_falls_monotonically_with_temperature(self, hf_model):
+        vbes = []
+        for temp in (250.0, 300.15, 350.0):
+            params = at_temperature(hf_model, temp)
+            vbes.append(solve_vbe_for_ic(params, 1e-3, 3.0, temp=temp))
+        assert vbes[0] > vbes[1] > vbes[2]
+
+    def test_tempco_steeper_at_lower_current(self, hf_model):
+        """|dVbe/dT| grows as the current density drops (textbook)."""
+        low = vbe_temperature_coefficient(hf_model, ic=1e-5)
+        high = vbe_temperature_coefficient(hf_model, ic=5e-3)
+        assert low < high < 0
+
+    def test_ft_degrades_when_hot(self, hf_model):
+        from repro.devices import ft_at_ic
+
+        cold = ft_at_ic(at_temperature(hf_model, 260.0), 2e-3)
+        hot = ft_at_ic(at_temperature(hf_model, 380.0), 2e-3)
+        # hotter junctions: larger depletion caps, lower gm/Ic
+        assert hot.ft < cold.ft
+
+    def test_leakage_update_consistent(self):
+        p = GummelPoonParameters(IS=1e-16, BF=100.0, ISE=1e-14, NE=2.0,
+                                 XTB=1.0)
+        hot = at_temperature(p, p.TNOM + 60.0)
+        assert hot.ISE > p.ISE  # leakage grows fast with temperature

@@ -1,0 +1,144 @@
+"""Tests of the layout arithmetic: resistances, areas, monotonicity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    MaskDesignRules,
+    ProcessData,
+    TransistorShape,
+    base_contact_resistance,
+    collector_resistance,
+    emitter_resistance,
+    extrinsic_base_resistance,
+    intrinsic_base_resistance,
+    layout_report,
+    xcjc_fraction,
+)
+
+
+@pytest.fixture(scope="module")
+def shapes():
+    return {name: TransistorShape.from_name(name) for name in (
+        "N1.2-6S", "N1.2-6D", "N2.4-6D", "N1.2x2-6S", "N1.2-12D",
+        "N1.2-24D", "N1.2x2-6T",
+    )}
+
+
+class TestIntrinsicBaseResistance:
+    def test_double_base_is_quarter_of_single(self, shapes, process):
+        """One-sided W/3L vs two-sided W/12L: exactly 4x at equal shape."""
+        single = intrinsic_base_resistance(shapes["N1.2-6S"], process)
+        double = intrinsic_base_resistance(shapes["N1.2-6D"], process)
+        assert single == pytest.approx(4 * double, rel=1e-9)
+
+    def test_longer_emitter_lowers_rb(self, shapes, process):
+        assert intrinsic_base_resistance(shapes["N1.2-12D"], process) < (
+            intrinsic_base_resistance(shapes["N1.2-6D"], process)
+        )
+
+    def test_wider_emitter_raises_rb(self, shapes, process):
+        assert intrinsic_base_resistance(shapes["N2.4-6D"], process) > (
+            intrinsic_base_resistance(shapes["N1.2-6D"], process)
+        )
+
+    def test_closed_form(self, process):
+        shape = TransistorShape(1.2, 6.0, 1, 2)
+        expected = process.rsb_intrinsic * 1.2 / (12 * 6.0)
+        assert intrinsic_base_resistance(shape, process) == pytest.approx(
+            expected
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(factor=st.floats(min_value=1.1, max_value=8.0))
+    def test_monotone_in_length(self, process, factor):
+        base = TransistorShape(1.2, 4.0, 1, 2)
+        longer = base.scaled_length(factor)
+        assert intrinsic_base_resistance(longer, process) < (
+            intrinsic_base_resistance(base, process)
+        )
+
+
+class TestOtherResistances:
+    def test_re_inverse_in_area(self, shapes, process):
+        re_small = emitter_resistance(shapes["N1.2-6D"], process)
+        re_large = emitter_resistance(shapes["N1.2-12D"], process)
+        assert re_small == pytest.approx(2 * re_large, rel=1e-9)
+
+    def test_contact_resistance_parallel_in_stripes(self, shapes, process):
+        single = base_contact_resistance(shapes["N1.2-6S"], process)
+        double = base_contact_resistance(shapes["N1.2-6D"], process)
+        assert single == pytest.approx(2 * double, rel=1e-9)
+
+    def test_collector_resistance_falls_with_area(self, shapes, rules,
+                                                  process):
+        assert collector_resistance(shapes["N1.2-12D"], rules, process) < (
+            collector_resistance(shapes["N1.2-6D"], rules, process)
+        )
+
+    def test_extrinsic_shared_over_flanks(self, shapes, rules, process):
+        one_flank = extrinsic_base_resistance(shapes["N1.2-6S"], rules,
+                                              process)
+        two_flanks = extrinsic_base_resistance(shapes["N1.2-6D"], rules,
+                                               process)
+        assert one_flank == pytest.approx(2 * two_flanks, rel=1e-9)
+
+
+class TestJunctionGeometry:
+    def test_base_area_exceeds_emitter_area(self, shapes, rules):
+        for shape in shapes.values():
+            assert rules.base_area(shape) > shape.emitter_area
+
+    def test_collector_area_exceeds_base_area(self, shapes, rules):
+        for shape in shapes.values():
+            assert rules.collector_area(shape) > rules.base_area(shape)
+
+    def test_more_stripes_widen_base(self, shapes, rules):
+        assert rules.base_width(shapes["N1.2-6D"]) > rules.base_width(
+            shapes["N1.2-6S"]
+        )
+
+    def test_xcjc_in_unit_interval(self, shapes, rules):
+        for shape in shapes.values():
+            assert 0.0 < xcjc_fraction(shape, rules) < 1.0
+
+    def test_xcjc_smaller_with_more_stripes(self, shapes, rules):
+        """Extra contact stripes add extrinsic B-C area."""
+        assert xcjc_fraction(shapes["N1.2-6D"], rules) < xcjc_fraction(
+            shapes["N1.2-6S"], rules
+        )
+
+
+class TestLayoutReport:
+    def test_report_consistency(self, shapes, rules, process):
+        report = layout_report(shapes["N1.2-6D"], rules, process)
+        assert report.emitter_area == pytest.approx(7.2)
+        assert report.rb_total == pytest.approx(
+            report.rb_intrinsic + report.rb_extrinsic + report.rb_contact
+        )
+        assert report.rb_minimum < report.rb_total
+        assert report.rb_minimum == pytest.approx(
+            report.rb_extrinsic + report.rb_contact
+        )
+
+    def test_defaults_used_when_omitted(self, shapes):
+        report = layout_report(shapes["N1.2-6D"])
+        assert report.rb_total > 0
+
+    def test_min_feature_enforced(self, rules, process):
+        tiny = TransistorShape(0.3, 6.0)
+        with pytest.raises(GeometryError):
+            layout_report(tiny, rules, process)
+
+
+class TestDesignRuleValidation:
+    def test_rejects_nonpositive_rules(self):
+        with pytest.raises(GeometryError):
+            MaskDesignRules(base_contact_width=0.0)
+
+    def test_rejects_bad_process(self):
+        with pytest.raises(GeometryError):
+            ProcessData(rsb_intrinsic=-1.0)
+        with pytest.raises(GeometryError):
+            ProcessData(tf=0.0)

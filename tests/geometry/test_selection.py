@@ -1,0 +1,85 @@
+"""Tests for the operating-current-driven shape selector."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    TABLE1_SHAPES,
+    ShapeSelection,
+    TransistorShape,
+    current_for_shape,
+    shape_for_current,
+)
+
+
+class TestShapeForCurrent:
+    def test_table1_winner_reproduced(self, generator):
+        """At the Table 1 ring's operating current the static selector
+        agrees with the transient experiment: N1.2-12D wins among the
+        Fig. 8 shapes."""
+        selection = shape_for_current(4e-3, generator,
+                                      candidates=TABLE1_SHAPES)
+        assert selection.best.name == "N1.2-12D"
+
+    def test_single_base_shapes_ranked_last(self, generator):
+        selection = shape_for_current(4e-3, generator,
+                                      candidates=TABLE1_SHAPES)
+        names = [s.name for s in selection.scores]
+        assert set(names[-2:]) == {"N1.2-6S", "N1.2x2-6S"}
+
+    def test_small_current_prefers_small_device(self, generator):
+        low = shape_for_current(0.3e-3, generator)
+        high = shape_for_current(10e-3, generator)
+        low_area = low.best.shape.emitter_area
+        high_area = high.best.shape.emitter_area
+        assert high_area > low_area
+
+    def test_ft_only_mode(self, generator):
+        """With loading_weight=0 the ranking is by raw fT at Ic."""
+        selection = shape_for_current(4e-3, generator, loading_weight=0.0)
+        fts = [s.ft for s in selection.scores]
+        assert fts == sorted(fts, reverse=True)
+
+    def test_scores_carry_consistent_fields(self, generator):
+        selection = shape_for_current(2e-3, generator,
+                                      candidates=("N1.2-6D", "N1.2-12D"))
+        for score in selection.scores:
+            assert score.total_delay == pytest.approx(
+                1.0 / score.figure_of_merit
+            )
+            assert score.ft > 0 and score.rb_delay > 0
+
+    def test_accepts_shape_objects(self, generator):
+        shape = TransistorShape.from_name("N1.2-12D")
+        selection = shape_for_current(2e-3, generator, candidates=(shape,))
+        assert selection.best.shape == shape
+
+    def test_table_rendering(self, generator):
+        selection = shape_for_current(4e-3, generator,
+                                      candidates=TABLE1_SHAPES)
+        text = selection.table()
+        assert "N1.2-12D" in text
+        assert "rank" in text
+
+    def test_validation(self, generator):
+        with pytest.raises(GeometryError):
+            shape_for_current(0.0, generator)
+        with pytest.raises(GeometryError):
+            shape_for_current(1e-3, generator, candidates=())
+        with pytest.raises(GeometryError):
+            shape_for_current(1e-3, generator, loading_weight=-1.0)
+
+
+class TestCurrentForShape:
+    def test_matches_peak_ft_current(self, generator):
+        from repro.devices import peak_ft
+
+        ic = current_for_shape("N1.2-12D", generator)
+        expected = peak_ft(generator.generate("N1.2-12D"),
+                           1e-5, 5e-2, points=81).ic
+        assert ic == pytest.approx(expected, rel=1e-9)
+
+    def test_scales_with_area(self, generator):
+        small = current_for_shape("N1.2-6D", generator)
+        large = current_for_shape("N1.2-24D", generator)
+        assert large > 2.5 * small

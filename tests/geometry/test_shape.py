@@ -1,0 +1,138 @@
+"""Tests for transistor shapes and the paper's shape-name codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    FIG8_SHAPES,
+    FIG9_SHAPES,
+    TABLE1_SHAPES,
+    TransistorShape,
+)
+
+
+class TestPaperShapes:
+    """The exact shapes of the paper's Fig. 8 captions."""
+
+    def test_n1_2_6s(self):
+        s = TransistorShape.from_name("N1.2-6S")
+        assert s.emitter_width == 1.2
+        assert s.emitter_length == 6.0
+        assert s.emitter_strips == 1
+        assert s.base_stripes == 1
+
+    def test_n1_2_6d(self):
+        s = TransistorShape.from_name("N1.2-6D")
+        assert s.base_stripes == 2
+        assert s.emitter_area == pytest.approx(7.2)
+
+    def test_n2_4_6d(self):
+        s = TransistorShape.from_name("N2.4-6D")
+        assert s.emitter_width == 2.4
+        assert s.emitter_area == pytest.approx(14.4)
+
+    def test_double_emitter_keeps_total_area(self):
+        """Fig. 8(d): 'Double emitter, single base (same emitter size as
+        (a))' — total area equals the single-strip sibling."""
+        single = TransistorShape.from_name("N1.2-6S")
+        double = TransistorShape.from_name("N1.2x2-6S")
+        assert double.emitter_strips == 2
+        assert double.emitter_length == pytest.approx(3.0)
+        assert double.emitter_area == pytest.approx(single.emitter_area)
+
+    def test_n1_2_12d(self):
+        s = TransistorShape.from_name("N1.2-12D")
+        assert s.total_emitter_length == 12.0
+        assert s.emitter_area == pytest.approx(14.4)
+
+    def test_triple_base(self):
+        s = TransistorShape.from_name("N1.2x2-6T")
+        assert s.base_stripes == 3
+        assert s.emitter_strips == 2
+
+    def test_all_figure_sets_parse(self):
+        for name in list(FIG8_SHAPES.values()) + list(FIG9_SHAPES) + list(
+            TABLE1_SHAPES
+        ):
+            shape = TransistorShape.from_name(name)
+            assert shape.emitter_area > 0
+
+
+class TestCodec:
+    @pytest.mark.parametrize("name", [
+        "N1.2-6S", "N1.2-6D", "N2.4-6D", "N1.2x2-6S", "N1.2-12D",
+        "N1.2x2-6T", "N1.2-48D", "N0.8x4-16Q",
+    ])
+    def test_roundtrip(self, name):
+        shape = TransistorShape.from_name(name)
+        assert shape.name.upper() == name.upper()
+        assert TransistorShape.from_name(shape.name) == shape
+
+    @given(
+        width=st.sampled_from([0.8, 1.2, 1.6, 2.4]),
+        strips=st.integers(min_value=1, max_value=4),
+        length_per_strip=st.sampled_from([2.0, 3.0, 6.0, 12.0, 24.0]),
+        stripes=st.integers(min_value=1, max_value=4),
+    )
+    def test_roundtrip_property(self, width, strips, length_per_strip,
+                                stripes):
+        if stripes > strips + 1:
+            stripes = strips + 1
+        shape = TransistorShape(width, length_per_strip, strips, stripes)
+        assert TransistorShape.from_name(shape.name) == shape
+
+    @pytest.mark.parametrize("bad", [
+        "", "N-6D", "1.2-6D", "N1.2-6", "N1.2-6X", "N1.2x-6D", "Nx2-6D",
+        "P1.2-6D", "N1.2-6DD",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(GeometryError):
+            TransistorShape.from_name(bad)
+
+
+class TestGeometryDerived:
+    def test_area_and_perimeter(self):
+        s = TransistorShape(1.2, 6.0)
+        assert s.emitter_area == pytest.approx(7.2)
+        assert s.emitter_perimeter == pytest.approx(2 * (1.2 + 6.0))
+
+    def test_multi_strip_perimeter_exceeds_single(self):
+        """Splitting the same area into strips raises P/A — the effect
+        area-factor scaling cannot represent."""
+        single = TransistorShape.from_name("N1.2-6S")
+        double = TransistorShape.from_name("N1.2x2-6S")
+        assert double.emitter_perimeter > single.emitter_perimeter
+        assert double.perimeter_to_area > single.perimeter_to_area
+
+    def test_double_base_sides(self):
+        assert TransistorShape.from_name("N1.2-6S").double_base_sides() == 1
+        assert TransistorShape.from_name("N1.2-6D").double_base_sides() == 2
+        assert TransistorShape.from_name("N1.2x2-6S").double_base_sides() == 2
+        assert TransistorShape.from_name("N1.2x2-6T").double_base_sides() == 4
+
+    def test_scaled_length(self):
+        s = TransistorShape(1.2, 6.0).scaled_length(2.0)
+        assert s.emitter_length == 12.0
+        with pytest.raises(GeometryError):
+            s.scaled_length(0.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"emitter_width": 0.0, "emitter_length": 6.0},
+        {"emitter_width": 1.2, "emitter_length": -1.0},
+        {"emitter_width": 1.2, "emitter_length": 6.0, "emitter_strips": 0},
+        {"emitter_width": 1.2, "emitter_length": 6.0, "base_stripes": 0},
+        # 4 base stripes cannot interleave a single emitter strip
+        {"emitter_width": 1.2, "emitter_length": 6.0, "emitter_strips": 1,
+         "base_stripes": 4},
+    ])
+    def test_rejects_bad_shapes(self, kwargs):
+        with pytest.raises(GeometryError):
+            TransistorShape(**kwargs)
+
+    def test_immutability(self):
+        s = TransistorShape(1.2, 6.0)
+        with pytest.raises(Exception):
+            s.emitter_width = 2.0

@@ -1,0 +1,124 @@
+"""Tests for process variation and Monte-Carlo analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    MismatchSpec,
+    ProcessData,
+    ProcessVariation,
+    monte_carlo_image_rejection,
+    monte_carlo_models,
+)
+
+
+class TestProcessSampling:
+    def test_sample_changes_parameters(self):
+        nominal = ProcessData()
+        rng = np.random.default_rng(1)
+        sample = ProcessVariation().sample_process(nominal, rng)
+        assert sample.rsb_intrinsic != nominal.rsb_intrinsic
+        assert sample.cje_area != nominal.cje_area
+        # untouched: built-in potentials, emission coefficients
+        assert sample.vje == nominal.vje
+        assert sample.nf == nominal.nf
+
+    def test_samples_stay_physical(self):
+        nominal = ProcessData()
+        rng = np.random.default_rng(2)
+        variation = ProcessVariation()
+        for _ in range(50):
+            sample = variation.sample_process(nominal, rng)
+            assert sample.rsb_intrinsic > 0
+            assert sample.js_area > 0
+
+    def test_zero_sigma_is_identity(self):
+        nominal = ProcessData()
+        rng = np.random.default_rng(3)
+        frozen = ProcessVariation(sigma_js=0, sigma_jb=0, sigma_sheet=0,
+                                  sigma_contact=0, sigma_cap=0, sigma_tf=0)
+        sample = frozen.sample_process(nominal, rng)
+        assert sample == nominal
+
+    def test_spread_magnitude(self):
+        """Sampled sheet resistance spread matches the requested sigma."""
+        nominal = ProcessData()
+        rng = np.random.default_rng(4)
+        variation = ProcessVariation(sigma_sheet=0.10)
+        values = [
+            variation.sample_process(nominal, rng).rsb_intrinsic
+            for _ in range(400)
+        ]
+        log_std = float(np.std(np.log(values)))
+        assert log_std == pytest.approx(0.10, rel=0.2)
+
+
+class TestMonteCarloModels:
+    def test_population_size_and_reproducibility(self):
+        a = monte_carlo_models("N1.2-6D", 10, seed=7)
+        b = monte_carlo_models("N1.2-6D", 10, seed=7)
+        assert len(a.models) == 10
+        np.testing.assert_array_equal(a.parameter_values("IS"),
+                                      b.parameter_values("IS"))
+
+    def test_different_seeds_differ(self):
+        a = monte_carlo_models("N1.2-6D", 5, seed=7)
+        b = monte_carlo_models("N1.2-6D", 5, seed=8)
+        assert not np.array_equal(a.parameter_values("IS"),
+                                  b.parameter_values("IS"))
+
+    def test_spreads_reflect_variation(self):
+        population = monte_carlo_models("N1.2-6D", 120, seed=9)
+        # sheet-resistance-driven RB spreads near sigma_sheet
+        assert 0.03 < population.spread("RB") < 0.20
+        # capacitances are tighter than currents
+        assert population.spread("CJE") < population.spread("IS")
+
+    def test_every_sample_is_simulatable(self):
+        from repro.devices import ft_at_ic
+
+        population = monte_carlo_models("N1.2-6D", 10, seed=10)
+        for model in population.models:
+            assert ft_at_ic(model, 1e-3).ft > 1e9
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(GeometryError):
+            monte_carlo_models("N1.2-6D", 0)
+
+
+class TestImageRejectionYield:
+    def test_tight_matching_high_yield(self):
+        tight = MismatchSpec(phase_error_sigma_deg=0.3,
+                             gain_error_sigma=0.003)
+        report = monte_carlo_image_rejection(500, tight, irr_spec_db=30.0)
+        assert report.yield_fraction > 0.95
+
+    def test_loose_matching_low_yield(self):
+        loose = MismatchSpec(phase_error_sigma_deg=4.0,
+                             gain_error_sigma=0.06)
+        report = monte_carlo_image_rejection(500, loose, irr_spec_db=30.0)
+        assert report.yield_fraction < 0.6
+
+    def test_yield_monotone_in_spec(self):
+        mismatch = MismatchSpec()
+        easy = monte_carlo_image_rejection(400, mismatch, irr_spec_db=20.0)
+        hard = monte_carlo_image_rejection(400, mismatch, irr_spec_db=40.0)
+        assert easy.yield_fraction >= hard.yield_fraction
+
+    def test_report_statistics(self):
+        report = monte_carlo_image_rejection(300, MismatchSpec(),
+                                             irr_spec_db=30.0)
+        assert report.samples == 300
+        assert len(report.values) == 300
+        assert report.percentile(5) <= report.percentile(95)
+        assert report.std > 0.0
+
+    def test_reproducible(self):
+        a = monte_carlo_image_rejection(100, seed=5)
+        b = monte_carlo_image_rejection(100, seed=5)
+        assert a.values == b.values
+
+    def test_rejects_empty(self):
+        with pytest.raises(GeometryError):
+            monte_carlo_image_rejection(0)

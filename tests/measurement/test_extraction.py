@@ -1,0 +1,118 @@
+"""Tests for the Getreu-style extraction pipeline.
+
+The pipeline only sees the measured curves; these tests bound its error
+against the hidden golden parameters.  Regional extraction has known
+systematic biases (the low reverse-Early voltage of this process bends
+the Gummel plot), so tolerances differ per parameter.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.measurement import (
+    extract_parameters,
+    fit_junction_cv,
+    measure_device,
+)
+from repro.measurement.synthetic import CVCurve
+
+
+@pytest.fixture(scope="module")
+def golden(reference):
+    return reference.parameters
+
+
+@pytest.fixture(scope="module")
+def report(golden):
+    return extract_parameters(measure_device(golden, noise=0.01))
+
+
+class TestAccuracy:
+    #: parameter -> tolerated relative error for the full noisy pipeline
+    TOLERANCES = {
+        "IS": 0.15, "NF": 0.03, "BF": 0.25, "NE": 0.10, "ISE": 0.5,
+        "CJE": 0.05, "MJE": 0.10, "CJC": 0.05, "VJC": 0.15, "MJC": 0.10,
+        "TF": 0.25, "RE": 0.05, "RB": 0.05, "RC": 0.05,
+    }
+
+    @pytest.mark.parametrize("name", sorted(TOLERANCES))
+    def test_parameter_within_tolerance(self, report, golden, name):
+        truth = getattr(golden, name)
+        got = getattr(report.parameters, name)
+        assert got == pytest.approx(truth, rel=self.TOLERANCES[name]), name
+
+    def test_ikf_within_factor_two(self, report, golden):
+        """IKF via the half-point method is biased by the reverse-Early
+        term; factor-2 is the honest bound for this device."""
+        assert golden.IKF / 2 < report.parameters.IKF < golden.IKF * 2
+
+    def test_extraction_is_noise_robust(self, golden):
+        """More noise degrades but does not break the pipeline."""
+        noisy = extract_parameters(measure_device(golden, noise=0.05,
+                                                  seed=3))
+        assert noisy.parameters.IS == pytest.approx(golden.IS, rel=0.4)
+        assert noisy.parameters.CJE == pytest.approx(golden.CJE, rel=0.15)
+
+    def test_clean_measurement_is_more_accurate(self, golden):
+        clean = extract_parameters(measure_device(golden, noise=0.0))
+        errors = clean.compare(golden, names=("IS", "NF", "CJE", "CJC"))
+        assert all(err < 0.1 for err in errors.values())
+
+
+class TestReport:
+    def test_notes_cover_extracted_parameters(self, report):
+        for name in ("IS", "BF", "CJE", "TF", "RE"):
+            assert name in report.notes
+
+    def test_compare_structure(self, report, golden):
+        errors = report.compare(golden)
+        assert set(errors) >= {"IS", "BF", "CJE", "TF"}
+        assert all(v >= 0 for v in errors.values())
+
+    def test_extracted_model_is_valid(self, report):
+        """The extracted set passes model validation and can be used in
+        a simulation directly."""
+        from repro.devices import ft_at_ic
+
+        point = ft_at_ic(report.parameters, 1e-3)
+        assert point.ft > 1e9
+
+
+class TestCVFit:
+    def test_exact_data_recovered(self):
+        vr = np.linspace(0.0, 5.0, 41)
+        cj0, vj, m = 1e-13, 0.8, 0.4
+        c = cj0 * (1 + vr / vj) ** (-m)
+        fit = fit_junction_cv(CVCurve("be", vr, c))
+        assert fit[0] == pytest.approx(cj0, rel=1e-4)
+        assert fit[1] == pytest.approx(vj, rel=1e-3)
+        assert fit[2] == pytest.approx(m, rel=1e-3)
+
+    def test_rejects_nonpositive_curve(self):
+        vr = np.linspace(0.0, 5.0, 5)
+        from repro.errors import ExtractionError
+
+        with pytest.raises(ExtractionError):
+            fit_junction_cv(CVCurve("be", vr, np.zeros(5)))
+
+
+class TestRoundTripThroughGenerator:
+    def test_extract_then_generate(self, golden, reference, process, rules):
+        """Close the full paper loop: measure -> extract -> calibrate the
+        generator with the *extracted* reference -> generate shapes.
+        The generated reference shape must match the extraction."""
+        from repro.geometry import ModelParameterGenerator, ReferenceTransistor
+
+        report = extract_parameters(measure_device(golden, noise=0.0))
+        extracted_ref = ReferenceTransistor(
+            shape=reference.shape, parameters=report.parameters
+        )
+        generator = ModelParameterGenerator(process, rules, extracted_ref)
+        regenerated = generator.generate(reference.shape)
+        assert regenerated.IS == pytest.approx(report.parameters.IS,
+                                               rel=1e-9)
+        # and a scaled shape inherits the extraction's calibration
+        bigger = generator.generate("N1.2-12D")
+        assert bigger.IS > regenerated.IS

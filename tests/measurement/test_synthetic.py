@@ -1,0 +1,93 @@
+"""Tests for the virtual measurement bench."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExtractionError
+from repro.measurement import measure_device
+
+
+@pytest.fixture(scope="module")
+def golden(reference):
+    return reference.parameters
+
+
+@pytest.fixture(scope="module")
+def clean(golden):
+    return measure_device(golden, noise=0.0)
+
+
+class TestGummelPlot:
+    def test_monotone_currents(self, clean):
+        assert np.all(np.diff(clean.gummel.ic) > 0)
+        assert np.all(np.diff(clean.gummel.ib) > 0)
+
+    def test_ideal_slope_in_mid_region(self, clean, golden):
+        from repro.devices import thermal_voltage
+
+        g = clean.gummel
+        mask = (g.ic > 1e-9) & (g.ic < 1e-7)
+        slope = np.polyfit(g.vbe[mask], np.log(g.ic[mask]), 1)[0]
+        assert slope == pytest.approx(1 / thermal_voltage(), rel=0.02)
+
+    def test_beta_in_plateau(self, clean, golden):
+        g = clean.gummel
+        mask = (g.ic > 1e-6) & (g.ic < 1e-4)
+        beta = (g.ic / g.ib)[mask]
+        assert beta.max() < golden.BF  # VAR/qb suppression keeps it below
+        assert beta.max() > golden.BF * 0.6
+
+    def test_ohmic_drop_bends_high_current_end(self, clean, golden):
+        """At the top of the sweep the terminal-voltage curve falls below
+        the ideal internal-voltage law."""
+        from repro.devices import thermal_voltage
+
+        g = clean.gummel
+        ideal = golden.IS * np.exp(g.vbe / thermal_voltage())
+        assert g.ic[-1] < ideal[-1] / 2
+
+
+class TestCVCurves:
+    def test_zero_bias_equals_cj0(self, clean, golden):
+        assert clean.cv_be.capacitance[0] == pytest.approx(golden.CJE,
+                                                           rel=1e-9)
+        assert clean.cv_bc.capacitance[0] == pytest.approx(golden.CJC,
+                                                           rel=1e-9)
+
+    def test_monotone_decreasing_with_reverse_bias(self, clean):
+        assert np.all(np.diff(clean.cv_be.capacitance) < 0)
+        assert np.all(np.diff(clean.cv_bc.capacitance) < 0)
+
+
+class TestFTSweep:
+    def test_has_interior_peak(self, clean):
+        fts = clean.ft_sweep.ft
+        peak = int(np.argmax(fts))
+        assert 0 < peak < len(fts) - 1
+
+    def test_ghz_range(self, clean):
+        assert 1e9 < clean.ft_sweep.ft.max() < 50e9
+
+
+class TestNoise:
+    def test_reproducible_with_seed(self, golden):
+        a = measure_device(golden, noise=0.02, seed=7)
+        b = measure_device(golden, noise=0.02, seed=7)
+        np.testing.assert_array_equal(a.gummel.ic, b.gummel.ic)
+        assert a.re_ohmic == b.re_ohmic
+
+    def test_different_seeds_differ(self, golden):
+        a = measure_device(golden, noise=0.02, seed=7)
+        b = measure_device(golden, noise=0.02, seed=8)
+        assert not np.array_equal(a.gummel.ic, b.gummel.ic)
+
+    def test_noise_magnitude(self, golden):
+        clean = measure_device(golden, noise=0.0)
+        noisy = measure_device(golden, noise=0.05, seed=1)
+        ratio = noisy.gummel.ic / clean.gummel.ic
+        assert 0.5 < ratio.min() < ratio.max() < 2.0
+        assert np.std(np.log(ratio)) == pytest.approx(0.05, rel=0.3)
+
+    def test_rejects_negative_noise(self, golden):
+        with pytest.raises(ExtractionError):
+            measure_device(golden, noise=-0.1)

@@ -1,0 +1,104 @@
+"""Tests for the 1st-IF filter feasibility arithmetic."""
+
+import math
+
+import pytest
+
+from repro.behavioral import butterworth_response
+from repro.errors import DesignError
+from repro.rfsystems import (
+    FrequencyPlan,
+    bandwidth_for_rejection,
+    butterworth_rejection_db,
+    filter_only_feasibility,
+    order_for_rejection,
+)
+
+
+class TestRejectionFormula:
+    def test_center_has_no_rejection(self):
+        assert butterworth_rejection_db(1.3e9, 60e6, 3,
+                                        1.3e9) == pytest.approx(0.0)
+
+    def test_band_edge_is_3db(self):
+        # the geometric band edge: f/f0 - f0/f = B/f0
+        f0, bw = 1.3e9, 60e6
+        edge = f0 * (bw / (2 * f0) + math.sqrt((bw / (2 * f0)) ** 2 + 1))
+        assert butterworth_rejection_db(f0, bw, 4, edge) == pytest.approx(
+            10 * math.log10(2), abs=1e-6
+        )
+
+    def test_matches_complex_response_magnitude(self):
+        """The dB formula agrees with the actual filter block used in
+        the tuner simulations."""
+        f0, bw, order = 1.3e9, 60e6, 3
+        response = butterworth_response(f0, bw, order)
+        for f in (1.21e9, 1.25e9, 1.35e9, 1.5e9):
+            expected = -20 * math.log10(abs(response(f)))
+            assert butterworth_rejection_db(f0, bw, order,
+                                            f) == pytest.approx(
+                expected, abs=0.01
+            ), f
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            butterworth_rejection_db(0.0, 60e6, 3, 1e9)
+
+
+class TestInverses:
+    def test_order_for_rejection_roundtrip(self):
+        order = order_for_rejection(1.3e9, 60e6, 1.21e9, 40.0)
+        assert order is not None
+        assert butterworth_rejection_db(1.3e9, 60e6, order, 1.21e9) >= 40.0
+        if order > 1:
+            assert butterworth_rejection_db(1.3e9, 60e6, order - 1,
+                                            1.21e9) < 40.0
+
+    def test_order_unreachable_returns_none(self):
+        # rejection demanded *inside* the passband can never be met
+        assert order_for_rejection(1.3e9, 200e6, 1.31e9, 60.0) is None
+
+    def test_bandwidth_for_rejection_roundtrip(self):
+        bw = bandwidth_for_rejection(1.3e9, 3, 1.21e9, 45.0)
+        assert butterworth_rejection_db(1.3e9, bw, 3,
+                                        1.21e9) == pytest.approx(45.0,
+                                                                 abs=0.01)
+
+    def test_more_rejection_needs_narrower_filter(self):
+        loose = bandwidth_for_rejection(1.3e9, 3, 1.21e9, 30.0)
+        tight = bandwidth_for_rejection(1.3e9, 3, 1.21e9, 60.0)
+        assert tight < loose
+
+    def test_bandwidth_validation(self):
+        with pytest.raises(DesignError):
+            bandwidth_for_rejection(1.3e9, 3, 1.21e9, 0.0)
+
+
+class TestPaperSentence:
+    """Quantify: the image at the 1st IF 'requires a very narrow band
+    pass filter'."""
+
+    def test_60db_filter_only_is_infeasible(self):
+        """A 60 dB filter-only IRR at 90 MHz offset demands a 1.4 %
+        fractional bandwidth — a Q of ~70 at 1.3 GHz, beyond any
+        practical filter of the era.  Hence Fig. 4."""
+        verdict = filter_only_feasibility(60.0, order=3)
+        assert not verdict["feasible"]
+        assert not verdict["realizable_q"]
+        assert verdict["required_q"] > 50.0
+        assert verdict["fractional_bandwidth"] < 0.02
+
+    def test_modest_target_is_feasible(self):
+        verdict = filter_only_feasibility(25.0, order=3)
+        assert verdict["feasible"]
+        assert verdict["passes_channel"]
+
+    def test_image_offset_is_90mhz(self):
+        verdict = filter_only_feasibility(30.0)
+        assert verdict["image_offset_hz"] == pytest.approx(90e6)
+
+    def test_higher_order_helps(self):
+        low = filter_only_feasibility(45.0, order=2)
+        high = filter_only_feasibility(45.0, order=6)
+        assert (high["required_bandwidth_hz"]
+                > low["required_bandwidth_hz"])

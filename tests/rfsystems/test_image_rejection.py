@@ -1,0 +1,184 @@
+"""Tests for the image-rejection analysis (the paper's Fig. 5)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rfsystems import (
+    ImbalanceSpec,
+    fig5_sweep,
+    image_rejection_ratio_db,
+    required_matching,
+    simulate_image_rejection_db,
+)
+
+
+class TestClosedForm:
+    def test_perfect_matching_is_infinite(self):
+        assert math.isinf(image_rejection_ratio_db(0.0, 0.0))
+
+    def test_textbook_values(self):
+        # 1% gain error alone: 20*log10(2.01/0.01) ~ 46.1 dB
+        assert image_rejection_ratio_db(0.0, 0.01) == pytest.approx(46.06,
+                                                                    abs=0.05)
+        # 9% gain error alone ~ 27.3 dB
+        assert image_rejection_ratio_db(0.0, 0.09) == pytest.approx(27.3,
+                                                                    abs=0.1)
+
+    def test_phase_only(self):
+        # IRR = (1+cos)/(1-cos) = cot^2(theta/2)
+        theta = 3.0
+        expected = 10 * math.log10(
+            (1 + math.cos(math.radians(theta)))
+            / (1 - math.cos(math.radians(theta)))
+        )
+        assert image_rejection_ratio_db(theta, 0.0) == pytest.approx(
+            expected, abs=1e-9
+        )
+
+    @given(phase=st.floats(min_value=0.1, max_value=20.0),
+           gain=st.floats(min_value=0.0, max_value=0.2))
+    def test_monotone_in_phase_error(self, phase, gain):
+        better = image_rejection_ratio_db(phase, gain)
+        worse = image_rejection_ratio_db(phase * 1.5, gain)
+        assert worse < better
+
+    @given(gain=st.floats(min_value=0.001, max_value=0.2))
+    def test_monotone_in_gain_error(self, gain):
+        assert image_rejection_ratio_db(2.0, gain * 1.5) < (
+            image_rejection_ratio_db(2.0, gain)
+        )
+
+
+class TestSimulationAgreesWithTheory:
+    """The headline property: the AHDL-style behavioral simulation of the
+    Fig. 4 mixer reproduces the closed-form IRR exactly."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(phase=st.floats(min_value=0.0, max_value=15.0),
+           gain=st.floats(min_value=0.0, max_value=0.15))
+    def test_agreement(self, phase, gain):
+        theory = image_rejection_ratio_db(phase, gain)
+        simulated = simulate_image_rejection_db(
+            ImbalanceSpec(if_phase_error_deg=phase, gain_error=gain)
+        )
+        if math.isinf(theory) or theory > 100.0:
+            # cancellation residue floors the simulation near ~150 dB
+            assert simulated > 90.0
+        else:
+            assert simulated == pytest.approx(theory, abs=0.01)
+
+    def test_lo_and_if_phase_errors_add(self):
+        split = simulate_image_rejection_db(
+            ImbalanceSpec(lo_phase_error_deg=2.5, if_phase_error_deg=2.5,
+                          gain_error=0.02)
+        )
+        lumped = simulate_image_rejection_db(
+            ImbalanceSpec(if_phase_error_deg=5.0, gain_error=0.02)
+        )
+        # not exactly equal: the gain error creates a small second-order
+        # cross-term between the two error locations
+        assert split == pytest.approx(lumped, abs=0.05)
+
+
+class TestFig5Sweep:
+    def test_sweep_structure(self):
+        curves = fig5_sweep([0.0, 2.0, 4.0], gain_errors=(0.01, 0.09))
+        assert set(curves) == {0.01, 0.09}
+        assert len(curves[0.01]) == 3
+
+    def test_small_gain_error_curve_lies_above(self):
+        """Fig. 5's visual: the 1% curve is above the 9% curve."""
+        curves = fig5_sweep([0.0, 2.0, 5.0, 8.0],
+                            gain_errors=(0.01, 0.09))
+        for (_, irr_1), (_, irr_9) in zip(curves[0.01], curves[0.09]):
+            assert irr_1 > irr_9
+
+    def test_curves_converge_at_large_phase_error(self):
+        """At large phase error, phase dominates and the gain curves
+        bundle together — the fan shape of Fig. 5."""
+        curves = fig5_sweep([0.5, 20.0], gain_errors=(0.01, 0.09))
+        gap_small = curves[0.01][0][1] - curves[0.09][0][1]
+        gap_large = curves[0.01][1][1] - curves[0.09][1][1]
+        assert gap_large < gap_small / 3
+
+    def test_closed_form_mode(self):
+        sim = fig5_sweep([3.0], gain_errors=(0.05,), simulated=True)
+        theory = fig5_sweep([3.0], gain_errors=(0.05,), simulated=False)
+        assert sim[0.05][0][1] == pytest.approx(theory[0.05][0][1], abs=1e-6)
+
+
+class TestSpecDerivation:
+    """The paper's designer workflow: 30 dB system spec -> matching spec."""
+
+    def test_30db_at_1_percent(self):
+        phase_budget = required_matching(30.0, 0.01)
+        assert phase_budget is not None
+        assert image_rejection_ratio_db(phase_budget, 0.01) == pytest.approx(
+            30.0, abs=0.01
+        )
+        # sanity: mid-single-digit degrees
+        assert 3.0 < phase_budget < 4.5
+
+    def test_gain_error_too_large_returns_none(self):
+        # 9% gain offset caps IRR at ~27.3 dB < 30 dB target
+        assert required_matching(30.0, 0.09) is None
+
+    def test_budget_shrinks_with_gain_error(self):
+        loose = required_matching(30.0, 0.005)
+        tight = required_matching(30.0, 0.04)
+        assert tight < loose
+
+
+class TestWeaverArchitecture:
+    """The Weaver alternative obeys the same quadrature-imbalance law."""
+
+    def test_perfect_matching_deep_null(self):
+        from repro.rfsystems import simulate_weaver_image_rejection_db
+
+        irr = simulate_weaver_image_rejection_db(ImbalanceSpec())
+        assert irr > 200.0
+
+    @pytest.mark.parametrize("phase,gain", [
+        (0.0, 0.01), (3.0, 0.01), (5.0, 0.05), (8.0, 0.09),
+    ])
+    def test_same_sensitivity_as_hartley(self, phase, gain):
+        from repro.rfsystems import simulate_weaver_image_rejection_db
+
+        weaver = simulate_weaver_image_rejection_db(
+            ImbalanceSpec(if_phase_error_deg=phase, gain_error=gain)
+        )
+        hartley = image_rejection_ratio_db(phase, gain)
+        assert weaver == pytest.approx(hartley, abs=0.05)
+
+    def test_lo1_error_also_counts(self):
+        from repro.rfsystems import simulate_weaver_image_rejection_db
+
+        irr = simulate_weaver_image_rejection_db(
+            ImbalanceSpec(lo_phase_error_deg=4.0)
+        )
+        assert irr == pytest.approx(image_rejection_ratio_db(4.0, 0.0),
+                                    abs=0.1)
+
+    def test_wanted_lands_at_second_if(self):
+        from repro.behavioral import Spectrum
+        from repro.rfsystems import FrequencyPlan, build_weaver_mixer
+
+        plan = FrequencyPlan()
+        second_if = 10.7e6
+        system = build_weaver_mixer(plan.down_lo,
+                                    plan.second_if - second_if,
+                                    lowpass_cutoff=90e6)
+        out = system.run(
+            {"if1": Spectrum.tone(plan.first_if_wanted, 1.0)}
+        )["if2"]
+        assert out.amplitude(second_if) > 0.05
+
+    def test_bad_second_if_rejected(self):
+        from repro.errors import DesignError
+        from repro.rfsystems import simulate_weaver_image_rejection_db
+
+        with pytest.raises(DesignError):
+            simulate_weaver_image_rejection_db(ImbalanceSpec(),
+                                               second_if=60e6)

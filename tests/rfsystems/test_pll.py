@@ -1,0 +1,122 @@
+"""Tests of the charge-pump PLL model against control theory."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DesignError
+from repro.rfsystems import ChargePumpPLL, FrequencyPlan, synthesizer_for_channel
+
+
+@pytest.fixture(scope="module")
+def pll():
+    return ChargePumpPLL()
+
+
+class TestLoopDynamics:
+    def test_natural_frequency_formula(self, pll):
+        kd = pll.charge_pump_current / (2 * math.pi)
+        kv = 2 * math.pi * pll.kvco
+        expected = math.sqrt(kd * kv / (pll.divider * pll.loop_c))
+        assert pll.natural_frequency == pytest.approx(expected, rel=1e-12)
+
+    def test_damping_formula(self, pll):
+        expected = pll.loop_r * pll.loop_c * pll.natural_frequency / 2
+        assert pll.damping == pytest.approx(expected, rel=1e-12)
+
+    def test_crossover_has_unity_gain(self, pll):
+        crossover = pll.crossover_frequency()
+        assert abs(pll.open_loop_gain(crossover)) == pytest.approx(1.0,
+                                                                   rel=1e-3)
+
+    def test_phase_margin_positive_and_sane(self, pll):
+        margin = pll.phase_margin_deg()
+        assert 20.0 < margin < 90.0
+
+    def test_more_resistance_more_damping(self, pll):
+        from dataclasses import replace
+
+        damped = replace(pll, loop_r=pll.loop_r * 4)
+        assert damped.damping > pll.damping
+        assert damped.phase_margin_deg() > pll.phase_margin_deg()
+
+    def test_bandwidth_above_natural_frequency(self, pll):
+        assert (pll.loop_bandwidth * 2 * math.pi
+                > pll.natural_frequency)
+
+    def test_gain_rolls_off_40db_per_decade_below_zero(self, pll):
+        """Below the filter zero the loop gain is a double integrator."""
+        zero = 1 / (2 * math.pi * pll.loop_r * pll.loop_c)
+        f1, f2 = zero / 100, zero / 10
+        ratio_db = 20 * math.log10(
+            abs(pll.open_loop_gain(f1)) / abs(pll.open_loop_gain(f2))
+        )
+        assert ratio_db == pytest.approx(40.0, abs=1.5)
+
+
+class TestStepResponse:
+    def test_starts_at_unity_settles_to_zero(self, pll):
+        assert pll.phase_step_response(0.0) == pytest.approx(1.0)
+        settle = pll.lock_time(1e-4)
+        assert abs(pll.phase_step_response(3 * settle)) < 1e-3
+
+    def test_lock_time_scales_with_tolerance(self, pll):
+        assert pll.lock_time(1e-6) > pll.lock_time(1e-2)
+
+    def test_response_decays_within_envelope(self, pll):
+        zeta, wn = pll.damping, pll.natural_frequency
+        for t in np.linspace(0, 10 / wn, 25):
+            response = pll.phase_step_response(float(t))
+            envelope = math.exp(-zeta * wn * t) / min(
+                math.sqrt(max(1 - zeta ** 2, 1e-12)), 1.0
+            ) if zeta < 1 else 2 * math.exp(
+                -wn * (zeta - math.sqrt(zeta**2 - 1)) * t)
+            assert abs(response) <= envelope * 1.01
+
+    def test_negative_time_rejected(self, pll):
+        with pytest.raises(DesignError):
+            pll.phase_step_response(-1.0)
+
+
+class TestNoiseTransfer:
+    def test_reference_noise_lowpass_with_n_gain(self, pll):
+        in_band = pll.reference_noise_transfer(pll.loop_bandwidth / 100)
+        out_band = pll.reference_noise_transfer(pll.loop_bandwidth * 100)
+        assert in_band == pytest.approx(pll.divider, rel=0.01)
+        assert out_band < in_band / 100
+
+    def test_vco_noise_highpass(self, pll):
+        in_band = pll.vco_noise_transfer(pll.loop_bandwidth / 100)
+        out_band = pll.vco_noise_transfer(pll.loop_bandwidth * 100)
+        assert in_band < 0.05
+        assert out_band == pytest.approx(1.0, rel=0.01)
+
+    def test_transfers_complementary_at_extremes(self, pll):
+        """Far out of band the VCO dominates; far in band the reference."""
+        f_low = pll.loop_bandwidth / 1000
+        assert pll.vco_noise_transfer(f_low) < 1e-2
+
+
+class TestSynthesizer:
+    def test_output_frequency(self, pll):
+        assert pll.output_frequency == pll.divider * 62.5e3
+
+    def test_channel_programming(self):
+        plan = FrequencyPlan()
+        rf = 400e6  # Fup = 1.7 GHz, on the 62.5 kHz raster
+        synth = synthesizer_for_channel(rf, plan)
+        assert synth.output_frequency == pytest.approx(plan.up_lo(rf))
+        assert synth.divider == 27200
+
+    def test_off_raster_rejected(self):
+        with pytest.raises(DesignError):
+            synthesizer_for_channel(400.0001e6)
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            ChargePumpPLL(charge_pump_current=0.0)
+        with pytest.raises(DesignError):
+            ChargePumpPLL(divider=0)
+        with pytest.raises(DesignError):
+            ChargePumpPLL().open_loop_gain(0.0)

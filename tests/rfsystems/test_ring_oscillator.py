@@ -1,0 +1,144 @@
+"""Tests for the Fig. 11 ring oscillator (structure + one slow transient)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.rfsystems import (
+    RingOscillatorSpec,
+    build_ring_oscillator,
+    differential_pair_names,
+    estimate_frequency_from_delay,
+    measure_frequency,
+    run_ring_oscillator,
+)
+from repro.spice import Simulator
+from repro.spice.elements import BJT
+
+
+class TestSpec:
+    def test_defaults(self):
+        spec = RingOscillatorSpec()
+        assert spec.stages == 5
+        assert spec.logic_swing == pytest.approx(
+            spec.load_resistance * spec.tail_current
+        )
+
+    def test_rejects_even_or_short_rings(self):
+        with pytest.raises(AnalysisError):
+            RingOscillatorSpec(stages=4)
+        with pytest.raises(AnalysisError):
+            RingOscillatorSpec(stages=1)
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(AnalysisError):
+            RingOscillatorSpec(tail_current=0.0)
+
+
+class TestCircuitStructure:
+    def test_device_count(self, hf_model):
+        circuit = build_ring_oscillator(hf_model)
+        bjts = [e for e in circuit if isinstance(e, BJT)]
+        # 5 stages x (2 diff pair + 2 followers) = 20, as in Fig. 11
+        assert len(bjts) == 20
+
+    def test_differential_pair_names(self, hf_model):
+        circuit = build_ring_oscillator(hf_model)
+        for name in differential_pair_names(5):
+            assert name in circuit
+
+    def test_follower_model_override(self, hf_model, generator):
+        follower = generator.generate("N1.2-6D")
+        circuit = build_ring_oscillator(hf_model, follower_model=follower)
+        assert circuit.element("QS0A").model is hf_model
+        assert circuit.element("QF0P").model is follower
+
+    def test_dc_operating_point_is_balanced(self, hf_model):
+        """Without the kick, the symmetric DC state has equal sides."""
+        circuit = build_ring_oscillator(hf_model, kick=False)
+        result = Simulator(circuit).operating_point()
+        assert result.voltage("c0p") == pytest.approx(
+            result.voltage("c0n"), abs=1e-4
+        )
+        # collectors sit roughly half a swing below VCC
+        spec = RingOscillatorSpec()
+        assert result.voltage("c0p") == pytest.approx(
+            spec.vcc - spec.logic_swing / 2, abs=0.2
+        )
+
+    def test_delay_estimate_in_range(self, generator):
+        model = generator.generate("N1.2-12D")
+        estimate = estimate_frequency_from_delay(model)
+        assert 0.2e9 < estimate < 20e9
+
+
+class TestMeasurement:
+    def test_measure_frequency_on_synthetic_wave(self, hf_model):
+        """measure_frequency on a synthetic record gives the frequency."""
+        from repro.spice.transient import TransientResult
+        from repro.spice import Circuit
+        from repro.spice.elements import Resistor, VoltageSource
+
+        circuit = Circuit("synthetic")
+        circuit.add(VoltageSource("V1", ("s0p", "0"), dc=0.0))
+        circuit.add(Resistor("R1", ("s0p", "s0n"), 1.0))
+        circuit.add(Resistor("R2", ("s0n", "0"), 1.0))
+        circuit.assign_indices()
+        times = np.linspace(0, 10e-9, 2001)
+        states = np.zeros((len(times), circuit.num_unknowns))
+        f0 = 1.5e9
+        states[:, circuit.node_index("s0p")] = np.sin(
+            2 * np.pi * f0 * times
+        )
+        result = TransientResult(circuit, times, states)
+        measurement = measure_frequency(result)
+        assert measurement.oscillating
+        assert measurement.frequency == pytest.approx(f0, rel=1e-3)
+
+    def test_flat_record_reports_no_oscillation(self):
+        from repro.spice.transient import TransientResult
+        from repro.spice import Circuit
+        from repro.spice.elements import Resistor, VoltageSource
+
+        circuit = Circuit("flat")
+        circuit.add(VoltageSource("V1", ("s0p", "0"), dc=1.0))
+        circuit.add(Resistor("R1", ("s0p", "s0n"), 1.0))
+        circuit.add(Resistor("R2", ("s0n", "0"), 1.0))
+        circuit.assign_indices()
+        times = np.linspace(0, 10e-9, 101)
+        states = np.ones((len(times), circuit.num_unknowns))
+        measurement = measure_frequency(
+            TransientResult(circuit, times, states)
+        )
+        assert not measurement.oscillating
+
+
+@pytest.mark.slow
+class TestFreeRunning:
+    def test_oscillates_at_ghz(self, generator):
+        """One full transient: the generated N1.2-12D ring free-runs in
+        the paper's GHz range."""
+        model = generator.generate("N1.2-12D")
+        follower = generator.generate("N1.2-6D")
+        measurement = run_ring_oscillator(model, follower_model=follower,
+                                          stop_time=8e-9)
+        assert measurement.oscillating
+        assert 0.5e9 < measurement.frequency < 5e9
+        assert measurement.amplitude > 0.2
+
+
+class TestFollowerResistorVariant:
+    def test_resistive_pulldown_followers(self, hf_model):
+        """The spec's follower_resistance option replaces the pulldown
+        current sources with resistors (as drawn in the paper's R3/R4)."""
+        from repro.spice.elements import Resistor
+
+        spec = RingOscillatorSpec(follower_resistance=2e3)
+        circuit = build_ring_oscillator(hf_model, spec=spec)
+        assert "RF0P" in circuit and "RF4N" in circuit
+        resistors = [e for e in circuit if isinstance(e, Resistor)]
+        # 10 loads + 10 follower pulldowns
+        assert len(resistors) == 20
+        result = Simulator(circuit).operating_point()
+        # followers still sit a Vbe below the collectors
+        assert result.voltage("s0p") < result.voltage("c0p")

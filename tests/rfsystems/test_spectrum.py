@@ -1,0 +1,92 @@
+"""Tests for the double-super frequency plan (paper Figs. 2/3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DesignError
+from repro.rfsystems import FrequencyPlan
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return FrequencyPlan()
+
+
+class TestPaperNumbers:
+    """The exact numbers named in the paper's text."""
+
+    def test_catv_band(self, plan):
+        assert plan.rf_min == 90e6
+        assert plan.rf_max == 770e6
+
+    def test_first_if(self, plan):
+        assert plan.first_if == 1.3e9
+
+    def test_second_if(self, plan):
+        assert plan.second_if == 45e6
+
+    def test_image_offset_is_45mhz_from_fdown(self, plan):
+        """'the frequency of rf2-Fdown is 45 MHz'."""
+        assert abs(plan.first_if_image - plan.down_lo) == pytest.approx(45e6)
+
+    def test_image_relation(self, plan):
+        """The paper's defining relation: rf2 - Fdown = Fdown - rf1
+        (the wanted and image 1st-IF tones mirror around Fdown)."""
+        assert plan.first_if_image - plan.down_lo == pytest.approx(
+            plan.down_lo - plan.first_if_wanted
+        )
+
+    def test_image_spacing_is_twice_second_if(self, plan):
+        assert plan.image_spacing == pytest.approx(2 * plan.second_if)
+
+    def test_up_lo_above_band(self, plan):
+        assert plan.up_lo(90e6) == pytest.approx(1.39e9)
+        assert plan.up_lo(770e6) == pytest.approx(2.07e9)
+
+    def test_rf_image_is_adjacent_in_band(self, plan):
+        """The image referred to the antenna is an in-band channel only
+        90 MHz away — the reason the paper needs the IR mixer."""
+        assert plan.rf_image(400e6) == pytest.approx(490e6)
+        assert plan.image_offset(400e6) == pytest.approx(90e6)
+
+
+class TestConsistency:
+    @given(rf=st.floats(min_value=90e6, max_value=770e6))
+    def test_image_distinct_from_wanted(self, plan, rf):
+        assert plan.rf_image(rf) != pytest.approx(rf, rel=1e-6)
+
+    @given(rf=st.floats(min_value=90e6, max_value=770e6))
+    def test_both_convert_to_second_if(self, plan, rf):
+        """Wanted and image both land on |...| = 45 MHz after the two
+        conversions (that is what makes rf_image an image)."""
+        up = plan.up_lo(rf)
+        if1_wanted = up - rf
+        if1_image = up - plan.rf_image(rf)
+        assert abs(if1_wanted - plan.down_lo) == pytest.approx(
+            plan.second_if, rel=1e-9
+        )
+        assert abs(if1_image - plan.down_lo) == pytest.approx(
+            plan.second_if, rel=1e-9
+        )
+
+    def test_describe(self, plan):
+        info = plan.describe(500e6)
+        assert info["up_lo"] == pytest.approx(1.8e9)
+        assert info["down_lo"] == pytest.approx(1.255e9)
+        assert info["first_if_image"] == pytest.approx(1.21e9)
+
+
+class TestValidation:
+    def test_rf_out_of_band_rejected(self, plan):
+        with pytest.raises(DesignError):
+            plan.up_lo(50e6)
+        with pytest.raises(DesignError):
+            plan.describe(900e6)
+
+    def test_bad_plans_rejected(self):
+        with pytest.raises(DesignError):
+            FrequencyPlan(rf_min=0.0)
+        with pytest.raises(DesignError):
+            FrequencyPlan(first_if=500e6)  # below rf_max
+        with pytest.raises(DesignError):
+            FrequencyPlan(second_if=2e9)  # above first_if

@@ -1,0 +1,116 @@
+"""Tests for the double-super tuner systems (paper Figs. 2 and 4)."""
+
+import math
+
+import pytest
+
+from repro.behavioral import Spectrum, tone
+from repro.errors import DesignError
+from repro.rfsystems import (
+    FrequencyPlan,
+    ImbalanceSpec,
+    TunerConfig,
+    build_conventional_tuner,
+    build_image_rejection_tuner,
+    image_rejection_ratio_db,
+    measure_tuner,
+)
+
+RF = 400e6
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return FrequencyPlan()
+
+
+class TestConventionalTuner:
+    def test_wanted_channel_converts(self, plan):
+        tuner = build_conventional_tuner(RF)
+        nets = tuner.run({"rf": tone(RF, 1e-3)})
+        assert nets["if2"].amplitude(plan.second_if) > 1e-4
+
+    def test_first_if_is_1_3ghz(self, plan):
+        tuner = build_conventional_tuner(RF)
+        nets = tuner.run({"rf": tone(RF, 1e-3)})
+        assert nets["if1"].amplitude(plan.first_if) > 1e-4
+
+    def test_image_rejection_comes_from_filter_only(self, plan):
+        perf = measure_tuner(build_conventional_tuner(RF), RF)
+        # 3rd-order 60 MHz BPF at 90 MHz offset: tens of dB, not hundreds
+        assert 15.0 < perf.image_rejection_db < 60.0
+
+    def test_narrower_filter_rejects_more(self, plan):
+        wide = measure_tuner(
+            build_conventional_tuner(RF, TunerConfig(
+                if1_filter_bandwidth=120e6)), RF,
+        )
+        narrow = measure_tuner(
+            build_conventional_tuner(RF, TunerConfig(
+                if1_filter_bandwidth=30e6)), RF,
+        )
+        assert narrow.image_rejection_db > wide.image_rejection_db + 10
+
+    def test_out_of_plan_rf_rejected(self):
+        with pytest.raises(DesignError):
+            build_conventional_tuner(50e6)
+
+
+class TestImageRejectionTuner:
+    def test_ir_tuner_beats_conventional(self, plan):
+        conventional = measure_tuner(build_conventional_tuner(RF), RF)
+        ir = measure_tuner(
+            build_image_rejection_tuner(
+                RF, ImbalanceSpec(if_phase_error_deg=2.0, gain_error=0.02)
+            ),
+            RF,
+        )
+        assert ir.image_rejection_db > conventional.image_rejection_db + 15
+
+    def test_total_rejection_is_filter_plus_quadrature(self, plan):
+        """IRR(total) ~ IRR(filter) + IRR(quadrature) in dB."""
+        imbalance = ImbalanceSpec(if_phase_error_deg=3.0, gain_error=0.03)
+        conventional = measure_tuner(build_conventional_tuner(RF), RF)
+        ir = measure_tuner(build_image_rejection_tuner(RF, imbalance), RF)
+        quadrature = image_rejection_ratio_db(3.0, 0.03)
+        assert ir.image_rejection_db == pytest.approx(
+            conventional.image_rejection_db + quadrature, abs=1.5
+        )
+
+    def test_wanted_gain_not_degraded(self, plan):
+        conventional = measure_tuner(build_conventional_tuner(RF), RF)
+        ir = measure_tuner(build_image_rejection_tuner(RF), RF)
+        assert ir.wanted_gain_db == pytest.approx(
+            conventional.wanted_gain_db + 6.0, abs=1.0
+        )  # two coherent paths add 6 dB over the single path
+
+    def test_perfect_matching_huge_rejection(self, plan):
+        perf = measure_tuner(build_image_rejection_tuner(RF), RF)
+        assert perf.image_rejection_db > 100.0
+
+    def test_works_across_band(self, plan):
+        for rf in (plan.rf_min, 300e6, plan.rf_max):
+            perf = measure_tuner(
+                build_image_rejection_tuner(
+                    rf, ImbalanceSpec(if_phase_error_deg=2.0,
+                                      gain_error=0.02)
+                ),
+                rf,
+            )
+            assert perf.image_rejection_db > 40.0
+
+
+class TestMeasurement:
+    def test_measure_requires_wanted_output(self, plan):
+        from repro.behavioral import SystemModel, Amplifier
+
+        broken = SystemModel("broken")
+        broken.add(Amplifier("a", gain_db=-300.0), inputs=["rf"],
+                   outputs=["if2"])
+        with pytest.raises(DesignError):
+            measure_tuner(broken, RF)
+
+    def test_performance_fields(self, plan):
+        perf = measure_tuner(build_conventional_tuner(RF), RF)
+        assert perf.rf == RF
+        assert perf.conversion_output > 0

@@ -1,0 +1,230 @@
+"""Element-level tests: waveforms, BJT element stamps, diode element."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetlistError
+from repro.spice import Circuit, Simulator, solve_dc
+from repro.spice.elements import (
+    BJT,
+    Capacitor,
+    CurrentSource,
+    DC,
+    Diode,
+    DiodeModel,
+    PWL,
+    Pulse,
+    Resistor,
+    Sine,
+    VoltageSource,
+)
+from repro.spice.mna import load_circuit
+
+
+class TestWaveforms:
+    def test_dc(self):
+        assert DC(3.0).value(None) == 3.0
+        assert DC(3.0).value(1.0) == 3.0
+
+    def test_sine_values(self):
+        s = Sine(offset=1.0, amplitude=2.0, frequency=1e3)
+        assert s.value(None) == 1.0
+        assert s.value(0.0) == pytest.approx(1.0)
+        assert s.value(0.25e-3) == pytest.approx(3.0)
+        assert s.value(0.75e-3) == pytest.approx(-1.0)
+
+    def test_sine_delay_and_damping(self):
+        s = Sine(0.0, 1.0, 1e3, delay=1e-3, damping=1000.0)
+        assert s.value(0.5e-3) == pytest.approx(0.0)
+        peak1 = s.value(1e-3 + 0.25e-3)
+        peak2 = s.value(1e-3 + 1.25e-3)
+        assert abs(peak2) < abs(peak1)
+
+    def test_sine_rejects_bad_frequency(self):
+        with pytest.raises(NetlistError):
+            Sine(frequency=0.0)
+
+    def test_pulse_phases(self):
+        p = Pulse(0.0, 1.0, delay=1e-6, rise=1e-6, fall=1e-6,
+                  width=3e-6, period=10e-6)
+        assert p.value(None) == 0.0
+        assert p.value(0.5e-6) == 0.0
+        assert p.value(1.5e-6) == pytest.approx(0.5)  # mid-rise
+        assert p.value(3e-6) == 1.0
+        assert p.value(5.5e-6) == pytest.approx(0.5)  # mid-fall
+        assert p.value(8e-6) == 0.0
+        assert p.value(11.5e-6) == pytest.approx(0.5)  # next period
+
+    def test_pulse_rejects_short_period(self):
+        with pytest.raises(NetlistError):
+            Pulse(0, 1, rise=1e-6, fall=1e-6, width=5e-6, period=2e-6)
+
+    def test_pulse_breakpoints(self):
+        p = Pulse(0, 1, delay=1e-6, rise=1e-6, fall=1e-6, width=2e-6,
+                  period=10e-6)
+        points = p.breakpoints(12e-6)
+
+        def contains(value):
+            return any(abs(point - value) < 1e-12 for point in points)
+
+        assert contains(1e-6)
+        assert contains(2e-6)
+        assert contains(11e-6)
+
+    def test_pwl_interpolation(self):
+        w = PWL([(0, 0), (1e-3, 2.0), (2e-3, -1.0)])
+        assert w.value(0.5e-3) == pytest.approx(1.0)
+        assert w.value(1.5e-3) == pytest.approx(0.5)
+        assert w.value(-1) == 0.0
+        assert w.value(5e-3) == -1.0
+
+    def test_pwl_needs_points(self):
+        with pytest.raises(NetlistError):
+            PWL([])
+
+
+class TestSourceConventions:
+    def test_voltage_source_current_sign(self):
+        """A battery delivering power reports negative branch current."""
+        ckt = Circuit("sign")
+        ckt.add(VoltageSource("V1", ("a", "0"), dc=1.0))
+        ckt.add(Resistor("R1", ("a", "0"), 1e3))
+        result = Simulator(ckt).operating_point()
+        assert result.branch_current("V1") == pytest.approx(-1e-3, rel=1e-6)
+
+    def test_current_source_direction(self):
+        """Positive I flows from node p through the source to node n."""
+        ckt = Circuit("dir")
+        ckt.add(CurrentSource("I1", ("a", "0"), dc=1e-3))
+        ckt.add(Resistor("R1", ("a", "0"), 1e3))
+        result = Simulator(ckt).operating_point()
+        assert result.voltage("a") == pytest.approx(-1.0, rel=1e-6)
+
+
+class TestDiodeElement:
+    def test_area_scales_current(self):
+        def vd_for_area(area):
+            ckt = Circuit("area")
+            ckt.add(VoltageSource("V1", ("in", "0"), dc=5.0))
+            ckt.add(Resistor("R1", ("in", "d"), 1e3))
+            ckt.add(Diode("D1", ("d", "0"), DiodeModel(IS=1e-14), area=area))
+            return Simulator(ckt).operating_point().voltage("d")
+
+        assert vd_for_area(10.0) < vd_for_area(1.0)
+
+    def test_rejects_bad_area(self):
+        with pytest.raises(NetlistError):
+            Diode("D1", ("a", "0"), DiodeModel(), area=0.0)
+
+    def test_junction_capacitance_slows_switching(self):
+        from repro.spice import solve_transient
+
+        def voltage_at_20ns(cjo):
+            ckt = Circuit("cj")
+            ckt.add(VoltageSource("V1", ("in", "0"),
+                                  dc=Pulse(-2.0, 2.0, rise=1e-12,
+                                           width=1e-6)))
+            ckt.add(Resistor("R1", ("in", "d"), 10e3))
+            ckt.add(Diode("D1", ("d", "0"),
+                          DiodeModel(IS=1e-14, CJO=cjo)))
+            result = solve_transient(ckt, stop_time=30e-9, max_step=0.25e-9)
+            return result.sample("d", 20e-9)
+
+        # a big junction capacitance keeps the node far behind
+        assert voltage_at_20ns(10e-12) < voltage_at_20ns(0.1e-12) - 0.3
+
+
+class TestBJTElement:
+    def test_internal_nodes_allocated(self, hf_model):
+        q = BJT("Q1", ("c", "b", "e"), hf_model)
+        assert q.num_branches == 3  # RC, RB, RE all nonzero
+
+    def test_no_internal_nodes_without_parasitics(self, simple_npn):
+        q = BJT("Q1", ("c", "b", "e"), simple_npn)
+        assert q.num_branches == 0
+
+    def test_three_node_form_defaults_substrate_to_ground(self, hf_model):
+        q = BJT("Q1", ("c", "b", "e"), hf_model)
+        assert q.nodes == ("c", "b", "e", "0")
+
+    def test_rejects_wrong_arity(self, hf_model):
+        with pytest.raises(NetlistError):
+            BJT("Q1", ("c", "b"), hf_model)
+        with pytest.raises(NetlistError):
+            BJT("Q1", ("c", "b", "e", "s", "x"), hf_model)
+
+    def test_rejects_bad_area(self, hf_model):
+        with pytest.raises(NetlistError):
+            BJT("Q1", ("c", "b", "e"), hf_model, area=-1.0)
+
+    def test_kcl_across_device(self, hf_model):
+        """Terminal currents must sum to zero at the solution."""
+        ckt = Circuit("kcl")
+        ckt.add(VoltageSource("VC", ("c", "0"), dc=3.0))
+        ckt.add(VoltageSource("VB", ("b", "0"), dc=0.75))
+        ckt.add(VoltageSource("VE", ("e", "0"), dc=0.0))
+        ckt.add(BJT("Q1", ("c", "b", "e"), hf_model))
+        result = Simulator(ckt).operating_point()
+        ic = -result.branch_current("VC")
+        ib = -result.branch_current("VB")
+        ie = -result.branch_current("VE")
+        assert ic + ib + ie == pytest.approx(0.0, abs=1e-9)
+        assert ic > 0 and ib > 0 and ie < 0  # npn conventions
+
+    def test_npn_pnp_symmetry(self, hf_model):
+        """A pnp biased mirror-image to an npn carries the same currents."""
+        ckt_n = Circuit("npn")
+        ckt_n.add(VoltageSource("VC", ("c", "0"), dc=3.0))
+        ckt_n.add(VoltageSource("VB", ("b", "0"), dc=0.75))
+        ckt_n.add(BJT("Q1", ("c", "b", "0"), hf_model))
+        r_n = Simulator(ckt_n).operating_point()
+        ic_n = -r_n.branch_current("VC")
+
+        pnp = hf_model.replace(polarity="pnp", name="QP")
+        ckt_p = Circuit("pnp")
+        ckt_p.add(VoltageSource("VC", ("c", "0"), dc=-3.0))
+        ckt_p.add(VoltageSource("VB", ("b", "0"), dc=-0.75))
+        ckt_p.add(BJT("Q1", ("c", "b", "0"), pnp))
+        r_p = Simulator(ckt_p).operating_point()
+        ic_p = -r_p.branch_current("VC")
+        assert ic_p == pytest.approx(-ic_n, rel=1e-6)
+
+    def test_area_scaling_in_circuit(self, hf_model):
+        def collector_current(area):
+            ckt = Circuit("area")
+            ckt.add(VoltageSource("VC", ("c", "0"), dc=3.0))
+            ckt.add(VoltageSource("VB", ("b", "0"), dc=0.7))
+            ckt.add(BJT("Q1", ("c", "b", "0"), hf_model, area=area))
+            return -Simulator(ckt).operating_point().branch_current("VC")
+
+        assert collector_current(4.0) == pytest.approx(
+            4 * collector_current(1.0), rel=0.02
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(vb=st.floats(min_value=0.55, max_value=0.8))
+    def test_stamp_jacobian_matches_fd(self, hf_model, vb):
+        """Property: the stamped G matrix is the numerical Jacobian of the
+        stamped I vector (internal-node rows included)."""
+        ckt = Circuit("jac")
+        ckt.add(VoltageSource("VC", ("c", "0"), dc=2.0))
+        ckt.add(VoltageSource("VB", ("b", "0"), dc=vb))
+        ckt.add(BJT("Q1", ("c", "b", "0"), hf_model))
+        x = solve_dc(ckt)
+        size = ckt.num_unknowns
+        base = load_circuit(ckt, x, limits={})
+        h = 1e-8
+        for col in range(size):
+            xp = x.copy(); xp[col] += h
+            xm = x.copy(); xm[col] -= h
+            # fresh limits each load so pnjlim cannot interfere near the
+            # solution (steps are tiny, so limiting stays inactive)
+            ip = load_circuit(ckt, xp, limits={}).i_vec
+            im = load_circuit(ckt, xm, limits={}).i_vec
+            fd = (ip - im) / (2 * h)
+            np.testing.assert_allclose(
+                base.g_mat[:, col], fd, rtol=5e-4, atol=1e-6,
+            )

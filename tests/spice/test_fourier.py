@@ -1,0 +1,141 @@
+"""Fourier/THD analysis tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.spice import (
+    Circuit,
+    fourier_analysis,
+    solve_transient,
+    total_harmonic_distortion,
+)
+from repro.spice.transient import TransientResult
+from repro.spice.elements import (
+    Diode,
+    DiodeModel,
+    Resistor,
+    Sine,
+    VoltageSource,
+)
+
+
+def synthetic_result(values_fn, stop=1e-3, points=4001):
+    """A TransientResult carrying an analytic waveform on node 'out'."""
+    circuit = Circuit("synthetic")
+    circuit.add(VoltageSource("V1", ("out", "0"), dc=0.0))
+    circuit.add(Resistor("R1", ("out", "0"), 1.0))
+    circuit.assign_indices()
+    times = np.linspace(0.0, stop, points)
+    states = np.zeros((points, circuit.num_unknowns))
+    states[:, circuit.node_index("out")] = values_fn(times)
+    return TransientResult(circuit, times, states)
+
+
+class TestPureTone:
+    def test_single_sine(self):
+        f0 = 10e3
+        result = synthetic_result(
+            lambda t: 2.0 * np.sin(2 * np.pi * f0 * t)
+        )
+        fourier = fourier_analysis(result, "out", f0, harmonics=5)
+        assert fourier.amplitude(1) == pytest.approx(2.0, rel=1e-4)
+        for harmonic in (2, 3, 4, 5):
+            assert fourier.amplitude(harmonic) < 1e-6
+        assert fourier.thd() < 1e-6
+
+    def test_dc_offset_recovered(self):
+        f0 = 10e3
+        result = synthetic_result(
+            lambda t: 0.7 + np.sin(2 * np.pi * f0 * t)
+        )
+        fourier = fourier_analysis(result, "out", f0)
+        assert fourier.dc == pytest.approx(0.7, abs=1e-6)
+
+    def test_phase_recovered(self):
+        f0 = 10e3
+        result = synthetic_result(
+            lambda t: np.cos(2 * np.pi * f0 * t)
+        )
+        fourier = fourier_analysis(result, "out", f0)
+        assert fourier.components[0].phase_deg == pytest.approx(0.0,
+                                                                abs=0.1)
+
+
+class TestKnownDistortion:
+    def test_two_harmonic_mix(self):
+        f0 = 10e3
+        result = synthetic_result(
+            lambda t: (np.sin(2 * np.pi * f0 * t)
+                       + 0.1 * np.sin(2 * np.pi * 2 * f0 * t)
+                       + 0.05 * np.sin(2 * np.pi * 3 * f0 * t))
+        )
+        fourier = fourier_analysis(result, "out", f0, harmonics=5)
+        assert fourier.amplitude(2) == pytest.approx(0.1, rel=1e-3)
+        assert fourier.amplitude(3) == pytest.approx(0.05, rel=1e-3)
+        expected_thd = math.sqrt(0.1 ** 2 + 0.05 ** 2)
+        assert fourier.thd() == pytest.approx(expected_thd, rel=1e-3)
+
+    def test_square_wave_harmonics(self):
+        """Odd-harmonic 1/n ladder of a square wave."""
+        f0 = 1e3
+        result = synthetic_result(
+            lambda t: np.sign(np.sin(2 * np.pi * f0 * t)), stop=10e-3,
+            points=40001,
+        )
+        fourier = fourier_analysis(result, "out", f0, harmonics=7,
+                                   periods=8)
+        h1 = fourier.amplitude(1)
+        assert h1 == pytest.approx(4 / math.pi, rel=0.01)
+        assert fourier.amplitude(3) == pytest.approx(h1 / 3, rel=0.02)
+        assert fourier.amplitude(5) == pytest.approx(h1 / 5, rel=0.03)
+        assert fourier.amplitude(2) < 0.01 * h1
+
+
+class TestCircuitDistortion:
+    def test_diode_clipper_generates_harmonics(self):
+        """A diode soft-clipper driven by a clean sine: visible THD."""
+        f0 = 1e6
+        ckt = Circuit("clip")
+        ckt.add(VoltageSource("V1", ("in", "0"),
+                              dc=Sine(0.0, 1.5, f0)))
+        ckt.add(Resistor("R1", ("in", "out"), 1e3))
+        ckt.add(Diode("D1", ("out", "0"), DiodeModel(IS=1e-14)))
+        result = solve_transient(ckt, stop_time=6 / f0,
+                                 max_step=1 / f0 / 200)
+        thd = total_harmonic_distortion(result, "out", f0)
+        assert thd > 0.05  # strongly clipped
+        fourier = fourier_analysis(result, "out", f0)
+        assert fourier.dc < 0.0  # asymmetric clipping shifts the mean down
+
+    def test_linear_circuit_low_distortion(self):
+        f0 = 1e6
+        ckt = Circuit("lin")
+        ckt.add(VoltageSource("V1", ("in", "0"), dc=Sine(0.0, 1.0, f0)))
+        ckt.add(Resistor("R1", ("in", "out"), 1e3))
+        ckt.add(Resistor("R2", ("out", "0"), 1e3))
+        result = solve_transient(ckt, stop_time=6 / f0,
+                                 max_step=1 / f0 / 100)
+        assert total_harmonic_distortion(result, "out", f0) < 1e-3
+
+
+class TestValidation:
+    def test_record_too_short(self):
+        result = synthetic_result(lambda t: np.sin(2 * np.pi * 1e3 * t),
+                                  stop=1e-3)
+        with pytest.raises(AnalysisError):
+            fourier_analysis(result, "out", 1e3, periods=10)
+
+    def test_rejects_bad_fundamental(self):
+        result = synthetic_result(lambda t: t * 0)
+        with pytest.raises(AnalysisError):
+            fourier_analysis(result, "out", -1.0)
+
+    def test_describe(self):
+        f0 = 10e3
+        result = synthetic_result(lambda t: np.sin(2 * np.pi * f0 * t))
+        text = fourier_analysis(result, "out", f0).describe()
+        assert "THD" in text
+        assert "h1" in text

@@ -1,0 +1,127 @@
+"""Direct tests of the MNA assembly layer (stamps and conservation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spice import Circuit, solve_dc
+from repro.spice.mna import LoadContext, load_circuit
+from repro.spice.elements import CurrentSource, Resistor, VoltageSource
+
+
+class TestStampPrimitives:
+    def _ctx(self, size=3, x=None):
+        x = np.zeros(size) if x is None else np.asarray(x, dtype=float)
+        return LoadContext(size, x, time=None, gmin=0.0)
+
+    def test_conductance_stamp_pattern(self):
+        ctx = self._ctx(x=[2.0, 0.5, 0.0])
+        ctx.stamp_conductance(0, 1, 0.1)
+        # Jacobian: classic +g/-g pattern
+        assert ctx.g_mat[0, 0] == pytest.approx(0.1)
+        assert ctx.g_mat[0, 1] == pytest.approx(-0.1)
+        assert ctx.g_mat[1, 0] == pytest.approx(-0.1)
+        assert ctx.g_mat[1, 1] == pytest.approx(0.1)
+        # residual current consistent with the candidate solution
+        assert ctx.i_vec[0] == pytest.approx(0.1 * 1.5)
+        assert ctx.i_vec[1] == pytest.approx(-0.1 * 1.5)
+
+    def test_ground_rows_are_skipped(self):
+        ctx = self._ctx()
+        ctx.stamp_conductance(-1, 0, 0.2)
+        assert ctx.g_mat[0, 0] == pytest.approx(0.2)
+        # nothing written anywhere else
+        assert np.count_nonzero(ctx.g_mat) == 1
+
+    def test_capacitance_stamp(self):
+        ctx = self._ctx(x=[3.0, 1.0, 0.0])
+        ctx.stamp_capacitance(0, 1, 1e-9)
+        assert ctx.q_vec[0] == pytest.approx(2e-9)
+        assert ctx.q_vec[1] == pytest.approx(-2e-9)
+        assert ctx.c_mat[0, 0] == pytest.approx(1e-9)
+        assert ctx.c_mat[1, 0] == pytest.approx(-1e-9)
+
+    def test_current_source_stamp(self):
+        ctx = self._ctx()
+        ctx.stamp_current_source(0, 1, 1e-3)
+        assert ctx.i_vec[0] == pytest.approx(1e-3)
+        assert ctx.i_vec[1] == pytest.approx(-1e-3)
+
+    def test_voltage_reads(self):
+        ctx = self._ctx(x=[4.0, -2.0, 0.0])
+        assert ctx.voltage(0) == 4.0
+        assert ctx.voltage(-1) == 0.0
+
+
+class TestConservationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        resistors=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=4),
+                      st.integers(min_value=0, max_value=4),
+                      st.floats(min_value=1.0, max_value=1e6)),
+            min_size=4, max_size=12,
+        ),
+        drive=st.floats(min_value=-10.0, max_value=10.0),
+    )
+    def test_random_resistive_network_kcl(self, resistors, drive):
+        """On any random connected resistive network, the converged
+        solution satisfies KCL at every node (zero residual) and the
+        source current balances the ground return."""
+        ckt = Circuit("random")
+        ckt.add(VoltageSource("V1", ("n0", "0"), dc=drive))
+        added = 0
+        for i, (a, b, r) in enumerate(resistors):
+            if a == b:
+                continue
+            ckt.add(Resistor(f"R{i}", (f"n{a}", f"n{b}"), r))
+            added += 1
+        if added == 0:
+            return
+        # tie every island to ground so the system is well-posed
+        for node_id in {a for a, _, _ in resistors} | {
+            b for _, b, _ in resistors
+        }:
+            ckt.add(Resistor(f"RT{node_id}", (f"n{node_id}", "0"), 1e5))
+
+        x = solve_dc(ckt)
+        ctx = load_circuit(ckt, x)
+        node_count = len(ckt.node_map)
+        residual = ctx.i_vec[:node_count]
+        assert np.max(np.abs(residual)) < 1e-6
+
+    @settings(max_examples=25, deadline=None)
+    @given(g1=st.floats(min_value=1e-6, max_value=1.0),
+           g2=st.floats(min_value=1e-6, max_value=1.0),
+           i_drive=st.floats(min_value=-1.0, max_value=1.0))
+    def test_linear_system_matches_hand_nodal_analysis(self, g1, g2,
+                                                       i_drive):
+        """Two-node ladder: MNA answer equals the hand-derived nodal
+        solution."""
+        ckt = Circuit("ladder")
+        ckt.add(CurrentSource("I1", ("0", "a"), dc=i_drive))
+        ckt.add(Resistor("R1", ("a", "b"), 1.0 / g1))
+        ckt.add(Resistor("R2", ("b", "0"), 1.0 / g2))
+        x = solve_dc(ckt)
+        # hand solution: series conductance
+        g_series = g1 * g2 / (g1 + g2)
+        va_expected = i_drive / g_series
+        vb_expected = i_drive / g2
+        assert x[ckt.node_index("a")] == pytest.approx(va_expected,
+                                                       rel=1e-5)
+        assert x[ckt.node_index("b")] == pytest.approx(vb_expected,
+                                                       rel=1e-5)
+
+    def test_jacobian_symmetry_for_reciprocal_network(self):
+        """A purely resistive (reciprocal) network has a symmetric G."""
+        ckt = Circuit("sym")
+        ckt.add(CurrentSource("I1", ("0", "a"), dc=1e-3))
+        ckt.add(Resistor("R1", ("a", "b"), 1e3))
+        ckt.add(Resistor("R2", ("b", "c"), 2e3))
+        ckt.add(Resistor("R3", ("c", "0"), 3e3))
+        ckt.add(Resistor("R4", ("a", "c"), 4e3))
+        size = ckt.assign_indices()
+        ctx = load_circuit(ckt, np.zeros(size))
+        node_count = len(ckt.node_map)
+        g_nodes = ctx.g_mat[:node_count, :node_count]
+        np.testing.assert_allclose(g_nodes, g_nodes.T, atol=1e-15)

@@ -1,0 +1,138 @@
+"""Tests for circuit construction and equation numbering."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice import Circuit
+from repro.spice.elements import Capacitor, Inductor, Resistor, VoltageSource
+
+
+def divider() -> Circuit:
+    ckt = Circuit("divider")
+    ckt.add(VoltageSource("V1", ("in", "0"), dc=10.0))
+    ckt.add(Resistor("R1", ("in", "out"), 1e3))
+    ckt.add(Resistor("R2", ("out", "0"), 1e3))
+    return ckt
+
+
+class TestConstruction:
+    def test_add_and_lookup(self):
+        ckt = divider()
+        assert len(ckt) == 3
+        assert ckt.element("r1").resistance == 1e3
+        assert "R2" in ckt
+        assert "R9" not in ckt
+
+    def test_duplicate_name_rejected(self):
+        ckt = divider()
+        with pytest.raises(NetlistError):
+            ckt.add(Resistor("r1", ("a", "0"), 1.0))
+
+    def test_remove(self):
+        ckt = divider()
+        ckt.remove("R2")
+        assert "R2" not in ckt
+        with pytest.raises(NetlistError):
+            ckt.remove("R2")
+
+    def test_unknown_element_lookup(self):
+        with pytest.raises(NetlistError):
+            divider().element("RX")
+
+    def test_ground_aliases(self):
+        ckt = Circuit("gnd")
+        ckt.add(VoltageSource("V1", ("a", "gnd"), dc=1.0))
+        ckt.add(Resistor("R1", ("a", "GND"), 1.0))
+        assert ckt.element("V1").nodes[1] == "0"
+        assert ckt.element("R1").nodes[1] == "0"
+
+    def test_extend(self):
+        ckt = Circuit("ext")
+        ckt.extend([
+            VoltageSource("V1", ("a", "0"), dc=1.0),
+            Resistor("R1", ("a", "0"), 1.0),
+        ])
+        assert len(ckt) == 2
+
+
+class TestIndexing:
+    def test_node_then_branch_numbering(self):
+        ckt = divider()
+        size = ckt.assign_indices()
+        # two nodes (in, out) + one branch current (V1)
+        assert size == 3
+        assert set(ckt.node_map) == {"in", "out"}
+        assert ckt.branch_index("V1") == 2
+
+    def test_ground_index(self):
+        ckt = divider()
+        assert ckt.node_index("0") == -1
+        assert ckt.node_index("gnd") == -1
+
+    def test_unknown_node(self):
+        with pytest.raises(NetlistError):
+            divider().node_index("nowhere")
+
+    def test_branch_index_for_branchless_element(self):
+        with pytest.raises(NetlistError):
+            divider().branch_index("R1")
+
+    def test_inductor_gets_branch(self):
+        ckt = Circuit("rl")
+        ckt.add(VoltageSource("V1", ("a", "0"), dc=1.0))
+        ckt.add(Inductor("L1", ("a", "0"), 1e-6))
+        size = ckt.assign_indices()
+        assert size == 3  # node a + V branch + L branch
+
+    def test_reindex_after_change(self):
+        ckt = divider()
+        ckt.assign_indices()
+        ckt.add(Capacitor("C1", ("out", "extra"), 1e-12))
+        size = ckt.assign_indices()
+        assert "extra" in ckt.node_map
+        assert size == 4
+
+    def test_nodes_listing_in_order(self):
+        ckt = divider()
+        assert ckt.nodes() == ["in", "out"]
+
+
+class TestValidation:
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(NetlistError):
+            Circuit("empty").assign_indices()
+
+    def test_floating_circuit_rejected(self):
+        ckt = Circuit("floating")
+        ckt.add(Resistor("R1", ("a", "b"), 1.0))
+        with pytest.raises(NetlistError):
+            ckt.assign_indices()
+
+    def test_linearity_detection(self, hf_model):
+        from repro.spice.elements import BJT
+
+        ckt = divider()
+        assert ckt.is_linear()
+        ckt.add(BJT("Q1", ("in", "out", "0"), hf_model))
+        assert not ckt.is_linear()
+        assert len(ckt.nonlinear_elements()) == 1
+
+
+class TestElementValidation:
+    def test_resistor_rejects_nonpositive(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", ("a", "0"), 0.0)
+        with pytest.raises(NetlistError):
+            Resistor("R1", ("a", "0"), -5.0)
+
+    def test_capacitor_rejects_negative(self):
+        with pytest.raises(NetlistError):
+            Capacitor("C1", ("a", "0"), -1e-12)
+
+    def test_inductor_rejects_nonpositive(self):
+        with pytest.raises(NetlistError):
+            Inductor("L1", ("a", "0"), 0.0)
+
+    def test_wrong_node_count(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", ("a", "b", "c"), 1.0)

@@ -1,0 +1,56 @@
+"""Tests for the human-readable operating-point reports."""
+
+import pytest
+
+from repro.spice import Circuit, Simulator
+from repro.spice.elements import BJT, CurrentSource, Resistor, VoltageSource
+
+
+@pytest.fixture()
+def ce_stage(hf_model):
+    ckt = Circuit("ce")
+    ckt.add(VoltageSource("VCC", ("vcc", "0"), dc=5.0))
+    ckt.add(VoltageSource("VB", ("b", "0"), dc=0.77))
+    ckt.add(Resistor("RC", ("vcc", "c"), 1e3))
+    ckt.add(BJT("Q1", ("c", "b", "0"), hf_model))
+    return ckt
+
+
+class TestBJTTable:
+    def test_columns_present(self, ce_stage):
+        op = Simulator(ce_stage).operating_point()
+        table = op.bjt_table()
+        assert "Q1" in table
+        for column in ("ic", "vbe", "beta", "gm", "cpi", "fT"):
+            assert column in table
+
+    def test_values_match_device_op(self, ce_stage):
+        op = Simulator(ce_stage).operating_point()
+        dev = op.device_operating_point("Q1")
+        table = op.bjt_table()
+        # the table's vbe appears with 4 decimals
+        assert f"{dev.vbe:.4f}" in table
+
+    def test_no_bjt_message(self):
+        ckt = Circuit("lin")
+        ckt.add(VoltageSource("V1", ("a", "0"), dc=1.0))
+        ckt.add(Resistor("R1", ("a", "0"), 1e3))
+        op = Simulator(ckt).operating_point()
+        assert "no BJT" in op.bjt_table()
+
+
+class TestSummary:
+    def test_node_voltages_and_currents(self, ce_stage):
+        op = Simulator(ce_stage).operating_point()
+        text = op.summary()
+        assert "V(c)" in text
+        assert "I(VCC)" in text
+        assert "Q1" in text  # BJT table appended
+
+    def test_summary_without_devices(self):
+        ckt = Circuit("lin")
+        ckt.add(VoltageSource("V1", ("a", "0"), dc=2.0))
+        ckt.add(Resistor("R1", ("a", "0"), 1e3))
+        text = Simulator(ckt).operating_point().summary()
+        assert "V(a) = 2" in text
+        assert "Q1" not in text

@@ -1,0 +1,319 @@
+"""Tests for the SPICE deck parser."""
+
+import math
+
+import pytest
+
+from repro.devices import GummelPoonParameters
+from repro.errors import ParseError
+from repro.spice import Simulator, parse_deck
+from repro.spice.elements import (
+    BJT,
+    CCCS,
+    Capacitor,
+    CurrentSource,
+    Diode,
+    Inductor,
+    Pulse,
+    Resistor,
+    Sine,
+    VCVS,
+    VoltageSource,
+)
+
+DIVIDER = """simple divider
+V1 in 0 DC 10
+R1 in out 3k
+R2 out 0 1k
+.OP
+.END
+"""
+
+
+class TestBasicParsing:
+    def test_title_and_elements(self):
+        deck = parse_deck(DIVIDER)
+        assert deck.title == "simple divider"
+        assert len(deck.circuit) == 3
+        assert isinstance(deck.circuit.element("R1"), Resistor)
+        assert deck.circuit.element("R1").resistance == 3000.0
+
+    def test_parsed_deck_simulates(self):
+        deck = parse_deck(DIVIDER)
+        result = Simulator(deck.circuit).operating_point()
+        assert result.voltage("out") == pytest.approx(2.5, rel=1e-6)
+
+    def test_comments_and_continuations(self):
+        deck = parse_deck("""title
+* a comment line
+V1 a 0 DC 1 $ inline comment
+R1 a
++ 0
++ 2k
+.END
+""")
+        assert deck.circuit.element("R1").resistance == 2000.0
+
+    def test_case_insensitive(self):
+        deck = parse_deck("t\nv1 A 0 dc 1\nr1 A 0 1K\n.end\n")
+        assert isinstance(deck.circuit.element("V1"), VoltageSource)
+
+    def test_engineering_values(self):
+        deck = parse_deck("t\nV1 a 0 1\nC1 a 0 100n\nL1 a 0 2.2u\n"
+                          "R1 a 0 4.7MEG\n.END\n")
+        assert deck.circuit.element("C1").capacitance == pytest.approx(100e-9)
+        assert deck.circuit.element("L1").inductance == pytest.approx(2.2e-6)
+        assert deck.circuit.element("R1").resistance == pytest.approx(4.7e6)
+
+    def test_empty_deck_rejected(self):
+        with pytest.raises(ParseError):
+            parse_deck("")
+        with pytest.raises(ParseError):
+            parse_deck("* only a comment\n")
+
+
+class TestSources:
+    def test_dc_and_ac(self):
+        deck = parse_deck("t\nV1 a 0 DC 2 AC 1 45\nR1 a 0 1k\n.END\n")
+        source = deck.circuit.element("V1")
+        assert source.waveform.level == 2.0
+        assert source.ac_mag == 1.0
+        assert source.ac_phase_deg == 45.0
+
+    def test_bare_value_is_dc(self):
+        deck = parse_deck("t\nI1 a 0 3m\nR1 a 0 1k\n.END\n")
+        assert deck.circuit.element("I1").waveform.level == pytest.approx(3e-3)
+
+    def test_sin_waveform(self):
+        deck = parse_deck("t\nV1 a 0 SIN(0 1 1MEG)\nR1 a 0 1k\n.END\n")
+        waveform = deck.circuit.element("V1").waveform
+        assert isinstance(waveform, Sine)
+        assert waveform.frequency == 1e6
+
+    def test_pulse_waveform(self):
+        deck = parse_deck(
+            "t\nV1 a 0 PULSE(0 5 1n 2n 2n 10n 30n)\nR1 a 0 1k\n.END\n"
+        )
+        waveform = deck.circuit.element("V1").waveform
+        assert isinstance(waveform, Pulse)
+        assert waveform.v2 == 5.0
+        assert waveform.period == pytest.approx(30e-9)
+
+    def test_pwl_waveform(self):
+        deck = parse_deck(
+            "t\nV1 a 0 PWL(0 0 1u 1 2u 0)\nR1 a 0 1k\n.END\n"
+        )
+        waveform = deck.circuit.element("V1").waveform
+        assert waveform.value(1e-6) == pytest.approx(1.0)
+
+    def test_pwl_odd_values_rejected(self):
+        with pytest.raises(ParseError):
+            parse_deck("t\nV1 a 0 PWL(0 0 1u)\nR1 a 0 1k\n.END\n")
+
+
+class TestModelsAndDevices:
+    def test_npn_model_card(self):
+        deck = parse_deck("""t
+.MODEL QX NPN(IS=2e-16 BF=80 RB=150 CJE=40f TF=11p)
+VCC vcc 0 5
+RB1 vcc b 100k
+RC1 vcc c 1k
+Q1 c b 0 QX
+.END
+""")
+        model = deck.models["QX"]
+        assert isinstance(model, GummelPoonParameters)
+        assert model.BF == 80.0
+        assert model.TF == pytest.approx(11e-12)
+        q = deck.circuit.element("Q1")
+        assert isinstance(q, BJT)
+        result = Simulator(deck.circuit).operating_point()
+        assert result.voltage("c") < 5.0  # conducting
+
+    def test_bjt_with_substrate_node(self):
+        deck = parse_deck("""t
+.MODEL QX NPN(IS=1e-16 CJS=50f)
+V1 c 0 3
+V2 b 0 0.7
+Q1 c b 0 sub QX
+RSUB sub 0 1MEG
+.END
+""")
+        q = deck.circuit.element("Q1")
+        assert q.nodes == ("c", "b", "0", "sub")
+
+    def test_bjt_area_factor(self):
+        deck = parse_deck("""t
+.MODEL QX NPN(IS=1e-16 RB=100)
+V1 c 0 3
+V2 b 0 0.7
+Q1 c b 0 QX 4
+.END
+""")
+        q = deck.circuit.element("Q1")
+        assert q.params.IS == pytest.approx(4e-16)
+        assert q.params.RB == pytest.approx(25.0)
+
+    def test_diode_model(self):
+        deck = parse_deck("""t
+.MODEL DX D(IS=2e-14 RS=5 CJO=1p)
+V1 a 0 1
+D1 a 0 DX
+.END
+""")
+        d = deck.circuit.element("D1")
+        assert isinstance(d, Diode)
+        assert d.model.RS == 5.0
+
+    def test_pnp_model(self):
+        deck = parse_deck("""t
+.MODEL QP PNP(IS=1e-16)
+V1 e 0 5
+Q1 0 b e QP
+RB1 e b 100k
+.END
+""")
+        assert deck.models["QP"].polarity == "pnp"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ParseError):
+            parse_deck("t\nV1 a 0 1\nD1 a 0 NOPE\n.END\n")
+
+    def test_wrong_model_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_deck("""t
+.MODEL DX D(IS=1e-14)
+V1 a 0 1
+Q1 a a 0 DX
+.END
+""")
+
+
+class TestControlledSources:
+    def test_e_and_g(self):
+        deck = parse_deck("""t
+V1 a 0 1
+R0 a 0 1k
+E1 b 0 a 0 2
+RL b 0 1k
+G1 0 c a 0 1m
+RG c 0 1k
+.END
+""")
+        assert isinstance(deck.circuit.element("E1"), VCVS)
+        result = Simulator(deck.circuit).operating_point()
+        assert result.voltage("b") == pytest.approx(2.0, rel=1e-6)
+        assert result.voltage("c") == pytest.approx(1.0, rel=1e-6)
+
+    def test_f_references_vsource(self):
+        deck = parse_deck("""t
+V1 a 0 1
+R1 a 0 1k
+F1 0 b V1 2
+RL b 0 1k
+.END
+""")
+        f = deck.circuit.element("F1")
+        assert isinstance(f, CCCS)
+        assert f.control is deck.circuit.element("V1")
+
+    def test_f_with_missing_control_rejected(self):
+        with pytest.raises(ParseError):
+            parse_deck("t\nV1 a 0 1\nR1 a 0 1k\nF1 0 b VX 2\nRL b 0 1k\n.END\n")
+
+
+class TestSubcircuits:
+    DECK = """subckt test
+.SUBCKT ATTEN in out
+R1 in mid 1k
+R2 mid out 1k
+R3 mid 0 2k
+.ENDS
+V1 a 0 DC 4
+X1 a b ATTEN
+X2 b c ATTEN
+RL c 0 1MEG
+.END
+"""
+
+    def test_flattening_names(self):
+        deck = parse_deck(self.DECK)
+        assert "X1.R1" in deck.circuit
+        assert "X2.R3" in deck.circuit
+        # internal nodes are prefixed
+        assert "X1.mid" in deck.circuit.node_map or deck.circuit.assign_indices()
+
+    def test_flattened_circuit_simulates(self):
+        deck = parse_deck(self.DECK)
+        result = Simulator(deck.circuit).operating_point()
+        assert 0.0 < result.voltage("c") < result.voltage("b") < 4.0
+
+    def test_port_count_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_deck("""t
+.SUBCKT ONE a
+R1 a 0 1k
+.ENDS
+V1 x 0 1
+X1 x y ONE
+.END
+""")
+
+    def test_missing_ends(self):
+        with pytest.raises(ParseError):
+            parse_deck("t\n.SUBCKT BAD a\nR1 a 0 1\nV9 a 0 1\n.END\n")
+
+    def test_unknown_subckt(self):
+        with pytest.raises(ParseError):
+            parse_deck("t\nV1 a 0 1\nX1 a NOPE\n.END\n")
+
+
+class TestAnalysisCards:
+    def test_op_dc_ac_tran(self):
+        deck = parse_deck("""t
+V1 a 0 DC 1 AC 1
+R1 a 0 1k
+.OP
+.DC V1 0 5 0.1
+.AC DEC 10 1k 1G
+.TRAN 1n 100n
+.END
+""")
+        kinds = [card.kind for card in deck.analyses]
+        assert kinds == ["op", "dc", "ac", "tran"]
+        ac = deck.analyses[2]
+        assert ac.args["points"] == 10
+        assert ac.args["stop"] == 1e9
+        tran = deck.analyses[3]
+        assert tran.args["stop"] == pytest.approx(100e-9)
+
+    def test_unknown_card_rejected(self):
+        with pytest.raises(ParseError):
+            parse_deck("t\nV1 a 0 1\nR1 a 0 1\n.FOURIER\n.END\n")
+
+    def test_malformed_dc_card(self):
+        with pytest.raises(ParseError):
+            parse_deck("t\nV1 a 0 1\nR1 a 0 1\n.DC V1 0 5\n.END\n")
+
+    def test_ignored_cards_pass(self):
+        deck = parse_deck("t\nV1 a 0 1\nR1 a 0 1\n.OPTIONS RELTOL=1e-4\n"
+                          ".PROBE\n.END\n")
+        assert deck.analyses == []
+
+
+class TestErrors:
+    def test_line_numbers_in_errors(self):
+        try:
+            parse_deck("title\nV1 a 0 1\nR1 a 0\n.END\n")
+        except ParseError as exc:
+            assert "3" in str(exc)
+        else:
+            pytest.fail("expected ParseError")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse_deck("t\nV1 a 0 SIN(0 1 1MEG\nR1 a 0 1k\n.END\n")
+
+    def test_unknown_element_letter(self):
+        with pytest.raises(ParseError):
+            parse_deck("t\nV1 a 0 1\nZ1 a 0 1k\n.END\n")

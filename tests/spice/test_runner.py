@@ -1,0 +1,201 @@
+"""Deck-runner and CLI tests."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.spice import (
+    ACResult,
+    DeckRun,
+    OperatingPointResult,
+    TransientResult,
+    run_deck,
+)
+from repro.spice.analysis import DCSweepResult
+
+FULL_DECK = """runner exercise
+V1 in 0 DC 5 AC 1
+R1 in out 1k
+C1 out 0 1n
+.OP
+.DC V1 0 5 1
+.AC DEC 5 1k 10MEG
+.TRAN 10u 200u
+.END
+"""
+
+
+class TestRunDeck:
+    def test_runs_all_cards_in_order(self):
+        run = run_deck(FULL_DECK)
+        kinds = [type(r) for r in run.results]
+        assert kinds == [OperatingPointResult, DCSweepResult, ACResult,
+                         TransientResult]
+
+    def test_op_result_correct(self):
+        run = run_deck(FULL_DECK)
+        op = run.first(OperatingPointResult)
+        assert op.voltage("out") == pytest.approx(5.0, rel=1e-6)
+
+    def test_dc_sweep_values(self):
+        run = run_deck(FULL_DECK)
+        sweep = run.first(DCSweepResult)
+        assert list(sweep.sweep_values) == [0, 1, 2, 3, 4, 5]
+        assert sweep.voltage("out")[-1] == pytest.approx(5.0, rel=1e-6)
+
+    def test_ac_pole(self):
+        run = run_deck(FULL_DECK)
+        ac = run.first(ACResult)
+        import numpy as np
+
+        # pole at 1/(2*pi*1k*1n) ~ 159 kHz: last point well past it
+        mags = np.abs(ac.voltage("out"))
+        assert mags[0] == pytest.approx(1.0, rel=1e-3)
+        assert mags[-1] < 0.05
+
+    def test_missing_result_kind(self):
+        run = run_deck("op only\nV1 a 0 1\nR1 a 0 1k\n.OP\n.END\n")
+        with pytest.raises(AnalysisError):
+            run.first(ACResult)
+
+    def test_deck_without_analyses_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_deck("no cards\nV1 a 0 1\nR1 a 0 1k\n.END\n")
+
+    def test_summary_text(self):
+        run = run_deck(FULL_DECK)
+        text = run.summary()
+        assert ".OP" in text
+        assert ".AC sweep" in text
+        assert ".TRAN" in text
+        assert "V(out)" in text
+
+
+class TestCLI:
+    def test_run_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        deck = tmp_path / "test.cir"
+        deck.write_text("cli deck\nV1 a 0 2\nR1 a 0 1k\n.OP\n.END\n")
+        assert main(["run", str(deck)]) == 0
+        out = capsys.readouterr().out
+        assert "V(a) = 2" in out
+
+    def test_run_missing_file(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "/nonexistent.cir"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_run_bad_deck(self, tmp_path, capsys):
+        from repro.cli import main
+
+        deck = tmp_path / "bad.cir"
+        deck.write_text("bad\nR1 a 0\n.OP\n.END\n")
+        assert main(["run", str(deck)]) == 1
+
+    def test_generate_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["generate", "N1.2-12D", "N1.2-6S"]) == 0
+        out = capsys.readouterr().out
+        assert ".MODEL QN1P2_12D NPN(" in out
+        assert ".MODEL QN1P2_6S NPN(" in out
+
+    def test_generate_bad_shape(self, capsys):
+        from repro.cli import main
+
+        assert main(["generate", "XYZZY"]) == 1
+
+    def test_shapes_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["shapes"]) == 0
+        out = capsys.readouterr().out
+        assert "N1.2-12D" in out
+        assert "XCJC" in out
+
+
+class TestCLISelect:
+    def test_select_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["select", "4m"]) == 0
+        out = capsys.readouterr().out
+        assert "shape selection at Ic = 4.00 mA" in out
+        assert out.strip().endswith(tuple(
+            ["N1.2-" + s for s in ("6S", "6D", "12D", "24D", "48D")]
+        )) or "->" in out
+
+    def test_select_bad_current(self, capsys):
+        from repro.cli import main
+
+        assert main(["select", "0"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExtendedCards:
+    def test_tf_card(self):
+        run = run_deck("""tf card
+V1 in 0 DC 10
+R1 in out 3k
+R2 out 0 1k
+.TF V(out) V1
+.END
+""")
+        from repro.spice.analysis import TransferFunction
+
+        tf = run.first(TransferFunction)
+        assert tf.gain == pytest.approx(0.25, rel=1e-6)
+        assert "Rin" in run.summary()
+
+    def test_noise_card(self):
+        run = run_deck("""noise card
+V1 in 0 DC 0 AC 1
+R1 in out 10k
+R2 out 0 10k
+.NOISE V(out) V1 DEC 5 1k 1MEG
+.END
+""")
+        from repro.spice import NoiseResult
+
+        noise = run.first(NoiseResult)
+        # 5k parallel resistance thermal noise
+        assert noise.output_density[0] == pytest.approx(
+            4 * 1.380649e-23 * 300.15 * 5e3, rel=1e-6
+        )
+        assert ".NOISE" in run.summary()
+
+    def test_four_card_after_tran(self):
+        run = run_deck("""four card
+V1 in 0 SIN(0 1 1MEG)
+R1 in out 1k
+R2 out 0 1k
+.TRAN 2n 5u
+.FOUR 1MEG V(out)
+.END
+""")
+        from repro.spice import FourierResult
+
+        fourier = run.first(FourierResult)
+        assert fourier.amplitude(1) == pytest.approx(0.5, rel=0.01)
+        assert "THD" in run.summary()
+
+    def test_four_without_tran_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_deck("""bad four
+V1 in 0 SIN(0 1 1MEG)
+R1 in 0 1k
+.FOUR 1MEG V(in)
+.END
+""")
+
+    def test_malformed_cards_rejected(self):
+        from repro.errors import ParseError
+        from repro.spice import parse_deck
+
+        with pytest.raises(ParseError):
+            parse_deck("t\nV1 a 0 1\nR1 a 0 1\n.TF out V1\n.END\n")
+        with pytest.raises(ParseError):
+            parse_deck("t\nV1 a 0 1\nR1 a 0 1\n.NOISE V(a) V1 DEC 5\n.END\n")
+        with pytest.raises(ParseError):
+            parse_deck("t\nV1 a 0 1\nR1 a 0 1\n.FOUR V(a)\n.END\n")

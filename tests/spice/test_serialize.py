@@ -1,0 +1,182 @@
+"""Round-trip tests for the netlist serializer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetlistError
+from repro.spice import Circuit, Simulator, circuit_to_deck, parse_deck
+from repro.spice.elements import (
+    BJT,
+    CCCS,
+    Capacitor,
+    CurrentSource,
+    Diode,
+    DiodeModel,
+    Inductor,
+    PWL,
+    Pulse,
+    Resistor,
+    Sine,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+
+
+def roundtrip(circuit: Circuit) -> Circuit:
+    return parse_deck(circuit_to_deck(circuit)).circuit
+
+
+class TestLinearRoundTrip:
+    def test_divider(self):
+        ckt = Circuit("divider")
+        ckt.add(VoltageSource("V1", ("in", "0"), dc=10.0))
+        ckt.add(Resistor("R1", ("in", "out"), 3e3))
+        ckt.add(Resistor("R2", ("out", "0"), 1e3))
+        restored = roundtrip(ckt)
+        assert len(restored) == 3
+        assert restored.element("R1").resistance == pytest.approx(3e3)
+        result = Simulator(restored).operating_point()
+        assert result.voltage("out") == pytest.approx(2.5, rel=1e-6)
+
+    def test_reactive_elements_with_ic(self):
+        ckt = Circuit("lc")
+        ckt.add(VoltageSource("V1", ("a", "0"), dc=1.0))
+        ckt.add(Capacitor("C1", ("a", "b"), 1e-9, ic=0.5))
+        ckt.add(Inductor("L1", ("b", "0"), 1e-6, ic=1e-3))
+        restored = roundtrip(ckt)
+        assert restored.element("C1").ic == pytest.approx(0.5)
+        assert restored.element("L1").ic == pytest.approx(1e-3)
+
+    def test_controlled_sources(self):
+        ckt = Circuit("ctl")
+        control = ckt.add(VoltageSource("V1", ("a", "0"), dc=1.0))
+        ckt.add(Resistor("R1", ("a", "0"), 1e3))
+        ckt.add(VCVS("E1", ("b", "0", "a", "0"), gain=2.5))
+        ckt.add(Resistor("RB", ("b", "0"), 1e3))
+        ckt.add(VCCS("G1", ("0", "c", "a", "0"), gm=1e-3))
+        ckt.add(Resistor("RCC", ("c", "0"), 1e3))
+        ckt.add(CCCS("F1", ("0", "d"), control, 2.0))
+        ckt.add(Resistor("RD", ("d", "0"), 1e3))
+        restored = roundtrip(ckt)
+        assert restored.element("E1").gain == pytest.approx(2.5)
+        assert restored.element("G1").gm == pytest.approx(1e-3)
+        assert restored.element("F1").control is restored.element("V1")
+
+
+class TestWaveformRoundTrip:
+    def test_sine(self):
+        ckt = Circuit("sin")
+        ckt.add(VoltageSource("V1", ("a", "0"),
+                              dc=Sine(0.5, 2.0, 1e6, delay=1e-9,
+                                      phase_deg=30.0)))
+        ckt.add(Resistor("R1", ("a", "0"), 1e3))
+        wave = roundtrip(ckt).element("V1").waveform
+        assert isinstance(wave, Sine)
+        assert wave.amplitude == pytest.approx(2.0)
+        assert wave.phase_deg == pytest.approx(30.0)
+
+    def test_pulse(self):
+        ckt = Circuit("pulse")
+        ckt.add(VoltageSource("V1", ("a", "0"),
+                              dc=Pulse(0.0, 5.0, delay=1e-9, rise=2e-9,
+                                       fall=3e-9, width=10e-9,
+                                       period=30e-9)))
+        ckt.add(Resistor("R1", ("a", "0"), 1e3))
+        wave = roundtrip(ckt).element("V1").waveform
+        assert isinstance(wave, Pulse)
+        assert wave.period == pytest.approx(30e-9)
+        assert wave.fall == pytest.approx(3e-9)
+
+    def test_pwl(self):
+        ckt = Circuit("pwl")
+        ckt.add(CurrentSource("I1", ("a", "0"),
+                              dc=PWL([(0.0, 0.0), (1e-6, 2e-3)])))
+        ckt.add(Resistor("R1", ("a", "0"), 1e3))
+        wave = roundtrip(ckt).element("I1").waveform
+        assert wave.value(1e-6) == pytest.approx(2e-3)
+
+    def test_ac_annotation(self):
+        ckt = Circuit("ac")
+        ckt.add(VoltageSource("V1", ("a", "0"), dc=1.0, ac_mag=0.5,
+                              ac_phase_deg=45.0))
+        ckt.add(Resistor("R1", ("a", "0"), 1e3))
+        source = roundtrip(ckt).element("V1")
+        assert source.ac_mag == pytest.approx(0.5)
+        assert source.ac_phase_deg == pytest.approx(45.0)
+
+
+class TestDeviceRoundTrip:
+    def test_diode_with_model(self):
+        ckt = Circuit("d")
+        ckt.add(VoltageSource("V1", ("a", "0"), dc=1.0))
+        ckt.add(Diode("D1", ("a", "0"),
+                      DiodeModel(name="DX", IS=2e-14, RS=5.0, CJO=1e-12),
+                      area=2.0))
+        restored = roundtrip(ckt)
+        d = restored.element("D1")
+        assert d.model.IS == pytest.approx(2e-14)
+        assert d.area == pytest.approx(2.0)
+
+    def test_bjt_with_model(self, hf_model):
+        ckt = Circuit("q")
+        ckt.add(VoltageSource("VCC", ("vcc", "0"), dc=5.0))
+        ckt.add(VoltageSource("VB", ("b", "0"), dc=0.75))
+        ckt.add(Resistor("RC", ("vcc", "c"), 1e3))
+        ckt.add(BJT("Q1", ("c", "b", "0"), hf_model, area=2.0))
+        restored = roundtrip(ckt)
+        q = restored.element("Q1")
+        assert q.model.IS == pytest.approx(hf_model.IS, rel=1e-5)
+        assert q.area == pytest.approx(2.0)
+        # the restored circuit solves to the same operating point
+        v1 = Simulator(ckt).operating_point().voltage("c")
+        v2 = Simulator(restored).operating_point().voltage("c")
+        assert v2 == pytest.approx(v1, rel=1e-4)
+
+    def test_conflicting_model_names_rejected(self, hf_model):
+        other = hf_model.replace(IS=9e-17)  # same name, different card
+        ckt = Circuit("clash")
+        ckt.add(VoltageSource("VB", ("b", "0"), dc=0.7))
+        ckt.add(BJT("Q1", ("b", "b", "0"), hf_model))
+        ckt.add(BJT("Q2", ("b", "b", "0"), other))
+        with pytest.raises(NetlistError):
+            circuit_to_deck(ckt)
+
+    def test_generated_ring_oscillator_roundtrips(self, generator):
+        """The programmatic Fig. 11 circuit survives deck round-trip."""
+        from repro.rfsystems import build_ring_oscillator
+
+        model = generator.generate("N1.2-12D")
+        follower = generator.generate("N1.2-6D")
+        ring = build_ring_oscillator(model, follower)
+        restored = roundtrip(ring)
+        assert len(restored) == len(ring)
+        op1 = Simulator(ring).operating_point()
+        op2 = Simulator(restored).operating_point()
+        assert op2.voltage("c0p") == pytest.approx(op1.voltage("c0p"),
+                                                   rel=1e-4)
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        r=st.floats(min_value=1.0, max_value=1e9),
+        c=st.floats(min_value=1e-15, max_value=1e-3),
+        v=st.floats(min_value=-100.0, max_value=100.0),
+    )
+    def test_values_preserved(self, r, c, v):
+        ckt = Circuit("prop")
+        ckt.add(VoltageSource("V1", ("a", "0"), dc=v))
+        ckt.add(Resistor("R1", ("a", "b"), r))
+        ckt.add(Capacitor("C1", ("b", "0"), c))
+        restored = roundtrip(ckt)
+        assert restored.element("R1").resistance == pytest.approx(
+            r, rel=1e-9
+        )
+        assert restored.element("C1").capacitance == pytest.approx(
+            c, rel=1e-9
+        )
+        assert restored.element("V1").waveform.level == pytest.approx(
+            v, rel=1e-9, abs=1e-12
+        )

@@ -1,0 +1,100 @@
+"""Circuit-level temperature analysis tests."""
+
+import pytest
+
+from repro.devices.temperature import celsius
+from repro.errors import AnalysisError
+from repro.spice import (
+    Circuit,
+    Simulator,
+    circuit_at_temperature,
+    temperature_sweep,
+)
+from repro.spice.elements import (
+    BJT,
+    CurrentSource,
+    Diode,
+    DiodeModel,
+    Resistor,
+    VoltageSource,
+)
+
+
+def diode_circuit():
+    ckt = Circuit("d")
+    ckt.add(CurrentSource("IB", ("0", "a"), dc=1e-3))
+    ckt.add(Diode("D1", ("a", "0"), DiodeModel(IS=1e-14)))
+    return ckt
+
+
+def bjt_circuit(model):
+    ckt = Circuit("q")
+    ckt.add(VoltageSource("VCC", ("vcc", "0"), dc=5.0))
+    ckt.add(VoltageSource("VB", ("b", "0"), dc=0.75))
+    ckt.add(Resistor("RC", ("vcc", "c"), 1e3))
+    ckt.add(BJT("Q1", ("c", "b", "0"), model))
+    return ckt
+
+
+class TestRetargeting:
+    def test_original_untouched(self, hf_model):
+        original = bjt_circuit(hf_model)
+        hot = circuit_at_temperature(original, celsius(125.0))
+        assert original.element("Q1").model.TNOM == hf_model.TNOM
+        assert hot.element("Q1").model.TNOM == pytest.approx(celsius(125.0))
+
+    def test_linear_elements_shared(self, hf_model):
+        original = bjt_circuit(hf_model)
+        hot = circuit_at_temperature(original, celsius(125.0))
+        assert hot.element("RC") is original.element("RC")
+
+    def test_title_carries_temperature(self, hf_model):
+        hot = circuit_at_temperature(bjt_circuit(hf_model), celsius(85.0))
+        assert "85C" in hot.title
+
+    def test_rejects_bad_temperature(self, hf_model):
+        with pytest.raises(AnalysisError):
+            circuit_at_temperature(bjt_circuit(hf_model), -10.0)
+
+
+class TestPhysics:
+    def test_diode_forward_voltage_falls_when_hot(self):
+        cold_v = Simulator(
+            circuit_at_temperature(diode_circuit(), celsius(-20.0))
+        ).operating_point().voltage("a")
+        hot_v = Simulator(
+            circuit_at_temperature(diode_circuit(), celsius(100.0))
+        ).operating_point().voltage("a")
+        assert hot_v < cold_v - 0.1
+
+    def test_diode_tempco_about_minus_2mv(self):
+        results = temperature_sweep(
+            diode_circuit(), [300.0, 310.0],
+            lambda ckt: Simulator(ckt).operating_point().voltage("a"),
+        )
+        tempco = (results[1][1] - results[0][1]) / 10.0
+        assert -2.6e-3 < tempco < -1.0e-3
+
+    def test_bjt_collector_current_rises_when_hot(self, hf_model):
+        """At fixed Vbe drive, Ic grows strongly with temperature."""
+        def ic_at(temp):
+            ckt = circuit_at_temperature(bjt_circuit(hf_model), temp)
+            result = Simulator(ckt).operating_point()
+            return (5.0 - result.voltage("c")) / 1e3
+
+        assert ic_at(330.0) > 2.0 * ic_at(300.15)
+
+    def test_sweep_result_structure(self, hf_model):
+        results = temperature_sweep(
+            bjt_circuit(hf_model), [280.0, 300.0, 320.0],
+            lambda ckt: Simulator(ckt).operating_point().voltage("c"),
+        )
+        assert [t for t, _ in results] == [280.0, 300.0, 320.0]
+        # vc falls monotonically as the device conducts harder
+        voltages = [v for _, v in results]
+        assert voltages[0] > voltages[1] > voltages[2]
+
+    def test_empty_sweep_rejected(self, hf_model):
+        with pytest.raises(AnalysisError):
+            temperature_sweep(bjt_circuit(hf_model), [],
+                              lambda ckt: None)

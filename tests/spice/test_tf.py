@@ -1,0 +1,97 @@
+"""Tests for the .TF (small-signal transfer function) analysis."""
+
+import math
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.spice import Circuit
+from repro.spice.analysis import TransferFunction, transfer_function
+from repro.spice.elements import (
+    BJT,
+    CurrentSource,
+    Resistor,
+    VCVS,
+    VoltageSource,
+)
+
+
+class TestLinearTF:
+    def test_divider(self):
+        ckt = Circuit("div")
+        ckt.add(VoltageSource("V1", ("in", "0"), dc=10.0))
+        ckt.add(Resistor("R1", ("in", "out"), 3e3))
+        ckt.add(Resistor("R2", ("out", "0"), 1e3))
+        tf = transfer_function(ckt, "V1", "out")
+        assert tf.gain == pytest.approx(0.25, rel=1e-6)
+        assert tf.input_resistance == pytest.approx(4e3, rel=1e-6)
+        assert tf.output_resistance == pytest.approx(750.0, rel=1e-6)
+
+    def test_current_source_input(self):
+        ckt = Circuit("i")
+        ckt.add(CurrentSource("I1", ("0", "a"), dc=1e-3))
+        ckt.add(Resistor("R1", ("a", "0"), 2e3))
+        tf = transfer_function(ckt, "I1", "a")
+        # transresistance = 2k; input resistance = what the source sees
+        assert tf.gain == pytest.approx(2e3, rel=1e-6)
+        assert tf.input_resistance == pytest.approx(2e3, rel=1e-6)
+
+    def test_vcvs_buffer(self):
+        ckt = Circuit("buf")
+        ckt.add(VoltageSource("V1", ("in", "0"), dc=1.0))
+        ckt.add(Resistor("RB", ("in", "0"), 1e6))
+        ckt.add(VCVS("E1", ("out", "0", "in", "0"), gain=3.0))
+        ckt.add(Resistor("RL", ("out", "0"), 1e3))
+        tf = transfer_function(ckt, "V1", "out")
+        assert tf.gain == pytest.approx(3.0, rel=1e-6)
+        # ideal VCVS output: zero output resistance
+        assert tf.output_resistance == pytest.approx(0.0, abs=1e-6)
+
+
+class TestNonlinearTF:
+    def test_ce_amplifier_gain_negative(self, hf_model):
+        ckt = Circuit("ce")
+        ckt.add(VoltageSource("VCC", ("vcc", "0"), dc=5.0))
+        ckt.add(VoltageSource("VB", ("b", "0"), dc=0.77))
+        ckt.add(Resistor("RC", ("vcc", "c"), 1e3))
+        ckt.add(BJT("Q1", ("c", "b", "0"), hf_model))
+        tf = transfer_function(ckt, "VB", "c")
+        assert tf.gain < -5.0  # inverting
+        # output resistance ~ RC || (ro + ...)
+        assert 0.5e3 < tf.output_resistance <= 1.001e3
+        # input resistance ~ RB + beta*(re+RE): kilo-ohm range
+        assert 1e2 < tf.input_resistance < 1e5
+
+    def test_emitter_follower_output_resistance_low(self, hf_model):
+        ckt = Circuit("ef")
+        ckt.add(VoltageSource("VCC", ("vcc", "0"), dc=5.0))
+        ckt.add(VoltageSource("VB", ("b", "0"), dc=1.5))
+        ckt.add(BJT("Q1", ("vcc", "b", "e"), hf_model))
+        ckt.add(CurrentSource("IE", ("e", "0"), dc=1e-3))
+        tf = transfer_function(ckt, "VB", "e")
+        assert tf.gain == pytest.approx(1.0, abs=0.05)
+        assert tf.output_resistance < 60.0  # ~1/gm + RE + RB/beta
+
+
+class TestValidation:
+    def test_rejects_non_source_input(self):
+        ckt = Circuit("bad")
+        ckt.add(VoltageSource("V1", ("a", "0"), dc=1.0))
+        ckt.add(Resistor("R1", ("a", "0"), 1e3))
+        with pytest.raises(AnalysisError):
+            transfer_function(ckt, "R1", "a")
+
+    def test_rejects_ground_output(self):
+        ckt = Circuit("bad")
+        ckt.add(VoltageSource("V1", ("a", "0"), dc=1.0))
+        ckt.add(Resistor("R1", ("a", "0"), 1e3))
+        with pytest.raises(AnalysisError):
+            transfer_function(ckt, "V1", "0")
+
+    def test_result_type(self):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("V1", ("a", "0"), dc=1.0))
+        ckt.add(Resistor("R1", ("a", "0"), 1e3))
+        tf = transfer_function(ckt, "V1", "a")
+        assert isinstance(tf, TransferFunction)
+        assert tf.gain == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,210 @@
+"""Transient-analysis tests against closed-form time responses."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.spice import Circuit, Simulator, solve_transient
+from repro.spice.elements import (
+    BJT,
+    Capacitor,
+    CurrentSource,
+    Diode,
+    DiodeModel,
+    Inductor,
+    PWL,
+    Pulse,
+    Resistor,
+    Sine,
+    VoltageSource,
+)
+
+
+def step_rc(r=1e3, c=1e-6, v=1.0):
+    ckt = Circuit("rc_step")
+    ckt.add(VoltageSource("V1", ("in", "0"),
+                          dc=Pulse(0.0, v, delay=0.0, rise=1e-9,
+                                   width=1.0, period=10.0)))
+    ckt.add(Resistor("R1", ("in", "out"), r))
+    ckt.add(Capacitor("C1", ("out", "0"), c))
+    return ckt
+
+
+class TestRCStep:
+    def test_exponential_charging(self):
+        ckt = step_rc()
+        tau = 1e-3
+        result = solve_transient(ckt, stop_time=5 * tau, max_step=tau / 50)
+        for multiple in (0.5, 1.0, 2.0, 3.0):
+            expected = 1.0 - math.exp(-multiple)
+            assert result.sample("out", multiple * tau) == pytest.approx(
+                expected, abs=5e-3
+            )
+
+    def test_backward_euler_also_converges(self):
+        ckt = step_rc()
+        tau = 1e-3
+        result = solve_transient(ckt, stop_time=3 * tau, max_step=tau / 100,
+                                 method="be")
+        assert result.sample("out", tau) == pytest.approx(
+            1 - math.exp(-1), abs=1e-2
+        )
+
+    def test_final_value(self):
+        ckt = step_rc(v=3.3)
+        result = solve_transient(ckt, stop_time=10e-3, max_step=1e-4)
+        assert result.voltage("out")[-1] == pytest.approx(3.3, rel=1e-3)
+
+
+class TestLCOscillation:
+    def test_lc_ringing_frequency_and_energy(self):
+        """An LC tank started from a charged capacitor: period and
+        amplitude conservation over several cycles."""
+        l, c = 1e-6, 1e-9
+        ckt = Circuit("lc")
+        ckt.add(Capacitor("C1", ("t", "0"), c))
+        ckt.add(Inductor("L1", ("t", "0"), l))
+        # weak parallel loss to keep the matrix well-posed
+        ckt.add(Resistor("RP", ("t", "0"), 1e9))
+        ckt.assign_indices()
+        x0 = np.zeros(ckt.num_unknowns)
+        x0[ckt.node_index("t")] = 1.0
+        f0 = 1 / (2 * math.pi * math.sqrt(l * c))
+        period = 1 / f0
+        result = solve_transient(ckt, stop_time=6 * period,
+                                 max_step=period / 200, x0=x0)
+        v = result.voltage("t")
+        t = result.times
+        # measure frequency by rising zero crossings
+        crossings = []
+        for i in range(1, len(t)):
+            if v[i - 1] < 0 <= v[i]:
+                frac = -v[i - 1] / (v[i] - v[i - 1])
+                crossings.append(t[i - 1] + frac * (t[i] - t[i - 1]))
+        measured = 1 / np.mean(np.diff(crossings))
+        assert measured == pytest.approx(f0, rel=2e-3)
+        # trapezoidal rule conserves amplitude well
+        late = np.abs(v[t > 4 * period])
+        assert late.max() == pytest.approx(1.0, abs=0.05)
+
+
+class TestRLStep:
+    def test_inductor_current_rise(self):
+        r, l = 100.0, 1e-3
+        ckt = Circuit("rl")
+        ckt.add(VoltageSource("V1", ("in", "0"),
+                              dc=Pulse(0.0, 1.0, rise=1e-9, width=1.0)))
+        ckt.add(Resistor("R1", ("in", "a"), r))
+        ckt.add(Inductor("L1", ("a", "0"), l))
+        tau = l / r
+        result = solve_transient(ckt, stop_time=5 * tau, max_step=tau / 50)
+        i_final = 1.0 / r
+        i_l = result.branch_current("L1")
+        t = result.times
+        idx = np.searchsorted(t, tau)
+        assert i_l[idx] == pytest.approx(i_final * (1 - math.exp(-1)),
+                                         rel=0.02)
+        assert i_l[-1] == pytest.approx(i_final * (1 - math.exp(-5)),
+                                        rel=2e-3)
+
+
+class TestWaveforms:
+    def test_sine_source(self):
+        ckt = Circuit("sine")
+        ckt.add(VoltageSource("V1", ("a", "0"),
+                              dc=Sine(offset=0.5, amplitude=1.0,
+                                      frequency=1e3)))
+        ckt.add(Resistor("R1", ("a", "0"), 1e3))
+        result = solve_transient(ckt, stop_time=2e-3, max_step=5e-6)
+        v = result.voltage("a")
+        assert v.max() == pytest.approx(1.5, abs=0.01)
+        assert v.min() == pytest.approx(-0.5, abs=0.01)
+        # value at a quarter period
+        assert result.sample("a", 0.25e-3) == pytest.approx(1.5, abs=0.01)
+
+    def test_pwl_source(self):
+        ckt = Circuit("pwl")
+        ckt.add(VoltageSource("V1", ("a", "0"),
+                              dc=PWL([(0.0, 0.0), (1e-3, 1.0),
+                                      (2e-3, 1.0), (3e-3, -1.0)])))
+        ckt.add(Resistor("R1", ("a", "0"), 1e3))
+        result = solve_transient(ckt, stop_time=3e-3, max_step=2e-5)
+        assert result.sample("a", 0.5e-3) == pytest.approx(0.5, abs=0.01)
+        assert result.sample("a", 1.5e-3) == pytest.approx(1.0, abs=0.01)
+        assert result.sample("a", 2.5e-3) == pytest.approx(0.0, abs=0.02)
+
+    def test_pulse_train_period(self):
+        ckt = Circuit("pulse")
+        ckt.add(VoltageSource("V1", ("a", "0"),
+                              dc=Pulse(0.0, 1.0, delay=0.0, rise=1e-6,
+                                       fall=1e-6, width=48e-6,
+                                       period=100e-6)))
+        ckt.add(Resistor("R1", ("a", "0"), 1e3))
+        result = solve_transient(ckt, stop_time=250e-6, max_step=2e-6)
+        assert result.sample("a", 25e-6) == pytest.approx(1.0, abs=0.01)
+        assert result.sample("a", 75e-6) == pytest.approx(0.0, abs=0.01)
+        assert result.sample("a", 125e-6) == pytest.approx(1.0, abs=0.01)
+
+    def test_breakpoints_are_hit(self):
+        ckt = Circuit("bp")
+        ckt.add(VoltageSource("V1", ("a", "0"),
+                              dc=Pulse(0.0, 1.0, delay=100e-6, rise=1e-6,
+                                       width=1.0)))
+        ckt.add(Resistor("R1", ("a", "0"), 1e3))
+        result = solve_transient(ckt, stop_time=200e-6, max_step=50e-6)
+        # a time point lands exactly on the pulse corner
+        assert np.min(np.abs(result.times - 100e-6)) < 1e-12
+
+
+class TestNonlinearTransient:
+    def test_diode_rectifier(self):
+        ckt = Circuit("rect")
+        ckt.add(VoltageSource("V1", ("in", "0"),
+                              dc=Sine(0.0, 5.0, 1e3)))
+        ckt.add(Diode("D1", ("in", "out"), DiodeModel(IS=1e-14)))
+        ckt.add(Resistor("RL", ("out", "0"), 1e3))
+        ckt.add(Capacitor("CL", ("out", "0"), 10e-6))
+        result = solve_transient(ckt, stop_time=5e-3, max_step=5e-6)
+        v = result.voltage("out")
+        t = result.times
+        late = v[t > 2e-3]
+        # peak-detected close to the peak minus a diode drop, small ripple
+        assert 3.5 < late.mean() < 4.6
+        assert late.max() - late.min() < 0.8
+
+    def test_bjt_switching(self, hf_model):
+        """An inverter driven by a pulse: output swings rail to low."""
+        ckt = Circuit("inv")
+        ckt.add(VoltageSource("VCC", ("vcc", "0"), dc=5.0))
+        ckt.add(VoltageSource("VIN", ("in", "0"),
+                              dc=Pulse(0.0, 1.2, delay=2e-9, rise=0.2e-9,
+                                       width=10e-9, period=1.0)))
+        ckt.add(Resistor("RB", ("in", "b"), 1e3))
+        ckt.add(Resistor("RC", ("vcc", "c"), 1e3))
+        ckt.add(BJT("Q1", ("c", "b", "0"), hf_model))
+        result = solve_transient(ckt, stop_time=10e-9, max_step=20e-12)
+        v = result.voltage("c")
+        assert v[0] == pytest.approx(5.0, abs=0.01)  # off before the pulse
+        assert result.sample("c", 9e-9) < 1.0  # switched on
+
+
+class TestTransientValidation:
+    def test_rejects_nonpositive_stop(self):
+        ckt = step_rc()
+        with pytest.raises(AnalysisError):
+            solve_transient(ckt, stop_time=0.0)
+
+    def test_rejects_unknown_method(self):
+        ckt = step_rc()
+        with pytest.raises(AnalysisError):
+            solve_transient(ckt, stop_time=1e-3, method="gear9")
+
+    def test_result_accessors(self):
+        ckt = step_rc()
+        result = solve_transient(ckt, stop_time=1e-3, max_step=1e-4)
+        assert len(result.times) == len(result.voltage("out"))
+        assert result.voltage("0").max() == 0.0
+        diff = result.differential("in", "out")
+        assert diff.shape == result.times.shape

@@ -1,0 +1,77 @@
+"""Documentation consistency: DESIGN.md's module map and bench index must
+reference things that actually exist."""
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+DESIGN = (ROOT / "DESIGN.md").read_text()
+README = (ROOT / "README.md").read_text()
+EXPERIMENTS = (ROOT / "EXPERIMENTS.md").read_text()
+
+
+def _module_references(text: str) -> set[str]:
+    return set(re.findall(r"`(repro(?:\.[a-z_0-9]+)+)`", text))
+
+
+class TestDesignDoc:
+    @pytest.mark.parametrize("module_name",
+                             sorted(_module_references(DESIGN)))
+    def test_referenced_modules_import(self, module_name):
+        importlib.import_module(module_name)
+
+    def test_bench_files_exist(self):
+        for match in re.findall(r"benchmarks/(bench_\w+\.py)", DESIGN):
+            assert (ROOT / "benchmarks" / match).exists(), match
+
+    def test_example_files_exist(self):
+        for match in re.findall(r"examples/(\w+\.py)", DESIGN):
+            assert (ROOT / "examples" / match).exists(), match
+
+    def test_identity_check_present(self):
+        assert "Paper identity check" in DESIGN
+
+    def test_substitution_table_present(self):
+        assert "Substitutions" in DESIGN
+        # every substituted dependency names what replaced it
+        for substitute in ("repro.ahdl", "repro.spice",
+                           "repro.measurement", "repro.celldb"):
+            assert substitute in DESIGN
+
+
+class TestReadme:
+    def test_example_scripts_exist(self):
+        for match in re.findall(r"examples/(\w+\.py)", README):
+            assert (ROOT / "examples" / match).exists(), match
+
+    def test_doc_files_exist(self):
+        for match in re.findall(r"docs/(\w+\.md)", README):
+            assert (ROOT / "docs" / match).exists(), match
+
+    def test_cli_commands_real(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        commands = set(
+            parser._subparsers._group_actions[0].choices  # noqa: SLF001
+        )
+        for command in re.findall(r"python -m repro\.cli (\w+)", README):
+            assert command in commands, command
+
+
+class TestExperimentsDoc:
+    def test_every_bench_file_is_mentioned(self):
+        """EXPERIMENTS.md must index every benchmark in the harness."""
+        bench_files = sorted(
+            p.stem for p in (ROOT / "benchmarks").glob("bench_*.py")
+        )
+        for stem in bench_files:
+            assert stem in EXPERIMENTS or stem.replace("bench_", "") in (
+                EXPERIMENTS
+            ), f"{stem} missing from EXPERIMENTS.md"
+
+    def test_regeneration_command_present(self):
+        assert "--benchmark-only" in EXPERIMENTS

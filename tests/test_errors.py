@@ -1,0 +1,54 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_class", [
+        errors.UnitError,
+        errors.NetlistError,
+        errors.ParseError,
+        errors.ConvergenceError,
+        errors.AnalysisError,
+        errors.ModelError,
+        errors.GeometryError,
+        errors.ExtractionError,
+        errors.CellDatabaseError,
+        errors.DesignError,
+        errors.AHDLError,
+    ])
+    def test_everything_is_a_repro_error(self, exc_class):
+        assert issubclass(exc_class, errors.ReproError)
+
+    def test_unit_error_is_value_error(self):
+        """Callers may catch plain ValueError around quantity parsing."""
+        assert issubclass(errors.UnitError, ValueError)
+
+    def test_ahdl_error_is_parse_error(self):
+        assert issubclass(errors.AHDLError, errors.ParseError)
+
+    def test_parse_error_line_prefix(self):
+        exc = errors.ParseError("bad token", line=42)
+        assert "line 42" in str(exc)
+        assert exc.line == 42
+
+    def test_parse_error_without_line(self):
+        exc = errors.ParseError("bad token")
+        assert exc.line is None
+        assert str(exc) == "bad token"
+
+    def test_one_catch_covers_all_subsystems(self):
+        """The API-boundary pattern: catch ReproError once."""
+        from repro.spice import parse_deck
+        from repro.geometry import TransistorShape
+        from repro.units import parse_value
+
+        for trigger in (
+            lambda: parse_deck(""),
+            lambda: TransistorShape.from_name("bogus"),
+            lambda: parse_value("not-a-number"),
+        ):
+            with pytest.raises(errors.ReproError):
+                trigger()

@@ -1,0 +1,76 @@
+"""Public-API hygiene: every exported name exists and is documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_PACKAGES = (
+    "repro",
+    "repro.spice",
+    "repro.spice.elements",
+    "repro.devices",
+    "repro.geometry",
+    "repro.measurement",
+    "repro.ahdl",
+    "repro.behavioral",
+    "repro.rfsystems",
+    "repro.celldb",
+    "repro.core",
+)
+
+
+@pytest.mark.parametrize("package_name", PUBLIC_PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", None)
+    assert exported, f"{package_name} must define __all__"
+    for name in exported:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PUBLIC_PACKAGES)
+def test_package_docstrings(package_name):
+    package = importlib.import_module(package_name)
+    assert package.__doc__ and package.__doc__.strip(), (
+        f"{package_name} needs a module docstring"
+    )
+
+
+@pytest.mark.parametrize("package_name", PUBLIC_PACKAGES)
+def test_public_callables_documented(package_name):
+    """Every exported class and function carries a docstring."""
+    package = importlib.import_module(package_name)
+    undocumented = []
+    for name in getattr(package, "__all__", ()):
+        obj = getattr(package, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, (
+        f"{package_name}: undocumented public items {undocumented}"
+    )
+
+
+def test_public_methods_documented_on_key_classes():
+    """Spot-check the workhorse classes: public methods have docstrings."""
+    from repro.behavioral import Spectrum, SystemModel
+    from repro.celldb import AnalogCellDatabase
+    from repro.geometry import ModelParameterGenerator
+    from repro.spice import Circuit, Simulator
+
+    for cls in (Circuit, Simulator, Spectrum, SystemModel,
+                AnalogCellDatabase, ModelParameterGenerator):
+        for name, member in inspect.getmembers(cls):
+            if name.startswith("_"):
+                continue
+            if inspect.isfunction(member):
+                assert member.__doc__ and member.__doc__.strip(), (
+                    f"{cls.__name__}.{name} needs a docstring"
+                )
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2

@@ -1,0 +1,140 @@
+"""Tests for SPICE engineering-notation parsing and formatting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import UnitError
+from repro.units import (
+    db,
+    db_voltage,
+    format_value,
+    from_db,
+    from_db_voltage,
+    parse_frequency,
+    parse_value,
+)
+
+
+class TestParseValue:
+    @pytest.mark.parametrize("text,expected", [
+        ("1", 1.0),
+        ("1.5", 1.5),
+        ("-3.3", -3.3),
+        ("+2", 2.0),
+        ("1e-6", 1e-6),
+        ("2.5E3", 2500.0),
+        (".5", 0.5),
+        ("1.2u", 1.2e-6),
+        ("1.2U", 1.2e-6),
+        ("100n", 100e-9),
+        ("45MEG", 45e6),
+        ("45meg", 45e6),
+        ("1.3G", 1.3e9),
+        ("4.7k", 4700.0),
+        ("10p", 10e-12),
+        ("3f", 3e-15),
+        ("2T", 2e12),
+        ("7m", 7e-3),
+        ("5a", 5e-18),
+    ])
+    def test_scale_factors(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected, rel=1e-12)
+
+    def test_spice_m_is_milli_not_mega(self):
+        assert parse_value("1M") == pytest.approx(1e-3)
+        assert parse_value("1MEG") == pytest.approx(1e6)
+
+    @pytest.mark.parametrize("text,expected", [
+        ("100nF", 100e-9),
+        ("1.3GHz", 1.3e9),
+        ("45MEGHz", 45e6),
+        ("10pF", 10e-12),
+        ("5Volts", 5.0),
+        ("3Hz", 3.0),
+    ])
+    def test_trailing_unit_names(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected, rel=1e-12)
+
+    def test_mil(self):
+        assert parse_value("1mil") == pytest.approx(25.4e-6)
+
+    def test_percent(self):
+        assert parse_value("5%") == pytest.approx(0.05)
+
+    def test_numeric_passthrough(self):
+        assert parse_value(3.5) == 3.5
+        assert parse_value(7) == 7.0
+        assert isinstance(parse_value(7), float)
+
+    @pytest.mark.parametrize("bad", ["", "abc", "--1", "1.2.3", "u1", "  "])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(UnitError):
+            parse_value(bad)
+
+    @given(st.floats(min_value=-1e12, max_value=1e12,
+                     allow_nan=False, allow_infinity=False))
+    def test_plain_float_string_roundtrip(self, value):
+        assert parse_value(repr(value)) == pytest.approx(value, rel=1e-12,
+                                                         abs=1e-300)
+
+
+class TestFormatValue:
+    @pytest.mark.parametrize("value,expected", [
+        (0.0, "0"),
+        (1.2e-6, "1.2U"),
+        (4700.0, "4.7K"),
+        (45e6, "45MEG"),
+        (1.3e9, "1.3G"),
+        (10e-12, "10P"),
+    ])
+    def test_known_values(self, value, expected):
+        assert format_value(value) == expected
+
+    def test_unit_suffix(self):
+        assert format_value(45e6, "Hz") == "45MEGHz"
+
+    def test_nonfinite(self):
+        assert "inf" in format_value(math.inf)
+
+    @given(st.floats(min_value=1e-15, max_value=1e14))
+    def test_roundtrip_through_parse(self, value):
+        text = format_value(value, digits=12)
+        assert parse_value(text) == pytest.approx(value, rel=1e-9)
+
+    @given(st.floats(min_value=1e-15, max_value=1e14))
+    def test_negative_roundtrip(self, value):
+        text = format_value(-value, digits=12)
+        assert parse_value(text) == pytest.approx(-value, rel=1e-9)
+
+
+class TestDecibels:
+    def test_db_power(self):
+        assert db(100.0) == pytest.approx(20.0)
+        assert db(1.0) == pytest.approx(0.0)
+
+    def test_db_voltage(self):
+        assert db_voltage(10.0) == pytest.approx(20.0)
+
+    def test_db_rejects_nonpositive(self):
+        with pytest.raises(UnitError):
+            db(0.0)
+        with pytest.raises(UnitError):
+            db_voltage(-1.0)
+
+    @given(st.floats(min_value=-100, max_value=100))
+    def test_db_inverse(self, decibels):
+        assert db(from_db(decibels)) == pytest.approx(decibels, abs=1e-9)
+        assert db_voltage(from_db_voltage(decibels)) == pytest.approx(
+            decibels, abs=1e-9
+        )
+
+
+class TestParseFrequency:
+    def test_basic(self):
+        assert parse_frequency("45MEG") == 45e6
+
+    def test_rejects_negative(self):
+        with pytest.raises(UnitError):
+            parse_frequency("-1k")
