@@ -8,6 +8,8 @@ inspectable after a quiet run.
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 import pytest
@@ -18,8 +20,42 @@ from repro.geometry import (
     ProcessData,
     default_reference,
 )
+from repro.spice.engine import GLOBAL_STATS
 
 OUTPUT_DIR = Path(__file__).parent / "out"
+
+#: per-benchmark {name, wall_seconds, engine: <EngineStats delta>}
+#: accumulated by the autouse fixture, dumped to BENCH_engine.json.
+_ENGINE_RECORDS: list[dict] = []
+
+
+@pytest.fixture(autouse=True)
+def _engine_counters(request):
+    """Record wall time and engine work (solves, factorizations, element
+    evaluations...) performed during each benchmark."""
+    snapshot = GLOBAL_STATS.copy()
+    t0 = time.perf_counter()
+    yield
+    wall = time.perf_counter() - t0
+    delta = GLOBAL_STATS.since(snapshot)
+    _ENGINE_RECORDS.append({
+        "benchmark": request.node.name,
+        "wall_seconds": round(wall, 6),
+        "engine": delta.as_dict(),
+    })
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _ENGINE_RECORDS:
+        return
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema": "bench-engine-v1",
+        "benchmarks": _ENGINE_RECORDS,
+    }
+    (OUTPUT_DIR / "BENCH_engine.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
 
 
 def report(name: str, text: str) -> None:

@@ -25,8 +25,11 @@ def _cmd_run(args) -> int:
     from .spice.runner import run_deck
 
     text = Path(args.deck).read_text()
-    run = run_deck(parse_deck(text))
+    run = run_deck(parse_deck(text), engine=args.engine)
     print(run.summary())
+    if args.profile:
+        print()
+        print(run.profile())
     return 0
 
 
@@ -78,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_cmd = commands.add_parser("run", help="execute a SPICE deck")
     run_cmd.add_argument("deck", help="path to the deck file")
+    run_cmd.add_argument(
+        "--profile", action="store_true",
+        help="print per-analysis engine statistics after the summary",
+    )
+    run_cmd.add_argument(
+        "--engine", choices=("compiled", "legacy"), default=None,
+        help="evaluation engine (default: compiled)",
+    )
     run_cmd.set_defaults(handler=_cmd_run)
 
     generate_cmd = commands.add_parser(

@@ -22,7 +22,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .gummel_poon import BJTOperatingPoint, evaluate, solve_vbe_for_ic
+from .gummel_poon import (
+    BJTOperatingPoint,
+    evaluate,
+    solve_vbe_for_ic,
+    thermal_voltage,
+)
 from .parameters import GummelPoonParameters
 
 
@@ -39,16 +44,28 @@ class FTPoint:
 
 
 def bias_at_ic(
-    params: GummelPoonParameters, ic: float, vce: float = 3.0
+    params: GummelPoonParameters,
+    ic: float,
+    vce: float = 3.0,
+    vbe0: float | None = None,
 ) -> BJTOperatingPoint:
-    """Operating point of the device biased at collector current ``ic``."""
-    vbe = solve_vbe_for_ic(params, ic, vce)
+    """Operating point of the device biased at collector current ``ic``.
+
+    ``vbe0`` warm-starts the bias solve (see
+    :func:`~repro.devices.gummel_poon.solve_vbe_for_ic`).
+    """
+    vbe = solve_vbe_for_ic(params, ic, vce, vbe0=vbe0)
     return evaluate(params, vbe, vbe - vce)
 
 
-def ft_at_ic(params: GummelPoonParameters, ic: float, vce: float = 3.0) -> FTPoint:
+def ft_at_ic(
+    params: GummelPoonParameters,
+    ic: float,
+    vce: float = 3.0,
+    vbe0: float | None = None,
+) -> FTPoint:
     """fT at one collector current, via the hybrid-pi formula."""
-    op = bias_at_ic(params, ic, vce)
+    op = bias_at_ic(params, ic, vce, vbe0=vbe0)
     return FTPoint(
         ic=ic, vbe=op.vbe, ft=op.transition_frequency(),
         gm=op.gm, cpi=op.cpi, cmu=op.cmu,
@@ -60,8 +77,25 @@ def ft_curve(
     ic_values,
     vce: float = 3.0,
 ) -> list[FTPoint]:
-    """fT over a sweep of collector currents (the paper's Fig. 9 sweep)."""
-    return [ft_at_ic(params, float(ic), vce) for ic in ic_values]
+    """fT over a sweep of collector currents (the paper's Fig. 9 sweep).
+
+    Each point's bias solve warm-starts from the previous point's Vbe,
+    shifted by the ideal-diode increment ``NF*vt*ln(ic/ic_prev)`` — on the
+    usual monotone Ic grid that lands within a fraction of kT/q of the
+    solution, so the Newton iteration converges in a step or two.
+    """
+    n_vt = params.NF * thermal_voltage(params.TNOM)
+    points: list[FTPoint] = []
+    ic_prev = vbe_prev = None
+    for ic in ic_values:
+        ic = float(ic)
+        vbe0 = None
+        if vbe_prev is not None and ic_prev > 0.0 and ic > 0.0:
+            vbe0 = vbe_prev + n_vt * math.log(ic / ic_prev)
+        point = ft_at_ic(params, ic, vce, vbe0=vbe0)
+        points.append(point)
+        ic_prev, vbe_prev = ic, point.vbe
+    return points
 
 
 def peak_ft(

@@ -182,21 +182,12 @@ class BJTOperatingPoint:
         return self.gm / (2.0 * math.pi * c_total)
 
 
-def evaluate(
-    params: GummelPoonParameters,
-    vbe: float,
-    vbc: float,
-    temp: float | None = None,
-    gmin: float = 0.0,
-) -> BJTOperatingPoint:
-    """Evaluate the Gummel-Poon equations at internal (vbe, vbc).
+def _dc_core(p, vbe: float, vbc: float, vt: float, gmin: float):
+    """DC currents, derivatives and base charge (the charge-free kernel).
 
-    ``gmin`` adds a small linear conductance across each junction (as the
-    simulator does during Newton iterations).
+    Returns a plain tuple so the scalar bias solver can iterate on it
+    without building a :class:`BJTOperatingPoint` per Newton step.
     """
-    p = params
-    vt = thermal_voltage(p.TNOM if temp is None else temp)
-
     ibe1, gbe1 = diode_current(p.IS, vbe, p.NF * vt)
     ibe2, gbe2 = diode_current(p.ISE, vbe, p.NE * vt)
     ibc1, gbc1 = diode_current(p.IS, vbc, p.NR * vt)
@@ -237,6 +228,62 @@ def evaluate(
     dib_dvbe = gbe1 / p.BF + gbe2
     dib_dvbc = gbc1 / p.BR + gbc2
 
+    # Bias-modulated base resistance (simple qb form; the IRB formulation
+    # reduces to this when IRB is left at infinity).
+    rbm = p.rbm_effective
+    rbb = rbm + (p.RB - rbm) / qb
+
+    return (
+        ic, ib, dic_dvbe, dic_dvbc, dib_dvbe, dib_dvbc,
+        ibe1, gbe1, ibc1, gbc1, qb, dqb_dvbe, dqb_dvbc, rbb,
+    )
+
+
+def evaluate(
+    params: GummelPoonParameters,
+    vbe: float,
+    vbc: float,
+    temp: float | None = None,
+    gmin: float = 0.0,
+    charges: bool = True,
+) -> BJTOperatingPoint:
+    """Evaluate the Gummel-Poon equations at internal (vbe, vbc).
+
+    ``gmin`` adds a small linear conductance across each junction (as the
+    simulator does during Newton iterations).  ``charges=False`` skips the
+    depletion/diffusion charge terms (they come back as zeros) — the DC
+    bias solvers only need currents and their derivatives, and the charge
+    branch is more than half the cost of a full evaluation.
+    """
+    p = params
+    vt = thermal_voltage(p.TNOM if temp is None else temp)
+
+    (
+        ic, ib, dic_dvbe, dic_dvbc, dib_dvbe, dib_dvbc,
+        ibe1, gbe1, ibc1, gbc1, qb, dqb_dvbe, dqb_dvbc, rbb,
+    ) = _dc_core(p, vbe, vbc, vt, gmin)
+
+    if not charges:
+        return BJTOperatingPoint(
+            vbe=vbe,
+            vbc=vbc,
+            ic=ic,
+            ib=ib,
+            dic_dvbe=dic_dvbe,
+            dic_dvbc=dic_dvbc,
+            dib_dvbe=dib_dvbe,
+            dib_dvbc=dib_dvbc,
+            qbe=0.0,
+            qbc=0.0,
+            qbx=0.0,
+            dqbe_dvbe=0.0,
+            dqbe_dvbc=0.0,
+            dqbc_dvbc=0.0,
+            dqbx_dvbc=0.0,
+            qb=qb,
+            rbb=rbb,
+        )
+
     # Bias-dependent forward transit time (fT roll-off).
     tf_eff = p.TF
     dtf_dvbe = 0.0
@@ -273,11 +320,6 @@ def evaluate(
     qbc = qdc + qjc
     qbx = qjx
 
-    # Bias-modulated base resistance (simple qb form; the IRB formulation
-    # reduces to this when IRB is left at infinity).
-    rbm = p.rbm_effective
-    rbb = rbm + (p.RB - rbm) / qb
-
     return BJTOperatingPoint(
         vbe=vbe,
         vbc=vbc,
@@ -306,6 +348,7 @@ def solve_vbe_for_ic(
     temp: float | None = None,
     tol: float = 1e-9,
     max_iter: int = 200,
+    vbe0: float | None = None,
 ) -> float:
     """Find the internal Vbe giving collector current ``ic_target`` at Vce.
 
@@ -313,26 +356,39 @@ def solve_vbe_for_ic(
     bisection fallback.  Vce is the *internal* collector-emitter voltage.
     Used by the fT analysis to bias a device at a requested Ic, mirroring
     how the paper's Fig. 9 sweeps collector current.
+
+    ``vbe0`` warm-starts the iteration (e.g. with the solution at a nearby
+    Ic during a sweep); when omitted the ideal diode law provides the
+    initial guess.
     """
     if ic_target <= 0:
         raise ValueError(f"ic_target must be positive, got {ic_target}")
     vt = thermal_voltage(params.TNOM if temp is None else temp)
-    # Initial guess from the ideal diode law.
-    vbe = params.NF * vt * math.log(ic_target / params.IS + 1.0)
+    if vbe0 is not None and 0.0 < vbe0 < 2.0:
+        vbe = vbe0
+    else:
+        # Initial guess from the ideal diode law.
+        vbe = params.NF * vt * math.log(ic_target / params.IS + 1.0)
     lo, hi = 0.0, 2.0
     for _ in range(max_iter):
-        op = evaluate(params, vbe, vbe - vce, temp=temp)
-        error = op.ic - ic_target
+        core = _dc_core(params, vbe, vbe - vce, vt, 0.0)
+        ic, dic_dvbe, dic_dvbc = core[0], core[2], core[3]
+        error = ic - ic_target
         if abs(error) <= tol * ic_target:
             return vbe
         if error > 0:
             hi = min(hi, vbe)
         else:
             lo = max(lo, vbe)
-        slope = op.dic_dvbe + op.dic_dvbc
+        slope = dic_dvbe + dic_dvbc
         if slope > 0:
             step = -error / slope
             vbe_new = vbe + step
+            # Newton converges quadratically: once the relative error is
+            # down to ~tol^(2/3), the post-step error is far below tol, so
+            # skip the confirming evaluation and accept the stepped value.
+            if abs(error) <= 1e-6 * ic_target and abs(step) < vt:
+                return vbe_new
         else:
             vbe_new = (lo + hi) / 2.0
         if not lo < vbe_new < hi:

@@ -7,6 +7,18 @@ analyses, and a classic deck parser.
 """
 
 from .netlist import Circuit, Element
+from .engine import (
+    CompiledCircuit,
+    DenseLUSolver,
+    EngineStats,
+    LegacyEngine,
+    LinearSolver,
+    SparseLUSolver,
+    compile_circuit,
+    get_engine,
+    make_solver,
+    resolve_engine,
+)
 from .analysis import (
     DCSweepResult,
     OperatingPointResult,
@@ -32,6 +44,16 @@ from . import elements
 __all__ = [
     "Circuit",
     "Element",
+    "CompiledCircuit",
+    "LegacyEngine",
+    "EngineStats",
+    "LinearSolver",
+    "DenseLUSolver",
+    "SparseLUSolver",
+    "compile_circuit",
+    "get_engine",
+    "make_solver",
+    "resolve_engine",
     "Simulator",
     "OperatingPointResult",
     "DCSweepResult",

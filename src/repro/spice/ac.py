@@ -16,7 +16,7 @@ import numpy as np
 from ..errors import AnalysisError
 from .dcop import solve_dc
 from .elements.sources import CurrentSource, VoltageSource
-from .mna import load_circuit
+from .engine import EngineStats, resolve_engine
 from .netlist import Circuit
 
 
@@ -28,6 +28,8 @@ class ACResult:
     frequencies: np.ndarray
     solutions: np.ndarray  #: shape (num_freqs, num_unknowns), complex
     dc_solution: np.ndarray
+    #: Engine work performed by this analysis.
+    stats: EngineStats | None = None
 
     def voltage(self, node: str) -> np.ndarray:
         """Complex node voltage over the sweep."""
@@ -75,44 +77,55 @@ def solve_ac(
     frequencies,
     dc_solution: np.ndarray | None = None,
     gmin: float = 1e-12,
+    engine=None,
 ) -> ACResult:
     """Run an AC sweep over the given frequencies (Hz)."""
     frequencies = np.asarray(list(frequencies), dtype=float)
-    limits: dict = {}
-    if dc_solution is None:
-        dc_solution = solve_dc(circuit, gmin=gmin, limits=limits)
-    size = circuit.num_unknowns
-    # One load at the operating point gives both Jacobians.  The limits
-    # dict is pre-converged, so limiting is inactive here.
-    ctx = load_circuit(circuit, dc_solution, gmin=gmin, limits=limits)
-    g_mat = ctx.g_mat
-    c_mat = ctx.c_mat
+    engine = resolve_engine(circuit, engine)
+    snapshot = engine.stats.copy()
+    with engine.timed():
+        limits: dict = {}
+        if dc_solution is None:
+            dc_solution = solve_dc(
+                circuit, gmin=gmin, limits=limits, engine=engine
+            )
+        size = circuit.num_unknowns
+        # One evaluation at the operating point gives both Jacobians.  The
+        # limits dict is pre-converged, so limiting is inactive here.
+        # Copy out of the engine buffers: the sweep below must not be
+        # clobbered by any later evaluation.
+        ctx = engine.evaluate(dc_solution, gmin=gmin, limits=limits)
+        g_mat = ctx.g_mat.copy()
+        c_mat = ctx.c_mat.copy()
 
-    rhs = np.zeros(size, dtype=complex)
-    for element in circuit:
-        if isinstance(element, VoltageSource):
-            stimulus = element.ac_stimulus()
-            if stimulus:
-                rhs[element.branch_index[0]] += stimulus
-        elif isinstance(element, CurrentSource):
-            stimulus = element.ac_stimulus()
-            if stimulus:
-                p, n = element.node_index
-                if p >= 0:
-                    rhs[p] -= stimulus
-                if n >= 0:
-                    rhs[n] += stimulus
-    if not np.any(rhs):
-        raise AnalysisError("AC analysis: no source has an AC stimulus")
+        rhs = np.zeros(size, dtype=complex)
+        for element in circuit:
+            if isinstance(element, VoltageSource):
+                stimulus = element.ac_stimulus()
+                if stimulus:
+                    rhs[element.branch_index[0]] += stimulus
+            elif isinstance(element, CurrentSource):
+                stimulus = element.ac_stimulus()
+                if stimulus:
+                    p, n = element.node_index
+                    if p >= 0:
+                        rhs[p] -= stimulus
+                    if n >= 0:
+                        rhs[n] += stimulus
+        if not np.any(rhs):
+            raise AnalysisError("AC analysis: no source has an AC stimulus")
 
-    solutions = np.zeros((len(frequencies), size), dtype=complex)
-    for k, frequency in enumerate(frequencies):
-        omega = 2.0 * np.pi * frequency
-        system = g_mat + 1j * omega * c_mat
-        solutions[k] = np.linalg.solve(system, rhs)
-    return ACResult(
+        solutions = np.zeros((len(frequencies), size), dtype=complex)
+        for k, frequency in enumerate(frequencies):
+            omega = 2.0 * np.pi * frequency
+            system = g_mat + 1j * omega * c_mat
+            solutions[k] = engine.solve(system, rhs)
+    result = ACResult(
         circuit=circuit,
         frequencies=frequencies,
         solutions=solutions,
         dc_solution=dc_solution,
+        stats=None,
     )
+    result.stats = engine.stats.since(snapshot)
+    return result

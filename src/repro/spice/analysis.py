@@ -12,7 +12,7 @@ from ..errors import AnalysisError, NetlistError
 from .ac import ACResult, frequency_grid, solve_ac
 from .dcop import Tolerances, solve_dc
 from .elements.sources import CurrentSource, VoltageSource, DC
-from .mna import load_circuit
+from .engine import EngineStats, resolve_engine
 from .netlist import Circuit
 from .transient import TransientResult, solve_transient
 
@@ -23,6 +23,8 @@ class OperatingPointResult:
 
     circuit: Circuit
     x: np.ndarray
+    #: Engine work performed by the solve.
+    stats: EngineStats | None = None
 
     def voltage(self, node: str) -> float:
         index = self.circuit.node_index(node)
@@ -96,6 +98,8 @@ class DCSweepResult:
     circuit: Circuit
     sweep_values: np.ndarray
     states: np.ndarray
+    #: Engine work performed by the sweep.
+    stats: EngineStats | None = None
 
     def voltage(self, node: str) -> np.ndarray:
         index = self.circuit.node_index(node)
@@ -114,6 +118,8 @@ class TransferFunction:
     gain: float  #: d(output)/d(input) at the operating point
     input_resistance: float  #: ohms seen by the input source
     output_resistance: float  #: ohms seen at the output node
+    #: Engine work performed by the analysis.
+    stats: EngineStats | None = None
 
 
 def transfer_function(
@@ -121,6 +127,7 @@ def transfer_function(
     input_source: str,
     output_node: str,
     gmin: float = 1e-12,
+    engine=None,
 ) -> TransferFunction:
     """Small-signal DC transfer function (SPICE ``.TF``).
 
@@ -137,50 +144,59 @@ def transfer_function(
     if out_index < 0:
         raise AnalysisError("output node cannot be ground")
 
-    limits: dict = {}
-    x_op = solve_dc(circuit, gmin=gmin, limits=limits)
-    ctx = load_circuit(circuit, x_op, gmin=gmin, limits=limits)
-    g_mat = ctx.g_mat
-    size = circuit.num_unknowns
+    engine = resolve_engine(circuit, engine)
+    snapshot = engine.stats.copy()
+    with engine.timed():
+        limits: dict = {}
+        x_op = solve_dc(circuit, gmin=gmin, limits=limits, engine=engine)
+        ctx = engine.evaluate(x_op, gmin=gmin, limits=limits)
+        g_mat = ctx.g_mat.copy()
+        size = circuit.num_unknowns
 
-    # Unit input excitation.
-    rhs = np.zeros(size)
-    if isinstance(element, VoltageSource):
-        rhs[element.branch_index[0]] = 1.0
-    else:
-        p, n = element.node_index
-        if p >= 0:
-            rhs[p] -= 1.0
-        if n >= 0:
-            rhs[n] += 1.0
-    try:
-        response = np.linalg.solve(g_mat, rhs)
-    except np.linalg.LinAlgError as exc:
-        raise AnalysisError(f"singular small-signal system: {exc}") from exc
-    gain = float(response[out_index])
+        # Unit input excitation.  Both solves share one factorization of
+        # the small-signal conductance matrix.
+        rhs = np.zeros(size)
+        if isinstance(element, VoltageSource):
+            rhs[element.branch_index[0]] = 1.0
+        else:
+            p, n = element.node_index
+            if p >= 0:
+                rhs[p] -= 1.0
+            if n >= 0:
+                rhs[n] += 1.0
+        token = ("tf", id(g_mat))
+        try:
+            response = engine.solver.solve(g_mat, rhs, token=token)
+        except np.linalg.LinAlgError as exc:
+            raise AnalysisError(
+                f"singular small-signal system: {exc}"
+            ) from exc
+        gain = float(response[out_index])
 
-    if isinstance(element, VoltageSource):
-        input_current = -float(response[element.branch_index[0]])
-        input_resistance = (math.inf if input_current == 0.0
-                            else 1.0 / input_current)
-    else:
-        p, n = element.node_index
-        v_p = float(response[p]) if p >= 0 else 0.0
-        v_n = float(response[n]) if n >= 0 else 0.0
-        input_resistance = v_n - v_p
+        if isinstance(element, VoltageSource):
+            input_current = -float(response[element.branch_index[0]])
+            input_resistance = (math.inf if input_current == 0.0
+                                else 1.0 / input_current)
+        else:
+            p, n = element.node_index
+            v_p = float(response[p]) if p >= 0 else 0.0
+            v_n = float(response[n]) if n >= 0 else 0.0
+            input_resistance = v_n - v_p
 
-    # Output resistance: quiet the input, push a unit current into the
-    # output node.  A V-source input stays in the system (its branch
-    # keeps the node pinned), exactly as SPICE computes .TF.
-    rhs_out = np.zeros(size)
-    rhs_out[out_index] = 1.0
-    response_out = np.linalg.solve(g_mat, rhs_out)
-    output_resistance = float(response_out[out_index])
+        # Output resistance: quiet the input, push a unit current into the
+        # output node.  A V-source input stays in the system (its branch
+        # keeps the node pinned), exactly as SPICE computes .TF.
+        rhs_out = np.zeros(size)
+        rhs_out[out_index] = 1.0
+        response_out = engine.solver.solve(g_mat, rhs_out, token=token)
+        output_resistance = float(response_out[out_index])
+        engine.solver.invalidate()
 
     return TransferFunction(
         gain=gain,
         input_resistance=input_resistance,
         output_resistance=output_resistance,
+        stats=engine.stats.since(snapshot),
     )
 
 
@@ -195,16 +211,31 @@ class Simulator:
     """
 
     def __init__(self, circuit: Circuit, tolerances: Tolerances | None = None,
-                 gmin: float = 1e-12):
+                 gmin: float = 1e-12, engine=None):
         self.circuit = circuit
         self.tolerances = tolerances or Tolerances()
         self.gmin = gmin
+        #: Engine selector threaded to every analysis: ``None`` (the
+        #: circuit's cached compiled engine), ``"compiled"``, ``"legacy"``
+        #: or an engine object (see :func:`repro.spice.engine.resolve_engine`).
+        self.engine = engine
         self._last_op: OperatingPointResult | None = None
+
+    def _engine(self):
+        return resolve_engine(self.circuit, self.engine)
 
     def operating_point(self) -> OperatingPointResult:
         """Solve the DC operating point (Newton with homotopies)."""
-        x = solve_dc(self.circuit, tolerances=self.tolerances, gmin=self.gmin)
-        self._last_op = OperatingPointResult(self.circuit, x)
+        engine = self._engine()
+        snapshot = engine.stats.copy()
+        with engine.timed():
+            x = solve_dc(
+                self.circuit, tolerances=self.tolerances, gmin=self.gmin,
+                engine=engine,
+            )
+        self._last_op = OperatingPointResult(
+            self.circuit, x, stats=engine.stats.since(snapshot)
+        )
         return self._last_op
 
     def dc_sweep(self, source_name: str, values) -> DCSweepResult:
@@ -219,17 +250,25 @@ class Simulator:
         states = []
         x = None
         limits: dict = {}
+        engine = self._engine()
+        snapshot = engine.stats.copy()
         try:
-            for value in values:
-                element.waveform = DC(value)
-                x = solve_dc(
-                    self.circuit, x0=x, tolerances=self.tolerances,
-                    gmin=self.gmin, limits=limits,
-                )
-                states.append(x.copy())
+            with engine.timed():
+                for value in values:
+                    # Swapping the waveform only changes the source RHS,
+                    # which engines re-read per evaluation — no recompile.
+                    element.waveform = DC(value)
+                    x = solve_dc(
+                        self.circuit, x0=x, tolerances=self.tolerances,
+                        gmin=self.gmin, limits=limits, engine=engine,
+                    )
+                    states.append(x.copy())
         finally:
             element.waveform = original
-        return DCSweepResult(self.circuit, values, np.array(states))
+        return DCSweepResult(
+            self.circuit, values, np.array(states),
+            stats=engine.stats.since(snapshot),
+        )
 
     def ac(
         self,
@@ -241,7 +280,10 @@ class Simulator:
         """AC sweep from start to stop Hz, reusing the last .OP if any."""
         grid = frequency_grid(start, stop, points_per_decade, sweep)
         dc = self._last_op.x if self._last_op is not None else None
-        return solve_ac(self.circuit, grid, dc_solution=dc, gmin=self.gmin)
+        return solve_ac(
+            self.circuit, grid, dc_solution=dc, gmin=self.gmin,
+            engine=self._engine(),
+        )
 
     def transient(
         self,
@@ -253,6 +295,7 @@ class Simulator:
         **kwargs,
     ) -> TransientResult:
         """Integrate 0..stop_time (see :func:`solve_transient`)."""
+        kwargs.setdefault("engine", self._engine())
         return solve_transient(
             self.circuit,
             stop_time,

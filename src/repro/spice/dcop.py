@@ -4,6 +4,11 @@ The solve ladder mirrors SPICE: plain Newton first, then gmin stepping
 (relaxing the junction shunt conductance from 1e-2 S down to the target),
 then source stepping (ramping all independent sources from zero).  Each
 stage warm-starts from the best solution found so far.
+
+Per-iteration assembly goes through an engine (see
+:mod:`repro.spice.engine`): by default the circuit's cached
+:class:`~repro.spice.engine.CompiledCircuit`, which stamps the linear
+part once and evaluates only the nonlinear devices per iteration.
 """
 
 from __future__ import annotations
@@ -13,8 +18,31 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConvergenceError
-from .mna import load_circuit
+from .engine import resolve_engine
 from .netlist import Circuit
+
+
+def weighted_max_error(
+    delta: np.ndarray,
+    ref_a: np.ndarray,
+    ref_b: np.ndarray,
+    num_nodes: int,
+    reltol: float,
+    atol_nodes: float,
+    atol_branches: float,
+) -> float:
+    """Largest |delta| in units of the per-unknown tolerance.
+
+    The tolerance for unknown ``i`` is
+    ``reltol * max(|ref_a[i]|, |ref_b[i]|) + atol``, with ``atol``
+    switching from the node (voltage) to the branch (current) value at
+    index ``num_nodes``.  Shared by the Newton step-size test and the
+    transient local-truncation-error estimate.
+    """
+    scale = reltol * np.maximum(np.abs(ref_a), np.abs(ref_b))
+    scale[:num_nodes] += atol_nodes
+    scale[num_nodes:] += atol_branches
+    return float(np.max(np.abs(delta) / scale))
 
 
 @dataclass(frozen=True)
@@ -28,12 +56,13 @@ class Tolerances:
 
     def converged(self, dx: np.ndarray, x: np.ndarray, num_nodes: int) -> bool:
         """Per-unknown step-size test: voltages vs vntol, currents vs abstol."""
-        for i in range(len(dx)):
-            atol = self.vntol if i < num_nodes else self.abstol
-            limit = self.reltol * max(abs(x[i]), abs(x[i] + dx[i])) + atol
-            if abs(dx[i]) > limit:
-                return False
-        return True
+        return (
+            weighted_max_error(
+                dx, x, x + dx, num_nodes,
+                self.reltol, self.vntol, self.abstol,
+            )
+            <= 1.0
+        )
 
 
 #: Small conductance stamped from every node to ground to avoid floating
@@ -50,32 +79,42 @@ def newton_solve(
     time: float | None = None,
     limits: dict | None = None,
     dynamic=None,
+    engine=None,
+    jacobian_token=None,
 ) -> np.ndarray:
     """Run Newton iterations on F(x) = I(x) [+ dynamic terms] until converged.
 
     ``dynamic``, when given, is a callable ``(ctx, F, J) -> None`` that adds
-    the integration-formula terms (used by transient analysis).  Raises
-    :class:`~repro.errors.ConvergenceError` if the iteration limit is hit
-    or the Jacobian goes singular.
+    the integration-formula terms (used by transient analysis).  ``engine``
+    selects the evaluation engine (see
+    :func:`repro.spice.engine.resolve_engine`); ``jacobian_token``, when
+    the circuit has a constant Jacobian, lets the linear solver reuse its
+    factorization across iterations and calls carrying the same token.
+    Raises :class:`~repro.errors.ConvergenceError` if the iteration limit
+    is hit or the Jacobian goes singular.
     """
-    num_nodes = len(circuit.node_map)
+    engine = resolve_engine(circuit, engine)
+    num_nodes = engine.num_nodes
     x = np.array(x0, dtype=float)
     if limits is None:
         limits = {}
+    diag = np.arange(num_nodes)
     for _ in range(tolerances.max_iterations):
-        ctx = load_circuit(
-            circuit, x, time=time, gmin=gmin, limits=limits,
+        ctx = engine.evaluate(
+            x, time=time, gmin=gmin, limits=limits,
             source_scale=source_scale,
         )
-        residual = ctx.i_vec.copy()
-        jacobian = ctx.g_mat.copy()
+        # The context arrays are engine-owned buffers (or, for the legacy
+        # engine, per-call allocations); either way they are free to
+        # mutate — the next evaluation rebuilds them.
+        residual = ctx.i_vec
+        jacobian = ctx.g_mat
         if dynamic is not None:
             dynamic(ctx, residual, jacobian)
-        for i in range(num_nodes):
-            jacobian[i, i] += DIAG_GSHUNT
-            residual[i] += DIAG_GSHUNT * x[i]
+        jacobian[diag, diag] += DIAG_GSHUNT
+        residual[:num_nodes] += DIAG_GSHUNT * x[:num_nodes]
         try:
-            dx = np.linalg.solve(jacobian, -residual)
+            dx = engine.solve(jacobian, -residual, token=jacobian_token)
         except np.linalg.LinAlgError as exc:
             raise ConvergenceError(f"singular Jacobian: {exc}") from exc
         if not np.all(np.isfinite(dx)):
@@ -94,12 +133,14 @@ def solve_dc(
     tolerances: Tolerances | None = None,
     gmin: float = 1e-12,
     limits: dict | None = None,
+    engine=None,
 ) -> np.ndarray:
     """DC operating point with the full homotopy ladder.
 
     Returns the solution vector (node voltages then branch currents).
     """
     circuit.assign_indices()
+    engine = resolve_engine(circuit, engine)
     if tolerances is None:
         tolerances = Tolerances()
     if x0 is None:
@@ -108,7 +149,10 @@ def solve_dc(
         limits = {}
 
     try:
-        return newton_solve(circuit, x0, tolerances, gmin, limits=limits)
+        return newton_solve(
+            circuit, x0, tolerances, gmin, limits=limits,
+            engine=engine, jacobian_token=("dc",),
+        )
     except ConvergenceError:
         pass
 
@@ -120,9 +164,15 @@ def solve_dc(
             np.geomspace(1e-2, 1e-12, 11)
         )
         for step_gmin in relax_gmins:
-            x = newton_solve(circuit, x, tolerances, step_gmin, limits=step_limits)
+            x = newton_solve(
+                circuit, x, tolerances, step_gmin, limits=step_limits,
+                engine=engine,
+            )
         if relax_gmins[-1] != gmin:
-            x = newton_solve(circuit, x, tolerances, gmin, limits=step_limits)
+            x = newton_solve(
+                circuit, x, tolerances, gmin, limits=step_limits,
+                engine=engine,
+            )
         limits.update(step_limits)
         return x
     except ConvergenceError:
@@ -139,7 +189,7 @@ def solve_dc(
         try:
             x = newton_solve(
                 circuit, x, tolerances, gmin,
-                source_scale=target, limits=step_limits,
+                source_scale=target, limits=step_limits, engine=engine,
             )
             scale = target
             step = min(step * 1.5, 0.25)

@@ -66,9 +66,23 @@ class BJT(Element):
         return ci, bi, ei
 
     def load(self, ctx) -> None:
+        self.load_static(ctx)
+        self.load_dynamic(ctx)
+
+    def load_static(self, ctx) -> None:
+        """Constant ohmic parasitics: RC and RE (RB is bias-modulated)."""
+        p = self.params
+        c, _b, e, _s = self.node_index
+        ci, _bi, ei = self._internal_indices()
+        if self._has_rc:
+            ctx.stamp_conductance(c, ci, 1.0 / p.RC)
+        if self._has_re:
+            ctx.stamp_conductance(e, ei, 1.0 / p.RE)
+
+    def load_dynamic(self, ctx) -> None:
         p = self.params
         sign = self.sign
-        c, b, e, s = self.node_index
+        _c, b, _e, s = self.node_index
         ci, bi, ei = self._internal_indices()
 
         vbe_raw = sign * (ctx.voltage(bi) - ctx.voltage(ei))
@@ -82,13 +96,9 @@ class BJT(Element):
         dbe = vbe_raw - vbe
         dbc = vbc_raw - vbc
 
-        # Ohmic parasitics (rbb is bias-modulated through qb).
-        if self._has_rc:
-            ctx.stamp_conductance(c, ci, 1.0 / p.RC)
+        # Bias-modulated base resistance (through qb).
         if self._has_rb:
             ctx.stamp_conductance(b, bi, 1.0 / max(op.rbb, 1e-3))
-        if self._has_re:
-            ctx.stamp_conductance(e, ei, 1.0 / p.RE)
 
         # Terminal currents (residual-consistent companion form).
         ic = op.ic + op.dic_dvbe * dbe + op.dic_dvbc * dbc

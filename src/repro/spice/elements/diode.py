@@ -77,13 +77,19 @@ class Diode(Element):
         return True
 
     def load(self, ctx) -> None:
-        anode, cathode = self.node_index
+        self.load_static(ctx)
+        self.load_dynamic(ctx)
+
+    def load_static(self, ctx) -> None:
+        """Constant series resistance RS (when present)."""
         if self.rs > 0:
+            anode, _cathode = self.node_index
             (internal,) = self.branch_index
             ctx.stamp_conductance(anode, internal, 1.0 / self.rs)
-            junction_p = internal
-        else:
-            junction_p = anode
+
+    def load_dynamic(self, ctx) -> None:
+        anode, cathode = self.node_index
+        junction_p = self.branch_index[0] if self.rs > 0 else anode
         m = self.model
         n_vt = m.N * self._vt
 

@@ -203,6 +203,21 @@ class _IndependentSource(Element):
             return self.waveform.breakpoints(stop_time)
         return []
 
+    # -- compiled-engine hooks -------------------------------------------------
+
+    def has_time_varying_rhs(self) -> bool:
+        return True
+
+    def rhs_rows(self) -> list[tuple[int, float]]:
+        """Residual rows receiving ``coeff * value(t) * source_scale``.
+
+        Together with the constant Jacobian (stamped at compile time) this
+        reproduces :meth:`load` exactly: the compiled engine adds
+        ``coeff * source_value(time) * scale`` at each listed row per
+        evaluation instead of re-stamping the element.
+        """
+        raise NotImplementedError
+
 
 class VoltageSource(_IndependentSource):
     """Independent voltage source; carries a branch current unknown.
@@ -227,6 +242,9 @@ class VoltageSource(_IndependentSource):
         ctx.add_g(br, p, 1.0)
         ctx.add_g(br, n, -1.0)
 
+    def rhs_rows(self) -> list[tuple[int, float]]:
+        return [(self.branch_index[0], -1.0)]
+
 
 class CurrentSource(_IndependentSource):
     """Independent current source.
@@ -239,3 +257,8 @@ class CurrentSource(_IndependentSource):
         p, n = self.node_index
         value = self.source_value(ctx.time) * ctx.source_scale
         ctx.stamp_current_source(p, n, value)
+
+    def rhs_rows(self) -> list[tuple[int, float]]:
+        p, n = self.node_index
+        return [(row, coeff) for row, coeff in ((p, 1.0), (n, -1.0))
+                if row >= 0]

@@ -1,0 +1,992 @@
+"""Compiled-circuit evaluation core.
+
+The legacy evaluation path (:func:`repro.spice.mna.load_circuit`) walks
+every element on every Newton iteration and re-stamps all of them into
+freshly allocated matrices.  For the circuits this package targets —
+dozens of BJTs surrounded by a largely linear bias/load network — most of
+that work is identical from one iteration to the next.
+
+:class:`CompiledCircuit` partitions the elements once, at compile time:
+
+* **linear elements** (R, C, L, controlled sources, and the Jacobian part
+  of independent sources) are stamped a single time into cached constant
+  matrices ``G0``/``C0``; per evaluation their residual contribution is
+  the matrix-vector product ``G0 @ x`` (and ``C0 @ x`` for charges),
+* **independent sources** reduce to a handful of precomputed
+  ``(row, coeff)`` entries whose values are refreshed from the waveform
+  every evaluation (so in-place waveform mutation, as done by DC sweeps,
+  keeps working),
+* **nonlinear elements** are evaluated per iteration into preallocated
+  buffers.  Gummel-Poon BJTs — by far the dominant cost in this package's
+  benchmarks — are evaluated as a single vectorized group
+  (:class:`BJTGroup`): one numpy pass over all devices, scattered into
+  the matrices with ``np.add.at`` through index arrays built at compile
+  time.  Any other nonlinear element (diodes, BJT subclasses) falls back
+  to its scalar :meth:`~repro.spice.netlist.Element.load_dynamic`.
+
+Behind the engine sits a pluggable :class:`LinearSolver`.  The dense LU
+backend keeps its last factorization and reuses it when the caller passes
+the same ``token`` — which the analyses do for chord iterations on linear
+circuits (transient steps at a fixed step size, DC sweeps of linear
+networks).  Circuits above :data:`SPARSE_THRESHOLD` unknowns switch to a
+``scipy.sparse`` LU backend.
+
+Engine work is counted in :class:`EngineStats`, both per engine and into
+the module-level :data:`GLOBAL_STATS` accumulator that the benchmark
+harness snapshots.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+import warnings
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from ..devices.gummel_poon import EXP_LIMIT
+from ..errors import AnalysisError
+from .elements.bjt import BJT
+from .mna import LoadContext, load_circuit
+from .netlist import Circuit
+
+try:  # scipy is an optional accelerator; numpy alone is sufficient.
+    from scipy import linalg as _sla
+except ImportError:  # pragma: no cover - scipy is present in CI
+    _sla = None
+
+try:
+    from scipy import sparse as _sp
+    from scipy.sparse import linalg as _spla
+except ImportError:  # pragma: no cover - scipy is present in CI
+    _sp = None
+    _spla = None
+
+#: System size above which :func:`make_solver` picks the sparse backend.
+SPARSE_THRESHOLD = 512
+
+
+# ---------------------------------------------------------------------------
+# instrumentation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EngineStats:
+    """Counters for the work an engine performed.
+
+    Every analysis stores a snapshot-delta of these on its result object;
+    the module-level :data:`GLOBAL_STATS` accumulates across all engines
+    for whole-process profiling (benchmark harness, ``repro run
+    --profile``).
+    """
+
+    #: Individual element evaluations (nonlinear devices + source values);
+    #: cached linear stamps are free and intentionally not counted.
+    element_evals: int = 0
+    #: Full system assemblies (one per Newton/chord iteration).
+    assemblies: int = 0
+    #: LU factorizations performed by the linear solver.
+    factorizations: int = 0
+    #: Linear-system solves (back-substitutions).
+    solves: int = 0
+    #: Circuit compilations (matrix partitioning passes).
+    compilations: int = 0
+    #: Wall-clock seconds (filled in by analysis-level deltas).
+    wall_seconds: float = 0.0
+    #: Name of the linear-solver backend in use.
+    solver: str = ""
+
+    _COUNTERS = (
+        "element_evals",
+        "assemblies",
+        "factorizations",
+        "solves",
+        "compilations",
+    )
+
+    def copy(self) -> "EngineStats":
+        return EngineStats(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def since(self, snapshot: "EngineStats") -> "EngineStats":
+        """Counter deltas relative to an earlier :meth:`copy`."""
+        delta = self.copy()
+        for name in self._COUNTERS:
+            setattr(delta, name, getattr(self, name) - getattr(snapshot, name))
+        delta.wall_seconds = self.wall_seconds - snapshot.wall_seconds
+        return delta
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def summary(self) -> str:
+        return (
+            f"{self.assemblies} assemblies, {self.element_evals} element "
+            f"evals, {self.factorizations} factorizations, {self.solves} "
+            f"solves [{self.solver or 'n/a'}] in {self.wall_seconds * 1e3:.2f} ms"
+        )
+
+
+#: Process-wide accumulator; engines bump it alongside their own counters.
+GLOBAL_STATS = EngineStats()
+
+
+class _timed_stats:
+    """Context manager adding elapsed wall time to one or more stat sinks."""
+
+    def __init__(self, *sinks: EngineStats):
+        self.sinks = sinks
+
+    def __enter__(self):
+        self._t0 = _time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        elapsed = _time.perf_counter() - self._t0
+        for sink in self.sinks:
+            sink.wall_seconds += elapsed
+        return False
+
+
+# ---------------------------------------------------------------------------
+# linear solvers
+# ---------------------------------------------------------------------------
+
+
+class LinearSolver:
+    """Pluggable dense/sparse linear-solver interface.
+
+    ``solve(a, b, token=...)`` solves ``a @ x = b``.  A non-``None``
+    ``token`` promises that ``a`` is identical to the previous call that
+    passed the same token, allowing backends to reuse a factorization
+    (chord / Newton-Richardson iteration).  Singular systems raise
+    :class:`numpy.linalg.LinAlgError` so callers keep their existing
+    convergence-failure handling.
+    """
+
+    name = "numpy-dense"
+
+    def __init__(self):
+        self._sinks: tuple[EngineStats, ...] = ()
+
+    def bind(self, *sinks: EngineStats) -> None:
+        """Attach stat accumulators (engine stats + global stats)."""
+        self._sinks = sinks
+
+    def _count(self, attr: str, n: int = 1) -> None:
+        for sink in self._sinks:
+            setattr(sink, attr, getattr(sink, attr) + n)
+
+    def invalidate(self) -> None:
+        """Drop any cached factorization."""
+
+    def solve(self, a: np.ndarray, b: np.ndarray, token=None) -> np.ndarray:
+        self._count("factorizations")
+        self._count("solves")
+        return np.linalg.solve(a, b)
+
+
+class DenseLUSolver(LinearSolver):
+    """Dense LU via ``scipy.linalg.lu_factor`` with factorization reuse."""
+
+    name = "dense-lu"
+
+    def __init__(self):
+        super().__init__()
+        self._token = None
+        self._factor = None
+
+    def invalidate(self) -> None:
+        self._token = None
+        self._factor = None
+
+    def solve(self, a: np.ndarray, b: np.ndarray, token=None) -> np.ndarray:
+        if (
+            token is not None
+            and self._factor is not None
+            and token == self._token
+        ):
+            self._count("solves")
+            return _sla.lu_solve(self._factor, b, check_finite=False)
+        with warnings.catch_warnings():
+            # An exactly-zero pivot emits LinAlgWarning; the diagonal check
+            # below turns it into the LinAlgError callers expect.
+            warnings.simplefilter("ignore")
+            lu, piv = _sla.lu_factor(a, check_finite=False)
+        diag = np.diagonal(lu)
+        if not np.all(np.isfinite(lu)) or np.any(diag == 0.0):
+            self.invalidate()
+            raise np.linalg.LinAlgError("singular matrix in LU factorization")
+        self._count("factorizations")
+        self._count("solves")
+        if token is not None:
+            self._token, self._factor = token, (lu, piv)
+        else:
+            self.invalidate()
+        return _sla.lu_solve((lu, piv), b, check_finite=False)
+
+
+class SparseLUSolver(LinearSolver):
+    """Sparse LU via ``scipy.sparse.linalg.splu`` for large systems."""
+
+    name = "sparse-lu"
+
+    def __init__(self):
+        super().__init__()
+        self._token = None
+        self._factor = None
+
+    def invalidate(self) -> None:
+        self._token = None
+        self._factor = None
+
+    def solve(self, a: np.ndarray, b: np.ndarray, token=None) -> np.ndarray:
+        if (
+            token is not None
+            and self._factor is not None
+            and token == self._token
+        ):
+            self._count("solves")
+            return self._factor.solve(b)
+        matrix = _sp.csc_matrix(a)
+        try:
+            factor = _spla.splu(matrix)
+        except RuntimeError as exc:  # "Factor is exactly singular"
+            self.invalidate()
+            raise np.linalg.LinAlgError(str(exc)) from exc
+        self._count("factorizations")
+        self._count("solves")
+        if token is not None:
+            self._token, self._factor = token, factor
+        else:
+            self.invalidate()
+        return factor.solve(b)
+
+
+def make_solver(size: int, prefer: str | None = None) -> LinearSolver:
+    """Pick a solver backend for a system of ``size`` unknowns.
+
+    ``prefer`` forces a backend: ``"dense"``, ``"sparse"`` or ``"numpy"``.
+    """
+    if prefer == "numpy":
+        return LinearSolver()
+    if prefer == "sparse":
+        if _spla is None:
+            raise AnalysisError("sparse solver requested but scipy is absent")
+        return SparseLUSolver()
+    if prefer == "dense":
+        if _sla is None:
+            raise AnalysisError("dense LU solver requested but scipy is absent")
+        return DenseLUSolver()
+    if prefer is not None:
+        raise AnalysisError(f"unknown solver backend {prefer!r}")
+    if size >= SPARSE_THRESHOLD and _spla is not None:
+        return SparseLUSolver()
+    if _sla is not None:
+        return DenseLUSolver()
+    return LinearSolver()
+
+
+# ---------------------------------------------------------------------------
+# vectorized Gummel-Poon group
+# ---------------------------------------------------------------------------
+
+
+def _limited_exp_vec(arg: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`repro.devices.gummel_poon.limited_exp`."""
+    anchor = math.exp(EXP_LIMIT)
+    over = arg > EXP_LIMIT
+    base = np.exp(np.minimum(arg, EXP_LIMIT))
+    value = np.where(over, anchor * (1.0 + (arg - EXP_LIMIT)), base)
+    deriv = np.where(over, anchor, base)
+    return value, deriv
+
+
+def _diode_current_vec(
+    i_sat: np.ndarray, v: np.ndarray, n_vt: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized ideal-diode current; ``i_sat == 0`` lanes yield (0, 0)."""
+    exp_value, exp_deriv = _limited_exp_vec(v / n_vt)
+    return i_sat * (exp_value - 1.0), i_sat * exp_deriv / n_vt
+
+
+def _pnjlim_vec(
+    v_new: np.ndarray, v_old: np.ndarray, vt: np.ndarray, v_crit: np.ndarray
+) -> np.ndarray:
+    """Vectorized SPICE pnjlim junction-voltage limiting."""
+    limit = (v_new > v_crit) & (np.abs(v_new - v_old) > 2.0 * vt)
+    arg = 1.0 + (v_new - v_old) / vt
+    arg_pos = arg > 0.0
+    branch_pos = np.where(
+        arg_pos, v_old + vt * np.log(np.where(arg_pos, arg, 1.0)), v_crit
+    )
+    ratio = v_new / vt
+    ratio_pos = ratio > 0.0
+    branch_neg = vt * np.log(np.where(ratio_pos, ratio, 1.0))
+    limited = np.where(v_old > 0.0, branch_pos, branch_neg)
+    return np.where(limit, limited, v_new)
+
+
+class _DepletionJunction:
+    """Precomputed constants for a batch of depletion junctions.
+
+    All four BJT junction families (B-E, internal B-C, external B-C,
+    substrate) are stacked into one array so a single vectorized
+    :meth:`charge_cap` covers the whole group — per-op numpy overhead on
+    short arrays is what dominates small-circuit evaluation, so fewer,
+    longer operations win.
+    """
+
+    def __init__(self, cj, vj, m, fc):
+        cj = np.asarray(cj, dtype=float)
+        vj = np.asarray(vj, dtype=float)
+        m = np.asarray(m, dtype=float)
+        fc = np.asarray(fc, dtype=float)
+        self.cj = cj
+        self.threshold = fc * vj
+        self.one_m = 1.0 - m
+        f1 = vj / self.one_m * (1.0 - (1.0 - fc) ** self.one_m)
+        f2 = (1.0 - fc) ** (1.0 + m)
+        self.f3 = 1.0 - fc * (1.0 + m)
+        self.inv_vj = 1.0 / vj
+        self.coef_b = cj * vj / self.one_m
+        self.cj_f1 = cj * f1
+        self.cj_over_f2 = cj / f2
+        self.m_over_2vj = m / (2.0 * vj)
+        self.m_over_vj = m / vj
+        self.thr2 = self.threshold * self.threshold
+
+    def charge_cap(self, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized SPICE depletion Q(v), C(v); ``cj == 0`` lanes are 0."""
+        below = v < self.threshold
+        arg = np.where(below, 1.0 - v * self.inv_vj, 1.0)
+        pow_one_m = arg ** self.one_m
+        charge_b = self.coef_b * (1.0 - pow_one_m)
+        cap_b = self.cj * pow_one_m / arg  # arg^(1-m)/arg == arg^-m
+        dv = v - self.threshold
+        charge_a = self.cj_f1 + self.cj_over_f2 * (
+            self.f3 * dv + self.m_over_2vj * (v * v - self.thr2)
+        )
+        cap_a = self.cj_over_f2 * (self.f3 + self.m_over_vj * v)
+        return (
+            np.where(below, charge_b, charge_a),
+            np.where(below, cap_b, cap_a),
+        )
+
+
+class BJTGroup:
+    """All plain :class:`~repro.spice.elements.bjt.BJT` instances of a
+    circuit, evaluated as one vectorized numpy pass.
+
+    Compile time gathers per-device parameter arrays and builds the
+    scatter-index arrays; :meth:`load` then reproduces the scalar
+    ``BJT.load_dynamic`` stamps for every device at once.  Ground (-1)
+    terminal indices are mapped to a dummy slot ``size`` — the engine's
+    buffers carry one extra row/column that is never read.
+    """
+
+    def __init__(self, devices, size, i_full, q_full, g_full, c_full, xg):
+        self.devices = list(devices)
+        self.names = [d.name for d in self.devices]
+        n = len(self.devices)
+        self.n = n
+        n1 = size + 1
+        self._i_full = i_full
+        self._q_full = q_full
+        self._g_flat = g_full.reshape(-1)
+        self._c_flat = c_full.reshape(-1)
+        self._xg = xg
+        self.size = size
+
+        def gather(values, dtype=float):
+            return np.asarray(list(values), dtype=dtype)
+
+        def nodes(index):
+            a = gather((d.node_index[index] for d in self.devices), np.intp)
+            a[a < 0] = size
+            return a
+
+        b_ext = nodes(1)
+        s_ext = nodes(3)
+        internal = [d._internal_indices() for d in self.devices]
+        ci = gather((t[0] for t in internal), np.intp)
+        bi = gather((t[1] for t in internal), np.intp)
+        ei = gather((t[2] for t in internal), np.intp)
+        ci[ci < 0] = size
+        bi[bi < 0] = size
+        ei[ei < 0] = size
+        self.b_ext, self.s_ext = b_ext, s_ext
+        self.ci, self.bi, self.ei = ci, bi, ei
+
+        def param(attr):
+            return gather(getattr(d.params, attr) for d in self.devices)
+
+        self.sign = param("sign")
+        vt = gather(d._vt for d in self.devices)
+        self.nf_vt = param("NF") * vt
+        self.nr_vt = param("NR") * vt
+        self.ne_vt = param("NE") * vt
+        self.nc_vt = param("NC") * vt
+        self.vcrit_be = gather(d._vcrit_be for d in self.devices)
+        self.vcrit_bc = gather(d._vcrit_bc for d in self.devices)
+        self.IS = param("IS")
+        self.ISE = param("ISE")
+        self.ISC = param("ISC")
+        self.BF = param("BF")
+        self.BR = param("BR")
+        self.VAF = param("VAF")
+        self.VAR = param("VAR")
+        self.IKF = param("IKF")
+        self.IKR = param("IKR")
+        self.TF = param("TF")
+        self.XTF = param("XTF")
+        self.ITF = param("ITF")
+        self.TR = param("TR")
+        self.RB = param("RB")
+        self.rbm = gather(d.params.rbm_effective for d in self.devices)
+        self.has_rb = gather((d._has_rb for d in self.devices), bool)
+        vtf = param("VTF")
+        #: 1/(1.44*VTF); infinite VTF collapses to 0 so exp(0)=1, d=0 — the
+        #: same result as the scalar isfinite branch.
+        with np.errstate(divide="ignore"):
+            self.inv_vtf144 = np.where(
+                np.isfinite(vtf), 1.0 / (1.44 * vtf), 0.0
+            )
+        self.itf_pos = self.ITF > 0.0
+
+        cat = np.concatenate
+        # The four junction diodes (BE ideal, BE leakage, BC ideal, BC
+        # leakage) are evaluated as one stacked exp over 4n lanes.
+        self._diode_isat = cat([self.IS, self.ISE, self.IS, self.ISC])
+        self._diode_nvt = cat([self.nf_vt, self.ne_vt, self.nr_vt, self.nc_vt])
+        # pnjlim for (vbe, vbc) runs as one stacked call over 2n lanes.
+        self._lim_vt = cat([self.nf_vt, self.nr_vt])
+        self._lim_vcrit = cat([self.vcrit_be, self.vcrit_bc])
+
+        fc = param("FC")
+        xcjc = param("XCJC")
+        cjc = param("CJC")
+        vjc, mjc = param("VJC"), param("MJC")
+        # One stacked depletion batch: [B-E, internal B-C, external B-C,
+        # substrate] — zero-CJ lanes (XCJC == 1, CJS == 0) contribute 0.
+        self.junctions = _DepletionJunction(
+            cat([param("CJE"), cjc * xcjc, cjc * (1.0 - xcjc), param("CJS")]),
+            cat([param("VJE"), vjc, vjc, param("VJS")]),
+            cat([param("MJE"), mjc, mjc, param("MJS")]),
+            cat([fc, fc, fc, fc]),
+        )
+
+        # -- scatter index arrays (C-order ravel of the (slots, n) buffers) --
+        cat = np.concatenate
+        self._i_rows = cat([b_ext, bi, ci, bi, ei])
+        self._q_rows = cat([bi, ei, bi, ci, b_ext, ci, s_ext, ci])
+
+        def flat(rows, cols):
+            return rows.astype(np.intp) * n1 + cols
+
+        g_pairs = [
+            (b_ext, b_ext), (b_ext, bi), (bi, b_ext), (bi, bi),  # rb
+            (ci, bi), (ci, ei), (ci, ci),  # dIc rows
+            (bi, bi), (bi, ei), (bi, ci),  # dIb rows
+            (ei, bi), (ei, ei), (ei, ci),  # dIe rows
+        ]
+        self._g_idx = cat([flat(r, c) for r, c in g_pairs])
+        c_pairs = [
+            (bi, bi), (bi, ei), (ei, bi), (ei, ei),  # cpi (dqbe_dvbe)
+            (bi, bi), (bi, ci), (ei, bi), (ei, ci),  # dqbe_dvbc cross term
+            (bi, bi), (bi, ci), (ci, bi), (ci, ci),  # cmu (dqbc_dvbc)
+            (b_ext, b_ext), (b_ext, ci), (ci, b_ext), (ci, ci),  # cbx
+            (s_ext, s_ext), (s_ext, ci), (ci, s_ext), (ci, ci),  # cjs
+        ]
+        self._c_idx = cat([flat(r, c) for r, c in c_pairs])
+
+        self._i_vals = np.empty((5, n))
+        self._q_vals = np.empty((8, n))
+        self._g_vals = np.empty((13, n))
+        self._c_vals = np.empty((20, n))
+
+    # -- evaluation -----------------------------------------------------------
+
+    def _evaluate(self, vbe, vbc, gmin, qje, cje, qjc, cjc):
+        """Vectorized port of :func:`repro.devices.gummel_poon.evaluate`.
+
+        The depletion contributions ``qje``/``cje`` (B-E) and ``qjc``/
+        ``cjc`` (internal B-C) are computed by the caller as part of the
+        stacked four-junction batch.
+        """
+        n = self.n
+        v4 = np.concatenate([vbe, vbe, vbc, vbc])
+        i4, g4 = _diode_current_vec(self._diode_isat, v4, self._diode_nvt)
+        ibe1 = i4[:n] + gmin * vbe
+        gbe1 = g4[:n] + gmin
+        ibe2, gbe2 = i4[n : 2 * n], g4[n : 2 * n]
+        ibc1 = i4[2 * n : 3 * n] + gmin * vbc
+        gbc1 = g4[2 * n : 3 * n] + gmin
+        ibc2, gbc2 = i4[3 * n :], g4[3 * n :]
+
+        inv_early = 1.0 - vbc / self.VAF - vbe / self.VAR
+        np.maximum(inv_early, 1e-4, out=inv_early)
+        q1 = 1.0 / inv_early
+        q2 = ibe1 / self.IKF + ibc1 / self.IKR
+        sqarg = np.sqrt(1.0 + 4.0 * np.maximum(q2, -0.2499))
+        qb = q1 * (1.0 + sqarg) / 2.0
+
+        dq1_dvbe = q1 * q1 / self.VAR
+        dq1_dvbc = q1 * q1 / self.VAF
+        dq2_dvbe = gbe1 / self.IKF
+        dq2_dvbc = gbc1 / self.IKR
+        dqb_dvbe = dq1_dvbe * (1.0 + sqarg) / 2.0 + q1 * dq2_dvbe / sqarg
+        dqb_dvbc = dq1_dvbc * (1.0 + sqarg) / 2.0 + q1 * dq2_dvbc / sqarg
+
+        it = (ibe1 - ibc1) / qb
+        dit_dvbe = (gbe1 - it * dqb_dvbe) / qb
+        dit_dvbc = (-gbc1 - it * dqb_dvbc) / qb
+
+        ic = it - ibc1 / self.BR - ibc2
+        ib = ibe1 / self.BF + ibe2 + ibc1 / self.BR + ibc2
+        dic_dvbe = dit_dvbe
+        dic_dvbc = dit_dvbc - gbc1 / self.BR - gbc2
+        dib_dvbe = gbe1 / self.BF + gbe2
+        dib_dvbc = gbc1 / self.BR + gbc2
+
+        # Bias-dependent forward transit time: TF == 0 or XTF == 0 lanes
+        # reduce to tf_eff = TF, dtf = 0 without needing an explicit mask.
+        ibe_pos = np.maximum(ibe1, 0.0)
+        denom = ibe_pos + self.ITF
+        denom_safe = np.where(denom > 0.0, denom, 1.0)
+        w = np.where(self.itf_pos, ibe_pos / denom_safe, 1.0)
+        dw_dvbe = np.where(
+            self.itf_pos & (ibe1 > 0.0),
+            gbe1 * self.ITF / (denom_safe * denom_safe),
+            0.0,
+        )
+        exp_vbc = np.exp(np.minimum(vbc * self.inv_vtf144, EXP_LIMIT))
+        dexp_dvbc = exp_vbc * self.inv_vtf144
+        tf_eff = self.TF * (1.0 + self.XTF * w * w * exp_vbc)
+        dtf_dvbe = self.TF * self.XTF * 2.0 * w * dw_dvbe * exp_vbc
+        dtf_dvbc = self.TF * self.XTF * w * w * dexp_dvbc
+
+        qde = tf_eff * ibe1 / qb
+        dqde_dvbe = (dtf_dvbe * ibe1 + tf_eff * gbe1 - qde * dqb_dvbe) / qb
+        dqde_dvbc = (dtf_dvbc * ibe1 - qde * dqb_dvbc) / qb
+
+        qdc = self.TR * ibc1
+
+        rbb = self.rbm + (self.RB - self.rbm) / qb
+
+        return {
+            "ic": ic,
+            "ib": ib,
+            "dic_dvbe": dic_dvbe,
+            "dic_dvbc": dic_dvbc,
+            "dib_dvbe": dib_dvbe,
+            "dib_dvbc": dib_dvbc,
+            "qbe": qde + qje,
+            "qbc": qdc + qjc,
+            "dqbe_dvbe": dqde_dvbe + cje,
+            "dqbe_dvbc": dqde_dvbc,
+            "dqbc_dvbc": self.TR * gbc1 + cjc,
+            "rbb": rbb,
+        }
+
+    def load(self, ctx: LoadContext) -> None:
+        """Stamp every device of the group; mirrors ``BJT.load_dynamic``."""
+        size = self.size
+        xg = self._xg
+        xg[:size] = ctx.x
+        xg[size] = 0.0
+        v_b = xg[self.b_ext]
+        v_s = xg[self.s_ext]
+        v_ci = xg[self.ci]
+        v_bi = xg[self.bi]
+        v_ei = xg[self.ei]
+        sign = self.sign
+
+        n = self.n
+        vbe_raw = sign * (v_bi - v_ei)
+        vbc_raw = sign * (v_bi - v_ci)
+        limits = ctx.limits
+        v_raw = np.concatenate([vbe_raw, vbc_raw])
+        v_old = v_raw.copy()
+        for k, name in enumerate(self.names):
+            old = limits.get(name)
+            if old is not None:
+                v_old[k], v_old[n + k] = old
+        v_lim = _pnjlim_vec(v_raw, v_old, self._lim_vt, self._lim_vcrit)
+        vbe = v_lim[:n]
+        vbc = v_lim[n:]
+        for name, lim_be, lim_bc in zip(
+            self.names, vbe.tolist(), vbc.tolist()
+        ):
+            limits[name] = (lim_be, lim_bc)
+
+        # Stacked depletion batch: B-E and internal B-C at the limited
+        # voltages, external B-C and substrate at the raw ones.
+        vbx = sign * (v_b - v_ci)
+        vsc = sign * (v_s - v_ci)
+        qdep, cdep = self.junctions.charge_cap(
+            np.concatenate([vbe, vbc, vbx, vsc])
+        )
+        qbx, cbx = qdep[2 * n : 3 * n], cdep[2 * n : 3 * n]
+        qjs, cjs = qdep[3 * n :], cdep[3 * n :]
+
+        op = self._evaluate(
+            vbe, vbc, ctx.gmin, qdep[:n], cdep[:n],
+            qdep[n : 2 * n], cdep[n : 2 * n],
+        )
+        dbe = vbe_raw - vbe
+        dbc = vbc_raw - vbc
+
+        grb = np.where(
+            self.has_rb, 1.0 / np.maximum(op["rbb"], 1e-3), 0.0
+        )
+        irb = grb * (v_b - v_bi)
+
+        ic = op["ic"] + op["dic_dvbe"] * dbe + op["dic_dvbc"] * dbc
+        ib = op["ib"] + op["dib_dvbe"] * dbe + op["dib_dvbc"] * dbc
+        iv = self._i_vals
+        iv[0] = irb
+        iv[1] = -irb
+        iv[2] = sign * ic
+        iv[3] = sign * ib
+        iv[4] = -sign * (ic + ib)
+        np.add.at(self._i_full, self._i_rows, iv.reshape(-1))
+
+        dic_e, dic_c = op["dic_dvbe"], op["dic_dvbc"]
+        dib_e, dib_c = op["dib_dvbe"], op["dib_dvbc"]
+        gv = self._g_vals
+        gv[0] = grb
+        gv[1] = -grb
+        gv[2] = -grb
+        gv[3] = grb
+        gv[4] = dic_e + dic_c
+        gv[5] = -dic_e
+        gv[6] = -dic_c
+        gv[7] = dib_e + dib_c
+        gv[8] = -dib_e
+        gv[9] = -dib_c
+        gv[10] = -(dic_e + dib_e) - (dic_c + dib_c)
+        gv[11] = dic_e + dib_e
+        gv[12] = dic_c + dib_c
+        np.add.at(self._g_flat, self._g_idx, gv.reshape(-1))
+
+        # Charges: B'-E', B'-C' in companion form (their voltages are
+        # limited); B-C' and S-C' at the raw external voltages.
+        qbe = op["qbe"] + op["dqbe_dvbe"] * dbe + op["dqbe_dvbc"] * dbc
+        qbc = op["qbc"] + op["dqbc_dvbc"] * dbc
+        qv = self._q_vals
+        qv[0] = sign * qbe
+        qv[1] = -sign * qbe
+        qv[2] = sign * qbc
+        qv[3] = -sign * qbc
+        qv[4] = sign * qbx
+        qv[5] = -sign * qbx
+        qv[6] = sign * qjs
+        qv[7] = -sign * qjs
+        np.add.at(self._q_full, self._q_rows, qv.reshape(-1))
+
+        cpi = op["dqbe_dvbe"]
+        cx = op["dqbe_dvbc"]
+        cmu = op["dqbc_dvbc"]
+        cv = self._c_vals
+        cv[0] = cpi
+        cv[1] = -cpi
+        cv[2] = -cpi
+        cv[3] = cpi
+        cv[4] = cx
+        cv[5] = -cx
+        cv[6] = -cx
+        cv[7] = cx
+        cv[8] = cmu
+        cv[9] = -cmu
+        cv[10] = -cmu
+        cv[11] = cmu
+        cv[12] = cbx
+        cv[13] = -cbx
+        cv[14] = -cbx
+        cv[15] = cbx
+        cv[16] = cjs
+        cv[17] = -cjs
+        cv[18] = -cjs
+        cv[19] = cjs
+        np.add.at(self._c_flat, self._c_idx, cv.reshape(-1))
+
+
+# ---------------------------------------------------------------------------
+# engines
+# ---------------------------------------------------------------------------
+
+
+class CompiledCircuit:
+    """Compile-once, evaluate-many circuit engine.
+
+    Construction partitions the elements, stamps the linear part into
+    cached ``G0``/``C0`` matrices, precomputes source RHS rows and builds
+    the vectorized BJT group.  :meth:`evaluate` then assembles the full
+    system into preallocated buffers and returns a
+    :class:`~repro.spice.mna.LoadContext` over them — the same object the
+    analyses already consume, so the legacy and compiled paths are
+    interchangeable.
+
+    The returned context's arrays are *views into engine-owned buffers*:
+    they are overwritten by the next :meth:`evaluate` call.  Analyses
+    copy what they need to keep (which they already did for the legacy
+    path's per-call allocations, only implicitly).
+    """
+
+    def __init__(self, circuit: Circuit, solver: LinearSolver | None = None):
+        t0 = _time.perf_counter()
+        self.circuit = circuit
+        size = circuit.assign_indices()
+        self.size = size
+        self.num_nodes = len(circuit.node_map)
+        self.generation = circuit._generation
+        self.stats = EngineStats()
+
+        sources = []
+        nonlinear = []
+        for element in circuit:
+            if element.has_time_varying_rhs():
+                sources.append(element)
+            if element.is_nonlinear():
+                nonlinear.append(element)
+        #: (element, [(row, coeff), ...]) pairs; rows are fixed by the
+        #: topology, values are re-read from the waveform per evaluation.
+        self._source_rows = [
+            (element, [entry for entry in element.rhs_rows()])
+            for element in sources
+        ]
+        bjts = [e for e in nonlinear if type(e) is BJT]
+        self._scalar_dynamic = [e for e in nonlinear if type(e) is not BJT]
+        self._eval_cost = len(sources) + len(nonlinear)
+        self.has_constant_jacobian = not nonlinear
+
+        # Constant linear stamps, captured by probing load_static with
+        # x = 0 and source_scale = 0: every linear element then stamps
+        # exactly its Jacobian and a zero residual.
+        probe = LoadContext(size, np.zeros(size), None, 0.0, source_scale=0.0)
+        for element in circuit:
+            element.load_static(probe)
+        self._g0 = probe.g_mat
+        self._c0 = probe.c_mat
+        self._i0 = probe.i_vec
+        self._q0 = probe.q_vec
+
+        # Evaluation buffers carry a dummy slot (row/col ``size``) that
+        # absorbs ground stamps from the vectorized group.
+        n1 = size + 1
+        self._i_full = np.zeros(n1)
+        self._q_full = np.zeros(n1)
+        self._g_full = np.zeros((n1, n1))
+        self._c_full = np.zeros((n1, n1))
+        self._xg = np.zeros(n1)
+
+        self._bjt_group = (
+            BJTGroup(
+                bjts,
+                size,
+                self._i_full,
+                self._q_full,
+                self._g_full,
+                self._c_full,
+                self._xg,
+            )
+            if bjts
+            else None
+        )
+
+        self.solver = solver if solver is not None else make_solver(size)
+        self.solver.bind(self.stats, GLOBAL_STATS)
+        self.stats.solver = self.solver.name
+        GLOBAL_STATS.solver = self.solver.name
+        self.stats.compilations += 1
+        GLOBAL_STATS.compilations += 1
+        elapsed = _time.perf_counter() - t0
+        self.stats.wall_seconds += elapsed
+        GLOBAL_STATS.wall_seconds += elapsed
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(
+        self,
+        x: np.ndarray,
+        time: float | None = None,
+        gmin: float = 1e-12,
+        x_prev: np.ndarray | None = None,
+        limits: dict | None = None,
+        source_scale: float = 1.0,
+    ) -> LoadContext:
+        """Assemble I, G, Q, C at candidate ``x``; returns a LoadContext
+        whose arrays are views into the engine's reusable buffers."""
+        size = self.size
+        i = self._i_full[:size]
+        q = self._q_full[:size]
+        g = self._g_full[:size, :size]
+        c = self._c_full[:size, :size]
+
+        np.copyto(g, self._g0)
+        np.copyto(c, self._c0)
+        np.dot(self._g0, x, out=i)
+        i += self._i0
+        np.dot(self._c0, x, out=q)
+        q += self._q0
+
+        if source_scale != 0.0:
+            for element, rows in self._source_rows:
+                value = element.source_value(time) * source_scale
+                if value != 0.0:
+                    for row, coeff in rows:
+                        i[row] += coeff * value
+
+        ctx = LoadContext(
+            size, x, time, gmin, source_scale, buffers=(i, g, q, c)
+        )
+        ctx.x_prev = x_prev
+        if limits is not None:
+            ctx.limits = limits
+
+        if self._bjt_group is not None:
+            self._bjt_group.load(ctx)
+        for element in self._scalar_dynamic:
+            element.load_dynamic(ctx)
+
+        self.stats.assemblies += 1
+        GLOBAL_STATS.assemblies += 1
+        self.stats.element_evals += self._eval_cost
+        GLOBAL_STATS.element_evals += self._eval_cost
+        return ctx
+
+    def solve(self, a: np.ndarray, b: np.ndarray, token=None) -> np.ndarray:
+        """Solve ``a @ x = b`` through the pluggable backend.
+
+        ``token``-based factorization reuse is only honoured for circuits
+        with a constant Jacobian — for nonlinear circuits every Newton
+        matrix differs and reuse would silently turn Newton into a chord
+        method with a stale Jacobian.
+        """
+        if token is not None and not self.has_constant_jacobian:
+            token = None
+        return self.solver.solve(a, b, token=token)
+
+    def timed(self) -> _timed_stats:
+        """Context manager charging elapsed wall time to this engine."""
+        return _timed_stats(self.stats, GLOBAL_STATS)
+
+    def invalidate_factorization(self) -> None:
+        self.solver.invalidate()
+
+
+class LegacyEngine:
+    """Reference engine: per-evaluation full re-stamp (the seed behavior).
+
+    Exposes the same ``evaluate``/``solve``/``stats`` surface as
+    :class:`CompiledCircuit` so analyses and equivalence tests can swap
+    engines freely.
+    """
+
+    has_constant_jacobian = False
+
+    def __init__(self, circuit: Circuit, solver: LinearSolver | None = None):
+        self.circuit = circuit
+        self.size = circuit.assign_indices()
+        self.num_nodes = len(circuit.node_map)
+        self.generation = circuit._generation
+        self.stats = EngineStats()
+        self.solver = solver if solver is not None else LinearSolver()
+        self.solver.bind(self.stats, GLOBAL_STATS)
+        self.stats.solver = self.solver.name
+
+    def evaluate(
+        self,
+        x: np.ndarray,
+        time: float | None = None,
+        gmin: float = 1e-12,
+        x_prev: np.ndarray | None = None,
+        limits: dict | None = None,
+        source_scale: float = 1.0,
+    ) -> LoadContext:
+        self.stats.assemblies += 1
+        GLOBAL_STATS.assemblies += 1
+        count = len(self.circuit)
+        self.stats.element_evals += count
+        GLOBAL_STATS.element_evals += count
+        return load_circuit(
+            self.circuit,
+            x,
+            time=time,
+            gmin=gmin,
+            x_prev=x_prev,
+            limits=limits,
+            source_scale=source_scale,
+        )
+
+    def solve(self, a: np.ndarray, b: np.ndarray, token=None) -> np.ndarray:
+        return self.solver.solve(a, b, token=None)
+
+    def timed(self) -> _timed_stats:
+        return _timed_stats(self.stats, GLOBAL_STATS)
+
+    def invalidate_factorization(self) -> None:
+        self.solver.invalidate()
+
+
+# ---------------------------------------------------------------------------
+# engine resolution / caching
+# ---------------------------------------------------------------------------
+
+
+def compile_circuit(
+    circuit: Circuit, solver: LinearSolver | None = None
+) -> CompiledCircuit:
+    """Compile ``circuit`` into a fresh :class:`CompiledCircuit`."""
+    return CompiledCircuit(circuit, solver=solver)
+
+
+def get_engine(circuit: Circuit) -> CompiledCircuit:
+    """The circuit's cached compiled engine, rebuilt when stale.
+
+    Staleness is tracked by ``Circuit._generation`` (bumped on element
+    add/remove and by :meth:`Circuit.invalidate`).
+    """
+    circuit.assign_indices()
+    cached = getattr(circuit, "_compiled_engine", None)
+    if cached is not None and cached.generation == circuit._generation:
+        return cached
+    engine = CompiledCircuit(circuit)
+    circuit._compiled_engine = engine
+    return engine
+
+
+def resolve_engine(circuit: Circuit, engine=None):
+    """Resolve an analysis ``engine=`` argument.
+
+    ``None`` uses the circuit's cached compiled engine, the string
+    ``"legacy"`` a cached per-element re-stamping engine, the string
+    ``"compiled"`` the compiled engine explicitly; an engine object is
+    validated against the circuit's current generation.
+    """
+    if engine is None or engine == "compiled":
+        return get_engine(circuit)
+    if engine == "legacy":
+        circuit.assign_indices()
+        cached = getattr(circuit, "_legacy_engine", None)
+        if cached is not None and cached.generation == circuit._generation:
+            return cached
+        legacy = LegacyEngine(circuit)
+        circuit._legacy_engine = legacy
+        return legacy
+    if isinstance(engine, str):
+        raise AnalysisError(
+            f"unknown engine {engine!r}; expected 'compiled' or 'legacy'"
+        )
+    if engine.circuit is not circuit:
+        raise AnalysisError("engine was compiled for a different circuit")
+    if engine.generation != circuit._generation:
+        raise AnalysisError(
+            "engine is stale: the circuit changed after compilation "
+            "(recompile with compile_circuit, or pass engine=None)"
+        )
+    return engine

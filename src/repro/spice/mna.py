@@ -49,6 +49,7 @@ class LoadContext:
         time: float | None,
         gmin: float,
         source_scale: float = 1.0,
+        buffers: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None,
     ):
         self.size = size
         self.x = x
@@ -56,10 +57,16 @@ class LoadContext:
         self.gmin = gmin
         #: Homotopy factor applied by independent sources (source stepping).
         self.source_scale = source_scale
-        self.i_vec = np.zeros(size)
-        self.g_mat = np.zeros((size, size))
-        self.q_vec = np.zeros(size)
-        self.c_mat = np.zeros((size, size))
+        if buffers is None:
+            self.i_vec = np.zeros(size)
+            self.g_mat = np.zeros((size, size))
+            self.q_vec = np.zeros(size)
+            self.c_mat = np.zeros((size, size))
+        else:
+            # Preallocated accumulators owned by a compiled engine; they
+            # arrive pre-filled with the cached linear contributions and
+            # are overwritten on the engine's next evaluation.
+            self.i_vec, self.g_mat, self.q_vec, self.c_mat = buffers
         #: Solution of the previous Newton iterate, used by devices for
         #: junction-voltage limiting.  ``None`` on the first iteration.
         self.x_prev: np.ndarray | None = None

@@ -74,6 +74,41 @@ class Element:
         """Whether the element's I or Q depends nonlinearly on ``x``."""
         return False
 
+    # -- compiled-engine capability hooks --------------------------------------
+    #
+    # The compiled engine (:mod:`repro.spice.engine`) partitions elements at
+    # compile time.  The default hooks classify any element by
+    # :meth:`is_nonlinear` / :meth:`has_time_varying_rhs` alone; elements
+    # mixing constant and bias-dependent stamps (BJT, diode with RS)
+    # override :meth:`load_static` / :meth:`load_dynamic` so their constant
+    # ohmic parasitics are stamped once into the cached matrices.  The
+    # invariant is ``load == load_static + load_dynamic`` (plus, for
+    # independent sources, the :meth:`rhs_rows` source-vector entries).
+
+    def is_linear(self) -> bool:
+        """Whether I and Q are linear (affine) functions of ``x``."""
+        return not self.is_nonlinear()
+
+    def has_time_varying_rhs(self) -> bool:
+        """Whether the residual has an x-independent part that depends on
+        time or ``source_scale`` (true for independent V/I sources)."""
+        return False
+
+    def load_static(self, ctx) -> None:
+        """Stamp the contributions that are constant for a fixed topology:
+        Jacobian entries independent of ``x``/time and their (linear)
+        residual terms.  Called once at engine compile time, on a probe
+        context with ``x = 0`` and ``source_scale = 0`` — so for a linear
+        element (independent sources included) the plain :meth:`load`
+        stamps exactly the constant Jacobian."""
+        if self.is_linear():
+            self.load(ctx)
+
+    def load_dynamic(self, ctx) -> None:
+        """Stamp the per-iteration (bias-dependent) contributions."""
+        if self.is_nonlinear():
+            self.load(ctx)
+
     # -- convenience ---------------------------------------------------------
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -97,6 +132,9 @@ class Circuit:
         self.node_map: dict[str, int] = {}
         self.num_unknowns = 0
         self._dirty = True
+        #: Bumped on every topology/value change; compiled engines compare
+        #: it against the generation they were built from.
+        self._generation = 0
 
     # -- construction --------------------------------------------------------
 
@@ -110,6 +148,7 @@ class Circuit:
             raise NetlistError(f"duplicate element name {element.name!r}")
         self._elements[key] = element
         self._dirty = True
+        self._generation += 1
         return element
 
     def remove(self, name: str) -> Element:
@@ -119,7 +158,15 @@ class Circuit:
         except KeyError:
             raise NetlistError(f"no element named {name!r}") from None
         self._dirty = True
+        self._generation += 1
         return element
+
+    def invalidate(self) -> None:
+        """Mark cached compiled state stale after mutating an element value
+        in place (e.g. changing a resistance).  Waveform changes on
+        independent sources do *not* require this — source values are read
+        per evaluation."""
+        self._generation += 1
 
     def element(self, name: str) -> Element:
         """Look up an element by (case-insensitive) name."""

@@ -32,7 +32,7 @@ from .dcop import solve_dc
 from .elements.bjt import BJT
 from .elements.diode import Diode
 from .elements.resistor import Resistor
-from .mna import load_circuit
+from .engine import EngineStats, resolve_engine
 from .netlist import Circuit
 
 #: Boltzmann constant (J/K) and electron charge (C).
@@ -158,6 +158,8 @@ class NoiseResult:
     #: |H(f)|^2 from the designated input source to the output (None when
     #: no input source was given)
     gain_squared: np.ndarray | None = None
+    #: Engine work performed by this analysis.
+    stats: EngineStats | None = None
 
     def output_rms_density(self, frequency: float) -> float:
         """Output noise density in V/sqrt(Hz), interpolated."""
@@ -207,6 +209,7 @@ def solve_noise(
     frequencies,
     input_source: str | None = None,
     gmin: float = 1e-12,
+    engine=None,
 ) -> NoiseResult:
     """Run a noise analysis at the DC operating point.
 
@@ -216,10 +219,24 @@ def solve_noise(
     frequencies = np.asarray(list(frequencies), dtype=float)
     if len(frequencies) == 0:
         raise AnalysisError("noise analysis needs at least one frequency")
+    engine = resolve_engine(circuit, engine)
+    snapshot = engine.stats.copy()
+    with engine.timed():
+        result = _solve_noise(
+            circuit, engine, output_node, frequencies, input_source, gmin
+        )
+    result.stats = engine.stats.since(snapshot)
+    return result
+
+
+def _solve_noise(
+    circuit, engine, output_node, frequencies, input_source, gmin
+) -> NoiseResult:
     limits: dict = {}
-    x_op = solve_dc(circuit, gmin=gmin, limits=limits)
-    ctx = load_circuit(circuit, x_op, gmin=gmin, limits=limits)
-    g_mat, c_mat = ctx.g_mat, ctx.c_mat
+    x_op = solve_dc(circuit, gmin=gmin, limits=limits, engine=engine)
+    ctx = engine.evaluate(x_op, gmin=gmin, limits=limits)
+    # Copies: the frequency loop below must survive later evaluations.
+    g_mat, c_mat = ctx.g_mat.copy(), ctx.c_mat.copy()
 
     out_index = circuit.node_index(output_node)
     if out_index < 0:
@@ -243,7 +260,7 @@ def solve_noise(
     for k, frequency in enumerate(frequencies):
         omega = 2.0 * math.pi * frequency
         system = g_mat + 1j * omega * c_mat
-        adjoint = np.linalg.solve(system.T, e_out.astype(complex))
+        adjoint = engine.solve(system.T, e_out.astype(complex))
         for source in sources:
             y_p = adjoint[source.p] if source.p >= 0 else 0.0
             y_n = adjoint[source.n] if source.n >= 0 else 0.0
@@ -253,7 +270,7 @@ def solve_noise(
             contributions[source.element][k] += value
         if input_element is not None:
             gain_squared[k] = _input_gain_squared(
-                system, input_element, out_index, size
+                system, input_element, out_index, size, engine
             )
 
     return NoiseResult(
@@ -266,7 +283,8 @@ def solve_noise(
     )
 
 
-def _input_gain_squared(system, element, out_index: int, size: int) -> float:
+def _input_gain_squared(system, element, out_index: int, size: int,
+                        engine=None) -> float:
     from .elements.sources import CurrentSource, VoltageSource
 
     rhs = np.zeros(size, dtype=complex)
@@ -282,5 +300,8 @@ def _input_gain_squared(system, element, out_index: int, size: int) -> float:
         raise AnalysisError(
             f"input source {element.name!r} is not an independent source"
         )
-    solution = np.linalg.solve(system, rhs)
+    if engine is not None:
+        solution = engine.solve(system, rhs)
+    else:
+        solution = np.linalg.solve(system, rhs)
     return abs(solution[out_index]) ** 2

@@ -44,6 +44,35 @@ class DeckRun:
                 return result
         raise AnalysisError(f"deck produced no {kind.__name__}")
 
+    def profile(self) -> str:
+        """Per-analysis engine work report (assemblies, solves, wall time).
+
+        Results that carry no :class:`~repro.spice.engine.EngineStats`
+        (e.g. Fourier post-processing) are listed without counters.
+        """
+        kind_names = {
+            "OperatingPointResult": ".OP",
+            "DCSweepResult": ".DC",
+            "ACResult": ".AC",
+            "TransientResult": ".TRAN",
+            "TransferFunction": ".TF",
+            "NoiseResult": ".NOISE",
+            "FourierResult": ".FOUR",
+        }
+        lines = ["engine profile:"]
+        total_wall = 0.0
+        for result in self.results:
+            label = kind_names.get(type(result).__name__,
+                                   type(result).__name__)
+            stats = getattr(result, "stats", None)
+            if stats is None:
+                lines.append(f"  {label:7s} (no engine work)")
+                continue
+            total_wall += stats.wall_seconds
+            lines.append(f"  {label:7s} {stats.summary()}")
+        lines.append(f"  total engine wall time: {total_wall * 1e3:.2f} ms")
+        return "\n".join(lines)
+
     def summary(self) -> str:
         """A human-readable digest of every result."""
         lines = [f"deck {self.deck.title!r}: "
@@ -93,15 +122,21 @@ class DeckRun:
         return "\n".join(lines)
 
 
-def run_deck(deck: Deck | str) -> DeckRun:
-    """Execute every analysis card of a deck (text or parsed)."""
+def run_deck(deck: Deck | str, engine=None) -> DeckRun:
+    """Execute every analysis card of a deck (text or parsed).
+
+    ``engine`` selects the evaluation engine for every analysis (see
+    :func:`repro.spice.engine.resolve_engine`): ``None`` uses the
+    circuit's cached compiled engine, ``"legacy"`` the per-element
+    re-stamping reference path.
+    """
     if isinstance(deck, str):
         deck = parse_deck(deck)
     if not deck.analyses:
         raise AnalysisError(
             "deck requests no analyses (.OP/.DC/.AC/.TRAN)"
         )
-    simulator = Simulator(deck.circuit)
+    simulator = Simulator(deck.circuit, engine=engine)
     run = DeckRun(deck)
     for card in deck.analyses:
         if card.kind == "op":
@@ -121,6 +156,7 @@ def run_deck(deck: Deck | str) -> DeckRun:
                 deck.circuit,
                 frequency_grid(card.args["start"], card.args["stop"],
                                card.args["points"], card.args["sweep"]),
+                engine=simulator._engine(),
             ))
         elif card.kind == "tran":
             run.results.append(simulator.transient(
@@ -130,6 +166,7 @@ def run_deck(deck: Deck | str) -> DeckRun:
         elif card.kind == "tf":
             run.results.append(transfer_function(
                 deck.circuit, card.args["source"], card.args["output"],
+                engine=simulator._engine(),
             ))
         elif card.kind == "noise":
             run.results.append(solve_noise(
@@ -137,6 +174,7 @@ def run_deck(deck: Deck | str) -> DeckRun:
                 frequency_grid(card.args["start"], card.args["stop"],
                                card.args["points"], card.args["sweep"]),
                 input_source=card.args["source"],
+                engine=simulator._engine(),
             ))
         elif card.kind == "four":
             transients = [r for r in run.results

@@ -12,7 +12,10 @@ The charge-oriented system ``I(x) + dQ(x)/dt = 0`` is discretized with
 Local error is estimated from the difference between a quadratic
 predictor through the last accepted points and the Newton corrector;
 steps shrink/grow by a cubic-root rule and land exactly on source
-breakpoints (pulse edges, PWL corners).
+breakpoints (pulse edges, PWL corners).  At each breakpoint the
+integration restarts: backward Euler for the next step *and* a cleared
+predictor history, so the polynomial predictor never extrapolates across
+a waveform corner.
 """
 
 from __future__ import annotations
@@ -22,9 +25,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import AnalysisError, ConvergenceError
-from .dcop import Tolerances, newton_solve, solve_dc
-from .mna import load_circuit
+from ..errors import AnalysisError, ConvergenceError, NetlistError
+from .dcop import Tolerances, newton_solve, solve_dc, weighted_max_error
+from .engine import EngineStats, resolve_engine
 from .netlist import Circuit
 
 
@@ -37,10 +40,20 @@ class TransientResult:
     states: np.ndarray  #: shape (num_points, num_unknowns)
     rejected_steps: int = 0
     newton_failures: int = 0
+    #: Engine work performed by this analysis (None for results built
+    #: outside solve_transient, e.g. in tests).
+    stats: EngineStats | None = None
 
     def voltage(self, node: str) -> np.ndarray:
-        index = self.circuit.node_index(node)
-        if index < 0:
+        try:
+            index = self.circuit.node_index(node)
+        except NetlistError as exc:
+            known = ", ".join(self.circuit.nodes())
+            raise AnalysisError(
+                f"transient result has no node {node!r}; "
+                f"known nodes: {known}"
+            ) from exc
+        if index < 0:  # ground is identically 0 V
             return np.zeros(len(self.times))
         return self.states[:, index]
 
@@ -77,6 +90,7 @@ def solve_transient(
     lte_reltol: float = 1e-3,
     lte_abstol: float = 1e-6,
     max_points: int = 2_000_000,
+    engine=None,
 ) -> TransientResult:
     """Integrate the circuit from t=0 to ``stop_time``.
 
@@ -88,20 +102,36 @@ def solve_transient(
     if method not in ("trap", "be"):
         raise AnalysisError(f"unknown integration method {method!r}")
     circuit.assign_indices()
+    engine = resolve_engine(circuit, engine)
+    snapshot = engine.stats.copy()
+    with engine.timed():
+        result = _solve_transient(
+            circuit, engine, stop_time, max_step, initial_step, x0,
+            method, tolerances, gmin, lte_reltol, lte_abstol, max_points,
+        )
+    result.stats = engine.stats.since(snapshot)
+    return result
+
+
+def _solve_transient(
+    circuit, engine, stop_time, max_step, initial_step, x0,
+    method, tolerances, gmin, lte_reltol, lte_abstol, max_points,
+) -> TransientResult:
     if tolerances is None:
         tolerances = Tolerances()
     if max_step is None:
         max_step = stop_time / 50.0
     if initial_step is None:
         initial_step = max_step / 10.0
+    num_nodes = engine.num_nodes
 
     limits: dict = {}
     if x0 is None:
-        x = solve_dc(circuit, gmin=gmin, limits=limits)
+        x = solve_dc(circuit, gmin=gmin, limits=limits, engine=engine)
     else:
         x = np.array(x0, dtype=float)
 
-    ctx0 = load_circuit(circuit, x, time=0.0, gmin=gmin, limits=dict(limits))
+    ctx0 = engine.evaluate(x, time=0.0, gmin=gmin, limits=dict(limits))
     q_prev = ctx0.q_vec.copy()
     qdot_prev = np.zeros_like(q_prev)
 
@@ -149,6 +179,7 @@ def solve_transient(
             x_new = newton_solve(
                 circuit, x_pred, tolerances, gmin,
                 time=t_new, limits=step_limits, dynamic=dynamic,
+                engine=engine, jacobian_token=("tran", use_be, alpha),
             )
         except ConvergenceError:
             newton_failures += 1
@@ -162,8 +193,10 @@ def solve_transient(
 
         # Local truncation error: corrector vs predictor.
         if len(history) >= 3:
-            scale = lte_reltol * np.maximum(np.abs(x_new), np.abs(x)) + lte_abstol
-            error = float(np.max(np.abs(x_new - x_pred) / scale))
+            error = weighted_max_error(
+                x_new - x_pred, x_new, x, num_nodes,
+                lte_reltol, lte_abstol, lte_abstol,
+            )
         else:
             error = 0.5  # no history yet: accept and grow slowly
         if error > 10.0 and h > min_step * 8:
@@ -172,8 +205,8 @@ def solve_transient(
             continue
 
         # Accept the step.
-        ctx = load_circuit(
-            circuit, x_new, time=t_new, gmin=gmin, limits=step_limits
+        ctx = engine.evaluate(
+            x_new, time=t_new, gmin=gmin, limits=step_limits
         )
         q_new = ctx.q_vec.copy()
         qdot_new = alpha * (q_new - q_prev)
@@ -187,9 +220,15 @@ def solve_transient(
         limits = step_limits
         times.append(t)
         states.append(x.copy())
-        history.append((t, x.copy()))
-        if len(history) > 3:
-            history.pop(0)
+        if hit_breakpoint:
+            # Waveform corner: the solution has a derivative discontinuity
+            # here, so restart the predictor from scratch instead of
+            # extrapolating a polynomial across it.
+            history = [(t, x.copy())]
+        else:
+            history.append((t, x.copy()))
+            if len(history) > 3:
+                history.pop(0)
         if len(times) > max_points:
             raise AnalysisError(
                 f"transient produced more than {max_points} points; "

@@ -257,3 +257,39 @@ class TestBaseResistanceModulation:
         high = evaluate(p, 0.9, -2.0)
         assert low.rbb == pytest.approx(200.0)
         assert high.rbb == pytest.approx(200.0)
+
+
+class TestChargeFreeFastPath:
+    """evaluate(charges=False) must match the DC part of a full evaluate."""
+
+    def test_dc_quantities_identical(self, hf_model):
+        for vbe, vbc in ((0.8, -2.2), (0.65, 0.1), (-0.3, -0.5),
+                         (1.0, -1.0), (0.0, 0.0)):
+            full = evaluate(hf_model, vbe, vbc, gmin=1e-12)
+            fast = evaluate(hf_model, vbe, vbc, gmin=1e-12, charges=False)
+            for field in ("ic", "ib", "dic_dvbe", "dic_dvbc",
+                          "dib_dvbe", "dib_dvbc", "qb", "rbb"):
+                assert getattr(fast, field) == getattr(full, field), field
+
+    def test_charges_zeroed(self, hf_model):
+        fast = evaluate(hf_model, 0.8, -2.2, charges=False)
+        assert fast.qbe == 0.0 and fast.qbc == 0.0 and fast.qbx == 0.0
+        assert fast.dqbe_dvbe == 0.0 and fast.dqbc_dvbc == 0.0
+
+
+class TestBiasWarmStart:
+    def test_warm_start_reaches_same_solution(self, hf_model):
+        import numpy as np
+
+        for ic in np.geomspace(1e-5, 2e-2, 9):
+            cold = solve_vbe_for_ic(hf_model, float(ic), 3.0)
+            warm = solve_vbe_for_ic(hf_model, float(ic), 3.0,
+                                    vbe0=cold + 0.05)
+            assert warm == pytest.approx(cold, abs=1e-7)
+
+    def test_out_of_range_guess_ignored(self, hf_model):
+        cold = solve_vbe_for_ic(hf_model, 1e-3, 3.0)
+        assert solve_vbe_for_ic(hf_model, 1e-3, 3.0,
+                                vbe0=5.0) == pytest.approx(cold, abs=1e-7)
+        assert solve_vbe_for_ic(hf_model, 1e-3, 3.0,
+                                vbe0=-1.0) == pytest.approx(cold, abs=1e-7)

@@ -299,3 +299,50 @@ class TestHomotopies:
         limits = {}
         solve_dc(ckt, limits=limits)
         assert "Q1" in limits
+
+
+class TestWeightedMaxError:
+    """The shared vectorized tolerance kernel (Newton + transient LTE)."""
+
+    def test_mixed_node_branch_scaling(self):
+        from repro.spice.dcop import weighted_max_error
+
+        delta = np.array([1e-6, 2e-6, 1e-12])
+        x = np.array([1.0, 0.0, 0.5])
+        # 2 nodes (vntol=1e-6) then 1 branch (abstol=1e-12)
+        err = weighted_max_error(delta, x, x + delta, 2,
+                                 reltol=1e-3, atol_nodes=1e-6,
+                                 atol_branches=1e-12)
+        # branch entry: 1e-12 / (1e-3*0.5 + 1e-12) ~ 2e-9; node 1:
+        # 1e-6/(1e-3+1e-6) ~ 1e-3; node 2 dominates: 2e-6/1e-6 = 2.
+        assert err == pytest.approx(2.0, rel=1e-2)
+
+    def test_matches_scalar_loop(self):
+        from repro.spice.dcop import weighted_max_error
+
+        rng = np.random.default_rng(17)
+        num_nodes = 5
+        delta = 1e-5 * rng.standard_normal(8)
+        a = rng.standard_normal(8)
+        b = a + delta
+        reltol, vntol, abstol = 1e-3, 1e-6, 1e-12
+        expected = 0.0
+        for i in range(8):
+            atol = vntol if i < num_nodes else abstol
+            scale = reltol * max(abs(a[i]), abs(b[i])) + atol
+            expected = max(expected, abs(delta[i]) / scale)
+        got = weighted_max_error(delta, a, b, num_nodes,
+                                 reltol, vntol, abstol)
+        assert got == pytest.approx(expected, rel=1e-12)
+
+    def test_converged_uses_both_tolerances(self):
+        tol = Tolerances(reltol=1e-3, vntol=1e-6, abstol=1e-12)
+        x = np.array([1.0, 1e-9])
+        # node step within vntol, branch step within abstol -> converged
+        assert tol.converged(np.array([5e-7, 5e-13]), x, 1)
+        # branch step violating abstol alone -> not converged
+        assert not tol.converged(np.array([5e-7, 5e-11]), x, 1)
+        # node step violating vntol alone (small voltage, so the
+        # absolute term dominates the scale) -> not converged
+        small = np.array([1e-4, 1e-9])
+        assert not tol.converged(np.array([5e-5, 5e-13]), small, 1)

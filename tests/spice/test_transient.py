@@ -208,3 +208,71 @@ class TestTransientValidation:
         assert result.voltage("0").max() == 0.0
         diff = result.differential("in", "out")
         assert diff.shape == result.times.shape
+
+
+class TestBreakpointHandling:
+    """Steps must land exactly on waveform corners, and the predictor
+    history must restart there (no polynomial extrapolation across a
+    derivative discontinuity)."""
+
+    def test_pulse_steps_land_on_breakpoints(self):
+        ckt = Circuit("pulse_bp")
+        pulse = Pulse(0.0, 1.0, delay=2e-6, rise=1e-7, width=3e-6,
+                      period=100.0)
+        ckt.add(VoltageSource("V1", ("in", "0"), dc=pulse))
+        ckt.add(Resistor("R1", ("in", "out"), 1e3))
+        ckt.add(Capacitor("C1", ("out", "0"), 1e-9))
+        stop = 1e-5
+        result = solve_transient(ckt, stop_time=stop, max_step=stop / 20)
+        for corner in pulse.breakpoints(stop):
+            distances = np.abs(result.times - corner)
+            assert distances.min() < 1e-12 * stop, (
+                f"no time point lands on breakpoint {corner}"
+            )
+
+    def test_pwl_steps_land_on_breakpoints(self):
+        ckt = Circuit("pwl_bp")
+        pwl = PWL([(0.0, 0.0), (1e-6, 1.0), (2.5e-6, -0.5), (6e-6, 0.75)])
+        ckt.add(VoltageSource("V1", ("in", "0"), dc=pwl))
+        ckt.add(Resistor("R1", ("in", "out"), 1e3))
+        ckt.add(Capacitor("C1", ("out", "0"), 2e-10))
+        stop = 8e-6
+        result = solve_transient(ckt, stop_time=stop, max_step=stop / 10)
+        for corner in pwl.breakpoints(stop):
+            distances = np.abs(result.times - corner)
+            assert distances.min() < 1e-12 * stop
+
+    def test_pwl_corner_tracked_accurately(self):
+        """An RC driven well below its time constant tracks a PWL ramp;
+        a predictor extrapolating across the corner would overshoot."""
+        ckt = Circuit("pwl_track")
+        pwl = PWL([(0.0, 0.0), (5e-3, 1.0), (5.001e-3, 1.0),
+                   (10e-3, 0.0)])
+        ckt.add(VoltageSource("V1", ("in", "0"), dc=pwl))
+        ckt.add(Resistor("R1", ("in", "out"), 100.0))
+        ckt.add(Capacitor("C1", ("out", "0"), 1e-9))  # tau = 0.1 us
+        result = solve_transient(ckt, stop_time=9e-3, max_step=2e-4)
+        v_out = result.voltage("out")
+        # The output never overshoots the 0..1 source range by more than
+        # the LTE tolerance.
+        assert v_out.max() < 1.0 + 1e-3
+        assert v_out.min() > -1e-3
+        assert result.sample("out", 5.0005e-3) == pytest.approx(1.0,
+                                                                abs=2e-3)
+
+
+class TestVoltageAccessor:
+    def test_unknown_node_lists_known_nodes(self):
+        ckt = step_rc()
+        result = solve_transient(ckt, stop_time=1e-4, max_step=1e-5)
+        with pytest.raises(AnalysisError) as excinfo:
+            result.voltage("nosuchnode")
+        message = str(excinfo.value)
+        assert "nosuchnode" in message
+        assert "known nodes" in message
+        assert "out" in message and "in" in message
+
+    def test_ground_aliases_still_work(self):
+        ckt = step_rc()
+        result = solve_transient(ckt, stop_time=1e-4, max_step=1e-5)
+        assert result.voltage("0").max() == 0.0
