@@ -1,0 +1,145 @@
+"""Sweep-orchestration throughput: parallel dispatch, caching, batching.
+
+Measures the machinery PR'd around the paper's repeated-evaluation
+workloads (Monte-Carlo yield, the Fig. 5 grid, AC sweeps):
+
+* serial vs process-pool Monte Carlo — asserting bit-identical
+  populations, recording the honest speedup for *this* runner's core
+  count (archived in BENCH_sweep.json next to ``cpu_count``: on a
+  single-core CI box the speedup is ~1x or below and that is the
+  correct number to archive, not a fabricated one);
+* content-hash cache reuse — a repeated sweep must re-evaluate nothing;
+* batched vs per-frequency AC solves on the CE-stage example deck.
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.geometry import MismatchSpec, monte_carlo_image_rejection
+from repro.rfsystems import fig5_sweep
+from repro.spice.ac import frequency_grid, solve_ac
+from repro.spice.parser import parse_deck
+from repro.sweep import ResultCache
+
+from conftest import record_sweep, report
+
+DECKS = Path(__file__).resolve().parent.parent / "examples" / "decks"
+
+MC_SAMPLES = 800
+JOBS = 4
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - t0
+
+
+def bench_monte_carlo_parallel_dispatch():
+    mismatch = MismatchSpec(1.5, 0.02)
+    serial, t_serial = _timed(
+        lambda: monte_carlo_image_rejection(MC_SAMPLES, mismatch, seed=7)
+    )
+    parallel, t_parallel = _timed(
+        lambda: monte_carlo_image_rejection(MC_SAMPLES, mismatch, seed=7,
+                                            jobs=JOBS)
+    )
+    # The contract under test: executors never change the numbers.
+    assert parallel.values == serial.values
+    assert parallel.passed == serial.passed
+
+    speedup = t_serial / t_parallel if t_parallel > 0 else 0.0
+    record_sweep("monte_carlo_irr", {
+        "points": MC_SAMPLES,
+        "jobs": JOBS,
+        "serial_seconds": round(t_serial, 6),
+        "parallel_seconds": round(t_parallel, 6),
+        "speedup": round(speedup, 3),
+        "serial_points_per_second": round(MC_SAMPLES / t_serial, 1),
+        "bit_identical": True,
+    })
+    report("sweep_monte_carlo", (
+        f"samples {MC_SAMPLES}, jobs {JOBS}\n"
+        f"serial   {t_serial * 1e3:8.2f} ms "
+        f"({MC_SAMPLES / t_serial:8.0f} samples/s)\n"
+        f"process  {t_parallel * 1e3:8.2f} ms (speedup {speedup:.2f}x)\n"
+        f"populations bit-identical: True"
+    ))
+
+
+def bench_fig5_grid_parallel_dispatch():
+    phases = [0.25 * k for k in range(1, 13)]
+    gains = (0.01, 0.03, 0.05)
+    serial, t_serial = _timed(lambda: fig5_sweep(phases, gains))
+    parallel, t_parallel = _timed(
+        lambda: fig5_sweep(phases, gains, jobs=JOBS)
+    )
+    assert parallel == serial
+    points = len(phases) * len(gains)
+    record_sweep("fig5_grid", {
+        "points": points,
+        "jobs": JOBS,
+        "serial_seconds": round(t_serial, 6),
+        "parallel_seconds": round(t_parallel, 6),
+        "speedup": round(t_serial / t_parallel, 3),
+        "bit_identical": True,
+    })
+    report("sweep_fig5_grid", (
+        f"grid {len(gains)}x{len(phases)} = {points} simulated points\n"
+        f"serial  {t_serial * 1e3:8.2f} ms\n"
+        f"process {t_parallel * 1e3:8.2f} ms "
+        f"(speedup {t_serial / t_parallel:.2f}x)"
+    ))
+
+
+def bench_cache_eliminates_reevaluation():
+    phases = [0.5 * k for k in range(1, 9)]
+    gains = (0.01, 0.05)
+    cache = ResultCache()
+    cold, t_cold = _timed(lambda: fig5_sweep(phases, gains, cache=cache))
+    warm, t_warm = _timed(lambda: fig5_sweep(phases, gains, cache=cache))
+    assert warm == cold
+    points = len(phases) * len(gains)
+    assert cache.hits >= points  # the whole second sweep was served
+    record_sweep("fig5_cache_reuse", {
+        "points": points,
+        "cold_seconds": round(t_cold, 6),
+        "cached_seconds": round(t_warm, 6),
+        "cache_hits": cache.hits,
+        "speedup": round(t_cold / t_warm, 1) if t_warm > 0 else None,
+    })
+    report("sweep_cache_reuse", (
+        f"{points} points: cold {t_cold * 1e3:.2f} ms, "
+        f"cached {t_warm * 1e3:.3f} ms "
+        f"({cache.hits} hits, nothing re-simulated)"
+    ))
+
+
+def bench_batched_ac_throughput():
+    deck = parse_deck((DECKS / "ce_stage.cir").read_text())
+    freqs = frequency_grid(1e3, 1e10, 100, "dec")
+    batched, t_batched = _timed(
+        lambda: solve_ac(deck.circuit, freqs, batched=True)
+    )
+    loop, t_loop = _timed(
+        lambda: solve_ac(deck.circuit, freqs, batched=False)
+    )
+    np.testing.assert_allclose(batched.solutions, loop.solutions,
+                               rtol=1e-12, atol=1e-15)
+    speedup = t_loop / t_batched if t_batched > 0 else 0.0
+    record_sweep("batched_ac_ce_stage", {
+        "frequencies": len(freqs),
+        "unknowns": deck.circuit.num_unknowns,
+        "batched_seconds": round(t_batched, 6),
+        "loop_seconds": round(t_loop, 6),
+        "speedup": round(speedup, 3),
+    })
+    report("sweep_batched_ac", (
+        f"ce_stage.cir, {len(freqs)} frequencies, "
+        f"{deck.circuit.num_unknowns} unknowns\n"
+        f"per-frequency loop {t_loop * 1e3:8.2f} ms\n"
+        f"batched blocks     {t_batched * 1e3:8.2f} ms "
+        f"(speedup {speedup:.2f}x)"
+    ))

@@ -9,6 +9,7 @@ inspectable after a quiet run.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -28,6 +29,15 @@ OUTPUT_DIR = Path(__file__).parent / "out"
 #: accumulated by the autouse fixture, dumped to BENCH_engine.json.
 _ENGINE_RECORDS: list[dict] = []
 
+#: sweep-throughput measurements pushed via :func:`record_sweep`,
+#: dumped to BENCH_sweep.json alongside the engine counters.
+_SWEEP_RECORDS: list[dict] = []
+
+
+def record_sweep(name: str, payload: dict) -> None:
+    """Archive one sweep-throughput measurement into BENCH_sweep.json."""
+    _SWEEP_RECORDS.append({"benchmark": name, **payload})
+
 
 @pytest.fixture(autouse=True)
 def _engine_counters(request):
@@ -46,16 +56,27 @@ def _engine_counters(request):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if not _ENGINE_RECORDS:
-        return
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    payload = {
-        "schema": "bench-engine-v1",
-        "benchmarks": _ENGINE_RECORDS,
-    }
-    (OUTPUT_DIR / "BENCH_engine.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    if _ENGINE_RECORDS:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        payload = {
+            "schema": "bench-engine-v1",
+            "benchmarks": _ENGINE_RECORDS,
+        }
+        (OUTPUT_DIR / "BENCH_engine.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+    if _SWEEP_RECORDS:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        payload = {
+            "schema": "bench-sweep-v1",
+            # Speedups only mean anything relative to the cores the
+            # runner actually had; record it with the numbers.
+            "cpu_count": os.cpu_count(),
+            "benchmarks": _SWEEP_RECORDS,
+        }
+        (OUTPUT_DIR / "BENCH_sweep.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
 
 
 def report(name: str, text: str) -> None:

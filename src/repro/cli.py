@@ -1,7 +1,8 @@
 """Command-line front ends.
 
-``python -m repro.cli run <deck.cir>``
-    Parse and execute a SPICE deck, printing the analysis summary.
+``python -m repro.cli run <deck.cir> [<deck2.cir>...] [--jobs N]``
+    Parse and execute SPICE decks, printing each analysis summary;
+    ``--jobs N`` runs the decks on N worker processes.
 
 ``python -m repro.cli generate <shape> [<shape>...]``
     Print geometry-generated ``.MODEL`` cards for the named transistor
@@ -22,14 +23,26 @@ from .errors import ReproError
 
 def _cmd_run(args) -> int:
     from .spice.parser import parse_deck
-    from .spice.runner import run_deck
+    from .spice.runner import run_deck, run_decks
 
-    text = Path(args.deck).read_text()
-    run = run_deck(parse_deck(text), engine=args.engine)
-    print(run.summary())
-    if args.profile:
+    if len(args.decks) == 1 and not args.jobs:
+        text = Path(args.decks[0]).read_text()
+        run = run_deck(parse_deck(text), engine=args.engine)
+        print(run.summary())
+        if args.profile:
+            print()
+            print(run.profile())
+        return 0
+
+    # Several decks (or an explicit --jobs): dispatch through the sweep
+    # engine; decks run in worker processes when --jobs > 1.
+    for summary in run_decks(args.decks, engine=args.engine,
+                             jobs=args.jobs):
+        print(summary.summary)
+        if args.profile:
+            print()
+            print(summary.profile)
         print()
-        print(run.profile())
     return 0
 
 
@@ -79,8 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    run_cmd = commands.add_parser("run", help="execute a SPICE deck")
-    run_cmd.add_argument("deck", help="path to the deck file")
+    run_cmd = commands.add_parser(
+        "run", help="execute one or more SPICE decks"
+    )
+    run_cmd.add_argument("decks", nargs="+", metavar="deck",
+                         help="path(s) to deck files")
     run_cmd.add_argument(
         "--profile", action="store_true",
         help="print per-analysis engine statistics after the summary",
@@ -88,6 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument(
         "--engine", choices=("compiled", "legacy"), default=None,
         help="evaluation engine (default: compiled)",
+    )
+    run_cmd.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run decks in parallel on N worker processes",
     )
     run_cmd.set_defaults(handler=_cmd_run)
 

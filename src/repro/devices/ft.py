@@ -72,30 +72,64 @@ def ft_at_ic(
     )
 
 
+def _ft_sweep_point(
+    point_params: dict,
+    warm=None,
+    *,
+    device: GummelPoonParameters,
+    vce: float,
+) -> tuple[FTPoint, tuple[float, float]]:
+    """One fT point under the sweep engine's warm-start protocol.
+
+    ``warm`` is the previous point's ``(ic, vbe)``; the new bias solve
+    starts from that Vbe shifted by the ideal-diode increment
+    ``NF*vt*ln(ic/ic_prev)`` — on the usual monotone Ic grid that lands
+    within a fraction of kT/q of the solution, so Newton converges in a
+    step or two.  Module-level so it pickles for the process executor.
+    """
+    ic = float(point_params["ic"])
+    vbe0 = None
+    if warm is not None:
+        ic_prev, vbe_prev = warm
+        if ic_prev > 0.0 and ic > 0.0:
+            n_vt = device.NF * thermal_voltage(device.TNOM)
+            vbe0 = vbe_prev + n_vt * math.log(ic / ic_prev)
+    point = ft_at_ic(device, ic, vce, vbe0=vbe0)
+    return point, (ic, point.vbe)
+
+
 def ft_curve(
     params: GummelPoonParameters,
     ic_values,
     vce: float = 3.0,
+    executor=None,
+    jobs: int | None = None,
+    cache=None,
+    chunk_size: int = 32,
 ) -> list[FTPoint]:
     """fT over a sweep of collector currents (the paper's Fig. 9 sweep).
 
-    Each point's bias solve warm-starts from the previous point's Vbe,
-    shifted by the ideal-diode increment ``NF*vt*ln(ic/ic_prev)`` — on the
-    usual monotone Ic grid that lands within a fraction of kT/q of the
-    solution, so the Newton iteration converges in a step or two.
+    Runs through :func:`repro.sweep.run_sweep` with warm-start
+    continuation: within each chunk of ``chunk_size`` consecutive
+    currents the bias solve is seeded from the previous point's Vbe
+    (see :func:`_ft_sweep_point`).  Chunks start cold and are the unit
+    of parallel dispatch, so serial and parallel sweeps are
+    bit-identical.
     """
-    n_vt = params.NF * thermal_voltage(params.TNOM)
-    points: list[FTPoint] = []
-    ic_prev = vbe_prev = None
-    for ic in ic_values:
-        ic = float(ic)
-        vbe0 = None
-        if vbe_prev is not None and ic_prev > 0.0 and ic > 0.0:
-            vbe0 = vbe_prev + n_vt * math.log(ic / ic_prev)
-        point = ft_at_ic(params, ic, vce, vbe0=vbe0)
-        points.append(point)
-        ic_prev, vbe_prev = ic, point.vbe
-    return points
+    import functools
+
+    from ..sweep import run_sweep
+
+    result = run_sweep(
+        functools.partial(_ft_sweep_point, device=params, vce=vce),
+        [{"ic": float(ic)} for ic in ic_values],
+        executor=executor,
+        jobs=jobs,
+        cache=cache,
+        chunk_size=chunk_size,
+        warm_start=True,
+    )
+    return list(result.values)
 
 
 def peak_ft(

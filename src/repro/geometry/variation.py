@@ -94,19 +94,46 @@ class MonteCarloModels:
         return float(np.std(values) / abs(mean))
 
 
+def _mc_model_point(
+    params: dict,
+    rng: np.random.Generator | None = None,
+    *,
+    shape: TransistorShape,
+    variation: ProcessVariation,
+    nominal: ProcessData,
+    rules: MaskDesignRules,
+) -> GummelPoonParameters:
+    """One process realization -> generated model (module-level so it
+    pickles for the process-pool executor)."""
+    process = variation.sample_process(nominal, rng)
+    generator = ModelParameterGenerator(process, rules)
+    return generator.generate(shape)
+
+
 def monte_carlo_models(
     shape: TransistorShape | str,
     samples: int,
     variation: ProcessVariation | None = None,
     nominal: ProcessData | None = None,
     rules: MaskDesignRules | None = None,
-    seed: int = 1996,
+    seed: int | np.random.SeedSequence = 1996,
+    executor=None,
+    jobs: int | None = None,
+    cache=None,
 ) -> MonteCarloModels:
     """Generate ``samples`` varied device models for a shape.
 
     Each sample is a fresh process realization pushed through the
     geometry generator (uncalibrated: the variation represents the fab,
     not the measurement).
+
+    ``seed`` (an int or a :class:`numpy.random.SeedSequence`) pins the
+    sample stream: sample ``i`` draws from its own
+    ``SeedSequence(seed).spawn()`` child, so the population is a
+    function of ``(seed, i)`` alone.  Parallel execution — any
+    ``executor``/``jobs`` combination (see
+    :func:`repro.sweep.run_sweep`) — therefore preserves the sample
+    stream and returns bit-identical populations.
     """
     if samples < 1:
         raise GeometryError("need at least one Monte-Carlo sample")
@@ -115,13 +142,22 @@ def monte_carlo_models(
     variation = variation or ProcessVariation()
     nominal = nominal or ProcessData()
     rules = rules or MaskDesignRules()
-    rng = np.random.default_rng(seed)
-    models = []
-    for _ in range(samples):
-        process = variation.sample_process(nominal, rng)
-        generator = ModelParameterGenerator(process, rules)
-        models.append(generator.generate(shape))
-    return MonteCarloModels(shape=shape, models=models)
+
+    import functools
+
+    from ..sweep import MonteCarloSampler, run_sweep
+
+    result = run_sweep(
+        functools.partial(
+            _mc_model_point, shape=shape, variation=variation,
+            nominal=nominal, rules=rules,
+        ),
+        MonteCarloSampler(samples, seed=seed),
+        executor=executor,
+        jobs=jobs,
+        cache=cache,
+    )
+    return MonteCarloModels(shape=shape, models=list(result.values))
 
 
 @dataclass(frozen=True)
@@ -148,33 +184,58 @@ class YieldReport:
         return float(np.std(self.values))
 
 
+def _mc_irr_point(
+    params: dict,
+    rng: np.random.Generator | None = None,
+    *,
+    mismatch: MismatchSpec,
+) -> float:
+    """One mismatch draw -> closed-form IRR (module-level so it pickles
+    for the process-pool executor)."""
+    from ..rfsystems.image_rejection import image_rejection_ratio_db
+
+    phase = (rng.normal(0.0, mismatch.phase_error_sigma_deg)
+             + rng.normal(0.0, mismatch.phase_error_sigma_deg))
+    gain = rng.normal(0.0, mismatch.gain_error_sigma)
+    return image_rejection_ratio_db(phase, gain)
+
+
 def monte_carlo_image_rejection(
     samples: int,
     mismatch: MismatchSpec | None = None,
     irr_spec_db: float = 30.0,
-    seed: int = 1996,
+    seed: int | np.random.SeedSequence = 1996,
+    executor=None,
+    jobs: int | None = None,
+    cache=None,
 ) -> YieldReport:
     """Monte-Carlo yield of the Fig. 4 mixer against an IRR spec.
 
     Draws the two shifters' phase errors and the path gain error from
     the mismatch distribution and evaluates the closed-form IRR — the
     statistical version of the paper's Fig. 5 read-off.
-    """
-    from ..rfsystems.image_rejection import image_rejection_ratio_db
 
+    Seeding is per-sample: sample ``i`` draws from the ``i``-th child of
+    ``SeedSequence(seed)``, so the stream depends only on ``(seed, i)``
+    and parallel runs (``executor``/``jobs``, see
+    :func:`repro.sweep.run_sweep`) are bit-identical to serial ones.
+    """
     if samples < 1:
         raise GeometryError("need at least one Monte-Carlo sample")
     mismatch = mismatch or MismatchSpec()
-    rng = np.random.default_rng(seed)
-    values = []
-    passed = 0
-    for _ in range(samples):
-        phase = (rng.normal(0.0, mismatch.phase_error_sigma_deg)
-                 + rng.normal(0.0, mismatch.phase_error_sigma_deg))
-        gain = rng.normal(0.0, mismatch.gain_error_sigma)
-        irr = image_rejection_ratio_db(phase, gain)
-        values.append(irr)
-        if irr >= irr_spec_db:
-            passed += 1
+
+    import functools
+
+    from ..sweep import MonteCarloSampler, run_sweep
+
+    result = run_sweep(
+        functools.partial(_mc_irr_point, mismatch=mismatch),
+        MonteCarloSampler(samples, seed=seed),
+        executor=executor,
+        jobs=jobs,
+        cache=cache,
+    )
+    values = [float(v) for v in result.values]
+    passed = sum(1 for v in values if v >= irr_spec_db)
     return YieldReport(samples=samples, passed=passed,
                        values=tuple(values))

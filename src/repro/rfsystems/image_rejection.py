@@ -12,8 +12,11 @@ behavioral-simulation version (which is what the paper's AHDL run did).
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..behavioral import (
     Adder,
@@ -27,8 +30,7 @@ from ..errors import DesignError
 from .spectrum import FrequencyPlan
 
 
-def image_rejection_ratio_db(phase_error_deg: float,
-                             gain_error: float = 0.0) -> float:
+def image_rejection_ratio_db(phase_error_deg, gain_error=0.0):
     """Closed-form IRR of a quadrature image-reject mixer.
 
     With total quadrature phase error ``theta`` and relative gain
@@ -37,17 +39,30 @@ def image_rejection_ratio_db(phase_error_deg: float,
         IRR = (1 + 2(1+g)cos(theta) + (1+g)^2)
               / (1 - 2(1+g)cos(theta) + (1+g)^2)
 
-    Perfect matching gives infinite rejection; returns +inf in that case.
+    Accepts scalars or numpy arrays and broadcasts them — e.g. a column
+    of gain errors against a row of phase errors evaluates the whole
+    Fig. 5 grid in one vectorized pass.  Scalar inputs return a
+    ``float``; array inputs an ``ndarray``.  Perfect matching gives
+    infinite rejection (+inf).
     """
-    ratio = 1.0 + gain_error
-    if ratio <= 0:
+    phase = np.asarray(phase_error_deg, dtype=float)
+    gain = np.asarray(gain_error, dtype=float)
+    scalar = phase.ndim == 0 and gain.ndim == 0
+    ratio = 1.0 + gain
+    if np.any(ratio <= 0):
         raise DesignError("gain error must leave a positive path gain")
-    theta = math.radians(phase_error_deg)
-    numerator = 1.0 + 2.0 * ratio * math.cos(theta) + ratio * ratio
-    denominator = 1.0 - 2.0 * ratio * math.cos(theta) + ratio * ratio
-    if denominator <= 0.0:
-        return math.inf
-    return 10.0 * math.log10(numerator / denominator)
+    cos_theta = np.cos(np.radians(phase))
+    numerator = 1.0 + 2.0 * ratio * cos_theta + ratio * ratio
+    denominator = 1.0 - 2.0 * ratio * cos_theta + ratio * ratio
+    positive = denominator > 0.0
+    irr = np.where(
+        positive,
+        10.0 * np.log10(numerator / np.where(positive, denominator, 1.0)),
+        np.inf,
+    )
+    if scalar:
+        return float(irr)
+    return irr
 
 
 @dataclass(frozen=True)
@@ -223,32 +238,61 @@ def simulate_image_rejection_db(
     return 10.0 * math.log10(wanted_power / image_power)
 
 
+def _fig5_point(params: dict, plan: FrequencyPlan | None = None) -> float:
+    """One simulated Fig. 5 grid point (module-level so it pickles for
+    the process-pool executor)."""
+    return simulate_image_rejection_db(
+        ImbalanceSpec(if_phase_error_deg=params["phase"],
+                      gain_error=params["gain"]),
+        plan=plan,
+    )
+
+
 def fig5_sweep(
     phase_errors_deg,
     gain_errors=(0.01, 0.03, 0.05, 0.07, 0.09),
     plan: FrequencyPlan | None = None,
     simulated: bool = True,
+    executor=None,
+    jobs: int | None = None,
+    cache=None,
 ) -> dict[float, list[tuple[float, float]]]:
     """The Fig. 5 family: IRR vs phase error for each gain balance.
 
     Returns ``{gain_error: [(phase_error_deg, irr_db), ...]}`` using the
-    behavioral simulation (default) or the closed form.
+    behavioral simulation (default) or the closed form.  The closed form
+    evaluates the whole grid as one broadcast
+    :func:`image_rejection_ratio_db` call; the behavioral simulation
+    dispatches the grid through :func:`repro.sweep.run_sweep`, so
+    ``executor``/``jobs`` parallelize it and ``cache`` skips points a
+    previous sweep already simulated.
     """
-    curves: dict[float, list[tuple[float, float]]] = {}
-    for gain_error in gain_errors:
-        points = []
-        for phase_error in phase_errors_deg:
-            if simulated:
-                irr = simulate_image_rejection_db(
-                    ImbalanceSpec(if_phase_error_deg=phase_error,
-                                  gain_error=gain_error),
-                    plan=plan,
-                )
-            else:
-                irr = image_rejection_ratio_db(phase_error, gain_error)
-            points.append((float(phase_error), irr))
-        curves[float(gain_error)] = points
-    return curves
+    phases = [float(p) for p in phase_errors_deg]
+    gains = [float(g) for g in gain_errors]
+    if not simulated:
+        grid_irr = image_rejection_ratio_db(
+            np.asarray(phases)[None, :], np.asarray(gains)[:, None]
+        )
+        return {
+            gain: [(phase, float(irr)) for phase, irr in zip(phases, row)]
+            for gain, row in zip(gains, grid_irr)
+        }
+
+    from ..sweep import ParameterGrid, run_sweep
+
+    grid = ParameterGrid({"gain": gains, "phase": phases})
+    result = run_sweep(
+        functools.partial(_fig5_point, plan=plan),
+        grid,
+        executor=executor,
+        jobs=jobs,
+        cache=cache,
+    )
+    values = iter(result.values)
+    return {
+        gain: [(phase, next(values)) for phase in phases]
+        for gain in gains
+    }
 
 
 def required_matching(irr_target_db: float,

@@ -72,14 +72,37 @@ def frequency_grid(
     raise AnalysisError(f"unknown sweep type {sweep!r}")
 
 
+#: Memory budget for one batched frequency block (bytes of complex
+#: system matrices); blocks are sized so `block * n^2 * 16` stays below.
+MAX_BLOCK_BYTES = 1 << 26
+
+
+def ac_block_size(size: int, limit: int | None = None) -> int:
+    """Frequencies per batched block for an ``size``-unknown system."""
+    budget = (limit or MAX_BLOCK_BYTES) // max(16 * size * size, 1)
+    return int(min(max(budget, 1), 512))
+
+
 def solve_ac(
     circuit: Circuit,
     frequencies,
     dc_solution: np.ndarray | None = None,
     gmin: float = 1e-12,
     engine=None,
+    batched: bool = True,
 ) -> ACResult:
-    """Run an AC sweep over the given frequencies (Hz)."""
+    """Run an AC sweep over the given frequencies (Hz).
+
+    ``G`` and ``C`` are assembled once at the operating point; the sweep
+    then solves ``(G + j*omega*C) dx = b`` for every frequency.  With
+    ``batched=True`` (the default) the grid is solved in blocks: the
+    block's systems are formed as one ``(block, n, n)`` stack and handed
+    to the engine's :meth:`~repro.spice.engine.LinearSolver.solve_batched`
+    — a single broadcast LAPACK call on the dense backends.
+    ``batched=False``, or an engine without ``solve_batched`` (the
+    legacy engine), falls back to the per-frequency loop; both paths
+    produce the same solutions and the regression tests assert it.
+    """
     frequencies = np.asarray(list(frequencies), dtype=float)
     engine = resolve_engine(circuit, engine)
     snapshot = engine.stats.copy()
@@ -116,10 +139,21 @@ def solve_ac(
             raise AnalysisError("AC analysis: no source has an AC stimulus")
 
         solutions = np.zeros((len(frequencies), size), dtype=complex)
-        for k, frequency in enumerate(frequencies):
-            omega = 2.0 * np.pi * frequency
-            system = g_mat + 1j * omega * c_mat
-            solutions[k] = engine.solve(system, rhs)
+        omegas = 2.0 * np.pi * frequencies
+        solve_batched = getattr(engine, "solve_batched", None)
+        if batched and solve_batched is not None and len(frequencies) > 1:
+            block = ac_block_size(size)
+            for start in range(0, len(frequencies), block):
+                w = omegas[start:start + block]
+                systems = (g_mat[None, :, :]
+                           + 1j * w[:, None, None] * c_mat[None, :, :])
+                solutions[start:start + len(w)] = solve_batched(
+                    systems, rhs
+                )
+        else:
+            for k, omega in enumerate(omegas):
+                system = g_mat + 1j * omega * c_mat
+                solutions[k] = engine.solve(system, rhs)
     result = ACResult(
         circuit=circuit,
         frequencies=frequencies,

@@ -97,6 +97,14 @@ class EngineStats:
     wall_seconds: float = 0.0
     #: Name of the linear-solver backend in use.
     solver: str = ""
+    #: Sweep points orchestrated through :mod:`repro.sweep`.
+    sweep_points: int = 0
+    #: Sweep points served from the content-hash result cache.
+    sweep_cache_hits: int = 0
+    #: Summed per-point evaluation wall time across sweeps.
+    sweep_point_seconds: float = 0.0
+    #: Peak sweep worker count (a gauge, not a counter).
+    sweep_workers: int = 0
 
     _COUNTERS = (
         "element_evals",
@@ -104,6 +112,8 @@ class EngineStats:
         "factorizations",
         "solves",
         "compilations",
+        "sweep_points",
+        "sweep_cache_hits",
     )
 
     def copy(self) -> "EngineStats":
@@ -117,17 +127,28 @@ class EngineStats:
         for name in self._COUNTERS:
             setattr(delta, name, getattr(self, name) - getattr(snapshot, name))
         delta.wall_seconds = self.wall_seconds - snapshot.wall_seconds
+        delta.sweep_point_seconds = (
+            self.sweep_point_seconds - snapshot.sweep_point_seconds
+        )
         return delta
 
     def as_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.assemblies} assemblies, {self.element_evals} element "
             f"evals, {self.factorizations} factorizations, {self.solves} "
             f"solves [{self.solver or 'n/a'}] in {self.wall_seconds * 1e3:.2f} ms"
         )
+        if self.sweep_points:
+            text += (
+                f"; {self.sweep_points} sweep points "
+                f"({self.sweep_cache_hits} cached, "
+                f"{self.sweep_workers} worker(s), "
+                f"{self.sweep_point_seconds * 1e3:.2f} ms point time)"
+            )
+        return text
 
 
 #: Process-wide accumulator; engines bump it alongside their own counters.
@@ -187,6 +208,30 @@ class LinearSolver:
         self._count("factorizations")
         self._count("solves")
         return np.linalg.solve(a, b)
+
+    def solve_batched(self, systems: np.ndarray,
+                      rhs: np.ndarray) -> np.ndarray:
+        """Solve a stack of systems ``systems[k] @ x[k] = rhs[k]``.
+
+        ``systems`` has shape ``(batch, n, n)``; ``rhs`` is either one
+        shared vector ``(n,)``, a per-system vector stack ``(batch, n)``
+        or a multi-RHS stack ``(batch, n, k)``.  The dense default is a
+        single broadcast LAPACK call over the whole batch — one C-level
+        dispatch instead of a Python loop — which is what makes blocked
+        AC/noise sweeps fast.  Counters tally one factorization and one
+        solve per system so batched and per-frequency paths report
+        comparable work.
+        """
+        systems = np.asarray(systems)
+        count = systems.shape[0]
+        self._count("factorizations", count)
+        self._count("solves", count)
+        rhs = np.asarray(rhs)
+        if rhs.ndim == 1:
+            rhs = np.broadcast_to(rhs, (count, rhs.shape[0]))
+        if rhs.ndim == 2:
+            return np.linalg.solve(systems, rhs[:, :, None])[:, :, 0]
+        return np.linalg.solve(systems, rhs)
 
 
 class DenseLUSolver(LinearSolver):
@@ -264,6 +309,21 @@ class SparseLUSolver(LinearSolver):
         else:
             self.invalidate()
         return factor.solve(b)
+
+    def solve_batched(self, systems: np.ndarray,
+                      rhs: np.ndarray) -> np.ndarray:
+        """Per-system sparse LU: splu has no batched form, so this loops,
+        but still amortizes the Python-level sweep bookkeeping."""
+        systems = np.asarray(systems)
+        rhs = np.asarray(rhs)
+        shared = rhs.ndim == 1
+        out = np.empty(
+            systems.shape[:2] + rhs.shape[2:],
+            dtype=np.result_type(systems.dtype, rhs.dtype),
+        )
+        for k in range(systems.shape[0]):
+            out[k] = self.solve(systems[k], rhs if shared else rhs[k])
+        return out
 
 
 def make_solver(size: int, prefer: str | None = None) -> LinearSolver:
@@ -870,6 +930,17 @@ class CompiledCircuit:
         if token is not None and not self.has_constant_jacobian:
             token = None
         return self.solver.solve(a, b, token=token)
+
+    def solve_batched(self, systems: np.ndarray,
+                      rhs: np.ndarray) -> np.ndarray:
+        """Solve a stack of systems through the pluggable backend.
+
+        Used by the blocked AC/noise frequency sweeps: every system in
+        the stack is distinct (``G + j*omega_k*C``), so there is no
+        factorization reuse — the win is one vectorized LAPACK dispatch
+        instead of a per-frequency Python loop.
+        """
+        return self.solver.solve_batched(systems, rhs)
 
     def timed(self) -> _timed_stats:
         """Context manager charging elapsed wall time to this engine."""

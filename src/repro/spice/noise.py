@@ -210,11 +210,15 @@ def solve_noise(
     input_source: str | None = None,
     gmin: float = 1e-12,
     engine=None,
+    batched: bool = True,
 ) -> NoiseResult:
     """Run a noise analysis at the DC operating point.
 
     ``output_node`` is where the output noise is summed; ``input_source``
-    (a V or I source name) enables input-referred quantities.
+    (a V or I source name) enables input-referred quantities.  With
+    ``batched=True`` the adjoint systems of a whole frequency block are
+    solved as one stacked call (see :func:`repro.spice.ac.solve_ac`);
+    ``batched=False`` keeps the per-frequency reference loop.
     """
     frequencies = np.asarray(list(frequencies), dtype=float)
     if len(frequencies) == 0:
@@ -223,14 +227,15 @@ def solve_noise(
     snapshot = engine.stats.copy()
     with engine.timed():
         result = _solve_noise(
-            circuit, engine, output_node, frequencies, input_source, gmin
+            circuit, engine, output_node, frequencies, input_source, gmin,
+            batched,
         )
     result.stats = engine.stats.since(snapshot)
     return result
 
 
 def _solve_noise(
-    circuit, engine, output_node, frequencies, input_source, gmin
+    circuit, engine, output_node, frequencies, input_source, gmin, batched
 ) -> NoiseResult:
     limits: dict = {}
     x_op = solve_dc(circuit, gmin=gmin, limits=limits, engine=engine)
@@ -257,21 +262,60 @@ def _solve_noise(
         input_element = circuit.element(input_source)
         gain_squared = np.zeros(len(frequencies))
 
-    for k, frequency in enumerate(frequencies):
-        omega = 2.0 * math.pi * frequency
-        system = g_mat + 1j * omega * c_mat
-        adjoint = engine.solve(system.T, e_out.astype(complex))
-        for source in sources:
-            y_p = adjoint[source.p] if source.p >= 0 else 0.0
-            y_n = adjoint[source.n] if source.n >= 0 else 0.0
-            transfer_sq = abs(y_n - y_p) ** 2
-            value = transfer_sq * source.density(frequency)
-            total[k] += value
-            contributions[source.element][k] += value
+    solve_batched = getattr(engine, "solve_batched", None)
+    if batched and solve_batched is not None and len(frequencies) > 1:
+        from .ac import ac_block_size
+
+        count = len(frequencies)
+        adjoints = np.empty((count, size), dtype=complex)
+        input_solutions = None
+        rhs_in = None
         if input_element is not None:
-            gain_squared[k] = _input_gain_squared(
-                system, input_element, out_index, size, engine
+            rhs_in = _input_rhs(input_element, size)
+            input_solutions = np.empty((count, size), dtype=complex)
+        omegas = 2.0 * math.pi * frequencies
+        block = ac_block_size(size)
+        for start in range(0, count, block):
+            w = omegas[start:start + block]
+            systems = (g_mat[None, :, :]
+                       + 1j * w[:, None, None] * c_mat[None, :, :])
+            # The adjoint prices every noise source with one transpose
+            # solve per frequency; the whole block goes in one call.
+            adjoints[start:start + len(w)] = solve_batched(
+                systems.transpose(0, 2, 1), e_out.astype(complex)
             )
+            if input_solutions is not None:
+                input_solutions[start:start + len(w)] = solve_batched(
+                    systems, rhs_in
+                )
+        for source in sources:
+            y_p = adjoints[:, source.p] if source.p >= 0 else 0.0
+            y_n = adjoints[:, source.n] if source.n >= 0 else 0.0
+            transfer_sq = np.abs(y_n - y_p) ** 2
+            density = np.array(
+                [source.density(f) for f in frequencies]
+            )
+            value = transfer_sq * density
+            total += value
+            contributions[source.element] += value
+        if input_solutions is not None:
+            gain_squared[:] = np.abs(input_solutions[:, out_index]) ** 2
+    else:
+        for k, frequency in enumerate(frequencies):
+            omega = 2.0 * math.pi * frequency
+            system = g_mat + 1j * omega * c_mat
+            adjoint = engine.solve(system.T, e_out.astype(complex))
+            for source in sources:
+                y_p = adjoint[source.p] if source.p >= 0 else 0.0
+                y_n = adjoint[source.n] if source.n >= 0 else 0.0
+                transfer_sq = abs(y_n - y_p) ** 2
+                value = transfer_sq * source.density(frequency)
+                total[k] += value
+                contributions[source.element][k] += value
+            if input_element is not None:
+                gain_squared[k] = _input_gain_squared(
+                    system, input_element, out_index, size, engine
+                )
 
     return NoiseResult(
         circuit=circuit,
@@ -283,8 +327,8 @@ def _solve_noise(
     )
 
 
-def _input_gain_squared(system, element, out_index: int, size: int,
-                        engine=None) -> float:
+def _input_rhs(element, size: int) -> np.ndarray:
+    """Unit-excitation RHS of the designated input source."""
     from .elements.sources import CurrentSource, VoltageSource
 
     rhs = np.zeros(size, dtype=complex)
@@ -300,6 +344,12 @@ def _input_gain_squared(system, element, out_index: int, size: int,
         raise AnalysisError(
             f"input source {element.name!r} is not an independent source"
         )
+    return rhs
+
+
+def _input_gain_squared(system, element, out_index: int, size: int,
+                        engine=None) -> float:
+    rhs = _input_rhs(element, size)
     if engine is not None:
         solution = engine.solve(system, rhs)
     else:

@@ -7,7 +7,9 @@ the paper's Fig. 10 flow hands a generated deck to SPICE.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -188,3 +190,54 @@ def run_deck(deck: Deck | str, engine=None) -> DeckRun:
         else:  # pragma: no cover - parser only emits the kinds above
             raise AnalysisError(f"unknown analysis kind {card.kind!r}")
     return run
+
+
+@dataclass(frozen=True)
+class DeckSummary:
+    """Lightweight, picklable digest of one deck execution.
+
+    :func:`run_decks` returns these instead of full :class:`DeckRun`
+    objects so results can cross the process-pool boundary without
+    dragging circuits (and their cached engines) through pickle.
+    """
+
+    path: str
+    title: str
+    summary: str
+    profile: str
+
+
+def _run_deck_point(params: dict, engine=None) -> DeckSummary:
+    """Sweep-engine evaluation function: one deck file, end to end."""
+    path = params["deck"]
+    run = run_deck(parse_deck(Path(path).read_text()), engine=engine)
+    return DeckSummary(
+        path=path,
+        title=run.deck.title,
+        summary=run.summary(),
+        profile=run.profile(),
+    )
+
+
+def run_decks(
+    paths,
+    engine=None,
+    executor=None,
+    jobs: int | None = None,
+) -> list[DeckSummary]:
+    """Execute several deck files, optionally in parallel.
+
+    Dispatches one deck per chunk through :func:`repro.sweep.run_sweep`,
+    so ``jobs=N`` runs up to ``N`` decks in worker processes — the
+    ``repro run --jobs N`` CLI path.  Results come back in input order.
+    """
+    from ..sweep import run_sweep
+
+    result = run_sweep(
+        functools.partial(_run_deck_point, engine=engine),
+        [{"deck": str(path)} for path in paths],
+        executor=executor,
+        jobs=jobs,
+        chunk_size=1,
+    )
+    return list(result.values)

@@ -1,0 +1,52 @@
+"""Parallel sweep & Monte-Carlo orchestration (the repo's batch layer).
+
+Every quantitative result of the paper is a sweep — Fig. 5's phase-error
+x gain-balance grid, Fig. 9's fT-vs-Ic curves, Section 2.2's
+process-variation Monte Carlo.  This package provides the one engine all
+of them (and every future yield/corner/optimization workload) run
+through:
+
+* :class:`ParameterGrid` / :class:`MonteCarloSampler` — describe *what*
+  to evaluate: a cartesian grid of named axes, or ``n`` random samples
+  with a deterministic per-point random stream
+  (:class:`numpy.random.SeedSequence` spawning, so parallel and serial
+  runs consume bit-identical streams),
+* :func:`run_sweep` — execute an evaluation function over the points
+  with a pluggable executor (serial, thread pool, process pool with
+  chunked dispatch), optional warm-start continuation between adjacent
+  points, and a content-hash :class:`ResultCache` so repeated points are
+  never re-simulated,
+* :class:`SweepStats` — per-sweep counters (points evaluated, cache
+  hits, workers used, per-point wall time), also mirrored into
+  :data:`repro.spice.engine.GLOBAL_STATS` for the benchmark harness.
+
+See ``docs/sweeps.md`` for the execution model and the determinism
+guarantees.
+"""
+
+from .cache import ResultCache, content_key
+from .executors import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
+from .grid import MonteCarloSampler, ParameterGrid, SweepPoint
+from .orchestrator import SweepResult, SweepStats, run_sweep
+
+__all__ = [
+    "SweepPoint",
+    "ParameterGrid",
+    "MonteCarloSampler",
+    "ResultCache",
+    "content_key",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+    "run_sweep",
+    "SweepResult",
+    "SweepStats",
+]

@@ -1,0 +1,102 @@
+"""Content-hash result cache for sweep points.
+
+A sweep point is identified by *what it computes*: an evaluation tag
+(normally the evaluation function's module-qualified name), its
+parameter dict, and — for stochastic points — the identity of its random
+stream.  The key is a SHA-256 over a canonical serialization of those,
+so two sweeps that revisit the same point (a refined grid sharing nodes
+with a coarse one, a re-run with more samples, a bisection retracing its
+steps) never re-simulate it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields, is_dataclass
+
+import numpy as np
+
+
+def _canonical(obj) -> str:
+    """A stable, content-based repr for hashable-by-value sweep inputs."""
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return repr(obj)
+    if isinstance(obj, float):
+        # repr round-trips doubles exactly; the float() strips numpy's
+        # float64 subclass so np.float64(x) and x share one key.
+        return repr(float(obj))
+    if isinstance(obj, np.floating):
+        return repr(float(obj))
+    if isinstance(obj, np.integer):
+        return repr(int(obj))
+    if isinstance(obj, np.random.SeedSequence):
+        return f"seed({obj.entropy!r},{obj.spawn_key!r})"
+    if isinstance(obj, np.ndarray):
+        return (f"array({obj.dtype.str},{obj.shape},"
+                f"{obj.tobytes().hex()})")
+    if isinstance(obj, dict):
+        items = sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        body = ",".join(f"{_canonical(k)}:{_canonical(v)}"
+                        for k, v in items)
+        return "{" + body + "}"
+    if isinstance(obj, (list, tuple)):
+        body = ",".join(_canonical(item) for item in obj)
+        return ("[" if isinstance(obj, list) else "(") + body + ")"
+    if is_dataclass(obj) and not isinstance(obj, type):
+        body = ",".join(
+            f"{f.name}={_canonical(getattr(obj, f.name))}"
+            for f in fields(obj)
+        )
+        return f"{type(obj).__qualname__}({body})"
+    raise TypeError(
+        f"cannot build a content key from {type(obj).__name__!r}; "
+        "sweep parameters must be scalars, strings, arrays, containers "
+        "or dataclasses of those"
+    )
+
+
+def content_key(tag: str, params: dict,
+                seed: np.random.SeedSequence | None = None) -> str:
+    """The cache key of one evaluation: tag + params + random stream."""
+    payload = f"{tag}|{_canonical(params)}|{_canonical(seed)}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """In-memory point-result cache with hit/miss counters.
+
+    Lives for as long as the caller keeps it — hand the same instance to
+    successive :func:`repro.sweep.run_sweep` calls to share results
+    across sweeps.  ``maxsize`` bounds the entry count (oldest-inserted
+    evicted first); ``None`` means unbounded.
+    """
+
+    def __init__(self, maxsize: int | None = None):
+        self._data: dict[str, object] = {}
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def get(self, key: str, default=None):
+        if key in self._data:
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return default
+
+    def put(self, key: str, value) -> None:
+        if self.maxsize is not None and key not in self._data:
+            while len(self._data) >= self.maxsize:
+                self._data.pop(next(iter(self._data)))
+        self._data[key] = value
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,110 @@
+"""Pluggable sweep executors: serial, thread pool, process pool.
+
+An executor's only job is ``map_chunks(fn, chunks)``: apply ``fn`` to
+every chunk and return the results *in submission order*.  All sweep
+semantics — chunk formation, per-point seeding, warm-start chains,
+caching — live in the orchestrator and are identical across executors,
+which is what makes the backends interchangeable and their results
+bit-identical.
+
+The process executor requires ``fn`` (a partial over the module-level
+chunk evaluator) and every point's parameters to be picklable; the
+rewired callers in :mod:`repro.geometry.variation`,
+:mod:`repro.rfsystems.image_rejection` and :mod:`repro.devices.ft` use
+module-level evaluation functions for exactly this reason.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from ..errors import AnalysisError
+
+
+def _default_jobs() -> int:
+    return max(os.cpu_count() or 1, 1)
+
+
+class Executor:
+    """Executor interface; subclasses set ``name`` and ``workers``."""
+
+    name = "executor"
+    workers = 1
+
+    def map_chunks(self, fn, chunks: list) -> list:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """In-process, one chunk after the other — the reference backend."""
+
+    name = "serial"
+    workers = 1
+
+    def map_chunks(self, fn, chunks: list) -> list:
+        return [fn(chunk) for chunk in chunks]
+
+
+class ThreadExecutor(Executor):
+    """Thread pool: wins when the evaluation releases the GIL (numpy/
+    LAPACK-heavy points) or waits on I/O; otherwise GIL-bound."""
+
+    name = "thread"
+
+    def __init__(self, jobs: int | None = None):
+        self.workers = jobs or _default_jobs()
+
+    def map_chunks(self, fn, chunks: list) -> list:
+        if len(chunks) <= 1 or self.workers <= 1:
+            return [fn(chunk) for chunk in chunks]
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(fn, chunks))
+
+
+class ProcessExecutor(Executor):
+    """Process pool with chunked dispatch — the throughput backend.
+
+    Each submitted unit is a whole chunk, so per-task IPC overhead is
+    amortized over ``chunk_size`` points.  Worker processes cannot see
+    the parent's caches or engine counters; the orchestrator accounts
+    for both on the parent side.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int | None = None):
+        self.workers = jobs or _default_jobs()
+
+    def map_chunks(self, fn, chunks: list) -> list:
+        if len(chunks) <= 1 or self.workers <= 1:
+            return [fn(chunk) for chunk in chunks]
+        workers = min(self.workers, len(chunks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, chunks))
+
+
+def resolve_executor(executor=None, jobs: int | None = None) -> Executor:
+    """Resolve an ``executor=``/``jobs=`` argument pair.
+
+    ``None`` picks serial unless ``jobs`` asks for more than one worker,
+    in which case the process pool is used (the only backend that speeds
+    up pure-python evaluation).  Strings name a backend explicitly; an
+    :class:`Executor` instance passes through.
+    """
+    if isinstance(executor, Executor):
+        return executor
+    if executor is None:
+        if jobs is None or jobs <= 1:
+            return SerialExecutor()
+        return ProcessExecutor(jobs)
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "thread":
+        return ThreadExecutor(jobs)
+    if executor == "process":
+        return ProcessExecutor(jobs)
+    raise AnalysisError(
+        f"unknown executor {executor!r}; expected 'serial', 'thread', "
+        "'process' or an Executor instance"
+    )

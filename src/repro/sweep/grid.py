@@ -1,0 +1,104 @@
+"""Sweep-point descriptions: parameter grids and Monte-Carlo samplers.
+
+Both produce ordered lists of :class:`SweepPoint` — the unit of work of
+:func:`repro.sweep.run_sweep`.  A point carries its parameter dict and,
+for stochastic sweeps, its own :class:`numpy.random.SeedSequence` child,
+spawned deterministically from the sweep's root seed.  Because each
+point owns an independent stream, the samples drawn are a function of
+the point *index* alone — executors and chunking cannot change them,
+which is what makes parallel Monte Carlo bit-identical to serial.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluation point: an index, parameters, optional random seed."""
+
+    index: int
+    params: dict
+    seed: np.random.SeedSequence | None = None
+
+    def rng(self) -> np.random.Generator | None:
+        """A fresh generator over this point's stream (None if unseeded)."""
+        if self.seed is None:
+            return None
+        return np.random.default_rng(self.seed)
+
+
+def _root_seed(seed) -> np.random.SeedSequence:
+    """Normalize an ``int`` / ``SeedSequence`` seed argument."""
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
+
+
+class ParameterGrid:
+    """Cartesian product of named axes, in C order (last axis fastest).
+
+    >>> grid = ParameterGrid({"phase": [0.0, 1.0], "gain": [0.01, 0.09]})
+    >>> [p.params for p in grid.points()][:2]
+    [{'phase': 0.0, 'gain': 0.01}, {'phase': 0.0, 'gain': 0.09}]
+    """
+
+    def __init__(self, axes: dict):
+        if not axes:
+            raise AnalysisError("parameter grid needs at least one axis")
+        self.axes = {name: list(values) for name, values in axes.items()}
+        for name, values in self.axes.items():
+            if not values:
+                raise AnalysisError(f"grid axis {name!r} is empty")
+
+    def __len__(self) -> int:
+        count = 1
+        for values in self.axes.values():
+            count *= len(values)
+        return count
+
+    def points(self, seed=None) -> list[SweepPoint]:
+        """Materialize the grid; ``seed`` adds per-point random streams."""
+        names = list(self.axes)
+        combos = itertools.product(*self.axes.values())
+        seeds = (
+            _root_seed(seed).spawn(len(self))
+            if seed is not None
+            else [None] * len(self)
+        )
+        return [
+            SweepPoint(index=i, params=dict(zip(names, combo)), seed=s)
+            for i, (combo, s) in enumerate(zip(combos, seeds))
+        ]
+
+
+class MonteCarloSampler:
+    """``samples`` stochastic points sharing one parameter dict.
+
+    Each point receives its own child of the root
+    :class:`~numpy.random.SeedSequence` — sample ``i`` always sees the
+    same stream, whatever executor or chunking runs it.
+    """
+
+    def __init__(self, samples: int, seed=0, params: dict | None = None):
+        if samples < 1:
+            raise AnalysisError("need at least one Monte-Carlo sample")
+        self.samples = samples
+        self.seed = _root_seed(seed)
+        self.params = dict(params or {})
+
+    def __len__(self) -> int:
+        return self.samples
+
+    def points(self) -> list[SweepPoint]:
+        seeds = self.seed.spawn(self.samples)
+        return [
+            SweepPoint(index=i, params=dict(self.params), seed=s)
+            for i, s in enumerate(seeds)
+        ]

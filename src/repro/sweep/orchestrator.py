@@ -1,0 +1,305 @@
+"""The sweep engine: chunked, cached, executor-agnostic point evaluation.
+
+Execution model (see ``docs/sweeps.md`` for the full contract):
+
+1. The point list is split into **chunks** of ``chunk_size`` consecutive
+   points.  Chunking depends only on the point count and ``chunk_size``
+   — never on the executor or worker count — so any two runs of the same
+   sweep form identical chunks.
+2. Chunks are dispatched through the executor.  A chunk is the dispatch
+   unit (amortizing process-pool IPC) *and* the warm-start unit: with
+   ``warm_start=True`` each chunk evaluates its points in order,
+   threading the previous point's returned state into the next call,
+   and every chunk starts cold.  Serial and parallel runs therefore
+   execute bit-identical warm chains.
+3. Stochastic points carry their own :class:`~numpy.random.SeedSequence`
+   child (see :mod:`repro.sweep.grid`); the evaluator receives a fresh
+   generator per point, so the sample stream is a function of the point
+   index alone.
+4. With a :class:`~repro.sweep.cache.ResultCache`, points (chunks, in
+   warm mode) whose content key is already present are never
+   re-evaluated.
+
+Evaluation-function convention — ``fn(params)`` plus, when applicable:
+
+* ``fn(params, rng=generator)`` for seeded points,
+* ``fn(params, warm=state) -> (value, state)`` with ``warm_start=True``
+  (``warm`` is ``None`` at the start of each chunk), and both keywords
+  together when both features are active.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import time as _time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..spice.engine import GLOBAL_STATS
+from .cache import ResultCache, content_key
+from .executors import Executor, resolve_executor
+from .grid import SweepPoint
+
+
+@dataclass
+class SweepStats:
+    """Counters for one sweep run (mirrored into engine GLOBAL_STATS)."""
+
+    points: int = 0  #: total points in the sweep
+    evaluated: int = 0  #: points actually evaluated (not cache-served)
+    cache_hits: int = 0  #: points served from the result cache
+    chunks: int = 0  #: chunks dispatched to the executor
+    workers: int = 1  #: executor worker count
+    executor: str = "serial"  #: executor backend name
+    wall_seconds: float = 0.0  #: whole-sweep wall time (parent side)
+    point_seconds: float = 0.0  #: summed per-point evaluation time
+
+    def points_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.points / self.wall_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "points": self.points,
+            "evaluated": self.evaluated,
+            "cache_hits": self.cache_hits,
+            "chunks": self.chunks,
+            "workers": self.workers,
+            "executor": self.executor,
+            "wall_seconds": self.wall_seconds,
+            "point_seconds": self.point_seconds,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.points} points ({self.evaluated} evaluated, "
+            f"{self.cache_hits} cached) in {self.chunks} chunks on "
+            f"{self.workers} {self.executor} worker(s), "
+            f"{self.wall_seconds * 1e3:.2f} ms wall "
+            f"({self.points_per_second():.0f} pts/s)"
+        )
+
+
+@dataclass
+class SweepResult:
+    """Ordered sweep output: one value per point, plus run statistics."""
+
+    points: list[SweepPoint]
+    values: list
+    stats: SweepStats
+    #: per-point evaluation seconds (0.0 for cache-served points)
+    point_seconds: list[float] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def value_array(self, dtype=float) -> np.ndarray:
+        return np.asarray(self.values, dtype=dtype)
+
+    def param_array(self, name: str) -> np.ndarray:
+        return np.asarray([p.params[name] for p in self.points])
+
+
+def _default_chunk_size(count: int) -> int:
+    """Deterministic default: ~32 chunks, at least 1 point each.
+
+    Depends only on the point count — never on the executor — so serial
+    and parallel runs of one sweep always form the same chunks.
+    """
+    return max(1, math.ceil(count / 32))
+
+
+def _evaluation_tag(fn) -> str:
+    """A content tag identifying the evaluation, partial args included."""
+    if isinstance(fn, functools.partial):
+        from .cache import _canonical
+
+        inner = _evaluation_tag(fn.func)
+        return (f"partial({inner},{_canonical(list(fn.args))},"
+                f"{_canonical(dict(fn.keywords))})")
+    module = getattr(fn, "__module__", "?")
+    qualname = getattr(fn, "__qualname__", repr(fn))
+    return f"{module}.{qualname}"
+
+
+def _evaluate_chunk(fn, warm_start: bool, chunk: list[SweepPoint]):
+    """Evaluate one chunk in order; the process-pool work function.
+
+    Returns ``(values, seconds)`` aligned with the chunk's points.
+    Module-level (not a closure) so it pickles for the process executor.
+    """
+    values = []
+    seconds = []
+    warm = None
+    for point in chunk:
+        kwargs = {}
+        rng = point.rng()
+        if rng is not None:
+            kwargs["rng"] = rng
+        if warm_start:
+            kwargs["warm"] = warm
+        t0 = _time.perf_counter()
+        result = fn(point.params, **kwargs)
+        seconds.append(_time.perf_counter() - t0)
+        if warm_start:
+            try:
+                value, warm = result
+            except (TypeError, ValueError):
+                raise AnalysisError(
+                    "warm_start evaluation functions must return "
+                    "(value, warm_state) tuples"
+                ) from None
+        else:
+            value = result
+        values.append(value)
+    return values, seconds
+
+
+def _materialize_points(points) -> list[SweepPoint]:
+    """Accept grids/samplers, SweepPoint lists, or bare param dicts."""
+    if hasattr(points, "points"):
+        points = points.points()
+    materialized = []
+    for i, point in enumerate(points):
+        if isinstance(point, SweepPoint):
+            materialized.append(point)
+        elif isinstance(point, dict):
+            materialized.append(SweepPoint(index=i, params=point))
+        else:
+            raise AnalysisError(
+                f"sweep point {i} is {type(point).__name__}; expected "
+                "SweepPoint or a parameter dict"
+            )
+    return materialized
+
+
+def run_sweep(
+    fn,
+    points,
+    *,
+    executor=None,
+    jobs: int | None = None,
+    chunk_size: int | None = None,
+    warm_start: bool = False,
+    cache: ResultCache | None = None,
+    cache_tag: str | None = None,
+) -> SweepResult:
+    """Evaluate ``fn`` over ``points`` with the configured executor.
+
+    ``points`` is a :class:`ParameterGrid`, :class:`MonteCarloSampler`,
+    or iterable of :class:`SweepPoint`/parameter dicts.  ``executor`` /
+    ``jobs`` select the backend (see
+    :func:`~repro.sweep.executors.resolve_executor`); ``cache`` enables
+    content-hash result reuse; ``warm_start`` switches to the
+    ``(value, state)`` continuation protocol.
+
+    Results are returned in point order and are identical — bit for bit
+    — for every executor, because chunking, seeding and warm chains are
+    all independent of how chunks are scheduled.
+    """
+    backend = resolve_executor(executor, jobs)
+    points = _materialize_points(points)
+    count = len(points)
+    if count == 0:
+        return SweepResult(points=[], values=[], stats=SweepStats(
+            executor=backend.name, workers=backend.workers))
+    size = _default_chunk_size(count) if chunk_size is None else chunk_size
+    if size < 1:
+        raise AnalysisError("chunk_size must be at least 1")
+    chunks = [points[i:i + size] for i in range(0, count, size)]
+
+    tag = cache_tag or _evaluation_tag(fn)
+    t0 = _time.perf_counter()
+    values: list = [None] * count
+    seconds = [0.0] * count
+    cache_hits = 0
+    evaluated = 0
+
+    # Cache pass: per-point granularity for independent points, whole
+    # chunks in warm mode (a chunk's values depend on every point in it).
+    pending_chunks: list[list[SweepPoint]] = []
+    pending_keys: list = []  # chunk key (warm) or per-point keys
+    for chunk in chunks:
+        if cache is None:
+            pending_chunks.append(chunk)
+            pending_keys.append(None)
+            continue
+        if warm_start:
+            key = content_key(
+                tag, {"chain": [(p.params, p.seed) for p in chunk]}
+            )
+            hit = cache.get(key, default=_MISS)
+            if hit is not _MISS:
+                for point, value in zip(chunk, hit):
+                    values[point.index] = value
+                cache_hits += len(chunk)
+            else:
+                pending_chunks.append(chunk)
+                pending_keys.append(key)
+        else:
+            misses = []
+            miss_keys = []
+            for point in chunk:
+                key = content_key(tag, point.params, point.seed)
+                hit = cache.get(key, default=_MISS)
+                if hit is not _MISS:
+                    values[point.index] = hit
+                    cache_hits += 1
+                else:
+                    misses.append(point)
+                    miss_keys.append(key)
+            if misses:
+                pending_chunks.append(misses)
+                pending_keys.append(miss_keys)
+
+    if pending_chunks:
+        work = functools.partial(_evaluate_chunk, fn, warm_start)
+        results = backend.map_chunks(work, pending_chunks)
+        for chunk, keys, (chunk_values, chunk_seconds) in zip(
+            pending_chunks, pending_keys, results
+        ):
+            evaluated += len(chunk)
+            for point, value, spent in zip(
+                chunk, chunk_values, chunk_seconds
+            ):
+                values[point.index] = value
+                seconds[point.index] = spent
+            if cache is not None:
+                if warm_start:
+                    cache.put(keys, list(chunk_values))
+                else:
+                    for key, value in zip(keys, chunk_values):
+                        cache.put(key, value)
+
+    stats = SweepStats(
+        points=count,
+        evaluated=evaluated,
+        cache_hits=cache_hits,
+        chunks=len(pending_chunks),
+        workers=backend.workers,
+        executor=backend.name,
+        wall_seconds=_time.perf_counter() - t0,
+        point_seconds=float(sum(seconds)),
+    )
+    GLOBAL_STATS.sweep_points += stats.points
+    GLOBAL_STATS.sweep_cache_hits += stats.cache_hits
+    GLOBAL_STATS.sweep_point_seconds += stats.point_seconds
+    GLOBAL_STATS.sweep_workers = max(
+        GLOBAL_STATS.sweep_workers, stats.workers
+    )
+    return SweepResult(
+        points=points, values=values, stats=stats, point_seconds=seconds
+    )
+
+
+class _Miss:
+    """Sentinel distinguishing cached-None from absent."""
+
+    __slots__ = ()
+
+
+_MISS = _Miss()

@@ -1,0 +1,67 @@
+"""Vectorized closed-form IRR: arrays, broadcasting, scalar round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DesignError
+from repro.rfsystems import fig5_sweep, image_rejection_ratio_db
+
+
+class TestVectorizedIRR:
+    def test_scalar_inputs_return_float(self):
+        value = image_rejection_ratio_db(1.0, 0.02)
+        assert isinstance(value, float)
+
+    def test_array_matches_elementwise_scalars(self):
+        phases = np.array([0.5, 1.0, 2.0, 5.0])
+        vectorized = image_rejection_ratio_db(phases, 0.03)
+        assert isinstance(vectorized, np.ndarray)
+        scalars = [image_rejection_ratio_db(float(p), 0.03)
+                   for p in phases]
+        np.testing.assert_allclose(vectorized, scalars, rtol=0.0)
+
+    def test_broadcasting_builds_the_fig5_grid(self):
+        phases = np.array([0.5, 1.0, 2.0])
+        gains = np.array([0.01, 0.05])
+        grid = image_rejection_ratio_db(phases[None, :], gains[:, None])
+        assert grid.shape == (2, 3)
+        for i, gain in enumerate(gains):
+            for j, phase in enumerate(phases):
+                assert grid[i, j] == image_rejection_ratio_db(
+                    float(phase), float(gain))
+
+    def test_perfect_matching_is_infinite(self):
+        assert image_rejection_ratio_db(0.0, 0.0) == np.inf
+        mixed = image_rejection_ratio_db(np.array([0.0, 1.0]), 0.0)
+        assert mixed[0] == np.inf and np.isfinite(mixed[1])
+
+    def test_irr_decreases_with_error(self):
+        phases = np.linspace(0.1, 10.0, 25)
+        curve = image_rejection_ratio_db(phases, 0.0)
+        assert np.all(np.diff(curve) < 0)
+
+    def test_nonpositive_path_gain_rejected(self):
+        with pytest.raises(DesignError):
+            image_rejection_ratio_db(1.0, -1.0)
+        with pytest.raises(DesignError):
+            image_rejection_ratio_db(np.array([1.0]),
+                                     np.array([0.01, -1.5]))
+
+
+class TestClosedFormFig5:
+    def test_closed_form_family_matches_direct_evaluation(self):
+        phases = (0.5, 1.0, 3.0)
+        gains = (0.01, 0.09)
+        family = fig5_sweep(phases, gains, simulated=False)
+        assert set(family) == set(gains)
+        for gain, curve in family.items():
+            for phase, irr in curve:
+                assert irr == pytest.approx(
+                    image_rejection_ratio_db(phase, gain), rel=0.0)
+
+    def test_closed_form_tracks_simulation(self):
+        phases = (1.0, 2.0)
+        closed = fig5_sweep(phases, (0.03,), simulated=False)
+        simulated = fig5_sweep(phases, (0.03,), simulated=True)
+        for (_, irr_c), (_, irr_s) in zip(closed[0.03], simulated[0.03]):
+            assert irr_c == pytest.approx(irr_s, abs=0.5)

@@ -1,0 +1,88 @@
+"""Content-hash keys and the in-memory result cache."""
+
+import numpy as np
+import pytest
+
+from repro.sweep import ResultCache, content_key
+
+
+class TestContentKey:
+    def test_stable_across_calls(self):
+        assert (content_key("tag", {"a": 1.5, "b": "x"})
+                == content_key("tag", {"a": 1.5, "b": "x"}))
+
+    def test_dict_order_irrelevant(self):
+        assert (content_key("tag", {"a": 1, "b": 2})
+                == content_key("tag", {"b": 2, "a": 1}))
+
+    def test_tag_params_and_seed_all_matter(self):
+        base = content_key("tag", {"a": 1})
+        assert content_key("other", {"a": 1}) != base
+        assert content_key("tag", {"a": 2}) != base
+        assert content_key("tag", {"a": 1},
+                           np.random.SeedSequence(0)) != base
+
+    def test_seed_identity_by_entropy_and_spawn_key(self):
+        root = np.random.SeedSequence(7)
+        child_a = root.spawn(2)[0]
+        child_b = np.random.SeedSequence(7).spawn(2)[0]
+        assert (content_key("t", {}, child_a)
+                == content_key("t", {}, child_b))
+        assert (content_key("t", {}, root.spawn(1)[0])
+                != content_key("t", {}, root))
+
+    def test_numpy_scalars_match_python_scalars(self):
+        assert (content_key("t", {"x": np.float64(2.5)})
+                == content_key("t", {"x": 2.5}))
+        assert (content_key("t", {"n": np.int64(3)})
+                == content_key("t", {"n": 3}))
+
+    def test_arrays_keyed_by_content(self):
+        a = np.array([1.0, 2.0])
+        assert (content_key("t", {"v": a})
+                == content_key("t", {"v": a.copy()}))
+        assert (content_key("t", {"v": a})
+                != content_key("t", {"v": np.array([1.0, 2.5])}))
+
+    def test_float_precision_round_trips(self):
+        x = 0.1 + 0.2  # not representable as the literal 0.3
+        assert content_key("t", {"x": x}) != content_key("t", {"x": 0.3})
+
+    def test_unkeyable_types_rejected(self):
+        with pytest.raises(TypeError):
+            content_key("t", {"f": object()})
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        key = content_key("t", {"x": 1})
+        sentinel = object()
+        assert cache.get(key, default=sentinel) is sentinel
+        cache.put(key, 42)
+        assert cache.get(key) == 42
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_cached_none_distinguishable_via_default(self):
+        cache = ResultCache()
+        cache.put("k", None)
+        marker = object()
+        assert cache.get("k", default=marker) is None
+
+    def test_maxsize_evicts_oldest(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_clear_resets_counters(self):
+        cache = ResultCache()
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("missing")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0

@@ -1,0 +1,96 @@
+"""Parameter grids, Monte-Carlo samplers, and per-point seeding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.sweep import MonteCarloSampler, ParameterGrid, SweepPoint
+
+
+class TestParameterGrid:
+    def test_c_order_last_axis_fastest(self):
+        grid = ParameterGrid({"a": [1, 2], "b": [10, 20, 30]})
+        params = [p.params for p in grid.points()]
+        assert params == [
+            {"a": 1, "b": 10}, {"a": 1, "b": 20}, {"a": 1, "b": 30},
+            {"a": 2, "b": 10}, {"a": 2, "b": 20}, {"a": 2, "b": 30},
+        ]
+
+    def test_len_is_axis_product(self):
+        grid = ParameterGrid({"a": [1, 2, 3], "b": [0.0, 1.0]})
+        assert len(grid) == 6
+        assert len(grid.points()) == 6
+
+    def test_indices_are_sequential(self):
+        grid = ParameterGrid({"x": [5, 6, 7]})
+        assert [p.index for p in grid.points()] == [0, 1, 2]
+
+    def test_unseeded_points_have_no_rng(self):
+        point = ParameterGrid({"x": [1]}).points()[0]
+        assert point.seed is None
+        assert point.rng() is None
+
+    def test_seeded_points_get_distinct_streams(self):
+        points = ParameterGrid({"x": [1, 2, 3]}).points(seed=7)
+        draws = [p.rng().standard_normal() for p in points]
+        assert len(set(draws)) == 3
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(AnalysisError):
+            ParameterGrid({})
+        with pytest.raises(AnalysisError):
+            ParameterGrid({"x": []})
+
+
+class TestMonteCarloSampler:
+    def test_sample_count(self):
+        sampler = MonteCarloSampler(5, seed=1)
+        assert len(sampler) == 5
+        assert len(sampler.points()) == 5
+
+    def test_streams_depend_only_on_seed_and_index(self):
+        first = [p.rng().standard_normal()
+                 for p in MonteCarloSampler(4, seed=3).points()]
+        second = [p.rng().standard_normal()
+                  for p in MonteCarloSampler(4, seed=3).points()]
+        assert first == second
+
+    def test_extending_sample_count_preserves_prefix(self):
+        # Sample i's stream is a function of (seed, i) alone, so a run
+        # with more samples reproduces the shorter run's prefix exactly.
+        short = [p.rng().standard_normal()
+                 for p in MonteCarloSampler(3, seed=9).points()]
+        long = [p.rng().standard_normal()
+                for p in MonteCarloSampler(10, seed=9).points()]
+        assert long[:3] == short
+
+    def test_different_seeds_differ(self):
+        a = [p.rng().standard_normal()
+             for p in MonteCarloSampler(3, seed=1).points()]
+        b = [p.rng().standard_normal()
+             for p in MonteCarloSampler(3, seed=2).points()]
+        assert a != b
+
+    def test_seed_sequence_accepted(self):
+        root = np.random.SeedSequence(42)
+        values = [p.rng().standard_normal()
+                  for p in MonteCarloSampler(3, seed=root).points()]
+        again = [p.rng().standard_normal()
+                 for p in MonteCarloSampler(3, seed=42).points()]
+        assert values == again
+
+    def test_shared_params_are_copied_per_point(self):
+        sampler = MonteCarloSampler(2, seed=0, params={"x": 1})
+        p0, p1 = sampler.points()
+        assert p0.params == {"x": 1} and p1.params == {"x": 1}
+        assert p0.params is not p1.params
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(AnalysisError):
+            MonteCarloSampler(0)
+
+
+def test_sweep_point_rng_is_fresh_each_call():
+    point = SweepPoint(index=0, params={},
+                       seed=np.random.SeedSequence(5))
+    assert point.rng().standard_normal() == point.rng().standard_normal()

@@ -1,0 +1,223 @@
+"""The sweep orchestrator: chunking, warm chains, caching, stats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.spice.engine import GLOBAL_STATS
+from repro.sweep import (
+    MonteCarloSampler,
+    ParameterGrid,
+    ResultCache,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+    run_sweep,
+)
+
+# Module-level evaluation functions so the process executor can pickle
+# them (the same constraint the library's own callers live under).
+
+_CALLS = []
+
+
+def _square(params):
+    _CALLS.append(params["x"])
+    return params["x"] ** 2
+
+
+def _draw(params, rng):
+    return float(rng.standard_normal())
+
+
+def _chain(params, warm=None):
+    total = (warm or 0.0) + params["x"]
+    return total, total
+
+
+def _bad_warm(params, warm=None):
+    return params["x"]  # violates the (value, state) protocol
+
+
+class TestRunSweepBasics:
+    def test_values_in_point_order(self):
+        result = run_sweep(_square, [{"x": i} for i in range(7)])
+        assert result.values == [i ** 2 for i in range(7)]
+        assert len(result) == 7
+
+    def test_accepts_grid_and_sampler(self):
+        grid = ParameterGrid({"x": [1, 2, 3]})
+        assert run_sweep(_square, grid).values == [1, 4, 9]
+        sampler = MonteCarloSampler(4, seed=0)
+        draws = run_sweep(_draw, sampler).values
+        assert len(set(draws)) == 4
+
+    def test_empty_sweep(self):
+        result = run_sweep(_square, [])
+        assert result.values == []
+        assert result.stats.points == 0
+
+    def test_bad_point_type_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_sweep(_square, [("x", 1)])
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_sweep(_square, [{"x": 1}], chunk_size=0)
+
+    def test_value_and_param_arrays(self):
+        result = run_sweep(_square, [{"x": i} for i in range(4)])
+        np.testing.assert_array_equal(result.value_array(),
+                                      [0.0, 1.0, 4.0, 9.0])
+        np.testing.assert_array_equal(result.param_array("x"),
+                                      [0, 1, 2, 3])
+
+
+class TestWarmStart:
+    def test_chains_restart_at_chunk_boundaries(self):
+        points = [{"x": 1.0}] * 6
+        result = run_sweep(_chain, points, warm_start=True, chunk_size=3)
+        # Two chunks of three: each runs 1, 2, 3 from a cold start.
+        assert result.values == [1.0, 2.0, 3.0, 1.0, 2.0, 3.0]
+
+    def test_chunking_ignores_executor(self):
+        points = [{"x": 1.0}] * 6
+        serial = run_sweep(_chain, points, warm_start=True, chunk_size=2,
+                           executor="serial")
+        threaded = run_sweep(_chain, points, warm_start=True, chunk_size=2,
+                             executor="thread", jobs=3)
+        assert serial.values == threaded.values
+
+    def test_protocol_violation_raises(self):
+        with pytest.raises(AnalysisError, match="warm_start"):
+            run_sweep(_bad_warm, [{"x": 1.0}], warm_start=True)
+
+
+class TestCaching:
+    def test_second_run_served_from_cache(self):
+        cache = ResultCache()
+        points = [{"x": i} for i in range(5)]
+        _CALLS.clear()
+        first = run_sweep(_square, points, cache=cache)
+        assert first.stats.evaluated == 5
+        assert len(_CALLS) == 5
+        second = run_sweep(_square, points, cache=cache)
+        assert second.values == first.values
+        assert second.stats.evaluated == 0
+        assert second.stats.cache_hits == 5
+        assert len(_CALLS) == 5  # nothing re-evaluated
+
+    def test_partial_overlap_evaluates_only_new_points(self):
+        cache = ResultCache()
+        run_sweep(_square, [{"x": i} for i in range(3)], cache=cache)
+        _CALLS.clear()
+        result = run_sweep(_square, [{"x": i} for i in range(5)],
+                           cache=cache)
+        assert result.values == [i ** 2 for i in range(5)]
+        assert sorted(_CALLS) == [3, 4]
+        assert result.stats.cache_hits == 3
+
+    def test_cache_tag_separates_evaluations(self):
+        cache = ResultCache()
+        run_sweep(_square, [{"x": 2}], cache=cache, cache_tag="a")
+        result = run_sweep(_square, [{"x": 2}], cache=cache,
+                           cache_tag="b")
+        assert result.stats.cache_hits == 0
+
+    def test_seeded_points_cache_by_stream(self):
+        cache = ResultCache()
+        first = run_sweep(_draw, MonteCarloSampler(4, seed=1),
+                          cache=cache)
+        second = run_sweep(_draw, MonteCarloSampler(4, seed=1),
+                           cache=cache)
+        assert second.values == first.values
+        assert second.stats.cache_hits == 4
+        third = run_sweep(_draw, MonteCarloSampler(4, seed=2),
+                          cache=cache)
+        assert third.stats.cache_hits == 0
+
+    def test_warm_sweeps_cache_whole_chunks(self):
+        cache = ResultCache()
+        points = [{"x": float(i)} for i in range(6)]
+        first = run_sweep(_chain, points, warm_start=True, chunk_size=3,
+                          cache=cache)
+        second = run_sweep(_chain, points, warm_start=True, chunk_size=3,
+                           cache=cache)
+        assert second.values == first.values
+        assert second.stats.cache_hits == 6
+        # A different chunking forms different chains -> no reuse.
+        third = run_sweep(_chain, points, warm_start=True, chunk_size=2,
+                          cache=cache)
+        assert third.stats.cache_hits == 0
+
+    def test_partial_bound_arguments_distinguish_tags(self):
+        import functools
+
+        cache = ResultCache()
+        run_sweep(functools.partial(_chain, ), [{"x": 1.0}], cache=cache)
+        result = run_sweep(functools.partial(_chain, warm=2.0),
+                           [{"x": 1.0}], cache=cache)
+        assert result.stats.cache_hits == 0
+
+
+class TestStats:
+    def test_counts_and_summary(self):
+        result = run_sweep(_square, [{"x": i} for i in range(10)],
+                           chunk_size=4)
+        stats = result.stats
+        assert stats.points == 10
+        assert stats.evaluated == 10
+        assert stats.chunks == 3
+        assert stats.executor == "serial"
+        assert stats.wall_seconds > 0.0
+        assert stats.points_per_second() > 0.0
+        assert "10 points" in stats.summary()
+        assert set(stats.as_dict()) == {
+            "points", "evaluated", "cache_hits", "chunks", "workers",
+            "executor", "wall_seconds", "point_seconds",
+        }
+
+    def test_global_engine_counters_accumulate(self):
+        snapshot = GLOBAL_STATS.copy()
+        cache = ResultCache()
+        run_sweep(_square, [{"x": i} for i in range(4)], cache=cache)
+        run_sweep(_square, [{"x": i} for i in range(4)], cache=cache)
+        delta = GLOBAL_STATS.since(snapshot)
+        assert delta.sweep_points == 8
+        assert delta.sweep_cache_hits == 4
+
+    def test_sweep_line_in_engine_summary(self):
+        stats = GLOBAL_STATS.copy()
+        stats.sweep_points = max(stats.sweep_points, 1)
+        assert "sweep points" in stats.summary()
+
+
+class TestExecutorResolution:
+    def test_default_is_serial(self):
+        assert resolve_executor(None, None).name == "serial"
+        assert resolve_executor(None, 1).name == "serial"
+
+    def test_jobs_selects_process_pool(self):
+        backend = resolve_executor(None, 4)
+        assert backend.name == "process"
+        assert backend.workers == 4
+
+    def test_names_resolve(self):
+        assert resolve_executor("serial").name == "serial"
+        assert resolve_executor("thread", 2).workers == 2
+        assert resolve_executor("process", 3).workers == 3
+
+    def test_instance_passthrough(self):
+        backend = SerialExecutor()
+        assert resolve_executor(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(AnalysisError):
+            resolve_executor("gpu")
+
+    def test_thread_executor_preserves_submission_order(self):
+        backend = ThreadExecutor(jobs=4)
+        chunks = [[i] for i in range(12)]
+        assert backend.map_chunks(lambda c: c[0] * 2, chunks) == [
+            i * 2 for i in range(12)
+        ]

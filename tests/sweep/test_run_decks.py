@@ -1,0 +1,77 @@
+"""Multi-deck execution through the sweep engine and the CLI."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.spice.runner import DeckSummary, run_decks
+
+DECKS = Path(__file__).resolve().parents[2] / "examples" / "decks"
+
+OP_DECK = "sweep deck {n}\nV1 a 0 {v}\nR1 a 0 1k\n.OP\n.END\n"
+
+
+@pytest.fixture()
+def two_decks(tmp_path):
+    paths = []
+    for n, v in ((1, 2.0), (2, 5.0)):
+        deck = tmp_path / f"deck{n}.cir"
+        deck.write_text(OP_DECK.format(n=n, v=v))
+        paths.append(deck)
+    return paths
+
+
+class TestRunDecks:
+    def test_results_in_input_order(self, two_decks):
+        summaries = run_decks(two_decks)
+        assert [s.title for s in summaries] == ["sweep deck 1",
+                                                "sweep deck 2"]
+        assert all(isinstance(s, DeckSummary) for s in summaries)
+        assert "V(a) = 2" in summaries[0].summary
+        assert "V(a) = 5" in summaries[1].summary
+
+    def test_parallel_matches_serial(self, two_decks):
+        serial = run_decks(two_decks)
+        parallel = run_decks(two_decks, jobs=2)
+        assert [s.summary for s in parallel] == [s.summary
+                                                for s in serial]
+
+    def test_example_decks_run(self):
+        summaries = run_decks([DECKS / "ce_stage.cir",
+                               DECKS / "noise_bench.cir"])
+        assert ".AC sweep" in summaries[0].summary
+        assert ".NOISE" in summaries[1].summary
+
+    def test_profile_is_captured(self, two_decks):
+        summaries = run_decks(two_decks[:1])
+        assert "engine profile:" in summaries[0].profile
+
+
+class TestCLIJobs:
+    def test_multiple_decks(self, two_decks, capsys):
+        assert main(["run", str(two_decks[0]), str(two_decks[1])]) == 0
+        out = capsys.readouterr().out
+        assert "sweep deck 1" in out and "sweep deck 2" in out
+
+    def test_jobs_flag(self, two_decks, capsys):
+        assert main(["run", str(two_decks[0]), str(two_decks[1]),
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "V(a) = 2" in out and "V(a) = 5" in out
+
+    def test_single_deck_with_jobs_goes_through_sweep_path(
+            self, two_decks, capsys):
+        assert main(["run", str(two_decks[0]), "--jobs", "1"]) == 0
+        assert "V(a) = 2" in capsys.readouterr().out
+
+    def test_profile_with_multiple_decks(self, two_decks, capsys):
+        assert main(["run", str(two_decks[0]), str(two_decks[1]),
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("engine profile:") == 2
+
+    def test_missing_deck_among_many(self, two_decks, capsys):
+        assert main(["run", str(two_decks[0]),
+                     "/nonexistent.cir"]) == 1
+        assert "error" in capsys.readouterr().err
