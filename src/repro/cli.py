@@ -2,7 +2,10 @@
 
 ``python -m repro.cli run <deck.cir> [<deck2.cir>...] [--jobs N]``
     Parse and execute SPICE decks, printing each analysis summary;
-    ``--jobs N`` runs the decks on N worker processes.
+    ``--jobs N`` runs the decks on N worker processes.  ``--on-error
+    skip|retry`` keeps a non-convergent deck from aborting the batch:
+    the failure (with its convergence forensics) is reported on stderr
+    and the remaining decks still run, exiting 0.
 
 ``python -m repro.cli generate <shape> [<shape>...]``
     Print geometry-generated ``.MODEL`` cards for the named transistor
@@ -25,7 +28,7 @@ def _cmd_run(args) -> int:
     from .spice.parser import parse_deck
     from .spice.runner import run_deck, run_decks
 
-    if len(args.decks) == 1 and not args.jobs:
+    if len(args.decks) == 1 and not args.jobs and args.on_error == "raise":
         text = Path(args.decks[0]).read_text()
         run = run_deck(parse_deck(text), engine=args.engine)
         print(run.summary())
@@ -34,15 +37,24 @@ def _cmd_run(args) -> int:
             print(run.profile())
         return 0
 
-    # Several decks (or an explicit --jobs): dispatch through the sweep
-    # engine; decks run in worker processes when --jobs > 1.
-    for summary in run_decks(args.decks, engine=args.engine,
-                             jobs=args.jobs):
+    # Several decks (or an explicit --jobs / fault-tolerance policy):
+    # dispatch through the sweep engine; decks run in worker processes
+    # when --jobs > 1, and with --on-error skip|retry a diverging deck
+    # is reported instead of killing the batch.
+    summaries = run_decks(args.decks, engine=args.engine, jobs=args.jobs,
+                          on_error=args.on_error)
+    failed = [s for s in summaries if not s.ok]
+    for summary in summaries:
         print(summary.summary)
-        if args.profile:
+        if args.profile and summary.ok:
             print()
             print(summary.profile)
         print()
+    if failed:
+        print(f"{len(failed)} of {len(summaries)} deck(s) failed "
+              f"(on_error={args.on_error}):", file=sys.stderr)
+        for summary in failed:
+            print(f"  {summary.path}: {summary.error}", file=sys.stderr)
     return 0
 
 
@@ -108,6 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="run decks in parallel on N worker processes",
+    )
+    run_cmd.add_argument(
+        "--on-error", choices=("raise", "skip", "retry"), default="raise",
+        dest="on_error",
+        help="failure policy: abort on the first failing deck (raise, "
+             "default), report and continue (skip), or retry "
+             "non-convergent decks before reporting (retry)",
     )
     run_cmd.set_defaults(handler=_cmd_run)
 

@@ -75,6 +75,7 @@ def ft_at_ic(
 def _ft_sweep_point(
     point_params: dict,
     warm=None,
+    attempt: int = 0,
     *,
     device: GummelPoonParameters,
     vce: float,
@@ -85,11 +86,14 @@ def _ft_sweep_point(
     starts from that Vbe shifted by the ideal-diode increment
     ``NF*vt*ln(ic/ic_prev)`` — on the usual monotone Ic grid that lands
     within a fraction of kT/q of the solution, so Newton converges in a
-    step or two.  Module-level so it pickles for the process executor.
+    step or two.  ``attempt`` is the sweep engine's retry hint: a retry
+    discards the warm start (the most likely culprit when the bias solve
+    diverges) and solves cold.  Module-level so it pickles for the
+    process executor.
     """
     ic = float(point_params["ic"])
     vbe0 = None
-    if warm is not None:
+    if warm is not None and attempt == 0:
         ic_prev, vbe_prev = warm
         if ic_prev > 0.0 and ic > 0.0:
             n_vt = device.NF * thermal_voltage(device.TNOM)
@@ -106,6 +110,8 @@ def ft_curve(
     jobs: int | None = None,
     cache=None,
     chunk_size: int = 32,
+    on_error: str = "raise",
+    retries: int = 2,
 ) -> list[FTPoint]:
     """fT over a sweep of collector currents (the paper's Fig. 9 sweep).
 
@@ -115,6 +121,11 @@ def ft_curve(
     (see :func:`_ft_sweep_point`).  Chunks start cold and are the unit
     of parallel dispatch, so serial and parallel sweeps are
     bit-identical.
+
+    ``on_error="skip"``/``"retry"`` degrades gracefully: a bias point
+    that cannot be solved leaves ``None`` in the returned list (retries
+    re-solve it cold, without the warm-start seed) instead of killing
+    the whole curve.
     """
     import functools
 
@@ -128,6 +139,8 @@ def ft_curve(
         cache=cache,
         chunk_size=chunk_size,
         warm_start=True,
+        on_error=on_error,
+        retries=retries,
     )
     return list(result.values)
 

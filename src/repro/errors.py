@@ -3,9 +3,65 @@
 Every subsystem raises a subclass of :class:`ReproError`, so callers can
 catch one base class at the API boundary while tests can assert on the
 specific failure mode.
+
+:class:`ConvergenceError` additionally carries a structured
+:class:`ConvergenceReport` — the solver's forensics record (homotopy
+stage reached, iterations used, final weighted residual, worst unknown)
+— so batch layers like :mod:`repro.sweep` can surface *why* a point
+failed without parsing message strings.  Both are plain-data and
+picklable: they cross process-pool boundaries intact.
 """
 
 from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ConvergenceReport:
+    """Structured diagnosis of a failed nonlinear or transient solve.
+
+    Populated by :func:`repro.spice.dcop.newton_solve` and enriched by
+    the callers that drive it (:func:`~repro.spice.dcop.solve_dc` sets
+    the homotopy ``stage``; transient analysis sets ``time``).  All
+    fields are primitives so the report pickles across process pools.
+    """
+
+    #: Where the solve gave up: ``"newton"``, ``"gmin_stepping"``,
+    #: ``"source_stepping"`` or ``"transient"``.
+    stage: str = "newton"
+    #: Newton iterations spent in the failing stage.
+    iterations: int = 0
+    #: Final weighted step error (units of the per-unknown tolerance;
+    #: convergence requires <= 1).  NaN when no step was taken.
+    residual: float = math.nan
+    #: Index of the worst unknown at the last iteration (-1 if unknown).
+    worst_index: int = -1
+    #: Human name of the worst unknown, e.g. ``"V(out)"`` / ``"I(L1)"``.
+    worst_name: str = ""
+    #: Junction shunt conductance in effect when the solve failed.
+    gmin: float | None = None
+    #: Source-stepping scale factor in effect (1.0 = full sources).
+    source_scale: float | None = None
+    #: Transient time point being attempted, if any.
+    time: float | None = None
+    #: Stage-by-stage trail for multi-stage solves (message strings).
+    history: list = field(default_factory=list)
+
+    def summary(self) -> str:
+        parts = [f"stage={self.stage}", f"iterations={self.iterations}"]
+        if not math.isnan(self.residual):
+            parts.append(f"residual={self.residual:.3g}x tol")
+        if self.worst_name:
+            parts.append(f"worst={self.worst_name}")
+        if self.gmin is not None:
+            parts.append(f"gmin={self.gmin:.3g}")
+        if self.source_scale is not None:
+            parts.append(f"source_scale={self.source_scale:.3g}")
+        if self.time is not None:
+            parts.append(f"t={self.time:.6g}s")
+        return ", ".join(parts)
 
 
 class ReproError(Exception):
@@ -34,7 +90,22 @@ class ParseError(ReproError):
 
 
 class ConvergenceError(ReproError):
-    """A nonlinear or transient solve failed to converge."""
+    """A nonlinear or transient solve failed to converge.
+
+    ``report``, when present, is the solver's structured
+    :class:`ConvergenceReport`.  The custom :meth:`__reduce__` keeps the
+    report attached through pickling (process-pool workers re-raise
+    these in the parent).
+    """
+
+    def __init__(self, message: str = "",
+                 report: ConvergenceReport | None = None):
+        super().__init__(message)
+        self.report = report
+
+    def __reduce__(self):
+        message = self.args[0] if self.args else ""
+        return (type(self), (message, self.report))
 
 
 class AnalysisError(ReproError):

@@ -77,10 +77,17 @@ class MismatchSpec:
 
 @dataclass
 class MonteCarloModels:
-    """Varied Gummel-Poon models for one shape across process samples."""
+    """Varied Gummel-Poon models for one shape across process samples.
+
+    Under a fault-tolerant run (``on_error="skip"``/``"retry"``),
+    ``models`` holds only the successfully generated samples and
+    ``failures`` the :class:`~repro.sweep.FailedPoint` records of the
+    rest — spread statistics are then over the surviving population.
+    """
 
     shape: TransistorShape
     models: list[GummelPoonParameters]
+    failures: list = field(default_factory=list)
 
     def parameter_values(self, name: str) -> np.ndarray:
         return np.array([getattr(m, name) for m in self.models])
@@ -120,6 +127,8 @@ def monte_carlo_models(
     executor=None,
     jobs: int | None = None,
     cache=None,
+    on_error: str = "raise",
+    retries: int = 2,
 ) -> MonteCarloModels:
     """Generate ``samples`` varied device models for a shape.
 
@@ -156,17 +165,30 @@ def monte_carlo_models(
         executor=executor,
         jobs=jobs,
         cache=cache,
+        on_error=on_error,
+        retries=retries,
     )
-    return MonteCarloModels(shape=shape, models=list(result.values))
+    failed = set(result.failed_indices())
+    return MonteCarloModels(
+        shape=shape,
+        models=[m for i, m in enumerate(result.values) if i not in failed],
+        failures=list(result.failures),
+    )
 
 
 @dataclass(frozen=True)
 class YieldReport:
-    """Pass fraction of a Monte-Carlo population against a spec."""
+    """Pass fraction of a Monte-Carlo population against a spec.
+
+    ``failures`` holds the :class:`~repro.sweep.FailedPoint` records of
+    samples that could not be evaluated at all (fault-tolerant runs);
+    they count against the yield — an unevaluable sample is not a pass.
+    """
 
     samples: int
     passed: int
     values: tuple[float, ...]
+    failures: tuple = ()
 
     @property
     def yield_fraction(self) -> float:
@@ -208,6 +230,8 @@ def monte_carlo_image_rejection(
     executor=None,
     jobs: int | None = None,
     cache=None,
+    on_error: str = "raise",
+    retries: int = 2,
 ) -> YieldReport:
     """Monte-Carlo yield of the Fig. 4 mixer against an IRR spec.
 
@@ -234,8 +258,11 @@ def monte_carlo_image_rejection(
         executor=executor,
         jobs=jobs,
         cache=cache,
+        on_error=on_error,
+        retries=retries,
     )
-    values = [float(v) for v in result.values]
+    values = [float(v) for v in result.values if v is not None]
     passed = sum(1 for v in values if v >= irr_spec_db)
     return YieldReport(samples=samples, passed=passed,
-                       values=tuple(values))
+                       values=tuple(values),
+                       failures=tuple(result.failures))

@@ -256,6 +256,7 @@ def fig5_sweep(
     executor=None,
     jobs: int | None = None,
     cache=None,
+    on_error: str = "raise",
 ) -> dict[float, list[tuple[float, float]]]:
     """The Fig. 5 family: IRR vs phase error for each gain balance.
 
@@ -265,7 +266,9 @@ def fig5_sweep(
     :func:`image_rejection_ratio_db` call; the behavioral simulation
     dispatches the grid through :func:`repro.sweep.run_sweep`, so
     ``executor``/``jobs`` parallelize it and ``cache`` skips points a
-    previous sweep already simulated.
+    previous sweep already simulated.  ``on_error="skip"``/``"retry"``
+    degrades gracefully on point failures: failed grid entries carry
+    ``None`` instead of aborting the whole figure.
     """
     phases = [float(p) for p in phase_errors_deg]
     gains = [float(g) for g in gain_errors]
@@ -287,6 +290,7 @@ def fig5_sweep(
         executor=executor,
         jobs=jobs,
         cache=cache,
+        on_error=on_error,
     )
     values = iter(result.values)
     return {

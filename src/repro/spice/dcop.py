@@ -13,13 +13,36 @@ part once and evaluates only the nonlinear devices per iteration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
 
 import numpy as np
 
-from ..errors import ConvergenceError
+from ..errors import ConvergenceError, ConvergenceReport
 from .engine import resolve_engine
 from .netlist import Circuit
+
+
+def weighted_error_vector(
+    delta: np.ndarray,
+    ref_a: np.ndarray,
+    ref_b: np.ndarray,
+    num_nodes: int,
+    reltol: float,
+    atol_nodes: float,
+    atol_branches: float,
+) -> np.ndarray:
+    """Per-unknown |delta| in units of the per-unknown tolerance.
+
+    The tolerance for unknown ``i`` is
+    ``reltol * max(|ref_a[i]|, |ref_b[i]|) + atol``, with ``atol``
+    switching from the node (voltage) to the branch (current) value at
+    index ``num_nodes``.
+    """
+    scale = reltol * np.maximum(np.abs(ref_a), np.abs(ref_b))
+    scale[:num_nodes] += atol_nodes
+    scale[num_nodes:] += atol_branches
+    return np.abs(delta) / scale
 
 
 def weighted_max_error(
@@ -31,18 +54,43 @@ def weighted_max_error(
     atol_nodes: float,
     atol_branches: float,
 ) -> float:
-    """Largest |delta| in units of the per-unknown tolerance.
+    """Largest entry of :func:`weighted_error_vector`.
 
-    The tolerance for unknown ``i`` is
-    ``reltol * max(|ref_a[i]|, |ref_b[i]|) + atol``, with ``atol``
-    switching from the node (voltage) to the branch (current) value at
-    index ``num_nodes``.  Shared by the Newton step-size test and the
-    transient local-truncation-error estimate.
+    Shared by the Newton step-size test and the transient
+    local-truncation-error estimate.
     """
-    scale = reltol * np.maximum(np.abs(ref_a), np.abs(ref_b))
-    scale[:num_nodes] += atol_nodes
-    scale[num_nodes:] += atol_branches
-    return float(np.max(np.abs(delta) / scale))
+    return float(np.max(weighted_error_vector(
+        delta, ref_a, ref_b, num_nodes, reltol, atol_nodes, atol_branches
+    )))
+
+
+def _failure_report(
+    circuit: Circuit,
+    stage: str,
+    iterations: int,
+    residual: float,
+    worst: int,
+    gmin: float,
+    source_scale: float,
+    time: float | None,
+) -> ConvergenceReport:
+    """Assemble the forensics record for one failed Newton run."""
+    worst_name = ""
+    if worst >= 0:
+        try:
+            worst_name = circuit.unknown_name(worst)
+        except Exception:  # name lookup must never mask the real failure
+            worst_name = f"unknown[{worst}]"
+    return ConvergenceReport(
+        stage=stage,
+        iterations=iterations,
+        residual=residual,
+        worst_index=worst,
+        worst_name=worst_name,
+        gmin=gmin,
+        source_scale=source_scale,
+        time=time,
+    )
 
 
 @dataclass(frozen=True)
@@ -99,7 +147,10 @@ def newton_solve(
     if limits is None:
         limits = {}
     diag = np.arange(num_nodes)
-    for _ in range(tolerances.max_iterations):
+    last_error = math.nan
+    worst = -1
+    iterations = 0
+    for iterations in range(1, tolerances.max_iterations + 1):
         ctx = engine.evaluate(
             x, time=time, gmin=gmin, limits=limits,
             source_scale=source_scale,
@@ -116,14 +167,55 @@ def newton_solve(
         try:
             dx = engine.solve(jacobian, -residual, token=jacobian_token)
         except np.linalg.LinAlgError as exc:
-            raise ConvergenceError(f"singular Jacobian: {exc}") from exc
+            raise ConvergenceError(
+                f"singular Jacobian: {exc}",
+                report=_failure_report(
+                    circuit, "newton", iterations, last_error, worst,
+                    gmin, source_scale, time,
+                ),
+            ) from exc
         if not np.all(np.isfinite(dx)):
-            raise ConvergenceError("non-finite Newton step")
+            worst = int(np.argmax(~np.isfinite(dx)))
+            raise ConvergenceError(
+                "non-finite Newton step",
+                report=_failure_report(
+                    circuit, "newton", iterations, math.inf, worst,
+                    gmin, source_scale, time,
+                ),
+            )
         x += dx
-        if tolerances.converged(dx, x - dx, num_nodes):
+        errors = weighted_error_vector(
+            dx, x - dx, x, num_nodes,
+            tolerances.reltol, tolerances.vntol, tolerances.abstol,
+        )
+        worst = int(np.argmax(errors))
+        last_error = float(errors[worst])
+        if last_error <= 1.0:
             return x
     raise ConvergenceError(
-        f"Newton failed to converge in {tolerances.max_iterations} iterations"
+        f"Newton failed to converge in {tolerances.max_iterations} "
+        "iterations",
+        report=_failure_report(
+            circuit, "newton", iterations, last_error, worst,
+            gmin, source_scale, time,
+        ),
+    )
+
+
+def retry_perturbation(x0: np.ndarray, attempt: int,
+                       amplitude: float = 0.05) -> np.ndarray:
+    """Deterministic initial-guess jitter for retry attempt ``attempt``.
+
+    Attempt ``k`` always produces the same perturbation (the stream is
+    seeded by ``k``), so a retried sweep point is reproducible.  The
+    amplitude grows with the attempt number: later retries explore
+    further from the failed starting point.
+    """
+    if attempt <= 0:
+        return np.array(x0, dtype=float)
+    rng = np.random.default_rng(attempt)
+    return np.asarray(x0, dtype=float) + rng.normal(
+        0.0, amplitude * attempt, size=np.shape(x0)
     )
 
 
@@ -134,10 +226,21 @@ def solve_dc(
     gmin: float = 1e-12,
     limits: dict | None = None,
     engine=None,
+    attempt: int = 0,
 ) -> np.ndarray:
     """DC operating point with the full homotopy ladder.
 
     Returns the solution vector (node voltages then branch currents).
+    On failure raises :class:`~repro.errors.ConvergenceError` carrying a
+    :class:`~repro.errors.ConvergenceReport` whose ``stage`` records the
+    last homotopy rung attempted and whose ``history`` lists every rung
+    that failed before it.
+
+    ``attempt`` is the retry ladder hook used by fault-tolerant sweeps
+    (see :func:`repro.sweep.run_sweep`): attempt ``k > 0`` starts from a
+    deterministically perturbed initial guess
+    (:func:`retry_perturbation`) and walks a longer, heavier gmin
+    ladder.  The converged solution is unchanged — only the path to it.
     """
     circuit.assign_indices()
     engine = resolve_engine(circuit, engine)
@@ -147,22 +250,27 @@ def solve_dc(
         x0 = np.zeros(circuit.num_unknowns)
     if limits is None:
         limits = {}
+    if attempt > 0:
+        x0 = retry_perturbation(x0, attempt)
+    history: list[str] = []
 
     try:
         return newton_solve(
             circuit, x0, tolerances, gmin, limits=limits,
             engine=engine, jacobian_token=("dc",),
         )
-    except ConvergenceError:
-        pass
+    except ConvergenceError as exc:
+        history.append(f"newton: {exc}")
 
     # gmin stepping: solve with a heavy junction shunt, then relax it.
+    # Retry attempts relax harder: a higher starting shunt and more rungs.
     x = np.array(x0, dtype=float)
     try:
         step_limits: dict = {}
-        relax_gmins = list(np.geomspace(1e-2, gmin, 11)) if gmin > 0 else list(
-            np.geomspace(1e-2, 1e-12, 11)
-        )
+        start_gmin = 1e-2 * 10.0 ** min(attempt, 2)
+        rungs = 11 + 4 * min(attempt, 5)
+        target_gmin = gmin if gmin > 0 else 1e-12
+        relax_gmins = list(np.geomspace(start_gmin, target_gmin, rungs))
         for step_gmin in relax_gmins:
             x = newton_solve(
                 circuit, x, tolerances, step_gmin, limits=step_limits,
@@ -175,8 +283,10 @@ def solve_dc(
             )
         limits.update(step_limits)
         return x
-    except ConvergenceError:
-        pass
+    except ConvergenceError as exc:
+        history.append(f"gmin stepping: {exc}")
+        if exc.report is not None:
+            exc.report.stage = "gmin_stepping"
 
     # Source stepping: ramp all independent sources from zero.
     x = np.zeros(circuit.num_unknowns)
@@ -193,13 +303,20 @@ def solve_dc(
             )
             scale = target
             step = min(step * 1.5, 0.25)
-        except ConvergenceError:
+        except ConvergenceError as exc:
             failures += 1
             step /= 4.0
             if failures > 40 or step < 1e-6:
+                history.append(f"source stepping: {exc}")
+                report = replace(
+                    exc.report or ConvergenceReport(),
+                    stage="source_stepping",
+                    history=history,
+                )
                 raise ConvergenceError(
                     "DC operating point: Newton, gmin stepping and source "
-                    "stepping all failed"
+                    f"stepping all failed ({report.summary()})",
+                    report=report,
                 ) from None
     limits.update(step_limits)
     return x

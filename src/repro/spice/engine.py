@@ -105,6 +105,8 @@ class EngineStats:
     sweep_point_seconds: float = 0.0
     #: Peak sweep worker count (a gauge, not a counter).
     sweep_workers: int = 0
+    #: Sweep points that failed under a skip/retry on_error policy.
+    sweep_failures: int = 0
 
     _COUNTERS = (
         "element_evals",
@@ -114,6 +116,7 @@ class EngineStats:
         "compilations",
         "sweep_points",
         "sweep_cache_hits",
+        "sweep_failures",
     )
 
     def copy(self) -> "EngineStats":
@@ -148,6 +151,8 @@ class EngineStats:
                 f"{self.sweep_workers} worker(s), "
                 f"{self.sweep_point_seconds * 1e3:.2f} ms point time)"
             )
+            if self.sweep_failures:
+                text += f"; {self.sweep_failures} failed sweep point(s)"
         return text
 
 

@@ -248,7 +248,38 @@ class Circuit:
             raise NetlistError(
                 f"element {element_name!r} carries no branch current unknown"
             )
+        if not 0 <= branch < len(element.branch_index):
+            raise NetlistError(
+                f"element {element_name!r} has "
+                f"{len(element.branch_index)} branch unknown(s); "
+                f"branch index {branch} is out of range"
+            )
         return element.branch_index[branch]
+
+    def branch_elements(self) -> list[str]:
+        """Names of the elements that carry branch current unknowns."""
+        self.assign_indices()
+        return [e.name for e in self._elements.values() if e.branch_index]
+
+    def unknown_name(self, index: int) -> str:
+        """Human name of equation unknown ``index``.
+
+        Nodes read ``V(name)``; branch currents ``I(element)`` (with a
+        ``#k`` suffix for elements carrying several).  Used by the
+        convergence forensics to point at the worst-behaved unknown.
+        """
+        self.assign_indices()
+        if 0 <= index < len(self.node_map):
+            for name, node_index in self.node_map.items():
+                if node_index == index:
+                    return f"V({name})"
+        for element in self._elements.values():
+            for k, branch_index in enumerate(element.branch_index):
+                if branch_index == index:
+                    if len(element.branch_index) == 1:
+                        return f"I({element.name})"
+                    return f"I({element.name}#{k})"
+        return f"unknown[{index}]"
 
     def nonlinear_elements(self) -> list[Element]:
         """The elements requiring Newton iteration (BJTs, diodes)."""

@@ -82,6 +82,11 @@ def collect_noise_sources(circuit: Circuit, x_op: np.ndarray,
     sources: list[NoiseSource] = []
     for element in circuit:
         if isinstance(element, Resistor):
+            # Zero/negative resistances (ideal shorts, behavioral
+            # negative-R elements) carry no thermal noise; including
+            # them would divide by zero in the 4kT/R density.
+            if element.resistance <= 0.0:
+                continue
             p, n = element.node_index
             sources.append(NoiseSource(element.name, "thermal", p, n,
                                        _thermal_psd(element.resistance)))

@@ -55,12 +55,18 @@ class AnalysisCard:
 
 @dataclass
 class Deck:
-    """A parsed deck: circuit, models and requested analyses."""
+    """A parsed deck: circuit, models, analyses and solver options.
+
+    ``options`` holds the recognized ``.OPTIONS`` settings (lower-cased
+    names: ``reltol``, ``vntol``, ``abstol``, ``itl1``, ``gmin``);
+    unrecognized options are accepted and ignored, as SPICE does.
+    """
 
     title: str
     circuit: Circuit
     models: dict
     analyses: list[AnalysisCard]
+    options: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -95,6 +101,7 @@ class _Parser:
         self.models: dict[str, object] = {}
         self.subckts: dict[str, _Subckt] = {}
         self.analyses: list[AnalysisCard] = []
+        self.options: dict = {}
         #: deferred (constructor, lineno) for current-controlled sources.
         self._deferred: list = []
 
@@ -128,7 +135,8 @@ class _Parser:
         for build in self._deferred:
             build(circuit)
         self._deferred.clear()
-        return Deck(self.title, circuit, self.models, self.analyses)
+        return Deck(self.title, circuit, self.models, self.analyses,
+                    self.options)
 
     # -- models and subcircuits ------------------------------------------------
 
@@ -236,8 +244,21 @@ class _Parser:
                 "fundamental": parse_value(words[1]),
                 "output": _output_node(words[2], lineno),
             }))
-        elif card in (".OPTIONS", ".OPTION", ".IC", ".NODESET", ".PRINT",
-                      ".PLOT", ".PROBE"):
+        elif card in (".OPTIONS", ".OPTION"):
+            # Recognized solver options feed the runner's Tolerances;
+            # everything else (bare flags like ACCT, unknown settings)
+            # is accepted and ignored, as SPICE does.
+            recognized = ("reltol", "vntol", "abstol", "itl1", "gmin")
+            rest = line.split(None, 1)[1] if len(words) > 1 else ""
+            for name, value in re.findall(r"(\w+)\s*=\s*(\S+)", rest):
+                if name.lower() in recognized:
+                    try:
+                        self.options[name.lower()] = parse_value(value)
+                    except Exception:
+                        raise ParseError(
+                            f"bad .OPTIONS value {name}={value}", lineno
+                        ) from None
+        elif card in (".IC", ".NODESET", ".PRINT", ".PLOT", ".PROBE"):
             pass  # accepted and ignored, as many decks carry them
         else:
             raise ParseError(f"unsupported card {card}", lineno)

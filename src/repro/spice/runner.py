@@ -124,13 +124,32 @@ class DeckRun:
         return "\n".join(lines)
 
 
+def _deck_tolerances(deck: Deck):
+    """Build ``(Tolerances | None, gmin)`` from a deck's .OPTIONS card."""
+    from .dcop import Tolerances
+
+    options = getattr(deck, "options", None) or {}
+    gmin = float(options.get("gmin", 1e-12))
+    names = ("reltol", "vntol", "abstol", "itl1")
+    if not any(name in options for name in names):
+        return None, gmin
+    defaults = Tolerances()
+    return Tolerances(
+        reltol=float(options.get("reltol", defaults.reltol)),
+        vntol=float(options.get("vntol", defaults.vntol)),
+        abstol=float(options.get("abstol", defaults.abstol)),
+        max_iterations=int(options.get("itl1", defaults.max_iterations)),
+    ), gmin
+
+
 def run_deck(deck: Deck | str, engine=None) -> DeckRun:
     """Execute every analysis card of a deck (text or parsed).
 
     ``engine`` selects the evaluation engine for every analysis (see
     :func:`repro.spice.engine.resolve_engine`): ``None`` uses the
     circuit's cached compiled engine, ``"legacy"`` the per-element
-    re-stamping reference path.
+    re-stamping reference path.  Recognized ``.OPTIONS`` settings
+    (RELTOL/VNTOL/ABSTOL/ITL1/GMIN) configure the Newton tolerances.
     """
     if isinstance(deck, str):
         deck = parse_deck(deck)
@@ -138,7 +157,9 @@ def run_deck(deck: Deck | str, engine=None) -> DeckRun:
         raise AnalysisError(
             "deck requests no analyses (.OP/.DC/.AC/.TRAN)"
         )
-    simulator = Simulator(deck.circuit, engine=engine)
+    tolerances, gmin = _deck_tolerances(deck)
+    simulator = Simulator(deck.circuit, tolerances=tolerances, gmin=gmin,
+                          engine=engine)
     run = DeckRun(deck)
     for card in deck.analyses:
         if card.kind == "op":
@@ -199,16 +220,30 @@ class DeckSummary:
     :func:`run_decks` returns these instead of full :class:`DeckRun`
     objects so results can cross the process-pool boundary without
     dragging circuits (and their cached engines) through pickle.
+
+    Under a fault-tolerant policy (``on_error="skip"``/``"retry"``),
+    a deck whose execution failed yields a summary with ``error`` set
+    (and the solver's forensics folded into ``summary``).
     """
 
     path: str
     title: str
     summary: str
     profile: str
+    #: repr of the exception that killed the deck, or None on success.
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
-def _run_deck_point(params: dict, engine=None) -> DeckSummary:
-    """Sweep-engine evaluation function: one deck file, end to end."""
+def _run_deck_point(params: dict, engine=None, attempt: int = 0) -> DeckSummary:
+    """Sweep-engine evaluation function: one deck file, end to end.
+
+    ``attempt`` is the sweep layer's retry hint; deck re-runs are
+    stateless so it only matters for accounting.
+    """
     path = params["deck"]
     run = run_deck(parse_deck(Path(path).read_text()), engine=engine)
     return DeckSummary(
@@ -219,17 +254,42 @@ def _run_deck_point(params: dict, engine=None) -> DeckSummary:
     )
 
 
+def _failed_deck_summary(failure) -> DeckSummary:
+    """A :class:`DeckSummary` describing one captured deck failure."""
+    path = failure.params.get("deck", "?")
+    lines = [f"deck {path}: FAILED ({failure.error_type})",
+             f"  {failure.error}"]
+    if failure.report is not None:
+        lines.append(f"  convergence report: {failure.report.summary()}")
+    if failure.attempts > 1:
+        lines.append(f"  after {failure.attempts} attempts")
+    return DeckSummary(
+        path=path,
+        title="(failed)",
+        summary="\n".join(lines),
+        profile="",
+        error=failure.error,
+    )
+
+
 def run_decks(
     paths,
     engine=None,
     executor=None,
     jobs: int | None = None,
+    on_error: str = "raise",
+    retries: int = 2,
 ) -> list[DeckSummary]:
     """Execute several deck files, optionally in parallel.
 
     Dispatches one deck per chunk through :func:`repro.sweep.run_sweep`,
     so ``jobs=N`` runs up to ``N`` decks in worker processes — the
     ``repro run --jobs N`` CLI path.  Results come back in input order.
+
+    ``on_error`` (``"raise"``/``"skip"``/``"retry"``, see
+    :func:`repro.sweep.run_sweep`) keeps one diverging deck from killing
+    the batch: failed decks come back as :class:`DeckSummary` entries
+    with ``error`` set instead of aborting the run.
     """
     from ..sweep import run_sweep
 
@@ -239,5 +299,10 @@ def run_decks(
         executor=executor,
         jobs=jobs,
         chunk_size=1,
+        on_error=on_error,
+        retries=retries,
     )
-    return list(result.values)
+    summaries = list(result.values)
+    for failure in result.failures:
+        summaries[failure.index] = _failed_deck_summary(failure)
+    return summaries

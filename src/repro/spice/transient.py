@@ -21,11 +21,16 @@ a waveform corner.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from ..errors import AnalysisError, ConvergenceError, NetlistError
+from ..errors import (
+    AnalysisError,
+    ConvergenceError,
+    ConvergenceReport,
+    NetlistError,
+)
 from .dcop import Tolerances, newton_solve, solve_dc, weighted_max_error
 from .engine import EngineStats, resolve_engine
 from .netlist import Circuit
@@ -60,8 +65,16 @@ class TransientResult:
     def differential(self, node_p: str, node_n: str) -> np.ndarray:
         return self.voltage(node_p) - self.voltage(node_n)
 
-    def branch_current(self, element_name: str) -> np.ndarray:
-        index = self.circuit.branch_index(element_name)
+    def branch_current(self, element_name: str, branch: int = 0) -> np.ndarray:
+        try:
+            index = self.circuit.branch_index(element_name, branch)
+        except NetlistError as exc:
+            known = ", ".join(self.circuit.branch_elements()) or "none"
+            raise AnalysisError(
+                f"transient result has no branch current for "
+                f"{element_name!r} (branch {branch}); elements with "
+                f"branch unknowns: {known}"
+            ) from exc
         return self.states[:, index]
 
     def sample(self, node: str, time: float) -> float:
@@ -181,14 +194,22 @@ def _solve_transient(
                 time=t_new, limits=step_limits, dynamic=dynamic,
                 engine=engine, jacobian_token=("tran", use_be, alpha),
             )
-        except ConvergenceError:
+        except ConvergenceError as exc:
             newton_failures += 1
             h /= 8.0
             use_be_next = True
             if h < min_step:
-                raise ConvergenceError(
-                    f"transient stalled at t={t:.6g}s (step underflow)"
+                report = replace(
+                    exc.report or ConvergenceReport(),
+                    stage="transient",
+                    time=t_new,
                 )
+                raise ConvergenceError(
+                    f"transient stalled at t={t:.6g}s (step underflow; "
+                    f"{newton_failures} Newton failures; "
+                    f"{report.summary()})",
+                    report=report,
+                ) from exc
             continue
 
         # Local truncation error: corrector vs predictor.

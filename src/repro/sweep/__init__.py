@@ -17,11 +17,19 @@ through:
   points, and a content-hash :class:`ResultCache` so repeated points are
   never re-simulated,
 * :class:`SweepStats` — per-sweep counters (points evaluated, cache
-  hits, workers used, per-point wall time), also mirrored into
-  :data:`repro.spice.engine.GLOBAL_STATS` for the benchmark harness.
+  hits, failures, retries, workers used, per-point wall time), also
+  mirrored into :data:`repro.spice.engine.GLOBAL_STATS` for the
+  benchmark harness,
+* fault tolerance — :func:`run_sweep`'s ``on_error="raise"|"skip"|
+  "retry"`` policy captures failing points as picklable
+  :class:`FailedPoint` records (with the solver's
+  :class:`~repro.errors.ConvergenceReport` forensics attached) instead
+  of aborting the batch, retries ``ConvergenceError`` points with an
+  escalating ``attempt=`` hint, and recovers from transient pool faults
+  (``BrokenProcessPool``) with exponential backoff.
 
-See ``docs/sweeps.md`` for the execution model and the determinism
-guarantees.
+See ``docs/sweeps.md`` for the execution model, the determinism
+guarantees and the failure-handling contract.
 """
 
 from .cache import ResultCache, content_key
@@ -30,10 +38,17 @@ from .executors import (
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
+    map_chunks_with_retries,
     resolve_executor,
 )
 from .grid import MonteCarloSampler, ParameterGrid, SweepPoint
-from .orchestrator import SweepResult, SweepStats, run_sweep
+from .orchestrator import (
+    ON_ERROR_POLICIES,
+    FailedPoint,
+    SweepResult,
+    SweepStats,
+    run_sweep,
+)
 
 __all__ = [
     "SweepPoint",
@@ -46,7 +61,10 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "resolve_executor",
+    "map_chunks_with_retries",
     "run_sweep",
     "SweepResult",
     "SweepStats",
+    "FailedPoint",
+    "ON_ERROR_POLICIES",
 ]

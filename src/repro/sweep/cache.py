@@ -91,9 +91,14 @@ class ResultCache:
         return default
 
     def put(self, key: str, value) -> None:
-        if self.maxsize is not None and key not in self._data:
-            while len(self._data) >= self.maxsize:
-                self._data.pop(next(iter(self._data)))
+        if self.maxsize is not None:
+            if self.maxsize <= 0:
+                # A zero-capacity cache stores nothing (the eviction
+                # loop below would otherwise pop from an empty dict).
+                return
+            if key not in self._data:
+                while len(self._data) >= self.maxsize:
+                    self._data.pop(next(iter(self._data)))
         self._data[key] = value
 
     def clear(self) -> None:

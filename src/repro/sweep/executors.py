@@ -17,13 +17,51 @@ module-level evaluation functions for exactly this reason.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 
 from ..errors import AnalysisError
+
+#: Pool faults that a retry on a fresh pool can plausibly cure: a worker
+#: killed by the OS (OOM, signal) surfaces as ``BrokenProcessPool``, a
+#: subclass of ``BrokenExecutor``.  Exceptions raised *by the evaluation
+#: function* are not in this family — they propagate (or are captured
+#: per point by the orchestrator's on_error policy).
+TRANSIENT_EXECUTOR_FAULTS = (BrokenExecutor,)
 
 
 def _default_jobs() -> int:
     return max(os.cpu_count() or 1, 1)
+
+
+def map_chunks_with_retries(
+    backend: "Executor",
+    fn,
+    chunks: list,
+    retries: int = 2,
+    backoff: float = 0.25,
+) -> tuple[list, int]:
+    """``backend.map_chunks`` with exponential backoff on pool faults.
+
+    Every executor builds a fresh pool per ``map_chunks`` call, so a
+    retry after ``BrokenProcessPool`` genuinely starts clean.  Waits
+    ``backoff * 2**k`` seconds before retry ``k``; re-raises once
+    ``retries`` attempts are exhausted.  Returns ``(results, faults)``
+    where ``faults`` counts the recovered failures.
+    """
+    faults = 0
+    while True:
+        try:
+            return backend.map_chunks(fn, chunks), faults
+        except TRANSIENT_EXECUTOR_FAULTS:
+            if faults >= retries:
+                raise
+            time.sleep(backoff * (2.0 ** faults))
+            faults += 1
 
 
 class Executor:

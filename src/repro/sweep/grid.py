@@ -33,6 +33,13 @@ class SweepPoint:
             return None
         return np.random.default_rng(self.seed)
 
+    def label(self) -> str:
+        """Short human identification used in failure summaries."""
+        body = ", ".join(f"{k}={v!r}" for k, v in self.params.items())
+        if body:
+            return f"point {self.index} ({body})"
+        return f"point {self.index}"
+
 
 def _root_seed(seed) -> np.random.SeedSequence:
     """Normalize an ``int`` / ``SeedSequence`` seed argument."""

@@ -20,28 +20,98 @@ Execution model (see ``docs/sweeps.md`` for the full contract):
    warm mode) whose content key is already present are never
    re-evaluated.
 
+Fault tolerance — the ``on_error`` policy:
+
+* ``"raise"`` (default): the first evaluation exception aborts the
+  sweep, exactly as a plain loop would.
+* ``"skip"``: failing points are recorded as picklable
+  :class:`FailedPoint` records (exception repr, parameters, and the
+  solver's :class:`~repro.errors.ConvergenceReport` when one is
+  attached) on :attr:`SweepResult.failures`; every other point's value
+  — and cache entry — survives.
+* ``"retry"``: like ``"skip"``, but a point failing with
+  :class:`~repro.errors.ConvergenceError` is re-evaluated up to
+  ``retries`` times first.  If the evaluation function accepts an
+  ``attempt`` keyword, retries pass ``attempt=1, 2, ...`` so it can
+  escalate (e.g. :func:`repro.spice.dcop.solve_dc` perturbs its initial
+  guess and walks a heavier gmin ladder).
+
+Transient executor faults (a worker killed by the OS —
+``BrokenProcessPool`` and friends) are retried with exponential backoff
+on a fresh pool regardless of ``on_error``; see
+:func:`repro.sweep.executors.map_chunks_with_retries`.
+
 Evaluation-function convention — ``fn(params)`` plus, when applicable:
 
 * ``fn(params, rng=generator)`` for seeded points,
 * ``fn(params, warm=state) -> (value, state)`` with ``warm_start=True``
   (``warm`` is ``None`` at the start of each chunk), and both keywords
-  together when both features are active.
+  together when both features are active,
+* ``fn(params, attempt=k)`` on the ``k``-th retry when the function
+  opts in by declaring the keyword.
 """
 
 from __future__ import annotations
 
 import functools
+import hashlib
+import inspect
 import math
 import time as _time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import AnalysisError
+from ..errors import AnalysisError, ConvergenceError, ConvergenceReport
 from ..spice.engine import GLOBAL_STATS
 from .cache import ResultCache, content_key
-from .executors import Executor, resolve_executor
+from .executors import Executor, map_chunks_with_retries, resolve_executor
 from .grid import SweepPoint
+
+#: Valid ``on_error`` policies for :func:`run_sweep`.
+ON_ERROR_POLICIES = ("raise", "skip", "retry")
+
+
+@dataclass
+class FailedPoint:
+    """Picklable record of one sweep point that could not be evaluated.
+
+    Captured inside the (possibly remote) chunk evaluator, so it carries
+    only plain data: the exception's repr and type name, the point's
+    parameters, the attempt count, and — when the failure was a
+    :class:`~repro.errors.ConvergenceError` — the solver's structured
+    :class:`~repro.errors.ConvergenceReport`.
+    """
+
+    index: int  #: the point's position in the sweep
+    params: dict  #: the point's parameter dict
+    error: str  #: ``repr()`` of the exception
+    error_type: str  #: exception class name (e.g. ``"ConvergenceError"``)
+    report: ConvergenceReport | None = None  #: solver forensics, if any
+    attempts: int = 1  #: total evaluation attempts, retries included
+
+    @classmethod
+    def from_exception(cls, point: SweepPoint, exc: BaseException,
+                       attempts: int) -> "FailedPoint":
+        return cls(
+            index=point.index,
+            params=dict(point.params),
+            error=repr(exc),
+            error_type=type(exc).__name__,
+            report=getattr(exc, "report", None),
+            attempts=attempts,
+        )
+
+    def summary(self) -> str:
+        text = f"{self.label()}: {self.error}"
+        if self.attempts > 1:
+            text += f" (after {self.attempts} attempts)"
+        if self.report is not None:
+            text += f" [{self.report.summary()}]"
+        return text
+
+    def label(self) -> str:
+        return SweepPoint(index=self.index, params=self.params).label()
 
 
 @dataclass
@@ -56,6 +126,10 @@ class SweepStats:
     executor: str = "serial"  #: executor backend name
     wall_seconds: float = 0.0  #: whole-sweep wall time (parent side)
     point_seconds: float = 0.0  #: summed per-point evaluation time
+    failures: int = 0  #: points that failed (skip/retry policies)
+    retries: int = 0  #: extra evaluation attempts spent on retries
+    executor_faults: int = 0  #: transient pool faults recovered from
+    on_error: str = "raise"  #: failure policy the sweep ran under
 
     def points_per_second(self) -> float:
         if self.wall_seconds <= 0.0:
@@ -72,36 +146,95 @@ class SweepStats:
             "executor": self.executor,
             "wall_seconds": self.wall_seconds,
             "point_seconds": self.point_seconds,
+            "failures": self.failures,
+            "retries": self.retries,
+            "executor_faults": self.executor_faults,
+            "on_error": self.on_error,
         }
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.points} points ({self.evaluated} evaluated, "
             f"{self.cache_hits} cached) in {self.chunks} chunks on "
             f"{self.workers} {self.executor} worker(s), "
             f"{self.wall_seconds * 1e3:.2f} ms wall "
             f"({self.points_per_second():.0f} pts/s)"
         )
+        if self.failures or self.retries or self.executor_faults:
+            text += (
+                f"; {self.failures} failed point(s), "
+                f"{self.retries} retry attempt(s), "
+                f"{self.executor_faults} executor fault(s) "
+                f"[on_error={self.on_error}]"
+            )
+        return text
 
 
 @dataclass
 class SweepResult:
-    """Ordered sweep output: one value per point, plus run statistics."""
+    """Ordered sweep output: one value per point, plus run statistics.
+
+    Under ``on_error="skip"``/``"retry"``, failed points hold ``None``
+    in :attr:`values` and are described in :attr:`failures`.
+    """
 
     points: list[SweepPoint]
     values: list
     stats: SweepStats
     #: per-point evaluation seconds (0.0 for cache-served points)
     point_seconds: list[float] = field(default_factory=list)
+    #: one record per point that could not be evaluated
+    failures: list[FailedPoint] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.values)
 
-    def value_array(self, dtype=float) -> np.ndarray:
+    @property
+    def ok(self) -> bool:
+        """True when every point produced a value."""
+        return not self.failures
+
+    def failed_indices(self) -> list[int]:
+        return [failure.index for failure in self.failures]
+
+    def value_array(self, dtype=float, skip_failed: bool = False) -> np.ndarray:
+        """Values as an array; ``skip_failed=True`` drops failed points.
+
+        With failures present and ``skip_failed=False`` this raises —
+        silently coercing the ``None`` placeholders would poison the
+        array.
+        """
+        if self.failures and not skip_failed:
+            raise AnalysisError(
+                f"sweep has {len(self.failures)} failed point(s) at "
+                f"indices {self.failed_indices()}; pass "
+                "skip_failed=True or inspect result.failures"
+            )
+        if skip_failed:
+            failed = set(self.failed_indices())
+            kept = [v for i, v in enumerate(self.values) if i not in failed]
+            return np.asarray(kept, dtype=dtype)
         return np.asarray(self.values, dtype=dtype)
 
-    def param_array(self, name: str) -> np.ndarray:
+    def param_array(self, name: str, skip_failed: bool = False) -> np.ndarray:
+        """One parameter across the points (aligned with ``value_array``
+        called with the same ``skip_failed``)."""
+        if skip_failed:
+            failed = set(self.failed_indices())
+            return np.asarray([
+                p.params[name] for i, p in enumerate(self.points)
+                if i not in failed
+            ])
         return np.asarray([p.params[name] for p in self.points])
+
+    def failure_summary(self) -> str:
+        """One line per failure, or a clean-run message."""
+        if not self.failures:
+            return "no failed points"
+        lines = [f"{len(self.failures)} of {len(self.points)} "
+                 "point(s) failed:"]
+        lines.extend(f"  {failure.summary()}" for failure in self.failures)
+        return "\n".join(lines)
 
 
 def _default_chunk_size(count: int) -> int:
@@ -113,50 +246,152 @@ def _default_chunk_size(count: int) -> int:
     return max(1, math.ceil(count / 32))
 
 
-def _evaluation_tag(fn) -> str:
-    """A content tag identifying the evaluation, partial args included."""
+def _code_object(fn):
+    """The code object behind a callable, or None (builtins, C funcs)."""
+    code = getattr(fn, "__code__", None)
+    if code is not None:
+        return code
+    call = getattr(fn, "__call__", None)
+    return getattr(call, "__code__", None)
+
+
+def _evaluation_tag(fn, require_code: bool = False) -> str:
+    """A content tag identifying the evaluation, partial args included.
+
+    The tag mixes a hash of the function's compiled bytecode into its
+    module-qualified name, so two different lambdas sharing one
+    ``__qualname__`` (both ``<lambda>`` in the same scope) get distinct
+    cache keys instead of silently serving each other's results.
+    ``require_code=True`` (set when a cache is in play) refuses
+    callables with no reachable code object — their tag could collide
+    undetectably — directing the caller to pass an explicit
+    ``cache_tag``.
+    """
     if isinstance(fn, functools.partial):
         from .cache import _canonical
 
-        inner = _evaluation_tag(fn.func)
+        inner = _evaluation_tag(fn.func, require_code=require_code)
         return (f"partial({inner},{_canonical(list(fn.args))},"
                 f"{_canonical(dict(fn.keywords))})")
     module = getattr(fn, "__module__", "?")
     qualname = getattr(fn, "__qualname__", repr(fn))
-    return f"{module}.{qualname}"
+    code = _code_object(fn)
+    if code is None:
+        if require_code:
+            raise AnalysisError(
+                f"cannot derive a collision-safe cache tag for "
+                f"{module}.{qualname} (no code object); pass an "
+                "explicit cache_tag= to run_sweep"
+            )
+        return f"{module}.{qualname}"
+    # co_code alone is not enough: ``lambda p: p["x"] * 2`` and
+    # ``lambda p: p["x"] * 10`` share bytecode (the constant lives in
+    # co_consts), as do closures over different captured values.
+    hasher = hashlib.sha256(code.co_code)
+    hasher.update(repr(code.co_consts).encode())
+    hasher.update(repr(code.co_names).encode())
+    closure = getattr(fn, "__closure__", None)
+    if closure:
+        for cell in closure:
+            try:
+                hasher.update(repr(cell.cell_contents).encode())
+            except ValueError:  # empty cell
+                hasher.update(b"<empty>")
+    digest = hasher.hexdigest()[:12]
+    return f"{module}.{qualname}#{digest}"
 
 
-def _evaluate_chunk(fn, warm_start: bool, chunk: list[SweepPoint]):
+def _accepts_keyword(fn, name: str) -> bool:
+    """Whether calling ``fn(..., name=...)`` can succeed (best effort)."""
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == name and parameter.kind in (
+            parameter.POSITIONAL_OR_KEYWORD, parameter.KEYWORD_ONLY
+        ):
+            return True
+    return False
+
+
+def _evaluate_chunk(
+    fn,
+    warm_start: bool,
+    on_error: str,
+    retries: int,
+    pass_attempt: bool,
+    chunk: list[SweepPoint],
+):
     """Evaluate one chunk in order; the process-pool work function.
 
-    Returns ``(values, seconds)`` aligned with the chunk's points.
+    Returns ``(values, seconds, failures, retries_used)`` aligned with
+    the chunk's points (``values[i]`` is None for failed points).
     Module-level (not a closure) so it pickles for the process executor.
+
+    Failure semantics: under ``skip``/``retry`` an exception is captured
+    as a :class:`FailedPoint` and the chunk continues; a warm chain
+    carries the last *successful* state past a failed point.  Retries
+    apply to :class:`~repro.errors.ConvergenceError` only — other
+    exceptions are deterministic and re-running them is wasted work.
     """
     values = []
     seconds = []
+    failures: list[FailedPoint] = []
+    retries_used = 0
     warm = None
+    max_attempts = retries + 1 if on_error == "retry" else 1
     for point in chunk:
-        kwargs = {}
+        base_kwargs = {}
         rng = point.rng()
         if rng is not None:
-            kwargs["rng"] = rng
+            base_kwargs["rng"] = rng
         if warm_start:
-            kwargs["warm"] = warm
-        t0 = _time.perf_counter()
-        result = fn(point.params, **kwargs)
-        seconds.append(_time.perf_counter() - t0)
-        if warm_start:
+            base_kwargs["warm"] = warm
+        spent = 0.0
+        value = None
+        for attempt in range(max_attempts):
+            kwargs = dict(base_kwargs)
+            if attempt > 0:
+                if pass_attempt:
+                    kwargs["attempt"] = attempt
+                if rng is not None:
+                    # A fresh generator per attempt: the first draw of a
+                    # retried point must match a clean run's, not resume
+                    # mid-stream where the failed attempt stopped.
+                    kwargs["rng"] = point.rng()
+            t0 = _time.perf_counter()
             try:
-                value, warm = result
-            except (TypeError, ValueError):
-                raise AnalysisError(
-                    "warm_start evaluation functions must return "
-                    "(value, warm_state) tuples"
-                ) from None
-        else:
-            value = result
+                result = fn(point.params, **kwargs)
+            except Exception as exc:
+                spent += _time.perf_counter() - t0
+                if on_error == "raise":
+                    raise
+                if (isinstance(exc, ConvergenceError)
+                        and attempt + 1 < max_attempts):
+                    retries_used += 1
+                    continue
+                failures.append(
+                    FailedPoint.from_exception(point, exc, attempt + 1)
+                )
+                break
+            spent += _time.perf_counter() - t0
+            if warm_start:
+                try:
+                    value, warm = result
+                except (TypeError, ValueError):
+                    raise AnalysisError(
+                        "warm_start evaluation functions must return "
+                        "(value, warm_state) tuples"
+                    ) from None
+            else:
+                value = result
+            break
         values.append(value)
-    return values, seconds
+        seconds.append(spent)
+    return values, seconds, failures, retries_used
 
 
 def _materialize_points(points) -> list[SweepPoint]:
@@ -187,6 +422,10 @@ def run_sweep(
     warm_start: bool = False,
     cache: ResultCache | None = None,
     cache_tag: str | None = None,
+    on_error: str = "raise",
+    retries: int = 2,
+    executor_retries: int = 2,
+    retry_backoff: float = 0.25,
 ) -> SweepResult:
     """Evaluate ``fn`` over ``points`` with the configured executor.
 
@@ -197,27 +436,48 @@ def run_sweep(
     content-hash result reuse; ``warm_start`` switches to the
     ``(value, state)`` continuation protocol.
 
+    ``on_error`` selects the failure policy (``"raise"``, ``"skip"`` or
+    ``"retry"`` — see the module docstring); ``retries`` bounds
+    per-point re-evaluations under ``"retry"``; ``executor_retries`` and
+    ``retry_backoff`` govern recovery from transient pool faults
+    (``BrokenProcessPool``), which applies under every policy.
+
     Results are returned in point order and are identical — bit for bit
     — for every executor, because chunking, seeding and warm chains are
-    all independent of how chunks are scheduled.
+    all independent of how chunks are scheduled.  Failed points hold
+    ``None`` in ``result.values`` and are described by
+    ``result.failures``; successful points are cached even when others
+    in the same sweep fail.
     """
+    if on_error not in ON_ERROR_POLICIES:
+        raise AnalysisError(
+            f"unknown on_error policy {on_error!r}; expected one of "
+            f"{ON_ERROR_POLICIES}"
+        )
+    if retries < 0:
+        raise AnalysisError("retries must be >= 0")
     backend = resolve_executor(executor, jobs)
     points = _materialize_points(points)
     count = len(points)
     if count == 0:
         return SweepResult(points=[], values=[], stats=SweepStats(
-            executor=backend.name, workers=backend.workers))
+            executor=backend.name, workers=backend.workers,
+            on_error=on_error))
     size = _default_chunk_size(count) if chunk_size is None else chunk_size
     if size < 1:
         raise AnalysisError("chunk_size must be at least 1")
     chunks = [points[i:i + size] for i in range(0, count, size)]
 
-    tag = cache_tag or _evaluation_tag(fn)
+    tag = cache_tag
+    if cache is not None and tag is None:
+        tag = _evaluation_tag(fn, require_code=True)
     t0 = _time.perf_counter()
     values: list = [None] * count
     seconds = [0.0] * count
+    failures: list[FailedPoint] = []
     cache_hits = 0
     evaluated = 0
+    retries_used = 0
 
     # Cache pass: per-point granularity for independent points, whole
     # chunks in warm mode (a chunk's values depend on every point in it).
@@ -256,13 +516,24 @@ def run_sweep(
                 pending_chunks.append(misses)
                 pending_keys.append(miss_keys)
 
+    executor_faults = 0
     if pending_chunks:
-        work = functools.partial(_evaluate_chunk, fn, warm_start)
-        results = backend.map_chunks(work, pending_chunks)
-        for chunk, keys, (chunk_values, chunk_seconds) in zip(
+        pass_attempt = on_error == "retry" and _accepts_keyword(fn, "attempt")
+        work = functools.partial(
+            _evaluate_chunk, fn, warm_start, on_error, retries, pass_attempt
+        )
+        results, executor_faults = map_chunks_with_retries(
+            backend, work, pending_chunks,
+            retries=executor_retries, backoff=retry_backoff,
+        )
+        for chunk, keys, (chunk_values, chunk_seconds, chunk_failures,
+                          chunk_retries) in zip(
             pending_chunks, pending_keys, results
         ):
             evaluated += len(chunk)
+            retries_used += chunk_retries
+            failures.extend(chunk_failures)
+            failed_in_chunk = {f.index for f in chunk_failures}
             for point, value, spent in zip(
                 chunk, chunk_values, chunk_seconds
             ):
@@ -270,11 +541,16 @@ def run_sweep(
                 seconds[point.index] = spent
             if cache is not None:
                 if warm_start:
-                    cache.put(keys, list(chunk_values))
+                    # A broken chain is not reusable: caching it would
+                    # replay the failure's None values as real results.
+                    if not failed_in_chunk:
+                        cache.put(keys, list(chunk_values))
                 else:
-                    for key, value in zip(keys, chunk_values):
-                        cache.put(key, value)
+                    for point, key, value in zip(chunk, keys, chunk_values):
+                        if point.index not in failed_in_chunk:
+                            cache.put(key, value)
 
+    failures.sort(key=lambda failure: failure.index)
     stats = SweepStats(
         points=count,
         evaluated=evaluated,
@@ -284,15 +560,21 @@ def run_sweep(
         executor=backend.name,
         wall_seconds=_time.perf_counter() - t0,
         point_seconds=float(sum(seconds)),
+        failures=len(failures),
+        retries=retries_used,
+        executor_faults=executor_faults,
+        on_error=on_error,
     )
     GLOBAL_STATS.sweep_points += stats.points
     GLOBAL_STATS.sweep_cache_hits += stats.cache_hits
     GLOBAL_STATS.sweep_point_seconds += stats.point_seconds
+    GLOBAL_STATS.sweep_failures += stats.failures
     GLOBAL_STATS.sweep_workers = max(
         GLOBAL_STATS.sweep_workers, stats.workers
     )
     return SweepResult(
-        points=points, values=values, stats=stats, point_seconds=seconds
+        points=points, values=values, stats=stats, point_seconds=seconds,
+        failures=failures,
     )
 
 

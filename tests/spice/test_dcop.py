@@ -346,3 +346,66 @@ class TestWeightedMaxError:
         # absolute term dominates the scale) -> not converged
         small = np.array([1e-4, 1e-9])
         assert not tol.converged(np.array([5e-5, 5e-13]), small, 1)
+
+
+class TestConvergenceForensics:
+    """A failed solve must say where and why it died (the report that
+    FailedPoint carries across process-pool boundaries)."""
+
+    def _impossible(self):
+        ckt = Circuit("stuck")
+        ckt.add(VoltageSource("V1", ("in", "0"), dc=5.0))
+        ckt.add(Resistor("R1", ("in", "out"), 1e3))
+        ckt.add(Diode("D1", ("out", "0"), DiodeModel(IS=1e-14)))
+        return ckt
+
+    def _impossible_tolerances(self):
+        # Unsatisfiable in double precision: every homotopy stage fails.
+        return Tolerances(reltol=0.0, vntol=1e-30, abstol=1e-30,
+                          max_iterations=25)
+
+    def test_report_populated_on_failure(self):
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_dc(self._impossible(),
+                     tolerances=self._impossible_tolerances())
+        report = excinfo.value.report
+        assert report is not None
+        assert report.stage == "source_stepping"
+        assert 1 <= report.iterations <= 25
+        assert report.residual > 1.0
+        assert report.worst_name in ("V(in)", "V(out)", "I(V1)")
+        # The earlier homotopy stages left their trace.
+        assert any("newton" in line for line in report.history)
+        assert any("gmin" in line for line in report.history)
+        summary = report.summary()
+        assert "stage=source_stepping" in summary
+        assert "worst=" in summary
+        assert "source stepping" in str(excinfo.value)
+
+    def test_report_survives_pickle(self):
+        import pickle
+
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_dc(self._impossible(),
+                     tolerances=self._impossible_tolerances())
+        clone = pickle.loads(pickle.dumps(excinfo.value))
+        assert clone.report is not None
+        assert clone.report.summary() == excinfo.value.report.summary()
+
+    def test_retry_perturbation_deterministic(self):
+        from repro.spice.dcop import retry_perturbation
+
+        x0 = np.zeros(4)
+        assert np.array_equal(retry_perturbation(x0, 0), x0)
+        first = retry_perturbation(x0, 1)
+        again = retry_perturbation(x0, 1)
+        assert np.array_equal(first, again)
+        assert not np.array_equal(first, x0)
+        assert not np.array_equal(retry_perturbation(x0, 2), first)
+
+    def test_attempt_escalation_still_converges(self):
+        ckt = self._impossible()
+        x0 = solve_dc(ckt)
+        ckt2 = self._impossible()
+        x1 = solve_dc(ckt2, attempt=2)
+        np.testing.assert_allclose(x1, x0, rtol=1e-6, atol=1e-9)

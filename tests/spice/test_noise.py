@@ -178,3 +178,23 @@ class TestValidation:
         result = solve_noise(ckt, "a", [1e3])
         with pytest.raises(AnalysisError):
             result.input_referred_density()
+
+    def test_nonpositive_resistances_carry_no_noise(self):
+        # Regression: 4kT/R on a behavioral negative-R element raised
+        # ZeroDivisionError / produced a negative PSD.  They are now
+        # excluded from the source enumeration entirely.
+        ckt = Circuit("negr")
+        ckt.add(VoltageSource("VS", ("in", "0"), dc=0.0))
+        ckt.add(Resistor("R1", ("in", "out"), 10e3))
+        ckt.add(Resistor("RLOAD", ("out", "0"), 40e3))
+        # The constructor rejects R <= 0, so emulate a behavioral
+        # negative-R element (the way gyrator-based models present one)
+        # by mutating a legal resistor.
+        negr = Resistor("RNEG", ("out", "0"), 500e3)
+        negr.resistance = -500e3
+        ckt.add(negr)
+        result = solve_noise(ckt, "out", [1e3])
+        assert np.all(np.isfinite(result.output_density))
+        assert np.all(result.output_density > 0.0)
+        assert "RNEG" not in result.contributions
+        assert {"R1", "RLOAD"} <= set(result.contributions)

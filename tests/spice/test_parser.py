@@ -317,3 +317,33 @@ class TestErrors:
     def test_unknown_element_letter(self):
         with pytest.raises(ParseError):
             parse_deck("t\nV1 a 0 1\nZ1 a 0 1k\n.END\n")
+
+
+class TestOptionsCard:
+    def test_recognized_settings_parsed(self):
+        deck = parse_deck(
+            "t\nV1 a 0 1\nR1 a 0 1k\n"
+            ".OPTIONS RELTOL=1e-4 VNTOL=1u ABSTOL=1p ITL1=50 GMIN=1e-10\n"
+            ".END\n"
+        )
+        assert deck.options["reltol"] == pytest.approx(1e-4)
+        assert deck.options["vntol"] == pytest.approx(1e-6)
+        assert deck.options["abstol"] == pytest.approx(1e-12)
+        assert deck.options["itl1"] == 50
+        assert deck.options["gmin"] == pytest.approx(1e-10)
+
+    def test_unknown_and_bare_flags_tolerated(self):
+        deck = parse_deck(
+            "t\nV1 a 0 1\nR1 a 0 1k\n"
+            ".OPTIONS ACCT NOPAGE TEMP=27 RELTOL=1e-5\n.END\n"
+        )
+        assert deck.options == {"reltol": pytest.approx(1e-5)}
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ParseError):
+            parse_deck("t\nV1 a 0 1\nR1 a 0 1k\n"
+                       ".OPTIONS RELTOL=bogus\n.END\n")
+
+    def test_no_options_card_leaves_empty_dict(self):
+        deck = parse_deck("t\nV1 a 0 1\nR1 a 0 1k\n.END\n")
+        assert deck.options == {}

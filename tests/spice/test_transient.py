@@ -276,3 +276,30 @@ class TestVoltageAccessor:
         ckt = step_rc()
         result = solve_transient(ckt, stop_time=1e-4, max_step=1e-5)
         assert result.voltage("0").max() == 0.0
+
+
+class TestBranchCurrentAccessor:
+    def test_branchless_element_raises_analysis_error(self):
+        # Regression: asking for R1's branch current leaked a raw
+        # NetlistError/IndexError from the netlist layer instead of an
+        # AnalysisError naming the elements that do carry branches.
+        ckt = step_rc()
+        result = solve_transient(ckt, stop_time=1e-4, max_step=1e-5)
+        with pytest.raises(AnalysisError) as excinfo:
+            result.branch_current("R1")
+        message = str(excinfo.value)
+        assert "R1" in message
+        assert "branch" in message
+        assert "V1" in message  # the element that does have one
+
+    def test_branch_index_out_of_range(self):
+        ckt = step_rc()
+        result = solve_transient(ckt, stop_time=1e-4, max_step=1e-5)
+        with pytest.raises(AnalysisError):
+            result.branch_current("V1", branch=3)
+
+    def test_valid_branch_still_works(self):
+        ckt = step_rc()
+        result = solve_transient(ckt, stop_time=1e-4, max_step=1e-5)
+        current = result.branch_current("V1")
+        assert current.shape == result.times.shape

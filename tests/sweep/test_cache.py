@@ -86,3 +86,23 @@ class TestResultCache:
         cache.clear()
         assert len(cache) == 0
         assert cache.hits == 0 and cache.misses == 0
+
+    def test_zero_maxsize_stores_nothing(self):
+        # Regression: the eviction loop used to next() an empty iterator
+        # (StopIteration) instead of treating capacity 0 as "disabled".
+        cache = ResultCache(maxsize=0)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert len(cache) == 0
+        assert "a" not in cache
+        marker = object()
+        assert cache.get("a", default=marker) is marker
+
+    def test_updating_existing_key_does_not_evict(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 3)  # overwrite, still 2 entries
+        assert len(cache) == 2
+        assert "b" in cache
+        assert cache.get("a") == 3

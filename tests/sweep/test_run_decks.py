@@ -75,3 +75,66 @@ class TestCLIJobs:
         assert main(["run", str(two_decks[0]),
                      "/nonexistent.cir"]) == 1
         assert "error" in capsys.readouterr().err
+
+
+BAD_DECK = """non-convergent bench
+V1 in 0 5
+R1 in out 1k
+D1 out 0 DMOD
+.MODEL DMOD D(IS=1e-14)
+.OPTIONS RELTOL=0 VNTOL=1e-30 ABSTOL=1e-30 ITL1=30
+.OP
+.END
+"""
+
+
+@pytest.fixture()
+def mixed_decks(two_decks, tmp_path):
+    bad = tmp_path / "bad.cir"
+    bad.write_text(BAD_DECK)
+    return [two_decks[0], bad, two_decks[1]]
+
+
+class TestFaultTolerantDecks:
+    def test_raise_policy_aborts(self, mixed_decks):
+        from repro.errors import ConvergenceError
+
+        with pytest.raises(ConvergenceError):
+            run_decks(mixed_decks)
+
+    def test_skip_policy_reports_and_continues(self, mixed_decks):
+        summaries = run_decks(mixed_decks, on_error="skip")
+        assert [s.ok for s in summaries] == [True, False, True]
+        failed = summaries[1]
+        assert failed.error is not None
+        assert "ConvergenceError" in failed.error
+        assert "convergence report: stage=" in failed.summary
+        assert str(mixed_decks[1]) in failed.summary
+        # The good decks still produced their results, in input order.
+        assert summaries[0].title == "sweep deck 1"
+        assert summaries[2].title == "sweep deck 2"
+
+    def test_skip_policy_parallel(self, mixed_decks):
+        serial = run_decks(mixed_decks, on_error="skip")
+        parallel = run_decks(mixed_decks, jobs=2, on_error="skip")
+        assert [s.ok for s in parallel] == [s.ok for s in serial]
+        assert [s.summary for s in parallel] == [s.summary for s in serial]
+
+    def test_shipped_nonconvergent_example_deck_fails(self):
+        deck = DECKS / "nonconvergent.cir"
+        summaries = run_decks([deck], on_error="skip")
+        assert not summaries[0].ok
+
+    def test_cli_on_error_skip_exits_zero(self, mixed_decks, capsys):
+        code = main(["run"] + [str(p) for p in mixed_decks]
+                    + ["--jobs", "2", "--on-error", "skip"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "1 of 3 deck(s) failed (on_error=skip)" in captured.err
+        assert "FAILED (ConvergenceError)" in captured.out
+        assert "sweep deck 1" in captured.out
+
+    def test_cli_on_error_raise_propagates(self, mixed_decks, capsys):
+        code = main(["run"] + [str(p) for p in mixed_decks])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
