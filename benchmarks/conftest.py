@@ -33,10 +33,19 @@ _ENGINE_RECORDS: list[dict] = []
 #: dumped to BENCH_sweep.json alongside the engine counters.
 _SWEEP_RECORDS: list[dict] = []
 
+#: transient hot-path measurements pushed via :func:`record_transient`,
+#: dumped to BENCH_transient.json alongside the other artifacts.
+_TRANSIENT_RECORDS: list[dict] = []
+
 
 def record_sweep(name: str, payload: dict) -> None:
     """Archive one sweep-throughput measurement into BENCH_sweep.json."""
     _SWEEP_RECORDS.append({"benchmark": name, **payload})
+
+
+def record_transient(name: str, payload: dict) -> None:
+    """Archive one hot-path measurement into BENCH_transient.json."""
+    _TRANSIENT_RECORDS.append({"benchmark": name, **payload})
 
 
 @pytest.fixture(autouse=True)
@@ -75,6 +84,15 @@ def pytest_sessionfinish(session, exitstatus):
             "benchmarks": _SWEEP_RECORDS,
         }
         (OUTPUT_DIR / "BENCH_sweep.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+    if _TRANSIENT_RECORDS:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        payload = {
+            "schema": "bench-transient-v1",
+            "benchmarks": _TRANSIENT_RECORDS,
+        }
+        (OUTPUT_DIR / "BENCH_transient.json").write_text(
             json.dumps(payload, indent=2) + "\n"
         )
 

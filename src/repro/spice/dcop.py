@@ -118,6 +118,19 @@ class Tolerances:
 DIAG_GSHUNT = 1e-12
 
 
+#: A chord iteration must shrink the weighted error by at least this
+#: factor per step, or the frozen Jacobian is declared stale and
+#: refactorized (SPICE's Newton-Richardson convergence watch).
+CHORD_CONTRACTION = 0.5
+
+
+def _count_refactorization(engine) -> None:
+    from .engine import GLOBAL_STATS
+
+    engine.stats.refactorizations += 1
+    GLOBAL_STATS.refactorizations += 1
+
+
 def newton_solve(
     circuit: Circuit,
     x0: np.ndarray,
@@ -129,7 +142,11 @@ def newton_solve(
     dynamic=None,
     engine=None,
     jacobian_token=None,
-) -> np.ndarray:
+    chord: bool = False,
+    bypass_tol: float = 0.0,
+    jac_alpha: float | None = None,
+    return_context=False,
+):
     """Run Newton iterations on F(x) = I(x) [+ dynamic terms] until converged.
 
     ``dynamic``, when given, is a callable ``(ctx, F, J) -> None`` that adds
@@ -138,8 +155,28 @@ def newton_solve(
     :func:`repro.spice.engine.resolve_engine`); ``jacobian_token``, when
     the circuit has a constant Jacobian, lets the linear solver reuse its
     factorization across iterations and calls carrying the same token.
-    Raises :class:`~repro.errors.ConvergenceError` if the iteration limit
-    is hit or the Jacobian goes singular.
+
+    ``chord=True`` extends that reuse to nonlinear circuits
+    (chord / Newton-Richardson iteration): the Jacobian factorized under
+    ``jacobian_token`` is kept across iterations *and* across calls
+    carrying the same token, while the weighted error must contract by
+    :data:`CHORD_CONTRACTION` per chord step — otherwise the factorization
+    is declared stale and rebuilt.  If the chord loop exhausts the
+    iteration budget it falls back to one full-Newton pass (with device
+    bypass disabled) before raising.  ``bypass_tol`` is forwarded to
+    ``engine.evaluate`` for device bypass.
+
+    ``return_context=True`` returns ``(x, ctx)`` where ``ctx`` is a
+    :class:`~repro.spice.mna.LoadContext` evaluated at (or, with
+    bypass/chord enabled, within Newton tolerance of) the converged
+    solution — transient analysis reads its charge vector instead of
+    re-assembling.  Raises :class:`~repro.errors.ConvergenceError` if the
+    iteration limit is hit or the Jacobian goes singular.
+
+    ``jac_alpha``, when the engine supports fused assembly, makes
+    ``evaluate`` build ``g_mat = G + jac_alpha*C`` directly; the
+    ``dynamic`` callback must then add only the residual's integration
+    terms and leave the Jacobian alone.
     """
     engine = resolve_engine(circuit, engine)
     num_nodes = engine.num_nodes
@@ -147,13 +184,40 @@ def newton_solve(
     if limits is None:
         limits = {}
     diag = np.arange(num_nodes)
+    chord_ok = (
+        chord
+        and jacobian_token is not None
+        and getattr(engine, "supports_chord", False)
+    )
+    full_newton = not chord_ok
+    # The chord loop gets the normal budget; the full-Newton fallback the
+    # same again, so a stale-Jacobian stall can never mask a solvable step.
+    max_iterations = tolerances.max_iterations * (2 if chord_ok else 1)
+    eff_bypass = bypass_tol
+    refactor_next = False
     last_error = math.nan
+    prev_error = math.inf
     worst = -1
     iterations = 0
-    for iterations in range(1, tolerances.max_iterations + 1):
+    for iterations in range(1, max_iterations + 1):
+        if not full_newton and iterations > tolerances.max_iterations:
+            # Chord budget exhausted: refactorize every iteration and
+            # re-evaluate every device from here on.
+            full_newton = True
+            eff_bypass = 0.0
+            engine.invalidate_factorization()
+        use_cached = (
+            not full_newton
+            and not refactor_next
+            and engine.has_factorization(jacobian_token)
+        )
         ctx = engine.evaluate(
             x, time=time, gmin=gmin, limits=limits,
-            source_scale=source_scale,
+            source_scale=source_scale, bypass_tol=eff_bypass,
+            jac_alpha=jac_alpha,
+            # A chord-reuse iteration never reads the Jacobian, so skip
+            # its dense assembly entirely.
+            residual_only=use_cached,
         )
         # The context arrays are engine-owned buffers (or, for the legacy
         # engine, per-call allocations); either way they are free to
@@ -162,10 +226,19 @@ def newton_solve(
         jacobian = ctx.g_mat
         if dynamic is not None:
             dynamic(ctx, residual, jacobian)
-        jacobian[diag, diag] += DIAG_GSHUNT
+        if not use_cached:
+            jacobian[diag, diag] += DIAG_GSHUNT
         residual[:num_nodes] += DIAG_GSHUNT * x[:num_nodes]
         try:
-            dx = engine.solve(jacobian, -residual, token=jacobian_token)
+            if use_cached:
+                dx = engine.solve_cached(-residual)
+            else:
+                dx = engine.solve(
+                    jacobian, -residual, token=jacobian_token,
+                    chord=not full_newton and chord_ok,
+                )
+                refactor_next = False
+                prev_error = math.inf
         except np.linalg.LinAlgError as exc:
             raise ConvergenceError(
                 f"singular Jacobian: {exc}",
@@ -175,6 +248,13 @@ def newton_solve(
                 ),
             ) from exc
         if not np.all(np.isfinite(dx)):
+            if use_cached:
+                # A stale factorization produced garbage — rebuild it and
+                # retry this iteration instead of failing outright.
+                engine.invalidate_factorization()
+                _count_refactorization(engine)
+                refactor_next = True
+                continue
             worst = int(np.argmax(~np.isfinite(dx)))
             raise ConvergenceError(
                 "non-finite Newton step",
@@ -191,9 +271,40 @@ def newton_solve(
         worst = int(np.argmax(errors))
         last_error = float(errors[worst])
         if last_error <= 1.0:
-            return x
+            if not return_context:
+                return x
+            # Hand back a context assembled at the converged point.  The
+            # charge vector feeds the integrator's history, where any
+            # final-iterate offset would be amplified by 1/h and ring
+            # through the trapezoidal rule — so this is never skipped.
+            # With bypass on, an infinite tolerance forces every device
+            # onto the replay path (cached stamps extrapolated with the
+            # cached Jacobians to the converged x — second-order accurate
+            # in the final Newton step) and only the charge vector is
+            # assembled, since the integrator's accept path reads nothing
+            # else.  At bypass_tol=0 it matches the seed's post-accept
+            # re-evaluation stamp for stamp.
+            if eff_bypass > 0.0:
+                ctx = engine.evaluate(
+                    x, time=time, gmin=gmin, limits=limits,
+                    source_scale=source_scale,
+                    bypass_tol=math.inf, charges_only=True,
+                )
+            else:
+                ctx = engine.evaluate(
+                    x, time=time, gmin=gmin, limits=limits,
+                    source_scale=source_scale,
+                )
+            return x, ctx
+        if use_cached and last_error >= prev_error * CHORD_CONTRACTION:
+            # The frozen Jacobian is no longer contracting the error —
+            # refactorize at the next iteration.
+            engine.invalidate_factorization()
+            _count_refactorization(engine)
+            refactor_next = True
+        prev_error = last_error
     raise ConvergenceError(
-        f"Newton failed to converge in {tolerances.max_iterations} "
+        f"Newton failed to converge in {max_iterations} "
         "iterations",
         report=_failure_report(
             circuit, "newton", iterations, last_error, worst,

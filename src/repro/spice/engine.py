@@ -40,7 +40,6 @@ from __future__ import annotations
 
 import math
 import time as _time
-import warnings
 from dataclasses import dataclass, fields
 
 import numpy as np
@@ -48,13 +47,17 @@ import numpy as np
 from ..devices.gummel_poon import EXP_LIMIT
 from ..errors import AnalysisError
 from .elements.bjt import BJT
+from .elements.diode import Diode
+from .elements.sources import DC as DCWaveform
 from .mna import LoadContext, load_circuit
 from .netlist import Circuit
 
 try:  # scipy is an optional accelerator; numpy alone is sufficient.
     from scipy import linalg as _sla
+    from scipy.linalg import lapack as _lapack
 except ImportError:  # pragma: no cover - scipy is present in CI
     _sla = None
+    _lapack = None
 
 try:
     from scipy import sparse as _sp
@@ -107,6 +110,15 @@ class EngineStats:
     sweep_workers: int = 0
     #: Sweep points that failed under a skip/retry on_error policy.
     sweep_failures: int = 0
+    #: Nonlinear device evaluations skipped because their terminal
+    #: voltages moved less than the bypass tolerance (cached stamps
+    #: were replayed instead).
+    bypassed_evals: int = 0
+    #: Linear solves served from a previously factorized Jacobian by the
+    #: chord (modified Newton) iteration.
+    jacobian_reuses: int = 0
+    #: Chord-Newton refactorizations forced by degraded convergence.
+    refactorizations: int = 0
 
     _COUNTERS = (
         "element_evals",
@@ -117,6 +129,9 @@ class EngineStats:
         "sweep_points",
         "sweep_cache_hits",
         "sweep_failures",
+        "bypassed_evals",
+        "jacobian_reuses",
+        "refactorizations",
     )
 
     def copy(self) -> "EngineStats":
@@ -144,6 +159,13 @@ class EngineStats:
             f"evals, {self.factorizations} factorizations, {self.solves} "
             f"solves [{self.solver or 'n/a'}] in {self.wall_seconds * 1e3:.2f} ms"
         )
+        if self.bypassed_evals:
+            text += f"; {self.bypassed_evals} bypassed device evals"
+        if self.jacobian_reuses or self.refactorizations:
+            text += (
+                f"; chord: {self.jacobian_reuses} jacobian reuses, "
+                f"{self.refactorizations} refactorizations"
+            )
         if self.sweep_points:
             text += (
                 f"; {self.sweep_points} sweep points "
@@ -194,6 +216,9 @@ class LinearSolver:
     """
 
     name = "numpy-dense"
+    #: Whether this backend can keep a factorization alive between calls
+    #: (required for chord / Newton-Richardson iteration).
+    caches_factorization = False
 
     def __init__(self):
         self._sinks: tuple[EngineStats, ...] = ()
@@ -208,6 +233,21 @@ class LinearSolver:
 
     def invalidate(self) -> None:
         """Drop any cached factorization."""
+
+    def has_factorization(self, token) -> bool:
+        """True when a factorization stored under ``token`` is alive."""
+        return False
+
+    def solve_cached(self, b: np.ndarray) -> np.ndarray:
+        """Back-substitute against the live factorization.
+
+        Only valid immediately after :meth:`has_factorization` returned
+        True; chord-Newton uses this to skip refactorizing an unchanged
+        (or deliberately frozen) Jacobian.
+        """
+        raise AnalysisError(
+            f"{self.name} backend holds no cached factorization"
+        )
 
     def solve(self, a: np.ndarray, b: np.ndarray, token=None) -> np.ndarray:
         self._count("factorizations")
@@ -243,6 +283,7 @@ class DenseLUSolver(LinearSolver):
     """Dense LU via ``scipy.linalg.lu_factor`` with factorization reuse."""
 
     name = "dense-lu"
+    caches_factorization = True
 
     def __init__(self):
         super().__init__()
@@ -252,6 +293,22 @@ class DenseLUSolver(LinearSolver):
     def invalidate(self) -> None:
         self._token = None
         self._factor = None
+
+    def has_factorization(self, token) -> bool:
+        return (
+            token is not None
+            and self._factor is not None
+            and token == self._token
+        )
+
+    def solve_cached(self, b: np.ndarray) -> np.ndarray:
+        if self._factor is None:
+            raise AnalysisError("no cached LU factorization to reuse")
+        self._count("solves")
+        self._count("jacobian_reuses")
+        lu, piv, getrs = self._factor
+        x, _info = getrs(lu, piv, b)
+        return x
 
     def solve(self, a: np.ndarray, b: np.ndarray, token=None) -> np.ndarray:
         if (
@@ -260,29 +317,36 @@ class DenseLUSolver(LinearSolver):
             and token == self._token
         ):
             self._count("solves")
-            return _sla.lu_solve(self._factor, b, check_finite=False)
-        with warnings.catch_warnings():
-            # An exactly-zero pivot emits LinAlgWarning; the diagonal check
-            # below turns it into the LinAlgError callers expect.
-            warnings.simplefilter("ignore")
-            lu, piv = _sla.lu_factor(a, check_finite=False)
-        diag = np.diagonal(lu)
-        if not np.all(np.isfinite(lu)) or np.any(diag == 0.0):
+            lu, piv, getrs = self._factor
+            x, _info = getrs(lu, piv, b)
+            return x
+        # Raw LAPACK getrf/getrs: identical math to lu_factor/lu_solve
+        # minus scipy's per-call python wrapper overhead, which is
+        # measurable at this call rate.  ``piv`` stays in LAPACK's
+        # 1-based convention and is only ever handed back to getrs.
+        if np.iscomplexobj(a):
+            getrf, getrs = _lapack.zgetrf, _lapack.zgetrs
+        else:
+            getrf, getrs = _lapack.dgetrf, _lapack.dgetrs
+        lu, piv, info = getrf(a)
+        if info > 0 or not np.all(np.isfinite(lu)):
             self.invalidate()
             raise np.linalg.LinAlgError("singular matrix in LU factorization")
         self._count("factorizations")
         self._count("solves")
         if token is not None:
-            self._token, self._factor = token, (lu, piv)
+            self._token, self._factor = token, (lu, piv, getrs)
         else:
             self.invalidate()
-        return _sla.lu_solve((lu, piv), b, check_finite=False)
+        x, _info = getrs(lu, piv, b)
+        return x
 
 
 class SparseLUSolver(LinearSolver):
     """Sparse LU via ``scipy.sparse.linalg.splu`` for large systems."""
 
     name = "sparse-lu"
+    caches_factorization = True
 
     def __init__(self):
         super().__init__()
@@ -292,6 +356,20 @@ class SparseLUSolver(LinearSolver):
     def invalidate(self) -> None:
         self._token = None
         self._factor = None
+
+    def has_factorization(self, token) -> bool:
+        return (
+            token is not None
+            and self._factor is not None
+            and token == self._token
+        )
+
+    def solve_cached(self, b: np.ndarray) -> np.ndarray:
+        if self._factor is None:
+            raise AnalysisError("no cached LU factorization to reuse")
+        self._count("solves")
+        self._count("jacobian_reuses")
+        return self._factor.solve(b)
 
     def solve(self, a: np.ndarray, b: np.ndarray, token=None) -> np.ndarray:
         if (
@@ -424,18 +502,43 @@ class _DepletionJunction:
         self.m_over_vj = m / vj
         self.thr2 = self.threshold * self.threshold
 
-    def charge_cap(self, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Vectorized SPICE depletion Q(v), C(v); ``cj == 0`` lanes are 0."""
-        below = v < self.threshold
-        arg = np.where(below, 1.0 - v * self.inv_vj, 1.0)
-        pow_one_m = arg ** self.one_m
-        charge_b = self.coef_b * (1.0 - pow_one_m)
-        cap_b = self.cj * pow_one_m / arg  # arg^(1-m)/arg == arg^-m
-        dv = v - self.threshold
-        charge_a = self.cj_f1 + self.cj_over_f2 * (
-            self.f3 * dv + self.m_over_2vj * (v * v - self.thr2)
+    def charge_cap(
+        self, v: np.ndarray, lanes: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized SPICE depletion Q(v), C(v); ``cj == 0`` lanes are 0.
+
+        ``lanes`` restricts the evaluation to a subset of the stacked
+        junction batch (device-bypass partial evaluation); ``v`` must
+        then already be gathered to those lanes.
+        """
+        if lanes is None:
+            threshold, one_m, cj = self.threshold, self.one_m, self.cj
+            inv_vj, coef_b = self.inv_vj, self.coef_b
+            cj_f1, cj_over_f2, f3 = self.cj_f1, self.cj_over_f2, self.f3
+            m_over_2vj, m_over_vj = self.m_over_2vj, self.m_over_vj
+            thr2 = self.thr2
+        else:
+            threshold, one_m, cj = (
+                self.threshold[lanes], self.one_m[lanes], self.cj[lanes]
+            )
+            inv_vj, coef_b = self.inv_vj[lanes], self.coef_b[lanes]
+            cj_f1, cj_over_f2, f3 = (
+                self.cj_f1[lanes], self.cj_over_f2[lanes], self.f3[lanes]
+            )
+            m_over_2vj, m_over_vj = (
+                self.m_over_2vj[lanes], self.m_over_vj[lanes]
+            )
+            thr2 = self.thr2[lanes]
+        below = v < threshold
+        arg = np.where(below, 1.0 - v * inv_vj, 1.0)
+        pow_one_m = arg ** one_m
+        charge_b = coef_b * (1.0 - pow_one_m)
+        cap_b = cj * pow_one_m / arg  # arg^(1-m)/arg == arg^-m
+        dv = v - threshold
+        charge_a = cj_f1 + cj_over_f2 * (
+            f3 * dv + m_over_2vj * (v * v - thr2)
         )
-        cap_a = self.cj_over_f2 * (self.f3 + self.m_over_vj * v)
+        cap_a = cj_over_f2 * (f3 + m_over_vj * v)
         return (
             np.where(below, charge_b, charge_a),
             np.where(below, cap_b, cap_a),
@@ -567,24 +670,79 @@ class BJTGroup:
             (s_ext, s_ext), (s_ext, ci), (ci, s_ext), (ci, ci),  # cjs
         ]
         self._c_idx = cat([flat(r, c) for r, c in c_pairs])
+        # Row/column node indices of the Jacobian entries, kept unflattened
+        # for the bypass extrapolation terms G_cached @ dx / C_cached @ dx.
+        self._g_rows_arr = cat([r for r, _ in g_pairs])
+        self._g_cols_arr = cat([c for _, c in g_pairs])
+        self._c_rows_arr = cat([r for r, _ in c_pairs])
+        self._c_cols_arr = cat([c for _, c in c_pairs])
+        #: Node voltages each Jacobian entry's column had at the owning
+        #: device's last evaluation — the linearization point bypassed
+        #: devices extrapolate from.  Freshly-evaluated lanes have their
+        #: anchors synced to the current solution, so their extrapolation
+        #: term is exactly zero.
+        self._g_anchor = np.zeros(13 * n)
+        self._c_anchor = np.zeros(20 * n)
+        self._g_lane = np.arange(13)[:, None] * n
+        self._c_lane = np.arange(20)[:, None] * n
 
         self._i_vals = np.empty((5, n))
         self._q_vals = np.empty((8, n))
         self._g_vals = np.empty((13, n))
         self._c_vals = np.empty((20, n))
 
+        # -- device-bypass cache ------------------------------------------------
+        # Last-evaluated control voltages per device (vbe, vbc, vbx, vsc
+        # and the base-spreading drop); a device whose controls all moved
+        # less than the bypass tolerance replays its cached stamp values
+        # (the columns of the ``*_vals`` buffers above) untouched.
+        self._bypass_v = np.full((5, n), np.inf)
+        self._v_now = np.empty((5, n))
+        self._v_diff = np.empty((5, n))
+        self._bypass_gmin: float | None = None
+        #: The limits dict the cache was built against — compared by
+        #: identity, so a fresh per-call dict never falsely bypasses.
+        self._bypass_limits: dict | None = None
+
     # -- evaluation -----------------------------------------------------------
 
-    def _evaluate(self, vbe, vbc, gmin, qje, cje, qjc, cjc):
+    def _evaluate(self, vbe, vbc, gmin, qje, cje, qjc, cjc, idx=None):
         """Vectorized port of :func:`repro.devices.gummel_poon.evaluate`.
 
         The depletion contributions ``qje``/``cje`` (B-E) and ``qjc``/
         ``cjc`` (internal B-C) are computed by the caller as part of the
-        stacked four-junction batch.
+        stacked four-junction batch.  ``idx`` restricts the evaluation to
+        a subset of devices (bypass partial evaluation); the voltage and
+        depletion inputs must already be gathered to those lanes.
         """
-        n = self.n
+        n = self.n if idx is None else len(idx)
+        if idx is None:
+            VAF, VAR, IKF, IKR = self.VAF, self.VAR, self.IKF, self.IKR
+            BF, BR, ITF, itf_pos = self.BF, self.BR, self.ITF, self.itf_pos
+            inv_vtf144, TF, XTF, TR = (
+                self.inv_vtf144, self.TF, self.XTF, self.TR
+            )
+            rbm, RB = self.rbm, self.RB
+            diode_isat, diode_nvt = self._diode_isat, self._diode_nvt
+        else:
+            VAF, VAR, IKF, IKR = (
+                self.VAF[idx], self.VAR[idx], self.IKF[idx], self.IKR[idx]
+            )
+            BF, BR, ITF, itf_pos = (
+                self.BF[idx], self.BR[idx], self.ITF[idx], self.itf_pos[idx]
+            )
+            inv_vtf144, TF, XTF, TR = (
+                self.inv_vtf144[idx], self.TF[idx], self.XTF[idx],
+                self.TR[idx],
+            )
+            rbm, RB = self.rbm[idx], self.RB[idx]
+            idx4 = np.concatenate(
+                [idx, idx + self.n, idx + 2 * self.n, idx + 3 * self.n]
+            )
+            diode_isat = self._diode_isat[idx4]
+            diode_nvt = self._diode_nvt[idx4]
         v4 = np.concatenate([vbe, vbe, vbc, vbc])
-        i4, g4 = _diode_current_vec(self._diode_isat, v4, self._diode_nvt)
+        i4, g4 = _diode_current_vec(diode_isat, v4, diode_nvt)
         ibe1 = i4[:n] + gmin * vbe
         gbe1 = g4[:n] + gmin
         ibe2, gbe2 = i4[n : 2 * n], g4[n : 2 * n]
@@ -592,17 +750,17 @@ class BJTGroup:
         gbc1 = g4[2 * n : 3 * n] + gmin
         ibc2, gbc2 = i4[3 * n :], g4[3 * n :]
 
-        inv_early = 1.0 - vbc / self.VAF - vbe / self.VAR
+        inv_early = 1.0 - vbc / VAF - vbe / VAR
         np.maximum(inv_early, 1e-4, out=inv_early)
         q1 = 1.0 / inv_early
-        q2 = ibe1 / self.IKF + ibc1 / self.IKR
+        q2 = ibe1 / IKF + ibc1 / IKR
         sqarg = np.sqrt(1.0 + 4.0 * np.maximum(q2, -0.2499))
         qb = q1 * (1.0 + sqarg) / 2.0
 
-        dq1_dvbe = q1 * q1 / self.VAR
-        dq1_dvbc = q1 * q1 / self.VAF
-        dq2_dvbe = gbe1 / self.IKF
-        dq2_dvbc = gbc1 / self.IKR
+        dq1_dvbe = q1 * q1 / VAR
+        dq1_dvbc = q1 * q1 / VAF
+        dq2_dvbe = gbe1 / IKF
+        dq2_dvbc = gbc1 / IKR
         dqb_dvbe = dq1_dvbe * (1.0 + sqarg) / 2.0 + q1 * dq2_dvbe / sqarg
         dqb_dvbc = dq1_dvbc * (1.0 + sqarg) / 2.0 + q1 * dq2_dvbc / sqarg
 
@@ -610,37 +768,37 @@ class BJTGroup:
         dit_dvbe = (gbe1 - it * dqb_dvbe) / qb
         dit_dvbc = (-gbc1 - it * dqb_dvbc) / qb
 
-        ic = it - ibc1 / self.BR - ibc2
-        ib = ibe1 / self.BF + ibe2 + ibc1 / self.BR + ibc2
+        ic = it - ibc1 / BR - ibc2
+        ib = ibe1 / BF + ibe2 + ibc1 / BR + ibc2
         dic_dvbe = dit_dvbe
-        dic_dvbc = dit_dvbc - gbc1 / self.BR - gbc2
-        dib_dvbe = gbe1 / self.BF + gbe2
-        dib_dvbc = gbc1 / self.BR + gbc2
+        dic_dvbc = dit_dvbc - gbc1 / BR - gbc2
+        dib_dvbe = gbe1 / BF + gbe2
+        dib_dvbc = gbc1 / BR + gbc2
 
         # Bias-dependent forward transit time: TF == 0 or XTF == 0 lanes
         # reduce to tf_eff = TF, dtf = 0 without needing an explicit mask.
         ibe_pos = np.maximum(ibe1, 0.0)
-        denom = ibe_pos + self.ITF
+        denom = ibe_pos + ITF
         denom_safe = np.where(denom > 0.0, denom, 1.0)
-        w = np.where(self.itf_pos, ibe_pos / denom_safe, 1.0)
+        w = np.where(itf_pos, ibe_pos / denom_safe, 1.0)
         dw_dvbe = np.where(
-            self.itf_pos & (ibe1 > 0.0),
-            gbe1 * self.ITF / (denom_safe * denom_safe),
+            itf_pos & (ibe1 > 0.0),
+            gbe1 * ITF / (denom_safe * denom_safe),
             0.0,
         )
-        exp_vbc = np.exp(np.minimum(vbc * self.inv_vtf144, EXP_LIMIT))
-        dexp_dvbc = exp_vbc * self.inv_vtf144
-        tf_eff = self.TF * (1.0 + self.XTF * w * w * exp_vbc)
-        dtf_dvbe = self.TF * self.XTF * 2.0 * w * dw_dvbe * exp_vbc
-        dtf_dvbc = self.TF * self.XTF * w * w * dexp_dvbc
+        exp_vbc = np.exp(np.minimum(vbc * inv_vtf144, EXP_LIMIT))
+        dexp_dvbc = exp_vbc * inv_vtf144
+        tf_eff = TF * (1.0 + XTF * w * w * exp_vbc)
+        dtf_dvbe = TF * XTF * 2.0 * w * dw_dvbe * exp_vbc
+        dtf_dvbc = TF * XTF * w * w * dexp_dvbc
 
         qde = tf_eff * ibe1 / qb
         dqde_dvbe = (dtf_dvbe * ibe1 + tf_eff * gbe1 - qde * dqb_dvbe) / qb
         dqde_dvbc = (dtf_dvbc * ibe1 - qde * dqb_dvbc) / qb
 
-        qdc = self.TR * ibc1
+        qdc = TR * ibc1
 
-        rbb = self.rbm + (self.RB - self.rbm) / qb
+        rbb = rbm + (RB - rbm) / qb
 
         return {
             "ic": ic,
@@ -653,16 +811,82 @@ class BJTGroup:
             "qbc": qdc + qjc,
             "dqbe_dvbe": dqde_dvbe + cje,
             "dqbe_dvbc": dqde_dvbc,
-            "dqbc_dvbc": self.TR * gbc1 + cjc,
+            "dqbc_dvbc": TR * gbc1 + cjc,
             "rbb": rbb,
         }
 
-    def load(self, ctx: LoadContext) -> None:
-        """Stamp every device of the group; mirrors ``BJT.load_dynamic``."""
+    def _replay(
+        self,
+        xg: np.ndarray | None = None,
+        jac_alpha: float | None = None,
+        q_only: bool = False,
+    ) -> None:
+        """Scatter the cached stamp value buffers without re-evaluating.
+
+        When ``xg`` is given (bypass mode) the current and charge stamps
+        are extrapolated to the present solution with the cached
+        Jacobians: ``i += G_cached @ (x - x_anchor)`` and
+        ``q += C_cached @ (x - x_anchor)``.  Bypassed devices then act as
+        their exact linearization at the anchor point, which keeps the
+        Newton residual continuous in ``x`` (a frozen replay makes the
+        branch-current unknowns absorb the ``gm * dv`` discrepancy and
+        can lock Newton into an evaluate/replay limit cycle).  Lanes
+        evaluated this call have their anchors synced to ``xg`` so their
+        correction is exactly zero.
+
+        With ``jac_alpha`` set (fused-Jacobian assembly) the capacitive
+        stamps scatter into the conductance buffer scaled by alpha
+        instead of into the (unmaintained) C buffer.  ``q_only=True``
+        (charges-only assembly) scatters just the charge stamps and
+        their extrapolation.
+        """
+        if not q_only:
+            np.add.at(
+                self._i_full, self._i_rows, self._i_vals.reshape(-1)
+            )
+            np.add.at(self._g_flat, self._g_idx, self._g_vals.reshape(-1))
+            if jac_alpha is not None:
+                np.add.at(
+                    self._g_flat, self._c_idx,
+                    self._c_vals.reshape(-1) * jac_alpha,
+                )
+            else:
+                np.add.at(
+                    self._c_flat, self._c_idx, self._c_vals.reshape(-1)
+                )
+        np.add.at(self._q_full, self._q_rows, self._q_vals.reshape(-1))
+        if xg is not None:
+            if not q_only:
+                np.add.at(
+                    self._i_full, self._g_rows_arr,
+                    self._g_vals.reshape(-1)
+                    * (xg[self._g_cols_arr] - self._g_anchor),
+                )
+            np.add.at(
+                self._q_full, self._c_rows_arr,
+                self._c_vals.reshape(-1)
+                * (xg[self._c_cols_arr] - self._c_anchor),
+            )
+
+    def load(
+        self,
+        ctx: LoadContext,
+        bypass_tol: float = 0.0,
+        q_only: bool = False,
+    ) -> int:
+        """Stamp every device of the group; mirrors ``BJT.load_dynamic``.
+
+        With ``bypass_tol > 0`` each device compares its control voltages
+        (vbe, vbc, vbx, vsc and the base-spreading drop) against the last
+        point it was actually evaluated at; devices that all moved less
+        than the tolerance replay their cached stamp columns untouched.
+        Returns the number of bypassed devices.
+        """
         size = self.size
         xg = self._xg
         xg[:size] = ctx.x
         xg[size] = 0.0
+        jac_alpha = ctx.jac_alpha
         v_b = xg[self.b_ext]
         v_s = xg[self.s_ext]
         v_ci = xg[self.ci]
@@ -673,56 +897,127 @@ class BJTGroup:
         n = self.n
         vbe_raw = sign * (v_bi - v_ei)
         vbc_raw = sign * (v_bi - v_ci)
+        vbx = sign * (v_b - v_ci)
+        vsc = sign * (v_s - v_ci)
+        vrb = v_b - v_bi
+
+        idx = None
+        if bypass_tol > 0.0:
+            v_now = self._v_now
+            v_now[0] = vbe_raw
+            v_now[1] = vbc_raw
+            v_now[2] = vbx
+            v_now[3] = vsc
+            v_now[4] = vrb
+            # A fresh limits dict (new analysis, retry with different
+            # limiting history) or a different gmin invalidates the
+            # cached stamps; identity comparison is safe because the
+            # cache holds a strong reference to the dict it saw.
+            if (self._bypass_limits is ctx.limits
+                    and self._bypass_gmin == ctx.gmin):
+                diff = self._v_diff
+                np.subtract(v_now, self._bypass_v, out=diff)
+                np.abs(diff, out=diff)
+                moved = (diff > bypass_tol).any(axis=0)
+                if not moved.any():
+                    # Keep the cached anchor voltages: bypassed devices
+                    # always compare against their last *evaluated*
+                    # point so sub-tolerance drift cannot accumulate.
+                    self._replay(xg, jac_alpha, q_only=q_only)
+                    return n
+                # The partial path gathers every parameter array per
+                # lane; for a vectorized group that only pays off when
+                # few lanes moved (the whole-vector math is nearly flat
+                # in n).  Mostly-moved calls just evaluate everything.
+                count_moved = int(np.count_nonzero(moved))
+                if count_moved <= max(1, n // 4):
+                    idx = np.flatnonzero(moved)
+                    self._bypass_v[:, idx] = v_now[:, idx]
+                else:
+                    self._bypass_v[...] = v_now
+            else:
+                self._bypass_v[...] = v_now
+            self._bypass_gmin = ctx.gmin
+            self._bypass_limits = ctx.limits
+        elif self._bypass_limits is not None:
+            # A tolerance-zero evaluation rewrites the shared value
+            # buffers without tracking anchors — drop the cache so a
+            # later bypassed call cannot replay mismatched stamps.
+            self._bypass_limits = None
+            self._bypass_gmin = None
+            self._bypass_v.fill(np.inf)
+
+        if idx is None:
+            m = n
+            vbe_a, vbc_a = vbe_raw, vbc_raw
+            vbx_a, vsc_a, vrb_a = vbx, vsc, vrb
+            sign_a, has_rb = sign, self.has_rb
+            names_a = self.names
+            lim_vt, lim_vcrit = self._lim_vt, self._lim_vcrit
+            lanes = None
+        else:
+            m = len(idx)
+            vbe_a, vbc_a = vbe_raw[idx], vbc_raw[idx]
+            vbx_a, vsc_a, vrb_a = vbx[idx], vsc[idx], vrb[idx]
+            sign_a, has_rb = sign[idx], self.has_rb[idx]
+            names_a = [self.names[k] for k in idx]
+            idx2 = np.concatenate([idx, idx + n])
+            lim_vt, lim_vcrit = self._lim_vt[idx2], self._lim_vcrit[idx2]
+            lanes = np.concatenate(
+                [idx, idx + n, idx + 2 * n, idx + 3 * n]
+            )
+
         limits = ctx.limits
-        v_raw = np.concatenate([vbe_raw, vbc_raw])
+        v_raw = np.concatenate([vbe_a, vbc_a])
         v_old = v_raw.copy()
-        for k, name in enumerate(self.names):
+        for k, name in enumerate(names_a):
             old = limits.get(name)
             if old is not None:
-                v_old[k], v_old[n + k] = old
-        v_lim = _pnjlim_vec(v_raw, v_old, self._lim_vt, self._lim_vcrit)
-        vbe = v_lim[:n]
-        vbc = v_lim[n:]
+                v_old[k], v_old[m + k] = old
+        v_lim = _pnjlim_vec(v_raw, v_old, lim_vt, lim_vcrit)
+        vbe = v_lim[:m]
+        vbc = v_lim[m:]
         for name, lim_be, lim_bc in zip(
-            self.names, vbe.tolist(), vbc.tolist()
+            names_a, vbe.tolist(), vbc.tolist()
         ):
             limits[name] = (lim_be, lim_bc)
 
         # Stacked depletion batch: B-E and internal B-C at the limited
         # voltages, external B-C and substrate at the raw ones.
-        vbx = sign * (v_b - v_ci)
-        vsc = sign * (v_s - v_ci)
         qdep, cdep = self.junctions.charge_cap(
-            np.concatenate([vbe, vbc, vbx, vsc])
+            np.concatenate([vbe, vbc, vbx_a, vsc_a]), lanes=lanes
         )
-        qbx, cbx = qdep[2 * n : 3 * n], cdep[2 * n : 3 * n]
-        qjs, cjs = qdep[3 * n :], cdep[3 * n :]
+        qbx, cbx = qdep[2 * m : 3 * m], cdep[2 * m : 3 * m]
+        qjs, cjs = qdep[3 * m :], cdep[3 * m :]
 
         op = self._evaluate(
-            vbe, vbc, ctx.gmin, qdep[:n], cdep[:n],
-            qdep[n : 2 * n], cdep[n : 2 * n],
+            vbe, vbc, ctx.gmin, qdep[:m], cdep[:m],
+            qdep[m : 2 * m], cdep[m : 2 * m], idx=idx,
         )
-        dbe = vbe_raw - vbe
-        dbc = vbc_raw - vbc
+        dbe = vbe_a - vbe
+        dbc = vbc_a - vbc
 
         grb = np.where(
-            self.has_rb, 1.0 / np.maximum(op["rbb"], 1e-3), 0.0
+            has_rb, 1.0 / np.maximum(op["rbb"], 1e-3), 0.0
         )
-        irb = grb * (v_b - v_bi)
+        irb = grb * vrb_a
 
         ic = op["ic"] + op["dic_dvbe"] * dbe + op["dic_dvbc"] * dbc
         ib = op["ib"] + op["dib_dvbe"] * dbe + op["dib_dvbc"] * dbc
-        iv = self._i_vals
+        if idx is None:
+            iv, gv = self._i_vals, self._g_vals
+            qv, cv = self._q_vals, self._c_vals
+        else:
+            iv, gv = np.empty((5, m)), np.empty((13, m))
+            qv, cv = np.empty((8, m)), np.empty((20, m))
         iv[0] = irb
         iv[1] = -irb
-        iv[2] = sign * ic
-        iv[3] = sign * ib
-        iv[4] = -sign * (ic + ib)
-        np.add.at(self._i_full, self._i_rows, iv.reshape(-1))
+        iv[2] = sign_a * ic
+        iv[3] = sign_a * ib
+        iv[4] = -sign_a * (ic + ib)
 
         dic_e, dic_c = op["dic_dvbe"], op["dic_dvbc"]
         dib_e, dib_c = op["dib_dvbe"], op["dib_dvbc"]
-        gv = self._g_vals
         gv[0] = grb
         gv[1] = -grb
         gv[2] = -grb
@@ -736,27 +1031,23 @@ class BJTGroup:
         gv[10] = -(dic_e + dib_e) - (dic_c + dib_c)
         gv[11] = dic_e + dib_e
         gv[12] = dic_c + dib_c
-        np.add.at(self._g_flat, self._g_idx, gv.reshape(-1))
 
         # Charges: B'-E', B'-C' in companion form (their voltages are
         # limited); B-C' and S-C' at the raw external voltages.
         qbe = op["qbe"] + op["dqbe_dvbe"] * dbe + op["dqbe_dvbc"] * dbc
         qbc = op["qbc"] + op["dqbc_dvbc"] * dbc
-        qv = self._q_vals
-        qv[0] = sign * qbe
-        qv[1] = -sign * qbe
-        qv[2] = sign * qbc
-        qv[3] = -sign * qbc
-        qv[4] = sign * qbx
-        qv[5] = -sign * qbx
-        qv[6] = sign * qjs
-        qv[7] = -sign * qjs
-        np.add.at(self._q_full, self._q_rows, qv.reshape(-1))
+        qv[0] = sign_a * qbe
+        qv[1] = -sign_a * qbe
+        qv[2] = sign_a * qbc
+        qv[3] = -sign_a * qbc
+        qv[4] = sign_a * qbx
+        qv[5] = -sign_a * qbx
+        qv[6] = sign_a * qjs
+        qv[7] = -sign_a * qjs
 
         cpi = op["dqbe_dvbe"]
         cx = op["dqbe_dvbc"]
         cmu = op["dqbc_dvbc"]
-        cv = self._c_vals
         cv[0] = cpi
         cv[1] = -cpi
         cv[2] = -cpi
@@ -777,7 +1068,155 @@ class BJTGroup:
         cv[17] = -cjs
         cv[18] = -cjs
         cv[19] = cjs
-        np.add.at(self._c_flat, self._c_idx, cv.reshape(-1))
+
+        if idx is not None:
+            self._i_vals[:, idx] = iv
+            self._g_vals[:, idx] = gv
+            self._q_vals[:, idx] = qv
+            self._c_vals[:, idx] = cv
+        if bypass_tol > 0.0:
+            if idx is None:
+                self._g_anchor[...] = xg[self._g_cols_arr]
+                self._c_anchor[...] = xg[self._c_cols_arr]
+            else:
+                pos_g = (self._g_lane + idx).reshape(-1)
+                pos_c = (self._c_lane + idx).reshape(-1)
+                self._g_anchor[pos_g] = xg[self._g_cols_arr[pos_g]]
+                self._c_anchor[pos_c] = xg[self._c_cols_arr[pos_c]]
+            self._replay(xg, jac_alpha)
+        else:
+            self._replay(None, jac_alpha)
+        return n - m
+
+
+class _RecordingContext:
+    """Proxy over a :class:`LoadContext` that records one element's
+    voltage reads and stamps so they can be replayed on bypass.
+
+    Everything not intercepted (``limits``, ``gmin``, ``x_prev``, ...)
+    delegates to the wrapped context, so the element behaves exactly as
+    if it had been handed the real accumulator.
+    """
+
+    def __init__(self, ctx: LoadContext):
+        self._ctx = ctx
+        self.watch: list[int] = []
+        self.stamps_i: list[tuple[int, float]] = []
+        self.stamps_q: list[tuple[int, float]] = []
+        self.stamps_g: list[tuple[int, int, float]] = []
+        self.stamps_c: list[tuple[int, int, float]] = []
+
+    def __getattr__(self, name):
+        return getattr(self._ctx, name)
+
+    def voltage(self, index: int) -> float:
+        if index < 0:
+            return 0.0
+        self.watch.append(index)
+        return self._ctx.x[index]
+
+    def add_i(self, row: int, value: float) -> None:
+        if row >= 0:
+            self.stamps_i.append((row, value))
+            self._ctx.i_vec[row] += value
+
+    def add_q(self, row: int, value: float) -> None:
+        if row >= 0:
+            self.stamps_q.append((row, value))
+            self._ctx.q_vec[row] += value
+
+    def add_g(self, row: int, col: int, value: float) -> None:
+        if row >= 0 and col >= 0:
+            self.stamps_g.append((row, col, value))
+            self._ctx.g_mat[row, col] += value
+
+    def add_c(self, row: int, col: int, value: float) -> None:
+        if row >= 0 and col >= 0:
+            self.stamps_c.append((row, col, value))
+            self._ctx.add_c(row, col, value)
+
+    # The stamp helpers re-route through the recording accessors above.
+    stamp_conductance = LoadContext.stamp_conductance
+    stamp_capacitance = LoadContext.stamp_capacitance
+    stamp_current_source = LoadContext.stamp_current_source
+
+
+class _ScalarBypass:
+    """Record/replay device bypass for one scalar nonlinear element.
+
+    Only used for element classes whose ``load_dynamic`` is a pure
+    function of the voltages it reads, ``gmin`` and its ``limits``
+    entry (diodes and BJT subclasses outside the vectorized group).
+    """
+
+    def __init__(self, element):
+        self.element = element
+        self.watch: list[int] = []
+        self.values: list[float] = []
+        self.stamps = None
+        self.anchor: dict[int, float] = {}
+        self.gmin: float | None = None
+        self.limits: dict | None = None
+
+    def invalidate(self) -> None:
+        self.stamps = None
+        self.limits = None
+
+    def load(self, ctx: LoadContext, bypass_tol: float) -> int:
+        """Stamp the element, replaying the cache when every watched
+        voltage moved less than ``bypass_tol``; returns 1 on bypass."""
+        if (
+            bypass_tol > 0.0
+            and self.stamps is not None
+            and self.limits is ctx.limits
+            and self.gmin == ctx.gmin
+        ):
+            x = ctx.x
+            for j, vj in zip(self.watch, self.values):
+                if abs(x[j] - vj) > bypass_tol:
+                    break
+            else:
+                si, sq, sg, sc = self.stamps
+                i_vec, q_vec = ctx.i_vec, ctx.q_vec
+                g_mat, c_mat = ctx.g_mat, ctx.c_mat
+                jac_alpha = ctx.jac_alpha
+                anchor = self.anchor
+                for row, val in si:
+                    i_vec[row] += val
+                for row, val in sq:
+                    q_vec[row] += val
+                # Extrapolate I and Q to the present solution with the
+                # cached Jacobian entries so the bypassed element acts as
+                # its linearization at the anchor (see BJTGroup._replay).
+                for row, col, val in sg:
+                    g_mat[row, col] += val
+                    i_vec[row] += val * (x[col] - anchor[col])
+                for row, col, val in sc:
+                    if jac_alpha is not None:
+                        g_mat[row, col] += val * jac_alpha
+                    else:
+                        c_mat[row, col] += val
+                    q_vec[row] += val * (x[col] - anchor[col])
+                return 1
+        if bypass_tol > 0.0:
+            rec = _RecordingContext(ctx)
+            self.element.load_dynamic(rec)
+            x = ctx.x
+            self.watch = rec.watch
+            self.values = [x[j] for j in rec.watch]
+            self.stamps = (
+                rec.stamps_i, rec.stamps_q, rec.stamps_g, rec.stamps_c
+            )
+            self.anchor = {
+                col: x[col]
+                for _, col, _ in rec.stamps_g + rec.stamps_c
+            }
+            self.gmin = ctx.gmin
+            self.limits = ctx.limits
+        else:
+            self.invalidate()
+            self.element.load_dynamic(ctx)
+        return 0
 
 
 # ---------------------------------------------------------------------------
@@ -820,12 +1259,30 @@ class CompiledCircuit:
                 nonlinear.append(element)
         #: (element, [(row, coeff), ...]) pairs; rows are fixed by the
         #: topology, values are re-read from the waveform per evaluation.
-        self._source_rows = [
-            (element, [entry for entry in element.rhs_rows()])
-            for element in sources
-        ]
+        #: Sources with a constant (DC) waveform are folded into a single
+        #: precomputed vector instead — their value never changes, so the
+        #: per-evaluation python loop only visits true waveform sources.
+        self._source_rows = []
+        self._src_dc = np.zeros(size)
+        self._has_src_dc = False
+        for element in sources:
+            rows = list(element.rhs_rows())
+            if type(getattr(element, "waveform", None)) is DCWaveform:
+                value = element.source_value(None)
+                for row, coeff in rows:
+                    self._src_dc[row] += coeff * value
+                    self._has_src_dc = True
+            else:
+                self._source_rows.append((element, rows))
         bjts = [e for e in nonlinear if type(e) is BJT]
         self._scalar_dynamic = [e for e in nonlinear if type(e) is not BJT]
+        #: Bypass wrappers, aligned with ``_scalar_dynamic``; ``None`` for
+        #: element classes whose ``load_dynamic`` is not known to be a
+        #: pure function of its voltage reads, gmin and limits entry.
+        self._scalar_bypass = [
+            _ScalarBypass(e) if isinstance(e, (Diode, BJT)) else None
+            for e in self._scalar_dynamic
+        ]
         self._eval_cost = len(sources) + len(nonlinear)
         self.has_constant_jacobian = not nonlinear
 
@@ -883,58 +1340,137 @@ class CompiledCircuit:
         x_prev: np.ndarray | None = None,
         limits: dict | None = None,
         source_scale: float = 1.0,
+        bypass_tol: float = 0.0,
+        jac_alpha: float | None = None,
+        charges_only: bool = False,
+        residual_only: bool = False,
     ) -> LoadContext:
         """Assemble I, G, Q, C at candidate ``x``; returns a LoadContext
-        whose arrays are views into the engine's reusable buffers."""
+        whose arrays are views into the engine's reusable buffers.
+
+        ``bypass_tol > 0`` enables device bypass: nonlinear devices whose
+        terminal voltages all moved less than the tolerance since their
+        last actual evaluation replay cached stamps instead of
+        re-evaluating (counted in ``stats.bypassed_evals``).  At 0 the
+        assembly is bit-identical to the non-bypassing path.
+
+        ``jac_alpha`` (transient hot path) fuses the integration formula
+        into assembly: ``g_mat`` is built directly as ``G + alpha*C``
+        (one dense pass instead of two copies plus a dense
+        multiply-add in the integrator callback) and ``c_mat`` is left
+        untouched.  ``charges_only=True`` assembles just ``q_vec`` — the
+        contract for the converged-point context handed back to the
+        integrator, whose accept path reads nothing else; ``i_vec``,
+        ``g_mat`` and ``c_mat`` are stale buffers in that mode.
+        ``residual_only=True`` skips the dense Jacobian build (``g_mat``
+        and ``c_mat`` are stale) while assembling ``i_vec``/``q_vec`` in
+        full — the contract for chord-Newton iterations that will reuse
+        a cached factorization.
+        """
         size = self.size
         i = self._i_full[:size]
         q = self._q_full[:size]
         g = self._g_full[:size, :size]
         c = self._c_full[:size, :size]
 
-        np.copyto(g, self._g0)
-        np.copyto(c, self._c0)
-        np.dot(self._g0, x, out=i)
-        i += self._i0
         np.dot(self._c0, x, out=q)
         q += self._q0
+        if not charges_only:
+            if residual_only:
+                # Caller will reuse a cached factorization: leave the
+                # stale g/c buffers alone.  Device stamps still land in
+                # them, which is harmless — nothing reads the Jacobian
+                # on a chord-reuse iteration.
+                pass
+            elif jac_alpha is not None:
+                np.multiply(self._c0, jac_alpha, out=g)
+                g += self._g0
+            else:
+                np.copyto(g, self._g0)
+                np.copyto(c, self._c0)
+            np.dot(self._g0, x, out=i)
+            i += self._i0
 
-        if source_scale != 0.0:
-            for element, rows in self._source_rows:
-                value = element.source_value(time) * source_scale
-                if value != 0.0:
-                    for row, coeff in rows:
-                        i[row] += coeff * value
+            if source_scale != 0.0:
+                if self._has_src_dc:
+                    if source_scale == 1.0:
+                        i += self._src_dc
+                    else:
+                        i += self._src_dc * source_scale
+                for element, rows in self._source_rows:
+                    value = element.source_value(time) * source_scale
+                    if value != 0.0:
+                        for row, coeff in rows:
+                            i[row] += coeff * value
 
         ctx = LoadContext(
             size, x, time, gmin, source_scale, buffers=(i, g, q, c)
         )
         ctx.x_prev = x_prev
+        if not charges_only:
+            ctx.jac_alpha = jac_alpha
         if limits is not None:
             ctx.limits = limits
 
+        bypassed = 0
         if self._bjt_group is not None:
-            self._bjt_group.load(ctx)
-        for element in self._scalar_dynamic:
-            element.load_dynamic(ctx)
+            bypassed += self._bjt_group.load(
+                ctx, bypass_tol, q_only=charges_only
+            )
+        if bypass_tol > 0.0:
+            for element, wrapper in zip(
+                self._scalar_dynamic, self._scalar_bypass
+            ):
+                if wrapper is None:
+                    element.load_dynamic(ctx)
+                else:
+                    bypassed += wrapper.load(ctx, bypass_tol)
+        else:
+            for wrapper in self._scalar_bypass:
+                if wrapper is not None:
+                    wrapper.invalidate()
+            for element in self._scalar_dynamic:
+                element.load_dynamic(ctx)
 
         self.stats.assemblies += 1
         GLOBAL_STATS.assemblies += 1
-        self.stats.element_evals += self._eval_cost
-        GLOBAL_STATS.element_evals += self._eval_cost
+        self.stats.element_evals += self._eval_cost - bypassed
+        GLOBAL_STATS.element_evals += self._eval_cost - bypassed
+        if bypassed:
+            self.stats.bypassed_evals += bypassed
+            GLOBAL_STATS.bypassed_evals += bypassed
         return ctx
 
-    def solve(self, a: np.ndarray, b: np.ndarray, token=None) -> np.ndarray:
+    def solve(self, a: np.ndarray, b: np.ndarray, token=None,
+              chord: bool = False) -> np.ndarray:
         """Solve ``a @ x = b`` through the pluggable backend.
 
         ``token``-based factorization reuse is only honoured for circuits
         with a constant Jacobian — for nonlinear circuits every Newton
         matrix differs and reuse would silently turn Newton into a chord
-        method with a stale Jacobian.
+        method with a stale Jacobian.  ``chord=True`` opts in to exactly
+        that: the caller (``newton_solve``) deliberately freezes the
+        Jacobian under ``token`` and watches residual contraction itself.
         """
-        if token is not None and not self.has_constant_jacobian:
+        if token is not None and not chord and not self.has_constant_jacobian:
             token = None
         return self.solver.solve(a, b, token=token)
+
+    @property
+    def supports_chord(self) -> bool:
+        """Whether the bound solver can keep a factorization alive for
+        chord-Newton reuse."""
+        return self.solver.caches_factorization
+
+    #: The compiled assembler can build ``G + alpha*C`` in one pass
+    #: (``evaluate(jac_alpha=...)``); the transient hot path keys on this.
+    supports_fused_jacobian = True
+
+    def has_factorization(self, token) -> bool:
+        return self.solver.has_factorization(token)
+
+    def solve_cached(self, b: np.ndarray) -> np.ndarray:
+        return self.solver.solve_cached(b)
 
     def solve_batched(self, systems: np.ndarray,
                       rhs: np.ndarray) -> np.ndarray:
@@ -964,6 +1500,12 @@ class LegacyEngine:
     """
 
     has_constant_jacobian = False
+    #: The legacy path re-stamps everything per call; it cannot keep a
+    #: factorization alive, so chord-Newton degrades to full Newton.
+    supports_chord = False
+    #: No fused G + alpha*C assembly either — the integrator keeps its
+    #: reference dense multiply-add against this engine.
+    supports_fused_jacobian = False
 
     def __init__(self, circuit: Circuit, solver: LinearSolver | None = None):
         self.circuit = circuit
@@ -983,7 +1525,14 @@ class LegacyEngine:
         x_prev: np.ndarray | None = None,
         limits: dict | None = None,
         source_scale: float = 1.0,
+        bypass_tol: float = 0.0,
+        jac_alpha: float | None = None,
+        charges_only: bool = False,
+        residual_only: bool = False,
     ) -> LoadContext:
+        # bypass_tol / jac_alpha / charges_only / residual_only are
+        # hot-path options of the compiled engine; the reference path
+        # always re-stamps the complete system.
         self.stats.assemblies += 1
         GLOBAL_STATS.assemblies += 1
         count = len(self.circuit)
@@ -999,8 +1548,15 @@ class LegacyEngine:
             source_scale=source_scale,
         )
 
-    def solve(self, a: np.ndarray, b: np.ndarray, token=None) -> np.ndarray:
+    def solve(self, a: np.ndarray, b: np.ndarray, token=None,
+              chord: bool = False) -> np.ndarray:
         return self.solver.solve(a, b, token=None)
+
+    def has_factorization(self, token) -> bool:
+        return False
+
+    def solve_cached(self, b: np.ndarray) -> np.ndarray:
+        return self.solver.solve_cached(b)
 
     def timed(self) -> _timed_stats:
         return _timed_stats(self.stats, GLOBAL_STATS)

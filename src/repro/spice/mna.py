@@ -72,6 +72,11 @@ class LoadContext:
         self.x_prev: np.ndarray | None = None
         #: Per-device limited-voltage memory (device name -> tuple).
         self.limits: dict[str, tuple] = {}
+        #: Fused-Jacobian mode (transient hot path): when set, capacitive
+        #: stamps are folded directly into ``g_mat`` scaled by this
+        #: integration coefficient (``g_mat`` then holds ``G + alpha*C``)
+        #: and ``c_mat`` is not maintained.
+        self.jac_alpha: float | None = None
 
     # -- reading the candidate solution ---------------------------------------
 
@@ -101,7 +106,10 @@ class LoadContext:
     def add_c(self, row: int, col: int, value: float) -> None:
         """Add ``dQ[row]/dx[col]``."""
         if row >= 0 and col >= 0:
-            self.c_mat[row, col] += value
+            if self.jac_alpha is not None:
+                self.g_mat[row, col] += value * self.jac_alpha
+            else:
+                self.c_mat[row, col] += value
 
     # -- common stamp patterns -------------------------------------------------
 

@@ -82,13 +82,60 @@ class TransientResult:
         return float(np.interp(time, self.times, self.voltage(node)))
 
 
-def _collect_breakpoints(circuit: Circuit, stop_time: float) -> list[float]:
+def _collect_breakpoints(
+    circuit: Circuit, stop_time: float, min_separation: float = 0.0
+) -> list[float]:
+    """Sorted source breakpoints, merged to at least ``min_separation``.
+
+    Two sources can contribute breakpoints closer than the minimum step
+    (e.g. coincident pulse edges); keeping both would force a near-zero
+    ``h = next_bp - t`` step, so later points within ``min_separation``
+    of an earlier one are dropped.
+    """
     points: set[float] = set()
     for element in circuit:
         getter = getattr(element, "breakpoints", None)
         if getter is not None:
             points.update(getter(stop_time))
-    return sorted(points)
+    ordered = sorted(points)
+    if min_separation <= 0.0:
+        return ordered
+    merged: list[float] = []
+    for point in ordered:
+        if merged and point - merged[-1] < min_separation:
+            continue
+        merged.append(point)
+    # A trailing breakpoint just short of stop_time would likewise leave
+    # a sliver of a final step once stop_time is appended by the caller.
+    while merged and merged[-1] > stop_time - min_separation:
+        merged.pop()
+    return merged
+
+
+#: Default device-bypass voltage tolerance for the transient hot path.
+#: Devices whose terminal voltages all moved less than this between
+#: Newton evaluations replay their cached stamps, extrapolated to the
+#: current solution with the cached Jacobians (see
+#: :meth:`repro.spice.engine.CompiledCircuit.evaluate`); the replay
+#: error is second order in this tolerance.
+DEFAULT_BYPASS_TOL = 1e-3
+
+#: Maximum relative drift of ``alpha = 1/h`` (or ``2/h``) tolerated
+#: before a chord-Newton jacobian token is re-anchored.  Within the
+#: window, steps share one factorization even though the continuous step
+#: controller varies h slightly; the frozen Jacobian is then wrong by up
+#: to ~10% in its capacitive part, which slows the chord contraction a
+#: little but stays inside what the contraction watch tolerates before
+#: forcing a refactorization.
+_ALPHA_DRIFT = 0.1
+
+#: Step-controller deadband (chord mode only): hold the step size when
+#: the proposed change factor falls inside [lo, hi].  The band only
+#: covers factors whose LTE is at or below target, so holding never
+#: runs above the error budget; a steady h keeps the chord token fixed
+#: so factorizations survive across steps.
+_DEADBAND_LO = 0.9
+_DEADBAND_HI = 1.25
 
 
 def solve_transient(
@@ -104,16 +151,45 @@ def solve_transient(
     lte_abstol: float = 1e-6,
     max_points: int = 2_000_000,
     engine=None,
+    bypass_tol: float | None = None,
+    chord: bool | None = None,
 ) -> TransientResult:
     """Integrate the circuit from t=0 to ``stop_time``.
 
     ``x0`` provides initial conditions; when omitted the DC operating
     point at t=0 is used.  ``method`` is ``"trap"`` (default) or ``"be"``.
+
+    ``bypass_tol`` and ``chord`` control the transient hot path: device
+    bypass (skip re-evaluating devices whose voltages barely moved) and
+    chord-Newton (reuse the factorized Jacobian across iterations and
+    steps sharing a token).  Both default on (``bypass_tol=None`` means
+    :data:`DEFAULT_BYPASS_TOL`); pass ``bypass_tol=0`` and
+    ``chord=False`` to force the exact reference stepping path.
     """
     if stop_time <= 0:
         raise AnalysisError("transient stop_time must be positive")
+    if max_step is not None and max_step <= 0:
+        raise AnalysisError(
+            f"transient max_step must be positive, got {max_step!r}"
+        )
+    if initial_step is not None and initial_step <= 0:
+        raise AnalysisError(
+            f"transient initial_step must be positive, got {initial_step!r}"
+        )
+    if lte_reltol <= 0:
+        raise AnalysisError(
+            f"transient lte_reltol must be positive, got {lte_reltol!r}"
+        )
     if method not in ("trap", "be"):
         raise AnalysisError(f"unknown integration method {method!r}")
+    if bypass_tol is None:
+        bypass_tol = DEFAULT_BYPASS_TOL
+    elif bypass_tol < 0:
+        raise AnalysisError(
+            f"transient bypass_tol must be non-negative, got {bypass_tol!r}"
+        )
+    if chord is None:
+        chord = True
     circuit.assign_indices()
     engine = resolve_engine(circuit, engine)
     snapshot = engine.stats.copy()
@@ -121,6 +197,7 @@ def solve_transient(
         result = _solve_transient(
             circuit, engine, stop_time, max_step, initial_step, x0,
             method, tolerances, gmin, lte_reltol, lte_abstol, max_points,
+            bypass_tol, chord,
         )
     result.stats = engine.stats.since(snapshot)
     return result
@@ -129,6 +206,7 @@ def solve_transient(
 def _solve_transient(
     circuit, engine, stop_time, max_step, initial_step, x0,
     method, tolerances, gmin, lte_reltol, lte_abstol, max_points,
+    bypass_tol, chord,
 ) -> TransientResult:
     if tolerances is None:
         tolerances = Tolerances()
@@ -137,6 +215,16 @@ def _solve_transient(
     if initial_step is None:
         initial_step = max_step / 10.0
     num_nodes = engine.num_nodes
+
+    chord_active = chord and getattr(engine, "supports_chord", False)
+    # Hot-path mode keeps one canonical limits dict for the whole run
+    # (saved/restored around rejected steps) so the device-bypass cache,
+    # which is keyed on dict identity, survives from step to step.  The
+    # reference mode copies the dict per step exactly like the seed code.
+    hot = chord_active or bypass_tol > 0.0
+    # Fused assembly builds G + alpha*C in one dense pass inside the
+    # engine; the integrator callback then touches only the residual.
+    fused = hot and getattr(engine, "supports_fused_jacobian", False)
 
     limits: dict = {}
     if x0 is None:
@@ -147,22 +235,37 @@ def _solve_transient(
     ctx0 = engine.evaluate(x, time=0.0, gmin=gmin, limits=dict(limits))
     q_prev = ctx0.q_vec.copy()
     qdot_prev = np.zeros_like(q_prev)
+    # Accept-path scratch (hot mode): charges are copied out of the
+    # engine-owned context buffers into these, then ping-ponged into
+    # q_prev/qdot_prev, so the accept path allocates nothing per step.
+    q_scratch = np.empty_like(q_prev)
+    qdot_scratch = np.empty_like(q_prev)
 
-    breakpoints = _collect_breakpoints(circuit, stop_time)
+    min_step = stop_time * 1e-15
+    breakpoints = _collect_breakpoints(circuit, stop_time, min_step)
     breakpoints.append(stop_time)
     bp_iter = iter(breakpoints)
     next_bp = next(bp_iter)
 
-    times = [0.0]
-    states = [x.copy()]
-    history: list[tuple[float, np.ndarray]] = [(0.0, x.copy())]
+    # Amortized-doubling storage for the accepted trajectory; the
+    # predictor reads its (up to 3-point) window straight out of these
+    # buffers via ``hist_start`` instead of shuffling a Python list.
+    size = len(x)
+    capacity = 256
+    times = np.empty(capacity)
+    states = np.empty((capacity, size))
+    times[0] = 0.0
+    states[0] = x
+    count = 1
+    hist_start = 0
 
     t = 0.0
     h = min(initial_step, max_step)
     use_be_next = True  # first step (no qdot history yet)
     rejected = 0
     newton_failures = 0
-    min_step = stop_time * 1e-15
+    token_anchor = None  # log(alpha) the chord token is anchored at
+    token_use_be = None
 
     while t < stop_time * (1.0 - 1e-12):
         h = min(h, max_step, stop_time - t)
@@ -175,29 +278,62 @@ def _solve_transient(
         t_new = t + h
 
         # Predictor: quadratic extrapolation through the last 3 points.
-        x_pred = _predict(history, t_new)
+        x_pred = _predict(times, states, hist_start, count, t_new)
 
         use_be = use_be_next or method == "be"
         alpha = (1.0 / h) if use_be else (2.0 / h)
 
-        def dynamic(ctx, residual, jacobian):
-            qdot = alpha * (ctx.q_vec - q_prev)
-            if not use_be:
-                qdot -= qdot_prev
-            residual += qdot
-            jacobian += alpha * ctx.c_mat
+        if fused:
+            # The engine already assembled jacobian = G + alpha*C.
+            def dynamic(ctx, residual, jacobian):
+                qdot = alpha * (ctx.q_vec - q_prev)
+                if not use_be:
+                    qdot -= qdot_prev
+                residual += qdot
+        else:
+            def dynamic(ctx, residual, jacobian):
+                qdot = alpha * (ctx.q_vec - q_prev)
+                if not use_be:
+                    qdot -= qdot_prev
+                residual += qdot
+                jacobian += alpha * ctx.c_mat
 
-        step_limits = dict(limits)
+        if hot:
+            step_limits = limits
+            saved_limits = dict(limits)
+        else:
+            step_limits = dict(limits)
         try:
-            x_new = newton_solve(
+            if chord_active:
+                # Hysteresis: keep the token anchored at the alpha the
+                # jacobian was last factorized for until the controller
+                # drifts the step size too far from it.
+                log_alpha = math.log(alpha)
+                if (
+                    token_anchor is None
+                    or token_use_be != use_be
+                    or abs(log_alpha - token_anchor) > _ALPHA_DRIFT
+                ):
+                    token_anchor = log_alpha
+                    token_use_be = use_be
+                token = ("tran", use_be, token_anchor)
+            else:
+                token = ("tran", use_be, alpha)
+            x_new, ctx = newton_solve(
                 circuit, x_pred, tolerances, gmin,
                 time=t_new, limits=step_limits, dynamic=dynamic,
-                engine=engine, jacobian_token=("tran", use_be, alpha),
+                engine=engine, jacobian_token=token,
+                chord=chord_active, bypass_tol=bypass_tol,
+                jac_alpha=alpha if fused else None,
+                return_context=True,
             )
         except ConvergenceError as exc:
             newton_failures += 1
             h /= 8.0
             use_be_next = True
+            if hot:
+                limits.clear()
+                limits.update(saved_limits)
             if h < min_step:
                 report = replace(
                     exc.report or ConvergenceReport(),
@@ -213,7 +349,7 @@ def _solve_transient(
             continue
 
         # Local truncation error: corrector vs predictor.
-        if len(history) >= 3:
+        if count - hist_start >= 3:
             error = weighted_max_error(
                 x_new - x_pred, x_new, x, num_nodes,
                 lte_reltol, lte_abstol, lte_abstol,
@@ -222,68 +358,101 @@ def _solve_transient(
             error = 0.5  # no history yet: accept and grow slowly
         if error > 10.0 and h > min_step * 8:
             rejected += 1
+            if hot:
+                limits.clear()
+                limits.update(saved_limits)
             h = max(h * (1.0 / error) ** (1.0 / 3.0) * 0.9, h / 8.0)
             continue
 
-        # Accept the step.
-        ctx = engine.evaluate(
-            x_new, time=t_new, gmin=gmin, limits=step_limits
-        )
-        q_new = ctx.q_vec.copy()
-        qdot_new = alpha * (q_new - q_prev)
+        # Accept the step.  ``ctx`` already holds the charges at (or,
+        # with bypass/chord on, within Newton tolerance of) x_new — the
+        # seed's separate post-accept re-evaluation is gone.
+        np.copyto(q_scratch, ctx.q_vec)
+        np.subtract(q_scratch, q_prev, out=qdot_scratch)
+        qdot_scratch *= alpha
         if not use_be:
-            qdot_new -= qdot_prev
+            qdot_scratch -= qdot_prev
+        q_prev, q_scratch = q_scratch, q_prev
+        qdot_prev, qdot_scratch = qdot_scratch, qdot_prev
 
         t = t_new
         x = x_new
-        q_prev = q_new
-        qdot_prev = qdot_new
-        limits = step_limits
-        times.append(t)
-        states.append(x.copy())
+        if not hot:
+            limits = step_limits
+        if count == capacity:
+            capacity *= 2
+            new_times = np.empty(capacity)
+            new_times[:count] = times
+            times = new_times
+            new_states = np.empty((capacity, size))
+            new_states[:count] = states
+            states = new_states
+        times[count] = t
+        states[count] = x
+        count += 1
         if hit_breakpoint:
             # Waveform corner: the solution has a derivative discontinuity
             # here, so restart the predictor from scratch instead of
             # extrapolating a polynomial across it.
-            history = [(t, x.copy())]
-        else:
-            history.append((t, x.copy()))
-            if len(history) > 3:
-                history.pop(0)
-        if len(times) > max_points:
+            hist_start = count - 1
+        if count > max_points:
             raise AnalysisError(
                 f"transient produced more than {max_points} points; "
                 "increase max_step or loosen tolerances"
             )
 
         use_be_next = hit_breakpoint  # restart integration after corners
+        # Continuous step control (identical to the reference path).
+        # Chord-Newton still reuses factorizations across steps because
+        # well-resolved transients spend most accepted steps pinned at
+        # ``max_step``, where the jacobian token (which embeds 1/h)
+        # repeats naturally.
         growth = (1.0 / max(error, 1e-6)) ** (1.0 / 3.0)
-        h *= min(max(growth * 0.9, 0.2), 2.0)
+        factor = min(max(growth * 0.9, 0.2), 2.0)
+        if (chord_active and _DEADBAND_LO <= factor <= _DEADBAND_HI):
+            # Deadband: hold the step when the controller asks for less
+            # than a ~25% nudge (error is at or below target in this
+            # whole band).  A steady h keeps alpha — and with it the
+            # chord token — fixed, so the factorization survives across
+            # steps instead of being invalidated by step-size jitter.
+            factor = 1.0
+        h *= factor
 
     return TransientResult(
         circuit=circuit,
-        times=np.array(times),
-        states=np.array(states),
+        times=times[:count].copy(),
+        states=states[:count].copy(),
         rejected_steps=rejected,
         newton_failures=newton_failures,
     )
 
 
-def _predict(history: list[tuple[float, np.ndarray]], t_new: float) -> np.ndarray:
+def _predict(
+    times: np.ndarray,
+    states: np.ndarray,
+    start: int,
+    count: int,
+    t_new: float,
+) -> np.ndarray:
     """Polynomial extrapolation of the solution to ``t_new``.
 
-    Uses up to the last three accepted points (quadratic Lagrange form);
-    falls back to lower order early in the run.
+    Reads up to the last three accepted points (quadratic Lagrange form)
+    from the trajectory buffers, beginning no earlier than ``start`` (the
+    predictor restart marker); falls back to lower order early in a
+    window.
     """
-    if len(history) == 1:
-        return history[0][1].copy()
-    if len(history) == 2:
-        (t0, x0), (t1, x1) = history
+    avail = count - start
+    if avail == 1:
+        return states[count - 1].copy()
+    if avail == 2:
+        t0, t1 = times[count - 2], times[count - 1]
+        x0, x1 = states[count - 2], states[count - 1]
         if t1 == t0:
             return x1.copy()
         frac = (t_new - t1) / (t1 - t0)
         return x1 + frac * (x1 - x0)
-    (t0, x0), (t1, x1), (t2, x2) = history[-3:]
+    t0, t1, t2 = times[count - 3], times[count - 2], times[count - 1]
+    x0, x1, x2 = states[count - 3], states[count - 2], states[count - 1]
     l0 = (t_new - t1) * (t_new - t2) / ((t0 - t1) * (t0 - t2))
     l1 = (t_new - t0) * (t_new - t2) / ((t1 - t0) * (t1 - t2))
     l2 = (t_new - t0) * (t_new - t1) / ((t2 - t0) * (t2 - t1))

@@ -212,8 +212,10 @@ class TestGoldenAnalyses:
         stop = 2e-9
         r_legacy = solve_transient(build(), stop_time=stop,
                                    max_step=stop / 100, engine="legacy")
+        # Exact-parity golden test: hot-path shortcuts pinned off.
         r_compiled = solve_transient(build(), stop_time=stop,
-                                     max_step=stop / 100)
+                                     max_step=stop / 100,
+                                     bypass_tol=0.0, chord=False)
         grid = np.linspace(0.0, stop, 60)
         v_legacy = np.interp(grid, r_legacy.times, r_legacy.voltage("c"))
         v_compiled = np.interp(grid, r_compiled.times,
@@ -228,8 +230,10 @@ class TestGoldenAnalyses:
         r_legacy = solve_transient(parse_deck(text).circuit,
                                    stop_time=stop, max_step=5e-12,
                                    engine="legacy")
+        # Exact-parity golden test: hot-path shortcuts pinned off.
         r_compiled = solve_transient(parse_deck(text).circuit,
-                                     stop_time=stop, max_step=5e-12)
+                                     stop_time=stop, max_step=5e-12,
+                                     bypass_tol=0.0, chord=False)
         grid = np.linspace(0.0, stop, 40)
         v_legacy = np.interp(grid, r_legacy.times, r_legacy.voltage("c0p"))
         v_compiled = np.interp(grid, r_compiled.times,

@@ -1,0 +1,286 @@
+"""Transient hot path: device bypass, chord-Newton, integration order.
+
+The hot path must be invisible in the waveforms: bypass and chord are
+approximations held below the Newton/LTE tolerances, so on-vs-off runs
+agree to millivolts, and with both pinned off the stepping is exactly
+the seed path (that stronger bit-level claim is the golden equivalence
+test in ``test_engine.py``).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import ModelParameterGenerator, default_reference
+from repro.rfsystems import RingOscillatorSpec, build_ring_oscillator
+from repro.spice import Circuit, solve_transient
+from repro.spice.elements import (
+    BJT,
+    Capacitor,
+    Pulse,
+    Resistor,
+    VoltageSource,
+)
+from repro.spice.engine import GLOBAL_STATS, compile_circuit
+from repro.spice.transient import _collect_breakpoints
+
+
+_RC_TAU = 1e-6  # r * c below
+
+
+def _rc_decay_error(method, n_steps):
+    """Global error at t = 2*tau of an n_steps fixed-step decay run."""
+    r, c = 1e3, 1e-9
+    stop = 2.0 * _RC_TAU
+    h = stop / n_steps
+    ckt = Circuit("rc_decay")
+    ckt.add(Resistor("R1", ("a", "0"), r))
+    ckt.add(Capacitor("C1", ("a", "0"), c))
+    result = solve_transient(
+        ckt, stop_time=stop, max_step=h, initial_step=h,
+        x0=np.array([1.0]), method=method,
+        # Huge LTE tolerance pins h at max_step: every accepted step is
+        # exactly h, which is what an order measurement needs.
+        lte_reltol=1e6, lte_abstol=1e6,
+        bypass_tol=0.0, chord=False,
+    )
+    exact = math.exp(-stop / _RC_TAU)
+    return abs(result.voltage("a")[-1] - exact)
+
+
+class TestIntegrationOrder:
+    """Error decay on the analytic RC discharge: trap ~h^2, BE ~h^1."""
+
+    def test_trap_is_second_order(self):
+        err_h = _rc_decay_error("trap", 64)
+        err_h2 = _rc_decay_error("trap", 128)
+        ratio = err_h / err_h2
+        # Halving h should shrink the error ~4x for a 2nd-order method.
+        assert 3.0 < ratio < 5.5, f"trap error ratio {ratio:.2f}"
+
+    def test_backward_euler_is_first_order(self):
+        err_h = _rc_decay_error("be", 64)
+        err_h2 = _rc_decay_error("be", 128)
+        ratio = err_h / err_h2
+        assert 1.6 < ratio < 2.6, f"BE error ratio {ratio:.2f}"
+
+    def test_trap_beats_be_at_equal_step(self):
+        assert _rc_decay_error("trap", 64) < (
+            0.1 * _rc_decay_error("be", 64)
+        )
+
+
+def _ring(stages=5):
+    generator = ModelParameterGenerator(reference=default_reference())
+    return build_ring_oscillator(
+        generator.generate("N1.2-12D"),
+        follower_model=generator.generate("N1.2-6D"),
+        spec=RingOscillatorSpec(stages=stages),
+    )
+
+
+def _deviation(a, b, t_end):
+    grid = np.linspace(0.0, t_end, 120)
+    num_nodes = len(a.circuit.node_map)
+    worst = 0.0
+    for col in range(num_nodes):
+        va = np.interp(grid, a.times, a.states[:, col])
+        vb = np.interp(grid, b.times, b.states[:, col])
+        worst = max(worst, float(np.max(np.abs(va - vb))))
+    return worst
+
+
+class TestHotPathParity:
+    """Bypass/chord on-vs-off waveform agreement on the Fig. 11 ring."""
+
+    STOP = 0.4e-9
+    MAX_STEP = 5e-12
+
+    @pytest.mark.parametrize("engine", ["compiled", "legacy"])
+    def test_on_vs_off_waveforms_agree(self, engine):
+        ref = solve_transient(
+            _ring(), stop_time=self.STOP, max_step=self.MAX_STEP,
+            engine=engine, bypass_tol=0.0, chord=False,
+        )
+        hot = solve_transient(
+            _ring(), stop_time=self.STOP, max_step=self.MAX_STEP,
+            engine=engine,
+        )
+        assert _deviation(ref, hot, self.STOP) < 0.05
+
+    def test_hot_counters_move_only_when_enabled(self):
+        snapshot = GLOBAL_STATS.copy()
+        solve_transient(
+            _ring(), stop_time=self.STOP, max_step=self.MAX_STEP,
+            bypass_tol=0.0, chord=False,
+        )
+        off = GLOBAL_STATS.since(snapshot)
+        assert off.bypassed_evals == 0
+        assert off.jacobian_reuses == 0
+
+        snapshot = GLOBAL_STATS.copy()
+        solve_transient(
+            _ring(), stop_time=self.STOP, max_step=self.MAX_STEP,
+        )
+        on = GLOBAL_STATS.since(snapshot)
+        assert on.bypassed_evals > 0
+        assert on.jacobian_reuses > 0
+        assert on.factorizations < off.factorizations
+
+    def test_chord_alone_still_converges(self):
+        ref = solve_transient(
+            _ring(), stop_time=self.STOP, max_step=self.MAX_STEP,
+            bypass_tol=0.0, chord=False,
+        )
+        chord = solve_transient(
+            _ring(), stop_time=self.STOP, max_step=self.MAX_STEP,
+            bypass_tol=0.0, chord=True,
+        )
+        assert _deviation(ref, chord, self.STOP) < 0.05
+
+    def test_bypass_alone_matches_tightly(self):
+        ref = solve_transient(
+            _ring(), stop_time=self.STOP, max_step=self.MAX_STEP,
+            bypass_tol=0.0, chord=False,
+        )
+        bypass = solve_transient(
+            _ring(), stop_time=self.STOP, max_step=self.MAX_STEP,
+            bypass_tol=None, chord=False,
+        )
+        # Bypass replays exact linearizations below the tolerance; the
+        # waveform error is second order in it.
+        assert _deviation(ref, bypass, self.STOP) < 5e-3
+
+
+def _two_stage_circuit(hf_model):
+    """Two independent common-emitter stages sharing only the rails."""
+    ckt = Circuit("two_stage")
+    ckt.add(VoltageSource("VCC", ("vcc", "0"), dc=5.0))
+    for k in (1, 2):
+        ckt.add(VoltageSource(f"VB{k}", (f"in{k}", "0"), dc=0.8))
+        ckt.add(Resistor(f"RB{k}", (f"in{k}", f"b{k}"), 1e3))
+        ckt.add(Resistor(f"RC{k}", ("vcc", f"c{k}"), 1e3))
+        ckt.add(BJT(f"Q{k}", (f"c{k}", f"b{k}", "0"), hf_model))
+    return ckt
+
+
+class TestBypassMask:
+    """The vectorized mask must bypass exactly the unmoved devices."""
+
+    TOL = 1e-3
+
+    def test_single_device_toggles(self, hf_model):
+        ckt = _two_stage_circuit(hf_model)
+        size = ckt.assign_indices()
+        engine = compile_circuit(ckt)
+        limits = {}
+        rng = np.random.default_rng(21)
+        x0 = 0.3 * rng.standard_normal(size)
+
+        engine.evaluate(x0, limits=limits, bypass_tol=self.TOL)
+        before = engine.stats.bypassed_evals
+
+        # Nudge only Q2's base node, well past the tolerance: Q1 must
+        # be bypassed (its terminal voltages are untouched), Q2 not.
+        x1 = x0.copy()
+        x1[ckt.node_index("b2")] += 0.05
+        ctx = engine.evaluate(x1, limits=limits, bypass_tol=self.TOL)
+        assert engine.stats.bypassed_evals - before == 1
+
+        # The mixed bypassed/evaluated assembly must equal a full
+        # evaluation with the same limiting history.
+        engine_full = compile_circuit(ckt)
+        limits_full = {}
+        engine_full.evaluate(x0, limits=limits_full)
+        full = engine_full.evaluate(x1, limits=limits_full)
+        np.testing.assert_allclose(ctx.i_vec, full.i_vec,
+                                   rtol=1e-12, atol=1e-15)
+        np.testing.assert_allclose(ctx.q_vec, full.q_vec,
+                                   rtol=1e-12, atol=1e-18)
+        np.testing.assert_allclose(ctx.g_mat, full.g_mat,
+                                   rtol=1e-12, atol=1e-15)
+        np.testing.assert_allclose(ctx.c_mat, full.c_mat,
+                                   rtol=1e-12, atol=1e-20)
+
+    def test_sub_tolerance_move_bypasses_all(self, hf_model):
+        ckt = _two_stage_circuit(hf_model)
+        size = ckt.assign_indices()
+        engine = compile_circuit(ckt)
+        limits = {}
+        rng = np.random.default_rng(22)
+        x0 = 0.3 * rng.standard_normal(size)
+        engine.evaluate(x0, limits=limits, bypass_tol=self.TOL)
+        before = engine.stats.bypassed_evals
+        engine.evaluate(x0 + 1e-7, limits=limits, bypass_tol=self.TOL)
+        assert engine.stats.bypassed_evals - before == 2
+
+    def test_zero_tolerance_never_bypasses(self, hf_model):
+        ckt = _two_stage_circuit(hf_model)
+        size = ckt.assign_indices()
+        engine = compile_circuit(ckt)
+        limits = {}
+        x0 = np.zeros(size)
+        engine.evaluate(x0, limits=limits, bypass_tol=0.0)
+        engine.evaluate(x0, limits=limits, bypass_tol=0.0)
+        assert engine.stats.bypassed_evals == 0
+
+
+class TestTransientArgumentValidation:
+    """Bad stepping arguments must fail fast, not spin forever."""
+
+    def _rc(self):
+        ckt = Circuit("rc")
+        ckt.add(VoltageSource("V1", ("in", "0"), dc=1.0))
+        ckt.add(Resistor("R1", ("in", "out"), 1e3))
+        ckt.add(Capacitor("C1", ("out", "0"), 1e-9))
+        return ckt
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_step": 0.0},
+        {"max_step": -1e-12},
+        {"initial_step": 0.0},
+        {"initial_step": -5e-13},
+        {"lte_reltol": 0.0},
+        {"lte_reltol": -1e-3},
+    ])
+    def test_nonpositive_stepping_args_rejected(self, kwargs):
+        from repro.errors import AnalysisError
+        with pytest.raises(AnalysisError, match="must be positive"):
+            solve_transient(self._rc(), stop_time=1e-6, **kwargs)
+
+
+class TestBreakpointMerging:
+    """Coincident source corners must not force near-zero steps."""
+
+    def test_close_breakpoints_merge(self):
+        ckt = Circuit("two_pulses")
+        ckt.add(VoltageSource(
+            "V1", ("a", "0"),
+            dc=Pulse(0.0, 1.0, delay=1e-9, rise=1e-10, width=5e-9,
+                     period=1.0),
+        ))
+        ckt.add(VoltageSource(
+            "V2", ("b", "0"),
+            dc=Pulse(0.0, 1.0, delay=1e-9 + 1e-14, rise=1e-10,
+                     width=5e-9, period=1.0),
+        ))
+        ckt.add(Resistor("R1", ("a", "0"), 1e3))
+        ckt.add(Resistor("R2", ("b", "0"), 1e3))
+        min_sep = 1e-12
+        merged = _collect_breakpoints(ckt, 10e-9, min_sep)
+        assert merged, "expected breakpoints"
+        gaps = np.diff(merged)
+        assert np.all(gaps >= min_sep * (1 - 1e-9))
+
+    def test_trailing_sliver_dropped(self):
+        ckt = Circuit("edge_at_stop")
+        stop = 10e-9
+        ckt.add(VoltageSource(
+            "V1", ("a", "0"),
+            dc=Pulse(0.0, 1.0, delay=stop - 1e-14, rise=1e-10,
+                     width=5e-9, period=1.0),
+        ))
+        ckt.add(Resistor("R1", ("a", "0"), 1e3))
+        merged = _collect_breakpoints(ckt, stop, 1e-12)
+        assert all(p <= stop - 1e-12 for p in merged)
