@@ -2,15 +2,25 @@
 
 The paper: "Investigating the re-use of IC design in the authors design
 group revealed that above 70% of the circuits can be re-used."  This
-bench builds the Section 2 tuner from the seeded library, audits the
-reuse fraction, and times the search+copy workflow a designer exercises.
+bench builds the Section 2 tuner from the seeded library — the critical
+quadrature blocks sourced through the spec-driven reuse lookup
+(:mod:`repro.optimize.reuse`) against their recorded simulation data,
+the rest by keyword search — audits the reuse fraction, and times the
+search+judge+copy workflow a designer exercises.
 """
 
 from repro.celldb import seed_database
+from repro.optimize import (
+    BoundKind,
+    Spec,
+    SpecSet,
+    commit_reuse,
+    find_reusable_cells,
+)
 
 from conftest import report
 
-#: the new tuner's block list and where each came from
+#: the new tuner's block list and where each came from (keyword path)
 TUNER_DESIGN = {
     "rf_amp": "RF-AGC-AMP",
     "mix1": "UPMIX-1300",
@@ -18,12 +28,23 @@ TUNER_DESIGN = {
     "mix2_i": "DNMIX-45",
     "mix2_q": "DNMIX-45",
     "vco": "VCO-2ND",
-    "ph90_vco": "PHASE90-VCO",
-    "ph90_if": "PHASE90-IF",
     "combiner": "IF-ADDER",
     "pll": "PLL-SYNTH",
     "agc_detector": None,  # newly designed
     "if2_buffer": None,  # newly designed
+}
+
+#: quadrature blocks sourced via spec-driven lookup on recorded data:
+#: {block: (search keyword, specs from the Fig. 5 derivation at
+#: IRR >= 30 dB, 1 % gain balance)}
+SPEC_SOURCED = {
+    "ph90_vco": ("vco", SpecSet("lo_quadrature", [
+        Spec("phase_error_deg", 2.0, BoundKind.UPPER, unit="deg"),
+    ])),
+    "ph90_if": ("image rejection", SpecSet("if_quadrature", [
+        Spec("phase_error_deg", 3.6, BoundKind.UPPER, unit="deg"),
+        Spec("gain_error", 0.01, BoundKind.UPPER, scale=0.01),
+    ])),
 }
 
 SEARCHES = ("mixer", "phase shifter", "image rejection", "agc",
@@ -35,12 +56,27 @@ def bench_sec3_reuse(benchmark):
 
     def workflow():
         hits = {term: db.search(keyword=term) for term in SEARCHES}
-        for source in TUNER_DESIGN.values():
+        design = dict(TUNER_DESIGN)
+        reports = {}
+        for block, (keyword, specs) in SPEC_SOURCED.items():
+            found = find_reusable_cells(db, specs, keyword=keyword,
+                                        category2="Phase shifter")
+            reports[block] = found
+            if found.reused:
+                commit_reuse(db, found)
+                design[block] = found.chosen.name
+            else:
+                design[block] = None
+        for block, source in TUNER_DESIGN.items():
             if source is not None and source in db:
                 db.copy_for_reuse(source)
-        return hits, db.reuse_statistics(TUNER_DESIGN)
+        return hits, reports, design, db.reuse_statistics(design)
 
-    hits, stats = benchmark(workflow)
+    hits, reuse_reports, design, stats = benchmark(workflow)
+
+    # The spec lookup must find the recorded-data qualifiers.
+    assert design["ph90_vco"] == "PHASE90-VCO"
+    assert design["ph90_if"] == "PHASE90-IF"
 
     # -- the paper's claim: above 70 % ----------------------------------------
     assert stats.reuse_fraction > 0.70
@@ -55,8 +91,13 @@ def bench_sec3_reuse(benchmark):
         lines.append(f"    {term!r:20s} -> "
                      f"{[c.name for c in cells]}")
     lines.append("")
+    lines.append("  spec-driven sourcing (recorded simulation data):")
+    for block, found in reuse_reports.items():
+        for text_line in found.summary().splitlines():
+            lines.append(f"    {block}: {text_line}")
+    lines.append("")
     lines.append("  new tuner design block sourcing:")
-    for block, source in TUNER_DESIGN.items():
+    for block, source in design.items():
         lines.append(f"    {block:14s} <- {source or '(new design)'}")
     lines.append("")
     lines.append(

@@ -37,6 +37,10 @@ _SWEEP_RECORDS: list[dict] = []
 #: dumped to BENCH_transient.json alongside the other artifacts.
 _TRANSIENT_RECORDS: list[dict] = []
 
+#: optimization-flow measurements pushed via :func:`record_optimize`,
+#: dumped to BENCH_optimize.json alongside the other artifacts.
+_OPTIMIZE_RECORDS: list[dict] = []
+
 
 def record_sweep(name: str, payload: dict) -> None:
     """Archive one sweep-throughput measurement into BENCH_sweep.json."""
@@ -46,6 +50,11 @@ def record_sweep(name: str, payload: dict) -> None:
 def record_transient(name: str, payload: dict) -> None:
     """Archive one hot-path measurement into BENCH_transient.json."""
     _TRANSIENT_RECORDS.append({"benchmark": name, **payload})
+
+
+def record_optimize(name: str, payload: dict) -> None:
+    """Archive one optimize-flow measurement into BENCH_optimize.json."""
+    _OPTIMIZE_RECORDS.append({"benchmark": name, **payload})
 
 
 @pytest.fixture(autouse=True)
@@ -93,6 +102,16 @@ def pytest_sessionfinish(session, exitstatus):
             "benchmarks": _TRANSIENT_RECORDS,
         }
         (OUTPUT_DIR / "BENCH_transient.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+    if _OPTIMIZE_RECORDS:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        payload = {
+            "schema": "bench-optimize-v1",
+            "cpu_count": os.cpu_count(),
+            "benchmarks": _OPTIMIZE_RECORDS,
+        }
+        (OUTPUT_DIR / "BENCH_optimize.json").write_text(
             json.dumps(payload, indent=2) + "\n"
         )
 

@@ -1,9 +1,16 @@
-"""The full top-down design flow of Section 2, driven programmatically.
+"""The full top-down design flow of Section 2, closed by ``repro optimize``.
 
-describe -> analyze -> budget -> implement (re-use) -> verify, on the
-image-rejection tuner, with the flow log printed at the end.
+describe -> analyze -> derive specs -> re-use or size -> verify, on the
+image-rejection tuner.  Where the old version of this example read the
+phase budget off Fig. 5 by hand and hand-picked the reused cells, this
+one runs the :mod:`repro.optimize` pipeline: the Fig. 5 sweep surface is
+inverted into block specs, the cell database is queried against its
+recorded simulation data, and the block nothing qualifies for (the
+high-gain mixer) is sized by differential evolution down to a generated
+Gummel-Poon model card.
 
 Run:  python examples/top_down_flow.py
+      python -m repro.cli optimize          # the same loop from the CLI
 """
 
 import math
@@ -19,13 +26,14 @@ from repro.core import (
     SpecificationSet,
     TopDownFlow,
 )
-from repro.rfsystems import FrequencyPlan, required_matching
+from repro.optimize import run_optimize_flow
+from repro.rfsystems import FrequencyPlan
 
 RF = 400e6
 PLAN = FrequencyPlan()
 
 
-def build_flow() -> TopDownFlow:
+def build_flow(db) -> TopDownFlow:
     design = Design("catv_ir_tuner")
     system_specs = SpecificationSet("system", [
         Specification("image_rejection_db", 30.0, Comparison.AT_LEAST,
@@ -33,8 +41,7 @@ def build_flow() -> TopDownFlow:
         Specification("conversion_gain_db", 0.0, Comparison.AT_LEAST,
                       unit="dB"),
     ])
-    flow = TopDownFlow(design, system_specs,
-                       cell_database=seed_database())
+    flow = TopDownFlow(design, system_specs, cell_database=db)
 
     # -- step 1: describe every block behaviorally (AHDL level) --------------
     flow.describe_block(
@@ -90,7 +97,8 @@ def measure(flow: TopDownFlow):
 
 
 def main() -> None:
-    flow = build_flow()
+    db = seed_database()
+    flow = build_flow(db)
 
     # -- step 2: analyze the whole system at the behavioral level -----------
     measurements = flow.analyze({"rf": tone(RF, 1e-3)}, measure(flow))
@@ -98,31 +106,41 @@ def main() -> None:
     for key, value in sorted(measurements.items()):
         print(f"  {key} = {value:.1f}")
 
-    # -- step 3: budget block specs from the system requirement -------------
-    phase_budget = required_matching(30.0, gain_error=0.01)
-    flow.budget_spec(
-        "ir_mixer",
-        Specification("phase_error_deg", phase_budget, Comparison.AT_MOST,
-                      unit="deg"),
-        rationale="Fig. 5 read-off: 30 dB IRR at 1 % gain balance",
-    )
-    flow.budget_spec(
-        "ir_mixer",
-        Specification("gain_error", 0.01, Comparison.AT_MOST),
-        rationale="chosen gain-balance point on Fig. 5",
-    )
+    # -- steps 3+4: run the optimization loop --------------------------------
+    # sweep -> derive specs -> spec-driven reuse lookup -> size what's
+    # left -> regenerate the Gummel-Poon model for the sized geometry.
+    report = run_optimize_flow(irr_target_db=30.0, gain_corner=0.01,
+                               db=db, population=12, generations=25)
+    print()
+    print(report.summary())
 
-    # -- step 4: implement blocks at the transistor level (re-use) ----------
-    db = flow.cell_database
+    # The derived specs become the flow's budget, with the derivation
+    # itself as the rationale (previously a hand read-off of Fig. 5).
+    for spec in report.derivation.specs.to_specifications():
+        flow.budget_spec(
+            "ir_mixer", spec,
+            rationale="derived by repro optimize from the Fig. 5 sweep",
+        )
+
+    # Implement the blocks from the loop's sourcing decisions.
     flow.implement_block("front_end", db.get("RF-AGC-AMP").schematic,
                          from_cell="RF-AGC-AMP")
-    flow.implement_block("ir_mixer", db.get("DNMIX-45").schematic,
-                         from_cell="DNMIX-45")
+    if report.mixer_reuse.reused:
+        chosen = report.mixer_reuse.chosen.name
+        flow.implement_block("ir_mixer", db.get(chosen).schematic,
+                             from_cell=chosen)
+    else:
+        # Sized, not reused: the generated model card is the
+        # transistor-level starting point.
+        flow.implement_block(
+            "ir_mixer",
+            report.sizing.model_card + "\n* sized by repro optimize\n",
+        )
 
     # -- step 5: verify ------------------------------------------------------
-    report = flow.verify({"rf": tone(RF, 1e-3)}, measure(flow))
+    verification = flow.verify({"rf": tone(RF, 1e-3)}, measure(flow))
     print("\nverification:")
-    for check in report.checks:
+    for check in verification.checks:
         print(f"  {check.describe()}")
 
     stats = flow.reuse_statistics()

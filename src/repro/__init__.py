@@ -13,6 +13,9 @@ Subpackages:
 * :mod:`repro.rfsystems` — tuners, image rejection, ring oscillators
 * :mod:`repro.celldb` — analog cell reuse database (Section 3)
 * :mod:`repro.core` — top-down design flow (Section 2)
+* :mod:`repro.sweep` — parallel sweep / Monte-Carlo orchestration
+* :mod:`repro.optimize` — spec-driven design optimization closing the
+  top-down loop (``repro optimize``)
 """
 
 __version__ = "1.0.0"

@@ -55,6 +55,13 @@ class SystemModel:
             raise DesignError(
                 f"chain of {len(blocks)} blocks needs {len(blocks) + 1} nets"
             )
+        for block in blocks:
+            if len(block.inputs) != 1 or len(block.outputs) != 1:
+                raise DesignError(
+                    f"chain needs single-in/single-out blocks; "
+                    f"{block.name!r} has {len(block.inputs)} input(s) and "
+                    f"{len(block.outputs)} output(s)"
+                )
         for i, block in enumerate(blocks):
             self.add(block, inputs=[nets[i]], outputs=[nets[i + 1]])
 
@@ -129,6 +136,17 @@ class SystemModel:
         if not outputs:
             raise DesignError("as_block needs at least one output")
         internal_nets = self.nets()
+        driven = {
+            net for inst in self._instances.values()
+            for net in inst.output_nets.values()
+        }
+        for port, net in inputs.items():
+            if net in driven:
+                raise DesignError(
+                    f"input {port!r}: net {net!r} is driven by a block "
+                    f"inside system {self.name!r}; map inputs to "
+                    "stimulus nets"
+                )
         for port, net in outputs.items():
             if net not in internal_nets:
                 raise DesignError(

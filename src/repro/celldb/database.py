@@ -44,6 +44,25 @@ class AuditEvent:
     detail: str = ""
 
 
+def _same(value: str, wanted: str) -> bool:
+    """Case-insensitive category component comparison."""
+    return value.lower() == wanted.lower()
+
+
+def _meets_ranges(cell: Cell, spec_ranges: dict) -> bool:
+    """Whether a cell's recorded simulation data satisfies every range."""
+    summary = cell.simulation_summary()
+    for name, (low, high) in spec_ranges.items():
+        if name not in summary:
+            return False
+        value = summary[name]
+        if low is not None and value < low:
+            return False
+        if high is not None and value > high:
+            return False
+    return True
+
+
 class AnalogCellDatabase:
     """In-memory cell store with JSON persistence and an audit trail."""
 
@@ -170,20 +189,52 @@ class AnalogCellDatabase:
     def search(self, keyword: str | None = None,
                library: str | None = None,
                category1: str | None = None,
-               category2: str | None = None) -> list[Cell]:
-        """Keyword/category search, ANDed; all filters optional."""
+               category2: str | None = None,
+               spec_ranges: dict | None = None) -> list[Cell]:
+        """Keyword/category search, ANDed; all filters optional.
+
+        Category filters are case-insensitive (``library="tvr"`` matches
+        the ``TVR`` library).  ``spec_ranges`` filters on the cells'
+        recorded simulation data: ``{"gain_db": (10.0, None)}`` keeps
+        cells whose merged :meth:`~repro.celldb.model.Cell.simulation_summary`
+        records ``gain_db`` of at least 10 (``(None, hi)`` bounds from
+        above, ``(lo, hi)`` both ways).  A cell with *no* recorded value
+        for a constrained quantity is excluded — unknown performance
+        cannot satisfy a requirement.
+        """
+        if spec_ranges:
+            for name, bounds in spec_ranges.items():
+                try:
+                    low, high = bounds
+                except (TypeError, ValueError):
+                    raise CellDatabaseError(
+                        f"spec range {name!r} must be a (low, high) pair, "
+                        f"got {bounds!r}"
+                    ) from None
         hits = []
         for cell in self.cells():
-            if library and cell.category.library != library:
+            if library and not _same(cell.category.library, library):
                 continue
-            if category1 and cell.category.category1 != category1:
+            if category1 and not _same(cell.category.category1, category1):
                 continue
-            if category2 and cell.category.category2 != category2:
+            if category2 and not _same(cell.category.category2, category2):
                 continue
             if keyword and not cell.matches_keyword(keyword):
                 continue
+            if spec_ranges and not _meets_ranges(cell, spec_ranges):
+                continue
             hits.append(cell)
         return hits
+
+    def meeting_specs(self, spec_ranges: dict, **filters) -> list[Cell]:
+        """Cells whose recorded simulation data falls inside every range.
+
+        Sugar over :meth:`search` with ``spec_ranges`` — the entry point
+        of the paper's "re-use before you design" lookup
+        (:mod:`repro.optimize.reuse` builds its ranges from a
+        :class:`~repro.optimize.spec.SpecSet`).
+        """
+        return self.search(spec_ranges=spec_ranges, **filters)
 
     def copy_for_reuse(self, name: str) -> Cell:
         """Check a cell out for re-use in a new design.

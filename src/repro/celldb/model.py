@@ -141,3 +141,15 @@ class Cell:
         if any(needle in k.lower() for k in self.keywords):
             return True
         return needle in self.document.lower()
+
+    def simulation_summary(self) -> dict[str, float]:
+        """All recorded simulation figures, merged into one dict.
+
+        Later records win on duplicate keys (a re-characterisation
+        supersedes the original numbers).  This is the machine-readable
+        face the re-use search filters on.
+        """
+        merged: dict[str, float] = {}
+        for record in self.simulations:
+            merged.update(record.summary)
+        return merged

@@ -185,6 +185,10 @@ def seed_database() -> AnalogCellDatabase:
         schematic=_mixer_deck("UPMIX"), behavior=_MIXER_AHDL,
         keywords=("tuner", "mixer", "upconversion", "1st IF"),
         origin="TA8804",
+        sims=(SimulationRecord("conversion", "tran",
+                               {"conversion_gain_db": 3.5,
+                                "tail_current_ma": 2.0,
+                                "gain_error": 0.02}),),
     ))
     db.register(_cell(
         "DNMIX-45", "TVR/Tuner/Mixer",
@@ -194,6 +198,10 @@ def seed_database() -> AnalogCellDatabase:
         schematic=_mixer_deck("DNMIX"), behavior=_MIXER_AHDL,
         keywords=("tuner", "mixer", "downconversion", "2nd IF", "image"),
         origin="TA8822",
+        sims=(SimulationRecord("conversion", "tran",
+                               {"conversion_gain_db": 4.5,
+                                "gain_error": 0.008,
+                                "tail_current_ma": 2.0}),),
     ))
     db.register(_cell(
         "PHASE90-VCO", "TVR/Tuner/Phase shifter",
@@ -204,6 +212,9 @@ def seed_database() -> AnalogCellDatabase:
         schematic=_follower_deck("PH90VCO"), behavior=_SHIFTER_AHDL,
         keywords=("tuner", "phase shifter", "quadrature", "vco", "90"),
         origin="TA8822",
+        sims=(SimulationRecord("quadrature", "behavioral",
+                               {"phase_error_deg": 1.8,
+                                "gain_error": 0.006}),),
     ))
     db.register(_cell(
         "PHASE90-IF", "TVR/Tuner/Phase shifter",
@@ -213,6 +224,9 @@ def seed_database() -> AnalogCellDatabase:
         schematic=_follower_deck("PH90IF"), behavior=_SHIFTER_AHDL,
         keywords=("tuner", "phase shifter", "image rejection", "90"),
         origin="TA8822",
+        sims=(SimulationRecord("quadrature", "behavioral",
+                               {"phase_error_deg": 1.5,
+                                "gain_error": 0.005}),),
     ))
     db.register(_cell(
         "IF-ADDER", "TVR/Tuner/Combiner",

@@ -13,6 +13,12 @@
 
 ``python -m repro.cli shapes``
     Print the layout report for the paper's Fig. 8 shape taxonomy.
+
+``python -m repro.cli optimize [--irr-target DB] [--jobs N] ...``
+    Run the spec-driven top-down loop: Fig. 5 system sweep, block-spec
+    derivation, cell-database re-use lookup, differential-evolution
+    sizing of what cannot be re-used, and Gummel-Poon model
+    regeneration for the sized geometry.
 """
 
 from __future__ import annotations
@@ -96,6 +102,23 @@ def _cmd_shapes(args) -> int:
     return 0
 
 
+def _cmd_optimize(args) -> int:
+    from .optimize import run_optimize_flow
+
+    report = run_optimize_flow(
+        irr_target_db=args.irr_target,
+        gain_corner=args.gain_corner,
+        conversion_gain_db=args.gain_target,
+        executor="process" if args.jobs else None,
+        jobs=args.jobs,
+        seed=args.seed,
+        population=args.population,
+        generations=args.generations,
+    )
+    print(report.summary())
+    return 0 if report.closed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -148,6 +171,43 @@ def build_parser() -> argparse.ArgumentParser:
     select_cmd.add_argument("current",
                             help="collector current, e.g. 4m or 2.5e-3")
     select_cmd.set_defaults(handler=_cmd_select)
+
+    optimize_cmd = commands.add_parser(
+        "optimize",
+        help="run the spec-driven top-down optimization loop",
+    )
+    optimize_cmd.add_argument(
+        "--irr-target", type=float, default=30.0, dest="irr_target",
+        metavar="DB", help="system image-rejection target (default 30 dB)",
+    )
+    optimize_cmd.add_argument(
+        "--gain-corner", type=float, default=0.01, dest="gain_corner",
+        metavar="FRAC",
+        help="gain-balance corner for spec derivation (default 0.01)",
+    )
+    optimize_cmd.add_argument(
+        "--gain-target", type=float, default=12.0, dest="gain_target",
+        metavar="DB",
+        help="mixer conversion-gain requirement (default 12 dB)",
+    )
+    optimize_cmd.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan sweep and sizing evaluations over N worker processes",
+    )
+    optimize_cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="optimizer seed (same seed -> bit-identical result on any "
+             "executor)",
+    )
+    optimize_cmd.add_argument(
+        "--population", type=int, default=12, metavar="NP",
+        help="differential-evolution population size (default 12)",
+    )
+    optimize_cmd.add_argument(
+        "--generations", type=int, default=25, metavar="NG",
+        help="differential-evolution generation budget (default 25)",
+    )
+    optimize_cmd.set_defaults(handler=_cmd_optimize)
     return parser
 
 

@@ -1,0 +1,80 @@
+"""Spec-driven design optimization: closing the top-down loop.
+
+The paper's methodology runs system simulation -> block specs ->
+re-use-or-design -> geometry-true device models.  This package makes
+that loop executable:
+
+- :mod:`~repro.optimize.spec` — specs as scored objects
+  (:class:`Spec`, :class:`SpecSet`) with smooth penalties usable as
+  optimizer objectives.
+- :mod:`~repro.optimize.derive` — derive block specs from a
+  system-level sweep surface (the Fig. 5 image-rejection chart,
+  inverted).
+- :mod:`~repro.optimize.reuse` — check the analog cell database for a
+  qualifying cell before designing (the paper's >70 % re-use claim).
+- :mod:`~repro.optimize.optimizers` — deterministic derivative-free
+  optimizers (coordinate search, Nelder-Mead, differential evolution)
+  whose population evaluations fan out through the sweep engine:
+  parallel, cached, failure-tolerant, and bit-identical across
+  executors for a fixed seed.
+- :mod:`~repro.optimize.flow` — the end-to-end ``repro optimize``
+  pipeline: sweep, derive, re-use, size, regenerate Gummel-Poon
+  models.
+"""
+
+from .spec import BoundKind, Spec, SpecScore, SpecSet
+from .derive import (
+    SpecDerivation,
+    derive_image_rejection_specs,
+    derive_phase_allowances,
+    invert_threshold,
+)
+from .reuse import (
+    ReuseCandidate,
+    ReuseReport,
+    commit_reuse,
+    find_reusable_cells,
+    judge_cell,
+)
+from .optimizers import (
+    DEFAULT_FAILURE_PENALTY,
+    OptimizeResult,
+    Parameter,
+    coordinate_search,
+    differential_evolution,
+    nelder_mead,
+    spec_objective,
+)
+from .flow import (
+    OptimizeFlowReport,
+    SizingOutcome,
+    mixer_sizing_specs,
+    run_optimize_flow,
+)
+
+__all__ = [
+    "BoundKind",
+    "Spec",
+    "SpecScore",
+    "SpecSet",
+    "SpecDerivation",
+    "invert_threshold",
+    "derive_phase_allowances",
+    "derive_image_rejection_specs",
+    "ReuseCandidate",
+    "ReuseReport",
+    "judge_cell",
+    "find_reusable_cells",
+    "commit_reuse",
+    "Parameter",
+    "OptimizeResult",
+    "spec_objective",
+    "coordinate_search",
+    "nelder_mead",
+    "differential_evolution",
+    "DEFAULT_FAILURE_PENALTY",
+    "OptimizeFlowReport",
+    "SizingOutcome",
+    "mixer_sizing_specs",
+    "run_optimize_flow",
+]

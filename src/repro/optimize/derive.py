@@ -1,0 +1,201 @@
+"""Spec derivation from system-level sweeps (automating the Fig. 5 read).
+
+Section 2 of the paper derives block specifications from system-level
+behavioral sweeps: "assume that a system designer requests an image
+rejection ratio of 30 dB" — the designer then reads the IRR-vs-phase-
+error family (gain balance as parameter) and picks the allowable phase
+error and gain balance for the 90-degree shifters.  This module does
+the read-off mechanically:
+
+* :func:`invert_threshold` — generic monotone curve inversion with
+  linear interpolation between sweep samples,
+* :func:`derive_phase_allowances` — the whole Fig. 5 family inverted at
+  an IRR target (one allowance per swept gain balance),
+* :func:`derive_image_rejection_specs` — the end product: a
+  :class:`~repro.optimize.spec.SpecSet` for the image-rejection mixer
+  (max phase error, max gain error) derived from a
+  :class:`~repro.sweep.SweepResult` over the ``phase`` x ``gain`` grid.
+
+The sweep is the source of truth — the derivation never calls the
+closed-form IRR law, so it works unchanged when the sweep points come
+from the behavioral simulator or (via mixed-level refinement) from
+transistor-level runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DesignError
+from ..sweep import SweepResult
+from .spec import BoundKind, Spec, SpecSet
+
+
+def invert_threshold(x, y, target: float) -> float | None:
+    """Largest ``x`` with ``y(x) >= target`` on a decreasing sampled curve.
+
+    ``x`` must be strictly increasing; ``y`` is expected to decrease
+    (the usual shape of a degradation-vs-imperfection curve).  The
+    crossing is located by linear interpolation between the bracketing
+    samples; ``+inf`` samples (a perfect point, e.g. IRR at zero phase
+    error) are handled by interpolating from the last finite sample.
+    Returns None when even ``x[0]`` misses the target, and ``x[-1]``
+    when the whole curve clears it.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.ndim != 1 or x.shape != y.shape or len(x) < 2:
+        raise DesignError(
+            "threshold inversion needs two same-length 1-D arrays with "
+            "at least two samples"
+        )
+    if np.any(np.diff(x) <= 0):
+        raise DesignError("threshold inversion needs strictly increasing x")
+    above = y >= target
+    if not above[0]:
+        return None
+    if above[-1]:
+        return float(x[-1])
+    # First index where the curve has dropped below the target.
+    drop = int(np.argmin(above))
+    x0, x1 = x[drop - 1], x[drop]
+    y0, y1 = y[drop - 1], y[drop]
+    if not np.isfinite(y0):
+        # The bracket's upper sample is perfect (infinite); the best
+        # linear statement available is the segment's lower end.
+        return float(x0)
+    if y0 == y1:
+        return float(x0)
+    fraction = (y0 - target) / (y0 - y1)
+    return float(x0 + fraction * (x1 - x0))
+
+
+@dataclass(frozen=True)
+class SpecDerivation:
+    """A derived spec set plus the evidence it was derived from."""
+
+    specs: SpecSet
+    irr_target_db: float
+    gain_corner: float  #: the gain-balance corner actually used
+    phase_allowance_deg: float  #: largest phase error meeting the target
+    allowances: dict  #: {gain_error: phase allowance or None} full family
+
+    def summary(self) -> str:
+        lines = [
+            f"derived from Fig. 5 sweep at IRR >= "
+            f"{self.irr_target_db:g} dB:",
+            f"  gain corner {self.gain_corner * 100:g} % -> phase error "
+            f"<= {self.phase_allowance_deg:.3f} deg",
+            "  full family:",
+        ]
+        for gain, allowance in sorted(self.allowances.items()):
+            text = ("unreachable" if allowance is None
+                    else f"{allowance:.3f} deg")
+            lines.append(f"    gain {gain * 100:5.1f} % -> {text}")
+        return "\n".join(lines)
+
+
+def _family_from_sweep(sweep) -> dict:
+    """``{gain: ([phases], [irrs])}`` from a SweepResult or fig5 dict."""
+    if isinstance(sweep, SweepResult):
+        family: dict[float, list] = {}
+        for point, value in zip(sweep.points, sweep.values):
+            params = point.params
+            if "phase" not in params or "gain" not in params:
+                raise DesignError(
+                    "spec derivation needs sweep points with 'phase' and "
+                    f"'gain' parameters; got {sorted(params)}"
+                )
+            if value is None:
+                continue  # failed point under on_error="skip"
+            family.setdefault(float(params["gain"]), []).append(
+                (float(params["phase"]), float(value))
+            )
+    elif isinstance(sweep, dict):
+        # The {gain: [(phase, irr), ...]} shape fig5_sweep returns.
+        family = {
+            float(gain): [(float(p), float(v)) for p, v in pairs
+                          if v is not None]
+            for gain, pairs in sweep.items()
+        }
+    else:
+        raise DesignError(
+            f"cannot derive specs from {type(sweep).__name__}; expected "
+            "a SweepResult or a fig5_sweep {gain: [(phase, irr)]} dict"
+        )
+    curves = {}
+    for gain, pairs in family.items():
+        pairs.sort(key=lambda pv: pv[0])
+        if len(pairs) < 2:
+            raise DesignError(
+                f"gain balance {gain:g}: need at least two surviving "
+                "phase points to invert the sweep"
+            )
+        phases = [p for p, _ in pairs]
+        irrs = [v for _, v in pairs]
+        curves[gain] = (phases, irrs)
+    if not curves:
+        raise DesignError("sweep has no usable points to derive from")
+    return curves
+
+
+def derive_phase_allowances(sweep, irr_target_db: float) -> dict:
+    """Invert the Fig. 5 family: per swept gain balance, the largest
+    phase error still meeting the IRR target (None if unreachable)."""
+    return {
+        gain: invert_threshold(phases, irrs, irr_target_db)
+        for gain, (phases, irrs) in _family_from_sweep(sweep).items()
+    }
+
+
+def derive_image_rejection_specs(
+    sweep,
+    irr_target_db: float,
+    gain_corner: float,
+    owner: str = "ir_mixer",
+    margin_deg: float = 0.0,
+) -> SpecDerivation:
+    """Derive the image-rejection mixer's block specs from a system sweep.
+
+    ``sweep`` is the Fig. 5 grid — a :class:`~repro.sweep.SweepResult`
+    over ``phase`` x ``gain`` (see
+    :func:`repro.rfsystems.fig5_sweep_result`) or the dict
+    :func:`~repro.rfsystems.fig5_sweep` returns.  ``gain_corner`` picks
+    the gain-balance curve to read (the nearest swept value is used);
+    ``margin_deg`` tightens the derived phase spec by a design margin.
+
+    Returns a :class:`SpecDerivation` whose spec set bounds the phase
+    shifter's error (``phase_error_deg``, UPPER) and the path gain
+    imbalance (``gain_error``, UPPER) — exactly the pair the paper's
+    designer writes down after looking at Fig. 5.
+    """
+    if not math.isfinite(irr_target_db):
+        raise DesignError("IRR target must be finite")
+    allowances = derive_phase_allowances(sweep, irr_target_db)
+    gains = sorted(allowances)
+    corner = min(gains, key=lambda g: abs(g - gain_corner))
+    allowance = allowances[corner]
+    if allowance is None:
+        reachable = [g for g in gains if allowances[g] is not None]
+        raise DesignError(
+            f"IRR {irr_target_db:g} dB is unreachable at gain balance "
+            f"{corner:g} (even a perfect phase shifter falls short); "
+            + (f"feasible gain balances: {reachable}" if reachable
+               else "no swept gain balance can meet it")
+        )
+    specs = SpecSet(owner, [
+        Spec("phase_error_deg", allowance, BoundKind.UPPER, unit="deg",
+             margin=margin_deg, scale=max(allowance, 1.0)),
+        Spec("gain_error", corner, BoundKind.UPPER,
+             scale=max(corner, 0.01)),
+    ])
+    return SpecDerivation(
+        specs=specs,
+        irr_target_db=irr_target_db,
+        gain_corner=corner,
+        phase_allowance_deg=allowance,
+        allowances=allowances,
+    )

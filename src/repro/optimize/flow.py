@@ -1,0 +1,309 @@
+"""The closed top-down loop: sweep -> specs -> reuse-or-size -> models.
+
+This is the paper's Section 2+3+4 story as one executable pipeline
+(CLI: ``repro optimize``):
+
+1. **System sweep** — run the Fig. 5 image-rejection grid (phase error
+   x gain balance) through the behavioral simulator on the parallel
+   sweep engine.
+2. **Derive** — invert the sweep surface at the requested IRR target
+   into block specs for the 90-degree shifter and the mixer paths
+   (:mod:`repro.optimize.derive`).
+3. **Re-use** — look the derived specs up in the analog cell database;
+   a cell whose recorded simulation data qualifies is checked out and
+   counted toward the paper's >70 % reuse rate
+   (:mod:`repro.optimize.reuse`).
+4. **Size** — blocks with no qualifying cell are sized: the Gilbert
+   mixer's bias (tail current, load) and transistor geometry (emitter
+   length) are optimized with differential evolution, conversion gain
+   and fT scored through the geometry-generated Gummel-Poon model
+   (:mod:`repro.optimize.optimizers`).
+5. **Regenerate** — the sized shape's full Gummel-Poon parameter set
+   and ``.MODEL`` card are emitted by
+   :class:`~repro.geometry.ModelParameterGenerator` (the paper's
+   Fig. 10 program), ready for transistor-level verification.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..celldb import AnalogCellDatabase, seed_database
+from ..devices.ft import ft_at_ic
+from ..errors import DesignError
+from ..geometry import (
+    ModelParameterGenerator,
+    TransistorShape,
+    default_reference,
+)
+from ..rfsystems.image_rejection import (
+    fig5_sweep_result,
+    image_rejection_ratio_db,
+)
+from ..rfsystems.mixer_cell import GilbertMixerSpec, ideal_conversion_gain
+from .derive import SpecDerivation, derive_image_rejection_specs
+from .optimizers import (
+    OptimizeResult,
+    Parameter,
+    differential_evolution,
+    spec_objective,
+)
+from .reuse import ReuseReport, commit_reuse, find_reusable_cells
+from .spec import BoundKind, Spec, SpecSet
+
+#: Default Fig. 5 phase-error axis for the derivation sweep (degrees).
+DEFAULT_PHASE_AXIS = (0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0)
+#: Default gain-balance family (fractional), as in the paper's figure.
+DEFAULT_GAIN_AXIS = (0.01, 0.03, 0.05, 0.07, 0.09)
+
+
+def _mixer_measurements(params: dict, *, generator: ModelParameterGenerator,
+                        vcc: float) -> dict:
+    """Electrical figures of one Gilbert-mixer sizing candidate.
+
+    ``params`` carries the knobs (``tail_current``, ``load_resistance``,
+    ``emitter_length``); the transistor model is regenerated from the
+    candidate's geometry, so the score moves with physical shape laws,
+    not a bare area factor.  Module-level and driven through a partial
+    so it pickles for the process executor.
+    """
+    ic = params["tail_current"]
+    rl = params["load_resistance"]
+    shape = TransistorShape(emitter_width=1.2,
+                            emitter_length=params["emitter_length"],
+                            emitter_strips=1, base_stripes=2)
+    model = generator.generate(shape)
+    spec = GilbertMixerSpec(vcc=vcc, load_resistance=rl, tail_current=ic)
+    gain = ideal_conversion_gain(model, spec)
+    ft = ft_at_ic(model, ic / 2.0).ft
+    return {
+        "conversion_gain_db": 20.0 * math.log10(max(gain, 1e-12)),
+        "ft_ghz": ft / 1e9,
+        "load_drop_v": ic * rl,
+        "power_mw": vcc * ic * 1e3,
+    }
+
+
+def _power_cost(params: dict, measurements: dict) -> float:
+    """Tie-breaker once specs are met: prefer the lowest-power sizing."""
+    return 0.01 * measurements["power_mw"]
+
+
+def mixer_sizing_specs(conversion_gain_db: float, ft_min_ghz: float,
+                       headroom_v: float) -> SpecSet:
+    """The sizing spec set for the Gilbert mixer cell."""
+    return SpecSet("gilbert_mixer", [
+        Spec("conversion_gain_db", conversion_gain_db, BoundKind.LOWER,
+             unit="dB"),
+        Spec("ft_ghz", ft_min_ghz, BoundKind.LOWER, unit="GHz"),
+        Spec("load_drop_v", headroom_v, BoundKind.UPPER, unit="V"),
+    ])
+
+
+@dataclass(frozen=True)
+class SizingOutcome:
+    """A sized mixer: optimizer result, electrical spec, model card."""
+
+    result: OptimizeResult
+    measurements: dict  #: figures of the winning candidate
+    mixer_spec: GilbertMixerSpec
+    shape: TransistorShape
+    model_card: str
+    specs_met: bool
+
+    def summary(self) -> str:
+        lines = [self.result.summary()]
+        lines.append(
+            f"  sized: Ic={self.mixer_spec.tail_current * 1e3:.3f} mA, "
+            f"RL={self.mixer_spec.load_resistance:.0f} ohm, "
+            f"shape {self.shape.name}"
+        )
+        lines.append(
+            f"  delivers: {self.measurements['conversion_gain_db']:.1f} dB "
+            f"conversion gain, fT {self.measurements['ft_ghz']:.2f} GHz, "
+            f"{self.measurements['power_mw']:.2f} mW "
+            f"({'specs met' if self.specs_met else 'SPECS NOT MET'})"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class OptimizeFlowReport:
+    """Everything the ``repro optimize`` pipeline produced."""
+
+    irr_target_db: float
+    derivation: SpecDerivation
+    shifter_reuse: ReuseReport
+    mixer_reuse: ReuseReport
+    reuse_fraction: float
+    sizing: SizingOutcome | None  #: None when the mixer was re-used
+    predicted_irr_db: float  #: closed-loop check with the chosen blocks
+    events: list = field(default_factory=list)  #: stage-by-stage log
+
+    @property
+    def closed(self) -> bool:
+        """Whether the loop closed: system target met by chosen blocks."""
+        return self.predicted_irr_db >= self.irr_target_db
+
+    def summary(self) -> str:
+        lines = [f"repro optimize — top-down loop at IRR >= "
+                 f"{self.irr_target_db:g} dB"]
+        for stage, text in self.events:
+            lines.append(f"\n[{stage}]")
+            lines.extend(f"  {line}" for line in text.splitlines())
+        verdict = "CLOSED" if self.closed else "NOT CLOSED"
+        lines.append(
+            f"\nloop {verdict}: predicted IRR with chosen blocks = "
+            f"{self.predicted_irr_db:.1f} dB "
+            f"(target {self.irr_target_db:g} dB), "
+            f"reuse rate {self.reuse_fraction * 100:.0f} %"
+        )
+        return "\n".join(lines)
+
+
+def run_optimize_flow(
+    irr_target_db: float = 30.0,
+    gain_corner: float = 0.01,
+    conversion_gain_db: float = 12.0,
+    ft_min_ghz: float = 4.0,
+    headroom_v: float = 1.5,
+    vcc: float = 5.0,
+    db: AnalogCellDatabase | None = None,
+    generator: ModelParameterGenerator | None = None,
+    phase_axis=DEFAULT_PHASE_AXIS,
+    gain_axis=DEFAULT_GAIN_AXIS,
+    executor=None,
+    jobs: int | None = None,
+    cache=None,
+    seed: int = 0,
+    population: int = 12,
+    generations: int = 25,
+) -> OptimizeFlowReport:
+    """Run the whole spec-driven optimization loop; returns the report.
+
+    ``executor``/``jobs``/``cache`` flow into both the Fig. 5 system
+    sweep and the differential-evolution population evaluations; with a
+    fixed ``seed`` the outcome is bit-identical on every executor.
+    """
+    import functools
+
+    if db is None:
+        db = seed_database()
+    if generator is None:
+        generator = ModelParameterGenerator(reference=default_reference())
+    events: list = []
+
+    # -- 1: system-level sweep (Fig. 5) --------------------------------------------
+    sweep = fig5_sweep_result(
+        phase_axis, gain_axis, executor=executor, jobs=jobs, cache=cache,
+        on_error="skip",
+    )
+    events.append(("system sweep", sweep.stats.summary()))
+
+    # -- 2: derive block specs from the sweep surface ------------------------------
+    derivation = derive_image_rejection_specs(
+        sweep, irr_target_db, gain_corner, owner="ir_mixer")
+    events.append(("derive", derivation.summary()))
+
+    # -- 3: re-use lookup against the cell database --------------------------------
+    shifter_reuse = find_reusable_cells(
+        db, derivation.specs, keyword="phase shifter", library="TVR")
+    if shifter_reuse.reused:
+        commit_reuse(db, shifter_reuse)
+    events.append(("reuse: phase shifter", shifter_reuse.summary()))
+
+    mixer_specs = SpecSet("dn_mixer", [
+        Spec("conversion_gain_db", conversion_gain_db, BoundKind.LOWER,
+             unit="dB"),
+        Spec("gain_error", derivation.specs.get("gain_error").target,
+             BoundKind.UPPER, scale=0.01),
+    ])
+    mixer_reuse = find_reusable_cells(
+        db, mixer_specs, keyword="mixer", library="TVR")
+    if mixer_reuse.reused:
+        commit_reuse(db, mixer_reuse)
+    events.append(("reuse: mixer", mixer_reuse.summary()))
+
+    # -- 4: size what could not be re-used ------------------------------------------
+    sizing = None
+    if not mixer_reuse.reused:
+        sizing_specs = mixer_sizing_specs(conversion_gain_db, ft_min_ghz,
+                                          headroom_v)
+        objective = spec_objective(
+            sizing_specs,
+            functools.partial(_mixer_measurements, generator=generator,
+                              vcc=vcc),
+            extra_cost=_power_cost,
+        )
+        result = differential_evolution(
+            objective,
+            [
+                Parameter("tail_current", 2e-4, 8e-3, initial=2e-3,
+                          log=True),
+                Parameter("load_resistance", 100.0, 2000.0, initial=500.0,
+                          log=True),
+                Parameter("emitter_length", 2.0, 24.0, initial=6.0),
+            ],
+            seed=seed, population=population, generations=generations,
+            executor=executor, jobs=jobs, cache=cache,
+        )
+        measurements = _mixer_measurements(result.best_params,
+                                           generator=generator, vcc=vcc)
+        shape = TransistorShape(
+            emitter_width=1.2,
+            emitter_length=result.best_params["emitter_length"],
+            emitter_strips=1, base_stripes=2,
+        )
+        # -- 5: regenerate the Gummel-Poon model for the sized shape ---------
+        sizing = SizingOutcome(
+            result=result,
+            measurements=measurements,
+            mixer_spec=GilbertMixerSpec(
+                vcc=vcc,
+                load_resistance=result.best_params["load_resistance"],
+                tail_current=result.best_params["tail_current"],
+            ),
+            shape=shape,
+            model_card=generator.model_card(shape),
+            specs_met=sizing_specs.satisfied_by(measurements),
+        )
+        events.append(("size: mixer", sizing.summary()))
+        events.append(("regenerate", "Gummel-Poon model for "
+                       f"{shape.name}:\n{sizing.model_card}"))
+
+    # -- close the loop: predicted system IRR with the chosen blocks ---------------
+    if shifter_reuse.reused:
+        phase_err = shifter_reuse.chosen.measurements["phase_error_deg"]
+        gain_err = shifter_reuse.chosen.measurements.get(
+            "gain_error", derivation.specs.get("gain_error").target)
+    else:
+        # A newly designed shifter would be built to the derived spec.
+        phase_err = derivation.phase_allowance_deg
+        gain_err = derivation.specs.get("gain_error").target
+    predicted = float(image_rejection_ratio_db(phase_err, gain_err))
+
+    # Reuse audit over the blocks this loop touched.
+    blocks = {
+        "phase_shifter": (shifter_reuse.chosen.name
+                          if shifter_reuse.reused else None),
+        "mixer_i": mixer_reuse.chosen.name if mixer_reuse.reused else None,
+        "mixer_q": mixer_reuse.chosen.name if mixer_reuse.reused else None,
+    }
+    stats = db.reuse_statistics(blocks)
+    report = OptimizeFlowReport(
+        irr_target_db=irr_target_db,
+        derivation=derivation,
+        shifter_reuse=shifter_reuse,
+        mixer_reuse=mixer_reuse,
+        reuse_fraction=stats.reuse_fraction,
+        sizing=sizing,
+        predicted_irr_db=predicted,
+        events=events,
+    )
+    if not report.closed and sizing is None and not shifter_reuse.reused:
+        raise DesignError(
+            "optimization loop cannot close: no reusable shifter and "
+            "no sizing stage ran"
+        )
+    return report

@@ -1,0 +1,137 @@
+"""Re-use before you design: spec-driven cell-database lookup.
+
+Section 3 of the paper: "Investigating the re-use of IC design in the
+authors design group revealed that above 70% of the circuits can be
+re-used."  The precondition for that rate is that a designer *checks
+the library first*.  This module is that check, mechanized: given a
+derived :class:`~repro.optimize.spec.SpecSet`, rank the database's
+cells by how well their **recorded simulation data** meets the specs,
+and only fall through to sizing (:mod:`repro.optimize.optimizers`)
+when nothing qualifies.
+
+A candidate qualifies only on recorded evidence — a cell with no data
+for a constrained quantity is reported with the gap listed, never
+silently accepted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..celldb.database import AnalogCellDatabase
+from ..celldb.model import Cell
+from ..errors import DesignError
+from .spec import SpecSet
+
+
+@dataclass(frozen=True)
+class ReuseCandidate:
+    """One database cell judged against a spec set."""
+
+    cell: Cell
+    measurements: dict  #: the cell's merged recorded simulation data
+    satisfied: bool  #: every spec met on recorded evidence
+    penalty: float  #: smooth spec penalty (inf when data is missing)
+    missing: tuple  #: spec names with no recorded measurement
+
+    @property
+    def name(self) -> str:
+        return self.cell.name
+
+    def describe(self) -> str:
+        if self.satisfied:
+            return (f"{self.name}: meets specs "
+                    f"(penalty {self.penalty:.3g})")
+        if self.missing:
+            return (f"{self.name}: no recorded data for "
+                    f"{list(self.missing)}")
+        return f"{self.name}: misses specs (penalty {self.penalty:.3g})"
+
+
+@dataclass
+class ReuseReport:
+    """Outcome of one reuse lookup: ranked candidates, best pick."""
+
+    specs: SpecSet
+    candidates: list  #: ReuseCandidate, best first
+    chosen: ReuseCandidate | None  #: best fully-qualifying candidate
+
+    @property
+    def reused(self) -> bool:
+        return self.chosen is not None
+
+    def summary(self) -> str:
+        lines = [f"reuse lookup for {self.specs.owner!r}:"]
+        if not self.candidates:
+            lines.append("  no candidate cells in the database")
+        for candidate in self.candidates:
+            marker = "->" if candidate is self.chosen else "  "
+            lines.append(f"  {marker} {candidate.describe()}")
+        decision = (f"re-use {self.chosen.name}" if self.reused
+                    else "design new (no qualifying cell)")
+        lines.append(f"  decision: {decision}")
+        return "\n".join(lines)
+
+
+def judge_cell(cell: Cell, specs: SpecSet) -> ReuseCandidate:
+    """Score one cell's recorded simulation data against a spec set."""
+    measurements = cell.simulation_summary()
+    missing = tuple(name for name in specs.names()
+                    if name not in measurements)
+    penalty = specs.penalty(measurements) if not missing else math.inf
+    satisfied = not missing and specs.satisfied_by(measurements)
+    return ReuseCandidate(
+        cell=cell,
+        measurements=measurements,
+        satisfied=satisfied,
+        penalty=penalty,
+        missing=missing,
+    )
+
+
+def find_reusable_cells(
+    db: AnalogCellDatabase,
+    specs: SpecSet,
+    keyword: str | None = None,
+    library: str | None = None,
+    category1: str | None = None,
+    category2: str | None = None,
+) -> ReuseReport:
+    """Rank the database's candidate cells against a derived spec set.
+
+    ``keyword``/``library``/``category*`` narrow the candidate pool
+    exactly as :meth:`~repro.celldb.AnalogCellDatabase.search` does
+    (case-insensitive); every remaining cell is judged on its recorded
+    simulation data.  Candidates are ordered qualifying-first, then by
+    ascending penalty (most headroom first among qualifiers, closest
+    miss first among the rest); data-less cells rank last.
+
+    The lookup is read-only — call :func:`commit_reuse` (or
+    :meth:`~repro.celldb.AnalogCellDatabase.copy_for_reuse` directly)
+    once the design actually adopts the chosen cell, so the paper's
+    reuse-rate audit counts it.
+    """
+    if len(specs) == 0:
+        raise DesignError("reuse lookup needs a non-empty spec set")
+    pool = db.search(keyword=keyword, library=library,
+                     category1=category1, category2=category2)
+    candidates = [judge_cell(cell, specs) for cell in pool]
+    candidates.sort(key=lambda c: (not c.satisfied, len(c.missing),
+                                   c.penalty, c.name))
+    chosen = next((c for c in candidates if c.satisfied), None)
+    return ReuseReport(specs=specs, candidates=candidates, chosen=chosen)
+
+
+def commit_reuse(db: AnalogCellDatabase, report: ReuseReport) -> Cell:
+    """Check the report's chosen cell out of the database (audited).
+
+    Bumps the cell's reuse counter — the paper's >70 % figure is an
+    audit of exactly these checkouts — and returns the cell.
+    """
+    if report.chosen is None:
+        raise DesignError(
+            f"reuse lookup for {report.specs.owner!r} chose no cell; "
+            "nothing to commit"
+        )
+    return db.copy_for_reuse(report.chosen.name)

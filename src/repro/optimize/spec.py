@@ -1,0 +1,287 @@
+"""Optimization-facing specifications with smooth penalty scoring.
+
+:mod:`repro.core.specs` gives the top-down flow *checkable* specs
+(pass/fail verdicts for the verification step).  Optimizers need more:
+a **smooth, always-defined score** that tells a search how far from
+feasible a candidate is and keeps pulling even deep inside the
+infeasible region.  :class:`Spec` adds that scoring face — a bound kind
+(lower/upper/equal), a required design margin, a normalization scale and
+a weight — and :class:`SpecSet` aggregates a block's specs into the
+scalar objective the :mod:`repro.optimize.optimizers` minimize.
+
+The penalty is the square of a softplus-smoothed violation::
+
+    deficit  = how far the measurement misses target (+ margin),
+               normalized by ``scale``
+    smoothed = (deficit + sqrt(deficit^2 + smoothing^2)) / 2
+    penalty  = weight * smoothed^2
+
+Zero (to within ``smoothing``) when the spec is met with margin,
+quadratically increasing when violated, and C1-continuous at the
+boundary — the shape derivative-free searches like best.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from ..errors import DesignError
+
+
+class BoundKind(Enum):
+    """How a measured value is bounded by the target."""
+
+    LOWER = ">="  #: measured must be at least target (gain, fT, IRR...)
+    UPPER = "<="  #: measured must be at most target (phase error, power)
+    EQUAL = "=="  #: measured must sit within +/- margin of target
+
+
+@dataclass(frozen=True)
+class Spec:
+    """One named requirement with a smooth feasibility score.
+
+    ``margin`` is the *required design margin*: a LOWER spec with target
+    30 and margin 2 scores clean only from 32 up (and an EQUAL spec uses
+    it as its +/- tolerance).  ``scale`` normalizes the deficit so specs
+    in different units compare fairly; it defaults to ``max(|target|,
+    1)``.  ``weight`` trades specs against each other inside a
+    :class:`SpecSet`.
+    """
+
+    name: str
+    target: float
+    kind: BoundKind = BoundKind.LOWER
+    unit: str = ""
+    margin: float = 0.0
+    weight: float = 1.0
+    scale: float | None = None
+    smoothing: float = 1e-4
+
+    def __post_init__(self):
+        if not self.name:
+            raise DesignError("spec needs a name")
+        if self.margin < 0:
+            raise DesignError(f"spec {self.name!r}: margin must be >= 0")
+        if self.kind is BoundKind.EQUAL and self.margin == 0:
+            raise DesignError(
+                f"spec {self.name!r}: EQUAL needs a positive margin "
+                "(the +/- tolerance)"
+            )
+        if self.weight <= 0:
+            raise DesignError(f"spec {self.name!r}: weight must be > 0")
+        if self.scale is not None and self.scale <= 0:
+            raise DesignError(f"spec {self.name!r}: scale must be > 0")
+        if self.smoothing <= 0:
+            raise DesignError(f"spec {self.name!r}: smoothing must be > 0")
+
+    @property
+    def normalization(self) -> float:
+        """The deficit divisor actually used."""
+        if self.scale is not None:
+            return self.scale
+        return max(abs(self.target), 1.0)
+
+    # -- scoring -----------------------------------------------------------------
+
+    def margin_of(self, measured: float) -> float:
+        """Signed headroom beyond target+margin (positive = clean pass).
+
+        In the spec's own units: a LOWER 30 dB spec with margin 2
+        measured at 35 has ``margin_of == 3``.
+        """
+        if math.isnan(measured):
+            return -math.inf
+        if self.kind is BoundKind.LOWER:
+            return measured - (self.target + self.margin)
+        if self.kind is BoundKind.UPPER:
+            return (self.target - self.margin) - measured
+        return self.margin - abs(measured - self.target)
+
+    def deficit(self, measured: float) -> float:
+        """Normalized shortfall: ``-margin_of / normalization``."""
+        headroom = self.margin_of(measured)
+        if math.isinf(headroom):
+            return math.inf if headroom < 0 else -math.inf
+        return -headroom / self.normalization
+
+    def satisfied_by(self, measured: float,
+                     with_margin: bool = True) -> bool:
+        """Hard verdict; ``with_margin=False`` checks the bare target."""
+        if with_margin:
+            return self.margin_of(measured) >= 0.0
+        return replace(self, margin=self.margin
+                       if self.kind is BoundKind.EQUAL else 0.0
+                       ).margin_of(measured) >= 0.0
+
+    def penalty(self, measured: float) -> float:
+        """Smooth scalar cost: ~0 when met with margin, grows
+        quadratically with the normalized violation."""
+        deficit = self.deficit(measured)
+        if math.isinf(deficit):
+            return math.inf if deficit > 0 else 0.0
+        smoothed = 0.5 * (deficit
+                          + math.sqrt(deficit * deficit
+                                      + self.smoothing * self.smoothing))
+        return self.weight * smoothed * smoothed
+
+    # -- bounds for the re-use lookup ---------------------------------------------
+
+    def bound_range(self, with_margin: bool = True) -> tuple:
+        """The acceptable ``(low, high)`` interval of the measurement.
+
+        This is the range handed to
+        :meth:`repro.celldb.AnalogCellDatabase.search` by the re-use
+        lookup.
+        """
+        margin = self.margin if with_margin else (
+            self.margin if self.kind is BoundKind.EQUAL else 0.0
+        )
+        if self.kind is BoundKind.LOWER:
+            return (self.target + margin, None)
+        if self.kind is BoundKind.UPPER:
+            return (None, self.target - margin)
+        return (self.target - margin, self.target + margin)
+
+    def describe(self) -> str:
+        text = f"{self.name} {self.kind.value} {self.target:g}"
+        if self.unit:
+            text += f" {self.unit}"
+        if self.margin and self.kind is not BoundKind.EQUAL:
+            text += f" (margin {self.margin:g})"
+        elif self.kind is BoundKind.EQUAL:
+            text = (f"{self.name} = {self.target:g} ± {self.margin:g}"
+                    + (f" {self.unit}" if self.unit else ""))
+        return text
+
+
+@dataclass(frozen=True)
+class SpecScore:
+    """One spec judged against one measurement."""
+
+    spec: Spec
+    measured: float
+    penalty: float
+    margin: float  #: signed headroom in the spec's units
+    satisfied: bool
+
+    def describe(self) -> str:
+        verdict = "PASS" if self.satisfied else "FAIL"
+        return (f"[{verdict}] {self.spec.describe()} "
+                f"(measured {self.measured:g}, margin {self.margin:+g})")
+
+
+class SpecSet:
+    """A named group of :class:`Spec` with aggregate scoring.
+
+    The scalar :meth:`penalty` is the optimization objective's spec
+    term; :meth:`score` exposes the per-spec breakdown for reports.
+    Iteration order is insertion order.
+    """
+
+    def __init__(self, owner: str, specs=None):
+        self.owner = owner
+        self._specs: dict[str, Spec] = {}
+        for spec in specs or []:
+            self.add(spec)
+
+    def add(self, spec: Spec) -> Spec:
+        """Add one spec; duplicate names are rejected."""
+        if spec.name in self._specs:
+            raise DesignError(f"{self.owner}: duplicate spec {spec.name!r}")
+        self._specs[spec.name] = spec
+        return spec
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self):
+        return iter(self._specs.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def names(self) -> list[str]:
+        """Spec names in insertion order."""
+        return list(self._specs)
+
+    def get(self, name: str) -> Spec:
+        """Look up one spec by name."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise DesignError(
+                f"{self.owner}: no spec named {name!r}"
+            ) from None
+
+    # -- scoring -----------------------------------------------------------------
+
+    def score(self, measurements: dict) -> list[SpecScore]:
+        """Judge measurements spec by spec; missing values score NaN
+        (infinite penalty — unknown performance is not a pass)."""
+        scores = []
+        for spec in self._specs.values():
+            measured = float(measurements.get(spec.name, math.nan))
+            scores.append(SpecScore(
+                spec=spec,
+                measured=measured,
+                penalty=spec.penalty(measured),
+                margin=spec.margin_of(measured),
+                satisfied=spec.satisfied_by(measured),
+            ))
+        return scores
+
+    def penalty(self, measurements: dict) -> float:
+        """Summed smooth penalty over all specs (the objective term)."""
+        return sum(s.penalty for s in self.score(measurements))
+
+    def satisfied_by(self, measurements: dict,
+                     with_margin: bool = True) -> bool:
+        """True when every spec passes."""
+        return all(
+            spec.satisfied_by(float(measurements.get(spec.name, math.nan)),
+                              with_margin=with_margin)
+            for spec in self._specs.values()
+        )
+
+    def worst(self, measurements: dict) -> SpecScore:
+        """The spec with the least headroom (normalized)."""
+        scores = self.score(measurements)
+        if not scores:
+            raise DesignError(f"{self.owner}: spec set is empty")
+        return min(scores, key=lambda s: s.margin / s.spec.normalization)
+
+    def bound_ranges(self, with_margin: bool = True) -> dict:
+        """``{name: (low, high)}`` for the cell-database re-use search."""
+        return {spec.name: spec.bound_range(with_margin)
+                for spec in self._specs.values()}
+
+    # -- bridging to the flow's checkable specs ------------------------------------
+
+    def to_specifications(self):
+        """Convert to :class:`repro.core.specs.Specification` objects so
+        derived specs can be budgeted onto a
+        :class:`~repro.core.flow.TopDownFlow` block."""
+        from ..core.specs import Comparison, Specification
+
+        converted = []
+        for spec in self._specs.values():
+            if spec.kind is BoundKind.LOWER:
+                converted.append(Specification(
+                    spec.name, spec.target, Comparison.AT_LEAST,
+                    unit=spec.unit))
+            elif spec.kind is BoundKind.UPPER:
+                converted.append(Specification(
+                    spec.name, spec.target, Comparison.AT_MOST,
+                    unit=spec.unit))
+            else:
+                converted.append(Specification(
+                    spec.name, spec.target, Comparison.WITHIN,
+                    tolerance=spec.margin, unit=spec.unit))
+        return converted
+
+    def describe(self) -> str:
+        lines = [f"specs for {self.owner}:"]
+        lines.extend(f"  {spec.describe()}" for spec in self._specs.values())
+        return "\n".join(lines)

@@ -6,6 +6,7 @@ from .image_rejection import (
     build_image_rejection_mixer,
     build_weaver_mixer,
     fig5_sweep,
+    fig5_sweep_result,
     image_rejection_ratio_db,
     required_matching,
     simulate_image_rejection_db,
@@ -51,6 +52,7 @@ __all__ = [
     "build_weaver_mixer",
     "simulate_weaver_image_rejection_db",
     "fig5_sweep",
+    "fig5_sweep_result",
     "required_matching",
     "TunerConfig",
     "TunerPerformance",

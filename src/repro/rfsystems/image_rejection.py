@@ -299,6 +299,39 @@ def fig5_sweep(
     }
 
 
+def fig5_sweep_result(
+    phase_errors_deg,
+    gain_errors=(0.01, 0.03, 0.05, 0.07, 0.09),
+    plan: FrequencyPlan | None = None,
+    executor=None,
+    jobs: int | None = None,
+    cache=None,
+    on_error: str = "raise",
+):
+    """The Fig. 5 grid as a raw :class:`~repro.sweep.SweepResult`.
+
+    Same behavioral simulation as :func:`fig5_sweep`, but returning the
+    sweep engine's result object (points carry ``gain``/``phase``
+    parameters) instead of the plotted family — the form
+    :func:`repro.optimize.derive.derive_image_rejection_specs` inverts
+    to automate the paper's spec read-off.
+    """
+    from ..sweep import ParameterGrid, run_sweep
+
+    grid = ParameterGrid({
+        "gain": [float(g) for g in gain_errors],
+        "phase": [float(p) for p in phase_errors_deg],
+    })
+    return run_sweep(
+        functools.partial(_fig5_point, plan=plan),
+        grid,
+        executor=executor,
+        jobs=jobs,
+        cache=cache,
+        on_error=on_error,
+    )
+
+
 def required_matching(irr_target_db: float,
                       gain_error: float) -> float | None:
     """Largest phase error meeting an IRR target at a given gain error.

@@ -219,6 +219,12 @@ class SweepResult:
     def param_array(self, name: str, skip_failed: bool = False) -> np.ndarray:
         """One parameter across the points (aligned with ``value_array``
         called with the same ``skip_failed``)."""
+        if any(name not in p.params for p in self.points):
+            available = sorted({k for p in self.points for k in p.params})
+            raise AnalysisError(
+                f"sweep has no parameter {name!r}; available parameters: "
+                f"{available}"
+            )
         if skip_failed:
             failed = set(self.failed_indices())
             return np.asarray([

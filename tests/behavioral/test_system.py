@@ -30,6 +30,19 @@ class TestWiring:
         with pytest.raises(DesignError):
             system.chain([amp("a1", 0.0)], ["a", "b", "c"])
 
+    def test_chain_rejects_multi_port_blocks(self):
+        # A chain would silently leave an Adder's second input floating;
+        # it must be rejected up front instead.
+        system = SystemModel("bad")
+        with pytest.raises(DesignError, match="single-in/single-out"):
+            system.chain([Adder("sum", 2)], ["a", "b"])
+
+    def test_chain_repeated_net_is_a_feedback_loop(self):
+        system = SystemModel("bad")
+        system.chain([amp("a1", 0.0), amp("a2", 0.0)], ["x", "x", "y"])
+        with pytest.raises(DesignError, match="feedback"):
+            system.run({})
+
     def test_port_map_wiring(self):
         system = SystemModel("map")
         system.add(Adder("sum", 2), inputs={"in0": "x", "in1": "y"},
@@ -89,6 +102,30 @@ class TestEvaluation:
         system.add(amp("b", 1.0), inputs=["y"], outputs=["x"])
         with pytest.raises(DesignError):
             system.run({})
+
+    def test_self_loop_rejected(self):
+        system = SystemModel("self")
+        system.add(amp("a", 1.0), inputs=["x"], outputs=["x"])
+        with pytest.raises(DesignError, match="feedback loop.*'a'"):
+            system.run({})
+
+    def test_three_block_cycle_rejected_and_named(self):
+        system = SystemModel("ring")
+        system.add(amp("a", 1.0), inputs=["x"], outputs=["y"])
+        system.add(amp("b", 1.0), inputs=["y"], outputs=["z"])
+        system.add(amp("c", 1.0), inputs=["z"], outputs=["x"])
+        with pytest.raises(DesignError, match="feedback loop"):
+            system.run({})
+
+    def test_cycle_detected_even_with_healthy_blocks_present(self):
+        # A disjoint feed-forward pair must not mask the cycle.
+        system = SystemModel("mixed")
+        system.add(amp("ok1", 0.0), inputs=["in"], outputs=["mid"])
+        system.add(amp("ok2", 0.0), inputs=["mid"], outputs=["out"])
+        system.add(amp("la", 1.0), inputs=["p"], outputs=["q"])
+        system.add(amp("lb", 1.0), inputs=["q"], outputs=["p"])
+        with pytest.raises(DesignError, match="feedback"):
+            system.run({"in": tone(1e6)})
 
     def test_double_driver_rejected(self):
         system = SystemModel("dd")
@@ -158,6 +195,14 @@ class TestAsBlock:
         inner.add(amp("a", 0.0), inputs=["x"], outputs=["y"])
         with pytest.raises(DesignError):
             inner.as_block("b", inputs={"IN": "x"}, outputs={})
+
+    def test_input_on_driven_net_rejected(self):
+        # Mapping a block input onto an internally driven net would
+        # clash with the driver on every run; reject at build time.
+        inner = SystemModel("inner")
+        inner.add(amp("a", 0.0), inputs=["x"], outputs=["y"])
+        with pytest.raises(DesignError, match="driven by a block"):
+            inner.as_block("b", inputs={"IN": "y"}, outputs={"OUT": "y"})
 
     def test_unconnected_input_port_is_silence(self):
         inner = SystemModel("inner")

@@ -109,6 +109,48 @@ class TestSearch:
     def test_no_hits(self, db):
         assert db.search(keyword="nonexistent-thing") == []
 
+    def test_keyword_is_case_insensitive(self, db):
+        expected = {c.name for c in db.search(keyword="mixer")}
+        assert expected  # guard: the lowercase query must match something
+        for query in ("MIXER", "Mixer", "mIxEr"):
+            assert {c.name for c in db.search(keyword=query)} == expected
+
+    def test_category_filters_are_case_insensitive(self, db):
+        reference = db.search(library="TVR", category1="Tuner",
+                              category2="Phase shifter")
+        relaxed = db.search(library="tvr", category1="TUNER",
+                            category2="phase SHIFTER")
+        assert [c.name for c in relaxed] == [c.name for c in reference]
+
+    def test_spec_range_filtering(self, db):
+        hits = db.search(category2="Phase shifter",
+                         spec_ranges={"phase_error_deg": (None, 1.6)})
+        assert {c.name for c in hits} == {"PHASE90-IF"}
+
+    def test_spec_range_lower_bound(self, db):
+        hits = db.search(keyword="mixer",
+                         spec_ranges={"conversion_gain_db": (4.0, None)})
+        assert {c.name for c in hits} == {"DNMIX-45"}
+
+    def test_spec_range_excludes_cells_without_data(self, db):
+        # IF-ADDER records no simulations at all; a constrained quantity
+        # it has no data for must exclude it, not pass it.
+        hits = db.search(library="TVR",
+                         spec_ranges={"phase_error_deg": (None, 90.0)})
+        assert all(c.name != "IF-ADDER" for c in hits)
+        assert {c.name for c in hits} == {"PHASE90-VCO", "PHASE90-IF"}
+
+    def test_meeting_specs_sugar(self, db):
+        hits = db.meeting_specs({"gain_error": (None, 0.006)},
+                                keyword="phase shifter")
+        assert {c.name for c in hits} == {"PHASE90-VCO", "PHASE90-IF"}
+
+    def test_bad_spec_range_rejected(self, db):
+        with pytest.raises(CellDatabaseError):
+            db.search(spec_ranges={"gain_db": 3.0})
+        with pytest.raises(CellDatabaseError):
+            db.search(spec_ranges={"gain_db": (1.0, 2.0, 3.0)})
+
 
 class TestReuse:
     def test_copy_increments_counter(self):

@@ -1,0 +1,104 @@
+"""Tests for spec derivation from system sweeps (repro.optimize.derive)."""
+
+import pytest
+
+from repro.errors import DesignError
+from repro.optimize import (
+    BoundKind,
+    derive_image_rejection_specs,
+    derive_phase_allowances,
+    invert_threshold,
+)
+from repro.rfsystems import (
+    fig5_sweep,
+    fig5_sweep_result,
+    image_rejection_ratio_db,
+    required_matching,
+)
+
+PHASES = (0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return fig5_sweep_result(PHASES)
+
+
+class TestInvertThreshold:
+    def test_interpolates_between_samples(self):
+        x = [0.0, 1.0, 2.0, 3.0]
+        y = [40.0, 30.0, 20.0, 10.0]
+        assert invert_threshold(x, y, 25.0) == pytest.approx(1.5)
+
+    def test_exact_sample_hit(self):
+        assert invert_threshold([0, 1, 2], [40, 30, 20], 30.0) == \
+            pytest.approx(1.0)
+
+    def test_unreachable_target(self):
+        assert invert_threshold([0, 1, 2], [25, 20, 15], 30.0) is None
+
+    def test_never_crossed_returns_last(self):
+        assert invert_threshold([0, 1, 2], [50, 45, 40], 30.0) == \
+            pytest.approx(2.0)
+
+    def test_infinite_first_sample(self):
+        x = [0.0, 1.0, 2.0]
+        y = [float("inf"), 30.0, 20.0]
+        assert invert_threshold(x, y, 25.0) == pytest.approx(1.5)
+
+
+class TestDeriveFromSweep:
+    def test_allowances_follow_the_closed_form(self, sweep):
+        """Acceptance: derived Fig. 5 allowances reproduce the analytic
+        image-rejection law within 0.5 dB across 1-9 % gain balance."""
+        allowances = derive_phase_allowances(sweep, 30.0)
+        checked = 0
+        for gain, allowance in allowances.items():
+            if allowance is None:
+                # The closed form must agree it is unreachable: even a
+                # perfect phase cannot hit the target at this imbalance.
+                assert image_rejection_ratio_db(0.0, gain) < 30.5
+                continue
+            irr = image_rejection_ratio_db(allowance, gain)
+            assert irr == pytest.approx(30.0, abs=0.5)
+            checked += 1
+        assert checked >= 3
+
+    def test_matches_required_matching_bisection(self, sweep):
+        allowances = derive_phase_allowances(sweep, 30.0)
+        analytic = required_matching(30.0, gain_error=0.01)
+        assert allowances[0.01] == pytest.approx(analytic, abs=0.25)
+
+    def test_spec_set_shape(self, sweep):
+        derivation = derive_image_rejection_specs(sweep, 30.0, 0.01)
+        spec = derivation.specs.get("phase_error_deg")
+        assert spec.kind is BoundKind.UPPER
+        assert spec.target == pytest.approx(
+            derivation.phase_allowance_deg)
+        gain = derivation.specs.get("gain_error")
+        assert gain.kind is BoundKind.UPPER
+        assert gain.target == pytest.approx(0.01)
+
+    def test_margin_tightens_derived_spec(self, sweep):
+        plain = derive_image_rejection_specs(sweep, 30.0, 0.01)
+        tight = derive_image_rejection_specs(sweep, 30.0, 0.01,
+                                             margin_deg=0.5)
+        spec = tight.specs.get("phase_error_deg")
+        assert spec.margin == pytest.approx(0.5)
+        limit = plain.phase_allowance_deg
+        assert not spec.satisfied_by(limit)
+        assert spec.satisfied_by(limit - 0.6)
+
+    def test_unreachable_corner_raises(self, sweep):
+        with pytest.raises(DesignError):
+            derive_image_rejection_specs(sweep, 30.0, 0.09)
+
+    def test_accepts_fig5_dict_form(self):
+        family = fig5_sweep(PHASES)
+        derivation = derive_image_rejection_specs(family, 30.0, 0.01)
+        assert derivation.phase_allowance_deg == pytest.approx(
+            3.6, abs=0.2)
+
+    def test_summary_mentions_target(self, sweep):
+        text = derive_image_rejection_specs(sweep, 30.0, 0.01).summary()
+        assert "30" in text and "deg" in text

@@ -1,0 +1,101 @@
+"""Tests for the end-to-end optimization pipeline (repro.optimize.flow)."""
+
+import pytest
+
+from repro.celldb import seed_database
+from repro.cli import main
+from repro.optimize import mixer_sizing_specs, run_optimize_flow
+from repro.rfsystems import image_rejection_ratio_db
+
+FAST = dict(population=8, generations=10)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_optimize_flow(**FAST)
+
+
+class TestRunOptimizeFlow:
+    def test_loop_closes_at_default_target(self, report):
+        assert report.closed
+        assert report.predicted_irr_db >= report.irr_target_db
+
+    def test_derivation_matches_closed_form(self, report):
+        allowance = report.derivation.phase_allowance_deg
+        irr = image_rejection_ratio_db(allowance, 0.01)
+        assert irr == pytest.approx(30.0, abs=0.5)
+
+    def test_phase_shifter_is_reused(self, report):
+        assert report.shifter_reuse.reused
+        assert report.shifter_reuse.chosen.name == "PHASE90-IF"
+
+    def test_mixer_falls_through_to_sizing(self, report):
+        # The seeded mixers record ~4 dB conversion gain; the 12 dB
+        # requirement forces the design-new path.
+        assert not report.mixer_reuse.reused
+        assert report.sizing is not None
+        assert report.sizing.specs_met
+
+    def test_sized_mixer_meets_the_specs(self, report):
+        sizing = report.sizing
+        specs = mixer_sizing_specs(12.0, 4.0, 1.5)
+        assert specs.satisfied_by(sizing.measurements)
+        assert sizing.measurements["conversion_gain_db"] >= 12.0
+
+    def test_model_card_regenerated_for_sized_shape(self, report):
+        sizing = report.sizing
+        assert sizing.model_card.startswith(".MODEL")
+        assert sizing.shape.emitter_length == pytest.approx(
+            sizing.result.best_params["emitter_length"])
+
+    def test_reuse_audit_counts_committed_blocks(self, report):
+        # Phase shifter reused, two mixer paths designed new -> 1/3.
+        assert report.reuse_fraction == pytest.approx(1.0 / 3.0)
+
+    def test_summary_tells_the_whole_story(self, report):
+        text = report.summary()
+        for fragment in ("derive", "reuse", "size", "regenerate",
+                         "loop CLOSED"):
+            assert fragment in text
+
+    def test_seed_reproducible(self, report):
+        again = run_optimize_flow(**FAST)
+        assert again.sizing.result.best_params == \
+            report.sizing.result.best_params
+        assert again.sizing.result.best_value == \
+            report.sizing.result.best_value
+
+    def test_relaxed_gain_target_reuses_the_mixer(self):
+        report = run_optimize_flow(conversion_gain_db=4.0, **FAST)
+        assert report.mixer_reuse.reused
+        assert report.mixer_reuse.chosen.name == "DNMIX-45"
+        assert report.sizing is None
+        assert report.reuse_fraction == pytest.approx(1.0)
+
+    def test_caller_database_is_audited(self):
+        db = seed_database()
+        run_optimize_flow(db=db, **FAST)
+        assert db.get("PHASE90-IF").reuse_count > 0
+
+
+class TestCli:
+    def test_repro_optimize_runs_the_pipeline(self, capsys):
+        """Acceptance: the full pipeline runs from the CLI."""
+        exit_code = main(["optimize", "--population", "8",
+                          "--generations", "10"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "loop CLOSED" in out
+        assert ".MODEL" in out
+        assert "re-use PHASE90-IF" in out
+
+    def test_cli_parallel_matches_serial(self, capsys):
+        main(["optimize", "--population", "8", "--generations", "10"])
+        serial = capsys.readouterr().out
+        main(["optimize", "--population", "8", "--generations", "10",
+              "--jobs", "2"])
+        parallel = capsys.readouterr().out
+        # Identical sizing decision; only timing lines may differ.
+        serial_tail = serial[serial.index("[derive]"):]
+        parallel_tail = parallel[parallel.index("[derive]"):]
+        assert serial_tail == parallel_tail

@@ -1,0 +1,91 @@
+"""Tests for the spec-driven reuse lookup (repro.optimize.reuse)."""
+
+import math
+
+import pytest
+
+from repro.celldb import seed_database
+from repro.errors import DesignError
+from repro.optimize import (
+    BoundKind,
+    Spec,
+    SpecSet,
+    commit_reuse,
+    find_reusable_cells,
+    judge_cell,
+)
+
+
+def shifter_specs(phase_limit=3.6, gain_limit=0.01):
+    return SpecSet("ir_mixer", [
+        Spec("phase_error_deg", phase_limit, BoundKind.UPPER, unit="deg"),
+        Spec("gain_error", gain_limit, BoundKind.UPPER, scale=0.01),
+    ])
+
+
+@pytest.fixture
+def db():
+    return seed_database()
+
+
+class TestJudgeCell:
+    def test_qualifying_cell(self, db):
+        candidate = judge_cell(db.get("PHASE90-IF"), shifter_specs())
+        assert candidate.satisfied
+        assert candidate.penalty < 1e-6
+        assert candidate.missing == ()
+
+    def test_missing_data_is_infinite_penalty(self, db):
+        candidate = judge_cell(db.get("IF-ADDER"), shifter_specs())
+        assert not candidate.satisfied
+        assert math.isinf(candidate.penalty)
+        assert "phase_error_deg" in candidate.missing
+
+    def test_failing_cell_has_finite_penalty(self, db):
+        candidate = judge_cell(db.get("PHASE90-VCO"),
+                               shifter_specs(phase_limit=1.0))
+        assert not candidate.satisfied
+        assert candidate.missing == ()
+        assert 0 < candidate.penalty < math.inf
+
+
+class TestFindReusableCells:
+    def test_chooses_best_qualifier(self, db):
+        report = find_reusable_cells(db, shifter_specs(),
+                                     keyword="phase shifter")
+        assert report.reused
+        assert report.chosen.name == "PHASE90-IF"
+        # Ranked qualifying-first, data-less cells last.
+        names = [c.name for c in report.candidates]
+        assert names.index("PHASE90-IF") < names.index("PHASE90-VCO")
+
+    def test_no_qualifier_means_design_new(self, db):
+        report = find_reusable_cells(
+            db, shifter_specs(phase_limit=0.5), keyword="phase shifter")
+        assert not report.reused
+        assert report.chosen is None
+        assert "design new" in report.summary()
+
+    def test_empty_specs_rejected(self, db):
+        with pytest.raises(DesignError):
+            find_reusable_cells(db, SpecSet("empty"))
+
+    def test_lookup_is_read_only(self, db):
+        before = db.get("PHASE90-IF").reuse_count
+        find_reusable_cells(db, shifter_specs(), keyword="phase shifter")
+        assert db.get("PHASE90-IF").reuse_count == before
+
+
+class TestCommitReuse:
+    def test_commit_bumps_the_audit_counter(self, db):
+        report = find_reusable_cells(db, shifter_specs(),
+                                     keyword="phase shifter")
+        before = db.get(report.chosen.name).reuse_count
+        cell = commit_reuse(db, report)
+        assert cell.reuse_count == before + 1
+
+    def test_commit_without_chosen_raises(self, db):
+        report = find_reusable_cells(
+            db, shifter_specs(phase_limit=0.5), keyword="phase shifter")
+        with pytest.raises(DesignError):
+            commit_reuse(db, report)

@@ -1,0 +1,111 @@
+"""Tests for the spec model (repro.optimize.spec)."""
+
+import math
+
+import pytest
+
+from repro.errors import DesignError
+from repro.optimize import BoundKind, Spec, SpecSet
+
+
+class TestSpec:
+    def test_lower_bound_semantics(self):
+        spec = Spec("gain_db", 12.0, BoundKind.LOWER)
+        assert spec.satisfied_by(14.0)
+        assert not spec.satisfied_by(10.0)
+        assert spec.margin_of(14.0) == pytest.approx(2.0)
+        assert spec.margin_of(10.0) == pytest.approx(-2.0)
+
+    def test_upper_bound_semantics(self):
+        spec = Spec("power_mw", 20.0, BoundKind.UPPER)
+        assert spec.satisfied_by(15.0)
+        assert not spec.satisfied_by(25.0)
+        assert spec.margin_of(15.0) == pytest.approx(5.0)
+
+    def test_equal_needs_margin(self):
+        with pytest.raises(DesignError):
+            Spec("vbe", 0.8, BoundKind.EQUAL)
+        spec = Spec("vbe", 0.8, BoundKind.EQUAL, margin=0.05)
+        assert spec.satisfied_by(0.82)
+        assert not spec.satisfied_by(0.9)
+
+    def test_margin_tightens_the_bound(self):
+        spec = Spec("gain_db", 12.0, BoundKind.LOWER, margin=1.0)
+        assert not spec.satisfied_by(12.5)
+        assert spec.satisfied_by(12.5, with_margin=False)
+        assert spec.satisfied_by(13.5)
+
+    def test_penalty_zero_inside_smooth_outside(self):
+        spec = Spec("gain_db", 12.0, BoundKind.LOWER)
+        assert spec.penalty(15.0) == pytest.approx(0.0, abs=1e-6)
+        # Deeper violations cost more, continuously.
+        p1, p2 = spec.penalty(11.0), spec.penalty(9.0)
+        assert 0 < p1 < p2
+
+    def test_penalty_scales_with_weight(self):
+        base = Spec("g", 10.0, BoundKind.LOWER)
+        heavy = Spec("g", 10.0, BoundKind.LOWER, weight=5.0)
+        assert heavy.penalty(8.0) == pytest.approx(5.0 * base.penalty(8.0))
+
+    def test_nan_measurement_is_infinite_penalty(self):
+        spec = Spec("g", 10.0, BoundKind.LOWER)
+        assert math.isinf(spec.penalty(float("nan")))
+        assert not spec.satisfied_by(float("nan"))
+
+    def test_bound_range(self):
+        lower = Spec("g", 10.0, BoundKind.LOWER, margin=1.0)
+        upper = Spec("p", 5.0, BoundKind.UPPER)
+        lo, hi = lower.bound_range()
+        assert lo == pytest.approx(11.0) and hi is None
+        lo, hi = upper.bound_range()
+        assert lo is None and hi == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            Spec("", 1.0)
+        with pytest.raises(DesignError):
+            Spec("g", 1.0, weight=0.0)
+        with pytest.raises(DesignError):
+            Spec("g", 1.0, scale=-1.0)
+
+
+class TestSpecSet:
+    def build(self):
+        return SpecSet("mixer", [
+            Spec("gain_db", 12.0, BoundKind.LOWER, unit="dB"),
+            Spec("power_mw", 20.0, BoundKind.UPPER, unit="mW"),
+        ])
+
+    def test_satisfied_and_penalty(self):
+        specs = self.build()
+        good = {"gain_db": 14.0, "power_mw": 10.0}
+        bad = {"gain_db": 9.0, "power_mw": 30.0}
+        assert specs.satisfied_by(good)
+        assert not specs.satisfied_by(bad)
+        assert specs.penalty(good) < 1e-9 < specs.penalty(bad)
+
+    def test_missing_measurement_is_infinite(self):
+        specs = self.build()
+        assert math.isinf(specs.penalty({"gain_db": 14.0}))
+        assert not specs.satisfied_by({"gain_db": 14.0})
+
+    def test_duplicate_name_rejected(self):
+        specs = self.build()
+        with pytest.raises(DesignError):
+            specs.add(Spec("gain_db", 15.0))
+
+    def test_worst_names_the_binding_spec(self):
+        specs = self.build()
+        score = specs.worst({"gain_db": 9.0, "power_mw": 10.0})
+        assert score.spec.name == "gain_db"
+
+    def test_to_specifications_round_trip(self):
+        converted = self.build().to_specifications()
+        assert [s.name for s in converted] == ["gain_db", "power_mw"]
+        gain, power = converted
+        assert gain.satisfied_by(14.0) and not gain.satisfied_by(10.0)
+        assert power.satisfied_by(10.0) and not power.satisfied_by(25.0)
+
+    def test_describe_mentions_units(self):
+        text = self.build().describe()
+        assert "dB" in text and "mW" in text

@@ -72,6 +72,18 @@ class TestRunSweepBasics:
         np.testing.assert_array_equal(result.param_array("x"),
                                       [0, 1, 2, 3])
 
+    def test_param_array_unknown_name_names_the_available(self):
+        result = run_sweep(_square, [{"x": 1}, {"x": 2}])
+        with pytest.raises(AnalysisError, match=r"'y'.*\['x'\]"):
+            result.param_array("y")
+
+    def test_param_array_partial_coverage_rejected(self):
+        # A parameter only *some* points carry is as unusable as a
+        # missing one — the column would have holes.
+        result = run_sweep(_square, [{"x": 1}, {"x": 2, "extra": 3}])
+        with pytest.raises(AnalysisError, match="extra"):
+            result.param_array("extra")
+
 
 class TestWarmStart:
     def test_chains_restart_at_chunk_boundaries(self):

@@ -17,6 +17,8 @@ PUBLIC_PACKAGES = (
     "repro.rfsystems",
     "repro.celldb",
     "repro.core",
+    "repro.sweep",
+    "repro.optimize",
 )
 
 
