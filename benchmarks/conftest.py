@@ -41,6 +41,10 @@ _TRANSIENT_RECORDS: list[dict] = []
 #: dumped to BENCH_optimize.json alongside the other artifacts.
 _OPTIMIZE_RECORDS: list[dict] = []
 
+#: dense-vs-sparse assembly crossover measurements pushed via
+#: :func:`record_sparse`, dumped to BENCH_sparse.json.
+_SPARSE_RECORDS: list[dict] = []
+
 
 def record_sweep(name: str, payload: dict) -> None:
     """Archive one sweep-throughput measurement into BENCH_sweep.json."""
@@ -55,6 +59,11 @@ def record_transient(name: str, payload: dict) -> None:
 def record_optimize(name: str, payload: dict) -> None:
     """Archive one optimize-flow measurement into BENCH_optimize.json."""
     _OPTIMIZE_RECORDS.append({"benchmark": name, **payload})
+
+
+def record_sparse(name: str, payload: dict) -> None:
+    """Archive one sparse-crossover measurement into BENCH_sparse.json."""
+    _SPARSE_RECORDS.append({"benchmark": name, **payload})
 
 
 @pytest.fixture(autouse=True)
@@ -112,6 +121,15 @@ def pytest_sessionfinish(session, exitstatus):
             "benchmarks": _OPTIMIZE_RECORDS,
         }
         (OUTPUT_DIR / "BENCH_optimize.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+    if _SPARSE_RECORDS:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        payload = {
+            "schema": "bench-sparse-v1",
+            "benchmarks": _SPARSE_RECORDS,
+        }
+        (OUTPUT_DIR / "BENCH_sparse.json").write_text(
             json.dumps(payload, indent=2) + "\n"
         )
 

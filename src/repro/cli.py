@@ -161,8 +161,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-analysis engine statistics after the summary",
     )
     run_cmd.add_argument(
-        "--engine", choices=("compiled", "legacy"), default=None,
-        help="evaluation engine (default: compiled)",
+        "--engine",
+        choices=("compiled", "legacy", "auto", "dense", "sparse"),
+        default=None,
+        help="evaluation engine: compiled/legacy, or force the compiled "
+             "engine's assembly backend (auto/dense/sparse; default: the "
+             "deck's .OPTIONS SOLVER=, else auto)",
     )
     run_cmd.add_argument(
         "--jobs", type=_jobs_argument, default=None, metavar="N",

@@ -112,6 +112,25 @@ class AnalysisError(ReproError):
     """An analysis was requested with invalid or inconsistent arguments."""
 
 
+class ConnectivityError(AnalysisError):
+    """A circuit failed the pre-simulation connectivity lint.
+
+    Raised before any matrix is assembled when the topology guarantees a
+    meaningless solve: floating nodes, nodes with no DC path to ground,
+    or ungrounded islands.  ``issues`` carries the structured
+    :class:`repro.spice.lint.LintIssue` records so callers (and tests)
+    can inspect the diagnosis without parsing the message.
+    """
+
+    def __init__(self, message: str = "", issues=()):
+        super().__init__(message)
+        self.issues = tuple(issues)
+
+    def __reduce__(self):
+        message = self.args[0] if self.args else ""
+        return (type(self), (message, self.issues))
+
+
 class SweepError(AnalysisError):
     """A sweep/batch execution request is invalid (bad worker count,
     unknown executor backend, unbatchable evaluation function...).

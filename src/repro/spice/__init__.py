@@ -35,7 +35,10 @@ from .fourier import (
     fourier_analysis,
     total_harmonic_distortion,
 )
+from .lint import LintIssue, check_circuit, lint_circuit
 from .runner import DeckRun, run_deck
+from .solvercost import DEFAULT_SOLVER_COST_MODEL, SolverCostModel
+from .sparse import PatternMatrix, SparsityPattern
 from .analysis import TransferFunction, transfer_function
 from .temperature import circuit_at_temperature, temperature_sweep
 from .serialize import circuit_to_deck
@@ -76,6 +79,13 @@ __all__ = [
     "total_harmonic_distortion",
     "DeckRun",
     "run_deck",
+    "LintIssue",
+    "check_circuit",
+    "lint_circuit",
+    "SparsityPattern",
+    "PatternMatrix",
+    "SolverCostModel",
+    "DEFAULT_SOLVER_COST_MODEL",
     "TransferFunction",
     "transfer_function",
     "circuit_at_temperature",

@@ -77,9 +77,16 @@ def frequency_grid(
 MAX_BLOCK_BYTES = 1 << 26
 
 
-def ac_block_size(size: int, limit: int | None = None) -> int:
-    """Frequencies per batched block for an ``size``-unknown system."""
-    budget = (limit or MAX_BLOCK_BYTES) // max(16 * size * size, 1)
+def ac_block_size(size: int, limit: int | None = None,
+                  nnz: int | None = None) -> int:
+    """Frequencies per batched block for an ``size``-unknown system.
+
+    With ``nnz`` given (sparse assembly) the per-frequency footprint is
+    a flat complex value vector over the pattern, not an ``(n, n)``
+    matrix, so far more frequencies fit in one block.
+    """
+    per_system = 16 * nnz if nnz else 16 * size * size
+    budget = (limit or MAX_BLOCK_BYTES) // max(per_system, 1)
     return int(min(max(budget, 1), 512))
 
 
@@ -140,8 +147,21 @@ def solve_ac(
 
         solutions = np.zeros((len(frequencies), size), dtype=complex)
         omegas = 2.0 * np.pi * frequencies
+        sparse = getattr(engine, "assembly", "dense") == "sparse"
         solve_batched = getattr(engine, "solve_batched", None)
-        if batched and solve_batched is not None and len(frequencies) > 1:
+        if sparse and batched and len(frequencies) > 1:
+            # Sparse assembly: stack flat value vectors over the fixed
+            # pattern — (block, nnz) complex instead of (block, n, n).
+            g_vals = g_mat.values
+            c_vals = c_mat.values
+            block = ac_block_size(size, nnz=engine.pattern.nnz)
+            for start in range(0, len(frequencies), block):
+                w = omegas[start:start + block]
+                data = g_vals[None, :] + 1j * w[:, None] * c_vals[None, :]
+                solutions[start:start + len(w)] = (
+                    engine.solve_pattern_batched(data, rhs)
+                )
+        elif batched and solve_batched is not None and len(frequencies) > 1:
             block = ac_block_size(size)
             for start in range(0, len(frequencies), block):
                 w = omegas[start:start + block]
@@ -152,7 +172,9 @@ def solve_ac(
                 )
         else:
             for k, omega in enumerate(omegas):
-                system = g_mat + 1j * omega * c_mat
+                system = (g_mat.pattern.matrix(
+                              g_mat.values + 1j * omega * c_mat.values)
+                          if sparse else g_mat + 1j * omega * c_mat)
                 solutions[k] = engine.solve(system, rhs)
     result = ACResult(
         circuit=circuit,

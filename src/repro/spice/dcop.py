@@ -496,7 +496,20 @@ def newton_solve_batched(
     diag = np.arange(num_nodes)
     limits = [dict() for _ in range(batch)]
     converged = np.zeros(batch, dtype=bool)
-    jac = np.empty((batch, size, size))
+    # Sparse-assembly engines keep per-lane Jacobians as flat value
+    # vectors over the compiled pattern — (B, nnz) instead of (B, n, n)
+    # — and solve each lane through the identical pattern-wrapped path
+    # the scalar Newton uses, so lanes stay bit-identical to solve_dc.
+    pattern = (
+        engine.pattern
+        if getattr(engine, "assembly", "dense") == "sparse"
+        else None
+    )
+    if pattern is not None:
+        jac = np.empty((batch, pattern.nnz))
+        diag_pos = pattern.positions(diag, diag)
+    else:
+        jac = np.empty((batch, size, size))
     res = np.empty((batch, size))
     active = list(range(batch))
     for _iteration in range(tolerances.max_iterations):
@@ -508,13 +521,19 @@ def newton_solve_batched(
                 source_scale=source_scale,
             )
             np.copyto(res[k], ctx.i_vec)
-            np.copyto(jac[k], ctx.g_mat)
+            if pattern is not None:
+                np.copyto(jac[k], ctx.g_mat.values)
+            else:
+                np.copyto(jac[k], ctx.g_mat)
             if rhs_deltas is not None and rhs_deltas[k] is not None:
                 if source_scale == 1.0:
                     res[k] += rhs_deltas[k]
                 else:
                     res[k] += rhs_deltas[k] * source_scale
-            jac[k][diag, diag] += DIAG_GSHUNT
+            if pattern is not None:
+                jac[k][diag_pos] += DIAG_GSHUNT
+            else:
+                jac[k][diag, diag] += DIAG_GSHUNT
             res[k][:num_nodes] += DIAG_GSHUNT * x[k][:num_nodes]
         idx = np.array(active)
         if engine.has_constant_jacobian:
@@ -527,7 +546,16 @@ def newton_solve_batched(
                     if engine.has_factorization(("dc",)):
                         dx[j] = engine.solve_cached(-res[k])
                     else:
-                        dx[j] = engine.solve(jac[k], -res[k], token=("dc",))
+                        system = (pattern.matrix(jac[k])
+                                  if pattern is not None else jac[k])
+                        dx[j] = engine.solve(system, -res[k], token=("dc",))
+                except np.linalg.LinAlgError:
+                    dx[j] = np.nan
+        elif pattern is not None:
+            dx = np.empty((len(active), size))
+            for j, k in enumerate(active):
+                try:
+                    dx[j] = engine.solve(pattern.matrix(jac[k]), -res[k])
                 except np.linalg.LinAlgError:
                     dx[j] = np.nan
         else:

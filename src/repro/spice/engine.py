@@ -51,6 +51,8 @@ from .elements.diode import Diode
 from .elements.sources import DC as DCWaveform
 from .mna import LoadContext, load_circuit
 from .netlist import Circuit
+from .solvercost import DEFAULT_SOLVER_COST_MODEL
+from .sparse import PatternMatrix, SparsityPattern
 
 try:  # scipy is an optional accelerator; numpy alone is sufficient.
     from scipy import linalg as _sla
@@ -119,6 +121,21 @@ class EngineStats:
     jacobian_reuses: int = 0
     #: Chord-Newton refactorizations forced by degraded convergence.
     refactorizations: int = 0
+    #: Assemblies that filled a flat nnz-length sparse data array.
+    sparse_assemblies: int = 0
+    #: Assemblies that filled a dense ``(n, n)`` matrix buffer.
+    dense_assemblies: int = 0
+    #: Sparse factorizations that reused the compiled symbolic pattern
+    #: (zero-copy CSC over the fixed structure — no re-analysis, no
+    #: dense scan, no conversion).
+    pattern_reuses: int = 0
+    #: Structural non-zeros of the compiled sparsity pattern (gauge).
+    pattern_nnz: int = 0
+    #: Non-zeros of the most recent sparse LU factorization, L + U
+    #: combined (gauge; ``pattern_nnz`` vs this is the fill-in ratio).
+    factor_nnz: int = 0
+    #: Matrix assembly backend chosen at compile time ("dense"/"sparse").
+    assembly: str = ""
 
     _COUNTERS = (
         "element_evals",
@@ -132,6 +149,9 @@ class EngineStats:
         "bypassed_evals",
         "jacobian_reuses",
         "refactorizations",
+        "sparse_assemblies",
+        "dense_assemblies",
+        "pattern_reuses",
     )
 
     def copy(self) -> "EngineStats":
@@ -166,6 +186,18 @@ class EngineStats:
                 f"; chord: {self.jacobian_reuses} jacobian reuses, "
                 f"{self.refactorizations} refactorizations"
             )
+        if self.assembly:
+            text += f"; assembly: {self.assembly}"
+        if self.sparse_assemblies or self.pattern_nnz:
+            fill = (self.factor_nnz / self.pattern_nnz
+                    if self.pattern_nnz and self.factor_nnz else 0.0)
+            text += (
+                f"; sparse: {self.pattern_nnz} nnz pattern, "
+                f"{self.sparse_assemblies} sparse assemblies, "
+                f"{self.pattern_reuses} pattern reuses"
+            )
+            if fill:
+                text += f", fill-in {fill:.1f}x"
         if self.sweep_points:
             text += (
                 f"; {self.sweep_points} sweep points "
@@ -230,6 +262,10 @@ class LinearSolver:
     def _count(self, attr: str, n: int = 1) -> None:
         for sink in self._sinks:
             setattr(sink, attr, getattr(sink, attr) + n)
+
+    def _gauge(self, attr: str, value) -> None:
+        for sink in self._sinks:
+            setattr(sink, attr, value)
 
     def invalidate(self) -> None:
         """Drop any cached factorization."""
@@ -353,7 +389,17 @@ class DenseLUSolver(LinearSolver):
             getrf, getrs = _lapack.zgetrf, _lapack.zgetrs
         else:
             getrf, getrs = _lapack.dgetrf, _lapack.dgetrs
+        size = a.shape[0]
+        # Feed the dense/sparse cost model real factorization timings;
+        # below 64 unknowns the perf_counter overhead rivals getrf
+        # itself and dense always wins anyway, so skip the clock.
+        clock = size >= 64
+        t0 = _time.perf_counter() if clock else 0.0
         lu, piv, info = getrf(a)
+        if clock:
+            DEFAULT_SOLVER_COST_MODEL.observe(
+                "dense", size, None, _time.perf_counter() - t0
+            )
         if info > 0 or not np.all(np.isfinite(lu)):
             self.invalidate()
             raise np.linalg.LinAlgError("singular matrix in LU factorization")
@@ -361,14 +407,22 @@ class DenseLUSolver(LinearSolver):
         self._count("solves")
         if token is not None:
             self._token, self._factor = token, (lu, piv, getrs)
-        else:
-            self.invalidate()
+        # An anonymous (token=None) factorization must not clobber a
+        # factorization cached under a live token: batched fallbacks and
+        # one-off solves used to call invalidate() here, silently
+        # defeating chord reuse for the caller that owned the token.
         x, _info = getrs(lu, piv, b)
         return x
 
 
 class SparseLUSolver(LinearSolver):
-    """Sparse LU via ``scipy.sparse.linalg.splu`` for large systems."""
+    """Sparse LU via ``scipy.sparse.linalg.splu``.
+
+    Accepts either a dense ndarray (converted per call — the legacy
+    large-system fallback) or a :class:`~repro.spice.sparse.PatternMatrix`
+    from the sparse assembly path, whose fixed CSC structure wraps into
+    ``splu`` with zero copies and zero dense scans.
+    """
 
     name = "sparse-lu"
     caches_factorization = True
@@ -377,10 +431,38 @@ class SparseLUSolver(LinearSolver):
         super().__init__()
         self._token = None
         self._factor = None
+        #: The SparsityPattern of the last factorization; an identical
+        #: pattern on the next factorization means the symbolic
+        #: structure was reused (counted as ``pattern_reuses``).
+        self._last_pattern = None
 
     def invalidate(self) -> None:
         self._token = None
         self._factor = None
+
+    def _factorize(self, a):
+        """splu of a dense array or PatternMatrix; counts + calibrates."""
+        if isinstance(a, PatternMatrix):
+            matrix = a.to_csc()
+            if a.pattern is self._last_pattern:
+                self._count("pattern_reuses")
+            self._last_pattern = a.pattern
+        else:
+            matrix = _sp.csc_matrix(np.asarray(a))
+            self._last_pattern = None
+        t0 = _time.perf_counter()
+        try:
+            factor = _spla.splu(matrix)
+        except RuntimeError as exc:  # "Factor is exactly singular"
+            self.invalidate()
+            raise np.linalg.LinAlgError(str(exc)) from exc
+        DEFAULT_SOLVER_COST_MODEL.observe(
+            "sparse", matrix.shape[0], matrix.nnz,
+            _time.perf_counter() - t0,
+        )
+        self._count("factorizations")
+        self._gauge("factor_nnz", int(factor.nnz))
+        return factor
 
     def has_factorization(self, token) -> bool:
         return (
@@ -404,18 +486,13 @@ class SparseLUSolver(LinearSolver):
         ):
             self._count("solves")
             return self._factor.solve(b)
-        matrix = _sp.csc_matrix(a)
-        try:
-            factor = _spla.splu(matrix)
-        except RuntimeError as exc:  # "Factor is exactly singular"
-            self.invalidate()
-            raise np.linalg.LinAlgError(str(exc)) from exc
-        self._count("factorizations")
+        factor = self._factorize(a)
         self._count("solves")
         if token is not None:
             self._token, self._factor = token, factor
-        else:
-            self.invalidate()
+        # token=None: leave any token-cached factorization alone (see
+        # DenseLUSolver.solve) — per-frequency AC fallbacks and batched
+        # loops used to wipe the chord factor here on every call.
         return factor.solve(b)
 
     def solve_batched(self, systems: np.ndarray,
@@ -433,11 +510,54 @@ class SparseLUSolver(LinearSolver):
             out[k] = self.solve(systems[k], rhs if shared else rhs[k])
         return out
 
+    def solve_pattern_batched(self, pattern: SparsityPattern,
+                              data: np.ndarray, rhs: np.ndarray,
+                              transpose: bool = False) -> np.ndarray:
+        """Solve a stack of systems sharing one sparsity pattern.
 
-def make_solver(size: int, prefer: str | None = None) -> LinearSolver:
+        ``data`` has shape ``(batch, nnz)`` (one value vector per
+        system over the compiled pattern — e.g. ``G + j*omega_k*C`` per
+        frequency); ``rhs`` is ``(n,)`` shared, ``(batch, n)`` or
+        ``(batch, n, k)``.  ``transpose=True`` solves ``A.T x = b``
+        (noise adjoint systems) while keeping the transpose sparse.
+        Every lane reuses the symbolic pattern — no dense staging
+        array is ever built.
+        """
+        data = np.asarray(data)
+        rhs = np.asarray(rhs)
+        batch = data.shape[0]
+        shared = rhs.ndim == 1
+        out = np.empty(
+            (batch, pattern.size) + rhs.shape[2:],
+            dtype=np.result_type(data.dtype, rhs.dtype),
+        )
+        self._count("factorizations", batch)
+        self._count("solves", batch)
+        self._count("pattern_reuses", batch)
+        self._last_pattern = pattern
+        for k in range(batch):
+            matrix = pattern.csc(data[k])
+            if transpose:
+                matrix = matrix.T.tocsc()
+            try:
+                factor = _spla.splu(matrix)
+            except RuntimeError as exc:
+                self.invalidate()
+                raise np.linalg.LinAlgError(str(exc)) from exc
+            out[k] = factor.solve(rhs if shared else rhs[k])
+        if batch:
+            self._gauge("factor_nnz", int(factor.nnz))
+        return out
+
+
+def make_solver(size: int, prefer: str | None = None,
+                nnz: int | None = None) -> LinearSolver:
     """Pick a solver backend for a system of ``size`` unknowns.
 
-    ``prefer`` forces a backend: ``"dense"``, ``"sparse"`` or ``"numpy"``.
+    ``prefer`` forces a backend: ``"dense"``, ``"sparse"`` or ``"numpy"``;
+    ``"auto"`` asks the self-calibrating cost model, which weighs the
+    pattern's ``nnz`` (when known) against dense LAPACK throughput
+    instead of the static size threshold.
     """
     if prefer == "numpy":
         return LinearSolver()
@@ -449,6 +569,12 @@ def make_solver(size: int, prefer: str | None = None) -> LinearSolver:
         if _sla is None:
             raise AnalysisError("dense LU solver requested but scipy is absent")
         return DenseLUSolver()
+    if prefer == "auto":
+        if _spla is not None and (
+            DEFAULT_SOLVER_COST_MODEL.choose(size, nnz) == "sparse"
+        ):
+            return SparseLUSolver()
+        return DenseLUSolver() if _sla is not None else LinearSolver()
     if prefer is not None:
         raise AnalysisError(f"unknown solver backend {prefer!r}")
     if size >= SPARSE_THRESHOLD and _spla is not None:
@@ -581,16 +707,20 @@ class BJTGroup:
     buffers carry one extra row/column that is never read.
     """
 
-    def __init__(self, devices, size, i_full, q_full, g_full, c_full, xg):
+    def __init__(self, devices, size, i_full, q_full, xg):
         self.devices = list(devices)
         self.names = [d.name for d in self.devices]
         n = len(self.devices)
         self.n = n
-        n1 = size + 1
         self._i_full = i_full
         self._q_full = q_full
-        self._g_flat = g_full.reshape(-1)
-        self._c_flat = c_full.reshape(-1)
+        # Jacobian scatter targets are attached afterwards by
+        # bind_dense/bind_sparse — the sparsity pattern needs this
+        # group's index arrays before the data buffers can exist.
+        self._g_flat = None
+        self._c_flat = None
+        self._g_idx = None
+        self._c_idx = None
         self._xg = xg
         self.size = size
 
@@ -677,16 +807,12 @@ class BJTGroup:
         self._i_rows = cat([b_ext, bi, ci, bi, ei])
         self._q_rows = cat([bi, ei, bi, ci, b_ext, ci, s_ext, ci])
 
-        def flat(rows, cols):
-            return rows.astype(np.intp) * n1 + cols
-
         g_pairs = [
             (b_ext, b_ext), (b_ext, bi), (bi, b_ext), (bi, bi),  # rb
             (ci, bi), (ci, ei), (ci, ci),  # dIc rows
             (bi, bi), (bi, ei), (bi, ci),  # dIb rows
             (ei, bi), (ei, ei), (ei, ci),  # dIe rows
         ]
-        self._g_idx = cat([flat(r, c) for r, c in g_pairs])
         c_pairs = [
             (bi, bi), (bi, ei), (ei, bi), (ei, ei),  # cpi (dqbe_dvbe)
             (bi, bi), (bi, ci), (ei, bi), (ei, ci),  # dqbe_dvbc cross term
@@ -694,9 +820,9 @@ class BJTGroup:
             (b_ext, b_ext), (b_ext, ci), (ci, b_ext), (ci, ci),  # cbx
             (s_ext, s_ext), (s_ext, ci), (ci, s_ext), (ci, ci),  # cjs
         ]
-        self._c_idx = cat([flat(r, c) for r, c in c_pairs])
         # Row/column node indices of the Jacobian entries, kept unflattened
-        # for the bypass extrapolation terms G_cached @ dx / C_cached @ dx.
+        # for the bypass extrapolation terms G_cached @ dx / C_cached @ dx
+        # and for seeding the compiled sparsity pattern.
         self._g_rows_arr = cat([r for r, _ in g_pairs])
         self._g_cols_arr = cat([c for _, c in g_pairs])
         self._c_rows_arr = cat([r for r, _ in c_pairs])
@@ -728,6 +854,31 @@ class BJTGroup:
         #: The limits dict the cache was built against — compared by
         #: identity, so a fresh per-call dict never falsely bypasses.
         self._bypass_limits: dict | None = None
+
+    # -- scatter-target binding -------------------------------------------------
+
+    def bind_dense(self, g_full: np.ndarray, c_full: np.ndarray) -> None:
+        """Scatter Jacobian stamps into raveled dense ``(n1, n1)`` buffers."""
+        n1 = self.size + 1
+        self._g_flat = g_full.reshape(-1)
+        self._c_flat = c_full.reshape(-1)
+        self._g_idx = self._g_rows_arr * n1 + self._g_cols_arr
+        self._c_idx = self._c_rows_arr * n1 + self._c_cols_arr
+
+    def bind_sparse(self, pattern: SparsityPattern, g_data: np.ndarray,
+                    c_data: np.ndarray) -> None:
+        """Scatter Jacobian stamps directly into pattern data arrays.
+
+        ``g_data``/``c_data`` are ``nnz + 1``-length value arrays over
+        the same pattern (the trailing slot absorbs ground lanes), so
+        one position lookup per slot family serves both targets — and
+        the fused ``G + alpha*C`` path can scatter C values through
+        ``_c_idx`` into ``g_data`` exactly as it does densely.
+        """
+        self._g_flat = g_data
+        self._c_flat = c_data
+        self._g_idx = pattern.positions(self._g_rows_arr, self._g_cols_arr)
+        self._c_idx = pattern.positions(self._c_rows_arr, self._c_cols_arr)
 
     # -- evaluation -----------------------------------------------------------
 
@@ -1244,6 +1395,66 @@ class _ScalarBypass:
         return 0
 
 
+class _CooContext(LoadContext):
+    """Probe context recording linear Jacobian stamps as COO triples.
+
+    The compile-time ``load_static`` probe runs through this instead of
+    a dense :class:`LoadContext`: residual vectors accumulate normally,
+    but G/C stamps are kept as ``(row, col, value)`` triples.  The same
+    triples then seed the sparsity pattern *and* densify into ``G0``/
+    ``C0`` for the dense path — ``np.add.at`` applies duplicates in
+    recorded order, so the densified matrices are bit-identical to the
+    sequential ``+=`` probe they replace.
+    """
+
+    def __init__(self, size: int):
+        super().__init__(size, np.zeros(size), None, 0.0, source_scale=0.0)
+        self.g_mat = None
+        self.c_mat = None
+        self.g_rows: list[int] = []
+        self.g_cols: list[int] = []
+        self.g_vals: list[float] = []
+        self.c_rows: list[int] = []
+        self.c_cols: list[int] = []
+        self.c_vals: list[float] = []
+
+    def add_g(self, row: int, col: int, value: float) -> None:
+        if row >= 0 and col >= 0:
+            self.g_rows.append(row)
+            self.g_cols.append(col)
+            self.g_vals.append(value)
+
+    def add_c(self, row: int, col: int, value: float) -> None:
+        if row >= 0 and col >= 0:
+            self.c_rows.append(row)
+            self.c_cols.append(col)
+            self.c_vals.append(value)
+
+    @staticmethod
+    def densify(size, rows, cols, vals) -> np.ndarray:
+        out = np.zeros((size, size))
+        if rows:
+            np.add.at(
+                out,
+                (np.asarray(rows, dtype=np.intp),
+                 np.asarray(cols, dtype=np.intp)),
+                np.asarray(vals),
+            )
+        return out
+
+    @staticmethod
+    def scatter(pattern: SparsityPattern, rows, cols, vals) -> np.ndarray:
+        """Accumulate the triples into an ``nnz + 1`` data array."""
+        out = np.zeros(pattern.nnz + 1)
+        if rows:
+            pos = pattern.positions(
+                np.asarray(rows, dtype=np.intp),
+                np.asarray(cols, dtype=np.intp),
+            )
+            np.add.at(out, pos, np.asarray(vals))
+        return out
+
+
 # ---------------------------------------------------------------------------
 # engines
 # ---------------------------------------------------------------------------
@@ -1266,7 +1477,8 @@ class CompiledCircuit:
     path's per-call allocations, only implicitly).
     """
 
-    def __init__(self, circuit: Circuit, solver: LinearSolver | None = None):
+    def __init__(self, circuit: Circuit, solver: LinearSolver | None = None,
+                 mode: str | None = None):
         t0 = _time.perf_counter()
         self.circuit = circuit
         size = circuit.assign_indices()
@@ -1274,6 +1486,11 @@ class CompiledCircuit:
         self.num_nodes = len(circuit.node_map)
         self.generation = circuit._generation
         self.stats = EngineStats()
+        if mode not in (None, "auto", "dense", "sparse"):
+            raise AnalysisError(
+                f"unknown assembly mode {mode!r}; expected 'auto', "
+                "'dense' or 'sparse'"
+            )
 
         sources = []
         nonlinear = []
@@ -1313,12 +1530,12 @@ class CompiledCircuit:
 
         # Constant linear stamps, captured by probing load_static with
         # x = 0 and source_scale = 0: every linear element then stamps
-        # exactly its Jacobian and a zero residual.
-        probe = LoadContext(size, np.zeros(size), None, 0.0, source_scale=0.0)
+        # exactly its Jacobian and a zero residual.  The probe records
+        # COO triples so the same pass seeds the symbolic sparsity
+        # pattern and (in dense mode) densifies into G0/C0.
+        probe = _CooContext(size)
         for element in circuit:
             element.load_static(probe)
-        self._g0 = probe.g_mat
-        self._c0 = probe.c_mat
         self._i0 = probe.i_vec
         self._q0 = probe.q_vec
 
@@ -1327,28 +1544,112 @@ class CompiledCircuit:
         n1 = size + 1
         self._i_full = np.zeros(n1)
         self._q_full = np.zeros(n1)
-        self._g_full = np.zeros((n1, n1))
-        self._c_full = np.zeros((n1, n1))
         self._xg = np.zeros(n1)
 
         self._bjt_group = (
-            BJTGroup(
-                bjts,
-                size,
-                self._i_full,
-                self._q_full,
-                self._g_full,
-                self._c_full,
-                self._xg,
-            )
+            BJTGroup(bjts, size, self._i_full, self._q_full, self._xg)
             if bjts
             else None
         )
 
+        # -- symbolic pattern: every stamp slot any evaluation can touch --
+        slot_rows = [np.asarray(probe.g_rows + probe.c_rows, dtype=np.intp),
+                     np.arange(size, dtype=np.intp)]  # gshunt diagonal
+        slot_cols = [np.asarray(probe.g_cols + probe.c_cols, dtype=np.intp),
+                     np.arange(size, dtype=np.intp)]
+        if self._bjt_group is not None:
+            group = self._bjt_group
+            slot_rows += [group._g_rows_arr, group._c_rows_arr]
+            slot_cols += [group._g_cols_arr, group._c_cols_arr]
+        for element in self._scalar_dynamic:
+            # Scalar nonlinear stamps depend on the operating point
+            # (e.g. conditional cross terms), so the pattern takes the
+            # full cross product of the element's unknowns — a superset
+            # of anything load_dynamic can ever stamp.
+            own = np.asarray(
+                [k for k in (*element.node_index, *element.branch_index)
+                 if k >= 0],
+                dtype=np.intp,
+            )
+            slot_rows.append(np.repeat(own, own.size))
+            slot_cols.append(np.tile(own, own.size))
+        self.pattern: SparsityPattern | None = None
+        nnz = None
+        if _sp is not None:
+            self.pattern = SparsityPattern(
+                size, np.concatenate(slot_rows), np.concatenate(slot_cols)
+            )
+            nnz = self.pattern.nnz
+
+        # -- assembly-mode decision ----------------------------------------
+        requested = mode or "auto"
+        if requested == "auto":
+            if self.pattern is None:
+                backend = "dense"
+            elif solver is not None and not isinstance(solver, SparseLUSolver):
+                # An explicitly supplied non-sparse solver cannot consume
+                # PatternMatrix systems natively; honor it densely.
+                backend = "dense"
+            else:
+                backend = DEFAULT_SOLVER_COST_MODEL.choose(size, nnz)
+        else:
+            backend = requested
+        if backend == "sparse":
+            if self.pattern is None:
+                raise AnalysisError(
+                    "sparse assembly requested but scipy is absent"
+                )
+            if solver is None:
+                solver = SparseLUSolver()
+            elif not isinstance(solver, SparseLUSolver):
+                raise AnalysisError(
+                    f"sparse assembly requires a SparseLUSolver backend, "
+                    f"got {solver.name!r}"
+                )
+        self.assembly = backend
+
+        if backend == "sparse":
+            pattern = self.pattern
+            self._base_g = _CooContext.scatter(
+                pattern, probe.g_rows, probe.g_cols, probe.g_vals
+            )
+            self._base_c = _CooContext.scatter(
+                pattern, probe.c_rows, probe.c_cols, probe.c_vals
+            )
+            # CSR copies of the constant stamps for the residual/charge
+            # matvecs G0 @ x and C0 @ x.
+            self._g0_csr = pattern.csc(self._base_g).tocsr()
+            self._c0_csr = pattern.csc(self._base_c).tocsr()
+            self._g_data = np.zeros(pattern.nnz + 1)
+            self._c_data = np.zeros(pattern.nnz + 1)
+            self._g_pm = PatternMatrix(pattern, self._g_data)
+            self._c_pm = PatternMatrix(pattern, self._c_data)
+            self._g0 = self._c0 = None
+            self._g_full = self._c_full = None
+            if self._bjt_group is not None:
+                self._bjt_group.bind_sparse(
+                    pattern, self._g_data, self._c_data
+                )
+            self.stats.pattern_nnz = pattern.nnz
+            GLOBAL_STATS.pattern_nnz = pattern.nnz
+        else:
+            self._g0 = _CooContext.densify(
+                size, probe.g_rows, probe.g_cols, probe.g_vals
+            )
+            self._c0 = _CooContext.densify(
+                size, probe.c_rows, probe.c_cols, probe.c_vals
+            )
+            self._g_full = np.zeros((n1, n1))
+            self._c_full = np.zeros((n1, n1))
+            if self._bjt_group is not None:
+                self._bjt_group.bind_dense(self._g_full, self._c_full)
+
         self.solver = solver if solver is not None else make_solver(size)
         self.solver.bind(self.stats, GLOBAL_STATS)
         self.stats.solver = self.solver.name
+        self.stats.assembly = backend
         GLOBAL_STATS.solver = self.solver.name
+        GLOBAL_STATS.assembly = backend
         self.stats.compilations += 1
         GLOBAL_STATS.compilations += 1
         elapsed = _time.perf_counter() - t0
@@ -1395,11 +1696,20 @@ class CompiledCircuit:
         size = self.size
         i = self._i_full[:size]
         q = self._q_full[:size]
-        g = self._g_full[:size, :size]
-        c = self._c_full[:size, :size]
-
-        np.dot(self._c0, x, out=q)
-        q += self._q0
+        sparse = self.assembly == "sparse"
+        if sparse:
+            # Flat nnz-length assembly: no (n, n) buffer exists, let
+            # alone gets written.  The constant stamps are CSR matvecs
+            # (O(nnz)) and base-value copies into the pattern data.
+            g = self._g_pm
+            c = self._c_pm
+            q[:] = self._c0_csr.dot(x)
+            q += self._q0
+        else:
+            g = self._g_full[:size, :size]
+            c = self._c_full[:size, :size]
+            np.dot(self._c0, x, out=q)
+            q += self._q0
         if not charges_only:
             if residual_only:
                 # Caller will reuse a cached factorization: leave the
@@ -1407,14 +1717,25 @@ class CompiledCircuit:
                 # them, which is harmless — nothing reads the Jacobian
                 # on a chord-reuse iteration.
                 pass
+            elif sparse:
+                if jac_alpha is not None:
+                    np.multiply(self._base_c, jac_alpha, out=self._g_data)
+                    self._g_data += self._base_g
+                else:
+                    np.copyto(self._g_data, self._base_g)
+                    np.copyto(self._c_data, self._base_c)
             elif jac_alpha is not None:
                 np.multiply(self._c0, jac_alpha, out=g)
                 g += self._g0
             else:
                 np.copyto(g, self._g0)
                 np.copyto(c, self._c0)
-            np.dot(self._g0, x, out=i)
-            i += self._i0
+            if sparse:
+                i[:] = self._g0_csr.dot(x)
+                i += self._i0
+            else:
+                np.dot(self._g0, x, out=i)
+                i += self._i0
 
             if source_scale != 0.0:
                 if self._has_src_dc:
@@ -1459,6 +1780,12 @@ class CompiledCircuit:
 
         self.stats.assemblies += 1
         GLOBAL_STATS.assemblies += 1
+        if sparse:
+            self.stats.sparse_assemblies += 1
+            GLOBAL_STATS.sparse_assemblies += 1
+        else:
+            self.stats.dense_assemblies += 1
+            GLOBAL_STATS.dense_assemblies += 1
         self.stats.element_evals += self._eval_cost - bypassed
         GLOBAL_STATS.element_evals += self._eval_cost - bypassed
         if bypassed:
@@ -1516,6 +1843,23 @@ class CompiledCircuit:
         return NaN instead of raising."""
         return self.solver.solve_batched_exact(systems, rhs)
 
+    def solve_pattern_batched(self, data: np.ndarray, rhs: np.ndarray,
+                              transpose: bool = False) -> np.ndarray:
+        """Solve a ``(batch, nnz)`` stack over the compiled pattern.
+
+        The sparse-assembly analogue of :meth:`solve_batched`: blocked
+        AC/noise build per-frequency value vectors over the fixed
+        pattern instead of dense ``(batch, n, n)`` stacks.  Only
+        meaningful on a sparse-assembly engine.
+        """
+        if self.pattern is None or self.assembly != "sparse":
+            raise AnalysisError(
+                "solve_pattern_batched requires a sparse-assembly engine"
+            )
+        return self.solver.solve_pattern_batched(
+            self.pattern, data, rhs, transpose=transpose
+        )
+
     def timed(self) -> _timed_stats:
         """Context manager charging elapsed wall time to this engine."""
         return _timed_stats(self.stats, GLOBAL_STATS)
@@ -1539,6 +1883,9 @@ class LegacyEngine:
     #: No fused G + alpha*C assembly either — the integrator keeps its
     #: reference dense multiply-add against this engine.
     supports_fused_jacobian = False
+    #: No symbolic pattern: the legacy path always assembles densely.
+    pattern = None
+    assembly = "dense"
 
     def __init__(self, circuit: Circuit, solver: LinearSolver | None = None):
         self.circuit = circuit
@@ -1604,24 +1951,32 @@ class LegacyEngine:
 
 
 def compile_circuit(
-    circuit: Circuit, solver: LinearSolver | None = None
+    circuit: Circuit, solver: LinearSolver | None = None,
+    mode: str | None = None,
 ) -> CompiledCircuit:
     """Compile ``circuit`` into a fresh :class:`CompiledCircuit`."""
-    return CompiledCircuit(circuit, solver=solver)
+    return CompiledCircuit(circuit, solver=solver, mode=mode)
 
 
-def get_engine(circuit: Circuit) -> CompiledCircuit:
+def get_engine(circuit: Circuit, mode: str | None = None) -> CompiledCircuit:
     """The circuit's cached compiled engine, rebuilt when stale.
 
     Staleness is tracked by ``Circuit._generation`` (bumped on element
-    add/remove and by :meth:`Circuit.invalidate`).
+    add/remove and by :meth:`Circuit.invalidate`).  ``mode`` pins the
+    assembly backend (``"dense"``/``"sparse"``; default ``"auto"``);
+    engines are cached per mode so e.g. a dense-vs-sparse equivalence
+    test doesn't thrash one cache slot.
     """
     circuit.assign_indices()
-    cached = getattr(circuit, "_compiled_engine", None)
+    key = mode or "auto"
+    engines = getattr(circuit, "_compiled_engines", None)
+    if engines is None:
+        engines = circuit._compiled_engines = {}
+    cached = engines.get(key)
     if cached is not None and cached.generation == circuit._generation:
         return cached
-    engine = CompiledCircuit(circuit)
-    circuit._compiled_engine = engine
+    engine = CompiledCircuit(circuit, mode=mode)
+    engines[key] = engine
     return engine
 
 
@@ -1630,11 +1985,15 @@ def resolve_engine(circuit: Circuit, engine=None):
 
     ``None`` uses the circuit's cached compiled engine, the string
     ``"legacy"`` a cached per-element re-stamping engine, the string
-    ``"compiled"`` the compiled engine explicitly; an engine object is
-    validated against the circuit's current generation.
+    ``"compiled"`` the compiled engine explicitly; ``"dense"``,
+    ``"sparse"`` and ``"auto"`` pin the compiled engine's assembly
+    backend; an engine object is validated against the circuit's
+    current generation.
     """
     if engine is None or engine == "compiled":
         return get_engine(circuit)
+    if engine in ("dense", "sparse", "auto"):
+        return get_engine(circuit, mode=engine)
     if engine == "legacy":
         circuit.assign_indices()
         cached = getattr(circuit, "_legacy_engine", None)
@@ -1645,7 +2004,8 @@ def resolve_engine(circuit: Circuit, engine=None):
         return legacy
     if isinstance(engine, str):
         raise AnalysisError(
-            f"unknown engine {engine!r}; expected 'compiled' or 'legacy'"
+            f"unknown engine {engine!r}; expected 'compiled', 'legacy', "
+            "'dense', 'sparse' or 'auto'"
         )
     if engine.circuit is not circuit:
         raise AnalysisError("engine was compiled for a different circuit")

@@ -1,0 +1,193 @@
+"""Pre-simulation connectivity lint.
+
+A deck that is structurally broken — a dangling node, a capacitor-only
+subnet with no DC path to ground, an island of components never touching
+ground — produces a singular or near-singular MNA system.  The solver
+*can* limp through many of these thanks to the ``DIAG_GSHUNT``
+regularization, but the answer is physically meaningless (the dangling
+node floats to whatever the 1e-12 S shunt dictates) and the failure
+surfaces as a baffling convergence report deep inside Newton.
+
+This module diagnoses those topologies *before* any matrix is built and
+raises a structured :class:`~repro.errors.ConnectivityError` naming the
+offending nodes, so ``repro run`` fails fast with an actionable message.
+
+Checks (each yields :class:`LintIssue` records):
+
+``floating-node``
+    A non-ground node touched by exactly one element.  No KCL balance is
+    possible at such a node unless the element itself pins the voltage
+    (voltage-defined branches are exempt: V sources, E/H controlled
+    sources, inductors).
+``no-dc-path``
+    A node with no DC-conducting path to ground.  Capacitors are open at
+    DC and current sources have infinite output impedance, so a node
+    reachable only through them has an undefined DC voltage — the
+    classic "capacitor-only node" SPICE topology error.
+``ungrounded-island``
+    A connected component of the circuit graph that never touches
+    ground.  Every voltage in the island is defined only relative to the
+    island itself; the MNA system is singular there.
+
+The lint is topological only — it never evaluates a device, so it runs
+in O(elements) and cannot produce convergence-dependent false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConnectivityError
+from .elements.capacitor import Capacitor
+from .elements.inductor import Inductor
+from .elements.sources import CurrentSource, VoltageSource
+from .elements.controlled import CCVS, VCVS
+from .netlist import Circuit
+
+__all__ = ["LintIssue", "check_circuit", "lint_circuit"]
+
+#: Elements whose branch equation pins the voltage across their
+#: terminals; a node touched only by one of these is still well-defined.
+_VOLTAGE_DEFINED = (VoltageSource, VCVS, CCVS, Inductor)
+
+#: Elements that conduct no DC current between their terminals and so do
+#: not contribute to the "DC path to ground" connectivity graph.
+_DC_OPEN = (Capacitor, CurrentSource)
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One connectivity defect found by :func:`check_circuit`."""
+
+    #: ``"floating-node"``, ``"no-dc-path"`` or ``"ungrounded-island"``.
+    code: str
+    #: Offending node names (canonical spelling, sorted).
+    nodes: tuple[str, ...]
+    #: Human-readable diagnosis.
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"[{self.code}] {self.message}"
+
+
+class _UnionFind:
+    """Path-halving union-find over node names (ground is ``"0"``)."""
+
+    def __init__(self):
+        self._parent: dict[str, str] = {}
+
+    def find(self, node: str) -> str:
+        parent = self._parent
+        root = parent.setdefault(node, node)
+        while parent[root] != root:
+            parent[root] = parent[parent[root]]
+            root = parent[root]
+        parent[node] = root
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+def _element_nodes(element) -> list[str]:
+    """Distinct node names an element touches (self-loops collapse)."""
+    return list(dict.fromkeys(element.nodes))
+
+
+def check_circuit(circuit: Circuit) -> list[LintIssue]:
+    """Run every connectivity check; return the issues found (may be [])."""
+    issues: list[LintIssue] = []
+    elements = list(circuit)
+    if not elements:
+        return issues
+
+    # --- floating nodes: exactly one connecting element -----------------------
+    touching: dict[str, list] = {}
+    for element in elements:
+        for node in _element_nodes(element):
+            if node != "0":
+                touching.setdefault(node, []).append(element)
+    floating = sorted(
+        node for node, elems in touching.items()
+        if len(elems) == 1 and not isinstance(elems[0], _VOLTAGE_DEFINED)
+    )
+    for node in floating:
+        element = touching[node][0]
+        issues.append(LintIssue(
+            code="floating-node",
+            nodes=(node,),
+            message=(
+                f"node {node!r} is connected only to {element.name} — "
+                "no current balance is possible at a single-terminal node"
+            ),
+        ))
+
+    # --- DC path to ground: union-find excluding DC-open elements -------------
+    dc = _UnionFind()
+    dc.find("0")
+    for element in elements:
+        if isinstance(element, _DC_OPEN):
+            continue
+        nodes = _element_nodes(element)
+        for other in nodes[1:]:
+            dc.union(nodes[0], other)
+    ground = dc.find("0")
+    dc_floating = sorted(
+        node for node in touching if dc.find(node) != ground
+    )
+
+    # --- ungrounded islands: union-find over every element --------------------
+    full = _UnionFind()
+    full.find("0")
+    for element in elements:
+        nodes = _element_nodes(element)
+        for other in nodes[1:]:
+            full.union(nodes[0], other)
+    ground = full.find("0")
+    islands: dict[str, list[str]] = {}
+    for node in touching:
+        root = full.find(node)
+        if root != ground:
+            islands.setdefault(root, []).append(node)
+    island_nodes = {n for group in islands.values() for n in group}
+    for group in sorted(islands.values()):
+        group = tuple(sorted(group))
+        names = ", ".join(group)
+        issues.append(LintIssue(
+            code="ungrounded-island",
+            nodes=group,
+            message=(
+                f"nodes {{{names}}} form an island with no connection to "
+                "ground — every voltage in it is undefined"
+            ),
+        ))
+
+    # Report no-dc-path only for nodes that are otherwise grounded: a
+    # fully isolated island is the stronger diagnosis and already covers
+    # its members.
+    for node in dc_floating:
+        if node in island_nodes:
+            continue
+        issues.append(LintIssue(
+            code="no-dc-path",
+            nodes=(node,),
+            message=(
+                f"node {node!r} has no DC path to ground (capacitors are "
+                "open and current sources are infinite-impedance at DC), "
+                "so its operating-point voltage is undefined"
+            ),
+        ))
+
+    return issues
+
+
+def lint_circuit(circuit: Circuit) -> None:
+    """Raise :class:`~repro.errors.ConnectivityError` if any check fails."""
+    issues = check_circuit(circuit)
+    if issues:
+        lines = [f"circuit {circuit.title!r} failed connectivity lint "
+                 f"({len(issues)} issue(s)):"]
+        lines += [f"  {issue}" for issue in issues]
+        raise ConnectivityError("\n".join(lines), issues=issues)

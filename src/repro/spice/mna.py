@@ -11,9 +11,13 @@ Jacobian ``G = dI/dx``, and charges/fluxes to ``Q`` and its Jacobian
 :mod:`repro.spice.ac` and :mod:`repro.spice.transient` combine these into
 the per-iteration linear systems.
 
-Matrices are dense numpy arrays; the circuits in this package are at most
-a few hundred unknowns, for which dense LU is both simpler and faster than
-sparse machinery.
+The matrix buffers are dense numpy arrays here (the legacy path and
+small circuits), but the accumulation protocol is backend-agnostic: the
+compiled engine's sparse assembly substitutes
+:class:`repro.spice.sparse.PatternMatrix` value arrays for ``g_mat`` /
+``c_mat`` and the same ``add_g`` / ``add_c`` calls scatter into the flat
+CSC data instead.  :mod:`repro.spice.solvercost` decides which backend a
+given circuit gets.
 """
 
 from __future__ import annotations

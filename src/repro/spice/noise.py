@@ -268,7 +268,9 @@ def _solve_noise(
         gain_squared = np.zeros(len(frequencies))
 
     solve_batched = getattr(engine, "solve_batched", None)
-    if batched and solve_batched is not None and len(frequencies) > 1:
+    sparse = getattr(engine, "assembly", "dense") == "sparse"
+    if batched and (sparse or solve_batched is not None) \
+            and len(frequencies) > 1:
         from .ac import ac_block_size
 
         count = len(frequencies)
@@ -279,20 +281,38 @@ def _solve_noise(
             rhs_in = _input_rhs(input_element, size)
             input_solutions = np.empty((count, size), dtype=complex)
         omegas = 2.0 * math.pi * frequencies
-        block = ac_block_size(size)
-        for start in range(0, count, block):
-            w = omegas[start:start + block]
-            systems = (g_mat[None, :, :]
-                       + 1j * w[:, None, None] * c_mat[None, :, :])
-            # The adjoint prices every noise source with one transpose
-            # solve per frequency; the whole block goes in one call.
-            adjoints[start:start + len(w)] = solve_batched(
-                systems.transpose(0, 2, 1), e_out.astype(complex)
-            )
-            if input_solutions is not None:
-                input_solutions[start:start + len(w)] = solve_batched(
-                    systems, rhs_in
+        if sparse:
+            # Flat (block, nnz) value stacks over the compiled pattern;
+            # the adjoint transpose stays sparse inside the solver.
+            g_vals, c_vals = g_mat.values, c_mat.values
+            block = ac_block_size(size, nnz=engine.pattern.nnz)
+            for start in range(0, count, block):
+                w = omegas[start:start + block]
+                data = g_vals[None, :] + 1j * w[:, None] * c_vals[None, :]
+                adjoints[start:start + len(w)] = (
+                    engine.solve_pattern_batched(
+                        data, e_out.astype(complex), transpose=True
+                    )
                 )
+                if input_solutions is not None:
+                    input_solutions[start:start + len(w)] = (
+                        engine.solve_pattern_batched(data, rhs_in)
+                    )
+        else:
+            block = ac_block_size(size)
+            for start in range(0, count, block):
+                w = omegas[start:start + block]
+                systems = (g_mat[None, :, :]
+                           + 1j * w[:, None, None] * c_mat[None, :, :])
+                # The adjoint prices every noise source with one transpose
+                # solve per frequency; the whole block goes in one call.
+                adjoints[start:start + len(w)] = solve_batched(
+                    systems.transpose(0, 2, 1), e_out.astype(complex)
+                )
+                if input_solutions is not None:
+                    input_solutions[start:start + len(w)] = solve_batched(
+                        systems, rhs_in
+                    )
         for source in sources:
             y_p = adjoints[:, source.p] if source.p >= 0 else 0.0
             y_n = adjoints[:, source.n] if source.n >= 0 else 0.0

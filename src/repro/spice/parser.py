@@ -251,7 +251,16 @@ class _Parser:
             recognized = ("reltol", "vntol", "abstol", "itl1", "gmin")
             rest = line.split(None, 1)[1] if len(words) > 1 else ""
             for name, value in re.findall(r"(\w+)\s*=\s*(\S+)", rest):
-                if name.lower() in recognized:
+                if name.lower() == "solver":
+                    # String-valued: picks the engine assembly backend.
+                    backend = value.lower()
+                    if backend not in ("auto", "dense", "sparse"):
+                        raise ParseError(
+                            f".OPTIONS SOLVER must be auto, dense or "
+                            f"sparse (got {value})", lineno,
+                        )
+                    self.options["solver"] = backend
+                elif name.lower() in recognized:
                     try:
                         self.options[name.lower()] = parse_value(value)
                     except Exception:

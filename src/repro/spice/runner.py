@@ -23,6 +23,7 @@ from .analysis import (
     transfer_function,
 )
 from .fourier import FourierResult, fourier_analysis
+from .lint import lint_circuit
 from .noise import NoiseResult, solve_noise
 from .parser import Deck, parse_deck
 from .transient import TransientResult
@@ -142,14 +143,24 @@ def _deck_tolerances(deck: Deck):
     ), gmin
 
 
-def run_deck(deck: Deck | str, engine=None) -> DeckRun:
+def run_deck(deck: Deck | str, engine=None, lint: bool = True) -> DeckRun:
     """Execute every analysis card of a deck (text or parsed).
 
     ``engine`` selects the evaluation engine for every analysis (see
     :func:`repro.spice.engine.resolve_engine`): ``None`` uses the
-    circuit's cached compiled engine, ``"legacy"`` the per-element
-    re-stamping reference path.  Recognized ``.OPTIONS`` settings
-    (RELTOL/VNTOL/ABSTOL/ITL1/GMIN) configure the Newton tolerances.
+    circuit's cached compiled engine (honoring the deck's
+    ``.OPTIONS SOLVER=auto|dense|sparse`` card, if any), ``"legacy"``
+    the per-element re-stamping reference path, ``"dense"``/``"sparse"``
+    /``"auto"`` a compiled engine with that assembly backend.
+    Recognized ``.OPTIONS`` settings (RELTOL/VNTOL/ABSTOL/ITL1/GMIN)
+    configure the Newton tolerances.
+
+    Unless ``lint=False``, the circuit first passes the connectivity
+    lint (:func:`repro.spice.lint.lint_circuit`): structurally broken
+    decks — floating nodes, capacitor-only DC-floating nodes,
+    ungrounded islands — raise a structured
+    :class:`~repro.errors.ConnectivityError` before any Newton
+    iteration runs.
     """
     if isinstance(deck, str):
         deck = parse_deck(deck)
@@ -157,6 +168,10 @@ def run_deck(deck: Deck | str, engine=None) -> DeckRun:
         raise AnalysisError(
             "deck requests no analyses (.OP/.DC/.AC/.TRAN)"
         )
+    if lint:
+        lint_circuit(deck.circuit)
+    if engine is None:
+        engine = (getattr(deck, "options", None) or {}).get("solver")
     tolerances, gmin = _deck_tolerances(deck)
     simulator = Simulator(deck.circuit, tolerances=tolerances, gmin=gmin,
                           engine=engine)

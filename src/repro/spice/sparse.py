@@ -1,0 +1,262 @@
+"""Sparse-native matrix assembly: fixed symbolic pattern + flat data.
+
+Dense assembly writes every Newton iteration into an ``(n, n)`` matrix —
+O(n^2) memory traffic no matter how sparse the circuit is.  The sparse
+assembly path builds the *symbolic* sparsity structure exactly once at
+compile time and then fills a flat nnz-length data array per iteration:
+
+* :class:`SparsityPattern` deduplicates every stamp slot the compiled
+  circuit can ever touch (linear stamps, vectorized BJT-group lanes,
+  scalar nonlinear elements, the gshunt diagonal) into a fixed CSC
+  structure, and maps any ``(row, col)`` stamp slot to its position in
+  the shared ``data`` array.  Ground / dummy slots (index ``size``) map
+  to a trailing scratch position that is never read — the same trick the
+  dense buffers play with their extra row/column.
+* :class:`PatternMatrix` is the nnz-length value array bound to a
+  pattern.  It quacks like the small corner of ``ndarray`` the analyses
+  actually use (scalar and fancy ``[row, col]`` access, ``alpha * C``,
+  ``G += ...``, ``copy``), so :class:`~repro.spice.mna.LoadContext` and
+  the Newton loops run unchanged on top of it.
+
+Wrapping the data array back into ``scipy.sparse.csc_matrix`` is a
+zero-copy header operation, which is what lets
+:class:`~repro.spice.engine.SparseLUSolver` factorize without ever
+scanning a dense matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+try:
+    from scipy import sparse as _sp
+except ImportError:  # pragma: no cover - scipy is present in CI
+    _sp = None
+
+__all__ = ["SparsityPattern", "PatternMatrix"]
+
+
+class SparsityPattern:
+    """Deduplicated CSC structure over a set of stamp slots.
+
+    ``rows``/``cols`` list every slot that may ever receive a stamp;
+    entries at the dummy index ``size`` (ground-mapped lanes) are kept
+    out of the structure but still get a position — the trailing scratch
+    slot ``nnz`` — so vectorized scatters need no masking.
+
+    The structure is immutable after construction; every assembly reuses
+    it (that reuse is the "symbolic analysis" the solver no longer pays
+    per factorization).
+    """
+
+    def __init__(self, size: int, rows, cols):
+        rows = np.asarray(rows, dtype=np.intp).reshape(-1)
+        cols = np.asarray(cols, dtype=np.intp).reshape(-1)
+        if rows.shape != cols.shape:
+            raise AnalysisError("sparsity pattern rows/cols length mismatch")
+        if rows.size and (rows.min() < 0 or cols.min() < 0):
+            raise AnalysisError("sparsity pattern got a negative index")
+        self.size = int(size)
+        dummy = (rows >= size) | (cols >= size)
+        keys = cols[~dummy] * np.intp(size) + rows[~dummy]
+        #: Sorted unique ``col*size + row`` keys — CSC (column-major) order.
+        self._keys = np.unique(keys)
+        nnz = int(self._keys.size)
+        self.nnz = nnz
+        #: CSC row indices / column pointers of the deduplicated structure.
+        self.indices = (self._keys % size).astype(np.int32)
+        self.indptr = np.searchsorted(
+            self._keys // size, np.arange(size + 1)
+        ).astype(np.int32)
+        #: Data positions of the diagonal (present for every unknown; the
+        #: engine seeds the pattern with the full diagonal so gshunt
+        #: regularization always has a slot).
+        self._diag_positions: np.ndarray | None = None
+        self._scalar_cache: dict[tuple[int, int], int] = {}
+
+    def positions(self, rows, cols) -> np.ndarray:
+        """Data positions of the given slots (vectorized).
+
+        Dummy slots (row or col ``>= size``) map to the scratch position
+        ``nnz``.  A structurally absent in-range slot raises — silently
+        dropping a stamp would corrupt the physics.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        dummy = (rows >= self.size) | (cols >= self.size)
+        keys = np.where(dummy, self._keys[0] if self.nnz else 0,
+                        cols * np.intp(self.size) + rows)
+        pos = np.searchsorted(self._keys, keys)
+        np.minimum(pos, max(self.nnz - 1, 0), out=pos)
+        missing = ~dummy & (
+            (self.nnz == 0) | (self._keys[pos] != keys)
+        )
+        if np.any(missing):
+            k = int(np.argmax(missing))
+            raise AnalysisError(
+                f"stamp slot ({int(rows.reshape(-1)[k] if rows.ndim else rows)}, "
+                f"{int(cols.reshape(-1)[k] if cols.ndim else cols)}) is outside "
+                "the compiled sparsity pattern (circuit changed after compile?)"
+            )
+        return np.where(dummy, self.nnz, pos).astype(np.intp)
+
+    def position(self, row: int, col: int) -> int:
+        """Data position of one slot (cached scalar fast path)."""
+        key = (row, col)
+        pos = self._scalar_cache.get(key)
+        if pos is None:
+            pos = int(self.positions(np.array([row]), np.array([col]))[0])
+            self._scalar_cache[key] = pos
+        return pos
+
+    @property
+    def diag_positions(self) -> np.ndarray:
+        """Data positions of the full diagonal ``(i, i)``."""
+        if self._diag_positions is None:
+            diag = np.arange(self.size, dtype=np.intp)
+            self._diag_positions = self.positions(diag, diag)
+        return self._diag_positions
+
+    def matrix(self, data: np.ndarray | None = None) -> "PatternMatrix":
+        """A :class:`PatternMatrix` over ``data`` (fresh zeros if None)."""
+        if data is None:
+            data = np.zeros(self.nnz + 1)
+        return PatternMatrix(self, data)
+
+    def csc(self, data: np.ndarray):
+        """Zero-copy ``csc_matrix`` header over an nnz-length data array.
+
+        ``data`` may be length ``nnz`` or ``nnz + 1`` (with the trailing
+        scratch slot); only the first ``nnz`` values enter the matrix.
+        """
+        if _sp is None:  # pragma: no cover - scipy is present in CI
+            raise AnalysisError("sparse assembly requires scipy")
+        return _sp.csc_matrix(
+            (data[: self.nnz], self.indices, self.indptr),
+            shape=(self.size, self.size), copy=False,
+        )
+
+
+class PatternMatrix:
+    """nnz-length value array that behaves like the matrix it encodes.
+
+    ``data`` has ``pattern.nnz + 1`` entries: the structural values in
+    CSC order plus one trailing scratch slot absorbing ground-lane
+    scatters (never read).  Supports exactly the operations the analyses
+    perform on a Jacobian — anything else should go through
+    :meth:`toarray` explicitly.
+    """
+
+    __slots__ = ("pattern", "data")
+
+    def __init__(self, pattern: SparsityPattern, data: np.ndarray):
+        if data.shape[-1] not in (pattern.nnz, pattern.nnz + 1):
+            raise AnalysisError(
+                f"pattern data length {data.shape[-1]} does not match "
+                f"nnz {pattern.nnz}"
+            )
+        self.pattern = pattern
+        self.data = data
+
+    @property
+    def values(self) -> np.ndarray:
+        """The structural values (scratch slot excluded)."""
+        return self.data[: self.pattern.nnz]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.pattern.size, self.pattern.size)
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    # -- element access (LoadContext.add_g / gshunt diagonal) ------------------
+
+    def _key_positions(self, key):
+        row, col = key
+        if isinstance(row, (int, np.integer)) and isinstance(
+            col, (int, np.integer)
+        ):
+            return self.pattern.position(int(row), int(col))
+        return self.pattern.positions(row, col)
+
+    def __getitem__(self, key):
+        return self.data[self._key_positions(key)]
+
+    def __setitem__(self, key, value):
+        self.data[self._key_positions(key)] = value
+
+    # -- whole-matrix arithmetic (transient integrator, AC combination) --------
+
+    def copy(self) -> "PatternMatrix":
+        return PatternMatrix(self.pattern, self.data.copy())
+
+    def __mul__(self, scalar):
+        out = self.data[: self.pattern.nnz + 1].astype(
+            np.result_type(self.data.dtype, type(scalar)), copy=True
+        )
+        out *= scalar
+        return PatternMatrix(self.pattern, out)
+
+    __rmul__ = __mul__
+
+    def __iadd__(self, other):
+        if isinstance(other, PatternMatrix):
+            if other.pattern is not self.pattern:
+                raise AnalysisError(
+                    "cannot combine PatternMatrix values from different "
+                    "sparsity patterns"
+                )
+            self.values.__iadd__(other.values)
+            return self
+        return NotImplemented
+
+    def __add__(self, other):
+        if isinstance(other, PatternMatrix):
+            if other.pattern is not self.pattern:
+                raise AnalysisError(
+                    "cannot combine PatternMatrix values from different "
+                    "sparsity patterns"
+                )
+            nnz = self.pattern.nnz
+            out = np.zeros(
+                nnz + 1,
+                dtype=np.result_type(self.data.dtype, other.data.dtype),
+            )
+            np.add(self.values, other.values, out=out[:nnz])
+            return PatternMatrix(self.pattern, out)
+        return NotImplemented
+
+    # -- conversion -------------------------------------------------------------
+
+    def to_csc(self):
+        """Zero-copy ``csc_matrix`` over the current values."""
+        return self.pattern.csc(self.data)
+
+    def toarray(self) -> np.ndarray:
+        return self.to_csc().toarray()
+
+    def __array__(self, dtype=None, copy=None):
+        dense = self.toarray()
+        if dtype is not None:
+            dense = dense.astype(dtype)
+        return dense
+
+    @property
+    def T(self) -> np.ndarray:
+        # Only reached by fallback (non-batched) adjoint solves; the
+        # batched noise path keeps the transpose sparse.
+        return self.toarray().T
+
+    def dot(self, x: np.ndarray) -> np.ndarray:
+        return self.to_csc().dot(x)
+
+    def __matmul__(self, x):
+        return self.dot(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<PatternMatrix {self.pattern.size}x{self.pattern.size}, "
+                f"nnz={self.pattern.nnz}>")

@@ -1,0 +1,177 @@
+"""Connectivity lint: structural defects diagnosed before Newton runs."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConnectivityError
+from repro.spice import check_circuit, lint_circuit, parse_deck, run_deck
+from repro.spice.elements import (
+    Capacitor,
+    CurrentSource,
+    Resistor,
+    VoltageSource,
+)
+from repro.spice.netlist import Circuit
+
+DECKS = sorted(
+    (Path(__file__).resolve().parents[2] / "examples" / "decks").glob("*.cir")
+)
+
+
+def _circuit(*elements):
+    ckt = Circuit("lint-test")
+    for element in elements:
+        ckt.add(element)
+    return ckt
+
+
+class TestFloatingNode:
+    def test_single_connection_node_is_flagged(self):
+        ckt = _circuit(
+            VoltageSource("V1", ("in", "0"), dc=1.0),
+            Resistor("R1", ("in", "0"), 1e3),
+            Resistor("RD", ("in", "dangle"), 1e3),
+        )
+        issues = check_circuit(ckt)
+        assert [i.code for i in issues] == ["floating-node"]
+        assert issues[0].nodes == ("dangle",)
+        assert "RD" in issues[0].message
+
+    def test_voltage_defined_single_node_is_fine(self):
+        # V2 pins node "tap" through its branch equation; no KCL issue.
+        ckt = _circuit(
+            VoltageSource("V1", ("in", "0"), dc=1.0),
+            Resistor("R1", ("in", "0"), 1e3),
+            VoltageSource("V2", ("tap", "0"), dc=2.0),
+        )
+        assert check_circuit(ckt) == []
+
+    def test_dangling_current_source_is_flagged(self):
+        ckt = _circuit(
+            VoltageSource("V1", ("in", "0"), dc=1.0),
+            Resistor("R1", ("in", "0"), 1e3),
+            CurrentSource("I1", ("in", "sink"), dc=1e-3),
+        )
+        codes = {i.code for i in check_circuit(ckt)}
+        assert "floating-node" in codes
+
+
+class TestDCPath:
+    def test_capacitor_only_node_is_flagged(self):
+        ckt = _circuit(
+            VoltageSource("V1", ("in", "0"), dc=1.0),
+            Resistor("R1", ("in", "out"), 1e3),
+            Resistor("R2", ("out", "0"), 1e3),
+            Capacitor("C1", ("out", "mid"), 1e-12),
+            Capacitor("C2", ("mid", "0"), 1e-12),
+        )
+        issues = check_circuit(ckt)
+        assert [i.code for i in issues] == ["no-dc-path"]
+        assert issues[0].nodes == ("mid",)
+
+    def test_capacitor_bridged_by_resistor_is_fine(self):
+        ckt = _circuit(
+            VoltageSource("V1", ("in", "0"), dc=1.0),
+            Resistor("R1", ("in", "out"), 1e3),
+            Capacitor("C1", ("out", "0"), 1e-12),
+            Resistor("R2", ("out", "0"), 1e6),
+        )
+        assert check_circuit(ckt) == []
+
+    def test_current_source_does_not_provide_dc_path(self):
+        # The bias current reaches "b" but cannot define its voltage.
+        ckt = _circuit(
+            VoltageSource("V1", ("in", "0"), dc=1.0),
+            Resistor("R1", ("in", "0"), 1e3),
+            CurrentSource("I1", ("0", "b"), dc=1e-3),
+            Capacitor("C1", ("b", "0"), 1e-12),
+        )
+        codes = [i.code for i in check_circuit(ckt)]
+        assert codes == ["no-dc-path"]
+
+
+class TestIslands:
+    def test_ungrounded_island_is_flagged(self):
+        ckt = _circuit(
+            VoltageSource("V1", ("in", "0"), dc=1.0),
+            Resistor("R1", ("in", "0"), 1e3),
+            Resistor("RA", ("a", "b"), 1e3),
+            Resistor("RB", ("b", "a"), 2e3),
+        )
+        issues = check_circuit(ckt)
+        assert [i.code for i in issues] == ["ungrounded-island"]
+        assert issues[0].nodes == ("a", "b")
+
+    def test_island_subsumes_no_dc_path(self):
+        # Island members must not be double-reported as no-dc-path.
+        ckt = _circuit(
+            VoltageSource("V1", ("in", "0"), dc=1.0),
+            Resistor("R1", ("in", "0"), 1e3),
+            Capacitor("CA", ("a", "b"), 1e-12),
+        )
+        codes = [i.code for i in check_circuit(ckt)]
+        assert codes.count("ungrounded-island") == 1
+        assert "no-dc-path" not in codes
+
+
+class TestRunDeckIntegration:
+    @pytest.mark.parametrize("path", DECKS, ids=lambda p: p.stem)
+    def test_example_decks_pass_lint(self, path):
+        deck = parse_deck(path.read_text())
+        assert check_circuit(deck.circuit) == []
+
+    def test_run_deck_raises_before_solving(self):
+        text = (
+            "broken\n"
+            "V1 in 0 5\n"
+            "R1 in out 1k\n"
+            "R2 out 0 1k\n"
+            "C1 out mid 1p\n"
+            "C2 mid 0 1p\n"
+            ".OP\n.END\n"
+        )
+        with pytest.raises(ConnectivityError) as excinfo:
+            run_deck(text)
+        issue, = excinfo.value.issues
+        assert issue.code == "no-dc-path"
+        assert issue.nodes == ("mid",)
+        assert "mid" in str(excinfo.value)
+
+    def test_run_deck_lint_can_be_disabled(self):
+        # The DIAG_GSHUNT regularization makes the deck solvable anyway;
+        # lint=False restores the permissive pre-lint behavior.
+        text = (
+            "permissive\n"
+            "V1 in 0 5\n"
+            "R1 in out 1k\n"
+            "R2 out 0 1k\n"
+            "C1 out mid 1p\n"
+            ".OP\n.END\n"
+        )
+        run = run_deck(text, lint=False)
+        assert len(run.results) == 1
+
+    def test_lint_circuit_raises_structured_error(self):
+        ckt = _circuit(
+            VoltageSource("V1", ("in", "0"), dc=1.0),
+            Resistor("R1", ("in", "0"), 1e3),
+            Resistor("RD", ("in", "x"), 1e3),
+        )
+        with pytest.raises(ConnectivityError) as excinfo:
+            lint_circuit(ckt)
+        assert excinfo.value.issues[0].code == "floating-node"
+
+    def test_connectivity_error_pickles_with_issues(self):
+        import pickle
+
+        ckt = _circuit(
+            VoltageSource("V1", ("in", "0"), dc=1.0),
+            Resistor("R1", ("in", "0"), 1e3),
+            Resistor("RD", ("in", "x"), 1e3),
+        )
+        try:
+            lint_circuit(ckt)
+        except ConnectivityError as err:
+            clone = pickle.loads(pickle.dumps(err))
+            assert clone.issues == err.issues
