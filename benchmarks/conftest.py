@@ -45,6 +45,10 @@ _OPTIMIZE_RECORDS: list[dict] = []
 #: :func:`record_sparse`, dumped to BENCH_sparse.json.
 _SPARSE_RECORDS: list[dict] = []
 
+#: job-server load-test measurements pushed via :func:`record_service`,
+#: dumped to BENCH_service.json (requests/s, p50/p99, cache hit rate).
+_SERVICE_RECORDS: list[dict] = []
+
 
 def record_sweep(name: str, payload: dict) -> None:
     """Archive one sweep-throughput measurement into BENCH_sweep.json."""
@@ -64,6 +68,11 @@ def record_optimize(name: str, payload: dict) -> None:
 def record_sparse(name: str, payload: dict) -> None:
     """Archive one sparse-crossover measurement into BENCH_sparse.json."""
     _SPARSE_RECORDS.append({"benchmark": name, **payload})
+
+
+def record_service(name: str, payload: dict) -> None:
+    """Archive one service load-test measurement into BENCH_service.json."""
+    _SERVICE_RECORDS.append({"benchmark": name, **payload})
 
 
 @pytest.fixture(autouse=True)
@@ -130,6 +139,16 @@ def pytest_sessionfinish(session, exitstatus):
             "benchmarks": _SPARSE_RECORDS,
         }
         (OUTPUT_DIR / "BENCH_sparse.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+    if _SERVICE_RECORDS:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        payload = {
+            "schema": "bench-service-v1",
+            "cpu_count": os.cpu_count(),
+            "benchmarks": _SERVICE_RECORDS,
+        }
+        (OUTPUT_DIR / "BENCH_service.json").write_text(
             json.dumps(payload, indent=2) + "\n"
         )
 

@@ -19,6 +19,12 @@
     derivation, cell-database re-use lookup, differential-evolution
     sizing of what cannot be re-used, and Gummel-Poon model
     regeneration for the sized geometry.
+
+``python -m repro.cli serve [--port P] [--workers N] [--profile]``
+    Run the simulation job server (``docs/service.md``): circuits are
+    compiled once under content-hashed ids, analyses run as async jobs
+    with priorities and bounded backpressure.  ``--profile`` prints the
+    service stats digest on shutdown (Ctrl-C).
 """
 
 from __future__ import annotations
@@ -143,6 +149,33 @@ def _cmd_optimize(args) -> int:
     return 0 if report.closed else 1
 
 
+def _cmd_serve(args) -> int:
+    from .service import SimulationService
+    from .service.http import ServiceHTTPServer
+
+    service = SimulationService(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        sweep_jobs=args.jobs,
+    )
+    server = ServiceHTTPServer((args.host, args.port), service,
+                               verbose=args.verbose)
+    print(f"repro service listening on http://{args.host}:{server.port} "
+          f"({args.workers} worker(s), queue limit {args.queue_limit})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        if args.profile:
+            print()
+            print(service.profile_summary())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -238,6 +271,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="differential-evolution generation budget (default 25)",
     )
     optimize_cmd.set_defaults(handler=_cmd_optimize)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="run the simulation job server (docs/service.md)"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=int, default=8372,
+                           help="TCP port (default 8372; 0 picks a free one)")
+    serve_cmd.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="job worker threads (default 2)",
+    )
+    serve_cmd.add_argument(
+        "--queue-limit", type=int, default=64, dest="queue_limit",
+        metavar="N",
+        help="queued-job backpressure limit (default 64); submits beyond "
+             "it are rejected with a 503 payload",
+    )
+    serve_cmd.add_argument(
+        "--jobs", type=_jobs_argument, default=None, metavar="N",
+        help="default worker-process count for sweep/optimize jobs, or "
+             "'auto' (default: in-process serial evaluation)",
+    )
+    serve_cmd.add_argument(
+        "--profile", action="store_true",
+        help="print the service stats digest on shutdown",
+    )
+    serve_cmd.add_argument(
+        "--verbose", action="store_true",
+        help="log each HTTP request to stderr",
+    )
+    serve_cmd.set_defaults(handler=_cmd_serve)
     return parser
 
 

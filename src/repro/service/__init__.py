@@ -1,0 +1,52 @@
+"""Simulation-as-a-service: the long-running job-server layer.
+
+This package turns the repo's compile-once simulation engine into a
+service (``repro serve``): decks are registered once under
+content-hashed circuit ids, analyses run as prioritized async jobs with
+bounded backpressure, results are polled from a store, and every tenant
+gets an isolated content-hash result cache.  See ``docs/service.md``.
+
+* :class:`SimulationService` — the in-process engine
+  (:mod:`repro.service.server`),
+* :class:`Job` / :class:`JobQueue` — lifecycle + bounded priority queue
+  (:mod:`repro.service.jobs`),
+* :class:`ServiceStats` — request/latency/cache observability
+  (:mod:`repro.service.stats`),
+* :func:`error_payload` & friends — structured JSON forensics
+  (:mod:`repro.service.payloads`),
+* :func:`serve` — the stdlib HTTP front end
+  (:mod:`repro.service.http`).
+"""
+
+from .jobs import JOB_KINDS, Job, JobQueue, QueueFullError
+from .payloads import (
+    error_payload,
+    failed_point_to_dict,
+    lint_issue_to_dict,
+    ok_payload,
+    report_to_dict,
+)
+from .server import SimulationService, circuit_id_for
+from .stats import ServiceStats
+
+__all__ = [
+    "SimulationService",
+    "circuit_id_for",
+    "Job",
+    "JobQueue",
+    "QueueFullError",
+    "JOB_KINDS",
+    "ServiceStats",
+    "error_payload",
+    "ok_payload",
+    "report_to_dict",
+    "lint_issue_to_dict",
+    "failed_point_to_dict",
+]
+
+
+def serve(*args, **kwargs):
+    """Lazy re-export of :func:`repro.service.http.serve`."""
+    from .http import serve as _serve
+
+    return _serve(*args, **kwargs)

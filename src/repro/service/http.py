@@ -1,0 +1,154 @@
+"""Stdlib HTTP front end for :class:`~repro.service.SimulationService`.
+
+A thin JSON shim over the in-process service — no framework, just
+:class:`http.server.ThreadingHTTPServer`.  Routes:
+
+====== ======================= ==========================================
+Method Path                    Action
+====== ======================= ==========================================
+POST   ``/circuits``           ``{"deck": ...}`` → create/reuse a circuit
+POST   ``/jobs``               ``{"kind", "circuit_id", "params", ...}``
+                               → submit a job (503 on backpressure)
+GET    ``/jobs/<id>``          poll one job (result/error once finished)
+DELETE ``/jobs/<id>``          cancel a queued job
+GET    ``/stats``              service observability snapshot
+GET    ``/healthz``            liveness probe
+====== ======================= ==========================================
+
+Responses are the service's structured payloads verbatim; the HTTP
+status code mirrors the payload's ``code`` field (200 when absent), so
+in-process and over-the-wire callers see identical data.  Tenancy rides
+on the ``X-Repro-Tenant`` header (or a ``tenant`` body field).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .server import SimulationService
+
+__all__ = ["ServiceHTTPServer", "serve"]
+
+_JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)$")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One HTTP request → one service-call → one JSON payload."""
+
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # Quiet by default; the CLI flips this on with --verbose.
+    def log_message(self, fmt, *args):  # noqa: A003 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(fmt, *args)
+
+    @property
+    def service(self) -> SimulationService:
+        return self.server.service
+
+    def _tenant(self, body: dict) -> str:
+        header = self.headers.get("X-Repro-Tenant")
+        return str(header or body.get("tenant") or "default")
+
+    def _read_body(self) -> dict | None:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            body = json.loads(raw.decode() or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return body if isinstance(body, dict) else None
+
+    def _send(self, payload: dict) -> None:
+        status = payload.get("code", 200) if payload.get("status") in (
+            "error", "rejected") else 200
+        if payload.get("status") == "rejected":
+            status = payload.get("code", 503)
+        data = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if status == 503:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _bad_request(self, message: str, code: int = 400) -> None:
+        self._send({"status": "error", "code": code, "error": message,
+                    "error_type": "BadRequest"})
+
+    # -- verbs ---------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        body = self._read_body()
+        if body is None:
+            self._bad_request("request body must be a JSON object")
+            return
+        if self.path == "/circuits":
+            deck = body.get("deck")
+            if not isinstance(deck, str):
+                self._bad_request('body needs a "deck" string')
+                return
+            self._send(self.service.create_circuit(
+                deck, tenant=self._tenant(body)))
+        elif self.path == "/jobs":
+            kind = body.get("kind")
+            circuit_id = body.get("circuit_id")
+            if not isinstance(kind, str) or not isinstance(circuit_id, str):
+                self._bad_request('body needs "kind" and "circuit_id"')
+                return
+            self._send(self.service.submit(
+                kind,
+                circuit_id,
+                params=body.get("params") or {},
+                priority=int(body.get("priority", 0)),
+                tenant=self._tenant(body),
+            ))
+        else:
+            self._bad_request(f"no such endpoint: POST {self.path}", code=404)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        match = _JOB_PATH.match(self.path)
+        if match:
+            self._send(self.service.poll(match.group(1)))
+        elif self.path == "/stats":
+            self._send(self.service.stats_payload())
+        elif self.path == "/healthz":
+            self._send({"status": "ok"})
+        else:
+            self._bad_request(f"no such endpoint: GET {self.path}", code=404)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        match = _JOB_PATH.match(self.path)
+        if match:
+            self._send(self.service.cancel_job(match.group(1)))
+        else:
+            self._bad_request(
+                f"no such endpoint: DELETE {self.path}", code=404)
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`SimulationService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int],
+                 service: SimulationService, verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def serve(host: str = "127.0.0.1", port: int = 8372,
+          service: SimulationService | None = None,
+          verbose: bool = False) -> ServiceHTTPServer:
+    """Build a server (``port=0`` picks a free port); caller runs it."""
+    service = service or SimulationService()
+    return ServiceHTTPServer((host, port), service, verbose=verbose)

@@ -1,0 +1,175 @@
+"""Async job machinery: priority queue, bounded backpressure, cancellation.
+
+A :class:`Job` is one requested analysis (``dc``/``ac``/``transient``/
+``sweep``/``optimize``) against a cached circuit.  Jobs move through
+
+    ``queued`` → ``running`` → ``done`` | ``failed``
+
+with two exits on the side: ``cancelled`` (a queued job withdrawn before
+a worker picked it up) and ``rejected`` (the queue was full at submit
+time — the job never entered the queue at all; the submitter gets a
+structured 503-style payload and must back off).
+
+:class:`JobQueue` is a heap ordered by ``(-priority, sequence)``: higher
+priority first, FIFO within a priority level.  ``limit`` bounds the
+number of queued-but-not-started jobs — the service's backpressure
+valve.  Cancellation is lazy: a cancelled job stays in the heap but is
+skipped (and dropped) when it surfaces, which keeps ``cancel`` O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Job", "JobQueue", "QueueFullError", "JOB_KINDS"]
+
+#: Analysis kinds the service executes.
+JOB_KINDS = ("dc", "ac", "transient", "sweep", "optimize")
+
+
+class QueueFullError(Exception):
+    """The job queue is at capacity; the submit was rejected.
+
+    Carries ``depth``/``limit`` so the service can build the structured
+    503 payload without re-reading queue state (which may have changed).
+    """
+
+    def __init__(self, depth: int, limit: int):
+        super().__init__(
+            f"job queue full ({depth}/{limit} queued); retry later"
+        )
+        self.depth = depth
+        self.limit = limit
+
+
+@dataclass
+class Job:
+    """One queued analysis request plus its lifecycle record."""
+
+    id: str
+    kind: str  #: one of :data:`JOB_KINDS`
+    circuit_id: str
+    tenant: str = "default"
+    params: dict = field(default_factory=dict)
+    priority: int = 0  #: higher runs earlier
+    status: str = "queued"  #: queued/running/done/failed/cancelled
+    result: dict | None = None  #: payload once done
+    error: dict | None = None  #: structured error payload once failed
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: set once the job reaches a terminal state (done/failed/cancelled).
+    done_event: threading.Event = field(default_factory=threading.Event,
+                                        repr=False, compare=False)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "failed", "cancelled")
+
+    def latency_seconds(self) -> float | None:
+        """Submit-to-finish wall time, once finished."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def describe(self) -> dict:
+        """The job's JSON-facing snapshot (result/error included)."""
+        payload = {
+            "job_id": self.id,
+            "kind": self.kind,
+            "circuit_id": self.circuit_id,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "state": self.status,
+        }
+        latency = self.latency_seconds()
+        if latency is not None:
+            payload["latency_seconds"] = latency
+        if self.result is not None:
+            payload["result"] = self.result
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class JobQueue:
+    """Bounded, thread-safe priority queue of :class:`Job` objects."""
+
+    def __init__(self, limit: int | None = 64):
+        if limit is not None and limit < 1:
+            raise ValueError("queue limit must be >= 1 (or None)")
+        self.limit = limit
+        self._heap: list[tuple[int, int, Job]] = []
+        self._sequence = itertools.count()
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(1 for _, _, job in self._heap
+                       if job.status == "queued")
+
+    def submit(self, job: Job) -> None:
+        """Enqueue ``job`` or raise :class:`QueueFullError` (backpressure).
+
+        The depth check and the push are one atomic step: concurrent
+        submitters can never conspire to exceed ``limit``.
+        """
+        with self._lock:
+            depth = sum(1 for _, _, queued in self._heap
+                        if queued.status == "queued")
+            if self.limit is not None and depth >= self.limit:
+                raise QueueFullError(depth, self.limit)
+            heapq.heappush(
+                self._heap, (-job.priority, next(self._sequence), job)
+            )
+            self._available.notify()
+
+    def next_job(self, timeout: float | None = None) -> Job | None:
+        """Pop the highest-priority queued job, blocking up to ``timeout``.
+
+        Cancelled jobs surfacing at the heap top are dropped silently.
+        Returns ``None`` on timeout or queue close; the returned job has
+        already been flipped to ``running`` under the queue lock, so two
+        workers can never claim one job.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                while self._heap:
+                    _, _, job = heapq.heappop(self._heap)
+                    if job.status == "queued":
+                        job.status = "running"
+                        job.started_at = time.monotonic()
+                        return job
+                if self._closed:
+                    return None
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._available.wait(remaining)
+
+    def cancel(self, job: Job) -> bool:
+        """Withdraw a queued job; running/finished jobs are not touched.
+
+        Returns True when the job was still queued and is now cancelled.
+        """
+        with self._lock:
+            if job.status != "queued":
+                return False
+            job.status = "cancelled"
+            job.finished_at = time.monotonic()
+        job.done_event.set()
+        return True
+
+    def close(self) -> None:
+        """Wake every blocked ``next_job`` with ``None`` (shutdown)."""
+        with self._lock:
+            self._closed = True
+            self._available.notify_all()

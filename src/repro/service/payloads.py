@@ -1,0 +1,131 @@
+"""Structured JSON payloads for the simulation service.
+
+Every service response is a plain dict of JSON-serializable primitives.
+Success payloads carry ``status="ok"``; failures carry ``status="error"``
+plus machine-readable forensics serialized from the exception objects the
+engine already produces:
+
+* :class:`~repro.errors.ConvergenceError` →  the solver's structured
+  :class:`~repro.errors.ConvergenceReport` (homotopy stage, iterations,
+  worst unknown by net name, gmin/source-scale ladder position),
+* :class:`~repro.errors.ConnectivityError` → the pre-simulation lint's
+  :class:`~repro.spice.lint.LintIssue` records (defect code + offending
+  node names),
+* :class:`~repro.sweep.FailedPoint` → per-point sweep failure records,
+  reports included.
+
+Clients therefore never parse message strings: the same diagnosis a
+local ``repro run`` prints is available as fields over the wire.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import (
+    ConnectivityError,
+    ConvergenceError,
+    ConvergenceReport,
+    ParseError,
+    ReproError,
+    SweepError,
+)
+
+__all__ = [
+    "error_payload",
+    "ok_payload",
+    "report_to_dict",
+    "lint_issue_to_dict",
+    "failed_point_to_dict",
+]
+
+
+def _finite(value):
+    """JSON has no NaN/Inf; encode them as None."""
+    if value is None:
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def report_to_dict(report: ConvergenceReport | None) -> dict | None:
+    """Serialize a :class:`~repro.errors.ConvergenceReport` to JSON data."""
+    if report is None:
+        return None
+    return {
+        "stage": report.stage,
+        "iterations": report.iterations,
+        "residual": _finite(report.residual),
+        "worst_index": report.worst_index,
+        "worst_name": report.worst_name,
+        "gmin": _finite(report.gmin),
+        "source_scale": _finite(report.source_scale),
+        "time": _finite(report.time),
+        "history": [str(entry) for entry in report.history],
+        "summary": report.summary(),
+    }
+
+
+def lint_issue_to_dict(issue) -> dict:
+    """Serialize a :class:`~repro.spice.lint.LintIssue` to JSON data."""
+    return {
+        "code": issue.code,
+        "nodes": list(issue.nodes),
+        "message": issue.message,
+    }
+
+
+def failed_point_to_dict(failure) -> dict:
+    """Serialize a sweep :class:`~repro.sweep.FailedPoint` to JSON data."""
+    return {
+        "index": failure.index,
+        "params": {str(k): v for k, v in failure.params.items()},
+        "error": failure.error,
+        "error_type": failure.error_type,
+        "attempts": failure.attempts,
+        "report": report_to_dict(failure.report),
+    }
+
+
+#: HTTP-ish status code per error family (the stdlib front end reuses
+#: these directly; in-process callers get them as payload fields).
+_ERROR_CODES = (
+    (ConvergenceError, 422),
+    (ConnectivityError, 422),
+    (ParseError, 400),
+    (SweepError, 400),
+    (ReproError, 400),
+)
+
+
+def error_payload(exc: BaseException, code: int | None = None) -> dict:
+    """The structured ``status="error"`` payload for one exception.
+
+    ``code`` overrides the family default (e.g. 404 for an unknown
+    circuit id).  Convergence forensics and lint issues ride along when
+    the exception carries them.
+    """
+    if code is None:
+        code = 500
+        for family, family_code in _ERROR_CODES:
+            if isinstance(exc, family):
+                code = family_code
+                break
+    payload = {
+        "status": "error",
+        "code": code,
+        "error": str(exc) or repr(exc),
+        "error_type": type(exc).__name__,
+    }
+    report = getattr(exc, "report", None)
+    if isinstance(report, ConvergenceReport):
+        payload["convergence_report"] = report_to_dict(report)
+    issues = getattr(exc, "issues", None)
+    if issues:
+        payload["lint_issues"] = [lint_issue_to_dict(i) for i in issues]
+    return payload
+
+
+def ok_payload(**fields) -> dict:
+    """A ``status="ok"`` payload with the given fields."""
+    return {"status": "ok", **fields}

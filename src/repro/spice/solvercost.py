@@ -26,6 +26,7 @@ re-calibrating from live factorizations).
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 
 __all__ = ["SolverCostModel", "DEFAULT_SOLVER_COST_MODEL"]
@@ -60,6 +61,11 @@ class SolverCostModel:
     #: Observations folded in per backend (introspection / tests).
     observations: dict = field(default_factory=lambda: {"dense": 0,
                                                         "sparse": 0})
+    #: Guards the EWMA coefficients: :data:`DEFAULT_SOLVER_COST_MODEL`
+    #: is shared by every compiled circuit, and concurrent analyses
+    #: (thread sweeps, service jobs) observe into it simultaneously.
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  init=False, repr=False, compare=False)
 
     def dense_cost(self, size: int) -> float:
         """Predicted seconds for one dense factorize + assemble."""
@@ -100,16 +106,19 @@ class SolverCostModel:
         """
         if seconds <= 0.0 or size <= 0:
             return
-        w = self.calibration_weight
-        if backend == "dense":
-            estimate = seconds / float(size) ** 3
-            self.dense_factor_ns3 += w * (estimate - self.dense_factor_ns3)
-            self.observations["dense"] += 1
-        elif backend == "sparse" and nnz:
-            work = nnz * math.log2(max(size, 2))
-            estimate = seconds / work
-            self.sparse_factor_ns += w * (estimate - self.sparse_factor_ns)
-            self.observations["sparse"] += 1
+        with self._lock:
+            w = self.calibration_weight
+            if backend == "dense":
+                estimate = seconds / float(size) ** 3
+                self.dense_factor_ns3 += w * (estimate
+                                              - self.dense_factor_ns3)
+                self.observations["dense"] += 1
+            elif backend == "sparse" and nnz:
+                work = nnz * math.log2(max(size, 2))
+                estimate = seconds / work
+                self.sparse_factor_ns += w * (estimate
+                                              - self.sparse_factor_ns)
+                self.observations["sparse"] += 1
 
     def crossover(self, density_per_row: float = 4.0,
                   sizes=(64, 96, 128, 192, 256, 384, 512, 768, 1024)) -> int:

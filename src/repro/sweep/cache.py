@@ -12,6 +12,7 @@ steps) never re-simulate it.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import fields, is_dataclass
 
 import numpy as np
@@ -69,39 +70,58 @@ class ResultCache:
     successive :func:`repro.sweep.run_sweep` calls to share results
     across sweeps.  ``maxsize`` bounds the entry count (oldest-inserted
     evicted first); ``None`` means unbounded.
+
+    Thread-safe: one instance may back concurrent sweeps (thread
+    executors, the :mod:`repro.service` job workers).  The hit/miss
+    counters and the eviction loop mutate shared state, so every
+    operation holds a lock — an uncontended acquire is tens of
+    nanoseconds against a cache key that already cost a SHA-256, so the
+    serial path does not measurably slow down.
     """
 
     def __init__(self, maxsize: int | None = None):
         self._data: dict[str, object] = {}
+        self._lock = threading.Lock()
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def get(self, key: str, default=None):
-        if key in self._data:
-            self.hits += 1
-            return self._data[key]
-        self.misses += 1
-        return default
+        with self._lock:
+            if key in self._data:
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return default
 
     def put(self, key: str, value) -> None:
-        if self.maxsize is not None:
-            if self.maxsize <= 0:
-                # A zero-capacity cache stores nothing (the eviction
-                # loop below would otherwise pop from an empty dict).
-                return
-            if key not in self._data:
-                while len(self._data) >= self.maxsize:
-                    self._data.pop(next(iter(self._data)))
-        self._data[key] = value
+        with self._lock:
+            if self.maxsize is not None:
+                if self.maxsize <= 0:
+                    # A zero-capacity cache stores nothing (the eviction
+                    # loop below would otherwise pop from an empty dict).
+                    return
+                if key not in self._data:
+                    while len(self._data) >= self.maxsize:
+                        self._data.pop(next(iter(self._data)))
+            self._data[key] = value
+
+    def hit_rate(self) -> float:
+        """Hits over lookups so far (0.0 before the first lookup)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return self.hits / lookups if lookups else 0.0
 
     def clear(self) -> None:
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0

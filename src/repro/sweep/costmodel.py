@@ -24,6 +24,7 @@ results to the serial backend.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field, replace
 
 __all__ = ["CostModel", "DispatchPlan", "DEFAULT_COST_MODEL"]
@@ -82,6 +83,11 @@ class CostModel:
     chunks_per_worker: int = 4
     #: EWMA weight for :meth:`observe` updates.
     ewma: float = 0.5
+    #: Guards the EWMA terms: :data:`DEFAULT_COST_MODEL` is process-wide
+    #: and concurrent sweeps observe into it from many threads (init=False
+    #: so :func:`dataclasses.replace`-based copies get a fresh lock).
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  init=False, repr=False, compare=False)
 
     def predict(self, backend: str, count: int, point_seconds: float,
                 point_bytes: float, fn_bytes: float, workers: int,
@@ -138,20 +144,28 @@ class CostModel:
         return max(1, math.ceil(count / waves))
 
     def observe(self, stats) -> None:
-        """Fold an observed :class:`DispatchStats` back into the model."""
+        """Fold an observed :class:`DispatchStats` back into the model.
+
+        Thread-safe: the read-modify-write EWMA updates are atomic under
+        the model's lock, so concurrent sweeps calibrating the shared
+        :data:`DEFAULT_COST_MODEL` never lose or double-apply an update.
+        """
         if stats is None:
             return
-        w = self.ewma
-        if stats.spinup_seconds > 0.0 and not stats.pool_reused:
-            self.spinup_seconds += w * (stats.spinup_seconds
-                                        - self.spinup_seconds)
-        if stats.chunk_seconds:
-            observed = stats.chunk_percentile(0.5)
-            if observed is not None and observed > 0.0:
-                # The p50 chunk latency includes compute; only shrink the
-                # overhead estimate, never inflate it from busy chunks.
-                if observed < self.chunk_seconds:
-                    self.chunk_seconds += w * (observed - self.chunk_seconds)
+        with self._lock:
+            w = self.ewma
+            if stats.spinup_seconds > 0.0 and not stats.pool_reused:
+                self.spinup_seconds += w * (stats.spinup_seconds
+                                            - self.spinup_seconds)
+            if stats.chunk_seconds:
+                observed = stats.chunk_percentile(0.5)
+                if observed is not None and observed > 0.0:
+                    # The p50 chunk latency includes compute; only
+                    # shrink the overhead estimate, never inflate it
+                    # from busy chunks.
+                    if observed < self.chunk_seconds:
+                        self.chunk_seconds += w * (observed
+                                                   - self.chunk_seconds)
 
     def copy(self) -> "CostModel":
         return replace(self)

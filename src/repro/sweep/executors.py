@@ -14,9 +14,13 @@ cache the deserialized evaluation function by content hash, so a sweep
 function that carries an expensive payload (a circuit that must be
 parsed and compiled, say) crosses the pipe and is rebuilt **once per
 worker**; after that only the point chunks travel.  Pools idle-reap
-after :data:`POOL_IDLE_REAP_SECONDS` and are torn down at interpreter
-exit; a pool broken by a dying worker is discarded and respawned by
-:func:`map_chunks_with_retries`'s backoff loop.
+after :data:`POOL_IDLE_REAP_SECONDS` — but never while a dispatch is in
+flight, and idleness is measured from dispatch *completion* — and are
+torn down at interpreter exit; a pool broken by a dying worker is
+discarded and respawned by :func:`map_chunks_with_retries`'s backoff
+loop.  The registry is lock-guarded: concurrent sweeps (thread fan-out,
+the :mod:`repro.service` job workers) may fetch, spawn and reap pools
+from many threads at once.
 
 The process executor requires ``fn`` (a partial over the module-level
 chunk evaluator) and every point's parameters to be picklable; the
@@ -37,6 +41,7 @@ import atexit
 import hashlib
 import os
 import pickle
+import threading
 import time
 from concurrent.futures import (
     BrokenExecutor,
@@ -60,6 +65,19 @@ POOL_IDLE_REAP_SECONDS = 300.0
 
 
 def _default_jobs() -> int:
+    """Usable CPUs for worker pools.
+
+    ``os.cpu_count()`` reports the *machine's* cores, which oversubscribes
+    cgroup-limited containers and CI runners pinned to a CPU subset;
+    ``sched_getaffinity`` reports the CPUs this process may actually run
+    on, so prefer it where the platform provides it.
+    """
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            return max(len(affinity(0)), 1)
+        except OSError:  # pragma: no cover - platform quirk
+            pass
     return max(os.cpu_count() or 1, 1)
 
 
@@ -120,7 +138,8 @@ class DispatchStats:
 class _PoolState:
     """One live persistent pool plus its bookkeeping."""
 
-    __slots__ = ("pool", "workers", "spinup_seconds", "last_used")
+    __slots__ = ("pool", "workers", "spinup_seconds", "last_used",
+                 "in_flight")
 
     def __init__(self, workers: int):
         t0 = time.perf_counter()
@@ -133,11 +152,19 @@ class _PoolState:
         self.spinup_seconds = time.perf_counter() - t0
         self.workers = workers
         self.last_used = time.monotonic()
+        #: ``map_chunks`` calls currently dispatching through this pool.
+        #: A pool with in-flight work is never idle-reaped, however long
+        #: its chunks run.
+        self.in_flight = 0
 
 
 #: Live pools keyed by worker count.  Process-global: every sweep in the
-#: interpreter shares them, which is the whole point.
+#: interpreter shares them, which is the whole point.  Every access goes
+#: through :data:`_POOLS_LOCK`: concurrent sweeps (thread executors over
+#: sweeps, the service layer's worker threads) fetch, spawn, reap and
+#: discard pools from many threads at once.
 _POOLS: dict[int, _PoolState] = {}
+_POOLS_LOCK = threading.Lock()
 _ATEXIT_REGISTERED = False
 
 
@@ -145,48 +172,108 @@ def _noop():
     return None
 
 
-def _get_pool(workers: int) -> tuple[_PoolState, bool]:
+def _reap_idle_locked(now: float, keep: int | None = None) -> list[_PoolState]:
+    """Pop every reapable pool; caller holds the lock and shuts them down.
+
+    A pool is reapable when it is not the ``keep`` size, has **no
+    in-flight dispatches**, and has sat untouched past
+    :data:`POOL_IDLE_REAP_SECONDS`.  ``last_used`` is refreshed on
+    dispatch *completion* (see :func:`_release_pool`), so a chunk running
+    longer than the reap window never marks its own pool idle.
+    """
+    victims = []
+    for size in list(_POOLS):
+        state = _POOLS[size]
+        if (size != keep and state.in_flight == 0
+                and now - state.last_used > POOL_IDLE_REAP_SECONDS):
+            victims.append(_POOLS.pop(size))
+    return victims
+
+
+def _get_pool(workers: int, lease: bool = False) -> tuple[_PoolState, bool]:
     """Fetch-or-spawn the persistent pool for ``workers``.
 
     Returns ``(state, reused)``.  Also reaps pools (any size) that have
-    sat idle past :data:`POOL_IDLE_REAP_SECONDS`.
+    sat idle past :data:`POOL_IDLE_REAP_SECONDS` — but never a pool with
+    in-flight dispatches.  With ``lease=True`` the returned pool's
+    in-flight count is incremented; the caller must pair it with
+    :func:`_release_pool` (the :class:`ProcessExecutor` does so in a
+    ``finally``), which is what protects the pool from being reaped or
+    double-spawned while its chunks run.
     """
     global _ATEXIT_REGISTERED
-    now = time.monotonic()
-    for size in [s for s, st in _POOLS.items()
-                 if s != workers
-                 and now - st.last_used > POOL_IDLE_REAP_SECONDS]:
-        _POOLS.pop(size).pool.shutdown(wait=False, cancel_futures=True)
-    state = _POOLS.get(workers)
-    if state is not None:
-        state.last_used = now
-        return state, True
-    if not _ATEXIT_REGISTERED:
-        atexit.register(shutdown_pools)
-        _ATEXIT_REGISTERED = True
-    state = _POOLS[workers] = _PoolState(workers)
-    return state, False
+    with _POOLS_LOCK:
+        now = time.monotonic()
+        victims = _reap_idle_locked(now, keep=workers)
+        state = _POOLS.get(workers)
+        if state is not None:
+            state.last_used = now
+            if lease:
+                state.in_flight += 1
+            reused = True
+        else:
+            if not _ATEXIT_REGISTERED:
+                atexit.register(shutdown_pools)
+                _ATEXIT_REGISTERED = True
+            # Spawning under the lock serializes concurrent cold starts:
+            # two sweeps racing for the same worker count get one pool,
+            # not two (the loser reuses the winner's).
+            state = _POOLS[workers] = _PoolState(workers)
+            if lease:
+                state.in_flight += 1
+            reused = False
+    for victim in victims:
+        victim.pool.shutdown(wait=False, cancel_futures=True)
+    return state, reused
 
 
-def _discard_pool(workers: int) -> None:
-    state = _POOLS.pop(workers, None)
-    if state is not None:
-        state.pool.shutdown(wait=False, cancel_futures=True)
+def _release_pool(state: _PoolState) -> None:
+    """End one leased dispatch: refresh idleness *at completion time*."""
+    with _POOLS_LOCK:
+        state.in_flight = max(0, state.in_flight - 1)
+        state.last_used = time.monotonic()
+
+
+def _discard_pool(workers: int, state: _PoolState | None = None) -> None:
+    """Drop the pool registered under ``workers`` (fault recovery).
+
+    ``state``, when given, guards against discarding an innocent
+    replacement: if another thread already respawned a fresh pool under
+    the same key, that pool is left alone.
+    """
+    with _POOLS_LOCK:
+        current = _POOLS.get(workers)
+        if current is None or (state is not None and current is not state):
+            return
+        _POOLS.pop(workers)
+    current.pool.shutdown(wait=False, cancel_futures=True)
 
 
 def pool_is_warm(workers: int) -> bool:
-    """Whether a persistent pool with ``workers`` workers is running.
+    """Whether a persistent pool with ``workers`` workers is usefully warm.
 
     The dispatch cost model uses this to decide whether a process plan
-    pays spin-up or rides an already-warm pool.
+    pays spin-up or rides an already-warm pool — so it must apply the
+    *same* idle criterion as the reaper: a pool the next
+    :func:`_get_pool` call will reap is not warm, it is a spin-up about
+    to happen.  Busy pools (in-flight dispatches) are warm regardless of
+    their age.
     """
-    return workers in _POOLS
+    with _POOLS_LOCK:
+        state = _POOLS.get(workers)
+        if state is None:
+            return False
+        if state.in_flight > 0:
+            return True
+        return time.monotonic() - state.last_used <= POOL_IDLE_REAP_SECONDS
 
 
 def shutdown_pools() -> None:
     """Shut down every persistent worker pool (also runs at exit)."""
-    while _POOLS:
-        _, state = _POOLS.popitem()
+    with _POOLS_LOCK:
+        states = list(_POOLS.values())
+        _POOLS.clear()
+    for state in states:
         state.pool.shutdown(wait=False, cancel_futures=True)
 
 
@@ -364,8 +451,9 @@ class ProcessExecutor(Executor):
         if len(chunks) <= 1 or self.workers <= 1:
             return self._serial_fallback(fn, chunks)
         workers = min(self.workers, len(chunks))
+        state, reused = _get_pool(workers, lease=True)
         self._last_pool_size = workers
-        state, reused = _get_pool(workers)
+        self._last_pool_state = state
         stats = DispatchStats(
             spinup_seconds=0.0 if reused else state.spinup_seconds,
             pool_reused=reused,
@@ -412,15 +500,16 @@ class ProcessExecutor(Executor):
                 future.cancel()
             raise
         finally:
-            state.last_used = time.monotonic()
+            _release_pool(state)
             self.dispatch = stats
         return results
 
     _last_pool_size: int | None = None
+    _last_pool_state: _PoolState | None = None
 
     def discard_pool(self) -> None:
         if self._last_pool_size is not None:
-            _discard_pool(self._last_pool_size)
+            _discard_pool(self._last_pool_size, self._last_pool_state)
 
 
 class AutoExecutor(Executor):

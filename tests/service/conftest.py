@@ -1,0 +1,46 @@
+"""Shared fixtures for the service-layer tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.spice.solvercost import DEFAULT_SOLVER_COST_MODEL
+from repro.sweep.costmodel import DEFAULT_COST_MODEL
+
+DECKS = Path(__file__).resolve().parents[2] / "examples" / "decks"
+
+
+@pytest.fixture(autouse=True)
+def _restore_shared_cost_models():
+    """Keep this package's solves from shifting the shared singletons.
+
+    ``tests/service`` collects before ``tests/spice``; the engine
+    calibrates :data:`DEFAULT_SOLVER_COST_MODEL` on every factorization,
+    and the sparse auto-choice tests downstream assert against the
+    seeded coefficients.
+    """
+    sweep_snapshot = (DEFAULT_COST_MODEL.spinup_seconds,
+                      DEFAULT_COST_MODEL.chunk_seconds)
+    solver_snapshot = (DEFAULT_SOLVER_COST_MODEL.dense_factor_ns3,
+                       DEFAULT_SOLVER_COST_MODEL.sparse_factor_ns,
+                       dict(DEFAULT_SOLVER_COST_MODEL.observations))
+    yield
+    (DEFAULT_COST_MODEL.spinup_seconds,
+     DEFAULT_COST_MODEL.chunk_seconds) = sweep_snapshot
+    (DEFAULT_SOLVER_COST_MODEL.dense_factor_ns3,
+     DEFAULT_SOLVER_COST_MODEL.sparse_factor_ns) = solver_snapshot[:2]
+    DEFAULT_SOLVER_COST_MODEL.observations = dict(solver_snapshot[2])
+
+
+@pytest.fixture(scope="session")
+def ce_deck() -> str:
+    """A well-behaved deck: the common-emitter example stage."""
+    return (DECKS / "ce_stage.cir").read_text()
+
+
+@pytest.fixture(scope="session")
+def nonconvergent_deck() -> str:
+    """A deck whose DC solve always fails with full forensics."""
+    return (DECKS / "nonconvergent.cir").read_text()

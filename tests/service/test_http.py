@@ -1,0 +1,189 @@
+"""Tests for the stdlib HTTP front end (:mod:`repro.service.http`)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import SimulationService
+from repro.service.http import ServiceHTTPServer
+
+
+@pytest.fixture()
+def http_service(ce_deck):
+    """A live server on a free port plus a tiny JSON client."""
+    service = SimulationService(workers=2, queue_limit=8)
+    server = ServiceHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.port}"
+
+    def call(method: str, path: str, body: dict | None = None,
+             headers: dict | None = None):
+        data = None if body is None else json.dumps(body).encode()
+        request = urllib.request.Request(
+            base + path, data=data, method=method,
+            headers={"Content-Type": "application/json", **(headers or {})},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    yield call
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+def _wait_done(call, job_id: str, deadline_s: float = 30.0) -> dict:
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        status, payload = call("GET", f"/jobs/{job_id}")
+        assert status == 200
+        if payload["state"] in ("done", "failed", "cancelled"):
+            return payload
+        time.sleep(0.01)
+    raise AssertionError(f"job {job_id} did not finish")
+
+
+class TestHTTPRoundTrip:
+    def test_create_run_poll(self, http_service, ce_deck):
+        status, created = http_service("POST", "/circuits",
+                                       {"deck": ce_deck})
+        assert status == 200
+        assert created["status"] == "ok"
+        cid = created["circuit_id"]
+
+        status, submitted = http_service(
+            "POST", "/jobs", {"kind": "dc", "circuit_id": cid})
+        assert status == 200
+        polled = _wait_done(http_service, submitted["job_id"])
+        assert polled["state"] == "done"
+        assert polled["result"]["nodes"]["v(vcc)"] == pytest.approx(5.0)
+
+    def test_stats_and_healthz(self, http_service, ce_deck):
+        status, health = http_service("GET", "/healthz")
+        assert (status, health["status"]) == (200, "ok")
+        http_service("POST", "/circuits", {"deck": ce_deck})
+        status, stats = http_service("GET", "/stats")
+        assert status == 200
+        assert stats["stats"]["circuits"]["created"] == 1
+        assert "p99_seconds" in stats["stats"]["latency"]
+
+    def test_tenant_header_scopes_the_cache(self, http_service, ce_deck):
+        _, created = http_service("POST", "/circuits", {"deck": ce_deck})
+        cid = created["circuit_id"]
+        job = {"kind": "dc", "circuit_id": cid}
+        first = _wait_done(http_service, http_service(
+            "POST", "/jobs", job, headers={"X-Repro-Tenant": "a"}
+        )[1]["job_id"])
+        again = _wait_done(http_service, http_service(
+            "POST", "/jobs", job, headers={"X-Repro-Tenant": "a"}
+        )[1]["job_id"])
+        other = _wait_done(http_service, http_service(
+            "POST", "/jobs", job, headers={"X-Repro-Tenant": "b"}
+        )[1]["job_id"])
+        assert again["result"]["cached"] is True
+        assert "cached" not in other["result"]  # b computed its own
+        assert first["result"]["nodes"] == other["result"]["nodes"]
+
+
+class TestHTTPErrors:
+    def test_unknown_routes_404(self, http_service):
+        assert http_service("GET", "/nope")[0] == 404
+        assert http_service("POST", "/nope", {})[0] == 404
+        assert http_service("DELETE", "/nope")[0] == 404
+
+    def test_malformed_json_400(self, http_service):
+        status, payload = http_service("POST", "/circuits",
+                                       {"deck": None})
+        assert status == 400
+        assert payload["status"] == "error"
+
+    def test_unknown_job_404(self, http_service):
+        status, payload = http_service("GET", "/jobs/job-junk")
+        assert status == 404
+        assert payload["error_type"] == "AnalysisError"
+
+    def test_nonconvergent_deck_maps_to_422_forensics(
+            self, http_service, nonconvergent_deck):
+        _, created = http_service("POST", "/circuits",
+                                  {"deck": nonconvergent_deck})
+        cid = created["circuit_id"]
+        _, submitted = http_service("POST", "/jobs",
+                                    {"kind": "dc", "circuit_id": cid})
+        polled = _wait_done(http_service, submitted["job_id"])
+        assert polled["state"] == "failed"
+        assert polled["error"]["code"] == 422
+        assert polled["error"]["convergence_report"]["worst_name"] == "V(out)"
+
+
+class TestHTTPBackpressureAndCancel:
+    def test_queue_full_maps_to_503(self, ce_deck):
+        # workers=0: nothing drains, so the limit is reached immediately.
+        service = SimulationService(workers=0, queue_limit=2)
+        server = ServiceHTTPServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.port}"
+        try:
+            def post(path, body):
+                request = urllib.request.Request(
+                    base + path, data=json.dumps(body).encode(),
+                    method="POST")
+                try:
+                    with urllib.request.urlopen(request, timeout=30) as r:
+                        return r.status, json.loads(r.read()), dict(r.headers)
+                except urllib.error.HTTPError as error:
+                    return (error.code, json.loads(error.read()),
+                            dict(error.headers))
+
+            _, created, _ = post("/circuits", {"deck": ce_deck})
+            cid = created["circuit_id"]
+            job = {"kind": "dc", "circuit_id": cid}
+            assert post("/jobs", job)[0] == 200
+            assert post("/jobs", job)[0] == 200
+            status, payload, headers = post("/jobs", job)
+            assert status == 503
+            assert payload["status"] == "rejected"
+            assert payload["queue_limit"] == 2
+            assert headers.get("Retry-After") == "1"
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_delete_cancels_a_queued_job(self, ce_deck):
+        service = SimulationService(workers=0)
+        server = ServiceHTTPServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.port}"
+        try:
+            def call(method, path, body=None):
+                data = None if body is None else json.dumps(body).encode()
+                request = urllib.request.Request(base + path, data=data,
+                                                 method=method)
+                with urllib.request.urlopen(request, timeout=30) as r:
+                    return r.status, json.loads(r.read())
+
+            _, created = call("POST", "/circuits", {"deck": ce_deck})
+            _, submitted = call("POST", "/jobs", {
+                "kind": "dc", "circuit_id": created["circuit_id"]})
+            status, cancelled = call("DELETE",
+                                     f"/jobs/{submitted['job_id']}")
+            assert status == 200
+            assert cancelled["state"] == "cancelled"
+            status, polled = call("GET", f"/jobs/{submitted['job_id']}")
+            assert polled["state"] == "cancelled"
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()

@@ -1,0 +1,131 @@
+"""Unit tests for the job queue: priorities, backpressure, cancellation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.jobs import Job, JobQueue, QueueFullError
+
+
+def _job(i: int, priority: int = 0) -> Job:
+    return Job(id=f"j{i}", kind="dc", circuit_id="c", priority=priority)
+
+
+class TestPriorityOrder:
+    def test_higher_priority_pops_first(self):
+        queue = JobQueue()
+        queue.submit(_job(1, priority=0))
+        queue.submit(_job(2, priority=5))
+        queue.submit(_job(3, priority=1))
+        assert queue.next_job(timeout=0).id == "j2"
+        assert queue.next_job(timeout=0).id == "j3"
+        assert queue.next_job(timeout=0).id == "j1"
+
+    def test_fifo_within_a_priority_level(self):
+        queue = JobQueue()
+        for i in range(5):
+            queue.submit(_job(i, priority=2))
+        popped = [queue.next_job(timeout=0).id for _ in range(5)]
+        assert popped == [f"j{i}" for i in range(5)]
+
+    def test_popped_job_is_running(self):
+        queue = JobQueue()
+        queue.submit(_job(1))
+        job = queue.next_job(timeout=0)
+        assert job.status == "running"
+        assert job.started_at is not None
+
+
+class TestBackpressure:
+    def test_submit_beyond_limit_raises(self):
+        queue = JobQueue(limit=2)
+        queue.submit(_job(1))
+        queue.submit(_job(2))
+        with pytest.raises(QueueFullError) as info:
+            queue.submit(_job(3))
+        assert info.value.depth == 2
+        assert info.value.limit == 2
+
+    def test_draining_frees_capacity(self):
+        queue = JobQueue(limit=1)
+        queue.submit(_job(1))
+        queue.next_job(timeout=0)
+        queue.submit(_job(2))  # running jobs do not count toward depth
+
+    def test_concurrent_submitters_respect_the_limit(self):
+        queue = JobQueue(limit=10)
+        rejected: list = []
+        barrier = threading.Barrier(8)
+
+        def submitter(tid: int) -> None:
+            barrier.wait()
+            for i in range(5):
+                try:
+                    queue.submit(_job(tid * 10 + i))
+                except QueueFullError:
+                    rejected.append(tid)
+
+        threads = [threading.Thread(target=submitter, args=(t,))
+                   for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(queue) == 10  # the atomic check-and-push held the line
+        assert len(rejected) == 8 * 5 - 10
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            JobQueue(limit=0)
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self):
+        queue = JobQueue()
+        job = _job(1)
+        queue.submit(job)
+        assert queue.cancel(job)
+        assert job.status == "cancelled"
+        assert job.finished
+        assert job.done_event.is_set()
+        assert queue.next_job(timeout=0) is None  # lazily dropped
+
+    def test_cancel_running_job_is_refused(self):
+        queue = JobQueue()
+        job = _job(1)
+        queue.submit(job)
+        queue.next_job(timeout=0)
+        assert not queue.cancel(job)
+        assert job.status == "running"
+
+    def test_close_wakes_blocked_worker(self):
+        queue = JobQueue()
+        got: list = []
+
+        def worker() -> None:
+            got.append(queue.next_job(timeout=None))
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        queue.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert got == [None]
+
+
+class TestJobDescribe:
+    def test_describe_reports_lifecycle_fields(self):
+        job = _job(1, priority=3)
+        snapshot = job.describe()
+        assert snapshot["job_id"] == "j1"
+        assert snapshot["state"] == "queued"
+        assert snapshot["priority"] == 3
+        assert "result" not in snapshot
+        job.status = "done"
+        job.result = {"nodes": {}}
+        job.finished_at = job.submitted_at + 0.5
+        snapshot = job.describe()
+        assert snapshot["result"] == {"nodes": {}}
+        assert snapshot["latency_seconds"] == pytest.approx(0.5)
