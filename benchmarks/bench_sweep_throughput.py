@@ -33,8 +33,10 @@ from repro.rfsystems import fig5_sweep
 from repro.spice.ac import frequency_grid, solve_ac
 from repro.spice.parser import parse_deck
 from repro.sweep import (
+    BlockedACSweep,
     BlockedDCSweep,
     ResultCache,
+    ac_gain_db,
     node_voltage,
     run_sweep,
     shutdown_pools,
@@ -47,6 +49,7 @@ DECKS = Path(__file__).resolve().parent.parent / "examples" / "decks"
 MC_SAMPLES = 800
 JOBS = 4
 MC_DC_POINTS = 500
+MC_AC_POINTS = 200
 # The CI speedup gate compares against serial, so its worker count must
 # not oversubscribe the runner: 4 workers on a 2-core box lose to serial
 # through sheer contention, which says nothing about the dispatch layer.
@@ -237,6 +240,65 @@ def bench_monte_carlo_dc_500():
     report("sweep_monte_carlo_dc", (
         f"ce_stage.cir, {MC_DC_POINTS} DC operating points, "
         f"jobs {DC_JOBS}\n"
+        f"serial scalar      {t_scalar * 1e3:8.2f} ms\n"
+        f"serial blocked     {t_blocked * 1e3:8.2f} ms "
+        f"(speedup {blocked_speedup:.2f}x)\n"
+        f"blocked + process  {t_parallel * 1e3:8.2f} ms "
+        f"(speedup {speedup:.2f}x)\n"
+        f"values bit-identical: True"
+    ))
+
+
+def bench_monte_carlo_ac():
+    """The blocked-AC gate workload: Monte-Carlo bias x 51 frequencies.
+
+    Every point is a full AC sweep (bias solve + 51 complex systems) on
+    the CE-stage deck's ``.AC DEC 10 1MEG 100G`` grid.  Three
+    configurations, all bit-identical: serial scalar (one bias solve
+    and a single-lane frequency sweep per point), serial blocked (one
+    stacked Newton for the chunk, then ``lanes x freq_block`` stacked
+    complex solves), and blocked + persistent process pool.  CI fails
+    if blocked does not beat serial scalar — that comparison is
+    algorithmic, so it must hold even on a single core.
+    """
+    fn = BlockedACSweep((DECKS / "ce_stage.cir").read_text(),
+                        measure=ac_gain_db("c"))
+    points = _mc_dc_points(MC_AC_POINTS)
+    freq_count = len(fn.frequencies)
+    spinup = _warm_pool(DC_JOBS)
+
+    scalar, t_scalar = _timed(
+        lambda: run_sweep(fn, points, batch=False)
+    )
+    blocked, t_blocked = _timed(
+        lambda: run_sweep(fn, points, batch="auto")
+    )
+    parallel, t_parallel = _timed(
+        lambda: run_sweep(fn, points, executor="process", jobs=DC_JOBS,
+                          batch="auto")
+    )
+    for run in (blocked, parallel):
+        assert len(run.values) == len(scalar.values)
+        for got, want in zip(run.values, scalar.values):
+            np.testing.assert_array_equal(got, want)
+
+    speedup = t_scalar / t_parallel if t_parallel > 0 else 0.0
+    blocked_speedup = t_scalar / t_blocked if t_blocked > 0 else 0.0
+    record_sweep("monte_carlo_ac", {
+        "points": MC_AC_POINTS,
+        "frequencies": freq_count,
+        "jobs": DC_JOBS,
+        "serial_seconds": round(t_scalar, 6),
+        "blocked_seconds": round(t_blocked, 6),
+        "parallel_seconds": round(t_parallel, 6),
+        "speedup": round(speedup, 3),
+        "blocked_speedup": round(blocked_speedup, 3),
+        "pool_spinup_seconds": round(spinup, 6),
+        "bit_identical": True,
+    })
+    report("sweep_monte_carlo_ac", (
+        f"ce_stage.cir, {MC_AC_POINTS} bias points x "
+        f"{freq_count} frequencies\n"
         f"serial scalar      {t_scalar * 1e3:8.2f} ms\n"
         f"serial blocked     {t_blocked * 1e3:8.2f} ms "
         f"(speedup {blocked_speedup:.2f}x)\n"

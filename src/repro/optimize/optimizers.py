@@ -188,7 +188,7 @@ class _BatchEvaluator:
     def __init__(self, fn, parameters, *, executor=None, jobs=None,
                  cache=None, cache_tag=None,
                  failure_penalty=DEFAULT_FAILURE_PENALTY,
-                 eval_seed_root=None):
+                 eval_seed_root=None, batch="auto"):
         self.fn = fn
         self.parameters = tuple(parameters)
         if not self.parameters:
@@ -198,6 +198,7 @@ class _BatchEvaluator:
             raise DesignError(f"duplicate parameter names in {names}")
         self.executor = executor
         self.jobs = jobs
+        self.batch = batch
         self.cache = cache
         self.cache_tag = cache_tag
         if cache is not None and cache_tag is None:
@@ -235,7 +236,7 @@ class _BatchEvaluator:
             self.fn, points,
             executor=self.executor, jobs=self.jobs,
             cache=self.cache, cache_tag=self.cache_tag,
-            on_error="skip",
+            on_error="skip", batch=self.batch,
         )
         self.evaluations += result.stats.evaluated
         self.cache_hits += result.stats.cache_hits
@@ -278,6 +279,7 @@ def coordinate_search(
     cache=None,
     cache_tag: str | None = None,
     failure_penalty: float = DEFAULT_FAILURE_PENALTY,
+    batch: bool | str = "auto",
 ) -> OptimizeResult:
     """Deterministic compass/coordinate pattern search.
 
@@ -294,7 +296,7 @@ def coordinate_search(
         raise DesignError("initial_step must be positive")
     evaluator = _BatchEvaluator(
         fn, parameters, executor=executor, jobs=jobs, cache=cache,
-        cache_tag=cache_tag, failure_penalty=failure_penalty,
+        cache_tag=cache_tag, failure_penalty=failure_penalty, batch=batch,
     )
     dims = len(evaluator.parameters)
     current = np.array([p.initial_unit() for p in evaluator.parameters])
@@ -338,6 +340,7 @@ def nelder_mead(
     cache=None,
     cache_tag: str | None = None,
     failure_penalty: float = DEFAULT_FAILURE_PENALTY,
+    batch: bool | str = "auto",
 ) -> OptimizeResult:
     """Downhill simplex (Nelder-Mead) within the parameter box.
 
@@ -351,7 +354,7 @@ def nelder_mead(
         raise DesignError("initial_spread must be positive")
     evaluator = _BatchEvaluator(
         fn, parameters, executor=executor, jobs=jobs, cache=cache,
-        cache_tag=cache_tag, failure_penalty=failure_penalty,
+        cache_tag=cache_tag, failure_penalty=failure_penalty, batch=batch,
     )
     dims = len(evaluator.parameters)
     base = np.array([p.initial_unit() for p in evaluator.parameters])
@@ -425,6 +428,7 @@ def differential_evolution(
     cache=None,
     cache_tag: str | None = None,
     failure_penalty: float = DEFAULT_FAILURE_PENALTY,
+    batch: bool | str = "auto",
 ) -> OptimizeResult:
     """DE/rand/1/bin differential evolution over the parameter box.
 
@@ -455,7 +459,7 @@ def differential_evolution(
     evaluator = _BatchEvaluator(
         fn, parameters, executor=executor, jobs=jobs, cache=cache,
         cache_tag=cache_tag, failure_penalty=failure_penalty,
-        eval_seed_root=eval_seed,
+        eval_seed_root=eval_seed, batch=batch,
     )
     dims = len(evaluator.parameters)
 

@@ -49,7 +49,12 @@ from ..spice.lint import lint_circuit
 from ..spice.parser import parse_deck
 from ..spice.runner import _deck_tolerances
 from ..sweep import ResultCache, content_key, run_sweep
-from ..sweep.batched import BlockedDCSweep, node_voltage
+from ..sweep.batched import (
+    BlockedACSweep,
+    BlockedDCSweep,
+    ac_gain_db,
+    node_voltage,
+)
 from .jobs import JOB_KINDS, Job, JobQueue, QueueFullError
 from .payloads import error_payload, failed_point_to_dict, ok_payload
 from .stats import ServiceStats
@@ -72,7 +77,9 @@ class _CircuitEntry:
     simulator: object
     #: serializes dc/ac/transient jobs on the shared compiled engine.
     lock: threading.Lock = field(default_factory=threading.Lock)
-    #: lazily-built, reusable sweep evaluators keyed by measured node.
+    #: lazily-built, reusable sweep evaluators keyed by
+    #: ``(analysis, output, frequency grid)`` — DC node outputs and AC
+    #: gain sweeps each hold their own compiled evaluator.
     evaluators: dict = field(default_factory=dict)
     created_at: float = field(default_factory=time.monotonic)
 
@@ -84,15 +91,30 @@ class _TargetObjective:
     expensive parse + compile happens once per process and ships as deck
     text; the content-hash cache tag composes the evaluator's own tag
     with the target, keeping distinct targets in distinct cache rows.
+
+    Batch-capable when the wrapped evaluator is: the optimizer's
+    candidate batches then ride the evaluator's blocked fast path (one
+    stacked solve per probe batch) and only the scalar squared-error
+    reduction runs per candidate.
     """
 
     def __init__(self, evaluator: BlockedDCSweep, target: float):
         self._evaluator = evaluator
         self._target = float(target)
+        self.supports_batch = bool(
+            getattr(evaluator, "supports_batch", False)
+        ) and callable(getattr(evaluator, "evaluate_batch", None))
 
     def __call__(self, params: dict, attempt: int = 0) -> float:
-        value = self._evaluator(params)
+        value = self._evaluator(params, attempt=attempt)
         return (float(value) - self._target) ** 2
+
+    def evaluate_batch(self, chunk_params: list) -> list:
+        return [
+            (None, error) if error is not None
+            else ((float(value) - self._target) ** 2, None)
+            for value, error in self._evaluator.evaluate_batch(chunk_params)
+        ]
 
     @property
     def __cache_tag__(self) -> str:
@@ -515,24 +537,39 @@ class SimulationService:
 
         return self._cached(job, key, compute)
 
-    def _evaluator(self, entry: _CircuitEntry, output: str) -> BlockedDCSweep:
-        """The entry's cached sweep evaluator for one measured node.
+    def _evaluator(self, entry: _CircuitEntry, output: str,
+                   analysis: str = "dc", frequencies=None):
+        """The entry's cached sweep evaluator for one measured output.
 
-        Reused across jobs so its lazily-compiled circuit persists —
-        repeated sweeps on one circuit id pay the parse + compile once.
-        The evaluator serializes its own solves, so concurrent jobs may
-        share it safely.
+        Keyed by ``(analysis, output, frequency grid)``: DC sweeps get a
+        :class:`BlockedDCSweep` over the node voltage, AC sweeps a
+        :class:`BlockedACSweep` over the node's gain in dB.  Reused
+        across jobs so the lazily-compiled circuit persists — repeated
+        sweeps on one circuit id pay the parse + compile once, and
+        ``recompiles`` stays 0 for DC and AC jobs alike.  The evaluator
+        serializes its own solves, so concurrent jobs may share it
+        safely.
         """
+        grid = None if frequencies is None else tuple(
+            float(f) for f in frequencies
+        )
+        key = (analysis, output, grid)
         with entry.lock:
-            evaluator = entry.evaluators.get(output)
+            evaluator = entry.evaluators.get(key)
             if evaluator is None:
-                evaluator = BlockedDCSweep(
-                    entry.deck_text, measure=node_voltage(output)
-                )
+                if analysis == "ac":
+                    evaluator = BlockedACSweep(
+                        entry.deck_text, measure=ac_gain_db(output),
+                        frequencies=grid,
+                    )
+                else:
+                    evaluator = BlockedDCSweep(
+                        entry.deck_text, measure=node_voltage(output)
+                    )
                 # Prime the lazy compile outside any timing-sensitive
                 # path so later recompile accounting sees a warm engine.
                 evaluator._ensure()
-                entry.evaluators[output] = evaluator
+                entry.evaluators[key] = evaluator
             return evaluator
 
     def _job_sweep(self, job: Job) -> dict:
@@ -546,7 +583,24 @@ class SimulationService:
                 "sweep job needs source, values and output, e.g. "
                 '{"source": "VIN", "values": [0.0, 0.1], "output": "out"}'
             )
-        evaluator = self._evaluator(entry, str(output))
+        analysis = str(params.get("analysis", "dc")).lower()
+        if analysis not in ("dc", "ac"):
+            raise AnalysisError(
+                f"sweep job analysis must be 'dc' or 'ac', got {analysis!r}"
+            )
+        frequencies = None
+        if analysis == "ac":
+            frequencies = params.get("frequencies")
+            if frequencies is None and "start" in params:
+                from ..spice.ac import frequency_grid
+
+                frequencies = frequency_grid(
+                    float(params["start"]), float(params["stop"]),
+                    int(params.get("points_per_decade", 10)),
+                    str(params.get("sweep", "dec")),
+                )
+        evaluator = self._evaluator(entry, str(output), analysis=analysis,
+                                    frequencies=frequencies)
         engine = evaluator._engine
         before = engine.stats.compilations
         result = run_sweep(
@@ -560,11 +614,19 @@ class SimulationService:
         )
         self.stats.record_recompiles(engine.stats.compilations - before)
         self.stats.fold_sweep(result.stats)
-        return {
+        if analysis == "ac":
+            point_values = [
+                None if v is None else [float(m) for m in v]
+                for v in result.values
+            ]
+        else:
+            point_values = [None if v is None else float(v)
+                            for v in result.values]
+        payload = {
             "source": str(source),
             "output": str(output),
-            "values": [None if v is None else float(v)
-                       for v in result.values],
+            "analysis": analysis,
+            "values": point_values,
             "failures": [failed_point_to_dict(f) for f in result.failures],
             "sweep_stats": {
                 "points": result.stats.points,
@@ -574,6 +636,11 @@ class SimulationService:
                 "workers": result.stats.workers,
             },
         }
+        if analysis == "ac":
+            payload["frequencies_hz"] = [
+                float(f) for f in evaluator.frequencies
+            ]
+        return payload
 
     def _job_optimize(self, job: Job) -> dict:
         from ..optimize.optimizers import Parameter, coordinate_search

@@ -5,11 +5,20 @@ system ``(G + j*omega*C) dx = b`` per frequency, where ``G = dI/dx`` and
 ``C = dQ/dx`` are the Jacobians delivered by the element loads at the
 operating point, and ``b`` collects the AC stimuli of the independent
 sources.
+
+The solve core is lane-aware: :func:`solve_ac_lanes` takes a *stack* of
+(G, C) pairs — one lane per operating point — and solves every
+``lane x frequency`` combination through one unified block iterator, so
+a blocked parameter sweep (:class:`repro.sweep.batched.BlockedACSweep`)
+and a plain single-point AC analysis share the exact same arithmetic.
+Blocking only partitions *which* systems go into each batched call;
+each system is formed elementwise and solved independently, so results
+are bit-identical regardless of lane count or block size.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -72,8 +81,8 @@ def frequency_grid(
     raise AnalysisError(f"unknown sweep type {sweep!r}")
 
 
-#: Memory budget for one batched frequency block (bytes of complex
-#: system matrices); blocks are sized so `block * n^2 * 16` stays below.
+#: Memory budget for one batched block (bytes of complex system data);
+#: blocks are sized so ``systems * per_system_bytes`` stays below.
 MAX_BLOCK_BYTES = 1 << 26
 
 
@@ -90,6 +99,113 @@ def ac_block_size(size: int, limit: int | None = None,
     return int(min(max(budget, 1), 512))
 
 
+def ac_lane_blocks(lanes: int, freqs: int, per_system_bytes: int,
+                   limit: int | None = None) -> tuple[int, int]:
+    """``(lane_block, freq_block)`` sizing for the unified block iterator.
+
+    Lanes are packed first — stacking a whole parameter chunk into one
+    batched call is the point of blocked sweeps — then as many
+    frequencies as the remaining memory budget allows (capped at 512,
+    matching :func:`ac_block_size` for the single-lane case).
+    """
+    budget = max(1, (limit or MAX_BLOCK_BYTES) // max(per_system_bytes, 1))
+    lane_block = max(1, min(lanes, budget))
+    freq_block = max(1, min(freqs, budget // lane_block, 512))
+    return lane_block, freq_block
+
+
+def ac_stimulus_rhs(circuit: Circuit, size: int) -> np.ndarray:
+    """The complex AC excitation vector collected from the deck's
+    independent sources.  All-zero when no source carries an AC
+    stimulus — callers decide whether that is an error."""
+    rhs = np.zeros(size, dtype=complex)
+    for element in circuit:
+        if isinstance(element, VoltageSource):
+            stimulus = element.ac_stimulus()
+            if stimulus:
+                rhs[element.branch_index[0]] += stimulus
+        elif isinstance(element, CurrentSource):
+            stimulus = element.ac_stimulus()
+            if stimulus:
+                p, n = element.node_index
+                if p >= 0:
+                    rhs[p] -= stimulus
+                if n >= 0:
+                    rhs[n] += stimulus
+    return rhs
+
+
+def stack_ac_systems(g_stack: np.ndarray, c_stack: np.ndarray,
+                     omegas: np.ndarray) -> np.ndarray:
+    """Form ``G_l + j*omega_f*C_l`` for every (lane, frequency) pair.
+
+    ``g_stack``/``c_stack`` are ``(lanes, nnz)`` flat value stacks
+    (sparse assembly) or ``(lanes, n, n)`` dense stacks; the result is
+    the flattened ``(lanes * freqs, ...)`` system stack, lane-major so
+    a reshape recovers ``(lanes, freqs, ...)``.  Pure elementwise
+    broadcast arithmetic: identical to forming each system alone.
+    """
+    g = np.asarray(g_stack)[:, None]
+    c = np.asarray(c_stack)[:, None]
+    w = np.asarray(omegas, dtype=float)
+    w = w.reshape((1, w.size) + (1,) * (g.ndim - 2))
+    data = g + 1j * w * c
+    return data.reshape((-1,) + data.shape[2:])
+
+
+def solve_ac_lanes(engine, g_stack: np.ndarray, c_stack: np.ndarray,
+                   omegas: np.ndarray, rhs: np.ndarray,
+                   batched: bool = True) -> np.ndarray:
+    """Solve ``(G_l + j*omega_f*C_l) x = rhs`` for every lane and
+    frequency; returns ``(lanes, freqs, n)`` complex.
+
+    One unified block iterator covers every case — single frequency,
+    single lane, or a full ``chunk x grid`` product: blocks are sized by
+    :func:`ac_lane_blocks` and handed to the engine's batched entry
+    points (``solve_pattern_batched`` over the shared CSC pattern for
+    sparse value stacks, ``solve_batched`` for dense stacks).  Engines
+    without a batched entry point (legacy), or ``batched=False``, fall
+    back to one :meth:`solve` per system.  Both paths, and any block
+    size, produce identical solutions: systems are formed elementwise
+    and solved independently.
+    """
+    g_stack = np.asarray(g_stack)
+    c_stack = np.asarray(c_stack)
+    omegas = np.asarray(omegas, dtype=float)
+    lanes = g_stack.shape[0]
+    nfreq = omegas.size
+    size = np.asarray(rhs).shape[-1]
+    sparse = g_stack.ndim == 2
+    out = np.zeros((lanes, nfreq, size), dtype=complex)
+    solve_batched = getattr(engine, "solve_batched", None)
+    if batched and (sparse or solve_batched is not None):
+        solve_stack = engine.solve_pattern_batched if sparse \
+            else solve_batched
+        per_system = 16 * (g_stack.shape[-1] if sparse else size * size)
+        lane_block, freq_block = ac_lane_blocks(lanes, nfreq, per_system)
+        for l0 in range(0, lanes, lane_block):
+            gs = g_stack[l0:l0 + lane_block]
+            cs = c_stack[l0:l0 + lane_block]
+            for f0 in range(0, nfreq, freq_block):
+                w = omegas[f0:f0 + freq_block]
+                data = stack_ac_systems(gs, cs, w)
+                block = solve_stack(data, rhs)
+                out[l0:l0 + gs.shape[0], f0:f0 + w.size] = block.reshape(
+                    gs.shape[0], w.size, size
+                )
+        return out
+    for lane in range(lanes):
+        for k, omega in enumerate(omegas):
+            if sparse:
+                system = engine.pattern.matrix(
+                    g_stack[lane] + 1j * omega * c_stack[lane]
+                )
+            else:
+                system = g_stack[lane] + 1j * omega * c_stack[lane]
+            out[lane, k] = engine.solve(system, rhs)
+    return out
+
+
 def solve_ac(
     circuit: Circuit,
     frequencies,
@@ -101,11 +217,12 @@ def solve_ac(
     """Run an AC sweep over the given frequencies (Hz).
 
     ``G`` and ``C`` are assembled once at the operating point; the sweep
-    then solves ``(G + j*omega*C) dx = b`` for every frequency.  With
-    ``batched=True`` (the default) the grid is solved in blocks: the
-    block's systems are formed as one ``(block, n, n)`` stack and handed
-    to the engine's :meth:`~repro.spice.engine.LinearSolver.solve_batched`
-    — a single broadcast LAPACK call on the dense backends.
+    then solves ``(G + j*omega*C) dx = b`` through
+    :func:`solve_ac_lanes` with a single lane.  With ``batched=True``
+    (the default) every grid — including a single spot frequency — goes
+    through the blocked iterator: systems are formed as one
+    ``(block, n, n)`` stack (dense) or ``(block, nnz)`` value stack
+    (sparse assembly) and handed to the engine's batched solver.
     ``batched=False``, or an engine without ``solve_batched`` (the
     legacy engine), falls back to the per-frequency loop; both paths
     produce the same solutions and the regression tests assert it.
@@ -125,57 +242,22 @@ def solve_ac(
         # Copy out of the engine buffers: the sweep below must not be
         # clobbered by any later evaluation.
         ctx = engine.evaluate(dc_solution, gmin=gmin, limits=limits)
-        g_mat = ctx.g_mat.copy()
-        c_mat = ctx.c_mat.copy()
+        sparse = getattr(engine, "assembly", "dense") == "sparse"
+        if sparse:
+            g_arr = np.array(ctx.g_mat.values)
+            c_arr = np.array(ctx.c_mat.values)
+        else:
+            g_arr = np.array(ctx.g_mat)
+            c_arr = np.array(ctx.c_mat)
 
-        rhs = np.zeros(size, dtype=complex)
-        for element in circuit:
-            if isinstance(element, VoltageSource):
-                stimulus = element.ac_stimulus()
-                if stimulus:
-                    rhs[element.branch_index[0]] += stimulus
-            elif isinstance(element, CurrentSource):
-                stimulus = element.ac_stimulus()
-                if stimulus:
-                    p, n = element.node_index
-                    if p >= 0:
-                        rhs[p] -= stimulus
-                    if n >= 0:
-                        rhs[n] += stimulus
+        rhs = ac_stimulus_rhs(circuit, size)
         if not np.any(rhs):
             raise AnalysisError("AC analysis: no source has an AC stimulus")
 
-        solutions = np.zeros((len(frequencies), size), dtype=complex)
         omegas = 2.0 * np.pi * frequencies
-        sparse = getattr(engine, "assembly", "dense") == "sparse"
-        solve_batched = getattr(engine, "solve_batched", None)
-        if sparse and batched and len(frequencies) > 1:
-            # Sparse assembly: stack flat value vectors over the fixed
-            # pattern — (block, nnz) complex instead of (block, n, n).
-            g_vals = g_mat.values
-            c_vals = c_mat.values
-            block = ac_block_size(size, nnz=engine.pattern.nnz)
-            for start in range(0, len(frequencies), block):
-                w = omegas[start:start + block]
-                data = g_vals[None, :] + 1j * w[:, None] * c_vals[None, :]
-                solutions[start:start + len(w)] = (
-                    engine.solve_pattern_batched(data, rhs)
-                )
-        elif batched and solve_batched is not None and len(frequencies) > 1:
-            block = ac_block_size(size)
-            for start in range(0, len(frequencies), block):
-                w = omegas[start:start + block]
-                systems = (g_mat[None, :, :]
-                           + 1j * w[:, None, None] * c_mat[None, :, :])
-                solutions[start:start + len(w)] = solve_batched(
-                    systems, rhs
-                )
-        else:
-            for k, omega in enumerate(omegas):
-                system = (g_mat.pattern.matrix(
-                              g_mat.values + 1j * omega * c_mat.values)
-                          if sparse else g_mat + 1j * omega * c_mat)
-                solutions[k] = engine.solve(system, rhs)
+        solutions = solve_ac_lanes(
+            engine, g_arr[None], c_arr[None], omegas, rhs, batched=batched
+        )[0]
     result = ACResult(
         circuit=circuit,
         frequencies=frequencies,

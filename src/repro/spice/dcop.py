@@ -512,19 +512,35 @@ def newton_solve_batched(
         jac = np.empty((batch, size, size))
     res = np.empty((batch, size))
     active = list(range(batch))
+    # Engines whose nonlinear devices are all group-vectorized assemble
+    # every active lane in one stacked pass — the same elementwise math
+    # lane-by-lane, so residuals and Jacobians stay bit-identical to the
+    # per-lane evaluate loop they replace.
+    stacked = getattr(engine, "supports_stacked_evaluate", False)
     for _iteration in range(tolerances.max_iterations):
         if not active:
             break
-        for k in active:
-            ctx = engine.evaluate(
-                x[k], gmin=gmin, limits=limits[k],
+        if stacked:
+            idx_arr = np.array(active)
+            sctx = engine.evaluate_stacked(
+                x[idx_arr], gmin=gmin,
+                limits_list=[limits[k] for k in active],
                 source_scale=source_scale,
             )
-            np.copyto(res[k], ctx.i_vec)
-            if pattern is not None:
-                np.copyto(jac[k], ctx.g_mat.values)
-            else:
-                np.copyto(jac[k], ctx.g_mat)
+            res[idx_arr] = sctx.i
+            jac[idx_arr] = sctx.g
+        else:
+            for k in active:
+                ctx = engine.evaluate(
+                    x[k], gmin=gmin, limits=limits[k],
+                    source_scale=source_scale,
+                )
+                np.copyto(res[k], ctx.i_vec)
+                if pattern is not None:
+                    np.copyto(jac[k], ctx.g_mat.values)
+                else:
+                    np.copyto(jac[k], ctx.g_mat)
+        for k in active:
             if rhs_deltas is not None and rhs_deltas[k] is not None:
                 if source_scale == 1.0:
                     res[k] += rhs_deltas[k]

@@ -134,6 +134,12 @@ class EngineStats:
     #: Non-zeros of the most recent sparse LU factorization, L + U
     #: combined (gauge; ``pattern_nnz`` vs this is the fill-in ratio).
     factor_nnz: int = 0
+    #: Fill-in ratio of the most recent sparse LU factorization:
+    #: ``factor nnz / matrix nnz`` (gauge).  Directly reflects the
+    #: column ordering (``permc_spec``) — COLAMD keeps it low where
+    #: NATURAL lets L+U fill in — and feeds the solver cost model's
+    #: sparse-vs-dense crossover.
+    fill_ratio: float = 0.0
     #: Matrix assembly backend chosen at compile time ("dense"/"sparse").
     assembly: str = ""
 
@@ -189,8 +195,10 @@ class EngineStats:
         if self.assembly:
             text += f"; assembly: {self.assembly}"
         if self.sparse_assemblies or self.pattern_nnz:
-            fill = (self.factor_nnz / self.pattern_nnz
-                    if self.pattern_nnz and self.factor_nnz else 0.0)
+            fill = self.fill_ratio or (
+                self.factor_nnz / self.pattern_nnz
+                if self.pattern_nnz and self.factor_nnz else 0.0
+            )
             text += (
                 f"; sparse: {self.pattern_nnz} nnz pattern, "
                 f"{self.sparse_assemblies} sparse assemblies, "
@@ -422,19 +430,49 @@ class SparseLUSolver(LinearSolver):
     large-system fallback) or a :class:`~repro.spice.sparse.PatternMatrix`
     from the sparse assembly path, whose fixed CSC structure wraps into
     ``splu`` with zero copies and zero dense scans.
+
+    ``permc_spec`` selects SuperLU's fill-reducing column ordering:
+    ``"COLAMD"`` (approximate minimum degree), ``"NATURAL"`` (no
+    reordering), or the ``MMD_*`` variants; ``None`` keeps SuperLU's
+    default.  The resulting fill-in ratio (factor nnz over matrix nnz)
+    is recorded on :class:`EngineStats` and observed by the solver cost
+    model, so the sparse-vs-dense crossover tracks the ordering
+    actually in effect.
     """
 
     name = "sparse-lu"
     caches_factorization = True
 
-    def __init__(self):
+    #: Column orderings scipy's splu accepts.
+    PERMC_SPECS = ("COLAMD", "NATURAL", "MMD_ATA", "MMD_AT_PLUS_A")
+
+    def __init__(self, permc_spec: str | None = None):
         super().__init__()
+        if permc_spec is not None:
+            permc_spec = str(permc_spec).upper()
+            if permc_spec not in self.PERMC_SPECS:
+                raise AnalysisError(
+                    f"unknown permc_spec {permc_spec!r}; expected one of "
+                    f"{self.PERMC_SPECS}"
+                )
+        self.permc_spec = permc_spec
         self._token = None
         self._factor = None
         #: The SparsityPattern of the last factorization; an identical
         #: pattern on the next factorization means the symbolic
         #: structure was reused (counted as ``pattern_reuses``).
         self._last_pattern = None
+
+    def _splu(self, matrix):
+        """``splu`` with the configured column ordering; singularity
+        surfaces as ``LinAlgError`` like the dense backends."""
+        try:
+            if self.permc_spec is not None:
+                return _spla.splu(matrix, permc_spec=self.permc_spec)
+            return _spla.splu(matrix)
+        except RuntimeError as exc:  # "Factor is exactly singular"
+            self.invalidate()
+            raise np.linalg.LinAlgError(str(exc)) from exc
 
     def invalidate(self) -> None:
         self._token = None
@@ -451,17 +489,15 @@ class SparseLUSolver(LinearSolver):
             matrix = _sp.csc_matrix(np.asarray(a))
             self._last_pattern = None
         t0 = _time.perf_counter()
-        try:
-            factor = _spla.splu(matrix)
-        except RuntimeError as exc:  # "Factor is exactly singular"
-            self.invalidate()
-            raise np.linalg.LinAlgError(str(exc)) from exc
+        factor = self._splu(matrix)
+        fill = factor.nnz / max(matrix.nnz, 1)
         DEFAULT_SOLVER_COST_MODEL.observe(
             "sparse", matrix.shape[0], matrix.nnz,
-            _time.perf_counter() - t0,
+            _time.perf_counter() - t0, fill=fill,
         )
         self._count("factorizations")
         self._gauge("factor_nnz", int(factor.nnz))
+        self._gauge("fill_ratio", float(fill))
         return factor
 
     def has_factorization(self, token) -> bool:
@@ -539,32 +575,34 @@ class SparseLUSolver(LinearSolver):
             matrix = pattern.csc(data[k])
             if transpose:
                 matrix = matrix.T.tocsc()
-            try:
-                factor = _spla.splu(matrix)
-            except RuntimeError as exc:
-                self.invalidate()
-                raise np.linalg.LinAlgError(str(exc)) from exc
+            factor = self._splu(matrix)
             out[k] = factor.solve(rhs if shared else rhs[k])
         if batch:
             self._gauge("factor_nnz", int(factor.nnz))
+            self._gauge("fill_ratio",
+                        float(factor.nnz) / max(matrix.nnz, 1))
         return out
 
 
 def make_solver(size: int, prefer: str | None = None,
-                nnz: int | None = None) -> LinearSolver:
+                nnz: int | None = None,
+                permc_spec: str | None = None) -> LinearSolver:
     """Pick a solver backend for a system of ``size`` unknowns.
 
     ``prefer`` forces a backend: ``"dense"``, ``"sparse"`` or ``"numpy"``;
     ``"auto"`` asks the self-calibrating cost model, which weighs the
     pattern's ``nnz`` (when known) against dense LAPACK throughput
-    instead of the static size threshold.
+    instead of the static size threshold.  ``permc_spec`` configures the
+    sparse backend's fill-reducing column ordering (e.g. ``"COLAMD"`` or
+    ``"NATURAL"``; see :class:`SparseLUSolver`) and is ignored by the
+    dense backends.
     """
     if prefer == "numpy":
         return LinearSolver()
     if prefer == "sparse":
         if _spla is None:
             raise AnalysisError("sparse solver requested but scipy is absent")
-        return SparseLUSolver()
+        return SparseLUSolver(permc_spec=permc_spec)
     if prefer == "dense":
         if _sla is None:
             raise AnalysisError("dense LU solver requested but scipy is absent")
@@ -573,12 +611,12 @@ def make_solver(size: int, prefer: str | None = None,
         if _spla is not None and (
             DEFAULT_SOLVER_COST_MODEL.choose(size, nnz) == "sparse"
         ):
-            return SparseLUSolver()
+            return SparseLUSolver(permc_spec=permc_spec)
         return DenseLUSolver() if _sla is not None else LinearSolver()
     if prefer is not None:
         raise AnalysisError(f"unknown solver backend {prefer!r}")
     if size >= SPARSE_THRESHOLD and _spla is not None:
-        return SparseLUSolver()
+        return SparseLUSolver(permc_spec=permc_spec)
     if _sla is not None:
         return DenseLUSolver()
     return LinearSolver()
@@ -917,14 +955,16 @@ class BJTGroup:
             )
             diode_isat = self._diode_isat[idx4]
             diode_nvt = self._diode_nvt[idx4]
-        v4 = np.concatenate([vbe, vbe, vbc, vbc])
+        # Last-axis slicing so a lane-stacked (L, m) call flows through
+        # the identical elementwise arithmetic as the scalar (m,) call.
+        v4 = np.concatenate([vbe, vbe, vbc, vbc], axis=-1)
         i4, g4 = _diode_current_vec(diode_isat, v4, diode_nvt)
-        ibe1 = i4[:n] + gmin * vbe
-        gbe1 = g4[:n] + gmin
-        ibe2, gbe2 = i4[n : 2 * n], g4[n : 2 * n]
-        ibc1 = i4[2 * n : 3 * n] + gmin * vbc
-        gbc1 = g4[2 * n : 3 * n] + gmin
-        ibc2, gbc2 = i4[3 * n :], g4[3 * n :]
+        ibe1 = i4[..., :n] + gmin * vbe
+        gbe1 = g4[..., :n] + gmin
+        ibe2, gbe2 = i4[..., n : 2 * n], g4[..., n : 2 * n]
+        ibc1 = i4[..., 2 * n : 3 * n] + gmin * vbc
+        gbc1 = g4[..., 2 * n : 3 * n] + gmin
+        ibc2, gbc2 = i4[..., 3 * n :], g4[..., 3 * n :]
 
         inv_early = 1.0 - vbc / VAF - vbe / VAR
         np.maximum(inv_early, 1e-4, out=inv_early)
@@ -1264,6 +1304,155 @@ class BJTGroup:
             self._replay(None, jac_alpha)
         return n - m
 
+    def load_stacked(
+        self,
+        x_stack: np.ndarray,
+        gmin: float,
+        limits_list: list,
+        i_full: np.ndarray,
+        q_full: np.ndarray,
+        g_flat: np.ndarray,
+        c_flat: np.ndarray | None = None,
+    ) -> None:
+        """Stamp every device for a ``(L, n)`` stack of solutions at once.
+
+        The lane-stacked twin of :meth:`load` at ``bypass_tol == 0``: the
+        per-device math is purely elementwise, so adding a leading lane
+        axis runs the identical arithmetic per lane — each lane's stamps
+        are bit-identical to a scalar :meth:`load` at that lane's ``x``.
+        Scatter targets are per-lane flats (``i_full``/``q_full`` are
+        ``(L, size+1)``, ``g_flat``/``c_flat`` are ``(L, flat)``); the
+        ``np.add.at`` broadcast iterates lane-major, preserving each
+        lane's scalar accumulation order over duplicate slots.  The
+        shared ``*_vals`` buffers and the device-bypass cache are never
+        touched, so interleaved scalar bypassing stays coherent.
+        """
+        L = x_stack.shape[0]
+        size = self.size
+        n = self.n
+        xg = np.zeros((L, size + 1))
+        xg[:, :size] = x_stack
+        v_b = xg[:, self.b_ext]
+        v_s = xg[:, self.s_ext]
+        v_ci = xg[:, self.ci]
+        v_bi = xg[:, self.bi]
+        v_ei = xg[:, self.ei]
+        sign = self.sign
+
+        vbe_raw = sign * (v_bi - v_ei)
+        vbc_raw = sign * (v_bi - v_ci)
+        vbx = sign * (v_b - v_ci)
+        vsc = sign * (v_s - v_ci)
+        vrb = v_b - v_bi
+
+        v_raw = np.concatenate([vbe_raw, vbc_raw], axis=1)
+        v_old = v_raw.copy()
+        names = self.names
+        for li, limits in enumerate(limits_list):
+            row = v_old[li]
+            for k, name in enumerate(names):
+                old = limits.get(name)
+                if old is not None:
+                    row[k], row[n + k] = old
+        v_lim = _pnjlim_vec(v_raw, v_old, self._lim_vt, self._lim_vcrit)
+        vbe = v_lim[:, :n]
+        vbc = v_lim[:, n:]
+        for li, limits in enumerate(limits_list):
+            for name, lim_be, lim_bc in zip(
+                names, vbe[li].tolist(), vbc[li].tolist()
+            ):
+                limits[name] = (lim_be, lim_bc)
+
+        qdep, cdep = self.junctions.charge_cap(
+            np.concatenate([vbe, vbc, vbx, vsc], axis=1)
+        )
+        qbx, cbx = qdep[:, 2 * n : 3 * n], cdep[:, 2 * n : 3 * n]
+        qjs, cjs = qdep[:, 3 * n :], cdep[:, 3 * n :]
+
+        op = self._evaluate(
+            vbe, vbc, gmin, qdep[:, :n], cdep[:, :n],
+            qdep[:, n : 2 * n], cdep[:, n : 2 * n],
+        )
+        dbe = vbe_raw - vbe
+        dbc = vbc_raw - vbc
+
+        grb = np.where(
+            self.has_rb, 1.0 / np.maximum(op["rbb"], 1e-3), 0.0
+        )
+        irb = grb * vrb
+
+        ic = op["ic"] + op["dic_dvbe"] * dbe + op["dic_dvbc"] * dbc
+        ib = op["ib"] + op["dib_dvbe"] * dbe + op["dib_dvbc"] * dbc
+        iv = np.empty((L, 5, n))
+        gv = np.empty((L, 13, n))
+        qv = np.empty((L, 8, n))
+        cv = np.empty((L, 20, n))
+        iv[:, 0] = irb
+        iv[:, 1] = -irb
+        iv[:, 2] = sign * ic
+        iv[:, 3] = sign * ib
+        iv[:, 4] = -sign * (ic + ib)
+
+        dic_e, dic_c = op["dic_dvbe"], op["dic_dvbc"]
+        dib_e, dib_c = op["dib_dvbe"], op["dib_dvbc"]
+        gv[:, 0] = grb
+        gv[:, 1] = -grb
+        gv[:, 2] = -grb
+        gv[:, 3] = grb
+        gv[:, 4] = dic_e + dic_c
+        gv[:, 5] = -dic_e
+        gv[:, 6] = -dic_c
+        gv[:, 7] = dib_e + dib_c
+        gv[:, 8] = -dib_e
+        gv[:, 9] = -dib_c
+        gv[:, 10] = -(dic_e + dib_e) - (dic_c + dib_c)
+        gv[:, 11] = dic_e + dib_e
+        gv[:, 12] = dic_c + dib_c
+
+        qbe = op["qbe"] + op["dqbe_dvbe"] * dbe + op["dqbe_dvbc"] * dbc
+        qbc = op["qbc"] + op["dqbc_dvbc"] * dbc
+        qv[:, 0] = sign * qbe
+        qv[:, 1] = -sign * qbe
+        qv[:, 2] = sign * qbc
+        qv[:, 3] = -sign * qbc
+        qv[:, 4] = sign * qbx
+        qv[:, 5] = -sign * qbx
+        qv[:, 6] = sign * qjs
+        qv[:, 7] = -sign * qjs
+
+        cpi = op["dqbe_dvbe"]
+        cx = op["dqbe_dvbc"]
+        cmu = op["dqbc_dvbc"]
+        cv[:, 0] = cpi
+        cv[:, 1] = -cpi
+        cv[:, 2] = -cpi
+        cv[:, 3] = cpi
+        cv[:, 4] = cx
+        cv[:, 5] = -cx
+        cv[:, 6] = -cx
+        cv[:, 7] = cx
+        cv[:, 8] = cmu
+        cv[:, 9] = -cmu
+        cv[:, 10] = -cmu
+        cv[:, 11] = cmu
+        cv[:, 12] = cbx
+        cv[:, 13] = -cbx
+        cv[:, 14] = -cbx
+        cv[:, 15] = cbx
+        cv[:, 16] = cjs
+        cv[:, 17] = -cjs
+        cv[:, 18] = -cjs
+        cv[:, 19] = cjs
+
+        lane = np.arange(L)[:, None]
+        np.add.at(i_full, (lane, self._i_rows[None, :]), iv.reshape(L, -1))
+        np.add.at(g_flat, (lane, self._g_idx[None, :]), gv.reshape(L, -1))
+        if c_flat is not None:
+            np.add.at(
+                c_flat, (lane, self._c_idx[None, :]), cv.reshape(L, -1)
+            )
+        np.add.at(q_full, (lane, self._q_rows[None, :]), qv.reshape(L, -1))
+
 
 class _RecordingContext:
     """Proxy over a :class:`LoadContext` that records one element's
@@ -1460,6 +1649,26 @@ class _CooContext(LoadContext):
 # ---------------------------------------------------------------------------
 
 
+class StackedContext:
+    """Lane-stacked assembly returned by
+    :meth:`CompiledCircuit.evaluate_stacked`.
+
+    ``i``/``q`` are ``(L, size)`` stacks; ``g``/``c`` are ``(L, size,
+    size)`` dense stacks or ``(L, nnz)`` pattern-value stacks depending
+    on the engine's assembly backend (``c`` is ``None`` unless requested).
+    Row ``k`` holds exactly what a scalar ``evaluate`` at lane ``k``'s
+    solution would have produced.
+    """
+
+    __slots__ = ("i", "g", "q", "c")
+
+    def __init__(self, i, g, q, c=None):
+        self.i = i
+        self.g = g
+        self.q = q
+        self.c = c
+
+
 class CompiledCircuit:
     """Compile-once, evaluate-many circuit engine.
 
@@ -1600,7 +1809,9 @@ class CompiledCircuit:
                     "sparse assembly requested but scipy is absent"
                 )
             if solver is None:
-                solver = SparseLUSolver()
+                solver = SparseLUSolver(
+                    permc_spec=getattr(self.circuit, "_permc_spec", None)
+                )
             elif not isinstance(solver, SparseLUSolver):
                 raise AnalysisError(
                     f"sparse assembly requires a SparseLUSolver backend, "
@@ -1644,7 +1855,9 @@ class CompiledCircuit:
             if self._bjt_group is not None:
                 self._bjt_group.bind_dense(self._g_full, self._c_full)
 
-        self.solver = solver if solver is not None else make_solver(size)
+        self.solver = solver if solver is not None else make_solver(
+            size, permc_spec=getattr(self.circuit, "_permc_spec", None)
+        )
         self.solver.bind(self.stats, GLOBAL_STATS)
         self.stats.solver = self.solver.name
         self.stats.assembly = backend
@@ -1792,6 +2005,108 @@ class CompiledCircuit:
             self.stats.bypassed_evals += bypassed
             GLOBAL_STATS.bypassed_evals += bypassed
         return ctx
+
+    @property
+    def supports_stacked_evaluate(self) -> bool:
+        """Whether :meth:`evaluate_stacked` covers this circuit.
+
+        True when every nonlinear device belongs to the vectorized BJT
+        group — scalar-dynamic elements (diodes, behavioral elements)
+        would need a per-lane Python loop, which is exactly what the
+        stacked path exists to avoid.
+        """
+        return not self._scalar_dynamic
+
+    def evaluate_stacked(
+        self,
+        x_stack: np.ndarray,
+        gmin: float = 1e-12,
+        limits_list: list | None = None,
+        source_scale: float = 1.0,
+        with_c: bool = False,
+    ) -> "StackedContext":
+        """Assemble I, G (and optionally C, Q) for a ``(L, n)`` solution
+        stack in one vectorized pass.
+
+        The lane-stacked twin of :meth:`evaluate` at its DC defaults
+        (``time=None``, ``bypass_tol=0``): every lane's arrays are
+        bit-identical to a scalar :meth:`evaluate` at that lane's ``x``
+        with that lane's ``limits`` dict.  The base-stamp matvecs stay
+        per-lane (matching the scalar BLAS/CSR call exactly); everything
+        device-side runs stacked through
+        :meth:`BJTGroup.load_stacked`.  Buffers are freshly allocated
+        per call — unlike :meth:`evaluate`, the returned views survive
+        subsequent calls.
+        """
+        size = self.size
+        n1 = size + 1
+        L = x_stack.shape[0]
+        if limits_list is None:
+            limits_list = [dict() for _ in range(L)]
+        sparse = self.assembly == "sparse"
+        i_full = np.zeros((L, n1))
+        q_full = np.zeros((L, n1))
+        c_buf = None
+        if sparse:
+            g_buf = np.empty((L, self.pattern.nnz + 1))
+            g_buf[:] = self._base_g
+            if with_c:
+                c_buf = np.empty((L, self.pattern.nnz + 1))
+                c_buf[:] = self._base_c
+            for k in range(L):
+                i_full[k, :size] = self._g0_csr.dot(x_stack[k])
+                q_full[k, :size] = self._c0_csr.dot(x_stack[k])
+        else:
+            g_buf = np.zeros((L, n1, n1))
+            g_buf[:, :size, :size] = self._g0
+            if with_c:
+                c_buf = np.zeros((L, n1, n1))
+                c_buf[:, :size, :size] = self._c0
+            for k in range(L):
+                i_full[k, :size] = np.dot(self._g0, x_stack[k])
+                q_full[k, :size] = np.dot(self._c0, x_stack[k])
+        i_full[:, :size] += self._i0
+        q_full[:, :size] += self._q0
+
+        if source_scale != 0.0:
+            if self._has_src_dc:
+                if source_scale == 1.0:
+                    i_full[:, :size] += self._src_dc
+                else:
+                    i_full[:, :size] += self._src_dc * source_scale
+            for element, rows in self._source_rows:
+                value = element.source_value(None) * source_scale
+                if value != 0.0:
+                    for row, coeff in rows:
+                        i_full[:, row] += coeff * value
+
+        if self._bjt_group is not None:
+            if sparse:
+                g_flat, c_flat = g_buf, c_buf
+            else:
+                g_flat = g_buf.reshape(L, -1)
+                c_flat = c_buf.reshape(L, -1) if with_c else None
+            self._bjt_group.load_stacked(
+                x_stack, gmin, limits_list, i_full, q_full, g_flat, c_flat
+            )
+
+        self.stats.assemblies += L
+        GLOBAL_STATS.assemblies += L
+        if sparse:
+            self.stats.sparse_assemblies += L
+            GLOBAL_STATS.sparse_assemblies += L
+            g_view = g_buf[:, : self.pattern.nnz]
+            c_view = c_buf[:, : self.pattern.nnz] if with_c else None
+        else:
+            self.stats.dense_assemblies += L
+            GLOBAL_STATS.dense_assemblies += L
+            g_view = g_buf[:, :size, :size]
+            c_view = c_buf[:, :size, :size] if with_c else None
+        self.stats.element_evals += self._eval_cost * L
+        GLOBAL_STATS.element_evals += self._eval_cost * L
+        return StackedContext(
+            i_full[:, :size], g_view, q_full[:, :size], c_view
+        )
 
     def solve(self, a: np.ndarray, b: np.ndarray, token=None,
               chord: bool = False) -> np.ndarray:

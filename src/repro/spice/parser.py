@@ -135,6 +135,10 @@ class _Parser:
         for build in self._deferred:
             build(circuit)
         self._deferred.clear()
+        if "permc" in self.options:
+            # Rides on the circuit so engine compilation — which never
+            # sees the deck — can configure the sparse LU's ordering.
+            circuit._permc_spec = self.options["permc"]
         return Deck(self.title, circuit, self.models, self.analyses,
                     self.options)
 
@@ -260,6 +264,17 @@ class _Parser:
                             f"sparse (got {value})", lineno,
                         )
                     self.options["solver"] = backend
+                elif name.lower() == "permc":
+                    # Fill-reducing column ordering for the sparse LU.
+                    spec = value.upper()
+                    if spec not in ("COLAMD", "NATURAL", "MMD_ATA",
+                                    "MMD_AT_PLUS_A"):
+                        raise ParseError(
+                            f".OPTIONS PERMC must be COLAMD, NATURAL, "
+                            f"MMD_ATA or MMD_AT_PLUS_A (got {value})",
+                            lineno,
+                        )
+                    self.options["permc"] = spec
                 elif name.lower() in recognized:
                     try:
                         self.options[name.lower()] = parse_value(value)

@@ -52,6 +52,15 @@ class SolverCostModel:
     sparse_factor_ns: float = 130.0e-9
     #: Sparse per-iteration scatter + matvec, seconds per nnz.
     sparse_assemble_ns: float = 30.0e-9
+    #: Observed LU fill-in ratio (factor nnz over matrix nnz), EWMA of
+    #: live factorizations; directly reflects the fill-reducing column
+    #: ordering in effect (``.OPTIONS PERMC=``).
+    fill_ratio: float = 12.0
+    #: The fill baked into the measured ``sparse_factor_ns`` constant
+    #: (the ring Jacobians above under SuperLU's default ordering);
+    #: :meth:`sparse_cost` scales by ``fill_ratio / reference_fill`` so
+    #: a better (or worse) ordering shifts the crossover accordingly.
+    reference_fill: float = 12.0
     #: Below this many unknowns, always dense.
     min_size: int = 192
     #: Sparse must beat dense by this factor to be chosen.
@@ -73,9 +82,16 @@ class SolverCostModel:
                 + self.dense_assemble_ns2 * size ** 2)
 
     def sparse_cost(self, size: int, nnz: int) -> float:
-        """Predicted seconds for one sparse factorize + assemble."""
+        """Predicted seconds for one sparse factorize + assemble.
+
+        The factor term scales with the observed fill-in relative to
+        the fill the calibration constant was measured at, so a
+        fill-reducing ordering (lower :attr:`fill_ratio`) makes sparse
+        win earlier and a fill-heavy one pushes the crossover out.
+        """
         work = nnz * math.log2(max(size, 2))
-        return (self.sparse_factor_ns * work
+        fill_scale = self.fill_ratio / max(self.reference_fill, 1e-12)
+        return (self.sparse_factor_ns * work * fill_scale
                 + self.sparse_assemble_ns * nnz)
 
     def choose(self, size: int, nnz: int | None = None) -> str:
@@ -96,13 +112,16 @@ class SolverCostModel:
         return "sparse" if dense > self.min_speedup * sparse else "dense"
 
     def observe(self, backend: str, size: int, nnz: int | None,
-                seconds: float) -> None:
+                seconds: float, fill: float | None = None) -> None:
         """Fold one measured factorization into the calibration.
 
         The observed time re-estimates the backend's *factor*
         coefficient only (assembly terms are too small to separate
         from timer noise); EWMA smoothing keeps one outlier from
-        swinging the crossover.
+        swinging the crossover.  ``fill`` (factor nnz over matrix nnz,
+        reported by :class:`~repro.spice.engine.SparseLUSolver`) tracks
+        the live fill-in so :meth:`sparse_cost` reflects the column
+        ordering actually in effect.
         """
         if seconds <= 0.0 or size <= 0:
             return
@@ -118,6 +137,8 @@ class SolverCostModel:
                 estimate = seconds / work
                 self.sparse_factor_ns += w * (estimate
                                               - self.sparse_factor_ns)
+                if fill is not None and fill > 0.0:
+                    self.fill_ratio += w * (fill - self.fill_ratio)
                 self.observations["sparse"] += 1
 
     def crossover(self, density_per_row: float = 4.0,

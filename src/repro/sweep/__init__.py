@@ -37,6 +37,10 @@ Execution is structured for *positive* parallel scaling:
 * :class:`BlockedDCSweep` (:mod:`repro.sweep.batched`) solves a whole
   chunk of DC operating points in one stacked Newton iteration while
   preserving per-point convergence semantics bit-for-bit,
+* :class:`BlockedACSweep` does the same for AC sweeps: one stacked
+  Newton bias solve for the chunk, then every ``lane x frequency``
+  system solved through a handful of batched complex solves — with
+  per-lane source re-bias and linear R/L/C small-signal overrides,
 * ``executor="auto"`` / ``jobs="auto"`` consults the dispatch
   :class:`CostModel` (:mod:`repro.sweep.costmodel`): a probe chunk is
   timed in-process and serial/thread/process plus the chunk size are
@@ -50,7 +54,13 @@ guarantees and the failure-handling contract.
 """
 
 from ..errors import SweepError
-from .batched import BlockedDCSweep, node_voltage
+from .batched import (
+    BlockedACSweep,
+    BlockedDCSweep,
+    ac_gain_db,
+    ac_node_voltage,
+    node_voltage,
+)
 from .cache import ResultCache, content_key
 from .costmodel import DEFAULT_COST_MODEL, CostModel, DispatchPlan
 from .executors import (
@@ -90,7 +100,10 @@ __all__ = [
     "DispatchPlan",
     "DEFAULT_COST_MODEL",
     "BlockedDCSweep",
+    "BlockedACSweep",
     "node_voltage",
+    "ac_node_voltage",
+    "ac_gain_db",
     "SweepError",
     "resolve_executor",
     "map_chunks_with_retries",

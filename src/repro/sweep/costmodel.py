@@ -75,6 +75,13 @@ class CostModel:
     #: Fraction of the evaluation that runs GIL-free (numpy/LAPACK);
     #: bounds how much the thread backend can overlap.
     thread_parallel_fraction: float = 0.25
+    #: GIL-free fraction for *blocked complex solves* (batched AC):
+    #: the work is dominated by stacked LAPACK/SuperLU calls, so
+    #: threads overlap far more of it than scalar python evaluation.
+    #: Batch-capable evaluators advertise this via their
+    #: ``thread_fraction_hint`` attribute and the auto planner threads
+    #: it through :meth:`plan`.
+    complex_parallel_fraction: float = 0.6
     #: Required predicted speedup before leaving serial (near-ties stay
     #: serial: it is the predictable, zero-overhead choice).
     min_speedup: float = 1.2
@@ -91,14 +98,22 @@ class CostModel:
 
     def predict(self, backend: str, count: int, point_seconds: float,
                 point_bytes: float, fn_bytes: float, workers: int,
-                chunk_size: int, pool_warm: bool) -> float:
-        """Predicted wall seconds to evaluate ``count`` points."""
+                chunk_size: int, pool_warm: bool,
+                thread_fraction: float | None = None) -> float:
+        """Predicted wall seconds to evaluate ``count`` points.
+
+        ``thread_fraction`` overrides the GIL-free overlap estimate for
+        the thread backend (e.g. an evaluator's
+        ``thread_fraction_hint``); ``None`` keeps the scalar default.
+        """
         compute = count * point_seconds
         chunks = math.ceil(count / max(1, chunk_size))
         if backend == "serial" or workers <= 1:
             return compute
         if backend == "thread":
-            overlap = self.thread_parallel_fraction
+            overlap = (self.thread_parallel_fraction
+                       if thread_fraction is None
+                       else min(max(float(thread_fraction), 0.0), 1.0))
             parallel = compute * overlap / workers
             return compute * (1.0 - overlap) + parallel \
                 + chunks * self.thread_chunk_seconds
@@ -113,13 +128,15 @@ class CostModel:
 
     def plan(self, count: int, point_seconds: float, *,
              point_bytes: float = 512.0, fn_bytes: float = 4096.0,
-             workers: int = 2, pool_warm: bool = False) -> DispatchPlan:
+             workers: int = 2, pool_warm: bool = False,
+             thread_fraction: float | None = None) -> DispatchPlan:
         """Pick the cheapest backend + chunking for ``count`` points."""
         workers = max(1, int(workers))
         chunk_size = self.chunk_size_for(count, workers)
         predictions = {
             name: self.predict(name, count, point_seconds, point_bytes,
-                               fn_bytes, workers, chunk_size, pool_warm)
+                               fn_bytes, workers, chunk_size, pool_warm,
+                               thread_fraction=thread_fraction)
             for name in ("serial", "thread", "process")
         }
         serial = predictions["serial"]

@@ -530,6 +530,7 @@ def _plan_auto_dispatch(
     pending_chunks: list,
     pending_keys: list,
     warm_start: bool,
+    thread_fraction: float | None = None,
 ):
     """Probe-then-plan for the ``auto`` executor.
 
@@ -572,6 +573,7 @@ def _plan_auto_dispatch(
         remaining, point_seconds, point_bytes=point_bytes,
         fn_bytes=fn_bytes, workers=workers,
         pool_warm=pool_is_warm(workers),
+        thread_fraction=thread_fraction,
     )
     if plan.backend == "thread":
         backend = ThreadExecutor(plan.jobs)
@@ -673,7 +675,17 @@ def run_sweep(
         return SweepResult(points=[], values=[], stats=SweepStats(
             executor=backend.name, workers=backend.workers,
             on_error=on_error))
-    size = _default_chunk_size(count) if chunk_size is None else chunk_size
+    if chunk_size is None:
+        # Batch-capable evaluators amortize per-chunk setup (stacked
+        # Newton, stacked frequency solves) and want far fewer, larger
+        # chunks than the scalar default targets.  Values stay
+        # bit-identical under any chunking, so this only moves overhead.
+        preferred = (getattr(fn, "preferred_chunk_size", None)
+                     if use_batch else None)
+        size = (int(preferred(count)) if callable(preferred)
+                else _default_chunk_size(count))
+    else:
+        size = chunk_size
     if size < 1:
         raise AnalysisError("chunk_size must be at least 1")
     chunks = [points[i:i + size] for i in range(0, count, size)]
@@ -742,6 +754,10 @@ def run_sweep(
             (backend, plan_text, probe_results, rest_chunks,
              rest_keys) = _plan_auto_dispatch(
                 backend, work, pending_chunks, pending_keys, warm_start,
+                thread_fraction=(
+                    getattr(fn, "thread_fraction_hint", None)
+                    if use_batch else None
+                ),
             )
             pending_chunks = probe_chunks + rest_chunks
             pending_keys = probe_keys + rest_keys

@@ -148,6 +148,60 @@ class TestSweepAndOptimizeJobs:
         assert second["result"]["sweep_stats"]["cache_hits"] == 3
         assert second["result"]["sweep_stats"]["evaluated"] == 0
 
+    def test_ac_sweep_job_payload_and_parity(self, service, ce_deck):
+        cid = service.create_circuit(ce_deck)["circuit_id"]
+        request = dict(source="VB", values=[0.75, 0.8], output="c",
+                       analysis="ac", frequencies=[1e6, 1e8, 1e10])
+        polled = _run(service, service.run_sweep(cid, **request))
+        assert polled["state"] == "done"
+        result = polled["result"]
+        assert result["analysis"] == "ac"
+        assert result["frequencies_hz"] == [1e6, 1e8, 1e10]
+        assert len(result["values"]) == 2
+        assert all(len(v) == 3 for v in result["values"])
+        # The job result equals the library-level blocked evaluation.
+        from repro.sweep import BlockedACSweep, ac_gain_db
+
+        fn = BlockedACSweep(ce_deck, measure=ac_gain_db("c"),
+                            frequencies=[1e6, 1e8, 1e10])
+        expected = [[float(m) for m in fn({"VB": v})] for v in (0.75, 0.8)]
+        assert result["values"] == expected
+
+    def test_ac_sweep_job_grid_from_start_stop(self, service, ce_deck):
+        cid = service.create_circuit(ce_deck)["circuit_id"]
+        polled = _run(service, service.run_sweep(
+            cid, source="VB", values=[0.8], output="c", analysis="ac",
+            start=1e6, stop=1e8, points_per_decade=5))
+        result = polled["result"]
+        assert result["frequencies_hz"][0] == pytest.approx(1e6)
+        assert result["frequencies_hz"][-1] == pytest.approx(1e8)
+        assert len(result["frequencies_hz"]) == 11
+
+    def test_repeated_ac_sweep_jobs_never_recompile(self, service, ce_deck):
+        cid = service.create_circuit(ce_deck)["circuit_id"]
+        request = dict(source="VB", values=[0.75, 0.8, 0.85], output="c",
+                       analysis="ac", frequencies=[1e6, 1e8, 1e10])
+        _run(service, service.run_sweep(cid, **request))
+        entry = service._entry(cid)
+        evaluator = entry.evaluators[("ac", "c", (1e6, 1e8, 1e10))]
+        compiled = evaluator._engine.stats.compilations
+        _run(service, service.run_sweep(cid, **request))
+        _run(service, service.run_sweep(cid, tenant="other", **request))
+        assert evaluator._engine.stats.compilations == compiled
+        assert service.stats_payload()["stats"]["circuits"]["recompiles"] == 0
+        # Second identical request on the same tenant was pure cache.
+        second = _run(service, service.run_sweep(cid, **request))
+        assert second["result"]["sweep_stats"]["cache_hits"] == 3
+        assert second["result"]["sweep_stats"]["evaluated"] == 0
+
+    def test_sweep_rejects_unknown_analysis(self, service, ce_deck):
+        cid = service.create_circuit(ce_deck)["circuit_id"]
+        polled = _run(service, service.run_sweep(
+            cid, source="VB", values=[0.8], output="c", analysis="noise"))
+        assert polled["state"] == "failed"
+        assert polled["error"]["error_type"] == "AnalysisError"
+        assert "'dc' or 'ac'" in polled["error"]["error"]
+
     def test_sweep_failures_carry_forensics(self, service, ce_deck):
         cid = service.create_circuit(ce_deck)["circuit_id"]
         polled = _run(service, service.run_sweep(

@@ -182,6 +182,81 @@ class TestMakeSolver:
         assert isinstance(make_solver(5000, prefer="dense"), DenseLUSolver)
 
 
+class TestPermcSpecAndFill:
+    """Column-ordering selection and fill-in observation (satellite of
+    the blocked-AC work: ordering shifts both the factorization cost
+    and the dense/sparse crossover)."""
+
+    LADDER = "ladder\n" + "V1 n0 0 DC 1\n" + "\n".join(
+        f"R{k} n{k - 1} n{k} 1k" for k in range(1, 25)
+    ) + "\nRL n24 0 1k\n.OPTIONS SOLVER=sparse\n.OP\n.END\n"
+
+    def test_solver_validates_and_normalizes_spec(self):
+        assert SparseLUSolver().permc_spec is None
+        assert SparseLUSolver(permc_spec="natural").permc_spec == "NATURAL"
+        with pytest.raises(AnalysisError, match="permc_spec"):
+            SparseLUSolver(permc_spec="BOGUS")
+
+    def test_make_solver_threads_the_spec(self):
+        solver = make_solver(500, prefer="sparse", permc_spec="colamd")
+        assert solver.permc_spec == "COLAMD"
+
+    def test_options_card_reaches_the_engine(self):
+        deck = parse_deck(self.LADDER.replace(
+            "SOLVER=sparse", "SOLVER=sparse PERMC=NATURAL"))
+        circuit = deck.circuit
+        assert circuit._permc_spec == "NATURAL"
+        circuit.assign_indices()
+        engine = get_engine(circuit, mode="sparse")
+        assert engine.solver.permc_spec == "NATURAL"
+
+    def test_bad_permc_option_is_a_parse_error(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError, match="PERMC must be"):
+            parse_deck("t\n.OPTIONS PERMC=WRONG\nV1 a 0 DC 1\n"
+                       "R1 a 0 1k\n.END\n")
+
+    def test_orderings_agree_and_fill_is_gauged(self):
+        results = {}
+        for spec in (None, "NATURAL", "MMD_AT_PLUS_A"):
+            text = self.LADDER if spec is None else self.LADDER.replace(
+                "SOLVER=sparse", f"SOLVER=sparse PERMC={spec}")
+            deck = parse_deck(text)
+            circuit = deck.circuit
+            circuit.assign_indices()
+            engine = get_engine(circuit, mode="sparse")
+            from repro.spice.dcop import solve_dc
+
+            results[spec] = solve_dc(circuit, engine=engine)
+            assert engine.stats.fill_ratio >= 1.0
+        np.testing.assert_allclose(results["NATURAL"], results[None],
+                                   rtol=1e-12, atol=1e-15)
+        np.testing.assert_allclose(results["MMD_AT_PLUS_A"], results[None],
+                                   rtol=1e-12, atol=1e-15)
+
+    def test_cost_model_observes_fill(self):
+        model = SolverCostModel(calibration_weight=1.0)
+        model.observe("sparse", 1000, 5000, seconds=1e-3, fill=24.0)
+        assert model.fill_ratio == 24.0
+        # Doubled fill relative to the reference doubles the factor
+        # term (hold the factor coefficient fixed to isolate the fill).
+        after = model.sparse_cost(1000, 5000)
+        model.fill_ratio = model.reference_fill
+        assert after > model.sparse_cost(1000, 5000)
+
+    def test_fill_scaling_moves_the_crossover(self):
+        cheap = SolverCostModel(fill_ratio=2.0)
+        costly = SolverCostModel(fill_ratio=60.0)
+        assert cheap.sparse_cost(512, 2048) < costly.sparse_cost(512, 2048)
+
+    def test_observe_without_fill_keeps_the_prior(self):
+        model = SolverCostModel(calibration_weight=1.0)
+        prior = model.fill_ratio
+        model.observe("sparse", 1000, 5000, seconds=1e-3)
+        assert model.fill_ratio == prior
+
+
 # ---------------------------------------------------------------------------
 # factorization-cache regression: anonymous solves must not clobber a
 # token-cached factorization
