@@ -49,6 +49,10 @@ _SPARSE_RECORDS: list[dict] = []
 #: dumped to BENCH_service.json (requests/s, p50/p99, cache hit rate).
 _SERVICE_RECORDS: list[dict] = []
 
+#: corner-qualification measurements pushed via :func:`record_verify`,
+#: dumped to BENCH_verify.json (corners/s scalar vs blocked, overhead).
+_VERIFY_RECORDS: list[dict] = []
+
 
 def record_sweep(name: str, payload: dict) -> None:
     """Archive one sweep-throughput measurement into BENCH_sweep.json."""
@@ -73,6 +77,11 @@ def record_sparse(name: str, payload: dict) -> None:
 def record_service(name: str, payload: dict) -> None:
     """Archive one service load-test measurement into BENCH_service.json."""
     _SERVICE_RECORDS.append({"benchmark": name, **payload})
+
+
+def record_verify(name: str, payload: dict) -> None:
+    """Archive one corner-qualification measurement into BENCH_verify.json."""
+    _VERIFY_RECORDS.append({"benchmark": name, **payload})
 
 
 @pytest.fixture(autouse=True)
@@ -149,6 +158,16 @@ def pytest_sessionfinish(session, exitstatus):
             "benchmarks": _SERVICE_RECORDS,
         }
         (OUTPUT_DIR / "BENCH_service.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+    if _VERIFY_RECORDS:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        payload = {
+            "schema": "bench-verify-v1",
+            "cpu_count": os.cpu_count(),
+            "benchmarks": _VERIFY_RECORDS,
+        }
+        (OUTPUT_DIR / "BENCH_verify.json").write_text(
             json.dumps(payload, indent=2) + "\n"
         )
 

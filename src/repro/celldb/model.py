@@ -87,6 +87,9 @@ class Cell:
     origin_ic: str = ""  #: the IC this circuit was first designed in
     reuse_count: int = 0
     revision: int = 1  #: bumped by AnalogCellDatabase.update_cell
+    #: qualification report record (repro.verify schema), or None while
+    #: the cell has only nominal simulation data
+    qualification: dict | None = None
 
     def __post_init__(self):
         if not self.name:
@@ -129,6 +132,7 @@ class Cell:
                 origin_ic=data.get("origin_ic", ""),
                 reuse_count=int(data.get("reuse_count", 0)),
                 revision=int(data.get("revision", 1)),
+                qualification=data.get("qualification"),
             )
         except KeyError as exc:
             raise CellDatabaseError(f"cell record missing field {exc}") from exc
@@ -153,3 +157,40 @@ class Cell:
         for record in self.simulations:
             merged.update(record.summary)
         return merged
+
+    def record_qualification(self, report) -> None:
+        """Attach a qualification result (a ``repro.verify``
+        ``QualificationReport`` or its ``to_dict()`` record).
+
+        Stores the full per-corner record on :attr:`qualification` and
+        folds the nominal-corner measurements into :attr:`simulations`
+        as a record named ``"qualification"`` (replacing any previous
+        one) so :meth:`simulation_summary` reflects measured behavior.
+        """
+        data = report.to_dict() if hasattr(report, "to_dict") else dict(report)
+        self.qualification = data
+        nominal = _nominal_measurements(data)
+        self.simulations = [
+            s for s in self.simulations if s.name != "qualification"
+        ]
+        if nominal:
+            self.simulations.append(SimulationRecord(
+                "qualification", "dc",
+                {k: v for k, v in nominal.items() if v is not None},
+            ))
+
+
+def _nominal_measurements(qualification: dict) -> dict:
+    """Nominal-corner measurements out of a qualification record
+    (falling back to the first solved corner)."""
+    outcomes = qualification.get("outcomes", ())
+    nominal = (qualification.get("stats") or {}).get("nominal_corner")
+    if nominal is not None:
+        for outcome in outcomes:
+            if outcome.get("corner") == nominal \
+                    and outcome.get("failure") is None:
+                return dict(outcome.get("measurements") or {})
+    for outcome in outcomes:
+        if outcome.get("failure") is None:
+            return dict(outcome.get("measurements") or {})
+    return {}

@@ -27,7 +27,10 @@ RC2 vcc outn 1k
 Q1 outp inp tail QGEN
 Q2 outn inn tail QGEN
 I1 tail 0 DC 1m
+VB1 inp 0 DC 2.5 AC 1
+VB2 inn 0 DC 2.5
 {_GENERIC_NPN}
+.AC DEC 5 1MEG 10G
 .END
 """
 
@@ -40,7 +43,11 @@ RC2 vcc outn 500
 Q1 outp lop com QGEN
 Q2 outn lon com QGEN
 Q3 com rf 0 QGEN
+VLO lop 0 DC 2.5
+VLOB lon 0 DC 2.5
+VRF rf 0 DC 0.85 AC 1
 {_GENERIC_NPN}
+.AC DEC 5 1MEG 10G
 .END
 """
 
@@ -50,7 +57,9 @@ def _follower_deck(name: str) -> str:
 V1 vcc 0 DC 5
 Q1 vcc in out QGEN
 I1 out 0 DC 1m
+VB in 0 DC 2.5 AC 1
 {_GENERIC_NPN}
+.AC DEC 5 1MEG 10G
 .END
 """
 

@@ -20,6 +20,12 @@
     sizing of what cannot be re-used, and Gummel-Poon model
     regeneration for the sized geometry.
 
+``python -m repro.cli verify <deck.cir | CELL> [--jobs N] [--json PATH]``
+    Qualify a deck (or a seeded cell by name) across temperature /
+    supply / passive-tolerance corners with device stress checks
+    (``docs/verification.md``); prints the datasheet table and exits 1
+    when qualification fails.
+
 ``python -m repro.cli serve [--port P] [--workers N] [--profile]``
     Run the simulation job server (``docs/service.md``): circuits are
     compiled once under content-hashed ids, analyses run as async jobs
@@ -67,9 +73,13 @@ def _cmd_run(args) -> int:
     # when --jobs > 1 (--jobs auto defers to the dispatch cost model),
     # and with --on-error skip|retry a diverging deck is reported
     # instead of killing the batch.
+    from .sweep import ResultCache
+
     stats_sink: dict = {}
+    cache = ResultCache()
     summaries = run_decks(args.decks, engine=args.engine, jobs=args.jobs,
-                          on_error=args.on_error, stats_sink=stats_sink)
+                          on_error=args.on_error, stats_sink=stats_sink,
+                          cache=cache)
     failed = [s for s in summaries if not s.ok]
     for summary in summaries:
         print(summary.summary)
@@ -79,6 +89,8 @@ def _cmd_run(args) -> int:
         print()
     if args.profile and "sweep" in stats_sink:
         print(f"dispatch: {stats_sink['sweep'].summary()}")
+        print(f"cache: hits={cache.hits} misses={cache.misses} "
+              f"hit_rate={cache.hit_rate():.1%}")
         print()
     if failed:
         print(f"{len(failed)} of {len(summaries)} deck(s) failed "
@@ -147,6 +159,77 @@ def _cmd_optimize(args) -> int:
     )
     print(report.summary())
     return 0 if report.closed else 1
+
+
+def _cmd_verify(args) -> int:
+    from .sweep import ResultCache
+    from .verify import (
+        DEFAULT_STRESS_RULES,
+        default_corners,
+        default_measurements,
+        load_stress_rules,
+        qualify_deck,
+    )
+
+    path = Path(args.target)
+    if path.exists():
+        deck = path.read_text()
+        name = path.stem
+    else:
+        from .celldb.seed import seed_database
+
+        cells = {c.name: c for c in seed_database().cells()}
+        cell = cells.get(args.target) or cells.get(args.target.upper())
+        if cell is None:
+            raise ReproError(
+                f"{args.target!r} is neither a deck file nor a seeded "
+                f"cell; cells: {', '.join(sorted(cells))}"
+            )
+        if not cell.schematic.strip():
+            raise ReproError(
+                f"cell {cell.name!r} has no transistor-level schematic "
+                "to qualify"
+            )
+        deck = cell.schematic
+        name = cell.name
+
+    rules = (load_stress_rules(Path(args.rules)) if args.rules
+             else DEFAULT_STRESS_RULES)
+    corners = default_corners(
+        deck,
+        temperatures_c=tuple(args.temps),
+        supply_tol=args.supply_tol,
+        passive_tol=args.passive_tol,
+    )
+    if args.jobs == "auto":
+        executor = "auto"
+    elif args.jobs:
+        executor = "process"
+    else:
+        executor = None
+    stats_sink: dict = {}
+    cache = ResultCache()
+    report = qualify_deck(
+        deck, corners, default_measurements(deck),
+        name=name, rules=rules,
+        executor=executor, jobs=args.jobs,
+        cache=cache, on_error=args.on_error,
+        stats_sink=stats_sink,
+    )
+    if args.json:
+        text = report.to_json()
+        if args.json == "-":
+            print(text, end="")
+        else:
+            Path(args.json).write_text(text)
+            print(f"report written to {args.json}")
+    if args.json != "-":
+        print(report.table())
+    if args.profile and "sweep" in stats_sink:
+        print(f"dispatch: {stats_sink['sweep'].summary()}")
+        print(f"cache: hits={cache.hits} misses={cache.misses} "
+              f"hit_rate={cache.hit_rate():.1%}")
+    return 0 if report.passed() else 1
 
 
 def _cmd_serve(args) -> int:
@@ -271,6 +354,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="differential-evolution generation budget (default 25)",
     )
     optimize_cmd.set_defaults(handler=_cmd_optimize)
+
+    verify_cmd = commands.add_parser(
+        "verify",
+        help="qualify a deck or seeded cell across corners "
+             "(docs/verification.md); exits 1 on FAIL",
+    )
+    verify_cmd.add_argument(
+        "target",
+        help="path to a SPICE deck, or the name of a seeded cell "
+             "(e.g. UPMIX-1300)",
+    )
+    verify_cmd.add_argument(
+        "--temps", type=float, nargs="+", default=(-20.0, 27.0, 85.0),
+        metavar="C", help="temperature corners in Celsius "
+                          "(default: -20 27 85)",
+    )
+    verify_cmd.add_argument(
+        "--supply-tol", type=float, default=0.1, dest="supply_tol",
+        metavar="FRAC",
+        help="supply-voltage relative tolerance (default 0.1)",
+    )
+    verify_cmd.add_argument(
+        "--passive-tol", type=float, default=0.1, dest="passive_tol",
+        metavar="FRAC",
+        help="resistor-scale relative tolerance (default 0.1; 0 drops "
+             "the axis)",
+    )
+    verify_cmd.add_argument(
+        "--rules", default=None, metavar="PATH",
+        help="JSON stress-rules table (default: built-in ratings)",
+    )
+    verify_cmd.add_argument(
+        "--jobs", type=_jobs_argument, default=None, metavar="N",
+        help="fan corners over N worker processes, or 'auto' to let the "
+             "dispatch cost model choose",
+    )
+    verify_cmd.add_argument(
+        "--on-error", choices=("raise", "skip", "retry"),
+        default="retry", dest="on_error",
+        help="non-convergent corner policy (default retry; skip/retry "
+             "record the corner as failed instead of aborting)",
+    )
+    verify_cmd.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the report record as JSON ('-' for stdout "
+             "instead of the table)",
+    )
+    verify_cmd.add_argument(
+        "--profile", action="store_true",
+        help="print dispatch statistics and result-cache hit rate",
+    )
+    verify_cmd.set_defaults(handler=_cmd_verify)
 
     serve_cmd = commands.add_parser(
         "serve", help="run the simulation job server (docs/service.md)"

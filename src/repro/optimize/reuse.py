@@ -17,7 +17,7 @@ silently accepted.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..celldb.database import AnalogCellDatabase
 from ..celldb.model import Cell
@@ -27,26 +27,54 @@ from .spec import SpecSet
 
 @dataclass(frozen=True)
 class ReuseCandidate:
-    """One database cell judged against a spec set."""
+    """One database cell judged against a spec set.
+
+    When the cell carries a qualification record
+    (:attr:`~repro.celldb.Cell.qualification`), the judgment uses each
+    spec's **worst-corner** value instead of the nominal recording, and
+    corner stress violations or unsolved corners disqualify the cell
+    outright — a cell is only re-usable on behavior it holds across its
+    qualified envelope.
+    """
 
     cell: Cell
-    measurements: dict  #: the cell's merged recorded simulation data
+    measurements: dict  #: recorded data (worst-corner values when qualified)
     satisfied: bool  #: every spec met on recorded evidence
     penalty: float  #: smooth spec penalty (inf when data is missing)
     missing: tuple  #: spec names with no recorded measurement
+    spec_misses: tuple = ()  #: recorded-but-failing spec names
+    qualified: bool = False  #: judged from a corner qualification record
+    stress_violations: int = 0  #: error-severity violations across corners
+    failed_corners: int = 0  #: corners that did not solve
+    worst_corners: dict = field(default_factory=dict)  #: spec -> worst corner
 
     @property
     def name(self) -> str:
         return self.cell.name
 
+    @property
+    def stress_clean(self) -> bool:
+        return self.stress_violations == 0 and self.failed_corners == 0
+
     def describe(self) -> str:
+        basis = "worst corner" if self.qualified else "nominal"
         if self.satisfied:
-            return (f"{self.name}: meets specs "
+            return (f"{self.name}: meets specs at {basis} "
                     f"(penalty {self.penalty:.3g})")
+        issues = []
         if self.missing:
-            return (f"{self.name}: no recorded data for "
-                    f"{list(self.missing)}")
-        return f"{self.name}: misses specs (penalty {self.penalty:.3g})"
+            issues.append(f"no recorded data for {list(self.missing)}")
+        if self.spec_misses:
+            issues.append(f"misses {list(self.spec_misses)} at {basis} "
+                          f"(penalty {self.penalty:.3g})")
+        if self.stress_violations:
+            issues.append(
+                f"{self.stress_violations} corner stress violation(s)")
+        if self.failed_corners:
+            issues.append(f"{self.failed_corners} unsolved corner(s)")
+        if not issues:  # pragma: no cover - satisfied covers this
+            issues.append("does not qualify")
+        return f"{self.name}: " + "; ".join(issues)
 
 
 @dataclass
@@ -61,6 +89,19 @@ class ReuseReport:
     def reused(self) -> bool:
         return self.chosen is not None
 
+    def missing_quantities(self) -> dict:
+        """Every data gap in the pool: ``{spec name: [cell names]}``.
+
+        A cell appears under every quantity it lacks, even when other
+        specs already disqualify it — the listing tells a librarian
+        exactly which characterizations to backfill.
+        """
+        gaps: dict[str, list] = {}
+        for candidate in self.candidates:
+            for name in candidate.missing:
+                gaps.setdefault(name, []).append(candidate.name)
+        return gaps
+
     def summary(self) -> str:
         lines = [f"reuse lookup for {self.specs.owner!r}:"]
         if not self.candidates:
@@ -68,6 +109,11 @@ class ReuseReport:
         for candidate in self.candidates:
             marker = "->" if candidate is self.chosen else "  "
             lines.append(f"  {marker} {candidate.describe()}")
+        gaps = self.missing_quantities()
+        if gaps:
+            lines.append("  missing quantities:")
+            for name, cells in gaps.items():
+                lines.append(f"    {name}: {', '.join(cells)}")
         decision = (f"re-use {self.chosen.name}" if self.reused
                     else "design new (no qualifying cell)")
         lines.append(f"  decision: {decision}")
@@ -75,18 +121,50 @@ class ReuseReport:
 
 
 def judge_cell(cell: Cell, specs: SpecSet) -> ReuseCandidate:
-    """Score one cell's recorded simulation data against a spec set."""
+    """Score one cell's recorded evidence against a spec set.
+
+    Uses the merged nominal simulation summary, overridden per spec by
+    the worst-corner envelope value when the cell has been qualified
+    (see :class:`ReuseCandidate`).
+    """
     measurements = cell.simulation_summary()
+    qualification = getattr(cell, "qualification", None)
+    qualified = bool(qualification and qualification.get("outcomes"))
+    worst_corners: dict = {}
+    stress_violations = 0
+    failed_corners = 0
+    if qualified:
+        from ..verify.report import QualificationReport
+
+        report = QualificationReport.from_dict(qualification)
+        stress_violations = report.error_violation_count()
+        failed_corners = len(report.failed_corners())
+        for name, (value, corner) in \
+                report.worst_measurements(specs).items():
+            measurements[name] = value
+            worst_corners[name] = corner
     missing = tuple(name for name in specs.names()
                     if name not in measurements)
     penalty = specs.penalty(measurements) if not missing else math.inf
-    satisfied = not missing and specs.satisfied_by(measurements)
+    spec_misses = tuple(
+        name for name in specs.names()
+        if name not in missing and not specs.get(name).satisfied_by(
+            float(measurements[name]))
+    )
+    stress_clean = stress_violations == 0 and failed_corners == 0
+    satisfied = (not missing and stress_clean
+                 and specs.satisfied_by(measurements))
     return ReuseCandidate(
         cell=cell,
         measurements=measurements,
         satisfied=satisfied,
         penalty=penalty,
         missing=missing,
+        spec_misses=spec_misses,
+        qualified=qualified,
+        stress_violations=stress_violations,
+        failed_corners=failed_corners,
+        worst_corners=worst_corners,
     )
 
 
@@ -103,9 +181,11 @@ def find_reusable_cells(
     ``keyword``/``library``/``category*`` narrow the candidate pool
     exactly as :meth:`~repro.celldb.AnalogCellDatabase.search` does
     (case-insensitive); every remaining cell is judged on its recorded
-    simulation data.  Candidates are ordered qualifying-first, then by
-    ascending penalty (most headroom first among qualifiers, closest
-    miss first among the rest); data-less cells rank last.
+    simulation data — at the **worst corner** of its qualification
+    envelope when one is recorded (see :func:`judge_cell`).  Candidates
+    are ordered qualifying-first, stress-clean before corner-flagged,
+    then by ascending penalty (most headroom first among qualifiers,
+    closest miss first among the rest); data-less cells rank last.
 
     The lookup is read-only — call :func:`commit_reuse` (or
     :meth:`~repro.celldb.AnalogCellDatabase.copy_for_reuse` directly)
@@ -117,8 +197,8 @@ def find_reusable_cells(
     pool = db.search(keyword=keyword, library=library,
                      category1=category1, category2=category2)
     candidates = [judge_cell(cell, specs) for cell in pool]
-    candidates.sort(key=lambda c: (not c.satisfied, len(c.missing),
-                                   c.penalty, c.name))
+    candidates.sort(key=lambda c: (not c.satisfied, not c.stress_clean,
+                                   len(c.missing), c.penalty, c.name))
     chosen = next((c for c in candidates if c.satisfied), None)
     return ReuseReport(specs=specs, candidates=candidates, chosen=chosen)
 

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 __all__ = ["Job", "JobQueue", "QueueFullError", "JOB_KINDS"]
 
 #: Analysis kinds the service executes.
-JOB_KINDS = ("dc", "ac", "transient", "sweep", "optimize")
+JOB_KINDS = ("dc", "ac", "transient", "sweep", "optimize", "verify")
 
 
 class QueueFullError(Exception):

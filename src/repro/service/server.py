@@ -9,7 +9,7 @@ north star calls for on top of the compiled engine:
   later job reuses the compiled engine (recompiles are counted and stay
   at zero).
 * :meth:`submit` enqueues ``dc``/``ac``/``transient``/``sweep``/
-  ``optimize`` jobs on a bounded priority queue served by worker
+  ``optimize``/``verify`` jobs on a bounded priority queue served by worker
   threads; at capacity a submit is **rejected** with a structured
   503-style payload instead of queueing unboundedly (backpressure).
 * :meth:`poll` / :meth:`wait` read the result store; queued jobs can be
@@ -327,6 +327,10 @@ class SimulationService:
                      tenant: str = "default", **params) -> dict:
         return self.submit("optimize", circuit_id, params, priority, tenant)
 
+    def run_verify(self, circuit_id: str, priority: int = 0,
+                   tenant: str = "default", **params) -> dict:
+        return self.submit("verify", circuit_id, params, priority, tenant)
+
     # -- job store -----------------------------------------------------------
 
     def _job(self, job_id: str) -> Job | None:
@@ -641,6 +645,85 @@ class SimulationService:
                 float(f) for f in evaluator.frequencies
             ]
         return payload
+
+    def _verify_evaluator(self, entry: _CircuitEntry, key: tuple,
+                          corners, measurements, rules):
+        """The entry's cached corner evaluator for one verify config.
+
+        Mirrors :meth:`_evaluator`: built (and primed — every corner
+        deck compiled) once per ``(corner config, rules)`` and reused
+        across jobs, so repeated qualification of one circuit id keeps
+        ``recompiles == 0``.
+        """
+        from ..verify import CornerEvaluator
+
+        with entry.lock:
+            evaluator = entry.evaluators.get(key)
+            if evaluator is None:
+                evaluator = CornerEvaluator(
+                    entry.deck_text, corners, measurements, rules=rules,
+                )
+                evaluator.prime()
+                entry.evaluators[key] = evaluator
+            return evaluator
+
+    def _job_verify(self, job: Job) -> dict:
+        from ..verify import (
+            DEFAULT_STRESS_RULES,
+            default_corners,
+            default_measurements,
+            load_stress_rules,
+            qualify_deck,
+        )
+
+        entry = self._entry(job.circuit_id)
+        params = job.params
+        temps = tuple(float(t)
+                      for t in params.get("temps", (-20.0, 27.0, 85.0)))
+        supply_tol = float(params.get("supply_tol", 0.1))
+        passive_tol = float(params.get("passive_tol", 0.1))
+        rules = (load_stress_rules(params["rules"])
+                 if params.get("rules") else DEFAULT_STRESS_RULES)
+        corners = default_corners(
+            entry.deck_text, temperatures_c=temps,
+            supply_tol=supply_tol, passive_tol=passive_tol,
+        )
+        measurements = default_measurements(entry.deck_text)
+        # The executor/jobs knobs are absent from the cache key on
+        # purpose: corner results are bit-identical across executors,
+        # so one tenant's serial and parallel runs share rows.
+        key = content_key(f"service.verify.{job.circuit_id}", {
+            "temps": list(temps),
+            "supply_tol": supply_tol,
+            "passive_tol": passive_tol,
+            "rules": [rule.to_dict() for rule in rules],
+        })
+        evaluator = self._verify_evaluator(
+            entry,
+            ("verify", temps, supply_tol, passive_tol, rules),
+            corners, measurements, rules,
+        )
+
+        def compute() -> dict:
+            before = evaluator.compilations()
+            stats_sink: dict = {}
+            report = qualify_deck(
+                entry.deck_text, corners, measurements,
+                name=entry.deck.title, rules=rules,
+                executor=params.get("executor", self._sweep_executor),
+                jobs=params.get("jobs", self._sweep_jobs),
+                chunk_size=params.get("chunk_size"),
+                cache=self._tenant_cache(job.tenant),
+                on_error=params.get("on_error", "retry"),
+                evaluator=evaluator,
+                stats_sink=stats_sink,
+            )
+            self.stats.record_recompiles(
+                evaluator.compilations() - before)
+            self.stats.fold_sweep(stats_sink["sweep"])
+            return report.to_dict()
+
+        return self._cached(job, key, compute)
 
     def _job_optimize(self, job: Job) -> dict:
         from ..optimize.optimizers import Parameter, coordinate_search

@@ -295,6 +295,7 @@ def run_decks(
     on_error: str = "raise",
     retries: int = 2,
     stats_sink: dict | None = None,
+    cache=None,
 ) -> list[DeckSummary]:
     """Execute several deck files, optionally in parallel.
 
@@ -311,7 +312,10 @@ def run_decks(
 
     ``stats_sink``, when given a dict, receives the sweep's
     :class:`~repro.sweep.SweepStats` under ``"sweep"`` — the CLI's
-    ``--profile`` uses it to report dispatch overhead.
+    ``--profile`` uses it to report dispatch overhead.  ``cache`` takes
+    a :class:`~repro.sweep.ResultCache` so repeated paths (within or
+    across calls) reuse their summaries; its ``hit_rate()`` is the
+    observable the CLI's ``--profile`` reports.
     """
     from ..sweep import run_sweep
 
@@ -321,6 +325,8 @@ def run_decks(
         executor=executor,
         jobs=jobs,
         chunk_size=1,
+        cache=cache,
+        cache_tag=f"repro.run_decks#{engine or 'default'}",
         on_error=on_error,
         retries=retries,
     )

@@ -1,0 +1,83 @@
+"""Corner/stress qualification for analog cells.
+
+The verification flow the DAC-96 methodology assumes but the paper only
+sketches: expand component tolerances and temperature ranges into named
+corner sets (:mod:`~repro.verify.corners`), fan every corner through the
+fault-tolerant blocked sweep engine (:mod:`~repro.verify.harness`),
+check device stress ratings at each solved operating point
+(:mod:`~repro.verify.stress`), and fold it all into a datasheet-style
+:class:`~repro.verify.report.QualificationReport` whose worst-corner
+envelope feeds cell re-use ranking.
+"""
+
+from .corners import (
+    AXIS_KINDS,
+    SCALE_TARGETS,
+    Corner,
+    CornerAxis,
+    CornerSet,
+    VerificationError,
+    corners_from_tolerances,
+    scale_axis,
+    source_axis,
+    temperature_axis,
+)
+from .harness import (
+    MEASUREMENT_KINDS,
+    CornerEvaluator,
+    Measurement,
+    ac_bandwidth,
+    ac_gain,
+    ac_peak_gain,
+    dc_differential,
+    dc_voltage,
+    default_corners,
+    default_measurements,
+    qualify_cell,
+    qualify_deck,
+)
+from .report import CornerOutcome, QualificationReport, SpecHeadroom
+from .stress import (
+    DEFAULT_STRESS_RULES,
+    DEVICE_QUANTITIES,
+    StressRule,
+    StressViolation,
+    check_stress,
+    device_quantities,
+    load_stress_rules,
+)
+
+__all__ = [
+    "AXIS_KINDS",
+    "SCALE_TARGETS",
+    "Corner",
+    "CornerAxis",
+    "CornerSet",
+    "VerificationError",
+    "corners_from_tolerances",
+    "scale_axis",
+    "source_axis",
+    "temperature_axis",
+    "MEASUREMENT_KINDS",
+    "CornerEvaluator",
+    "Measurement",
+    "ac_bandwidth",
+    "ac_gain",
+    "ac_peak_gain",
+    "dc_differential",
+    "dc_voltage",
+    "default_corners",
+    "default_measurements",
+    "qualify_cell",
+    "qualify_deck",
+    "CornerOutcome",
+    "QualificationReport",
+    "SpecHeadroom",
+    "DEFAULT_STRESS_RULES",
+    "DEVICE_QUANTITIES",
+    "StressRule",
+    "StressViolation",
+    "check_stress",
+    "device_quantities",
+    "load_stress_rules",
+]

@@ -1,0 +1,350 @@
+"""The qualification verdict: per-corner outcomes -> datasheet report.
+
+A :class:`QualificationReport` is the structured result of running one
+cell (or bare deck) through the corner/stress harness: one
+:class:`CornerOutcome` per corner (measurements, device stress
+quantities, violations, or the failure record when the corner did not
+solve), the measurement envelope across corners with the corners that
+set each extreme, worst-corner headroom against a
+:class:`~repro.optimize.spec.SpecSet`, and an overall pass/fail.
+
+The report serializes losslessly to plain JSON data (``to_dict`` /
+``from_dict`` / ``to_json``) — the shape stored on
+:attr:`repro.celldb.Cell.qualification` and returned by the service's
+``verify`` jobs — and renders as a datasheet-style text table
+(:meth:`table`) for the ``repro verify`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+from ..optimize.spec import BoundKind, SpecSet
+from .corners import VerificationError
+from .stress import StressViolation
+
+__all__ = ["CornerOutcome", "QualificationReport", "SpecHeadroom"]
+
+
+def _clean(value: float) -> float | None:
+    """NaN/inf -> None so reports stay valid strict-JSON."""
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+@dataclass(frozen=True)
+class CornerOutcome:
+    """Everything observed at one corner."""
+
+    corner: str  #: corner name, e.g. ``"temp=85C/VCC=max/R=lo"``
+    values: dict  #: the corner's ``{axis: value}`` point
+    measurements: dict | None  #: ``{name: value}``; None when failed
+    quantities: dict = field(default_factory=dict)  #: device stress table
+    violations: tuple = ()  #: :class:`StressViolation` records
+    failure: dict | None = None  #: failed-point forensics, or None
+
+    @property
+    def solved(self) -> bool:
+        return self.failure is None
+
+    def error_violations(self) -> list:
+        return [v for v in self.violations if v.severity == "error"]
+
+    def to_dict(self) -> dict:
+        return {
+            "corner": self.corner,
+            "values": {k: float(v) for k, v in self.values.items()},
+            "measurements": (
+                None if self.measurements is None
+                else {k: _clean(v) for k, v in self.measurements.items()}
+            ),
+            "quantities": {
+                device: {k: _clean(v) for k, v in table.items()}
+                for device, table in self.quantities.items()
+            },
+            "violations": [v.to_dict() for v in self.violations],
+            "failure": self.failure,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CornerOutcome":
+        try:
+            measurements = data.get("measurements")
+            return cls(
+                corner=data["corner"],
+                values=dict(data.get("values", {})),
+                measurements=(None if measurements is None
+                              else dict(measurements)),
+                quantities={k: dict(v)
+                            for k, v in data.get("quantities", {}).items()},
+                violations=tuple(
+                    StressViolation.from_dict(v)
+                    for v in data.get("violations", ())
+                ),
+                failure=data.get("failure"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise VerificationError(
+                f"bad corner-outcome record ({exc})"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class SpecHeadroom:
+    """One spec judged at its worst corner."""
+
+    spec: str
+    measured: float
+    corner: str
+    margin: float  #: signed headroom in the spec's units (>= 0 passes)
+    satisfied: bool
+
+    def describe(self) -> str:
+        verdict = "PASS" if self.satisfied else "FAIL"
+        return (f"[{verdict}] {self.spec}: worst {self.measured:g} at "
+                f"{self.corner} (margin {self.margin:+g})")
+
+
+class QualificationReport:
+    """Structured qualification result (see module docstring)."""
+
+    SCHEMA = "repro-qualification-v1"
+
+    def __init__(self, name: str, axes, outcomes, rules=(),
+                 stats: dict | None = None):
+        self.name = name
+        self.axes = tuple(axes)  #: axis records (plain dicts)
+        self.outcomes = tuple(outcomes)
+        self.rules = tuple(rules)  #: rule records (plain dicts)
+        self.stats = dict(stats or {})
+        if not self.outcomes:
+            raise VerificationError(
+                f"qualification of {name!r} produced no corner outcomes"
+            )
+
+    # -- aggregate views -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def failed_corners(self) -> list:
+        return [o for o in self.outcomes if not o.solved]
+
+    def violations(self) -> list:
+        """Every stress violation, tagged with its corner name."""
+        found = []
+        for outcome in self.outcomes:
+            found.extend((outcome.corner, violation)
+                         for violation in outcome.violations)
+        return found
+
+    def error_violation_count(self) -> int:
+        return sum(len(o.error_violations()) for o in self.outcomes)
+
+    def measurement_names(self) -> list:
+        names: dict[str, None] = {}
+        for outcome in self.outcomes:
+            for key in (outcome.measurements or {}):
+                names.setdefault(key)
+        return list(names)
+
+    def envelope(self) -> dict:
+        """Min/max of each measurement across solved corners, with the
+        corner that sets each extreme: ``{name: {"min": v, "min_corner":
+        c, "max": v, "max_corner": c}}``.  Ties resolve to the earliest
+        corner in expansion order (deterministic)."""
+        env: dict[str, dict] = {}
+        for outcome in self.outcomes:
+            if outcome.measurements is None:
+                continue
+            for key, raw in outcome.measurements.items():
+                if raw is None:
+                    continue
+                value = float(raw)
+                if math.isnan(value):
+                    continue
+                slot = env.get(key)
+                if slot is None:
+                    env[key] = {"min": value, "min_corner": outcome.corner,
+                                "max": value, "max_corner": outcome.corner}
+                else:
+                    if value < slot["min"]:
+                        slot["min"] = value
+                        slot["min_corner"] = outcome.corner
+                    if value > slot["max"]:
+                        slot["max"] = value
+                        slot["max_corner"] = outcome.corner
+        return env
+
+    def nominal_measurements(self) -> dict:
+        """Measurements at the nominal corner (the harness stamps its
+        name into ``stats["nominal_corner"]``), falling back to the
+        first solved corner."""
+        nominal = self.stats.get("nominal_corner")
+        if nominal is not None:
+            for outcome in self.outcomes:
+                if outcome.corner == nominal and outcome.solved:
+                    return dict(outcome.measurements or {})
+        for outcome in self.outcomes:
+            if outcome.solved:
+                return dict(outcome.measurements or {})
+        return {}
+
+    # -- spec judgment -------------------------------------------------------
+
+    def worst_measurements(self, specs: SpecSet) -> dict:
+        """Per spec, the envelope value on the spec's *adverse* side
+        (LOWER -> envelope min, UPPER -> max, EQUAL -> the extreme
+        farther from target), with the corner that produced it:
+        ``{name: (value, corner)}``.  Specs with no measured data are
+        absent."""
+        env = self.envelope()
+        worst: dict[str, tuple] = {}
+        for spec in specs:
+            slot = env.get(spec.name)
+            if slot is None:
+                continue
+            if spec.kind is BoundKind.LOWER:
+                worst[spec.name] = (slot["min"], slot["min_corner"])
+            elif spec.kind is BoundKind.UPPER:
+                worst[spec.name] = (slot["max"], slot["max_corner"])
+            else:
+                lo_dev = abs(slot["min"] - spec.target)
+                hi_dev = abs(slot["max"] - spec.target)
+                if hi_dev > lo_dev:
+                    worst[spec.name] = (slot["max"], slot["max_corner"])
+                else:
+                    worst[spec.name] = (slot["min"], slot["min_corner"])
+        return worst
+
+    def headroom(self, specs: SpecSet) -> list:
+        """Worst-corner headroom per spec (:class:`SpecHeadroom`), in
+        spec order.  A spec with no measured quantity judges NaN —
+        unknown performance never passes qualification."""
+        worst = self.worst_measurements(specs)
+        rows = []
+        for spec in specs:
+            value, corner = worst.get(spec.name, (math.nan, "(no data)"))
+            rows.append(SpecHeadroom(
+                spec=spec.name,
+                measured=value,
+                corner=corner,
+                margin=spec.margin_of(value),
+                satisfied=spec.satisfied_by(value),
+            ))
+        return rows
+
+    def passed(self, specs: SpecSet | None = None) -> bool:
+        """Overall verdict: every corner solved, no error-severity
+        stress violation anywhere, and (when specs are given) every
+        spec met at its worst corner."""
+        if self.failed_corners():
+            return False
+        if self.error_violation_count():
+            return False
+        if specs is not None:
+            return all(h.satisfied for h in self.headroom(specs))
+        return True
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.SCHEMA,
+            "name": self.name,
+            "axes": [dict(a) for a in self.axes],
+            "corners": len(self.outcomes),
+            "failed_corners": len(self.failed_corners()),
+            "stress_violations": self.error_violation_count(),
+            "warnings": sum(
+                1 for _, v in self.violations() if v.severity == "warn"
+            ),
+            "envelope": self.envelope(),
+            "passed": self.passed(),
+            "outcomes": [o.to_dict() for o in self.outcomes],
+            "rules": [dict(r) for r in self.rules],
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QualificationReport":
+        try:
+            return cls(
+                name=data["name"],
+                axes=data.get("axes", ()),
+                outcomes=[CornerOutcome.from_dict(o)
+                          for o in data["outcomes"]],
+                rules=data.get("rules", ()),
+                stats=data.get("stats"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise VerificationError(
+                f"bad qualification record ({exc})"
+            ) from exc
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent,
+                          allow_nan=False) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "QualificationReport":
+        try:
+            return cls.from_dict(json.loads(text))
+        except json.JSONDecodeError as exc:
+            raise VerificationError(
+                f"qualification JSON does not parse: {exc}"
+            ) from exc
+
+    # -- rendering -----------------------------------------------------------
+
+    def table(self, specs: SpecSet | None = None) -> str:
+        """Datasheet-style text report: envelope rows, stress findings,
+        failures, verdict (spec headroom included when specs given)."""
+        lines = [f"qualification: {self.name}",
+                 f"  corners: {len(self.outcomes)}"
+                 + (f" ({len(self.failed_corners())} failed)"
+                    if self.failed_corners() else "")]
+        for axis in self.axes:
+            levels = "/".join(label for label, _ in axis.get("levels", ()))
+            lines.append(f"  axis {axis.get('name')}: "
+                         f"{axis.get('kind')} [{levels}]")
+        env = self.envelope()
+        if env:
+            width = max(len(name) for name in env)
+            lines.append(f"  {'quantity'.ljust(width)} "
+                         f"{'min':>12} {'max':>12}  worst corners")
+            for name, slot in env.items():
+                lines.append(
+                    f"  {name.ljust(width)} {slot['min']:>12.5g} "
+                    f"{slot['max']:>12.5g}  "
+                    f"{slot['min_corner']} / {slot['max_corner']}"
+                )
+        if specs is not None:
+            lines.append("  spec headroom (worst corner):")
+            for row in self.headroom(specs):
+                lines.append(f"    {row.describe()}")
+        flagged = self.violations()
+        if flagged:
+            lines.append(f"  stress: {len(flagged)} violation(s)")
+            for corner, violation in flagged:
+                lines.append(f"    {corner}: {violation.describe()}")
+        else:
+            lines.append("  stress: clean")
+        for outcome in self.failed_corners():
+            failure = outcome.failure or {}
+            lines.append(f"  FAILED {outcome.corner}: "
+                         f"{failure.get('error', 'unknown error')}")
+        verdict = self.passed(specs)
+        lines.append(f"  verdict: {'PASS' if verdict else 'FAIL'}")
+        if self.stats:
+            executor = self.stats.get("executor", "?")
+            rate = self.stats.get("corners_per_second")
+            extra = f", {rate:.1f} corners/s" if rate else ""
+            lines.append(
+                f"  run: executor={executor}, "
+                f"evaluated={self.stats.get('evaluated', '?')}, "
+                f"cache_hits={self.stats.get('cache_hits', 0)}{extra}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Cell qualification records: persistence and summary folding."""
+
+import pytest
+
+from repro.celldb import Cell, seed_database
+from repro.verify import qualify_cell
+
+
+@pytest.fixture(scope="module")
+def report():
+    return qualify_cell(seed_database().get("PHASE90-IF"),
+                        executor="serial")
+
+
+@pytest.fixture()
+def cell():
+    return seed_database().get("PHASE90-IF")
+
+
+class TestRecordQualification:
+    def test_stores_the_full_report_dict(self, cell, report):
+        assert cell.qualification is None
+        cell.record_qualification(report)
+        assert cell.qualification == report.to_dict()
+        assert cell.qualification["schema"] == "repro-qualification-v1"
+
+    def test_accepts_a_plain_dict(self, cell, report):
+        cell.record_qualification(report.to_dict())
+        assert cell.qualification == report.to_dict()
+
+    def test_folds_nominal_measurements_into_the_summary(self, cell,
+                                                         report):
+        before = cell.simulation_summary()
+        assert "v_out" not in before
+        cell.record_qualification(report)
+        summary = cell.simulation_summary()
+        nominal = report.nominal_measurements()
+        assert summary["v_out"] == nominal["v_out"]
+        assert summary["gain_db_out"] == nominal["gain_db_out"]
+        # Pre-existing behavioral records survive the fold.
+        assert summary["phase_error_deg"] == before["phase_error_deg"]
+
+    def test_re_recording_replaces_the_previous_record(self, cell,
+                                                       report):
+        cell.record_qualification(report)
+        cell.record_qualification(report)
+        named = [s for s in cell.simulations
+                 if s.name == "qualification"]
+        assert len(named) == 1
+        assert named[0].analysis == "dc"
+
+    def test_round_trips_through_dict(self, cell, report):
+        cell.record_qualification(report)
+        rebuilt = Cell.from_dict(cell.to_dict())
+        assert rebuilt.qualification == cell.qualification
+        assert rebuilt.simulation_summary() == cell.simulation_summary()
+        assert Cell.from_dict(rebuilt.to_dict()).to_dict() == \
+            rebuilt.to_dict()
+
+    def test_cell_without_qualification_round_trips_as_none(self, cell):
+        assert Cell.from_dict(cell.to_dict()).qualification is None

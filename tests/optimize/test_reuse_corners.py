@@ -1,0 +1,126 @@
+"""Corner-aware reuse ranking: qualification records change the verdict.
+
+The acceptance case for the verification subsystem: a cell that meets a
+spec at its nominal operating point but not at its worst corner must be
+judged differently once its qualification report is recorded.
+"""
+
+import pytest
+
+from repro.celldb import Cell, seed_database
+from repro.optimize import (
+    BoundKind,
+    Spec,
+    SpecSet,
+    find_reusable_cells,
+    judge_cell,
+)
+from repro.verify import StressRule, qualify_cell
+
+
+@pytest.fixture(scope="module")
+def clean_report():
+    return qualify_cell(seed_database().get("PHASE90-IF"),
+                        executor="serial")
+
+
+@pytest.fixture(scope="module")
+def stressed_report():
+    impossible = (StressRule("impossible", "bjt", "ic_a", limit=1e-12),)
+    return qualify_cell(seed_database().get("PHASE90-IF"),
+                        rules=impossible, executor="serial")
+
+
+def shifter_specs(phase_limit=3.6, gain_limit=0.01):
+    return SpecSet("ir_mixer", [
+        Spec("phase_error_deg", phase_limit, BoundKind.UPPER, unit="deg"),
+        Spec("gain_error", gain_limit, BoundKind.UPPER, scale=0.01),
+    ])
+
+
+class TestWorstCornerJudgment:
+    def test_corner_ranking_differs_from_nominal(self, clean_report):
+        """Nominal says yes, the qualified envelope says no."""
+        cell = seed_database().get("PHASE90-IF")
+        cell.record_qualification(clean_report)
+        nominal_v = clean_report.nominal_measurements()["v_out"]
+        worst_v = clean_report.envelope()["v_out"]["max"]
+        assert nominal_v < worst_v
+        # An upper bound sitting between the two: met at nominal,
+        # violated at the worst corner.
+        specs = SpecSet("dc_level", [
+            Spec("v_out", (nominal_v + worst_v) / 2, BoundKind.UPPER),
+        ])
+
+        nominal_only = Cell.from_dict(
+            {**cell.to_dict(), "qualification": None})
+        assert judge_cell(nominal_only, specs).satisfied
+
+        qualified = judge_cell(cell, specs)
+        assert qualified.qualified
+        assert not qualified.satisfied
+        assert qualified.spec_misses == ("v_out",)
+        assert qualified.measurements["v_out"] == worst_v
+        assert qualified.worst_corners["v_out"] == \
+            clean_report.envelope()["v_out"]["max_corner"]
+        assert "worst corner" in qualified.describe()
+
+    def test_worst_corner_headroom_ranks_qualifiers(self, clean_report):
+        cell = seed_database().get("PHASE90-IF")
+        cell.record_qualification(clean_report)
+        # A bound the cell holds across the whole envelope: satisfied,
+        # and the penalty reflects worst-corner (not nominal) headroom.
+        specs = SpecSet("dc_level", [
+            Spec("v_out", clean_report.envelope()["v_out"]["max"] + 0.1,
+                 BoundKind.UPPER),
+        ])
+        candidate = judge_cell(cell, specs)
+        assert candidate.satisfied
+        assert candidate.stress_clean
+        nominal_only = Cell.from_dict(
+            {**cell.to_dict(), "qualification": None})
+        assert candidate.penalty >= judge_cell(nominal_only,
+                                               specs).penalty
+
+    def test_stress_violations_disqualify(self, stressed_report):
+        cell = seed_database().get("PHASE90-IF")
+        cell.record_qualification(stressed_report)
+        candidate = judge_cell(cell, shifter_specs())
+        assert not candidate.satisfied
+        assert not candidate.stress_clean
+        assert candidate.stress_violations > 0
+        assert "stress violation" in candidate.describe()
+
+    def test_stressed_cell_loses_the_lookup(self, stressed_report):
+        db = seed_database()
+        clean_pick = find_reusable_cells(db, shifter_specs(),
+                                         keyword="phase shifter")
+        assert clean_pick.chosen.name == "PHASE90-IF"
+
+        db.get("PHASE90-IF").record_qualification(stressed_report)
+        flagged = find_reusable_cells(db, shifter_specs(),
+                                      keyword="phase shifter")
+        assert flagged.chosen.name == "PHASE90-VCO"
+        names = [c.name for c in flagged.candidates]
+        assert names.index("PHASE90-VCO") < names.index("PHASE90-IF")
+
+
+class TestMissingQuantitiesListing:
+    def test_gaps_reported_even_when_other_specs_disqualify(self):
+        """Satellite regression: a failing spec must not short-circuit
+        the missing-data listing for the other specs."""
+        db = seed_database()
+        specs = SpecSet("ir_mixer", [
+            Spec("phase_error_deg", 1.0, BoundKind.UPPER),  # VCO fails
+            Spec("v_out", 5.0, BoundKind.UPPER),  # VCO has no data
+        ])
+        candidate = judge_cell(db.get("PHASE90-VCO"), specs)
+        assert candidate.spec_misses == ("phase_error_deg",)
+        assert candidate.missing == ("v_out",)
+        text = candidate.describe()
+        assert "phase_error_deg" in text and "v_out" in text
+
+        report = find_reusable_cells(db, specs, keyword="phase shifter")
+        gaps = report.missing_quantities()
+        assert "PHASE90-VCO" in gaps["v_out"]
+        assert "missing quantities:" in report.summary()

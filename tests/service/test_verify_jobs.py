@@ -1,0 +1,105 @@
+"""Service-level qualification jobs: compile-once reuse, tenant caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import SimulationService
+
+
+@pytest.fixture()
+def service():
+    svc = SimulationService(workers=0, queue_limit=8)
+    yield svc
+    svc.close()
+
+
+def _run(service: SimulationService, submit_payload: dict) -> dict:
+    assert submit_payload["status"] == "ok", submit_payload
+    while service.step():
+        pass
+    polled = service.poll(submit_payload["job_id"])
+    assert polled["status"] == "ok", polled
+    return polled
+
+
+class TestVerifyJob:
+    def test_verify_job_returns_a_qualification_report(self, service,
+                                                       ce_deck):
+        cid = service.create_circuit(ce_deck)["circuit_id"]
+        polled = _run(service, service.run_verify(cid))
+        assert polled["state"] == "done"
+        result = polled["result"]
+        assert result["schema"] == "repro-qualification-v1"
+        assert result["corners"] == 27
+        assert result["failed_corners"] == 0
+        assert isinstance(result["passed"], bool)
+        assert len(result["outcomes"]) == 27
+        # The default measurement set covers the deck's DC nodes and,
+        # since the deck carries an AC stimulus plus an .AC card, gain
+        # and bandwidth of the first output.
+        measured = result["outcomes"][0]["measurements"]
+        assert "v_c" in measured
+        assert any(name.startswith("gain_db_") for name in measured)
+        assert result["envelope"]
+
+    def test_repeat_is_cache_hit_with_zero_recompiles(self, service,
+                                                      ce_deck):
+        cid = service.create_circuit(ce_deck)["circuit_id"]
+        first = _run(service, service.run_verify(cid))
+        assert "cached" not in first["result"]
+        entry = service._entry(cid)
+        (evaluator,) = [v for k, v in entry.evaluators.items()
+                        if k[0] == "verify"]
+        compiled = evaluator.compilations()
+        assert compiled > 0  # primed at first use
+
+        second = _run(service, service.run_verify(cid))
+        assert second["result"]["cached"] is True
+        assert second["result"]["outcomes"] == first["result"]["outcomes"]
+        # Different tenant: payload cache misses, but the compiled
+        # corner decks are shared per circuit — still no recompiles.
+        other = _run(service, service.run_verify(cid, tenant="other"))
+        assert "cached" not in other["result"]
+        assert other["result"]["outcomes"] == first["result"]["outcomes"]
+        assert evaluator.compilations() == compiled
+        stats = service.stats_payload()["stats"]
+        assert stats["circuits"]["recompiles"] == 0
+
+    def test_corner_config_params_reach_the_report(self, service,
+                                                   ce_deck):
+        cid = service.create_circuit(ce_deck)["circuit_id"]
+        polled = _run(service, service.run_verify(
+            cid, temps=[27.0], supply_tol=0.05, passive_tol=0.05))
+        result = polled["result"]
+        assert result["corners"] == 9  # 1 temp x 3 R x 3 supply
+        temp_axis = next(a for a in result["axes"]
+                         if a["kind"] == "temperature")
+        assert [value for _, value in temp_axis["levels"]] == [27.0]
+        # A different corner config is a different payload row AND a
+        # different compiled evaluator.
+        entry = service._entry(cid)
+        verify_keys = [k for k in entry.evaluators if k[0] == "verify"]
+        assert len(verify_keys) == 1
+        _run(service, service.run_verify(cid))
+        verify_keys = [k for k in entry.evaluators if k[0] == "verify"]
+        assert len(verify_keys) == 2
+
+    def test_custom_rules_are_applied(self, service, ce_deck):
+        cid = service.create_circuit(ce_deck)["circuit_id"]
+        rules = [{"name": "impossible", "device": "bjt",
+                  "quantity": "ic_a", "limit": 1e-12}]
+        polled = _run(service, service.run_verify(cid, rules=rules))
+        result = polled["result"]
+        assert result["passed"] is False
+        assert result["stress_violations"] > 0
+        assert result["rules"] == [
+            {"name": "impossible", "device": "bjt", "quantity": "ic_a",
+             "limit": 1e-12, "severity": "error", "match": "*",
+             "derate": 1.0},
+        ]
+
+    def test_verify_unknown_circuit_is_an_error(self, service):
+        payload = service.run_verify("circuit-junk")
+        assert payload["status"] == "error"
+        assert payload["code"] == 404

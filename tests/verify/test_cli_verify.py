@@ -1,0 +1,78 @@
+"""CLI coverage: ``repro verify`` and the ``repro run`` cache line."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+DECKS = Path(__file__).resolve().parents[2] / "examples" / "decks"
+
+
+@pytest.fixture()
+def deck_path(tmp_path):
+    path = tmp_path / "stage.cir"
+    path.write_text((DECKS / "ce_stage.cir").read_text())
+    return path
+
+
+class TestVerifyCommand:
+    def test_deck_path_prints_the_datasheet_table(self, deck_path,
+                                                  capsys):
+        assert main(["verify", str(deck_path)]) == 0
+        out = capsys.readouterr().out
+        assert "corner" in out.lower()
+        assert "v_c" in out
+
+    def test_seeded_cell_by_name(self, capsys):
+        assert main(["verify", "PHASE90-IF"]) == 0
+        out = capsys.readouterr().out
+        assert "v_out" in out
+
+    def test_cell_name_is_case_insensitive(self, capsys):
+        assert main(["verify", "phase90-if"]) == 0
+
+    def test_json_output(self, deck_path, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        assert main(["verify", str(deck_path),
+                     "--json", str(report_path)]) == 0
+        record = json.loads(report_path.read_text())
+        assert record["schema"] == "repro-qualification-v1"
+        assert record["corners"] == 27
+        assert record["passed"] is True
+        # "-" streams the record to stdout instead of the table.
+        capsys.readouterr()
+        assert main(["verify", str(deck_path), "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out)["corners"] == 27
+
+    def test_failing_rules_exit_nonzero(self, deck_path, tmp_path,
+                                        capsys):
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps([{
+            "name": "impossible", "device": "bjt",
+            "quantity": "ic_a", "limit": 1e-12,
+        }]))
+        assert main(["verify", str(deck_path),
+                     "--rules", str(rules)]) == 1
+        assert "impossible" in capsys.readouterr().out
+
+    def test_profile_prints_dispatch_and_cache(self, deck_path, capsys):
+        assert main(["verify", str(deck_path), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "corners/s" in out
+        assert "cache:" in out
+
+    def test_unknown_target_is_an_error(self, capsys):
+        assert main(["verify", "NO-SUCH-CELL"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestRunProfileCacheLine:
+    def test_multi_deck_profile_reports_hit_rate(self, capsys):
+        assert main(["run", str(DECKS / "ce_stage.cir"),
+                     str(DECKS / "noise_bench.cir"), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "cache: hits=" in out
+        assert "hit_rate=" in out

@@ -1,0 +1,144 @@
+"""Corner expansion: deterministic ordering, validation, round-trips."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ReproError
+from repro.verify import (
+    CornerAxis,
+    CornerSet,
+    VerificationError,
+    corners_from_tolerances,
+    scale_axis,
+    source_axis,
+    temperature_axis,
+)
+
+
+class TestCornerAxis:
+    def test_source_axis_min_nom_max(self):
+        axis = source_axis("V1", 5.0, 0.1)
+        assert axis.kind == "source"
+        assert axis.target == "V1"
+        assert axis.levels == (("min", 4.5), ("nom", 5.0), ("max", 5.5))
+        assert axis.nominal_label == "nom"
+        assert not axis.deck_level
+
+    def test_temperature_axis_labels(self):
+        axis = temperature_axis((-20, 27, 85))
+        assert [label for label, _ in axis.levels] == ["-20C", "27C", "85C"]
+        assert axis.deck_level
+        assert axis.nominal_label == "27C"
+
+    def test_scale_axis_levels(self):
+        axis = scale_axis("r", 0.2)
+        assert axis.target == "R"
+        assert axis.levels == (("lo", 0.8), ("nom", 1.0), ("hi", 1.2))
+        assert axis.deck_level
+
+    def test_nominal_defaults_to_middle_level(self):
+        axis = CornerAxis("x", "source",
+                          (("a", 1.0), ("b", 2.0), ("c", 3.0)))
+        assert axis.nominal_label == "b"
+
+    @pytest.mark.parametrize("bad", (
+        dict(name="", kind="source", levels=(("a", 1.0),)),
+        dict(name="x", kind="bogus", levels=(("a", 1.0),)),
+        dict(name="x", kind="source", levels=()),
+        dict(name="x", kind="source", levels=(("a", 1.0), ("a", 2.0))),
+        dict(name="x", kind="source", levels=(("a", 1.0), ("b", 1.0))),
+        dict(name="x", kind="source", levels=(("a", float("nan")),)),
+        dict(name="x", kind="temperature", levels=(("a", -300.0),)),
+        dict(name="x", kind="scale", levels=(("a", -0.5),)),
+        dict(name="x", kind="scale", levels=(("a", 1.0),), target="Z"),
+        dict(name="x", kind="source", levels=(("a", 1.0),),
+             nominal_label="zzz"),
+    ))
+    def test_rejects_malformed_axes(self, bad):
+        with pytest.raises(VerificationError):
+            CornerAxis(**bad)
+
+    @pytest.mark.parametrize("tol", (0.0, 1.0, -0.1))
+    def test_rejects_out_of_range_tolerance(self, tol):
+        with pytest.raises(VerificationError):
+            source_axis("V1", 5.0, tol)
+        with pytest.raises(VerificationError):
+            scale_axis("R", tol)
+
+    def test_value_of(self):
+        axis = source_axis("V1", 5.0, 0.1)
+        assert axis.value_of("min") == 4.5
+        with pytest.raises(VerificationError):
+            axis.value_of("bogus")
+
+    def test_round_trip(self):
+        axis = scale_axis("C", 0.05, name="cap")
+        assert CornerAxis.from_dict(axis.to_dict()) == axis
+
+    def test_verification_error_is_repro_error(self):
+        assert issubclass(VerificationError, ReproError)
+
+
+class TestCornerSet:
+    def test_full_factorial_odometer_order(self):
+        corners = CornerSet([
+            CornerAxis("a", "source", (("x", 1.0), ("y", 2.0))),
+            CornerAxis("b", "source", (("p", 10.0), ("q", 20.0))),
+        ])
+        assert [c.labels for c in corners] == [
+            ("x", "p"), ("x", "q"), ("y", "p"), ("y", "q"),
+        ]
+        assert [c.index for c in corners] == [0, 1, 2, 3]
+        assert corners[1].name == "a=x/b=q"
+        assert corners[1].values == {"a": 1.0, "b": 20.0}
+
+    def test_expansion_is_deterministic(self):
+        make = lambda: corners_from_tolerances(  # noqa: E731
+            {"V1": (5.0, 0.1)}, passive_tols={"R": 0.1})
+        a, b = make(), make()
+        assert [c.name for c in a] == [c.name for c in b]
+        assert [c.values for c in a] == [c.values for c in b]
+
+    def test_unique_axis_names_required(self):
+        axis = source_axis("V1", 5.0, 0.1)
+        with pytest.raises(VerificationError, match="unique"):
+            CornerSet([axis, axis])
+
+    def test_needs_an_axis(self):
+        with pytest.raises(VerificationError):
+            CornerSet([])
+
+    def test_nominal_corner(self):
+        corners = corners_from_tolerances({"V1": (5.0, 0.1)},
+                                          passive_tols={"R": 0.1})
+        nominal = corners.nominal()
+        assert nominal.name == "temp=27C/R=nom/V1=nom"
+        assert nominal.values["V1"] == 5.0
+        assert corners.corner_named(nominal.name) is nominal
+
+    def test_axis_split_and_lookup(self):
+        corners = corners_from_tolerances({"V1": (5.0, 0.1)},
+                                          passive_tols={"R": 0.1})
+        assert [a.name for a in corners.deck_axes()] == ["temp", "R"]
+        assert [a.name for a in corners.source_axes()] == ["V1"]
+        assert corners.axis("temp").kind == "temperature"
+        with pytest.raises(VerificationError):
+            corners.axis("bogus")
+
+    def test_corners_from_tolerances_default_is_27(self):
+        corners = corners_from_tolerances({"V1": (5.0, 0.1)},
+                                          passive_tols={"R": 0.1})
+        assert len(corners) == 27
+        # Deck-level axes lead: corners sharing a derived deck stay
+        # adjacent (the harness compiles one deck per 3-corner group).
+        first_three = [c.values for c in list(corners)[:3]]
+        assert len({(v["temp"], v["R"]) for v in first_three}) == 1
+
+    def test_round_trip_and_pickle(self):
+        corners = corners_from_tolerances({"V1": (5.0, 0.1)},
+                                          passive_tols={"R": 0.1})
+        rebuilt = CornerSet.from_dict(corners.to_dict())
+        assert [c.name for c in rebuilt] == [c.name for c in corners]
+        cloned = pickle.loads(pickle.dumps(corners))
+        assert [c.values for c in cloned] == [c.values for c in corners]

@@ -1,0 +1,184 @@
+"""Stress rules: device quantities, rule matching, table loading."""
+
+import json
+
+import pytest
+
+from repro.spice.dcop import solve_dc
+from repro.spice.parser import parse_deck
+from repro.verify import (
+    DEFAULT_STRESS_RULES,
+    StressRule,
+    StressViolation,
+    VerificationError,
+    check_stress,
+    device_quantities,
+    load_stress_rules,
+)
+
+DECK = """* stress fixture: resistively loaded CE stage
+.MODEL QX NPN(IS=1e-16 BF=100 RB=100 RE=2 RC=20)
+VCC vcc 0 DC 5
+VB b 0 DC 0.8
+RL vcc c 1k
+Q1 c b 0 QX
+IBLEED vcc 0 DC 2m
+.END
+"""
+
+
+@pytest.fixture(scope="module")
+def solved():
+    circuit = parse_deck(DECK).circuit
+    circuit.assign_indices()
+    return circuit, solve_dc(circuit)
+
+
+class TestDeviceQuantities:
+    def test_covers_every_rated_device_in_netlist_order(self, solved):
+        circuit, x = solved
+        table = device_quantities(circuit, x)
+        assert list(table) == ["VCC", "VB", "RL", "Q1", "IBLEED"]
+        assert set(table["Q1"]) == {"power_w", "ic_a", "vce_v"}
+        assert set(table["RL"]) == {"power_w"}
+        assert set(table["VCC"]) == {"current_a"}
+
+    def test_values_are_physical(self, solved):
+        circuit, x = solved
+        table = device_quantities(circuit, x)
+        ic = table["Q1"]["ic_a"]
+        vce = table["Q1"]["vce_v"]
+        assert 0.0 < ic < 10e-3
+        assert 0.0 < vce < 5.0
+        # BJT power is dominated by ic*vce; resistor power matches the
+        # collector current through the 1k load.
+        assert table["Q1"]["power_w"] == pytest.approx(ic * vce, rel=0.05)
+        assert table["RL"]["power_w"] == pytest.approx(ic * ic * 1e3,
+                                                       rel=1e-6)
+        assert table["IBLEED"]["current_a"] == pytest.approx(2e-3)
+
+    def test_quantities_are_magnitudes(self, solved):
+        circuit, x = solved
+        table = device_quantities(circuit, x)
+        for measured in table.values():
+            for value in measured.values():
+                assert value >= 0.0
+
+
+class TestCheckStress:
+    def test_default_rules_pass_the_fixture(self, solved):
+        circuit, x = solved
+        assert check_stress(circuit, x) == []
+
+    def test_tightened_rule_names_the_device(self, solved):
+        circuit, x = solved
+        rules = (StressRule("tight-ic", "bjt", "ic_a", limit=1e-6),)
+        violations = check_stress(circuit, x, rules)
+        assert len(violations) == 1
+        v = violations[0]
+        assert (v.rule, v.device, v.quantity) == ("tight-ic", "Q1", "ic_a")
+        assert v.value > v.limit
+        assert "Q1" in v.describe()
+
+    def test_match_glob_scopes_the_rule(self, solved):
+        circuit, x = solved
+        rules = (
+            StressRule("r-only", "resistor", "power_w", limit=1e-12,
+                       match="RL"),
+            StressRule("r-none", "resistor", "power_w", limit=1e-12,
+                       match="RX*"),
+        )
+        violations = check_stress(circuit, x, rules)
+        assert [v.rule for v in violations] == ["r-only"]
+
+    def test_derate_tightens_the_limit(self, solved):
+        circuit, x = solved
+        table = device_quantities(circuit, x)
+        power = table["Q1"]["power_w"]
+        loose = StressRule("p", "bjt", "power_w", limit=power * 1.5)
+        derated = StressRule("p", "bjt", "power_w", limit=power * 1.5,
+                             derate=0.5)
+        assert check_stress(circuit, x, (loose,)) == []
+        assert len(check_stress(circuit, x, (derated,))) == 1
+        assert derated.effective_limit == pytest.approx(power * 0.75)
+
+    def test_order_is_device_then_rule(self, solved):
+        circuit, x = solved
+        rules = (
+            StressRule("b", "source", "current_a", limit=1e-12),
+            StressRule("a", "source", "current_a", limit=1e-12,
+                       severity="warn"),
+        )
+        violations = check_stress(circuit, x, rules)
+        assert [(v.device, v.rule) for v in violations] == [
+            ("VCC", "b"), ("VCC", "a"), ("VB", "b"), ("VB", "a"),
+            ("IBLEED", "b"), ("IBLEED", "a"),
+        ]
+
+    def test_precomputed_quantities_short_circuit(self, solved):
+        circuit, x = solved
+        quantities = {"Q1": {"ic_a": 99.0, "power_w": 0.0, "vce_v": 0.0}}
+        violations = check_stress(circuit, x, DEFAULT_STRESS_RULES,
+                                  quantities=quantities)
+        assert [v.device for v in violations] == ["Q1"]
+
+
+class TestRuleValidation:
+    @pytest.mark.parametrize("bad", (
+        dict(name="", device="bjt", quantity="ic_a", limit=1.0),
+        dict(name="x", device="mosfet", quantity="ic_a", limit=1.0),
+        dict(name="x", device="bjt", quantity="power_w", limit=0.0),
+        dict(name="x", device="resistor", quantity="ic_a", limit=1.0),
+        dict(name="x", device="bjt", quantity="ic_a", limit=1.0,
+             severity="fatal"),
+        dict(name="x", device="bjt", quantity="ic_a", limit=1.0,
+             derate=0.0),
+        dict(name="x", device="bjt", quantity="ic_a", limit=1.0,
+             derate=1.5),
+    ))
+    def test_rejects_malformed_rules(self, bad):
+        with pytest.raises(VerificationError):
+            StressRule(**bad)
+
+    def test_rule_round_trip(self):
+        rule = StressRule("x", "bjt", "ic_a", limit=1e-3,
+                          severity="warn", match="Q*", derate=0.8)
+        assert StressRule.from_dict(rule.to_dict()) == rule
+
+    def test_violation_round_trip(self):
+        violation = StressViolation("x", "Q1", "ic_a", 2e-3, 1e-3)
+        assert StressViolation.from_dict(violation.to_dict()) == violation
+
+
+class TestLoadStressRules:
+    RECORDS = [
+        {"name": "p", "device": "bjt", "quantity": "power_w",
+         "limit": 0.05},
+        {"name": "i", "device": "source", "quantity": "current_a",
+         "limit": 0.1, "severity": "warn"},
+    ]
+
+    def test_loads_list_dict_and_json(self):
+        for source in (self.RECORDS,
+                       {"rules": self.RECORDS},
+                       json.dumps(self.RECORDS),
+                       json.dumps({"rules": self.RECORDS})):
+            rules = load_stress_rules(source)
+            assert [r.name for r in rules] == ["p", "i"]
+            assert rules[1].severity == "warn"
+
+    def test_loads_from_path(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps({"rules": self.RECORDS}))
+        assert len(load_stress_rules(path)) == 2
+        assert len(load_stress_rules(str(path))) == 2
+
+    def test_passes_through_rule_objects(self):
+        rules = load_stress_rules(list(DEFAULT_STRESS_RULES))
+        assert rules == DEFAULT_STRESS_RULES
+
+    @pytest.mark.parametrize("bad", ("not json {", [], 42,
+                                     [{"name": "x"}]))
+    def test_rejects_bad_tables(self, bad):
+        with pytest.raises(VerificationError):
+            load_stress_rules(bad)
